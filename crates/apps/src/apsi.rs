@@ -1,0 +1,77 @@
+//! apsi (SPECfp95 141): mesoscale hydrodynamic pollutant transport.
+//!
+//! The reference input advances 960 time steps; each step executes six
+//! parallel regions (wind-field update, two advection sweeps, diffusion,
+//! deposition and a statistics reduction), after two setup loops. Table 2:
+//! data stream length 5762 (= 2 + 960 x 6), periodicity **6**.
+
+use crate::app::{App, AppStructure, LoopCall};
+
+/// The apsi workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Apsi;
+
+/// Main-loop iterations in the (ref) input.
+pub const ITERATIONS: usize = 960;
+
+impl App for Apsi {
+    fn name(&self) -> &'static str {
+        "apsi"
+    }
+
+    fn expected_periods(&self) -> Vec<usize> {
+        vec![6]
+    }
+
+    fn expected_stream_len(&self) -> usize {
+        5762
+    }
+
+    fn structure(&self) -> AppStructure {
+        // 95.9 s sequential over 5762 calls ≈ 16.6 ms per call (Table 3).
+        AppStructure {
+            name: "apsi",
+            prologue: vec![
+                LoopCall::new("apsi_setup_terrain", 128, 130_000),
+                LoopCall::new("apsi_setup_fields", 128, 130_000),
+            ],
+            iteration: vec![
+                LoopCall::with_serial("apsi_wind_field", 128, 130_000, 0.04),
+                LoopCall::with_serial("apsi_advec_x", 128, 130_000, 0.02),
+                LoopCall::with_serial("apsi_advec_y", 128, 130_000, 0.02),
+                LoopCall::with_serial("apsi_diffusion", 128, 130_000, 0.03),
+                LoopCall::with_serial("apsi_deposition", 128, 130_000, 0.06),
+                LoopCall::with_serial("apsi_statistics", 128, 130_000, 0.10),
+            ],
+            iterations: ITERATIONS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::RunConfig;
+
+    #[test]
+    fn stream_length_matches_table2() {
+        assert_eq!(Apsi.structure().stream_len(), 5762);
+    }
+
+    #[test]
+    fn address_stream_is_period_6() {
+        let run = Apsi.run(&RunConfig::default());
+        assert_eq!(run.addresses.len(), 5762);
+        assert!(run.addresses.tail_is_periodic(6, 5500));
+    }
+
+    #[test]
+    fn sequential_time_near_paper() {
+        let run = Apsi.run(&RunConfig {
+            cpus: 1,
+            ..RunConfig::default()
+        });
+        let secs = run.elapsed_ns as f64 / 1e9;
+        assert!((secs - 95.9).abs() < 5.0, "sequential time {secs}s");
+    }
+}

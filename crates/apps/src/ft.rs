@@ -1,0 +1,273 @@
+//! NAS FT: 3-D FFT PDE solver (MPI/OpenMP), the paper's Figure 3/4 workload.
+//!
+//! "The trace is from the FT application of the NAS benchmarks. ... The
+//! sampling frequency of the CPU usage is set to 1 ms. It can be observed
+//! ... that during the execution of the application the parallelism is
+//! opened and closed a few times. Up to 16 CPUs are used ... By visual
+//! inspection a periodic pattern in the CPU usage can be observed. Also ...
+//! the pattern of CPU use is not exactly the same during the execution."
+//! The DPD finds the periodicity at **m = 44** samples (Figure 4).
+//!
+//! [`ft_run`] reproduces that trace: each solver iteration spans exactly
+//! 44 virtual milliseconds and opens/closes parallelism four times (the
+//! three 1-D FFT passes and the spectral evolve step), with deterministic
+//! per-iteration jitter in the phase boundaries so consecutive periods are
+//! similar but not identical.
+
+use dpd_trace::{EventTrace, SampledTrace};
+use ditools::dispatch::Interposer;
+use ditools::hook::RecordingObserver;
+use ditools::registry::Registry;
+use par_runtime::machine::{Machine, MachineConfig};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Iteration period in milliseconds (the Figure 4 ground truth).
+pub const PERIOD_MS: u64 = 44;
+
+const MS: u64 = 1_000_000;
+
+/// Output of an FT run.
+#[derive(Debug)]
+pub struct FtRun {
+    /// CPU-usage trace sampled at 1 ms (Figure 3).
+    pub cpu_trace: SampledTrace,
+    /// Intercepted loop-address stream.
+    pub addresses: EventTrace,
+    /// Total virtual execution time.
+    pub elapsed_ns: u64,
+}
+
+/// Execute `iterations` FT solver iterations on a 16-CPU virtual machine.
+///
+/// Each iteration: transpose setup (serial) → FFT-x on 16 CPUs → FFT-y on
+/// 12 CPUs → FFT-z on 16 CPUs → evolve on 8 CPUs → checksum (serial), with
+/// ±1 ms deterministic jitter on the internal phase boundaries and padding
+/// so every iteration spans exactly [`PERIOD_MS`] milliseconds.
+pub fn ft_run(iterations: usize) -> FtRun {
+    let mut machine = Machine::new(MachineConfig {
+        cpus: 16,
+        ..MachineConfig::default()
+    });
+    let mut ip = Interposer::new(Registry::new());
+    let recorder = Rc::new(RefCell::new(RecordingObserver::new()));
+    ip.attach(Box::new(Rc::clone(&recorder)));
+
+    let fft_x = ip.register("ft_fft_x");
+    let fft_y = ip.register("ft_fft_y");
+    let fft_z = ip.register("ft_fft_z");
+    let evolve = ip.register("ft_evolve");
+
+    for it in 0..iterations {
+        let start = machine.now_ns();
+        // Deterministic but aperiodic jitter in -1..=+1 ms (Knuth hash of
+        // the iteration index): the pattern repeats but "is not exactly the
+        // same" (paper §3.2), and the jitter itself must not introduce a
+        // periodicity of its own.
+        let j = (((it as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) % 3) as i64 - 1;
+        let jit = |base_ms: i64| ((base_ms + j).max(1)) as u64 * MS;
+
+        machine.run_serial(jit(4)); // transpose / copy-in
+        let now = machine.now_ns();
+        ip.intercept_timed(fft_x, now, || {
+            let s = machine.run_phase(16, jit(8));
+            ((), s.end_ns)
+        });
+        machine.run_serial(MS);
+        let now = machine.now_ns();
+        ip.intercept_timed(fft_y, now, || {
+            let s = machine.run_phase(12, jit(7));
+            ((), s.end_ns)
+        });
+        machine.run_serial(MS);
+        let now = machine.now_ns();
+        ip.intercept_timed(fft_z, now, || {
+            let s = machine.run_phase(16, jit(9));
+            ((), s.end_ns)
+        });
+        machine.run_serial(MS);
+        let now = machine.now_ns();
+        ip.intercept_timed(evolve, now, || {
+            let s = machine.run_phase(8, jit(5));
+            ((), s.end_ns)
+        });
+        // Checksum + pad to exactly PERIOD_MS.
+        let target = start + PERIOD_MS * MS;
+        let now = machine.now_ns();
+        debug_assert!(now < target, "iteration overran its period");
+        machine.run_serial(target - now);
+    }
+
+    let elapsed_ns = machine.now_ns();
+    let cpu_trace = SampledTrace::from_values(
+        "ft",
+        MS,
+        machine.sample_cpu_trace(MS),
+    );
+    drop(ip);
+    let recorder = Rc::try_unwrap(recorder).expect("unique").into_inner();
+    FtRun {
+        cpu_trace,
+        addresses: EventTrace::from_values("ft", recorder.address_stream()),
+        elapsed_ns,
+    }
+}
+
+/// Distributed FT: the paper's actual deployment shape — "MPI/OpenMp. Each
+/// process has a number of threads and messages are interchanged between
+/// the MPI processes" (§3.2). `processes` virtual processes of
+/// `16 / processes` CPUs each run the per-iteration FFT phases locally and
+/// exchange the distributed transpose via all-to-all; the returned trace is
+/// the *application-wide* instantaneous CPU count (sum over processes),
+/// still periodic at [`PERIOD_MS`].
+pub fn ft_mpi_run(iterations: usize, processes: usize) -> FtRun {
+    use par_runtime::msg::{NetConfig, ProcessGroup};
+    assert!(processes > 0 && 16 % processes == 0, "processes must divide 16");
+    let cpus_each = 16 / processes;
+    let mut group = ProcessGroup::new(processes, cpus_each, NetConfig::default());
+    let mut addresses = Vec::new();
+
+    for it in 0..iterations {
+        let j = (((it as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) % 3) as i64 - 1;
+        let jit = |base_ms: i64| ((base_ms + j).max(1)) as u64 * MS;
+        let start = (0..processes)
+            .map(|r| group.machine_ref(r).now_ns())
+            .max()
+            .unwrap();
+        // Local compute phases on every process (OpenMP level).
+        for r in 0..processes {
+            let m = group.machine(r);
+            m.run_serial(jit(4));
+            m.run_phase(cpus_each, jit(8)); // local FFT-x
+            m.run_serial(MS);
+            m.run_phase(cpus_each.max(1), jit(7)); // local FFT-y
+        }
+        addresses.push(0x7F00);
+        // Distributed transpose: all-to-all (MPI level) — serial dip.
+        group.alltoall(64 * 1024);
+        addresses.push(0x7F01);
+        for r in 0..processes {
+            let m = group.machine(r);
+            m.run_phase(cpus_each, jit(9)); // local FFT-z
+            m.run_serial(MS);
+            m.run_phase((cpus_each / 2).max(1), jit(5)); // evolve
+        }
+        addresses.push(0x7F02);
+        // Pad every process to the common iteration boundary.
+        let target = start + PERIOD_MS * MS;
+        for r in 0..processes {
+            let m = group.machine(r);
+            let now = m.now_ns();
+            assert!(now < target, "iteration overran its period ({now} >= {target})");
+            m.run_serial(target - now);
+        }
+    }
+
+    // Application-wide CPU count: sum of the per-process step functions.
+    let per_proc: Vec<Vec<f64>> = (0..processes)
+        .map(|r| group.machine_ref(r).timeline().sample(MS))
+        .collect();
+    let len = per_proc.iter().map(|v| v.len()).min().unwrap_or(0);
+    let combined: Vec<f64> = (0..len)
+        .map(|i| per_proc.iter().map(|v| v[i]).sum())
+        .collect();
+    let elapsed_ns = (0..processes)
+        .map(|r| group.machine_ref(r).now_ns())
+        .max()
+        .unwrap();
+
+    FtRun {
+        cpu_trace: SampledTrace::from_values("ft-mpi", MS, combined),
+        addresses: EventTrace::from_values("ft-mpi", addresses),
+        elapsed_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpd_core::detector::FrameDetector;
+
+    #[test]
+    fn iterations_span_exactly_44ms() {
+        let run = ft_run(10);
+        assert_eq!(run.elapsed_ns, 10 * PERIOD_MS * MS);
+    }
+
+    #[test]
+    fn cpu_trace_opens_and_closes_parallelism() {
+        let run = ft_run(8);
+        let max = run.cpu_trace.max().unwrap();
+        assert_eq!(max, 16.0, "up to 16 CPUs in parallel");
+        // Parallelism closes between phases: plenty of 1-CPU samples.
+        let ones = run
+            .cpu_trace
+            .values
+            .iter()
+            .filter(|&&v| v == 1.0)
+            .count();
+        assert!(ones > 20, "only {ones} serial samples");
+    }
+
+    #[test]
+    fn pattern_is_not_exactly_identical() {
+        let run = ft_run(6);
+        let v = &run.cpu_trace.values;
+        let p = PERIOD_MS as usize;
+        // The stream must NOT be exactly 44-periodic: the jitter makes some
+        // sample differ from its counterpart one period earlier.
+        let diffs = (p..v.len()).filter(|&i| v[i] != v[i - p]).count();
+        assert!(diffs > 0, "periods must not be exactly identical");
+    }
+
+    #[test]
+    fn dpd_finds_period_44_like_figure4() {
+        let run = ft_run(20);
+        let det = FrameDetector::magnitudes(200, 0.5);
+        let report = det.analyze(&run.cpu_trace.values).unwrap();
+        assert_eq!(
+            report.period(),
+            Some(PERIOD_MS as usize),
+            "minima: {:?}",
+            report.minima
+        );
+    }
+
+    #[test]
+    fn address_stream_has_period_4() {
+        let run = ft_run(12);
+        assert_eq!(run.addresses.len(), 48);
+        assert!(run.addresses.tail_is_periodic(4, 40));
+    }
+
+    #[test]
+    fn mpi_variant_spans_periods_and_peaks_at_16() {
+        let run = ft_mpi_run(12, 4);
+        assert_eq!(run.elapsed_ns, 12 * PERIOD_MS * MS);
+        // Sum over 4 processes x 4 CPUs: peak application parallelism 16.
+        assert_eq!(run.cpu_trace.max().unwrap(), 16.0);
+        // Communication dips: the whole app drops to `processes` CPUs
+        // (one polling CPU per process) during the all-to-all.
+        let min = run
+            .cpu_trace
+            .values
+            .iter()
+            .copied()
+            .fold(f64::MAX, f64::min);
+        assert!(min <= 4.0, "no communication dip visible (min {min})");
+    }
+
+    #[test]
+    fn mpi_variant_still_periodic_at_44() {
+        let run = ft_mpi_run(20, 4);
+        let det = FrameDetector::magnitudes(200, 0.5);
+        let report = det.analyze(&run.cpu_trace.values).unwrap();
+        assert_eq!(report.period(), Some(PERIOD_MS as usize));
+    }
+
+    #[test]
+    #[should_panic(expected = "divide 16")]
+    fn mpi_processes_must_divide_machine() {
+        let _ = ft_mpi_run(2, 5);
+    }
+}

@@ -1,0 +1,151 @@
+//! hydro2d (SPECfp95 104): Navier-Stokes galactic-jet hydrodynamics.
+//!
+//! The most deeply nested application of the evaluation. Table 2 reports
+//! data stream length 53814 and **three** periodicities — 1, 24 and 269 —
+//! and Figure 7 shows "a large iterative pattern within which smaller
+//! iterative patterns appear". We reproduce that structure:
+//!
+//! * each main-loop iteration issues 5 boundary/setup regions followed by
+//!   **11 sweeps** of a 24-loop solver pattern → outer period
+//!   `5 + 11 * 24 = 269`;
+//! * inside each solver sweep, a relaxation smoother region is invoked **10
+//!   times in a row** (the period-1 run the DPD picks up with a small
+//!   window), followed by 14 distinct flux/update regions → inner period 24
+//!   with an embedded period-1 segment;
+//! * 14 initialization loops + 200 iterations
+//!   → `14 + 200 * 269 = 53814` loop-call events.
+
+use crate::app::{App, AppStructure, LoopCall};
+use par_runtime::machine::LoopSpec;
+
+/// The hydro2d workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hydro2d;
+
+/// Main-loop iterations in the (ref) input.
+pub const ITERATIONS: usize = 200;
+
+/// Names of the 14 distinct flux/update regions inside one solver sweep.
+const SWEEP_LOOPS: [&str; 14] = [
+    "hydro_flux_x",
+    "hydro_flux_y",
+    "hydro_godunov_x",
+    "hydro_godunov_y",
+    "hydro_slope_x",
+    "hydro_slope_y",
+    "hydro_trace_x",
+    "hydro_trace_y",
+    "hydro_qleftright",
+    "hydro_riemann",
+    "hydro_cmpflx",
+    "hydro_update_rho",
+    "hydro_update_mom",
+    "hydro_update_ene",
+];
+
+/// Names of the 5 per-iteration boundary/setup regions.
+const BOUNDARY_LOOPS: [&str; 5] = [
+    "hydro_courant",
+    "hydro_bound_lo",
+    "hydro_bound_hi",
+    "hydro_make_slices",
+    "hydro_constoprim",
+];
+
+/// Names of the 14 initialization loops (prologue).
+const INIT_LOOPS: [&str; 14] = [
+    "hydro_init_grid",
+    "hydro_init_rho",
+    "hydro_init_mom",
+    "hydro_init_ene",
+    "hydro_init_bc",
+    "hydro_init_eos",
+    "hydro_init_slices",
+    "hydro_init_work1",
+    "hydro_init_work2",
+    "hydro_init_work3",
+    "hydro_init_stats",
+    "hydro_init_dt",
+    "hydro_init_io",
+    "hydro_init_check",
+];
+
+/// Per-call loop spec: 183.92 s sequential over 53814 calls ≈ 3.42 ms
+/// per call (Table 3 ApExTime).
+fn spec() -> LoopSpec {
+    LoopSpec {
+        iterations: 128,
+        cost_per_iter_ns: 26_700,
+        serial_fraction: 0.03,
+    }
+}
+
+impl App for Hydro2d {
+    fn name(&self) -> &'static str {
+        "hydro2d"
+    }
+
+    fn expected_periods(&self) -> Vec<usize> {
+        vec![1, 24, 269]
+    }
+
+    fn expected_stream_len(&self) -> usize {
+        53814
+    }
+
+    fn structure(&self) -> AppStructure {
+        let mk = |name: &'static str| LoopCall { name, spec: spec() };
+        let prologue: Vec<LoopCall> = INIT_LOOPS.iter().map(|&n| mk(n)).collect();
+        let mut iteration: Vec<LoopCall> = BOUNDARY_LOOPS.iter().map(|&n| mk(n)).collect();
+        for _sweep in 0..11 {
+            // The smoother region is called 10 times in a row (period-1 run).
+            for _ in 0..10 {
+                iteration.push(mk("hydro_smooth"));
+            }
+            iteration.extend(SWEEP_LOOPS.iter().map(|&n| mk(n)));
+        }
+        debug_assert_eq!(iteration.len(), 269);
+        AppStructure {
+            name: "hydro2d",
+            prologue,
+            iteration,
+            iterations: ITERATIONS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::RunConfig;
+
+    #[test]
+    fn stream_length_matches_table2() {
+        assert_eq!(Hydro2d.structure().stream_len(), 53814);
+    }
+
+    #[test]
+    fn iteration_pattern_is_269_calls() {
+        assert_eq!(Hydro2d.structure().iteration.len(), 269);
+    }
+
+    #[test]
+    fn address_stream_has_nested_structure() {
+        let run = Hydro2d.run(&RunConfig::default());
+        assert_eq!(run.addresses.len(), 53814);
+        // Outer period 269 holds on the tail.
+        assert!(run.addresses.tail_is_periodic(269, 40_000));
+        // The period-1 smoother run exists.
+        assert_eq!(run.addresses.longest_run(), 10);
+    }
+
+    #[test]
+    fn sequential_time_near_paper() {
+        let run = Hydro2d.run(&RunConfig {
+            cpus: 1,
+            ..RunConfig::default()
+        });
+        let secs = run.elapsed_ns as f64 / 1e9;
+        assert!((secs - 183.92).abs() < 6.0, "sequential time {secs}s");
+    }
+}

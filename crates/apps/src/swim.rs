@@ -1,0 +1,79 @@
+//! swim (SPECfp95 102): shallow-water equation solver.
+//!
+//! The reference input runs 900 time steps; each step executes six parallel
+//! regions (the CALC1/CALC2/CALC3 stencil trio plus three periodic-boundary
+//! and smoothing sweeps), preceded by two initialization loops. Table 2:
+//! data stream length 5402 (= 2 + 900 x 6), periodicity **6**.
+
+use crate::app::{App, AppStructure, LoopCall};
+
+/// The swim workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Swim;
+
+/// Main-loop iterations in the (ref) input.
+pub const ITERATIONS: usize = 900;
+
+impl App for Swim {
+    fn name(&self) -> &'static str {
+        "swim"
+    }
+
+    fn expected_periods(&self) -> Vec<usize> {
+        vec![6]
+    }
+
+    fn expected_stream_len(&self) -> usize {
+        5402
+    }
+
+    fn structure(&self) -> AppStructure {
+        // 135.17 s sequential over 5402 calls ≈ 25 ms per call (Table 3).
+        AppStructure {
+            name: "swim",
+            prologue: vec![
+                LoopCall::new("swim_inital_grid", 512, 48_900),
+                LoopCall::new("swim_inital_vel", 512, 48_900),
+            ],
+            iteration: vec![
+                LoopCall::with_serial("swim_calc1", 512, 48_900, 0.01),
+                LoopCall::with_serial("swim_calc2", 512, 48_900, 0.01),
+                LoopCall::with_serial("swim_calc3", 512, 48_900, 0.03),
+                LoopCall::with_serial("swim_bound_uv", 512, 48_900, 0.05),
+                LoopCall::with_serial("swim_bound_pz", 512, 48_900, 0.05),
+                LoopCall::with_serial("swim_smooth", 512, 48_900, 0.02),
+            ],
+            iterations: ITERATIONS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::RunConfig;
+
+    #[test]
+    fn stream_length_matches_table2() {
+        assert_eq!(Swim.structure().stream_len(), 5402);
+    }
+
+    #[test]
+    fn address_stream_is_period_6_after_prologue() {
+        let run = Swim.run(&RunConfig::default());
+        assert_eq!(run.addresses.len(), 5402);
+        assert!(run.addresses.tail_is_periodic(6, 5000));
+        // 6 iteration loops + 2 prologue loops
+        assert_eq!(run.addresses.alphabet().len(), 8);
+    }
+
+    #[test]
+    fn sequential_time_near_paper() {
+        let run = Swim.run(&RunConfig {
+            cpus: 1,
+            ..RunConfig::default()
+        });
+        let secs = run.elapsed_ns as f64 / 1e9;
+        assert!((secs - 135.17).abs() < 5.0, "sequential time {secs}s");
+    }
+}

@@ -1,0 +1,77 @@
+//! tomcatv (SPECfp95 101): vectorized mesh generation.
+//!
+//! The reference input runs 750 time steps; each step executes five parallel
+//! regions (residual computation, two tridiagonal solves along mesh lines,
+//! and two mesh-update sweeps). Table 2: data stream length 3750,
+//! periodicity **5** — the only application with no prologue loops.
+
+use crate::app::{App, AppStructure, LoopCall};
+
+/// The tomcatv workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tomcatv;
+
+/// Main-loop iterations in the (ref) input.
+pub const ITERATIONS: usize = 750;
+
+impl App for Tomcatv {
+    fn name(&self) -> &'static str {
+        "tomcatv"
+    }
+
+    fn expected_periods(&self) -> Vec<usize> {
+        vec![5]
+    }
+
+    fn expected_stream_len(&self) -> usize {
+        3750
+    }
+
+    fn structure(&self) -> AppStructure {
+        // Per-call work tuned so the sequential execution time lands near
+        // the paper's Table 3 ApExTime for tomcatv (136.33 s over 3750
+        // calls ≈ 36.4 ms per loop call).
+        AppStructure {
+            name: "tomcatv",
+            prologue: vec![],
+            iteration: vec![
+                LoopCall::with_serial("tomcatv_residual", 256, 142_000, 0.02),
+                LoopCall::with_serial("tomcatv_tridiag_x", 256, 142_000, 0.08),
+                LoopCall::with_serial("tomcatv_tridiag_y", 256, 142_000, 0.08),
+                LoopCall::with_serial("tomcatv_update_rx", 256, 142_000, 0.02),
+                LoopCall::with_serial("tomcatv_update_ry", 256, 142_000, 0.02),
+            ],
+            iterations: ITERATIONS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::RunConfig;
+
+    #[test]
+    fn stream_length_matches_table2() {
+        assert_eq!(Tomcatv.structure().stream_len(), 3750);
+        assert_eq!(Tomcatv.expected_stream_len(), 3750);
+    }
+
+    #[test]
+    fn address_stream_is_period_5() {
+        let run = Tomcatv.run(&RunConfig::default());
+        assert_eq!(run.addresses.len(), 3750);
+        assert!(run.addresses.tail_is_periodic(5, 3000));
+        assert_eq!(run.addresses.alphabet().len(), 5);
+    }
+
+    #[test]
+    fn sequential_time_near_paper() {
+        let run = Tomcatv.run(&RunConfig {
+            cpus: 1,
+            ..RunConfig::default()
+        });
+        let secs = run.elapsed_ns as f64 / 1e9;
+        assert!((secs - 136.33).abs() < 5.0, "sequential time {secs}s");
+    }
+}

@@ -1,0 +1,144 @@
+//! turb3d (SPECfp95 125): homogeneous isotropic turbulence (spectral).
+//!
+//! Nested structure, coarser than hydro2d's. Table 2: data stream length
+//! 1580, periodicities **12** and **142**. We reproduce it as:
+//!
+//! * each main-loop iteration issues 10 setup/transform regions, then **11
+//!   planes** of a 12-loop FFT pipeline → outer period
+//!   `10 + 11 * 12 = 142`;
+//! * 18 initialization loops + 11 iterations → `18 + 11 * 142 = 1580`.
+
+use crate::app::{App, AppStructure, LoopCall};
+use par_runtime::machine::LoopSpec;
+
+/// The turb3d workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Turb3d;
+
+/// Main-loop iterations in the (ref) input.
+pub const ITERATIONS: usize = 11;
+
+const PLANE_LOOPS: [&str; 12] = [
+    "turb_fft_fwd_x",
+    "turb_fft_fwd_y",
+    "turb_fft_fwd_z",
+    "turb_nonlinear_u",
+    "turb_nonlinear_v",
+    "turb_nonlinear_w",
+    "turb_project",
+    "turb_viscous",
+    "turb_fft_inv_x",
+    "turb_fft_inv_y",
+    "turb_fft_inv_z",
+    "turb_rescale",
+];
+
+const SETUP_LOOPS: [&str; 10] = [
+    "turb_courant",
+    "turb_wavenumbers",
+    "turb_dealiasing",
+    "turb_copy_u",
+    "turb_copy_v",
+    "turb_copy_w",
+    "turb_spectrum",
+    "turb_forcing",
+    "turb_energy",
+    "turb_timestep",
+];
+
+const INIT_LOOPS: [&str; 18] = [
+    "turb_init_grid",
+    "turb_init_modes",
+    "turb_init_u",
+    "turb_init_v",
+    "turb_init_w",
+    "turb_init_phase1",
+    "turb_init_phase2",
+    "turb_init_phase3",
+    "turb_init_spectrum",
+    "turb_init_normalize",
+    "turb_init_fft_plan_x",
+    "turb_init_fft_plan_y",
+    "turb_init_fft_plan_z",
+    "turb_init_check",
+    "turb_init_stats",
+    "turb_init_io",
+    "turb_init_forcing",
+    "turb_init_seed",
+];
+
+/// Per-call loop spec: 266.44 s sequential over 1580 calls ≈ 168.6 ms per
+/// call (Table 3 ApExTime) — turb3d's FFT regions are by far the heaviest
+/// of the five applications.
+fn spec() -> LoopSpec {
+    LoopSpec {
+        iterations: 64,
+        cost_per_iter_ns: 2_635_000,
+        serial_fraction: 0.05,
+    }
+}
+
+impl App for Turb3d {
+    fn name(&self) -> &'static str {
+        "turb3d"
+    }
+
+    fn expected_periods(&self) -> Vec<usize> {
+        vec![12, 142]
+    }
+
+    fn expected_stream_len(&self) -> usize {
+        1580
+    }
+
+    fn structure(&self) -> AppStructure {
+        let mk = |name: &'static str| LoopCall { name, spec: spec() };
+        let prologue: Vec<LoopCall> = INIT_LOOPS.iter().map(|&n| mk(n)).collect();
+        let mut iteration: Vec<LoopCall> = SETUP_LOOPS.iter().map(|&n| mk(n)).collect();
+        for _plane in 0..11 {
+            iteration.extend(PLANE_LOOPS.iter().map(|&n| mk(n)));
+        }
+        debug_assert_eq!(iteration.len(), 142);
+        AppStructure {
+            name: "turb3d",
+            prologue,
+            iteration,
+            iterations: ITERATIONS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::RunConfig;
+
+    #[test]
+    fn stream_length_matches_table2() {
+        assert_eq!(Turb3d.structure().stream_len(), 1580);
+    }
+
+    #[test]
+    fn iteration_pattern_is_142_calls() {
+        assert_eq!(Turb3d.structure().iteration.len(), 142);
+    }
+
+    #[test]
+    fn address_stream_has_nested_structure() {
+        let run = Turb3d.run(&RunConfig::default());
+        assert_eq!(run.addresses.len(), 1580);
+        assert!(run.addresses.tail_is_periodic(142, 1000));
+        // No period-1 runs in turb3d (unlike hydro2d).
+        assert_eq!(run.addresses.longest_run(), 1);
+    }
+
+    #[test]
+    fn sequential_time_near_paper() {
+        let run = Turb3d.run(&RunConfig {
+            cpus: 1,
+            ..RunConfig::default()
+        });
+        let secs = run.elapsed_ns as f64 / 1e9;
+        assert!((secs - 266.44).abs() < 8.0, "sequential time {secs}s");
+    }
+}

@@ -1,0 +1,76 @@
+//! Full-trace detection cost per application (Tables 2/3 combined view).
+//!
+//! Pre-generates each application's address stream once, then measures the
+//! complete multi-scale detection pass over it — the end-to-end cost of the
+//! paper's §6.2 experiment — and the FT magnitude-detector pass of Fig. 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpd_core::detector::FrameDetector;
+use dpd_core::streaming::MultiScaleDpd;
+use spec_apps::app::{App, RunConfig};
+use spec_apps::ft::ft_run;
+use std::hint::black_box;
+
+fn bench_event_detection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apps/multiscale_detection");
+    g.sample_size(10);
+    for app in spec_apps::spec_apps() {
+        let run = app.run(&RunConfig::default());
+        let data = run.addresses.values.clone();
+        g.throughput(Throughput::Elements(data.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(app.name()),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let mut bank = MultiScaleDpd::default_scales();
+                    for &s in data {
+                        bank.push(black_box(s));
+                    }
+                    bank.detected_periods().len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_ft_spectrum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apps/ft_magnitude_spectrum");
+    g.sample_size(20);
+    let run = ft_run(20);
+    let data = run.cpu_trace.values;
+    g.throughput(Throughput::Elements(data.len() as u64));
+    g.bench_function("fig4_frame_analysis", |b| {
+        let det = FrameDetector::magnitudes(200, 0.5);
+        b.iter(|| det.analyze(black_box(&data)).unwrap().period())
+    });
+    g.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    // Substrate cost: producing the traces themselves (virtual machine +
+    // interposition), which dominates the harness wall-time.
+    let mut g = c.benchmark_group("apps/trace_generation");
+    g.sample_size(10);
+    g.bench_function("tomcatv_full_run", |b| {
+        b.iter(|| {
+            spec_apps::tomcatv::Tomcatv
+                .run(&RunConfig::default())
+                .addresses
+                .len()
+        })
+    });
+    g.bench_function("ft_20_iterations", |b| {
+        b.iter(|| ft_run(20).cpu_trace.len())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_detection,
+    bench_ft_spectrum,
+    bench_trace_generation
+);
+criterion_main!(benches);

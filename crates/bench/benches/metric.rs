@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the two distance metrics (paper Figs. 1/2).
+//!
+//! Measures the raw cost of computing `d(m)` from the definition for one
+//! delay and for a full spectrum — the building block whose cost Table 3
+//! bounds, and the baseline against which the incremental engine's O(M)
+//! update is an ablation (see `streaming.rs`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpd_core::metric::{direct_distance, EventMetric, L1Metric};
+use std::hint::black_box;
+
+fn periodic_events(period: usize, len: usize) -> Vec<i64> {
+    (0..len).map(|i| (i % period) as i64 + 0x1000).collect()
+}
+
+fn periodic_magnitudes(period: usize, len: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| ((i % period) as f64 * 1.7).sin() * 8.0 + 1.0)
+        .collect()
+}
+
+fn bench_single_delay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metric/single_delay");
+    for &n in &[64usize, 256, 1024] {
+        let events = periodic_events(7, 2 * n);
+        let mags = periodic_magnitudes(7, 2 * n);
+        g.bench_with_input(BenchmarkId::new("event", n), &n, |b, &n| {
+            b.iter(|| direct_distance(&EventMetric, black_box(&events), n, 7))
+        });
+        g.bench_with_input(BenchmarkId::new("l1", n), &n, |b, &n| {
+            b.iter(|| direct_distance(&L1Metric, black_box(&mags), n, 7))
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_spectrum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metric/full_spectrum_from_scratch");
+    g.sample_size(20);
+    for &n in &[64usize, 256, 1024] {
+        let events = periodic_events(7, 2 * n);
+        g.bench_with_input(BenchmarkId::new("event", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for m in 1..=n {
+                    if let Some(d) = direct_distance(&EventMetric, black_box(&events), n, m) {
+                        acc += d;
+                    }
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_delay, bench_full_spectrum);
+criterion_main!(benches);

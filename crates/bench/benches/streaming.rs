@@ -1,0 +1,104 @@
+//! Per-sample cost of the streaming DPD (the Table 3 quantity).
+//!
+//! The paper reports 0.004–0.112 ms per processed element on a 2001 SGI
+//! Origin 2000, scaling with the window size. These benches measure our
+//! per-push cost across window sizes, plus the ablation the incremental
+//! engine justifies: O(M) incremental update vs recomputing the spectrum
+//! from scratch each push.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpd_core::capi::Dpd;
+use dpd_core::incremental::{EngineConfig, IncrementalEngine};
+use dpd_core::metric::{direct_distance, EventMetric};
+use dpd_core::streaming::{StreamingConfig, StreamingDpd};
+use std::hint::black_box;
+
+fn stream(period: usize, len: usize) -> Vec<i64> {
+    (0..len).map(|i| (i % period) as i64 + 0x4000).collect()
+}
+
+fn bench_push_per_window(c: &mut Criterion) {
+    let mut g = c.benchmark_group("streaming/push");
+    for &n in &[16usize, 64, 256, 1024] {
+        let data = stream(6, 4 * n);
+        g.throughput(Throughput::Elements(data.len() as u64));
+        g.bench_with_input(BenchmarkId::new("window", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut dpd = StreamingDpd::events(StreamingConfig::with_window(n));
+                let mut starts = 0u64;
+                for &s in &data {
+                    if dpd.push(black_box(s)).as_return_value() != 0 {
+                        starts += 1;
+                    }
+                }
+                starts
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_capi_replay(c: &mut Criterion) {
+    // The exact Table 3 protocol: replay a trace through `DPD()`.
+    let mut g = c.benchmark_group("streaming/dpd_capi_replay");
+    let data = stream(6, 5402); // swim-sized
+    g.throughput(Throughput::Elements(data.len() as u64));
+    g.bench_function("swim_sized_window16", |b| {
+        b.iter(|| {
+            let mut dpd = Dpd::with_window(16);
+            let mut period = 0i32;
+            let mut hits = 0u64;
+            for &s in &data {
+                hits += dpd.dpd(black_box(s), &mut period) as u64;
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+fn bench_incremental_vs_scratch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("streaming/ablation_incremental_vs_scratch");
+    g.sample_size(15);
+    let n = 128usize;
+    let data = stream(6, 6 * n);
+    g.bench_function("incremental_o_m", |b| {
+        b.iter(|| {
+            let mut e =
+                IncrementalEngine::new(EventMetric, EngineConfig::square(n)).unwrap();
+            let mut zeros = 0u64;
+            for &s in &data {
+                e.push(black_box(s));
+                if e.first_zero().is_some() {
+                    zeros += 1;
+                }
+            }
+            zeros
+        })
+    });
+    g.bench_function("from_scratch_o_nm", |b| {
+        b.iter(|| {
+            let mut seen: Vec<i64> = Vec::with_capacity(data.len());
+            let mut zeros = 0u64;
+            for &s in &data {
+                seen.push(black_box(s));
+                for m in 1..=n {
+                    if direct_distance(&EventMetric, &seen, n, m) == Some(0.0) {
+                        zeros += 1;
+                        break;
+                    }
+                }
+            }
+            zeros
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_push_per_window,
+    bench_capi_replay,
+    bench_incremental_vs_scratch
+);
+criterion_main!(benches);

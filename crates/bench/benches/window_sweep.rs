@@ -1,0 +1,93 @@
+//! Window-size ablation (paper §3.1 discussion).
+//!
+//! The paper: "For an unknown data stream, the window size N ... should be
+//! set initially to a large value ... Once a satisfying periodicity is
+//! detected, the window size may be reduced dynamically." This sweep
+//! quantifies the trade-off that motivates the advice: per-sample cost
+//! grows with N, detection latency grows with N, but only large N can
+//! capture large periodicities. Also benches the `DPDWindowSize` resize
+//! itself and the autotuned detector end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpd_core::autotune::{TunedDpd, TunerPolicy};
+use dpd_core::streaming::{StreamingConfig, StreamingDpd};
+use std::hint::black_box;
+
+fn stream(period: usize, len: usize) -> Vec<i64> {
+    (0..len).map(|i| (i % period) as i64 + 0x2000).collect()
+}
+
+fn bench_cost_vs_window(c: &mut Criterion) {
+    let mut g = c.benchmark_group("window_sweep/cost_per_sample");
+    let data = stream(12, 8192);
+    for &n in &[16usize, 32, 64, 128, 256, 512, 1024] {
+        g.throughput(Throughput::Elements(data.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut dpd = StreamingDpd::events(StreamingConfig::with_window(n));
+                for &s in &data {
+                    black_box(dpd.push(s));
+                }
+                dpd.stats().boundaries
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_resize_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("window_sweep/dpd_window_size_resize");
+    g.sample_size(30);
+    let data = stream(12, 2048);
+    g.bench_function("resize_1024_to_32", |b| {
+        b.iter(|| {
+            let mut dpd = StreamingDpd::events(StreamingConfig::with_window(1024));
+            for &s in &data {
+                dpd.push(s);
+            }
+            dpd.set_window(black_box(32)).unwrap();
+            dpd.window()
+        })
+    });
+    g.finish();
+}
+
+fn bench_autotuned_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("window_sweep/autotuned");
+    g.sample_size(15);
+    let data = stream(12, 8192);
+    g.throughput(Throughput::Elements(data.len() as u64));
+    g.bench_function("tuned_vs_fixed1024", |b| {
+        b.iter(|| {
+            let mut dpd = TunedDpd::new(TunerPolicy {
+                min_window: 8,
+                max_window: 1024,
+                period_multiple: 2,
+                hysteresis: 2.0,
+                confirmations: 3,
+            });
+            for &s in &data {
+                black_box(dpd.push(s));
+            }
+            dpd.window()
+        })
+    });
+    g.bench_function("fixed_1024_reference", |b| {
+        b.iter(|| {
+            let mut dpd = StreamingDpd::events(StreamingConfig::with_window(1024));
+            for &s in &data {
+                black_box(dpd.push(s));
+            }
+            dpd.window()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cost_vs_window,
+    bench_resize_cost,
+    bench_autotuned_end_to_end
+);
+criterion_main!(benches);

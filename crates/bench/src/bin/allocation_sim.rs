@@ -1,0 +1,78 @@
+//! Multiprogrammed scheduling simulation ([Corbalan2000] claim, §5.1).
+//!
+//! Uses the SelfAnalyzer-measured speedup curve of a real workload plus
+//! co-runner profiles to simulate several iterative jobs time-sharing a
+//! 16-CPU machine under equipartition vs performance-driven allocation —
+//! the experiment behind the paper's "providing a great benefit" remark,
+//! run as an actual schedule rather than curve arithmetic.
+
+use par_runtime::sched::{AllocationPolicy, Equipartition, PerformanceDriven, SpeedupCurve};
+use par_runtime::workload::{simulate, Job};
+
+fn workload() -> Vec<Job> {
+    vec![
+        Job {
+            name: "tomcatv-like (scales well)".into(),
+            iteration_ns: 180_000_000,
+            iterations: 120,
+            curve: SpeedupCurve::amdahl(0.04, 16),
+        },
+        Job {
+            name: "apsi-like (moderate)".into(),
+            iteration_ns: 100_000_000,
+            iterations: 200,
+            curve: SpeedupCurve::amdahl(0.25, 16),
+        },
+        Job {
+            name: "post-processing (serial-ish)".into(),
+            iteration_ns: 60_000_000,
+            iterations: 150,
+            curve: SpeedupCurve::amdahl(0.7, 16),
+        },
+        Job {
+            name: "turb3d-like (scales well)".into(),
+            iteration_ns: 240_000_000,
+            iterations: 80,
+            curve: SpeedupCurve::amdahl(0.08, 16),
+        },
+    ]
+}
+
+fn main() {
+    println!("Multiprogrammed 16-CPU machine: 4 iterative jobs, run to completion");
+    println!();
+    let jobs = workload();
+    let mut results = Vec::new();
+    for policy in [&Equipartition as &dyn AllocationPolicy, &PerformanceDriven] {
+        let out = simulate(&jobs, 16, policy);
+        println!("--- {} ---", policy.name());
+        for c in &out.completions {
+            println!(
+                "  {:<32} finished at {:8.2} s (holding {:2} CPUs)",
+                c.name,
+                c.finish_ns / 1e9,
+                c.final_cpus
+            );
+        }
+        println!(
+            "  makespan {:.2} s | mean turnaround {:.2} s",
+            out.makespan_ns / 1e9,
+            out.mean_turnaround_ns / 1e9
+        );
+        println!();
+        results.push((policy.name(), out));
+    }
+    let eq = &results[0].1;
+    let pd = &results[1].1;
+    let gain = (eq.mean_turnaround_ns - pd.mean_turnaround_ns) / eq.mean_turnaround_ns * 100.0;
+    println!(
+        "performance-driven improves mean turnaround by {gain:.1}% \
+         (makespan: {:.2} s vs {:.2} s)",
+        pd.makespan_ns / 1e9,
+        eq.makespan_ns / 1e9
+    );
+    assert!(
+        pd.mean_turnaround_ns <= eq.mean_turnaround_ns * 1.001,
+        "performance-driven regressed"
+    );
+}

@@ -1,0 +1,76 @@
+//! Ablation: the DPD's distance metric vs the classic autocorrelation
+//! estimator (DESIGN.md §6).
+//!
+//! Compares detection accuracy on noisy periodic magnitude streams across
+//! noise levels, and on the FT CPU trace, plus wall-clock analysis cost.
+//! The expected picture: both agree on clean signals; the DPD's L1 valley
+//! stays sharper under additive noise on flat-topped (step-like) traces,
+//! and — unlike autocorrelation — equation (2) gives *exact* detection on
+//! event streams, which autocorrelation cannot represent at all.
+
+use dpd_core::baseline::AutocorrDetector;
+use dpd_core::detector::FrameDetector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spec_apps::ft::ft_run;
+use std::time::Instant;
+
+fn trial(noise: f64, trials: u32) -> (u32, u32) {
+    let mut rng = StdRng::seed_from_u64(0xD1CE + (noise * 1000.0) as u64);
+    let shape = [1.0, 1.0, 16.0, 16.0, 16.0, 16.0, 8.0, 8.0, 4.0, 1.0, 1.0, 1.0];
+    let mut dpd_hits = 0;
+    let mut auto_hits = 0;
+    for _ in 0..trials {
+        let data = dpd_trace::gen::noisy_magnitudes(&shape, 40, noise, &mut rng);
+        let dpd = FrameDetector::magnitudes(96, 0.5);
+        if dpd.analyze(&data).ok().and_then(|r| r.period()) == Some(12) {
+            dpd_hits += 1;
+        }
+        let auto = AutocorrDetector::new(96);
+        if auto.analyze(&data).and_then(|r| r.period) == Some(12) {
+            auto_hits += 1;
+        }
+    }
+    (dpd_hits, auto_hits)
+}
+
+fn main() {
+    println!("Ablation: DPD (eq 1) vs autocorrelation baseline");
+    println!();
+    println!("detection rate on noisy period-12 step signal (50 trials each):");
+    println!("{:>10} {:>10} {:>12}", "noise", "DPD", "autocorr");
+    let trials = 50;
+    for &noise in &[0.0, 0.5, 1.0, 2.0, 4.0] {
+        let (d, a) = trial(noise, trials);
+        println!(
+            "{:>10.1} {:>9}% {:>11}%",
+            noise,
+            d * 100 / trials,
+            a * 100 / trials
+        );
+    }
+
+    println!();
+    println!("FT CPU-usage trace (Figure 4 input):");
+    let run = ft_run(20);
+    let t0 = Instant::now();
+    let dpd_period = FrameDetector::magnitudes(200, 0.5)
+        .analyze(&run.cpu_trace.values)
+        .unwrap()
+        .period();
+    let dpd_time = t0.elapsed();
+    let t0 = Instant::now();
+    let auto_period = AutocorrDetector::new(200)
+        .analyze(&run.cpu_trace.values)
+        .unwrap()
+        .period;
+    let auto_time = t0.elapsed();
+    println!("  DPD:      period {dpd_period:?} in {dpd_time:?}");
+    println!("  autocorr: period {auto_period:?} in {auto_time:?}");
+    assert_eq!(dpd_period, Some(44));
+
+    println!();
+    println!("event streams: equation (2) detects exactly; autocorrelation is");
+    println!("undefined on identifier (address) data — the reason the paper's");
+    println!("detector uses a distance, not a correlation.");
+}

@@ -1,0 +1,38 @@
+//! Reproduces **Figure 3: Number of CPUs used during the execution of a
+//! parallel application** (NAS FT, MPI/OpenMP, 1 ms sampling, up to 16
+//! CPUs, parallelism opened and closed a few times per iteration).
+
+use spec_apps::ft::{ft_run, PERIOD_MS};
+
+fn main() {
+    let iterations = 20;
+    let run = ft_run(iterations);
+    let trace = &run.cpu_trace;
+
+    println!("Figure 3: instantaneous CPU usage of the FT application");
+    println!(
+        "sampling period: {} ms, samples: {}, peak CPUs: {}, iteration period: {} ms",
+        trace.sample_period_ns / 1_000_000,
+        trace.len(),
+        trace.max().unwrap_or(0.0),
+        PERIOD_MS
+    );
+    println!();
+    // ASCII rendition of the first ~4 periods, one char per sample.
+    let show = (4 * PERIOD_MS as usize).min(trace.values.len());
+    println!("first {show} samples (rows = CPU count, # = active):");
+    let head = dpd_trace::SampledTrace::from_values(
+        "ft-head",
+        trace.sample_period_ns,
+        trace.values[..show].to_vec(),
+    );
+    print!("{}", head.ascii_strip(show, 16));
+    println!("{}", "-".repeat(show));
+    // Numeric dump, one period per line, for EXPERIMENTS.md evidence.
+    println!();
+    println!("per-sample CPU counts, one iteration per line:");
+    for (i, chunk) in trace.values.chunks(PERIOD_MS as usize).take(4).enumerate() {
+        let row: Vec<String> = chunk.iter().map(|v| format!("{v:.0}")).collect();
+        println!("iter {:2}: {}", i, row.join(" "));
+    }
+}

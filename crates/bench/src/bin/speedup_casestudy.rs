@@ -1,0 +1,122 @@
+//! Reproduces the paper's **§5 case study**: the DPD + SelfAnalyzer
+//! pipeline computing per-region speedups at run time, and the
+//! performance-driven processor allocation it enables ([Corbalan2000]).
+//!
+//! Protocol (paper §5): the SelfAnalyzer times iterations of the main loop
+//! delimited by DPD period starts; the first iterations run with a baseline
+//! allocation (1 CPU), later ones with the available CPUs; speedup is the
+//! ratio of mean iteration times.
+
+use par_runtime::sched::{
+    total_speedup, AllocationPolicy, Equipartition, PerformanceDriven, SpeedupCurve,
+};
+use selfanalyzer::report::{format_table, region_rows};
+use spec_apps::app::{App, AppStructure};
+use spec_apps::tomcatv::Tomcatv;
+
+/// Run `structure` with the SelfAnalyzer attached, switching from the
+/// baseline allocation to `cpus` after `baseline_iters` iterations.
+/// Returns the speedup the analyzer measured.
+fn measure_speedup(structure: &AppStructure, cpus: usize, baseline_iters: usize) -> Option<f64> {
+    // Phase 1: baseline run (1 CPU).
+    let base = AppStructure {
+        iterations: baseline_iters,
+        ..structure.clone()
+    };
+    let rest = AppStructure {
+        prologue: vec![],
+        iterations: structure.iterations - baseline_iters,
+        ..structure.clone()
+    };
+    // The analyzer lives across both phases via manual driving. Window 16
+    // per the paper's §3.1 guidance: once the periodicity is known to be
+    // small (tomcatv: 5), a small window locks within the baseline phase.
+    let mut analyzer = selfanalyzer::SelfAnalyzer::new(16, 1);
+    let mut t_ns = 0u64;
+    let mut machine = par_runtime::Machine::new(par_runtime::MachineConfig::default());
+    let run_phase = |structure: &AppStructure,
+                         cpus: usize,
+                         analyzer: &mut selfanalyzer::SelfAnalyzer,
+                         machine: &mut par_runtime::Machine,
+                         t_ns: &mut u64| {
+        analyzer.set_cpus(cpus);
+        let mut addr_book = ditools::registry::Registry::new();
+        for _ in 0..structure.iterations {
+            for call in &structure.iteration {
+                let addr = addr_book.register(call.name);
+                analyzer.on_loop_call(addr.raw(), *t_ns);
+                let span = machine.run_loop(&call.spec, cpus);
+                *t_ns = span.end_ns;
+            }
+        }
+    };
+    run_phase(&base, 1, &mut analyzer, &mut machine, &mut t_ns);
+    run_phase(&rest, cpus, &mut analyzer, &mut machine, &mut t_ns);
+
+    let region = analyzer.regions().first()?;
+    println!("{}", format_table(&region_rows(region, 1)));
+    region.speedup(1, cpus)
+}
+
+fn main() {
+    println!("Case study (paper §5): dynamic speedup computation via DPD + SelfAnalyzer");
+    println!();
+
+    let structure = Tomcatv.structure();
+    // Keep runs short: 40 iterations are plenty to lock and measure.
+    let structure = AppStructure {
+        iterations: 40,
+        ..structure
+    };
+
+    println!("tomcatv, measured speedup vs CPUs (baseline = 1 CPU):");
+    println!();
+    let mut curve_points = Vec::new();
+    for cpus in [2usize, 4, 8, 16] {
+        println!("-- available CPUs: {cpus} --");
+        match measure_speedup(&structure, cpus, 8) {
+            Some(s) => {
+                println!("measured speedup S({cpus}) = {s:.2}");
+                curve_points.push((cpus, s));
+            }
+            None => println!("no region measured"),
+        }
+        println!();
+    }
+    // Monotonicity check: speedup grows with CPUs, sub-linearly.
+    for w in curve_points.windows(2) {
+        assert!(
+            w[1].1 >= w[0].1,
+            "speedup must be monotone: {curve_points:?}"
+        );
+    }
+    for &(p, s) in &curve_points {
+        assert!(s <= p as f64 + 0.01, "super-linear speedup {s} at {p} CPUs");
+    }
+
+    // Processor-allocation comparison enabled by these measurements.
+    println!("--- processor allocation on 16 CPUs ([Corbalan2000] motivation) ---");
+    let measured = SpeedupCurve::new(curve_points);
+    let apps = vec![
+        measured.clone(),                    // tomcatv, measured at run time
+        SpeedupCurve::amdahl(0.35, 16),      // a poorly scaling co-runner
+        SpeedupCurve::amdahl(0.05, 16),      // a well scaling co-runner
+    ];
+    for policy in [&Equipartition as &dyn AllocationPolicy, &PerformanceDriven] {
+        let alloc = policy.allocate(&apps, 16);
+        println!(
+            "{:<20} allocation {:?}  total speedup {:.2}",
+            policy.name(),
+            alloc,
+            total_speedup(&apps, &alloc)
+        );
+    }
+    let eq = Equipartition.allocate(&apps, 16);
+    let pd = PerformanceDriven.allocate(&apps, 16);
+    assert!(
+        total_speedup(&apps, &pd) >= total_speedup(&apps, &eq),
+        "performance-driven must not lose to equipartition"
+    );
+    println!();
+    println!("result: performance-driven allocation >= equipartition, as in [Corbalan2000]");
+}

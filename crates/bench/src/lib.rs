@@ -1,0 +1,57 @@
+//! # dpd-bench — experiment harnesses
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the
+//! index), plus Criterion micro-benchmarks:
+//!
+//! | target | reproduces |
+//! |--------|------------|
+//! | `fig3_ft_trace`        | Figure 3 — NAS FT CPU-usage trace |
+//! | `fig4_ft_spectrum`     | Figure 4 — d(m) with minimum at m = 44 |
+//! | `fig7_segmentation`    | Figure 7 — per-app streams + DPD marks |
+//! | `table2_periodicities` | Table 2 — detected periodicities |
+//! | `table3_overhead`      | Table 3 — DPD overhead analysis |
+//! | `speedup_casestudy`    | §5 — SelfAnalyzer speedup computation |
+//! | bench `metric`         | eq (1)/(2) kernel cost |
+//! | bench `streaming`      | per-sample DPD cost (Table 3 ablation) |
+//! | bench `apps`           | full-trace detection per application |
+//! | bench `window_sweep`   | window-size ablation N ∈ {16..1024} |
+//! | bench `machine`        | virtual machine + thread-pool substrate |
+//!
+//! This library hosts the small shared helpers the binaries use.
+
+#![warn(missing_docs)]
+
+use dpd_core::streaming::MultiScaleDpd;
+use spec_apps::app::{App, AppRun, RunConfig};
+
+/// Run one application with default settings and analyse its address
+/// stream with the default multi-scale bank.
+pub fn run_and_detect(app: &dyn App) -> (AppRun, Vec<usize>) {
+    let run = app.run(&RunConfig::default());
+    let mut bank = MultiScaleDpd::default_scales();
+    for &s in &run.addresses.values {
+        bank.push(s);
+    }
+    let periods = bank.detected_periods();
+    (run, periods)
+}
+
+/// Format a `Vec<usize>` the way the paper prints periodicity sets.
+pub fn fmt_periods(p: &[usize]) -> String {
+    p.iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_matches_paper_style() {
+        assert_eq!(fmt_periods(&[1, 24, 269]), "1, 24, 269");
+        assert_eq!(fmt_periods(&[6]), "6");
+        assert_eq!(fmt_periods(&[]), "");
+    }
+}

@@ -1,0 +1,299 @@
+//! Command parsing and execution.
+//!
+//! Hand-rolled flag parsing (no CLI dependency): every command takes
+//! `--flag value` pairs plus at most one positional trace-file path.
+
+use dpd_core::detector::FrameDetector;
+use dpd_core::segmentation::segment_events;
+use dpd_core::streaming::MultiScaleDpd;
+use dpd_trace::{gen, io, EventTrace};
+use spec_apps::app::RunConfig;
+use std::fmt::Write as _;
+
+/// Usage text shown on errors.
+pub const USAGE: &str = "usage:
+  dpd generate --kind periodic|nested|aperiodic [--period P] [--len N] --out FILE
+  dpd apps --app tomcatv|swim|apsi|hydro2d|turb3d --out FILE
+  dpd analyze FILE [--scales 8,64,512]
+  dpd spectrum FILE [--window 128]
+  dpd segment FILE [--window 64]";
+
+/// A parsed flag set: positional args + `--key value` pairs.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Flags {
+    /// Positional arguments, in order.
+    pub positional: Vec<String>,
+    /// `--key value` pairs, last occurrence wins.
+    pub options: Vec<(String, String)>,
+}
+
+impl Flags {
+    /// Parse a raw argument list.
+    pub fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut flags = Flags::default();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("missing value for --{key}"))?;
+                flags.options.push((key.to_string(), value.clone()));
+            } else {
+                flags.positional.push(a.clone());
+            }
+        }
+        Ok(flags)
+    }
+
+    /// Last value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parsed numeric flag with a default.
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got {v:?}")),
+        }
+    }
+}
+
+/// Execute a command line, returning its stdout text.
+pub fn dispatch(args: &[String]) -> Result<String, String> {
+    let (cmd, rest) = args.split_first().ok_or("no command given")?;
+    let flags = Flags::parse(rest)?;
+    match cmd.as_str() {
+        "generate" => generate(&flags),
+        "apps" => apps(&flags),
+        "analyze" => analyze(&flags),
+        "spectrum" => spectrum(&flags),
+        "segment" => segment(&flags),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn load_events(flags: &Flags) -> Result<EventTrace, String> {
+    let path = flags
+        .positional
+        .first()
+        .ok_or("expected a trace file argument")?;
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    io::read_events(file).map_err(|e| e.to_string())
+}
+
+fn generate(flags: &Flags) -> Result<String, String> {
+    let kind = flags.get("kind").unwrap_or("periodic");
+    let len = flags.get_usize("len", 5000)?;
+    let period = flags.get_usize("period", 6)?;
+    let out = flags.get("out").ok_or("generate requires --out FILE")?;
+    let values = match kind {
+        "periodic" => {
+            if period == 0 {
+                return Err("--period must be positive".into());
+            }
+            let pattern: Vec<i64> = (0..period).map(|i| 0x1000 + i as i64).collect();
+            gen::periodic_events(&pattern, len)
+        }
+        "nested" => gen::nested_events(5, 10, 11, len.div_ceil(115).max(1)).0,
+        "aperiodic" => gen::aperiodic_events(len),
+        other => return Err(format!("unknown --kind {other:?}")),
+    };
+    let trace = EventTrace::from_values(kind, values);
+    let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    io::write_events(&trace, file).map_err(|e| e.to_string())?;
+    Ok(format!("wrote {} events to {out}\n", trace.len()))
+}
+
+fn apps(flags: &Flags) -> Result<String, String> {
+    let name = flags.get("app").ok_or("apps requires --app NAME")?;
+    let out = flags.get("out").ok_or("apps requires --out FILE")?;
+    let app = spec_apps::spec_apps()
+        .into_iter()
+        .find(|a| a.name() == name)
+        .ok_or_else(|| format!("unknown app {name:?}"))?;
+    let run = app.run(&RunConfig::default());
+    let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    io::write_events(&run.addresses, file).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "ran {name}: {} loop-call events written to {out}\n",
+        run.addresses.len()
+    ))
+}
+
+fn analyze(flags: &Flags) -> Result<String, String> {
+    let trace = load_events(flags)?;
+    let scales: Vec<usize> = match flags.get("scales") {
+        None => vec![8, 64, 512],
+        Some(s) => s
+            .split(',')
+            .map(|p| p.trim().parse().map_err(|_| format!("bad scale {p:?}")))
+            .collect::<Result<_, _>>()?,
+    };
+    let mut bank =
+        MultiScaleDpd::new(&scales).map_err(|e| format!("invalid scales: {e}"))?;
+    for &s in &trace.values {
+        bank.push(s);
+    }
+    let mut out = String::new();
+    writeln!(out, "trace {:?}: {} events", trace.name, trace.len()).unwrap();
+    writeln!(out, "detected periodicities: {:?}", bank.detected_periods()).unwrap();
+    for dpd in bank.scales() {
+        let st = dpd.stats();
+        writeln!(
+            out,
+            "  window {:4}: periods {:?}, {} boundaries, {} losses",
+            dpd.window(),
+            st.detected_periods(),
+            st.boundaries,
+            st.losses
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+fn spectrum(flags: &Flags) -> Result<String, String> {
+    let trace = load_events(flags)?;
+    let window = flags.get_usize("window", 128)?;
+    let det = FrameDetector::events(window);
+    let report = det
+        .analyze(&trace.values)
+        .map_err(|e| format!("analysis failed: {e}"))?;
+    let mut out = String::new();
+    writeln!(out, "d(m) over the trailing {window}-sample frame:").unwrap();
+    out.push_str(&report.spectrum.ascii_chart(50));
+    writeln!(out, "zeros (exact periods): {:?}", report.spectrum.zeros()).unwrap();
+    writeln!(out, "fundamental: {:?}", report.period()).unwrap();
+    Ok(out)
+}
+
+fn segment(flags: &Flags) -> Result<String, String> {
+    let trace = load_events(flags)?;
+    let window = flags.get_usize("window", 64)?;
+    let (segments, marks) = segment_events(&trace.values, window);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} segments, {} period-start marks (window {window}):",
+        segments.len(),
+        marks.len()
+    )
+    .unwrap();
+    for s in &segments {
+        writeln!(
+            out,
+            "  [{:>8}, {:>8})  period {:>5}  {:>6} periods",
+            s.start, s.end, s.period, s.periods
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn flags_parse_positional_and_options() {
+        let f = Flags::parse(&argv("file.txt --window 64 --kind nested")).unwrap();
+        assert_eq!(f.positional, vec!["file.txt"]);
+        assert_eq!(f.get("window"), Some("64"));
+        assert_eq!(f.get("kind"), Some("nested"));
+        assert_eq!(f.get("missing"), None);
+    }
+
+    #[test]
+    fn flags_last_occurrence_wins() {
+        let f = Flags::parse(&argv("--window 8 --window 16")).unwrap();
+        assert_eq!(f.get_usize("window", 0).unwrap(), 16);
+    }
+
+    #[test]
+    fn flags_missing_value_errors() {
+        assert!(Flags::parse(&argv("--window")).is_err());
+    }
+
+    #[test]
+    fn flags_bad_number_errors() {
+        let f = Flags::parse(&argv("--window abc")).unwrap();
+        assert!(f.get_usize("window", 0).is_err());
+    }
+
+    #[test]
+    fn dispatch_unknown_command() {
+        assert!(dispatch(&argv("frobnicate")).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn generate_analyze_roundtrip() {
+        let dir = std::env::temp_dir().join("dpd-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("periodic.trace");
+        let path_s = path.to_str().unwrap().to_string();
+
+        let out = dispatch(&argv(&format!(
+            "generate --kind periodic --period 7 --len 2000 --out {path_s}"
+        )))
+        .unwrap();
+        assert!(out.contains("2000 events"));
+
+        let out = dispatch(&argv(&format!("analyze {path_s}"))).unwrap();
+        assert!(out.contains("detected periodicities: [7]"), "{out}");
+
+        let out = dispatch(&argv(&format!("spectrum {path_s} --window 32"))).unwrap();
+        assert!(out.contains("fundamental: Some(7)"), "{out}");
+
+        let out = dispatch(&argv(&format!("segment {path_s} --window 16"))).unwrap();
+        assert!(out.contains("period     7"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn generate_nested_analyzes_as_nested() {
+        let dir = std::env::temp_dir().join("dpd-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("nested.trace");
+        let path_s = path.to_str().unwrap().to_string();
+        dispatch(&argv(&format!(
+            "generate --kind nested --len 4000 --out {path_s}"
+        )))
+        .unwrap();
+        let out = dispatch(&argv(&format!("analyze {path_s} --scales 8,64,512"))).unwrap();
+        // nested_events(5, 10, 11, _): outer period 115, inner 10.
+        assert!(out.contains("[10, 115]"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn generate_requires_out() {
+        assert!(dispatch(&argv("generate --kind periodic")).is_err());
+    }
+
+    #[test]
+    fn analyze_missing_file_errors() {
+        assert!(dispatch(&argv("analyze /nonexistent/path.trace")).is_err());
+    }
+
+    #[test]
+    fn apps_unknown_name_errors() {
+        assert!(dispatch(&argv("apps --app nosuch --out /tmp/x.trace")).is_err());
+    }
+
+    #[test]
+    fn zero_period_rejected() {
+        assert!(dispatch(&argv("generate --kind periodic --period 0 --out /tmp/x")).is_err());
+    }
+}

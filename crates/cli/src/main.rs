@@ -1,0 +1,30 @@
+//! `dpd` — command-line front end to the Dynamic Periodicity Detector.
+//!
+//! ```text
+//! dpd generate --kind periodic --period 6 --len 5000 --out trace.txt
+//! dpd generate --kind nested --out trace.txt
+//! dpd apps --app tomcatv --out tomcatv.trace
+//! dpd analyze trace.txt [--scales 8,64,512]
+//! dpd spectrum trace.txt [--window 128]
+//! dpd segment trace.txt [--window 64]
+//! ```
+
+use std::process::ExitCode;
+
+mod cmd;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cmd::dispatch(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("dpd: {e}");
+            eprintln!();
+            eprintln!("{}", cmd::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Dynamic window-size adaptation.
+//!
+//! Paper §3.1: "For an unknown data stream, the window size N of the
+//! periodicity detector should be set initially to a large value, in order to
+//! be able to capture large periodicities. Once a satisfying periodicity is
+//! detected, the window size may be reduced dynamically." [`WindowTuner`]
+//! implements that policy and [`TunedDpd`] bundles it with a streaming
+//! detector: shrink to a small multiple of the locked period, grow back
+//! toward the maximum when the lock is lost.
+
+use crate::streaming::{SegmentEvent, StreamingConfig, StreamingDpd};
+
+/// Window adaptation policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunerPolicy {
+    /// Lower bound on the window size.
+    pub min_window: usize,
+    /// Upper bound on the window size (the "large initial value").
+    pub max_window: usize,
+    /// After locking period `p`, resize the window to `p * period_multiple`
+    /// (clamped to the bounds). The multiple must be at least 1; 2 keeps a
+    /// safety margin so the shrunken window still spans two periods.
+    pub period_multiple: usize,
+    /// Only resize when the target differs from the current window by at
+    /// least this factor (avoids thrashing on close sizes).
+    pub hysteresis: f64,
+    /// Number of boundary confirmations required before shrinking.
+    pub confirmations: u64,
+}
+
+impl Default for TunerPolicy {
+    fn default() -> Self {
+        TunerPolicy {
+            min_window: 8,
+            max_window: 1024,
+            period_multiple: 2,
+            hysteresis: 2.0,
+            confirmations: 3,
+        }
+    }
+}
+
+/// Decision produced by the tuner for one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TuneAction {
+    /// Keep the current window.
+    Keep,
+    /// Resize the window to the given size.
+    Resize(usize),
+}
+
+/// Stateless-ish policy engine deciding window resizes from events.
+#[derive(Debug, Clone)]
+pub struct WindowTuner {
+    policy: TunerPolicy,
+    confirmed: u64,
+    shrunk_for: Option<usize>,
+}
+
+impl WindowTuner {
+    /// New tuner with the given policy.
+    pub fn new(policy: TunerPolicy) -> Self {
+        WindowTuner {
+            policy,
+            confirmed: 0,
+            shrunk_for: None,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> TunerPolicy {
+        self.policy
+    }
+
+    /// Decide what to do after `event` arrived while the detector window was
+    /// `current_window`.
+    pub fn decide(&mut self, current_window: usize, event: SegmentEvent) -> TuneAction {
+        match event {
+            SegmentEvent::PeriodStart { period, .. } => {
+                if self.shrunk_for == Some(period) {
+                    return TuneAction::Keep;
+                }
+                self.confirmed += 1;
+                if self.confirmed < self.policy.confirmations {
+                    return TuneAction::Keep;
+                }
+                let target = (period * self.policy.period_multiple)
+                    .clamp(self.policy.min_window, self.policy.max_window);
+                let ratio = current_window as f64 / target as f64;
+                if ratio >= self.policy.hysteresis {
+                    self.shrunk_for = Some(period);
+                    self.confirmed = 0;
+                    TuneAction::Resize(target)
+                } else {
+                    // Window already appropriately sized for this period.
+                    self.shrunk_for = Some(period);
+                    self.confirmed = 0;
+                    TuneAction::Keep
+                }
+            }
+            SegmentEvent::PeriodLost { .. } => {
+                self.confirmed = 0;
+                self.shrunk_for = None;
+                if current_window < self.policy.max_window {
+                    TuneAction::Resize(self.policy.max_window)
+                } else {
+                    TuneAction::Keep
+                }
+            }
+            SegmentEvent::None => TuneAction::Keep,
+        }
+    }
+}
+
+/// A streaming event-DPD with automatic window adaptation.
+#[derive(Debug, Clone)]
+pub struct TunedDpd {
+    dpd: StreamingDpd<i64, crate::metric::EventMetric>,
+    tuner: WindowTuner,
+    resizes: u64,
+}
+
+impl TunedDpd {
+    /// Create a tuned detector starting at the policy's maximum window.
+    pub fn new(policy: TunerPolicy) -> Self {
+        let dpd = StreamingDpd::events(StreamingConfig::with_window(policy.max_window));
+        TunedDpd {
+            dpd,
+            tuner: WindowTuner::new(policy),
+            resizes: 0,
+        }
+    }
+
+    /// Push one sample; the window may be resized as a side effect.
+    pub fn push(&mut self, sample: i64) -> SegmentEvent {
+        let event = self.dpd.push(sample);
+        if let TuneAction::Resize(n) = self.tuner.decide(self.dpd.window(), event) {
+            // A resize drops the lock; the detector re-confirms quickly
+            // because the (smaller) window refills within ~n samples.
+            self.dpd
+                .set_window(n)
+                .expect("tuner targets are validated by policy bounds");
+            self.resizes += 1;
+        }
+        event
+    }
+
+    /// Current window size.
+    pub fn window(&self) -> usize {
+        self.dpd.window()
+    }
+
+    /// Number of resizes performed.
+    pub fn resizes(&self) -> u64 {
+        self.resizes
+    }
+
+    /// Access the wrapped detector.
+    pub fn inner(&self) -> &StreamingDpd<i64, crate::metric::EventMetric> {
+        &self.dpd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_after_confirmed_lock() {
+        let policy = TunerPolicy {
+            min_window: 4,
+            max_window: 256,
+            period_multiple: 2,
+            hysteresis: 2.0,
+            confirmations: 3,
+        };
+        let mut tuned = TunedDpd::new(policy);
+        assert_eq!(tuned.window(), 256);
+        for i in 0..2000usize {
+            tuned.push([1i64, 2, 3, 4, 5][i % 5]);
+        }
+        // Locked period 5 -> target 10, clamped >= 4: window should be 10.
+        assert_eq!(tuned.window(), 10);
+        assert!(tuned.resizes() >= 1);
+        // Detector still works at the small window.
+        assert_eq!(tuned.inner().locked_period(), Some(5));
+    }
+
+    #[test]
+    fn grows_back_on_loss() {
+        let policy = TunerPolicy {
+            min_window: 4,
+            max_window: 128,
+            period_multiple: 2,
+            hysteresis: 2.0,
+            confirmations: 1,
+        };
+        let mut tuned = TunedDpd::new(policy);
+        for i in 0..600usize {
+            tuned.push([1i64, 2, 3][i % 3]);
+        }
+        assert_eq!(tuned.window(), 6);
+        // Break the periodicity: aperiodic ramp.
+        for i in 0..400i64 {
+            tuned.push(1000 + i);
+        }
+        assert_eq!(tuned.window(), 128, "window must grow back after loss");
+    }
+
+    #[test]
+    fn tuner_respects_confirmations() {
+        let mut tuner = WindowTuner::new(TunerPolicy {
+            confirmations: 2,
+            ..TunerPolicy::default()
+        });
+        let start = SegmentEvent::PeriodStart { period: 5, position: 0 };
+        assert_eq!(tuner.decide(1024, start), TuneAction::Keep);
+        assert_eq!(tuner.decide(1024, start), TuneAction::Resize(10));
+    }
+
+    #[test]
+    fn tuner_hysteresis_blocks_small_resizes() {
+        let mut tuner = WindowTuner::new(TunerPolicy {
+            confirmations: 1,
+            hysteresis: 2.0,
+            ..TunerPolicy::default()
+        });
+        // period 300 -> target 600; window 1024 is < 2x of 600 -> keep.
+        let e = SegmentEvent::PeriodStart { period: 300, position: 0 };
+        assert_eq!(tuner.decide(1024, e), TuneAction::Keep);
+    }
+
+    #[test]
+    fn tuner_clamps_to_min_window() {
+        let mut tuner = WindowTuner::new(TunerPolicy {
+            min_window: 16,
+            confirmations: 1,
+            ..TunerPolicy::default()
+        });
+        let e = SegmentEvent::PeriodStart { period: 2, position: 0 };
+        assert_eq!(tuner.decide(1024, e), TuneAction::Resize(16));
+    }
+
+    #[test]
+    fn none_event_keeps_window() {
+        let mut tuner = WindowTuner::new(TunerPolicy::default());
+        assert_eq!(tuner.decide(1024, SegmentEvent::None), TuneAction::Keep);
+    }
+
+    #[test]
+    fn no_redundant_shrink_for_same_period() {
+        let mut tuner = WindowTuner::new(TunerPolicy {
+            confirmations: 1,
+            ..TunerPolicy::default()
+        });
+        let e = SegmentEvent::PeriodStart { period: 5, position: 0 };
+        assert_eq!(tuner.decide(1024, e), TuneAction::Resize(10));
+        // Same period again at the already-shrunk window: keep.
+        assert_eq!(tuner.decide(10, e), TuneAction::Keep);
+    }
+}

@@ -1,0 +1,227 @@
+//! Baseline periodicity estimator: windowed autocorrelation.
+//!
+//! The classic alternative to the paper's L1/sign distance is the (biased)
+//! autocorrelation function, standard in speech processing (the paper cites
+//! Deller/Proakis/Hansen's text, where both appear as period estimators):
+//!
+//! ```text
+//! r(m) = Σ_{n} x~[n] * x~[n-m]        x~ = x - mean(window)
+//! ```
+//!
+//! with the periodicity estimated as the delay of the highest *peak* of
+//! `r(m)` (rather than the lowest valley of `d(m)`). We implement it as an
+//! ablation baseline so the benches can compare cost and accuracy against
+//! the DPD's metric: autocorrelation needs multiplications and a mean
+//! estimate where the DPD needs only subtract/abs/compare, and it has no
+//! exact-zero detection for event streams — the reasons the paper's design
+//! is preferable in a run-time tool.
+
+use crate::minima::Minimum;
+
+/// Result of an autocorrelation analysis.
+#[derive(Debug, Clone)]
+pub struct AutocorrReport {
+    /// Normalized autocorrelation `r(m)/r(0)` for `m = 1..=m_max`.
+    pub values: Vec<f64>,
+    /// Detected periodicity (highest significant peak), if any.
+    pub period: Option<usize>,
+    /// Peak height at the detected period (in `[-1, 1]`).
+    pub peak: f64,
+}
+
+/// Windowed autocorrelation periodicity estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct AutocorrDetector {
+    /// Window size `N` (pairs summed per delay).
+    pub frame: usize,
+    /// Largest candidate delay.
+    pub m_max: usize,
+    /// Minimum normalized peak height to accept (e.g. `0.5`).
+    pub min_peak: f64,
+}
+
+impl AutocorrDetector {
+    /// Detector with `M = N` and a 0.5 acceptance threshold.
+    pub fn new(frame: usize) -> Self {
+        AutocorrDetector {
+            frame,
+            m_max: frame,
+            min_peak: 0.5,
+        }
+    }
+
+    /// Analyse the trailing frame of `data`.
+    ///
+    /// Returns `None` when the data is shorter than `N + 1` samples.
+    pub fn analyze(&self, data: &[f64]) -> Option<AutocorrReport> {
+        let n = self.frame;
+        if n == 0 || data.len() < n + 1 {
+            return None;
+        }
+        let end = data.len();
+        // Mean over the window + the deepest history actually used.
+        let hist = (n + self.m_max).min(end);
+        let mean = data[end - hist..].iter().sum::<f64>() / hist as f64;
+        // r(0) over the frame for normalization.
+        let r0: f64 = data[end - n..]
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum();
+        if r0 <= 0.0 {
+            // Constant window: every delay correlates perfectly; define as
+            // "no periodicity" (nothing to measure).
+            return Some(AutocorrReport {
+                values: vec![0.0; self.m_max],
+                period: None,
+                peak: 0.0,
+            });
+        }
+        let mut values = Vec::with_capacity(self.m_max);
+        for m in 1..=self.m_max {
+            if end < n + m {
+                values.push(f64::NEG_INFINITY);
+                continue;
+            }
+            let mut r = 0.0;
+            for i in (end - n)..end {
+                r += (data[i] - mean) * (data[i - m] - mean);
+            }
+            values.push(r / r0);
+        }
+        // Highest local peak above the threshold.
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..values.len() {
+            let v = values[i];
+            if !v.is_finite() || v < self.min_peak {
+                continue;
+            }
+            let left = if i == 0 { f64::NEG_INFINITY } else { values[i - 1] };
+            let right = if i + 1 == values.len() {
+                f64::NEG_INFINITY
+            } else {
+                values[i + 1]
+            };
+            if v >= left && v >= right {
+                match best {
+                    None => best = Some((i + 1, v)),
+                    Some((_, bv)) if v > bv => best = Some((i + 1, v)),
+                    _ => {}
+                }
+            }
+        }
+        Some(AutocorrReport {
+            values,
+            period: best.map(|(m, _)| m),
+            peak: best.map(|(_, v)| v).unwrap_or(0.0),
+        })
+    }
+
+    /// Convenience: express the detected peak as a [`Minimum`]-compatible
+    /// record for shared reporting (`value` stores `1 - peak`).
+    pub fn as_minimum(report: &AutocorrReport) -> Option<Minimum> {
+        report.period.map(|delay| Minimum {
+            delay,
+            value: 1.0 - report.peak,
+            depth: report.peak.clamp(0.0, 1.0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn periodic(period: usize, len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| (i as f64 * std::f64::consts::TAU / period as f64).sin() * 5.0)
+            .collect()
+    }
+
+    #[test]
+    fn finds_sine_period() {
+        let data = periodic(8, 200);
+        let det = AutocorrDetector::new(64);
+        let report = det.analyze(&data).unwrap();
+        assert_eq!(report.period, Some(8));
+        assert!(report.peak > 0.9, "peak {}", report.peak);
+    }
+
+    #[test]
+    fn finds_step_pattern_period() {
+        let shape = [1.0, 1.0, 16.0, 16.0, 16.0, 8.0];
+        let data: Vec<f64> = (0..240).map(|i| shape[i % 6]).collect();
+        let det = AutocorrDetector::new(48);
+        let report = det.analyze(&data).unwrap();
+        assert_eq!(report.period, Some(6));
+    }
+
+    #[test]
+    fn constant_window_has_no_period() {
+        let data = vec![3.0; 100];
+        let det = AutocorrDetector::new(32);
+        let report = det.analyze(&data).unwrap();
+        assert_eq!(report.period, None);
+    }
+
+    #[test]
+    fn too_short_returns_none() {
+        let det = AutocorrDetector::new(64);
+        assert!(det.analyze(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn white_noise_below_threshold() {
+        // Deterministic pseudo-noise via a LCG.
+        let mut x = 12345u64;
+        let data: Vec<f64> = (0..300)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((x >> 33) as f64 / 2f64.powi(31)) - 1.0
+            })
+            .collect();
+        let det = AutocorrDetector::new(128);
+        let report = det.analyze(&data).unwrap();
+        if let Some(p) = report.period {
+            // If anything passes, the peak must be marginal.
+            assert!(report.peak < 0.6, "noise produced period {p} at {}", report.peak);
+        }
+    }
+
+    #[test]
+    fn agrees_with_dpd_on_ft_like_trace() {
+        // The burst shape the FT app produces: both estimators must agree.
+        let shape = crate_test_burst(44);
+        let data: Vec<f64> = (0..880).map(|i| shape[i % 44]).collect();
+        let auto = AutocorrDetector::new(200).analyze(&data).unwrap();
+        let dpd = crate::detector::FrameDetector::magnitudes(200, 0.5)
+            .analyze(&data)
+            .unwrap();
+        assert_eq!(auto.period, Some(44));
+        assert_eq!(dpd.period(), Some(44));
+    }
+
+    fn crate_test_burst(period: usize) -> Vec<f64> {
+        let mut shape = vec![1.0; period];
+        for (i, v) in shape.iter_mut().enumerate().take(period) {
+            if (4..20).contains(&i) {
+                *v = 16.0;
+            } else if (24..32).contains(&i) {
+                *v = 8.0;
+            }
+        }
+        shape
+    }
+
+    #[test]
+    fn as_minimum_converts() {
+        let r = AutocorrReport {
+            values: vec![0.1, 0.9],
+            period: Some(2),
+            peak: 0.9,
+        };
+        let m = AutocorrDetector::as_minimum(&r).unwrap();
+        assert_eq!(m.delay, 2);
+        assert!((m.value - 0.1).abs() < 1e-12);
+        assert!((m.depth - 0.9).abs() < 1e-12);
+    }
+}

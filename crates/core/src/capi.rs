@@ -1,0 +1,169 @@
+//! The paper-faithful DPD interface (Table 1).
+//!
+//! | Interface                            | Description                            |
+//! |--------------------------------------|----------------------------------------|
+//! | `int DPD (long sample, int *period)` | Periodicity detection and segmentation |
+//! | `void DPDWindowSize (int size)`      | Adjust data window size                |
+//!
+//! [`Dpd`] reproduces these semantics on safe Rust: [`Dpd::dpd`] takes the
+//! next sample (e.g. the address of an encapsulated parallel-loop function,
+//! §5.1), writes the detected periodicity through `period`, and returns
+//! nonzero exactly when the sample starts a period — the condition on which
+//! the SelfAnalyzer initialises a parallel region (Fig. 6).
+
+use crate::streaming::{SegmentEvent, StreamingConfig, StreamingDpd};
+
+/// Default initial window size: "the window size N of the periodicity
+/// detector should be set initially to a large value" (§3.1); the paper used
+/// sizes up to 1024.
+pub const DEFAULT_WINDOW: usize = 1024;
+
+/// The DPD object behind the paper's C-style interface.
+#[derive(Debug, Clone)]
+pub struct Dpd {
+    inner: StreamingDpd<i64, crate::metric::EventMetric>,
+}
+
+impl Dpd {
+    /// Create a DPD with the default (large) window.
+    pub fn new() -> Self {
+        Dpd::with_window(DEFAULT_WINDOW)
+    }
+
+    /// Create a DPD with an explicit window size.
+    ///
+    /// # Panics
+    /// Panics when `window == 0` (mirrors the C implementation's assert).
+    pub fn with_window(window: usize) -> Self {
+        assert!(window > 0, "DPD window size must be non-zero");
+        Dpd {
+            inner: StreamingDpd::events(StreamingConfig::with_window(window)),
+        }
+    }
+
+    /// `int DPD(long sample, int *period)` — periodicity detection and
+    /// segmentation.
+    ///
+    /// Feeds `sample` to the detector. When the sample starts a period the
+    /// detected periodicity is stored in `*period` and a nonzero value is
+    /// returned; otherwise `*period` is left untouched and 0 is returned.
+    pub fn dpd(&mut self, sample: i64, period: &mut i32) -> i32 {
+        match self.inner.push(sample) {
+            SegmentEvent::PeriodStart { period: p, .. } => {
+                *period = p as i32;
+                1
+            }
+            _ => 0,
+        }
+    }
+
+    /// `void DPDWindowSize(int size)` — adjust data window size.
+    ///
+    /// Sizes `<= 0` are ignored (defensive, like the C original); any active
+    /// lock is dropped and re-confirmed under the new window.
+    pub fn dpd_window_size(&mut self, size: i32) {
+        if size > 0 {
+            let _ = self.inner.set_window(size as usize);
+        }
+    }
+
+    /// Current window size `N`.
+    pub fn window(&self) -> usize {
+        self.inner.window()
+    }
+
+    /// Borrow the underlying streaming detector (for statistics and
+    /// diagnostics beyond the paper's minimal interface).
+    pub fn inner(&self) -> &StreamingDpd<i64, crate::metric::EventMetric> {
+        &self.inner
+    }
+}
+
+impl Default for Dpd {
+    fn default() -> Self {
+        Dpd::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_contract_periodic_stream() {
+        let mut dpd = Dpd::with_window(16);
+        let mut period: i32 = 0;
+        let mut nonzero_returns = 0;
+        for i in 0..200usize {
+            let sample = [0x1000i64, 0x2000, 0x3000, 0x4000, 0x5000][i % 5];
+            if dpd.dpd(sample, &mut period) != 0 {
+                nonzero_returns += 1;
+                assert_eq!(period, 5);
+            }
+        }
+        assert!(nonzero_returns > 10);
+    }
+
+    #[test]
+    fn period_untouched_when_return_is_zero() {
+        let mut dpd = Dpd::with_window(16);
+        let mut period: i32 = -7;
+        // Aperiodic stream: return must stay 0 and period must stay -7.
+        for i in 0..100i64 {
+            assert_eq!(dpd.dpd(i, &mut period), 0);
+        }
+        assert_eq!(period, -7);
+    }
+
+    #[test]
+    fn window_size_adjustment() {
+        let mut dpd = Dpd::new();
+        assert_eq!(dpd.window(), DEFAULT_WINDOW);
+        dpd.dpd_window_size(64);
+        assert_eq!(dpd.window(), 64);
+        // Non-positive sizes ignored.
+        dpd.dpd_window_size(0);
+        dpd.dpd_window_size(-5);
+        assert_eq!(dpd.window(), 64);
+    }
+
+    #[test]
+    fn shrinking_window_enables_faster_relock() {
+        let mut dpd = Dpd::with_window(512);
+        let mut period = 0;
+        // Feed exactly enough of a period-6 stream to lock with N=512:
+        // needs 512 + 6 samples.
+        let mut first_lock = None;
+        for i in 0..1200usize {
+            let s = [1i64, 2, 3, 4, 5, 6][i % 6];
+            if dpd.dpd(s, &mut period) != 0 && first_lock.is_none() {
+                first_lock = Some(i);
+            }
+        }
+        let first_lock = first_lock.expect("must lock");
+        assert!(first_lock >= 512, "large window cannot lock before filling");
+        // Shrink and verify the detector re-locks much faster.
+        dpd.dpd_window_size(12);
+        let mut relock = None;
+        for i in 0..100usize {
+            let s = [1i64, 2, 3, 4, 5, 6][i % 6];
+            if dpd.dpd(s, &mut period) != 0 {
+                relock = Some(i);
+                break;
+            }
+        }
+        assert!(relock.is_some(), "must re-lock after shrink");
+        assert!(relock.unwrap() < 40, "small window locks quickly");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_window_panics() {
+        let _ = Dpd::with_window(0);
+    }
+
+    #[test]
+    fn default_is_new() {
+        assert_eq!(Dpd::default().window(), DEFAULT_WINDOW);
+    }
+}

@@ -1,0 +1,178 @@
+//! Confidence scoring for detected periodicities.
+//!
+//! The paper considers a periodicity "satisfying" (§3.1) before shrinking the
+//! window; this module quantifies that judgement. Confidence combines the
+//! *shape* evidence (depth of the `d(m)` minimum relative to the rest of the
+//! spectrum) with *temporal* evidence (how reliably period boundaries keep
+//! verifying as the stream advances).
+
+use crate::minima::Minimum;
+use crate::spectrum::Spectrum;
+
+/// Instantaneous confidence of a single detection from its spectrum shape.
+///
+/// Exact zeros score 1. Otherwise the score is the minimum's depth
+/// (`1 - d(m)/mean`) damped by how many competing minima of similar depth
+/// exist: a unique deep valley is trustworthy, a comb of equal dips is not.
+pub fn shape_confidence(spectrum: &Spectrum, detection: &Minimum, competitors: &[Minimum]) -> f64 {
+    if detection.value == 0.0 {
+        return 1.0;
+    }
+    let mean = match spectrum.mean() {
+        Some(m) if m > 0.0 => m,
+        _ => return 0.0,
+    };
+    let depth = (1.0 - detection.value / mean).clamp(0.0, 1.0);
+    let similar = competitors
+        .iter()
+        .filter(|c| c.delay != detection.delay && (c.depth - detection.depth).abs() < 0.1)
+        .count();
+    depth / (1.0 + similar as f64)
+}
+
+/// Rolling confidence over the lifetime of a lock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceTracker {
+    /// Period being tracked.
+    pub period: usize,
+    confirmed: u64,
+    missed: u64,
+    /// Exponentially weighted confidence in `[0, 1]`.
+    ewma: f64,
+    alpha: f64,
+}
+
+impl ConfidenceTracker {
+    /// Start tracking a fresh lock on `period`.
+    pub fn new(period: usize) -> Self {
+        ConfidenceTracker {
+            period,
+            confirmed: 0,
+            missed: 0,
+            ewma: 0.5,
+            alpha: 0.2,
+        }
+    }
+
+    /// Record a verified period boundary.
+    pub fn confirm(&mut self) {
+        self.confirmed += 1;
+        self.ewma += self.alpha * (1.0 - self.ewma);
+    }
+
+    /// Record a failed boundary verification.
+    pub fn miss(&mut self) {
+        self.missed += 1;
+        self.ewma += self.alpha * (0.0 - self.ewma);
+    }
+
+    /// Smoothed confidence in `[0, 1]`.
+    pub fn confidence(&self) -> f64 {
+        self.ewma
+    }
+
+    /// Raw boundary verification rate; `None` before any boundary.
+    pub fn verification_rate(&self) -> Option<f64> {
+        let total = self.confirmed + self.missed;
+        if total == 0 {
+            None
+        } else {
+            Some(self.confirmed as f64 / total as f64)
+        }
+    }
+
+    /// Boundaries observed (confirmed + missed).
+    pub fn boundaries(&self) -> u64 {
+        self.confirmed + self.missed
+    }
+
+    /// `true` once confidence is high enough to act on (e.g. shrink the
+    /// window, start measuring an iteration): at least `k` boundaries and
+    /// smoothed confidence above `threshold`.
+    pub fn is_satisfying(&self, k: u64, threshold: f64) -> bool {
+        self.boundaries() >= k && self.ewma >= threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(values: Vec<f64>, frame: usize) -> Spectrum {
+        let pairs = vec![frame as u32; values.len()];
+        Spectrum::from_parts(values, pairs, frame)
+    }
+
+    #[test]
+    fn exact_zero_scores_one() {
+        let s = spec(vec![1.0, 0.0, 1.0], 8);
+        let m = Minimum { delay: 2, value: 0.0, depth: 1.0 };
+        assert_eq!(shape_confidence(&s, &m, &[m]), 1.0);
+    }
+
+    #[test]
+    fn unique_deep_valley_scores_high() {
+        let s = spec(vec![1.0, 1.0, 0.05, 1.0, 1.0], 8);
+        let m = Minimum { delay: 3, value: 0.05, depth: 0.94 };
+        let c = shape_confidence(&s, &m, &[m]);
+        assert!(c > 0.8, "confidence {c}");
+    }
+
+    #[test]
+    fn competing_minima_damp_confidence() {
+        let s = spec(vec![1.0, 0.1, 1.0, 0.1, 1.0, 0.1], 8);
+        let a = Minimum { delay: 2, value: 0.1, depth: 0.8 };
+        let b = Minimum { delay: 4, value: 0.1, depth: 0.8 };
+        let c = Minimum { delay: 6, value: 0.1, depth: 0.8 };
+        let solo = shape_confidence(&s, &a, &[a]);
+        let crowded = shape_confidence(&s, &a, &[a, b, c]);
+        assert!(crowded < solo, "{crowded} !< {solo}");
+    }
+
+    #[test]
+    fn degenerate_spectrum_scores_zero() {
+        let s = spec(vec![0.0; 4], 8);
+        // all-zero spectrum: mean is 0 -> inexact minimum unfalsifiable
+        let m = Minimum { delay: 1, value: 0.1, depth: 0.0 };
+        assert_eq!(shape_confidence(&s, &m, &[m]), 0.0);
+    }
+
+    #[test]
+    fn tracker_converges_up_on_confirms() {
+        let mut t = ConfidenceTracker::new(5);
+        for _ in 0..30 {
+            t.confirm();
+        }
+        assert!(t.confidence() > 0.95);
+        assert_eq!(t.verification_rate(), Some(1.0));
+        assert!(t.is_satisfying(10, 0.9));
+    }
+
+    #[test]
+    fn tracker_converges_down_on_misses() {
+        let mut t = ConfidenceTracker::new(5);
+        for _ in 0..30 {
+            t.miss();
+        }
+        assert!(t.confidence() < 0.05);
+        assert!(!t.is_satisfying(10, 0.5));
+    }
+
+    #[test]
+    fn tracker_mixed_rate() {
+        let mut t = ConfidenceTracker::new(3);
+        t.confirm();
+        t.confirm();
+        t.miss();
+        assert_eq!(t.boundaries(), 3);
+        let r = t.verification_rate().unwrap();
+        assert!((r - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracker_before_any_boundary() {
+        let t = ConfidenceTracker::new(3);
+        assert_eq!(t.verification_rate(), None);
+        assert!(!t.is_satisfying(1, 0.0));
+    }
+}

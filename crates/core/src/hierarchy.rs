@@ -1,0 +1,177 @@
+//! Hierarchical segmentation of nested iterative structures.
+//!
+//! Figure 7 of the paper shows hydro2d/turb3d streams containing "a large
+//! iterative pattern within which smaller iterative patterns appear". The
+//! multi-scale bank reports those periodicities independently; this module
+//! reconstructs the *containment* relation: which inner segments live
+//! inside which outer periods — the structure a performance tool needs to
+//! attribute measurements to the right loop level.
+
+use crate::segmentation::{Segment, Segmenter};
+use crate::streaming::MultiScaleDpd;
+
+/// A segment annotated with its nesting level (0 = outermost detected).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeveledSegment {
+    /// The underlying segment.
+    pub segment: Segment,
+    /// Nesting level: 0 for segments of the largest period, increasing
+    /// inward.
+    pub level: usize,
+}
+
+/// Result of hierarchical analysis.
+#[derive(Debug, Clone, Default)]
+pub struct Hierarchy {
+    /// All segments from all scales, annotated with levels, stream order
+    /// within each level.
+    pub segments: Vec<LeveledSegment>,
+    /// Distinct periods per level, outermost first.
+    pub level_periods: Vec<usize>,
+}
+
+impl Hierarchy {
+    /// Segments at a given level.
+    pub fn at_level(&self, level: usize) -> Vec<Segment> {
+        self.segments
+            .iter()
+            .filter(|s| s.level == level)
+            .map(|s| s.segment)
+            .collect()
+    }
+
+    /// Number of levels found.
+    pub fn depth(&self) -> usize {
+        self.level_periods.len()
+    }
+
+    /// Inner segments (strictly) contained in `outer`.
+    pub fn children_of(&self, outer: &Segment) -> Vec<Segment> {
+        self.segments
+            .iter()
+            .map(|s| s.segment)
+            .filter(|s| s.period < outer.period && s.start >= outer.start && s.end <= outer.end)
+            .collect()
+    }
+}
+
+/// Build a [`Hierarchy`] from an event stream using a multi-scale bank.
+pub fn analyze_hierarchy(data: &[i64], windows: &[usize]) -> crate::Result<Hierarchy> {
+    let mut bank = MultiScaleDpd::new(windows)?;
+    // One segmenter per scale.
+    let mut segmenters: Vec<Segmenter> = windows.iter().map(|_| Segmenter::new()).collect();
+    for &s in data {
+        let event = bank.push(s);
+        for (w, e) in event.events {
+            if let Some(idx) = windows.iter().position(|&win| win == w) {
+                segmenters[idx].observe(e);
+            }
+        }
+    }
+    // Collect all segments, deduplicate by (start, period): different
+    // scales can lock the same periodicity.
+    let mut all: Vec<Segment> = Vec::new();
+    for seg in segmenters {
+        for s in seg.finish() {
+            if !all
+                .iter()
+                .any(|o| o.period == s.period && o.start == s.start)
+            {
+                all.push(s);
+            }
+        }
+    }
+    // Levels: distinct periods, descending (largest = level 0).
+    let mut periods: Vec<usize> = all.iter().map(|s| s.period).collect();
+    periods.sort_unstable_by(|a, b| b.cmp(a));
+    periods.dedup();
+    let segments: Vec<LeveledSegment> = all
+        .into_iter()
+        .map(|segment| LeveledSegment {
+            level: periods
+                .iter()
+                .position(|&p| p == segment.period)
+                .expect("period registered"),
+            segment,
+        })
+        .collect();
+    Ok(Hierarchy {
+        segments,
+        level_periods: periods,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Stream with outer period 40 = 8 repeats of inner 4 + 8 tail values.
+    fn nested_stream(outers: usize) -> Vec<i64> {
+        let mut one: Vec<i64> = Vec::new();
+        for _ in 0..8 {
+            one.extend([1i64, 2, 3, 4]);
+        }
+        one.extend(100..108);
+        (0..one.len() * outers).map(|i| one[i % one.len()]).collect()
+    }
+
+    #[test]
+    fn two_level_hierarchy() {
+        let data = nested_stream(12);
+        let h = analyze_hierarchy(&data, &[8, 128]).unwrap();
+        assert_eq!(h.depth(), 2);
+        assert_eq!(h.level_periods, vec![40, 4]);
+        assert!(!h.at_level(0).is_empty());
+        assert!(!h.at_level(1).is_empty());
+    }
+
+    #[test]
+    fn children_are_contained_in_outer_period() {
+        let data = nested_stream(12);
+        let h = analyze_hierarchy(&data, &[8, 128]).unwrap();
+        let outers = h.at_level(0);
+        let outer = outers.first().unwrap();
+        let children = h.children_of(outer);
+        for c in &children {
+            assert!(c.start >= outer.start && c.end <= outer.end);
+            assert_eq!(c.period, 4);
+        }
+        assert!(!children.is_empty(), "inner segments inside the outer one");
+    }
+
+    #[test]
+    fn flat_stream_has_single_level() {
+        let data: Vec<i64> = (0..400).map(|i| [7i64, 8, 9][i % 3]).collect();
+        let h = analyze_hierarchy(&data, &[8, 128]).unwrap();
+        assert_eq!(h.depth(), 1);
+        assert_eq!(h.level_periods, vec![3]);
+    }
+
+    #[test]
+    fn aperiodic_stream_empty_hierarchy() {
+        let data: Vec<i64> = (0..500).collect();
+        let h = analyze_hierarchy(&data, &[8, 64]).unwrap();
+        assert_eq!(h.depth(), 0);
+        assert!(h.segments.is_empty());
+    }
+
+    #[test]
+    fn invalid_windows_rejected() {
+        assert!(analyze_hierarchy(&[1, 2, 3], &[]).is_err());
+    }
+
+    #[test]
+    fn hydro2d_like_three_levels() {
+        // prologue-free hydro2d shape: 5 boundary + 11 * (10 same + 14 distinct).
+        let mut one: Vec<i64> = (500..505).collect();
+        for _ in 0..11 {
+            one.extend(std::iter::repeat(42).take(10));
+            one.extend(600..614);
+        }
+        assert_eq!(one.len(), 269);
+        let data: Vec<i64> = (0..269 * 30).map(|i| one[i % 269]).collect();
+        let h = analyze_hierarchy(&data, &[8, 64, 512]).unwrap();
+        assert_eq!(h.level_periods, vec![269, 24, 1]);
+        assert_eq!(h.depth(), 3);
+    }
+}

@@ -1,0 +1,195 @@
+//! Measurement-interval recommendation.
+//!
+//! The paper's first application of periodicity knowledge (§1): "Periods in
+//! a data stream or multiples of them may represent reasonable intervals
+//! for performance measurement." Given a detected period and constraints on
+//! how long a measurement should run (too short → timer noise dominates;
+//! too long → adaptation lags), this module recommends the multiple of the
+//! period to measure over, and iterates as the period estimate changes.
+
+/// Constraints for choosing a measurement interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalPolicy {
+    /// Shortest acceptable measurement interval (e.g. timer resolution
+    /// times a safety factor), in the same unit the period is expressed in
+    /// (samples or nanoseconds).
+    pub min_length: u64,
+    /// Longest acceptable interval (bounds adaptation latency).
+    pub max_length: u64,
+}
+
+impl IntervalPolicy {
+    /// Policy with the given bounds.
+    ///
+    /// # Panics
+    /// Panics when `min_length > max_length` or `max_length == 0`.
+    pub fn new(min_length: u64, max_length: u64) -> Self {
+        assert!(max_length > 0, "max_length must be positive");
+        assert!(min_length <= max_length, "min must not exceed max");
+        IntervalPolicy {
+            min_length,
+            max_length,
+        }
+    }
+}
+
+/// A recommended measurement interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeasurementInterval {
+    /// The period the recommendation is based on.
+    pub period: u64,
+    /// Number of whole periods to measure over.
+    pub periods: u64,
+    /// Interval length (`period * periods`).
+    pub length: u64,
+}
+
+/// Recommend the number of whole periods to measure over.
+///
+/// Picks the smallest multiple of `period` that reaches `min_length`;
+/// returns `None` when no whole multiple fits inside `max_length` (the
+/// period itself is too long — the caller should measure sub-period or
+/// accept a single truncated interval).
+pub fn recommend(period: u64, policy: IntervalPolicy) -> Option<MeasurementInterval> {
+    if period == 0 || period > policy.max_length {
+        return None;
+    }
+    let k = policy.min_length.div_ceil(period).max(1);
+    let length = k.checked_mul(period)?;
+    if length > policy.max_length {
+        return None;
+    }
+    Some(MeasurementInterval {
+        period,
+        periods: k,
+        length,
+    })
+}
+
+/// Tracks the current recommendation as period estimates evolve
+/// (period changes arrive from the streaming DPD's lock events).
+#[derive(Debug, Clone, Copy)]
+pub struct IntervalPlanner {
+    policy: IntervalPolicy,
+    current: Option<MeasurementInterval>,
+    revisions: u64,
+}
+
+impl IntervalPlanner {
+    /// Planner with no period known yet.
+    pub fn new(policy: IntervalPolicy) -> Self {
+        IntervalPlanner {
+            policy,
+            current: None,
+            revisions: 0,
+        }
+    }
+
+    /// Update with a newly detected period; returns the new recommendation
+    /// when it changed.
+    pub fn on_period(&mut self, period: u64) -> Option<MeasurementInterval> {
+        let next = recommend(period, self.policy);
+        if next != self.current {
+            self.current = next;
+            self.revisions += 1;
+            next
+        } else {
+            None
+        }
+    }
+
+    /// The period was lost: clear the recommendation.
+    pub fn on_loss(&mut self) {
+        if self.current.is_some() {
+            self.current = None;
+            self.revisions += 1;
+        }
+    }
+
+    /// Current recommendation.
+    pub fn current(&self) -> Option<MeasurementInterval> {
+        self.current
+    }
+
+    /// Number of times the recommendation changed.
+    pub fn revisions(&self) -> u64 {
+        self.revisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smallest_multiple_reaching_min() {
+        let p = IntervalPolicy::new(100, 1000);
+        let r = recommend(30, p).unwrap();
+        assert_eq!(r.periods, 4); // 4 * 30 = 120 >= 100
+        assert_eq!(r.length, 120);
+    }
+
+    #[test]
+    fn single_period_when_long_enough() {
+        let p = IntervalPolicy::new(100, 1000);
+        let r = recommend(250, p).unwrap();
+        assert_eq!(r.periods, 1);
+        assert_eq!(r.length, 250);
+    }
+
+    #[test]
+    fn period_exceeding_max_is_rejected() {
+        let p = IntervalPolicy::new(100, 1000);
+        assert_eq!(recommend(1500, p), None);
+    }
+
+    #[test]
+    fn no_whole_multiple_fits() {
+        // period 600, need >= 700 -> 2 periods = 1200 > max 1000.
+        let p = IntervalPolicy::new(700, 1000);
+        assert_eq!(recommend(600, p), None);
+    }
+
+    #[test]
+    fn zero_period_rejected() {
+        assert_eq!(recommend(0, IntervalPolicy::new(1, 10)), None);
+    }
+
+    #[test]
+    fn exact_boundary_lengths() {
+        let p = IntervalPolicy::new(100, 100);
+        let r = recommend(50, p).unwrap();
+        assert_eq!(r.length, 100);
+        let r = recommend(100, p).unwrap();
+        assert_eq!(r.periods, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "min must not exceed max")]
+    fn invalid_policy_panics() {
+        let _ = IntervalPolicy::new(10, 5);
+    }
+
+    #[test]
+    fn planner_tracks_changes() {
+        let mut planner = IntervalPlanner::new(IntervalPolicy::new(100, 2000));
+        assert_eq!(planner.current(), None);
+        let r = planner.on_period(44).unwrap();
+        assert_eq!(r.periods, 3); // 132 >= 100
+        // Same period again: no change signalled.
+        assert_eq!(planner.on_period(44), None);
+        // Period refined: new recommendation.
+        let r2 = planner.on_period(269).unwrap();
+        assert_eq!(r2.periods, 1);
+        planner.on_loss();
+        assert_eq!(planner.current(), None);
+        assert_eq!(planner.revisions(), 3);
+    }
+
+    #[test]
+    fn planner_loss_when_empty_is_noop() {
+        let mut planner = IntervalPlanner::new(IntervalPolicy::new(1, 10));
+        planner.on_loss();
+        assert_eq!(planner.revisions(), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! # dpd-core — Dynamic Periodicity Detector
+//!
+//! A production-quality implementation of the Dynamic Periodicity Detector
+//! (DPD) of Freitag, Corbalan and Labarta, *"A Dynamic Periodicity Detector:
+//! Application to Speedup Computation"*, IPDPS 2001.
+//!
+//! The DPD estimates the periodicity of a data stream obtained from the
+//! execution of an application (sequences of parallel-loop call addresses,
+//! sampled CPU-usage counts, hardware-counter values, ...). It works on a
+//! sliding data window of `N` samples and computes, for every candidate delay
+//! `m` with `0 < m < M <= N`, a distance between the window and the window
+//! shifted by `m` samples:
+//!
+//! * **Equation (1)** (magnitude streams):
+//!   `d(m) = (1/N) * sum_{n=0}^{N-1} |x[n] - x[n-m]|`
+//! * **Equation (2)** (event streams, e.g. function addresses):
+//!   `d(m) = sign( sum_{i=0}^{N-1} |x(i) - x(i-m)| )`
+//!
+//! A (local) minimum of `d(m)` — exactly zero for event streams — indicates
+//! that the stream is periodic with period `m`. On top of the raw metric the
+//! crate provides:
+//!
+//! * [`detector::FrameDetector`] — frame-based analysis of a complete slice,
+//!   producing a full [`spectrum::Spectrum`] of `d(m)` values (paper Fig. 4),
+//! * [`streaming::StreamingDpd`] — the on-line detector with per-sample cost
+//!   `O(M)` that performs **segmentation** of the stream into periods (the
+//!   semantics of the paper's `int DPD(long sample, int *period)` interface),
+//! * [`nested::NestedDetector`] / [`streaming::MultiScaleDpd`] — detection of
+//!   nested iterative structures (hydro2d/turb3d in the paper's Table 2),
+//! * [`prediction::PeriodicPredictor`] — prediction of future stream values
+//!   from the detected period (paper §1, application 3),
+//! * [`autotune::WindowTuner`] — dynamic adjustment of the window size once a
+//!   satisfying periodicity has been found (paper §3.1/§4),
+//! * [`capi::Dpd`] — the paper-faithful Table 1 interface.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dpd_core::streaming::{StreamingDpd, StreamingConfig, SegmentEvent};
+//!
+//! // A stream of "parallel loop addresses" with period 3: A B C A B C ...
+//! let stream = [10i64, 20, 30, 10, 20, 30, 10, 20, 30, 10, 20, 30];
+//! let mut dpd = StreamingDpd::events(StreamingConfig::with_window(8));
+//! let mut detected = None;
+//! for &s in &stream {
+//!     if let SegmentEvent::PeriodStart { period, .. } = dpd.push(s) {
+//!         detected = Some(period);
+//!     }
+//! }
+//! assert_eq!(detected, Some(3));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod autotune;
+pub mod baseline;
+pub mod capi;
+pub mod confidence;
+pub mod detector;
+pub mod hierarchy;
+pub mod incremental;
+pub mod intervals;
+pub mod metric;
+pub mod minima;
+pub mod nested;
+pub mod periodogram;
+pub mod prediction;
+pub mod segmentation;
+pub mod spectrum;
+pub mod streaming;
+pub mod window;
+
+pub use capi::Dpd;
+pub use detector::{FrameDetector, PeriodicityReport};
+pub use metric::{EventMetric, L1Metric, Metric};
+pub use prediction::PeriodicPredictor;
+pub use spectrum::Spectrum;
+pub use streaming::{MultiScaleDpd, SegmentEvent, StreamingConfig, StreamingDpd};
+
+/// Errors produced by detector construction and reconfiguration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DpdError {
+    /// The requested window size is zero or otherwise unusable.
+    InvalidWindow(usize),
+    /// The requested maximum delay `M` does not satisfy `0 < M <= N`.
+    InvalidMaxDelay {
+        /// Requested maximum delay.
+        m_max: usize,
+        /// Configured window size.
+        window: usize,
+    },
+    /// A slice passed to a frame API was too short for the configuration.
+    StreamTooShort {
+        /// Number of samples required.
+        needed: usize,
+        /// Number of samples provided.
+        got: usize,
+    },
+}
+
+impl core::fmt::Display for DpdError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DpdError::InvalidWindow(n) => write!(f, "invalid DPD window size: {n}"),
+            DpdError::InvalidMaxDelay { m_max, window } => {
+                write!(f, "invalid max delay M={m_max} for window N={window}")
+            }
+            DpdError::StreamTooShort { needed, got } => {
+                write!(f, "stream too short: need {needed} samples, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DpdError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = core::result::Result<T, DpdError>;

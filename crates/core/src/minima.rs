@@ -1,0 +1,243 @@
+//! Local-minimum extraction from a `d(m)` spectrum.
+//!
+//! The paper detects the periodicity as "the value of m for which d(m) has a
+//! local minimum" (§3.1). For the event metric (equation 2) a minimum is an
+//! exact zero; for the magnitude metric (equation 1) the stream repeats
+//! *approximately* (the paper's Figure 3 notes "the pattern of CPU use is not
+//! exactly the same during the application's execution"), so a minimum must
+//! be judged against the level of the rest of the spectrum. [`MinimaPolicy`]
+//! encodes that judgement.
+
+use crate::spectrum::Spectrum;
+
+/// A local minimum of the spectrum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Minimum {
+    /// Delay `m` at which the minimum occurs.
+    pub delay: usize,
+    /// The distance value `d(m)`.
+    pub value: f64,
+    /// Depth of the minimum relative to the spectrum mean, in `[0, 1]`:
+    /// `1 - d(m)/mean(d)` clamped to `[0, 1]`. Exact zeros score 1.
+    pub depth: f64,
+}
+
+/// Tunable policy for accepting local minima as periodicities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinimaPolicy {
+    /// Accept `m` only when `d(m) <= relative_threshold * mean(d)`.
+    /// The paper's fundamental period is "of larger magnitude than that of
+    /// other frequencies": this keeps shallow ripples out.
+    pub relative_threshold: f64,
+    /// Accept `m` only when `d(m) <= absolute_threshold`. Set to
+    /// `f64::INFINITY` to disable. For event streams `0.0` recovers the exact
+    /// equation-(2) behaviour.
+    pub absolute_threshold: f64,
+    /// Minimum plateau-aware strictness: a candidate must be strictly smaller
+    /// than the first differing neighbour on each side.
+    pub strict: bool,
+    /// Smallest delay eligible as a periodicity. Slowly varying *sampled*
+    /// streams (CPU counts at 1 ms) are trivially self-similar at lag 1 —
+    /// `d(1)` dips without any period-1 structure — so magnitude policies
+    /// default to 2. Event streams keep 1: a genuine period-1 run
+    /// (hydro2d in Table 2) must stay detectable.
+    pub min_delay: usize,
+}
+
+impl Default for MinimaPolicy {
+    fn default() -> Self {
+        MinimaPolicy {
+            relative_threshold: 0.5,
+            absolute_threshold: f64::INFINITY,
+            strict: true,
+            min_delay: 1,
+        }
+    }
+}
+
+impl MinimaPolicy {
+    /// Policy for exact event streams: only exact zeros qualify.
+    pub fn exact() -> Self {
+        MinimaPolicy {
+            relative_threshold: f64::INFINITY,
+            absolute_threshold: 0.0,
+            strict: false,
+            min_delay: 1,
+        }
+    }
+
+    /// Policy for noisy magnitude streams with a given relative threshold.
+    pub fn relative(threshold: f64) -> Self {
+        MinimaPolicy {
+            relative_threshold: threshold,
+            absolute_threshold: f64::INFINITY,
+            strict: true,
+            min_delay: 2,
+        }
+    }
+
+    /// Extract all accepted local minima, delays ascending.
+    ///
+    /// Plateau handling: a run of equal values is treated as a single
+    /// candidate at its *first* delay, and its neighbours are the values just
+    /// outside the run. Boundary delays (`m = 1`, `m = m_max`) qualify when
+    /// their single inside neighbour is larger (or when they are exact zeros).
+    pub fn extract(&self, spectrum: &Spectrum) -> Vec<Minimum> {
+        let v = spectrum.values();
+        let mmax = v.len();
+        if mmax == 0 {
+            return Vec::new();
+        }
+        let mean = spectrum.mean().unwrap_or(f64::INFINITY);
+        let mut out = Vec::new();
+
+        let mut i = 0usize; // index into v (delay = i+1)
+        while i < mmax {
+            // Skip incomplete entries.
+            if !spectrum.is_complete_at(i + 1) {
+                i += 1;
+                continue;
+            }
+            // Find the plateau [i, j) of equal values.
+            let mut j = i + 1;
+            while j < mmax && v[j] == v[i] && spectrum.is_complete_at(j + 1) {
+                j += 1;
+            }
+            let left_larger = if i == 0 {
+                true // boundary counts as larger side
+            } else {
+                v[i - 1] > v[i] || (!self.strict && v[i - 1] >= v[i])
+            };
+            let right_larger = if j == mmax {
+                true
+            } else {
+                v[j] > v[i] || (!self.strict && v[j] >= v[i])
+            };
+            let is_local_min = left_larger && right_larger;
+            let passes_rel = mean.is_finite() && mean > 0.0
+                && v[i] <= self.relative_threshold * mean
+                || self.relative_threshold.is_infinite();
+            let passes_abs = v[i] <= self.absolute_threshold;
+            // An exact zero is always a valid minimum regardless of shape:
+            // the metric cannot go lower, and for event streams d(m)=0 *is*
+            // the detection condition of the paper's equation (2).
+            let exact_zero = v[i] == 0.0;
+            let delay_ok = i + 1 >= self.min_delay;
+            if delay_ok
+                && ((is_local_min && passes_rel && passes_abs) || (exact_zero && passes_abs))
+            {
+                let depth = if exact_zero {
+                    1.0
+                } else if mean.is_finite() && mean > 0.0 {
+                    (1.0 - v[i] / mean).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                out.push(Minimum {
+                    delay: i + 1,
+                    value: v[i],
+                    depth,
+                });
+            }
+            i = j;
+        }
+        out
+    }
+
+    /// The fundamental periodicity: the accepted minimum with the smallest
+    /// delay after folding harmonics (a zero at `m` implies zeros at `k*m`).
+    pub fn fundamental(&self, spectrum: &Spectrum) -> Option<Minimum> {
+        let minima = self.extract(spectrum);
+        if minima.is_empty() {
+            return None;
+        }
+        let delays: Vec<usize> = minima.iter().map(|m| m.delay).collect();
+        let fundamentals = Spectrum::fold_harmonics(&delays);
+        let first = *fundamentals.first()?;
+        minima.into_iter().find(|m| m.delay == first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(values: Vec<f64>, frame: usize) -> Spectrum {
+        let pairs = vec![frame as u32; values.len()];
+        Spectrum::from_parts(values, pairs, frame)
+    }
+
+    #[test]
+    fn exact_policy_finds_only_zeros() {
+        let s = spec(vec![1.0, 0.0, 1.0, 0.1, 1.0], 8);
+        let minima = MinimaPolicy::exact().extract(&s);
+        assert_eq!(minima.len(), 1);
+        assert_eq!(minima[0].delay, 2);
+        assert_eq!(minima[0].value, 0.0);
+        assert_eq!(minima[0].depth, 1.0);
+    }
+
+    #[test]
+    fn relative_policy_finds_deep_dips() {
+        // mean ~ 0.88; dip at m=3 (0.1) passes 0.5*mean, ripple at m=5 (0.8) fails
+        let s = spec(vec![1.0, 1.1, 0.1, 1.2, 0.8, 1.1], 8);
+        let minima = MinimaPolicy::relative(0.5).extract(&s);
+        assert_eq!(minima.len(), 1);
+        assert_eq!(minima[0].delay, 3);
+        assert!(minima[0].depth > 0.8);
+    }
+
+    #[test]
+    fn plateau_is_single_candidate_at_first_delay() {
+        let s = spec(vec![1.0, 0.2, 0.2, 0.2, 1.0], 8);
+        let minima = MinimaPolicy::relative(0.9).extract(&s);
+        assert_eq!(minima.len(), 1);
+        assert_eq!(minima[0].delay, 2);
+    }
+
+    #[test]
+    fn boundary_minimum_at_m1() {
+        let s = spec(vec![0.0, 1.0, 1.0], 8);
+        let minima = MinimaPolicy::exact().extract(&s);
+        assert_eq!(minima[0].delay, 1);
+    }
+
+    #[test]
+    fn fundamental_folds_harmonics() {
+        // zeros at 3, 6, 9 -> fundamental is 3
+        let s = spec(vec![1.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0, 0.0], 16);
+        let f = MinimaPolicy::exact().fundamental(&s).unwrap();
+        assert_eq!(f.delay, 3);
+    }
+
+    #[test]
+    fn fundamental_keeps_non_multiple_minima() {
+        // zeros at 4 and 6: 6 is not a multiple of 4, fundamental = 4
+        let s = spec(vec![1.0, 1.0, 1.0, 0.0, 1.0, 0.0], 16);
+        let minima = MinimaPolicy::exact().extract(&s);
+        assert_eq!(minima.len(), 2);
+        assert_eq!(MinimaPolicy::exact().fundamental(&s).unwrap().delay, 4);
+    }
+
+    #[test]
+    fn no_minima_on_flat_nonzero_spectrum() {
+        let s = spec(vec![1.0; 8], 8);
+        assert!(MinimaPolicy::default().extract(&s).is_empty());
+        assert!(MinimaPolicy::default().fundamental(&s).is_none());
+    }
+
+    #[test]
+    fn empty_spectrum() {
+        let s = spec(vec![], 8);
+        assert!(MinimaPolicy::default().extract(&s).is_empty());
+    }
+
+    #[test]
+    fn incomplete_entries_are_skipped() {
+        let values = vec![0.0, 0.5];
+        let pairs = vec![2u32, 8];
+        let s = Spectrum::from_parts(values, pairs, 8);
+        let minima = MinimaPolicy::exact().extract(&s);
+        assert!(minima.is_empty(), "incomplete zero must not fire: {minima:?}");
+    }
+}

@@ -1,0 +1,207 @@
+//! Nested (multi-level) periodicity analysis.
+//!
+//! Two of the paper's five evaluation applications contain *nested iterative
+//! parallel structures*: hydro2d (periodicities 1, 24 and 269) and turb3d
+//! (12 and 142) — Table 2 and Figure 7. The streaming multi-scale bank
+//! ([`crate::streaming::MultiScaleDpd`]) discovers these on-line; this module
+//! provides the complementary off-line analysis: given a complete stream, it
+//! reports the hierarchy of periodicities present, using the mismatch
+//! *fraction* spectrum so that inner patterns that only repeat for part of
+//! the outer period still produce detectable dips.
+
+use crate::metric::MismatchFraction;
+use crate::minima::MinimaPolicy;
+use crate::detector::FrameDetector;
+use crate::streaming::MultiScaleDpd;
+
+/// Result of nested analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NestedReport {
+    /// Distinct periodicities found, ascending (inner to outer).
+    pub periods: Vec<usize>,
+}
+
+impl NestedReport {
+    /// The outermost (largest) periodicity, if any.
+    pub fn outer(&self) -> Option<usize> {
+        self.periods.last().copied()
+    }
+
+    /// The innermost (smallest) periodicity, if any.
+    pub fn inner(&self) -> Option<usize> {
+        self.periods.first().copied()
+    }
+
+    /// Nesting depth (number of distinct levels).
+    pub fn depth(&self) -> usize {
+        self.periods.len()
+    }
+}
+
+/// Off-line nested periodicity detector.
+///
+/// Strategy: replay the stream through a [`MultiScaleDpd`] bank (which is
+/// sensitive to periodicities that hold over *segments* of the stream, the
+/// way the paper's dynamic detector encounters them), then validate each
+/// candidate with a frame-based mismatch-fraction dip over the full stream
+/// tail. Candidates that never produce either signal are discarded.
+#[derive(Debug, Clone)]
+pub struct NestedDetector {
+    windows: Vec<usize>,
+    /// Dip threshold on the mismatch fraction for frame validation
+    /// (a delay qualifies when at most this fraction of positions mismatch
+    /// at some point of the stream).
+    pub dip_threshold: f64,
+}
+
+impl NestedDetector {
+    /// Detector with the default scale bank (8 / 64 / 512).
+    pub fn new() -> Self {
+        NestedDetector {
+            windows: vec![8, 64, 512],
+            dip_threshold: 0.05,
+        }
+    }
+
+    /// Detector with custom scale windows.
+    pub fn with_windows(windows: Vec<usize>) -> crate::Result<Self> {
+        if windows.is_empty() || windows.contains(&0) {
+            return Err(crate::DpdError::InvalidWindow(0));
+        }
+        Ok(NestedDetector {
+            windows,
+            dip_threshold: 0.05,
+        })
+    }
+
+    /// Analyse a complete event stream.
+    pub fn analyze(&self, data: &[i64]) -> NestedReport {
+        // Phase 1: streaming multi-scale detection over the whole stream.
+        let usable: Vec<usize> = self
+            .windows
+            .iter()
+            .copied()
+            .filter(|&w| w + 1 <= data.len())
+            .collect();
+        let mut periods: Vec<usize> = if usable.is_empty() {
+            Vec::new()
+        } else {
+            let mut bank = MultiScaleDpd::new(&usable).expect("validated windows");
+            for &s in data {
+                bank.push(s);
+            }
+            bank.detected_periods()
+        };
+
+        // Phase 2: frame-based validation / enrichment with the mismatch
+        // fraction on a frame sized to the stream.
+        if data.len() >= 32 {
+            let n = (data.len() / 2).min(1024);
+            if let Ok(det) = FrameDetector::new(
+                MismatchFraction,
+                n,
+                n,
+                MinimaPolicy {
+                    relative_threshold: f64::INFINITY,
+                    absolute_threshold: self.dip_threshold,
+                    strict: true,
+                    min_delay: 1,
+                },
+            ) {
+                if let Ok(report) = det.analyze(data) {
+                    for m in report.minima {
+                        if !periods.contains(&m.delay)
+                            && !periods.iter().any(|&p| m.delay % p == 0 && m.value == 0.0)
+                        {
+                            periods.push(m.delay);
+                        }
+                    }
+                }
+            }
+        }
+
+        periods.sort_unstable();
+        periods.dedup();
+        NestedReport { periods }
+    }
+}
+
+impl Default for NestedDetector {
+    fn default() -> Self {
+        NestedDetector::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a nested stream: each outer period is `runs` repeats of an
+    /// inner pattern of length `inner`, followed by `tail` distinct values.
+    fn nested_stream(inner: usize, runs: usize, tail: usize, outers: usize) -> Vec<i64> {
+        let mut outer: Vec<i64> = Vec::new();
+        for _ in 0..runs {
+            outer.extend((0..inner).map(|i| 100 + i as i64));
+        }
+        outer.extend((0..tail).map(|i| 900 + i as i64));
+        let period = outer.len();
+        (0..period * outers).map(|i| outer[i % period]).collect()
+    }
+
+    #[test]
+    fn flat_periodic_stream_has_single_level() {
+        let data: Vec<i64> = (0..400).map(|i| [1, 2, 3, 4, 5, 6][i % 6]).collect();
+        let report = NestedDetector::new().analyze(&data);
+        assert_eq!(report.periods, vec![6]);
+        assert_eq!(report.depth(), 1);
+        assert_eq!(report.inner(), Some(6));
+        assert_eq!(report.outer(), Some(6));
+    }
+
+    #[test]
+    fn two_level_nesting_detected() {
+        // inner 4, repeated 10 times + 8 tail = outer 48; 12 outer periods.
+        let data = nested_stream(4, 10, 8, 12);
+        assert_eq!(data.len(), 48 * 12);
+        let report = NestedDetector::with_windows(vec![8, 128]).unwrap().analyze(&data);
+        assert!(report.periods.contains(&4), "{:?}", report.periods);
+        assert!(report.periods.contains(&48), "{:?}", report.periods);
+        assert_eq!(report.inner(), Some(4));
+        assert_eq!(report.outer(), Some(48));
+    }
+
+    #[test]
+    fn period_one_runs_detected_as_level() {
+        // Outer period: 20 repeats of the same address + 12 distinct.
+        let mut outer = vec![5i64; 20];
+        outer.extend(200..212);
+        let data: Vec<i64> = (0..outer.len() * 15).map(|i| outer[i % outer.len()]).collect();
+        let report = NestedDetector::with_windows(vec![8, 128]).unwrap().analyze(&data);
+        assert!(report.periods.contains(&1), "{:?}", report.periods);
+        assert!(report.periods.contains(&32), "{:?}", report.periods);
+    }
+
+    #[test]
+    fn aperiodic_stream_is_empty() {
+        let data: Vec<i64> = (0..500).collect();
+        let report = NestedDetector::new().analyze(&data);
+        assert!(report.periods.is_empty());
+        assert_eq!(report.depth(), 0);
+        assert_eq!(report.inner(), None);
+        assert_eq!(report.outer(), None);
+    }
+
+    #[test]
+    fn short_stream_does_not_panic() {
+        let data = [1i64, 2, 3];
+        let report = NestedDetector::new().analyze(&data);
+        assert!(report.periods.is_empty());
+    }
+
+    #[test]
+    fn with_windows_validation() {
+        assert!(NestedDetector::with_windows(vec![]).is_err());
+        assert!(NestedDetector::with_windows(vec![4, 0]).is_err());
+        assert!(NestedDetector::with_windows(vec![4, 32]).is_ok());
+    }
+}

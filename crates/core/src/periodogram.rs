@@ -1,0 +1,238 @@
+//! Spectral baseline: periodogram peak picking.
+//!
+//! The second classical alternative to the paper's time-domain distance is
+//! frequency analysis: compute the discrete Fourier transform of the
+//! window, find the dominant frequency bin, and report its inverse as the
+//! period ("the fundamental period ... where its amplitude is of larger
+//! magnitude than that of other frequencies", §3.1, is literally a spectral
+//! statement). The self-contained radix-2 FFT below keeps this crate
+//! dependency-free; the benches compare cost and resolution against the
+//! DPD: a periodogram needs O(N log N) floats per frame and can only
+//! resolve periods at bin granularity `N/k`, while the DPD answers in exact
+//! sample units and updates incrementally.
+
+/// In-place radix-2 Cooley-Tukey FFT over interleaved re/im buffers.
+///
+/// # Panics
+/// Panics when the length is not a power of two or buffers mismatch.
+pub fn fft(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    assert_eq!(n, im.len(), "re/im length mismatch");
+    assert!(n.is_power_of_two(), "FFT size must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = ((i as u32).reverse_bits() >> (32 - bits)) as usize;
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut base = 0;
+        while base < n {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let e = base + k;
+                let o = base + k + len / 2;
+                let tr = re[o] * cr - im[o] * ci;
+                let ti = re[o] * ci + im[o] * cr;
+                re[o] = re[e] - tr;
+                im[o] = im[e] - ti;
+                re[e] += tr;
+                im[e] += ti;
+                let nr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = nr;
+            }
+            base += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Result of a periodogram analysis.
+#[derive(Debug, Clone)]
+pub struct PeriodogramReport {
+    /// Power per frequency bin `k = 1..N/2` (bin 0 / DC removed).
+    pub power: Vec<f64>,
+    /// Dominant bin index (1-based frequency index).
+    pub peak_bin: Option<usize>,
+    /// Period estimate `N / peak_bin`, rounded to the nearest sample.
+    pub period: Option<usize>,
+}
+
+/// Periodogram-based period estimator over the trailing power-of-two
+/// window of the data.
+#[derive(Debug, Clone, Copy)]
+pub struct PeriodogramDetector {
+    /// Window size (power of two).
+    pub frame: usize,
+    /// Peak must carry at least this fraction of total AC power.
+    pub min_power_fraction: f64,
+}
+
+impl PeriodogramDetector {
+    /// Detector with a default 10% power-concentration threshold.
+    ///
+    /// # Panics
+    /// Panics when `frame` is not a power of two.
+    pub fn new(frame: usize) -> Self {
+        assert!(frame.is_power_of_two(), "frame must be a power of two");
+        PeriodogramDetector {
+            frame,
+            min_power_fraction: 0.10,
+        }
+    }
+
+    /// Analyse the trailing frame of `data`; `None` when too short.
+    pub fn analyze(&self, data: &[f64]) -> Option<PeriodogramReport> {
+        let n = self.frame;
+        if data.len() < n {
+            return None;
+        }
+        let window = &data[data.len() - n..];
+        let mean = window.iter().sum::<f64>() / n as f64;
+        let mut re: Vec<f64> = window.iter().map(|&v| v - mean).collect();
+        let mut im = vec![0.0; n];
+        fft(&mut re, &mut im);
+        let half = n / 2;
+        let power: Vec<f64> = (1..=half)
+            .map(|k| re[k] * re[k] + im[k] * im[k])
+            .collect();
+        let total: f64 = power.iter().sum();
+        if total <= 0.0 {
+            return Some(PeriodogramReport {
+                power,
+                peak_bin: None,
+                period: None,
+            });
+        }
+        let (best_idx, &best_val) = power
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))?;
+        let peak_bin = best_idx + 1;
+        if best_val / total < self.min_power_fraction {
+            return Some(PeriodogramReport {
+                power,
+                peak_bin: None,
+                period: None,
+            });
+        }
+        let period = ((n as f64 / peak_bin as f64).round() as usize).max(1);
+        Some(PeriodogramReport {
+            power,
+            peak_bin: Some(peak_bin),
+            period: Some(period),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_impulse_is_flat() {
+        let mut re = vec![0.0; 8];
+        let mut im = vec![0.0; 8];
+        re[0] = 1.0;
+        fft(&mut re, &mut im);
+        for k in 0..8 {
+            assert!((re[k] - 1.0).abs() < 1e-12);
+            assert!(im[k].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_single_tone_concentrates() {
+        let n = 64;
+        let mut re: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * std::f64::consts::TAU * 4.0 / n as f64).cos())
+            .collect();
+        let mut im = vec![0.0; n];
+        fft(&mut re, &mut im);
+        // Power at bin 4 (and its mirror) dominates.
+        let p4 = re[4] * re[4] + im[4] * im[4];
+        for k in 1..n / 2 {
+            if k != 4 {
+                let pk = re[k] * re[k] + im[k] * im[k];
+                assert!(pk < p4 / 100.0, "bin {k} power {pk} vs {p4}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_odd_sizes() {
+        let mut re = vec![0.0; 6];
+        let mut im = vec![0.0; 6];
+        fft(&mut re, &mut im);
+    }
+
+    #[test]
+    fn detects_sine_period_when_commensurate() {
+        // period 16 divides frame 128: exact bin.
+        let data: Vec<f64> = (0..512)
+            .map(|i| (i as f64 * std::f64::consts::TAU / 16.0).sin())
+            .collect();
+        let det = PeriodogramDetector::new(128);
+        let r = det.analyze(&data).unwrap();
+        assert_eq!(r.period, Some(16));
+        assert_eq!(r.peak_bin, Some(8));
+    }
+
+    #[test]
+    fn incommensurate_period_lands_on_nearest_bin() {
+        // Period 44 vs frame 256: true frequency 256/44 ≈ 5.8 -> bin 6 ->
+        // estimate 256/6 ≈ 43. The bin-resolution limitation the DPD
+        // doesn't have.
+        let data: Vec<f64> = (0..1024)
+            .map(|i| (i as f64 * std::f64::consts::TAU / 44.0).sin())
+            .collect();
+        let det = PeriodogramDetector::new(256);
+        let r = det.analyze(&data).unwrap();
+        let p = r.period.unwrap();
+        assert!(
+            (42..=46).contains(&p),
+            "period {p} should be near 44 but need not be exact"
+        );
+    }
+
+    #[test]
+    fn constant_signal_has_no_peak() {
+        let data = vec![5.0; 256];
+        let det = PeriodogramDetector::new(128);
+        let r = det.analyze(&data).unwrap();
+        assert_eq!(r.period, None);
+    }
+
+    #[test]
+    fn too_short_data_is_none() {
+        let det = PeriodogramDetector::new(128);
+        assert!(det.analyze(&[1.0; 64]).is_none());
+    }
+
+    #[test]
+    fn noise_below_power_threshold() {
+        let mut x = 99u64;
+        let data: Vec<f64> = (0..512)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((x >> 33) as f64 / 2f64.powi(31)) - 1.0
+            })
+            .collect();
+        let det = PeriodogramDetector {
+            frame: 256,
+            min_power_fraction: 0.2,
+        };
+        let r = det.analyze(&data).unwrap();
+        assert_eq!(r.period, None, "white noise must not pass a 20% bar");
+    }
+}

@@ -1,0 +1,252 @@
+//! Prediction of future stream values from the detected periodicity.
+//!
+//! The paper's third application of periodicity knowledge (§1): "Given the
+//! periodicity of a data stream, future parameter values can be predicted."
+//! [`PeriodicPredictor`] stores the most recent period worth of samples and
+//! predicts `x[t + k] = x[t + k - p]`; its accuracy tracker quantifies how
+//! well the assumption holds (useful on the not-exactly-repeating CPU traces
+//! of Figure 3).
+
+use crate::window::RingWindow;
+
+/// Accuracy bookkeeping for a predictor.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PredictorMetrics {
+    /// Predictions checked against an actual sample.
+    pub checked: u64,
+    /// Predictions that matched exactly.
+    pub hits: u64,
+    /// Sum of absolute errors (meaningful for magnitude streams).
+    pub abs_error_sum: f64,
+}
+
+impl PredictorMetrics {
+    /// Exact-match rate in `[0, 1]`; `None` before any check.
+    pub fn hit_rate(&self) -> Option<f64> {
+        if self.checked == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / self.checked as f64)
+        }
+    }
+
+    /// Mean absolute error; `None` before any check.
+    pub fn mae(&self) -> Option<f64> {
+        if self.checked == 0 {
+            None
+        } else {
+            Some(self.abs_error_sum / self.checked as f64)
+        }
+    }
+}
+
+/// Predicts future samples of a stream with a locked periodicity.
+///
+/// Generic over the sample type; exact-match accuracy works for any
+/// `PartialEq` sample, while the absolute-error statistics use a
+/// caller-provided magnitude function (see [`PeriodicPredictor::verify_with`]).
+///
+/// # Examples
+/// ```
+/// use dpd_core::prediction::PeriodicPredictor;
+///
+/// let mut p = PeriodicPredictor::new(3);
+/// for &s in &[10i64, 20, 30] {
+///     p.observe(s);
+/// }
+/// assert_eq!(p.predict_next(), Some(10));
+/// assert_eq!(p.predict(2), Some(20));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PeriodicPredictor<T> {
+    period: usize,
+    history: RingWindow<T>,
+    metrics: PredictorMetrics,
+}
+
+impl<T: Copy + PartialEq> PeriodicPredictor<T> {
+    /// Create a predictor for period `p`.
+    ///
+    /// # Panics
+    /// Panics when `p == 0`.
+    pub fn new(period: usize) -> Self {
+        assert!(period > 0, "period must be non-zero");
+        PeriodicPredictor {
+            period,
+            history: RingWindow::new(period),
+            metrics: PredictorMetrics::default(),
+        }
+    }
+
+    /// The period this predictor assumes.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    /// `true` once a full period of samples has been observed.
+    pub fn is_primed(&self) -> bool {
+        self.history.is_full()
+    }
+
+    /// Observe an actual sample (advances the stream by one position).
+    pub fn observe(&mut self, sample: T) {
+        self.history.push(sample);
+    }
+
+    /// Predict the sample `k >= 1` positions ahead of the last observed one.
+    ///
+    /// Returns `None` until primed. `predict(1)` is the immediate next
+    /// sample; `predict(p)` equals the newest observed sample.
+    pub fn predict(&self, k: usize) -> Option<T> {
+        if !self.is_primed() || k == 0 {
+            return None;
+        }
+        let p = self.period;
+        // x[t+k] = x[t+k-p]; position t+k-p is (p - k mod p) mod p steps
+        // back from t... worked out: age = (p - (k % p)) % p.
+        let age = (p - (k % p)) % p;
+        self.history.ago(age)
+    }
+
+    /// Predict the immediate next sample.
+    pub fn predict_next(&self) -> Option<T> {
+        self.predict(1)
+    }
+
+    /// Observe `sample`, first checking it against the standing next-sample
+    /// prediction. Returns the prediction that was checked, if primed.
+    pub fn verify_and_observe(&mut self, sample: T) -> Option<T> {
+        let predicted = self.predict_next();
+        if let Some(p) = predicted {
+            self.metrics.checked += 1;
+            if p == sample {
+                self.metrics.hits += 1;
+            }
+        }
+        self.observe(sample);
+        predicted
+    }
+
+    /// Like [`PeriodicPredictor::verify_and_observe`] but also accumulates
+    /// `|magnitude(predicted) - magnitude(actual)|` into the error sum.
+    pub fn verify_with<F: Fn(T) -> f64>(&mut self, sample: T, magnitude: F) -> Option<T> {
+        let predicted = self.predict_next();
+        if let Some(p) = predicted {
+            self.metrics.checked += 1;
+            if p == sample {
+                self.metrics.hits += 1;
+            }
+            self.metrics.abs_error_sum += (magnitude(p) - magnitude(sample)).abs();
+        }
+        self.observe(sample);
+        predicted
+    }
+
+    /// Accuracy so far.
+    pub fn metrics(&self) -> PredictorMetrics {
+        self.metrics
+    }
+
+    /// Re-target the predictor to a new period, clearing state.
+    pub fn retarget(&mut self, period: usize) {
+        assert!(period > 0, "period must be non-zero");
+        self.period = period;
+        self.history = RingWindow::new(period);
+        self.metrics = PredictorMetrics::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unprimed_returns_none() {
+        let mut p: PeriodicPredictor<i64> = PeriodicPredictor::new(3);
+        assert!(!p.is_primed());
+        assert_eq!(p.predict_next(), None);
+        p.observe(1);
+        p.observe(2);
+        assert_eq!(p.predict_next(), None);
+        p.observe(3);
+        assert!(p.is_primed());
+        assert_eq!(p.predict_next(), Some(1));
+    }
+
+    #[test]
+    fn predicts_exact_periodic_stream_perfectly() {
+        let data: Vec<i64> = (0..50).map(|i| [10, 20, 30, 40][i % 4]).collect();
+        let mut p = PeriodicPredictor::new(4);
+        for &s in &data {
+            p.verify_and_observe(s);
+        }
+        let m = p.metrics();
+        assert_eq!(m.hit_rate(), Some(1.0));
+        assert_eq!(m.checked, 46); // first 4 samples prime the window
+    }
+
+    #[test]
+    fn predict_k_steps_ahead() {
+        let mut p = PeriodicPredictor::new(3);
+        for s in [7i64, 8, 9] {
+            p.observe(s);
+        }
+        assert_eq!(p.predict(1), Some(7));
+        assert_eq!(p.predict(2), Some(8));
+        assert_eq!(p.predict(3), Some(9)); // == newest
+        assert_eq!(p.predict(4), Some(7)); // wraps
+        assert_eq!(p.predict(7), Some(7));
+        assert_eq!(p.predict(0), None);
+    }
+
+    #[test]
+    fn mismatches_lower_hit_rate() {
+        let mut p = PeriodicPredictor::new(2);
+        for s in [1i64, 2, 1, 2, 9, 2, 1, 2] {
+            p.verify_and_observe(s);
+        }
+        let m = p.metrics();
+        // After priming [1,2]: checks on 1,2,9(x),2,1(x? 9 replaced 1...)
+        assert!(m.checked >= 5);
+        assert!(m.hits < m.checked);
+        assert!(m.hit_rate().unwrap() < 1.0);
+    }
+
+    #[test]
+    fn magnitude_error_tracking() {
+        let mut p = PeriodicPredictor::new(2);
+        p.observe(10i64);
+        p.observe(20);
+        // predicted 10, actual 13 -> |10-13| = 3
+        p.verify_with(13, |v| v as f64);
+        let m = p.metrics();
+        assert_eq!(m.checked, 1);
+        assert_eq!(m.hits, 0);
+        assert_eq!(m.mae(), Some(3.0));
+    }
+
+    #[test]
+    fn retarget_resets() {
+        let mut p = PeriodicPredictor::new(2);
+        p.observe(1i64);
+        p.observe(2);
+        p.verify_and_observe(1);
+        p.retarget(3);
+        assert_eq!(p.period(), 3);
+        assert!(!p.is_primed());
+        assert_eq!(p.metrics().checked, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_period_panics() {
+        let _ = PeriodicPredictor::<i64>::new(0);
+    }
+
+    #[test]
+    fn metrics_none_before_checks() {
+        let m = PredictorMetrics::default();
+        assert_eq!(m.hit_rate(), None);
+        assert_eq!(m.mae(), None);
+    }
+}

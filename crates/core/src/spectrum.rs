@@ -1,0 +1,243 @@
+//! The `d(m)` curve produced by the periodicity detector.
+//!
+//! A [`Spectrum`] holds the distance value for every candidate delay
+//! `m in 1..=m_max` together with how many sample pairs contributed to each
+//! value. This is the object plotted in the paper's Figure 4 (d(m) over m for
+//! the NAS FT CPU-usage trace, local minimum at m = 44).
+
+/// Distance values `d(m)` for `m = 1..=m_max`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrum {
+    /// `d[m - 1]` is the distance at delay `m`.
+    values: Vec<f64>,
+    /// Number of sample pairs that contributed to each `d(m)`.
+    pairs: Vec<u32>,
+    /// Frame size `N` the spectrum was computed with.
+    frame: usize,
+}
+
+impl Spectrum {
+    /// Build a spectrum from raw parts.
+    ///
+    /// # Panics
+    /// Panics when `values` and `pairs` have different lengths.
+    pub fn from_parts(values: Vec<f64>, pairs: Vec<u32>, frame: usize) -> Self {
+        assert_eq!(
+            values.len(),
+            pairs.len(),
+            "spectrum values/pairs length mismatch"
+        );
+        Spectrum {
+            values,
+            pairs,
+            frame,
+        }
+    }
+
+    /// Largest candidate delay `M`.
+    #[inline]
+    pub fn m_max(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Frame size `N` used when computing the spectrum.
+    #[inline]
+    pub fn frame(&self) -> usize {
+        self.frame
+    }
+
+    /// `d(m)`; `None` when `m` is out of `1..=m_max`.
+    #[inline]
+    pub fn at(&self, m: usize) -> Option<f64> {
+        if m == 0 || m > self.values.len() {
+            None
+        } else {
+            Some(self.values[m - 1])
+        }
+    }
+
+    /// Number of sample pairs behind `d(m)`.
+    #[inline]
+    pub fn pairs_at(&self, m: usize) -> Option<u32> {
+        if m == 0 || m > self.pairs.len() {
+            None
+        } else {
+            Some(self.pairs[m - 1])
+        }
+    }
+
+    /// `true` when `d(m)` was computed from a full frame of `N` pairs.
+    #[inline]
+    pub fn is_complete_at(&self, m: usize) -> bool {
+        self.pairs_at(m)
+            .map(|p| p as usize == self.frame)
+            .unwrap_or(false)
+    }
+
+    /// All `(m, d(m))` points, `m` ascending.
+    pub fn points(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.values.iter().enumerate().map(|(i, &v)| (i + 1, v))
+    }
+
+    /// The raw distance values (`index 0` is `m = 1`).
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Delay with the globally smallest distance, ties going to the smallest
+    /// delay (the fundamental period rather than a multiple). Only complete
+    /// (full-frame) delays are considered; `None` when there are none.
+    pub fn global_minimum(&self) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &v) in self.values.iter().enumerate() {
+            if self.pairs[i] as usize != self.frame {
+                continue;
+            }
+            match best {
+                None => best = Some((i + 1, v)),
+                Some((_, bv)) if v < bv => best = Some((i + 1, v)),
+                _ => {}
+            }
+        }
+        best
+    }
+
+    /// Mean of the complete distance values; `None` without complete values.
+    pub fn mean(&self) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (i, &v) in self.values.iter().enumerate() {
+            if self.pairs[i] as usize == self.frame && v.is_finite() {
+                sum += v;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(sum / count as f64)
+        }
+    }
+
+    /// All delays at which `d(m)` is exactly zero over a full frame.
+    ///
+    /// For the event metric (equation 2) these are the exact periodicities
+    /// present in the window; multiples of the fundamental period also
+    /// appear here, as the paper notes in §3.1.
+    pub fn zeros(&self) -> Vec<usize> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| v == 0.0 && self.pairs[i] as usize == self.frame)
+            .map(|(i, _)| i + 1)
+            .collect()
+    }
+
+    /// Remove delays that are integer multiples of an earlier reported delay.
+    ///
+    /// `d(m) = 0` implies `d(k*m) = 0` whenever the window is long enough, so
+    /// the raw zero set contains the harmonics of the fundamental period.
+    pub fn fold_harmonics(delays: &[usize]) -> Vec<usize> {
+        let mut fundamental: Vec<usize> = Vec::new();
+        for &m in delays {
+            if m == 0 {
+                continue;
+            }
+            if !fundamental.iter().any(|&f| m % f == 0) {
+                fundamental.push(m);
+            }
+        }
+        fundamental
+    }
+
+    /// Render the spectrum as a compact ASCII chart (one row per delay),
+    /// useful in example binaries and EXPERIMENTS.md evidence.
+    pub fn ascii_chart(&self, width: usize) -> String {
+        let max = self
+            .values
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(0.0f64, f64::max);
+        let mut out = String::new();
+        for (m, v) in self.points() {
+            let bar = if max > 0.0 && v.is_finite() {
+                ((v / max) * width as f64).round() as usize
+            } else {
+                0
+            };
+            out.push_str(&format!("m={m:4} |{}{}  d={v:.4}\n", "#".repeat(bar), " ".repeat(width.saturating_sub(bar))));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(values: Vec<f64>, frame: usize) -> Spectrum {
+        let pairs = vec![frame as u32; values.len()];
+        Spectrum::from_parts(values, pairs, frame)
+    }
+
+    #[test]
+    fn at_is_one_indexed() {
+        let s = spec(vec![0.5, 0.0, 0.7], 10);
+        assert_eq!(s.at(0), None);
+        assert_eq!(s.at(1), Some(0.5));
+        assert_eq!(s.at(2), Some(0.0));
+        assert_eq!(s.at(3), Some(0.7));
+        assert_eq!(s.at(4), None);
+    }
+
+    #[test]
+    fn global_minimum_prefers_smallest_delay_on_tie() {
+        let s = spec(vec![0.3, 0.0, 0.5, 0.0], 10);
+        assert_eq!(s.global_minimum(), Some((2, 0.0)));
+    }
+
+    #[test]
+    fn global_minimum_skips_incomplete() {
+        let values = vec![0.0, 0.4];
+        let pairs = vec![3u32, 10]; // m=1 incomplete
+        let s = Spectrum::from_parts(values, pairs, 10);
+        assert_eq!(s.global_minimum(), Some((2, 0.4)));
+    }
+
+    #[test]
+    fn zeros_reports_all_exact_periods() {
+        let s = spec(vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0], 10);
+        assert_eq!(s.zeros(), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn fold_harmonics_removes_multiples() {
+        assert_eq!(Spectrum::fold_harmonics(&[2, 4, 6, 9]), vec![2, 9]);
+        assert_eq!(Spectrum::fold_harmonics(&[3, 5, 6, 10, 15]), vec![3, 5]);
+        assert_eq!(Spectrum::fold_harmonics(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn mean_ignores_incomplete_and_infinite() {
+        let values = vec![2.0, f64::INFINITY, 4.0];
+        let pairs = vec![10u32, 10, 10];
+        let s = Spectrum::from_parts(values, pairs, 10);
+        assert_eq!(s.mean(), Some(3.0));
+    }
+
+    #[test]
+    fn ascii_chart_contains_all_delays() {
+        let s = spec(vec![1.0, 0.0], 4);
+        let chart = s.ascii_chart(10);
+        assert!(chart.contains("m=   1"));
+        assert!(chart.contains("m=   2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_parts_validates_lengths() {
+        let _ = Spectrum::from_parts(vec![0.0], vec![], 4);
+    }
+}

@@ -1,0 +1,275 @@
+//! Ring-buffer sample window.
+//!
+//! The DPD needs access to the last `N + M` samples of the stream: the data
+//! window of size `N` plus `M` additional samples of history so that the
+//! shifted sequence `x[n - m]` is available for every delay `m <= M`
+//! (see paper §3.1 and the memory discussion referencing \[Freitag00\]).
+//! [`RingWindow`] provides exactly that: O(1) push, O(1) random access to the
+//! most recent `capacity` samples addressed *backwards* from the newest one.
+
+/// Fixed-capacity ring buffer over the most recent samples of a stream.
+///
+/// Samples are addressed by *age*: `ago(0)` is the most recently pushed
+/// sample, `ago(1)` the one before it, and so on. This matches the index
+/// convention of the paper's distance metric, where the current frame is
+/// compared against itself shifted `m` samples into the past.
+#[derive(Debug, Clone)]
+pub struct RingWindow<T> {
+    buf: Vec<T>,
+    /// Index of the slot that will receive the *next* push.
+    head: usize,
+    /// Number of valid samples stored (saturates at `buf.len()`).
+    len: usize,
+    /// Total number of samples ever pushed.
+    pushed: u64,
+}
+
+impl<T: Copy> RingWindow<T> {
+    /// Create a window that retains the last `capacity` samples.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RingWindow capacity must be non-zero");
+        RingWindow {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            len: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Retention capacity of the window.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Number of valid samples currently retained (`<= capacity`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` until the first push.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` once `capacity` samples have been pushed.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len == self.capacity()
+    }
+
+    /// Total number of samples pushed over the lifetime of the window.
+    #[inline]
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Append a sample, evicting the oldest one if the window is full.
+    #[inline]
+    pub fn push(&mut self, sample: T) {
+        if self.buf.len() < self.buf.capacity() {
+            self.buf.push(sample);
+        } else {
+            self.buf[self.head] = sample;
+        }
+        self.head = (self.head + 1) % self.buf.capacity();
+        if self.len < self.buf.capacity() {
+            self.len += 1;
+        }
+        self.pushed += 1;
+    }
+
+    /// The sample pushed `age` steps ago (`age == 0` is the newest).
+    ///
+    /// Returns `None` when fewer than `age + 1` samples are retained.
+    #[inline]
+    pub fn ago(&self, age: usize) -> Option<T> {
+        if age >= self.len {
+            return None;
+        }
+        let cap = self.buf.capacity();
+        // head points at the next write slot; newest element is head-1.
+        let idx = (self.head + cap - 1 - age) % cap;
+        Some(self.buf[idx])
+    }
+
+    /// Like [`RingWindow::ago`] but without the bounds check.
+    ///
+    /// # Panics
+    /// Panics (in debug builds via the modulo index) or returns stale data if
+    /// `age >= len`; callers must uphold `age < self.len()`.
+    #[inline]
+    pub fn ago_unchecked(&self, age: usize) -> T {
+        debug_assert!(age < self.len, "age {age} out of window (len {})", self.len);
+        let cap = self.buf.capacity();
+        let idx = (self.head + cap - 1 - age) % cap;
+        self.buf[idx]
+    }
+
+    /// Copy the retained samples into a `Vec`, oldest first.
+    pub fn to_vec(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len);
+        for age in (0..self.len).rev() {
+            out.push(self.ago_unchecked(age));
+        }
+        out
+    }
+
+    /// Iterate over retained samples from newest (`age 0`) to oldest.
+    pub fn iter_newest_first(&self) -> impl Iterator<Item = T> + '_ {
+        (0..self.len).map(move |age| self.ago_unchecked(age))
+    }
+
+    /// Drop all retained samples but keep the capacity and push counter.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.len = 0;
+    }
+
+    /// Grow or shrink the retention capacity, preserving the most recent
+    /// samples that fit. Used by the dynamic window-size interface
+    /// (`DPDWindowSize`, paper Table 1).
+    pub fn resize(&mut self, new_capacity: usize) {
+        assert!(new_capacity > 0, "RingWindow capacity must be non-zero");
+        if new_capacity == self.capacity() {
+            return;
+        }
+        let keep = self.len.min(new_capacity);
+        let mut newest_first: Vec<T> = (0..keep).map(|a| self.ago_unchecked(a)).collect();
+        newest_first.reverse(); // oldest-first now
+        self.buf = Vec::with_capacity(new_capacity);
+        self.buf.extend(newest_first.iter().copied());
+        self.head = self.buf.len() % new_capacity;
+        self.len = keep;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window() {
+        let w: RingWindow<i64> = RingWindow::new(4);
+        assert!(w.is_empty());
+        assert!(!w.is_full());
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.ago(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = RingWindow::<i64>::new(0);
+    }
+
+    #[test]
+    fn push_and_ago_before_full() {
+        let mut w = RingWindow::new(4);
+        w.push(1i64);
+        w.push(2);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.ago(0), Some(2));
+        assert_eq!(w.ago(1), Some(1));
+        assert_eq!(w.ago(2), None);
+    }
+
+    #[test]
+    fn eviction_after_full() {
+        let mut w = RingWindow::new(3);
+        for v in 1..=5i64 {
+            w.push(v);
+        }
+        assert!(w.is_full());
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.ago(0), Some(5));
+        assert_eq!(w.ago(1), Some(4));
+        assert_eq!(w.ago(2), Some(3));
+        assert_eq!(w.ago(3), None);
+        assert_eq!(w.pushed(), 5);
+    }
+
+    #[test]
+    fn to_vec_is_oldest_first() {
+        let mut w = RingWindow::new(3);
+        for v in [7i64, 8, 9, 10] {
+            w.push(v);
+        }
+        assert_eq!(w.to_vec(), vec![8, 9, 10]);
+    }
+
+    #[test]
+    fn iter_newest_first_order() {
+        let mut w = RingWindow::new(3);
+        for v in [1i64, 2, 3] {
+            w.push(v);
+        }
+        let got: Vec<i64> = w.iter_newest_first().collect();
+        assert_eq!(got, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn clear_preserves_capacity_and_counter() {
+        let mut w = RingWindow::new(3);
+        w.push(1i64);
+        w.push(2);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.capacity(), 3);
+        assert_eq!(w.pushed(), 2);
+        w.push(5);
+        assert_eq!(w.ago(0), Some(5));
+    }
+
+    #[test]
+    fn resize_shrink_keeps_newest() {
+        let mut w = RingWindow::new(5);
+        for v in 1..=5i64 {
+            w.push(v);
+        }
+        w.resize(2);
+        assert_eq!(w.capacity(), 2);
+        assert_eq!(w.to_vec(), vec![4, 5]);
+        w.push(6);
+        assert_eq!(w.to_vec(), vec![5, 6]);
+    }
+
+    #[test]
+    fn resize_grow_keeps_contents() {
+        let mut w = RingWindow::new(2);
+        for v in [1i64, 2, 3] {
+            w.push(v);
+        }
+        w.resize(4);
+        assert_eq!(w.to_vec(), vec![2, 3]);
+        w.push(4);
+        w.push(5);
+        w.push(6);
+        assert_eq!(w.to_vec(), vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn resize_same_capacity_is_noop() {
+        let mut w = RingWindow::new(3);
+        w.push(1i64);
+        w.resize(3);
+        assert_eq!(w.to_vec(), vec![1]);
+    }
+
+    #[test]
+    fn wraparound_many_pushes() {
+        let mut w = RingWindow::new(7);
+        for v in 0..1000i64 {
+            w.push(v);
+        }
+        for age in 0..7 {
+            assert_eq!(w.ago(age), Some(999 - age as i64));
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Event hooks fired by the interposition layer.
+//!
+//! The paper's Figure 6 shows `DI_event(., address, .)` running *before* the
+//! intercepted call proceeds; inside it the DPD is consulted and, on a
+//! period start, the SelfAnalyzer is invoked. [`CallObserver`] is that hook
+//! point; any number of observers can be attached to an
+//! [`crate::dispatch::Interposer`].
+
+use crate::registry::FnAddr;
+
+/// Observer invoked on every intercepted call, before the callee runs.
+pub trait CallObserver {
+    /// `addr` identifies the intercepted function; `t_ns` is the timestamp
+    /// supplied by the runtime driving the interposer (virtual or wall).
+    fn on_call(&mut self, addr: FnAddr, t_ns: u64);
+
+    /// Invoked after the callee returns, with the same timestamp source.
+    /// Default: ignore (the paper's pipeline only needs pre-call events).
+    fn on_return(&mut self, addr: FnAddr, t_ns: u64) {
+        let _ = (addr, t_ns);
+    }
+}
+
+/// Shared observers: a `Rc<RefCell<T>>` observes through interior
+/// mutability, letting the caller keep a handle to query the observer while
+/// the interposer owns a clone (the SelfAnalyzer integration uses this).
+impl<T: CallObserver> CallObserver for std::rc::Rc<std::cell::RefCell<T>> {
+    fn on_call(&mut self, addr: FnAddr, t_ns: u64) {
+        self.borrow_mut().on_call(addr, t_ns);
+    }
+
+    fn on_return(&mut self, addr: FnAddr, t_ns: u64) {
+        self.borrow_mut().on_return(addr, t_ns);
+    }
+}
+
+/// Thread-safe shared observers for multi-threaded runtimes.
+impl<T: CallObserver> CallObserver for std::sync::Arc<std::sync::Mutex<T>> {
+    fn on_call(&mut self, addr: FnAddr, t_ns: u64) {
+        self.lock().expect("observer mutex poisoned").on_call(addr, t_ns);
+    }
+
+    fn on_return(&mut self, addr: FnAddr, t_ns: u64) {
+        self.lock()
+            .expect("observer mutex poisoned")
+            .on_return(addr, t_ns);
+    }
+}
+
+/// An observer that records the intercepted address stream — the exact data
+/// series the paper passes to the DPD (§5.1) and plots in Figure 7.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingObserver {
+    calls: Vec<(i64, u64)>,
+    returns: Vec<(i64, u64)>,
+}
+
+impl RecordingObserver {
+    /// New, empty recorder.
+    pub fn new() -> Self {
+        RecordingObserver::default()
+    }
+
+    /// The address stream of intercepted calls, in order.
+    pub fn address_stream(&self) -> Vec<i64> {
+        self.calls.iter().map(|&(a, _)| a).collect()
+    }
+
+    /// `(address, t_ns)` for every intercepted call.
+    pub fn calls(&self) -> &[(i64, u64)] {
+        &self.calls
+    }
+
+    /// `(address, t_ns)` for every observed return.
+    pub fn returns(&self) -> &[(i64, u64)] {
+        &self.returns
+    }
+}
+
+impl CallObserver for RecordingObserver {
+    fn on_call(&mut self, addr: FnAddr, t_ns: u64) {
+        self.calls.push((addr.raw(), t_ns));
+    }
+
+    fn on_return(&mut self, addr: FnAddr, t_ns: u64) {
+        self.returns.push((addr.raw(), t_ns));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_captures_calls_and_returns() {
+        let mut r = RecordingObserver::new();
+        r.on_call(FnAddr(0x10), 100);
+        r.on_return(FnAddr(0x10), 150);
+        r.on_call(FnAddr(0x20), 200);
+        assert_eq!(r.address_stream(), vec![0x10, 0x20]);
+        assert_eq!(r.calls(), &[(0x10, 100), (0x20, 200)]);
+        assert_eq!(r.returns(), &[(0x10, 150)]);
+    }
+
+    #[test]
+    fn default_on_return_is_noop() {
+        struct OnlyCalls(usize);
+        impl CallObserver for OnlyCalls {
+            fn on_call(&mut self, _: FnAddr, _: u64) {
+                self.0 += 1;
+            }
+        }
+        let mut o = OnlyCalls(0);
+        o.on_call(FnAddr(1), 0);
+        o.on_return(FnAddr(1), 0);
+        assert_eq!(o.0, 1);
+    }
+}

@@ -1,0 +1,25 @@
+//! # ditools — dynamic interposition substrate
+//!
+//! The paper applies the DPD to applications *without source code* by using
+//! DITools \[Serra2000\] to intercept "the calls to encapsulated parallel
+//! loops" (§5.1): each parallel loop is identified by the address of the
+//! compiler-generated function that encapsulates it, and the interposition
+//! layer fires a `DI_event` before the call proceeds (Fig. 6).
+//!
+//! The original DITools rewrites ELF dynamic-linkage tables. This crate
+//! provides the same *observable* behaviour safely: loop functions register
+//! with the [`registry::Registry`] and are invoked through the
+//! [`dispatch::Interposer`], which fires [`hook::CallObserver`] callbacks
+//! with the function's stable [`registry::FnAddr`] before running the body —
+//! producing exactly the address stream the paper feeds to the DPD.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod dispatch;
+pub mod hook;
+pub mod registry;
+
+pub use dispatch::Interposer;
+pub use hook::{CallObserver, RecordingObserver};
+pub use registry::{FnAddr, Registry};

@@ -1,0 +1,131 @@
+//! Registry of interposable functions.
+//!
+//! Assigns each registered function a stable, realistic-looking code address
+//! (64-byte aligned, ascending from a text-segment-like base) that serves as
+//! its identity in the event stream — "each parallel loop is identified by
+//! the address of the function that encapsulates it" (paper §5.1).
+
+/// The address identifying an encapsulated parallel-loop function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FnAddr(pub i64);
+
+impl FnAddr {
+    /// The raw address value — what gets passed to `DPD(long sample, ...)`.
+    #[inline]
+    pub fn raw(&self) -> i64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for FnAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// Base of the synthetic text segment.
+const TEXT_BASE: i64 = 0x0040_0000;
+/// Spacing between consecutive functions (cache-line aligned like real code).
+const FN_STRIDE: i64 = 0x40;
+
+/// Maps function names to stable synthetic addresses.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    names: Vec<String>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register a function, returning its address. Registering the same name
+    /// again returns the existing address (like a PLT: one slot per symbol).
+    pub fn register(&mut self, name: impl Into<String>) -> FnAddr {
+        let name = name.into();
+        if let Some(idx) = self.names.iter().position(|n| *n == name) {
+            return FnAddr(TEXT_BASE + idx as i64 * FN_STRIDE);
+        }
+        self.names.push(name);
+        FnAddr(TEXT_BASE + (self.names.len() as i64 - 1) * FN_STRIDE)
+    }
+
+    /// Look up the name behind an address.
+    pub fn name_of(&self, addr: FnAddr) -> Option<&str> {
+        let off = addr.0 - TEXT_BASE;
+        if off < 0 || off % FN_STRIDE != 0 {
+            return None;
+        }
+        self.names.get((off / FN_STRIDE) as usize).map(|s| s.as_str())
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All registered addresses, registration order.
+    pub fn addresses(&self) -> Vec<FnAddr> {
+        (0..self.names.len())
+            .map(|i| FnAddr(TEXT_BASE + i as i64 * FN_STRIDE))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_are_stable_and_distinct() {
+        let mut r = Registry::new();
+        let a = r.register("loop_1");
+        let b = r.register("loop_2");
+        assert_ne!(a, b);
+        assert_eq!(r.register("loop_1"), a, "re-registration is idempotent");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn addresses_look_like_code() {
+        let mut r = Registry::new();
+        let a = r.register("f");
+        assert!(a.raw() >= TEXT_BASE);
+        assert_eq!(a.raw() % FN_STRIDE, 0);
+    }
+
+    #[test]
+    fn name_lookup() {
+        let mut r = Registry::new();
+        let a = r.register("omp_parallel_do_1");
+        assert_eq!(r.name_of(a), Some("omp_parallel_do_1"));
+        assert_eq!(r.name_of(FnAddr(0x1)), None);
+        assert_eq!(r.name_of(FnAddr(TEXT_BASE + 999 * FN_STRIDE)), None);
+    }
+
+    #[test]
+    fn addresses_listing_matches_registration_order() {
+        let mut r = Registry::new();
+        let a = r.register("a");
+        let b = r.register("b");
+        assert_eq!(r.addresses(), vec![a, b]);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(format!("{}", FnAddr(0x400040)), "0x400040");
+    }
+
+    #[test]
+    fn empty_registry() {
+        let r = Registry::new();
+        assert!(r.is_empty());
+        assert!(r.addresses().is_empty());
+    }
+}

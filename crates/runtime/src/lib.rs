@@ -1,0 +1,41 @@
+//! # par-runtime — parallel runtime substrate
+//!
+//! The paper's environment is the NANOS runtime executing MPI/OpenMP
+//! applications on a 16-CPU SGI Origin 2000 (§3.2). This crate rebuilds the
+//! pieces of that environment the DPD and SelfAnalyzer observe:
+//!
+//! * [`pool::ThreadPool`] + [`loops`] — a real work-sharing thread pool with
+//!   `parallel_for` (static / dynamic / guided scheduling), exercising the
+//!   same code paths under actual OS threads;
+//! * [`barrier::SenseBarrier`] — the sense-reversing barrier used at the end
+//!   of parallel regions;
+//! * [`region`] — parallel-region open/close bookkeeping with nesting;
+//! * [`cpustat`] — instantaneous active-CPU accounting and a fixed-rate
+//!   sampler, producing the kind of trace shown in the paper's Figure 3;
+//! * [`vclock`] + [`machine`] — a discrete-event *virtual-time*
+//!   multiprocessor: configurable CPU count, fork/join overheads and an
+//!   Amdahl-style cost model. Experiments that need 16 CPUs' worth of
+//!   speedup run here deterministically regardless of the host machine;
+//! * [`sched`] — processor-allocation policies (equipartition and the
+//!   performance-driven policy of \[Corbalan2000\] that consumes the
+//!   SelfAnalyzer's speedup estimates).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod barrier;
+pub mod cpustat;
+pub mod loops;
+pub mod machine;
+pub mod msg;
+pub mod pool;
+pub mod region;
+pub mod sampler;
+pub mod sched;
+pub mod vclock;
+pub mod workload;
+
+pub use cpustat::{CpuTimeline, CpuUsage};
+pub use machine::{LoopSpec, Machine, MachineConfig, VirtualSpan};
+pub use pool::ThreadPool;
+pub use vclock::VirtualClock;

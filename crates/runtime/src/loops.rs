@@ -1,0 +1,258 @@
+//! OpenMP-style parallel loops on real threads.
+//!
+//! The paper's applications are "a set of parallel loops inside a main
+//! sequential loop" (§5). [`parallel_for`] executes an index range over a
+//! team of OS threads with the three classic work-sharing schedules
+//! (static, dynamic, guided). The implementation uses scoped threads so the
+//! loop body may borrow from the caller, exactly like an OpenMP region.
+
+use crate::cpustat::CpuUsage;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Work-sharing schedule for a parallel loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Pre-partition the range into `threads` contiguous blocks.
+    Static,
+    /// Threads repeatedly grab fixed-size chunks.
+    Dynamic {
+        /// Chunk size in iterations (>= 1).
+        chunk: u64,
+    },
+    /// Threads grab chunks that shrink as the remaining work shrinks
+    /// (`remaining / threads`, floored at `min_chunk`).
+    Guided {
+        /// Smallest chunk a thread may take (>= 1).
+        min_chunk: u64,
+    },
+}
+
+/// Execute `body(i)` for every `i` in `range` using `threads` OS threads.
+///
+/// The optional `usage` counter is updated while each thread runs loop work,
+/// feeding the live CPU-usage view (paper Fig. 3). Iteration order across
+/// threads is unspecified; each index is executed exactly once.
+pub fn parallel_for<F>(
+    threads: usize,
+    range: std::ops::Range<u64>,
+    schedule: Schedule,
+    usage: Option<&CpuUsage>,
+    body: F,
+) where
+    F: Fn(u64) + Send + Sync,
+{
+    assert!(threads > 0, "parallel_for needs at least one thread");
+    let total = range.end.saturating_sub(range.start);
+    if total == 0 {
+        return;
+    }
+    if threads == 1 {
+        let _guard = usage.map(crate::cpustat::ActiveCpu::enter);
+        for i in range {
+            body(i);
+        }
+        return;
+    }
+
+    match schedule {
+        Schedule::Static => {
+            let per = total / threads as u64;
+            let extra = total % threads as u64;
+            std::thread::scope(|scope| {
+                for t in 0..threads as u64 {
+                    // Blocks of per+1 for the first `extra` threads.
+                    let start = range.start
+                        + t * per
+                        + t.min(extra);
+                    let len = per + if t < extra { 1 } else { 0 };
+                    let body = &body;
+                    scope.spawn(move || {
+                        let _guard = usage.map(crate::cpustat::ActiveCpu::enter);
+                        for i in start..start + len {
+                            body(i);
+                        }
+                    });
+                }
+            });
+        }
+        Schedule::Dynamic { chunk } => {
+            let chunk = chunk.max(1);
+            let next = AtomicU64::new(range.start);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    let body = &body;
+                    let next = &next;
+                    scope.spawn(move || {
+                        let _guard = usage.map(crate::cpustat::ActiveCpu::enter);
+                        loop {
+                            let start = next.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= range.end {
+                                break;
+                            }
+                            let end = (start + chunk).min(range.end);
+                            for i in start..end {
+                                body(i);
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        Schedule::Guided { min_chunk } => {
+            let min_chunk = min_chunk.max(1);
+            let next = AtomicU64::new(range.start);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    let body = &body;
+                    let next = &next;
+                    scope.spawn(move || {
+                        let _guard = usage.map(crate::cpustat::ActiveCpu::enter);
+                        loop {
+                            // Claim a chunk sized to the remaining work.
+                            let start = next.load(Ordering::Relaxed);
+                            if start >= range.end {
+                                break;
+                            }
+                            let remaining = range.end - start;
+                            let chunk = (remaining / threads as u64).max(min_chunk);
+                            let start = next.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= range.end {
+                                break;
+                            }
+                            let end = (start + chunk).min(range.end);
+                            for i in start..end {
+                                body(i);
+                            }
+                        }
+                    });
+                }
+            });
+        }
+    }
+}
+
+/// Parallel reduction: apply `map(i)` to every index and combine with `+`.
+///
+/// Deterministic result for associative/commutative reductions regardless of
+/// the schedule (per-thread partial sums combined at the end).
+pub fn parallel_sum<F>(threads: usize, range: std::ops::Range<u64>, map: F) -> f64
+where
+    F: Fn(u64) -> f64 + Send + Sync,
+{
+    assert!(threads > 0, "parallel_sum needs at least one thread");
+    let total = range.end.saturating_sub(range.start);
+    if total == 0 {
+        return 0.0;
+    }
+    if threads == 1 {
+        return range.map(&map).sum();
+    }
+    let partials: Vec<f64> = std::thread::scope(|scope| {
+        let per = total / threads as u64;
+        let extra = total % threads as u64;
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads as u64 {
+            let start = range.start + t * per + t.min(extra);
+            let len = per + if t < extra { 1 } else { 0 };
+            let map = &map;
+            handles.push(scope.spawn(move || (start..start + len).map(map).sum::<f64>()));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    partials.into_iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize};
+
+    fn check_all_indices(schedule: Schedule, threads: usize) {
+        let n = 1000u64;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(threads, 0..n, schedule, None, |i| {
+            hits[i as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn static_covers_exactly_once() {
+        check_all_indices(Schedule::Static, 4);
+    }
+
+    #[test]
+    fn dynamic_covers_exactly_once() {
+        check_all_indices(Schedule::Dynamic { chunk: 7 }, 4);
+    }
+
+    #[test]
+    fn guided_covers_exactly_once() {
+        check_all_indices(Schedule::Guided { min_chunk: 3 }, 4);
+    }
+
+    #[test]
+    fn single_thread_fast_path() {
+        check_all_indices(Schedule::Static, 1);
+    }
+
+    #[test]
+    fn uneven_static_split() {
+        // 10 iterations over 4 threads: blocks of 3,3,2,2.
+        let sum = AtomicU64::new(0);
+        parallel_for(4, 0..10, Schedule::Static, None, |i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        parallel_for(4, 5..5, Schedule::Static, None, |_| {
+            panic!("must not run");
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        parallel_for(0, 0..1, Schedule::Static, None, |_| {});
+    }
+
+    #[test]
+    fn usage_counter_updated() {
+        let usage = CpuUsage::default();
+        parallel_for(2, 0..100, Schedule::Dynamic { chunk: 10 }, Some(&usage), |_| {
+            std::thread::yield_now();
+        });
+        assert_eq!(usage.active(), 0, "all workers left");
+        assert!(usage.peak() >= 1);
+    }
+
+    #[test]
+    fn parallel_sum_matches_sequential() {
+        let seq: f64 = (0..10_000u64).map(|i| (i as f64).sqrt()).sum();
+        for threads in [1, 2, 4] {
+            let par = parallel_sum(threads, 0..10_000, |i| (i as f64).sqrt());
+            assert!((par - seq).abs() < 1e-6, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_sum_empty_range() {
+        assert_eq!(parallel_sum(4, 3..3, |_| 1.0), 0.0);
+    }
+
+    #[test]
+    fn borrows_caller_data() {
+        // The whole point of scoped threads: body borrows a local.
+        let data: Vec<u64> = (0..100).collect();
+        let sum = AtomicU64::new(0);
+        parallel_for(3, 0..data.len() as u64, Schedule::Static, None, |i| {
+            sum.fetch_add(data[i as usize], Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+}

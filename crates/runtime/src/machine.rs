@@ -1,0 +1,396 @@
+//! Discrete-event virtual-time multiprocessor.
+//!
+//! Stand-in for the paper's 16-CPU SGI Origin 2000 running the NANOS
+//! runtime. The machine executes *loop specifications* (iteration count,
+//! per-iteration cost, inherent serial fraction) on a configurable number of
+//! CPUs in virtual time, charging fork/join overheads and a memory-
+//! contention penalty per extra CPU. It records the active-CPU step function
+//! that, sampled at 1 ms, reproduces the paper's Figure 3 trace, and its
+//! elapsed times drive the SelfAnalyzer speedup computations — all fully
+//! deterministic and independent of the host.
+
+use crate::cpustat::CpuTimeline;
+use crate::vclock::VirtualClock;
+
+/// Machine parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineConfig {
+    /// Number of CPUs installed (the Origin system in the paper ran up to
+    /// 16 CPUs in parallel).
+    pub cpus: usize,
+    /// Cost of opening a parallel region (thread wake-up), charged once per
+    /// parallel loop when more than one CPU participates.
+    pub fork_overhead_ns: u64,
+    /// Cost of the closing barrier, charged symmetrically.
+    pub join_overhead_ns: u64,
+    /// Memory/interconnect contention: fractional slowdown of parallel work
+    /// per extra participating CPU (`0.02` = 2% per CPU beyond the first).
+    pub contention: f64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            cpus: 16,
+            fork_overhead_ns: 8_000,
+            join_overhead_ns: 6_000,
+            contention: 0.015,
+        }
+    }
+}
+
+/// A loop to execute: the unit of work the paper's applications issue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopSpec {
+    /// Number of loop iterations.
+    pub iterations: u64,
+    /// Cost of one iteration in nanoseconds.
+    pub cost_per_iter_ns: u64,
+    /// Fraction of the loop's work that cannot be parallelized (executed on
+    /// one CPU before the parallel part opens). In `[0, 1]`.
+    pub serial_fraction: f64,
+}
+
+impl LoopSpec {
+    /// A fully parallel loop.
+    pub fn parallel(iterations: u64, cost_per_iter_ns: u64) -> Self {
+        LoopSpec {
+            iterations,
+            cost_per_iter_ns,
+            serial_fraction: 0.0,
+        }
+    }
+
+    /// Total work in CPU-nanoseconds.
+    pub fn total_work_ns(&self) -> u64 {
+        self.iterations.saturating_mul(self.cost_per_iter_ns)
+    }
+}
+
+/// A closed interval of virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualSpan {
+    /// Start of the span (virtual ns).
+    pub start_ns: u64,
+    /// End of the span (virtual ns).
+    pub end_ns: u64,
+}
+
+impl VirtualSpan {
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// The virtual multiprocessor.
+///
+/// # Examples
+/// ```
+/// use par_runtime::machine::{LoopSpec, Machine, MachineConfig};
+///
+/// let mut m = Machine::new(MachineConfig::default()); // 16 CPUs
+/// let loop_spec = LoopSpec::parallel(1_600, 100_000);  // 160 ms of work
+/// let t1 = m.predict_loop_ns(&loop_spec, 1);
+/// let t16 = m.predict_loop_ns(&loop_spec, 16);
+/// assert!(t16 < t1);
+/// let span = m.run_loop(&loop_spec, 16); // advances virtual time
+/// assert_eq!(span.duration_ns(), t16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    config: MachineConfig,
+    clock: VirtualClock,
+    timeline: CpuTimeline,
+}
+
+impl Machine {
+    /// Boot a machine; one CPU (the master thread) is active from t = 0.
+    pub fn new(config: MachineConfig) -> Self {
+        assert!(config.cpus > 0, "machine needs at least one CPU");
+        assert!(
+            (0.0..1.0).contains(&config.contention) || config.contention == 0.0,
+            "contention must be a small fraction"
+        );
+        let mut timeline = CpuTimeline::new();
+        timeline.set(0, 1);
+        Machine {
+            config,
+            clock: VirtualClock::new(),
+            timeline,
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> MachineConfig {
+        self.config
+    }
+
+    /// Current virtual time.
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// The recorded active-CPU step function.
+    pub fn timeline(&self) -> &CpuTimeline {
+        &self.timeline
+    }
+
+    /// Execute purely serial work on the master CPU.
+    pub fn run_serial(&mut self, work_ns: u64) -> VirtualSpan {
+        let start = self.clock.now_ns();
+        self.timeline.set(start, 1);
+        self.clock.advance(work_ns);
+        VirtualSpan {
+            start_ns: start,
+            end_ns: self.clock.now_ns(),
+        }
+    }
+
+    /// Predicted elapsed time for `spec` on `cpus` CPUs (pure query; no
+    /// virtual time advances). This is the machine's cost model:
+    ///
+    /// ```text
+    /// T(p) = fork + serial + parallel_work / p * (1 + contention * (p-1)) + join
+    /// ```
+    ///
+    /// with fork/join charged only when `p > 1`, and the parallel part
+    /// rounded up to whole chunks of iterations (a loop of 10 iterations on
+    /// 16 CPUs is bounded by one iteration's cost, not 10/16 of it).
+    pub fn predict_loop_ns(&self, spec: &LoopSpec, cpus: usize) -> u64 {
+        let p = cpus.clamp(1, self.config.cpus) as u64;
+        let total = spec.total_work_ns();
+        let serial = (total as f64 * spec.serial_fraction) as u64;
+        let parallel_work = total - serial;
+        if p == 1 {
+            return total;
+        }
+        // Chunked division: ceil(iterations / p) iterations per CPU.
+        let par_iters = spec.iterations
+            - (spec.iterations as f64 * spec.serial_fraction) as u64;
+        let chunk_iters = par_iters.div_ceil(p);
+        let ideal = chunk_iters.saturating_mul(spec.cost_per_iter_ns);
+        let slowdown = 1.0 + self.config.contention * (p - 1) as f64;
+        let par_elapsed = (ideal as f64 * slowdown) as u64;
+        let _ = parallel_work;
+        self.config.fork_overhead_ns + serial + par_elapsed + self.config.join_overhead_ns
+    }
+
+    /// Execute `spec` on `cpus` CPUs, advancing virtual time and recording
+    /// the CPU-usage transitions (fork ramp, parallel plateau, join).
+    pub fn run_loop(&mut self, spec: &LoopSpec, cpus: usize) -> VirtualSpan {
+        let p = cpus.clamp(1, self.config.cpus) as u64;
+        let start = self.clock.now_ns();
+        if p == 1 {
+            return self.run_serial(spec.total_work_ns());
+        }
+        let total = spec.total_work_ns();
+        let serial = (total as f64 * spec.serial_fraction) as u64;
+        // Fork: master alone while waking the team.
+        self.timeline.set(self.clock.now_ns(), 1);
+        self.clock.advance(self.config.fork_overhead_ns);
+        if serial > 0 {
+            self.clock.advance(serial);
+        }
+        // Parallel plateau.
+        let par_iters = spec.iterations
+            - (spec.iterations as f64 * spec.serial_fraction) as u64;
+        let chunk_iters = par_iters.div_ceil(p);
+        let ideal = chunk_iters.saturating_mul(spec.cost_per_iter_ns);
+        let slowdown = 1.0 + self.config.contention * (p - 1) as f64;
+        let par_elapsed = (ideal as f64 * slowdown) as u64;
+        self.timeline.set(self.clock.now_ns(), p as u32);
+        self.clock.advance(par_elapsed);
+        // Join barrier: team winds down to the master.
+        self.clock.advance(self.config.join_overhead_ns);
+        self.timeline.set(self.clock.now_ns(), 1);
+        VirtualSpan {
+            start_ns: start,
+            end_ns: self.clock.now_ns(),
+        }
+    }
+
+    /// Execute an explicitly shaped parallel phase: `cpus` CPUs active for
+    /// exactly `duration_ns`. Used when synthesising traces whose *shape* is
+    /// the specification (e.g. the NAS FT CPU-usage pattern of Fig. 3)
+    /// rather than derived from a loop cost model.
+    pub fn run_phase(&mut self, cpus: usize, duration_ns: u64) -> VirtualSpan {
+        let p = cpus.clamp(1, self.config.cpus) as u32;
+        let start = self.clock.now_ns();
+        self.timeline.set(start, p);
+        self.clock.advance(duration_ns);
+        self.timeline.set(self.clock.now_ns(), 1);
+        VirtualSpan {
+            start_ns: start,
+            end_ns: self.clock.now_ns(),
+        }
+    }
+
+    /// Let the machine sit idle (master polling) for `ns`.
+    pub fn idle(&mut self, ns: u64) -> VirtualSpan {
+        let start = self.clock.now_ns();
+        self.timeline.set(start, 1);
+        self.clock.advance(ns);
+        VirtualSpan {
+            start_ns: start,
+            end_ns: self.clock.now_ns(),
+        }
+    }
+
+    /// Sample the recorded timeline at `period_ns` (1 ms in the paper).
+    pub fn sample_cpu_trace(&self, period_ns: u64) -> Vec<f64> {
+        self.timeline.sample(period_ns)
+    }
+
+    /// Speedup predicted by the cost model: `T(1) / T(p)`.
+    pub fn predict_speedup(&self, spec: &LoopSpec, cpus: usize) -> f64 {
+        let t1 = self.predict_loop_ns(spec, 1) as f64;
+        let tp = self.predict_loop_ns(spec, cpus) as f64;
+        if tp == 0.0 {
+            1.0
+        } else {
+            t1 / tp
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::default())
+    }
+
+    #[test]
+    fn serial_work_advances_clock() {
+        let mut m = machine();
+        let span = m.run_serial(1_000);
+        assert_eq!(span.duration_ns(), 1_000);
+        assert_eq!(m.now_ns(), 1_000);
+    }
+
+    #[test]
+    fn single_cpu_loop_has_no_overhead() {
+        let mut m = machine();
+        let spec = LoopSpec::parallel(100, 1_000);
+        let span = m.run_loop(&spec, 1);
+        assert_eq!(span.duration_ns(), 100_000);
+    }
+
+    #[test]
+    fn parallel_loop_speeds_up() {
+        let m = machine();
+        let spec = LoopSpec::parallel(1_600, 100_000); // 160 ms of work
+        let t1 = m.predict_loop_ns(&spec, 1);
+        let t4 = m.predict_loop_ns(&spec, 4);
+        let t16 = m.predict_loop_ns(&spec, 16);
+        assert!(t4 < t1, "{t4} !< {t1}");
+        assert!(t16 < t4, "{t16} !< {t4}");
+        let s16 = m.predict_speedup(&spec, 16);
+        assert!(s16 > 8.0, "speedup {s16} too low");
+        assert!(s16 <= 16.0, "speedup {s16} super-linear");
+    }
+
+    #[test]
+    fn speedup_saturates_with_serial_fraction() {
+        let m = machine();
+        let spec = LoopSpec {
+            iterations: 1_600,
+            cost_per_iter_ns: 100_000,
+            serial_fraction: 0.2,
+        };
+        let s16 = m.predict_speedup(&spec, 16);
+        // Amdahl bound: 1 / (0.2 + 0.8/16) = 4
+        assert!(s16 < 4.2, "speedup {s16} exceeds Amdahl bound");
+        assert!(s16 > 2.5, "speedup {s16} unreasonably low");
+    }
+
+    #[test]
+    fn tiny_loop_bounded_by_one_iteration() {
+        let m = machine();
+        let spec = LoopSpec::parallel(4, 1_000_000);
+        // On 16 CPUs: 4 chunks of 1 iteration; elapsed >= 1 iteration cost.
+        let t16 = m.predict_loop_ns(&spec, 16);
+        assert!(t16 >= 1_000_000);
+        // Far from work/16.
+        assert!(t16 >= spec.total_work_ns() / 4);
+    }
+
+    #[test]
+    fn overhead_makes_small_loops_slower_in_parallel() {
+        let m = Machine::new(MachineConfig {
+            fork_overhead_ns: 50_000,
+            join_overhead_ns: 50_000,
+            ..MachineConfig::default()
+        });
+        let spec = LoopSpec::parallel(16, 1_000); // only 16 µs of work
+        let t1 = m.predict_loop_ns(&spec, 1);
+        let t16 = m.predict_loop_ns(&spec, 16);
+        assert!(
+            t16 > t1,
+            "tiny loop should lose in parallel: {t16} !> {t1}"
+        );
+    }
+
+    #[test]
+    fn run_loop_records_cpu_plateau() {
+        let mut m = machine();
+        let spec = LoopSpec::parallel(1_600, 10_000);
+        let span = m.run_loop(&spec, 8);
+        // During the plateau 8 CPUs are active.
+        let mid = span.start_ns + span.duration_ns() / 2;
+        assert_eq!(m.timeline().at(mid), 8);
+        // After the loop, back to the master.
+        assert_eq!(m.timeline().at(span.end_ns), 1);
+    }
+
+    #[test]
+    fn cpus_clamped_to_machine_size() {
+        let m = Machine::new(MachineConfig {
+            cpus: 4,
+            ..MachineConfig::default()
+        });
+        let spec = LoopSpec::parallel(400, 10_000);
+        assert_eq!(m.predict_loop_ns(&spec, 99), m.predict_loop_ns(&spec, 4));
+    }
+
+    #[test]
+    fn sampled_trace_shows_open_close_pattern() {
+        let mut m = machine();
+        let spec = LoopSpec::parallel(16_000, 10_000); // 160 ms on 1 cpu
+        for _ in 0..3 {
+            m.run_serial(5_000_000); // 5 ms serial
+            m.run_loop(&spec, 16);
+        }
+        let trace = m.sample_cpu_trace(1_000_000);
+        let max = trace.iter().copied().fold(f64::MIN, f64::max);
+        let min = trace.iter().copied().fold(f64::MAX, f64::min);
+        assert_eq!(max, 16.0);
+        assert_eq!(min, 1.0);
+    }
+
+    #[test]
+    fn predict_matches_run_elapsed() {
+        let mut m = machine();
+        let spec = LoopSpec {
+            iterations: 1_000,
+            cost_per_iter_ns: 42_000,
+            serial_fraction: 0.1,
+        };
+        for p in [1usize, 2, 5, 16] {
+            let predicted = m.predict_loop_ns(&spec, p);
+            let span = m.run_loop(&spec, p);
+            assert_eq!(span.duration_ns(), predicted, "p={p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CPU")]
+    fn zero_cpus_panics() {
+        let _ = Machine::new(MachineConfig {
+            cpus: 0,
+            ..MachineConfig::default()
+        });
+    }
+}

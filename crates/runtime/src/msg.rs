@@ -1,0 +1,305 @@
+//! Message-passing substrate for multi-process applications.
+//!
+//! The paper's Figure 3 workload is "MPI/OpenMp. Each process has a number
+//! of threads and messages are interchanged between the MPI processes"
+//! (§3.2). This module models that outer layer on the virtual machine: a
+//! set of virtual processes with per-process clocks exchanging messages
+//! through a latency/bandwidth-modelled interconnect, with blocking
+//! receives that synchronize the clocks — enough to reproduce the
+//! communication phases (serial dips in CPU usage) between the OpenMP
+//! compute phases.
+
+use crate::machine::{Machine, MachineConfig, VirtualSpan};
+
+/// Interconnect cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetConfig {
+    /// Per-message latency (ns).
+    pub latency_ns: u64,
+    /// Inverse bandwidth: ns per byte.
+    pub ns_per_byte: f64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        // Origin-2000-era interconnect: ~10 µs latency, ~100 MB/s effective.
+        NetConfig {
+            latency_ns: 10_000,
+            ns_per_byte: 10.0,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Transfer time of a message of `bytes`.
+    pub fn transfer_ns(&self, bytes: u64) -> u64 {
+        self.latency_ns + (bytes as f64 * self.ns_per_byte) as u64
+    }
+}
+
+/// A message in flight: available at the receiver from `ready_ns` on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct InFlight {
+    from: usize,
+    to: usize,
+    tag: u64,
+    bytes: u64,
+    ready_ns: u64,
+}
+
+/// A group of virtual processes, each owning a [`Machine`].
+#[derive(Debug)]
+pub struct ProcessGroup {
+    machines: Vec<Machine>,
+    net: NetConfig,
+    inflight: Vec<InFlight>,
+    sends: u64,
+    receives: u64,
+}
+
+impl ProcessGroup {
+    /// Create `n` processes, each with its own `cpus_per_process`-CPU
+    /// machine.
+    pub fn new(n: usize, cpus_per_process: usize, net: NetConfig) -> Self {
+        assert!(n > 0, "need at least one process");
+        let machines = (0..n)
+            .map(|_| {
+                Machine::new(MachineConfig {
+                    cpus: cpus_per_process,
+                    ..MachineConfig::default()
+                })
+            })
+            .collect();
+        ProcessGroup {
+            machines,
+            net,
+            inflight: Vec::new(),
+            sends: 0,
+            receives: 0,
+        }
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// `true` when the group is empty (never: construction requires n > 0).
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// Borrow process `rank`'s machine.
+    pub fn machine(&mut self, rank: usize) -> &mut Machine {
+        &mut self.machines[rank]
+    }
+
+    /// Immutable access for inspection.
+    pub fn machine_ref(&self, rank: usize) -> &Machine {
+        &self.machines[rank]
+    }
+
+    /// Non-blocking send from `from` to `to`: charges the sender the
+    /// injection overhead and puts the message in flight.
+    pub fn send(&mut self, from: usize, to: usize, tag: u64, bytes: u64) {
+        assert!(from < self.len() && to < self.len(), "rank out of range");
+        assert_ne!(from, to, "self-send not modelled");
+        // Sender-side injection cost: latency only (rendezvous copies are
+        // folded into the transfer time).
+        let m = &mut self.machines[from];
+        m.run_serial(self.net.latency_ns / 2);
+        let ready_ns = m.now_ns() + self.net.transfer_ns(bytes);
+        self.inflight.push(InFlight {
+            from,
+            to,
+            tag,
+            bytes,
+            ready_ns,
+        });
+        self.sends += 1;
+    }
+
+    /// Blocking receive at `to` for a message with `tag` from `from`:
+    /// advances the receiver's clock to the message arrival when it has to
+    /// wait (the serial "communication dip" in the CPU trace).
+    ///
+    /// Returns the received byte count, or `None` when no matching message
+    /// is in flight (deadlock at the caller's protocol level).
+    pub fn recv(&mut self, to: usize, from: usize, tag: u64) -> Option<u64> {
+        let idx = self
+            .inflight
+            .iter()
+            .position(|m| m.to == to && m.from == from && m.tag == tag)?;
+        let msg = self.inflight.remove(idx);
+        let m = &mut self.machines[to];
+        if msg.ready_ns > m.now_ns() {
+            // Wait (1 CPU polling — communication is serial time).
+            m.idle(msg.ready_ns - m.now_ns());
+        } else {
+            // Message already arrived: just the unpack cost.
+            m.run_serial(self.net.latency_ns / 2);
+        }
+        self.receives += 1;
+        Some(msg.bytes)
+    }
+
+    /// Synchronize all processes at a barrier: everyone advances to the
+    /// latest clock (plus one latency for the barrier protocol).
+    pub fn barrier(&mut self) -> u64 {
+        let max = self
+            .machines
+            .iter()
+            .map(|m| m.now_ns())
+            .max()
+            .expect("non-empty");
+        let t = max + self.net.latency_ns;
+        for m in &mut self.machines {
+            let now = m.now_ns();
+            if t > now {
+                m.idle(t - now);
+            }
+        }
+        t
+    }
+
+    /// `(sends, receives)` processed so far.
+    pub fn traffic(&self) -> (u64, u64) {
+        (self.sends, self.receives)
+    }
+
+    /// Messages still in flight (unmatched).
+    pub fn pending(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// All-to-all exchange of `bytes` per pair followed by a barrier — the
+    /// transpose step of a distributed FFT (NAS FT's dominant
+    /// communication).
+    pub fn alltoall(&mut self, bytes: u64) -> VirtualSpan {
+        let start = self
+            .machines
+            .iter()
+            .map(|m| m.now_ns())
+            .max()
+            .expect("non-empty");
+        let n = self.len();
+        for from in 0..n {
+            for to in 0..n {
+                if from != to {
+                    self.send(from, to, 0xA2A, bytes);
+                }
+            }
+        }
+        for to in 0..n {
+            for from in 0..n {
+                if from != to {
+                    self.recv(to, from, 0xA2A).expect("matching send exists");
+                }
+            }
+        }
+        let end = self.barrier();
+        VirtualSpan {
+            start_ns: start,
+            end_ns: end,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(n: usize) -> ProcessGroup {
+        ProcessGroup::new(n, 4, NetConfig::default())
+    }
+
+    #[test]
+    fn send_recv_advances_receiver_to_arrival() {
+        let mut g = group(2);
+        g.send(0, 1, 7, 1_000);
+        let sender_t = g.machine_ref(0).now_ns();
+        assert!(sender_t > 0, "sender pays injection cost");
+        let bytes = g.recv(1, 0, 7).unwrap();
+        assert_eq!(bytes, 1_000);
+        // Receiver waited until the transfer completed.
+        let expect = sender_t + NetConfig::default().transfer_ns(1_000);
+        assert_eq!(g.machine_ref(1).now_ns(), expect);
+        assert_eq!(g.pending(), 0);
+    }
+
+    #[test]
+    fn recv_without_send_returns_none() {
+        let mut g = group(2);
+        assert_eq!(g.recv(1, 0, 7), None);
+    }
+
+    #[test]
+    fn late_receiver_pays_only_unpack() {
+        let mut g = group(2);
+        g.send(0, 1, 1, 100);
+        // Receiver does a lot of compute first.
+        g.machine(1).run_serial(10_000_000);
+        let before = g.machine_ref(1).now_ns();
+        g.recv(1, 0, 1).unwrap();
+        let after = g.machine_ref(1).now_ns();
+        assert_eq!(after - before, NetConfig::default().latency_ns / 2);
+    }
+
+    #[test]
+    fn tag_matching() {
+        let mut g = group(2);
+        g.send(0, 1, 1, 10);
+        g.send(0, 1, 2, 20);
+        assert_eq!(g.recv(1, 0, 2), Some(20));
+        assert_eq!(g.recv(1, 0, 1), Some(10));
+        assert_eq!(g.recv(1, 0, 3), None);
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let mut g = group(3);
+        g.machine(0).run_serial(5_000);
+        g.machine(1).run_serial(50_000);
+        g.machine(2).run_serial(500);
+        let t = g.barrier();
+        for r in 0..3 {
+            assert_eq!(g.machine_ref(r).now_ns(), t);
+        }
+        assert_eq!(t, 50_000 + NetConfig::default().latency_ns);
+    }
+
+    #[test]
+    fn alltoall_completes_and_synchronizes() {
+        let mut g = group(4);
+        let span = g.alltoall(4096);
+        assert!(span.duration_ns() > 0);
+        assert_eq!(g.pending(), 0);
+        let (s, r) = g.traffic();
+        assert_eq!(s, 12); // 4 * 3
+        assert_eq!(r, 12);
+        let t0 = g.machine_ref(0).now_ns();
+        for r in 1..4 {
+            assert_eq!(g.machine_ref(r).now_ns(), t0);
+        }
+    }
+
+    #[test]
+    fn transfer_cost_scales_with_size() {
+        let net = NetConfig::default();
+        assert!(net.transfer_ns(1_000_000) > net.transfer_ns(1_000));
+        assert_eq!(net.transfer_ns(0), net.latency_ns);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-send")]
+    fn self_send_rejected() {
+        let mut g = group(2);
+        g.send(0, 0, 1, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn empty_group_rejected() {
+        let _ = ProcessGroup::new(0, 4, NetConfig::default());
+    }
+}

@@ -1,0 +1,184 @@
+//! A work-sharing thread pool.
+//!
+//! Persistent worker threads consume jobs from a shared channel — the
+//! substrate on which application-level tasks run. Parallel *loops* (the
+//! OpenMP-style construct the paper's applications are built from) use the
+//! scoped implementation in [`crate::loops`], which can borrow from the
+//! caller's stack; this pool serves free-standing `'static` jobs and keeps
+//! the live CPU-usage counter (paper Fig. 3) up to date.
+
+use crate::cpustat::CpuUsage;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    usage: Arc<CpuUsage>,
+    pending: AtomicUsize,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+/// A fixed-size pool of worker threads executing submitted jobs.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `threads` workers.
+    ///
+    /// # Panics
+    /// Panics when `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "thread pool needs at least one worker");
+        let (sender, receiver): (Sender<Job>, Receiver<Job>) = unbounded();
+        let shared = Arc::new(Shared {
+            usage: CpuUsage::new(),
+            pending: AtomicUsize::new(0),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        });
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let rx = receiver.clone();
+            let sh = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("par-runtime-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            sh.usage.enter();
+                            job();
+                            sh.usage.leave();
+                            if sh.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                let _g = sh.idle_lock.lock();
+                                sh.idle_cv.notify_all();
+                            }
+                        }
+                    })
+                    .expect("failed to spawn pool worker"),
+            );
+        }
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+            shared,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The live CPU-usage counter updated by the workers.
+    pub fn usage(&self) -> Arc<CpuUsage> {
+        Arc::clone(&self.shared.usage)
+    }
+
+    /// Submit a job for execution.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        self.sender
+            .as_ref()
+            .expect("pool already shut down")
+            .send(Box::new(job))
+            .expect("pool workers exited early");
+    }
+
+    /// Number of jobs submitted but not yet finished.
+    pub fn pending(&self) -> usize {
+        self.shared.pending.load(Ordering::Acquire)
+    }
+
+    /// Block until every submitted job has finished.
+    pub fn wait_idle(&self) {
+        let mut guard = self.shared.idle_lock.lock();
+        while self.shared.pending.load(Ordering::Acquire) != 0 {
+            self.shared.idle_cv.wait(&mut guard);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel stops the workers after draining.
+        self.sender.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn wait_idle_on_empty_pool_returns() {
+        let pool = ThreadPool::new(1);
+        pool.wait_idle();
+    }
+
+    #[test]
+    fn usage_returns_to_zero() {
+        let pool = ThreadPool::new(2);
+        let usage = pool.usage();
+        for _ in 0..10 {
+            pool.execute(|| std::thread::yield_now());
+        }
+        pool.wait_idle();
+        assert_eq!(usage.active(), 0);
+        assert!(usage.peak() >= 1);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let counter = Arc::new(AtomicU64::new(0));
+        {
+            let pool = ThreadPool::new(3);
+            for _ in 0..50 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait_idle();
+        } // drop here
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn threads_reports_size() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.threads(), 4);
+    }
+}

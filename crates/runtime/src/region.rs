@@ -1,0 +1,159 @@
+//! Parallel-region bookkeeping.
+//!
+//! OpenMP compilers "encapsulate code of parallel loops in functions" (paper
+//! §5.1, Fig. 5); at run time each call opens a parallel region identified
+//! by the address of that function. [`RegionTracker`] records the open/close
+//! event stream — including nesting — and exposes the address sequence that
+//! the DITools layer forwards to the DPD.
+
+/// One open/close event on the region stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionEvent {
+    /// A parallel region opened.
+    Open {
+        /// Identifier (function address) of the encapsulated loop.
+        addr: i64,
+        /// Virtual or wall time of the event, nanoseconds.
+        t_ns: u64,
+        /// Nesting depth *after* opening (1 = outermost).
+        depth: usize,
+    },
+    /// A parallel region closed.
+    Close {
+        /// Identifier (function address) of the encapsulated loop.
+        addr: i64,
+        /// Virtual or wall time of the event, nanoseconds.
+        t_ns: u64,
+        /// Nesting depth *before* closing.
+        depth: usize,
+    },
+}
+
+/// Tracks open parallel regions and accumulates the event log.
+#[derive(Debug, Clone, Default)]
+pub struct RegionTracker {
+    stack: Vec<i64>,
+    events: Vec<RegionEvent>,
+}
+
+impl RegionTracker {
+    /// Fresh tracker with no open regions.
+    pub fn new() -> Self {
+        RegionTracker::default()
+    }
+
+    /// Open a region for the loop function at `addr`.
+    pub fn open(&mut self, addr: i64, t_ns: u64) {
+        self.stack.push(addr);
+        self.events.push(RegionEvent::Open {
+            addr,
+            t_ns,
+            depth: self.stack.len(),
+        });
+    }
+
+    /// Close the innermost open region, returning its address.
+    ///
+    /// # Panics
+    /// Panics when no region is open (unbalanced close).
+    pub fn close(&mut self, t_ns: u64) -> i64 {
+        let depth = self.stack.len();
+        let addr = self
+            .stack
+            .pop()
+            .expect("RegionTracker::close without open region");
+        self.events.push(RegionEvent::Close { addr, t_ns, depth });
+        addr
+    }
+
+    /// Current nesting depth (0 = no region open).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Address of the innermost open region.
+    pub fn current(&self) -> Option<i64> {
+        self.stack.last().copied()
+    }
+
+    /// The full event log.
+    pub fn events(&self) -> &[RegionEvent] {
+        &self.events
+    }
+
+    /// The sequence of region-open addresses — the data stream the paper
+    /// passes to the DPD ("the address of parallel loops is the value that
+    /// we pass to the DPD", §5.1).
+    pub fn address_stream(&self) -> Vec<i64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                RegionEvent::Open { addr, .. } => Some(*addr),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `true` when every opened region has been closed.
+    pub fn is_balanced(&self) -> bool {
+        self.stack.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_close_roundtrip() {
+        let mut t = RegionTracker::new();
+        assert_eq!(t.depth(), 0);
+        t.open(0x100, 10);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.current(), Some(0x100));
+        let addr = t.close(20);
+        assert_eq!(addr, 0x100);
+        assert!(t.is_balanced());
+    }
+
+    #[test]
+    fn nesting_depths_recorded() {
+        let mut t = RegionTracker::new();
+        t.open(0x1, 0);
+        t.open(0x2, 1);
+        t.close(2);
+        t.close(3);
+        match t.events() {
+            [RegionEvent::Open { depth: 1, .. }, RegionEvent::Open { depth: 2, .. }, RegionEvent::Close { depth: 2, addr: 0x2, .. }, RegionEvent::Close { depth: 1, addr: 0x1, .. }] => {
+            }
+            other => panic!("unexpected events: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn address_stream_is_open_order() {
+        let mut t = RegionTracker::new();
+        for addr in [0x10i64, 0x20, 0x30] {
+            t.open(addr, 0);
+            t.close(0);
+        }
+        assert_eq!(t.address_stream(), vec![0x10, 0x20, 0x30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "without open region")]
+    fn unbalanced_close_panics() {
+        let mut t = RegionTracker::new();
+        t.close(0);
+    }
+
+    #[test]
+    fn current_is_innermost() {
+        let mut t = RegionTracker::new();
+        t.open(0x1, 0);
+        t.open(0x2, 0);
+        assert_eq!(t.current(), Some(0x2));
+        t.close(0);
+        assert_eq!(t.current(), Some(0x1));
+    }
+}

@@ -1,0 +1,260 @@
+//! Processor-allocation policies.
+//!
+//! The paper motivates the DPD + SelfAnalyzer pipeline with scheduling: "The
+//! speedup calculated can be used to improve the processor allocation
+//! scheduling policy, providing a great benefit as we have shown in
+//! \[Corbalan2000\]" (§5.1). This module implements the two policies that
+//! comparison needs: naive equipartition, and the performance-driven policy
+//! that feeds run-time speedup measurements into a marginal-gain allocator.
+
+/// A measured (or predicted) speedup curve for one application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupCurve {
+    /// `(cpus, speedup)` points, cpus strictly ascending and starting at 1.
+    points: Vec<(usize, f64)>,
+}
+
+impl SpeedupCurve {
+    /// Build from measured points. Points are sorted; a `(1, 1.0)` anchor is
+    /// inserted when missing.
+    pub fn new(mut points: Vec<(usize, f64)>) -> Self {
+        points.retain(|&(p, _)| p >= 1);
+        points.sort_by_key(|&(p, _)| p);
+        points.dedup_by_key(|&mut (p, _)| p);
+        if points.first().map(|&(p, _)| p) != Some(1) {
+            points.insert(0, (1, 1.0));
+        }
+        SpeedupCurve { points }
+    }
+
+    /// An ideal (linear) speedup curve up to `max_cpus`.
+    pub fn linear(max_cpus: usize) -> Self {
+        SpeedupCurve::new((1..=max_cpus).map(|p| (p, p as f64)).collect())
+    }
+
+    /// An Amdahl curve with serial fraction `f`, up to `max_cpus`.
+    pub fn amdahl(f: f64, max_cpus: usize) -> Self {
+        SpeedupCurve::new(
+            (1..=max_cpus)
+                .map(|p| (p, 1.0 / (f + (1.0 - f) / p as f64)))
+                .collect(),
+        )
+    }
+
+    /// Speedup at `cpus` (linear interpolation; clamped at the ends).
+    pub fn at(&self, cpus: usize) -> f64 {
+        if self.points.is_empty() {
+            return 1.0;
+        }
+        let c = cpus.max(1);
+        match self.points.binary_search_by_key(&c, |&(p, _)| p) {
+            Ok(i) => self.points[i].1,
+            Err(0) => self.points[0].1,
+            Err(i) if i == self.points.len() => self.points[i - 1].1,
+            Err(i) => {
+                let (p0, s0) = self.points[i - 1];
+                let (p1, s1) = self.points[i];
+                let t = (c - p0) as f64 / (p1 - p0) as f64;
+                s0 + (s1 - s0) * t
+            }
+        }
+    }
+
+    /// Marginal speedup gain of going from `cpus` to `cpus + 1`.
+    pub fn marginal(&self, cpus: usize) -> f64 {
+        self.at(cpus + 1) - self.at(cpus)
+    }
+
+    /// Largest CPU count with a recorded point.
+    pub fn max_cpus(&self) -> usize {
+        self.points.last().map(|&(p, _)| p).unwrap_or(1)
+    }
+}
+
+/// An allocation of CPUs to applications.
+pub type Allocation = Vec<usize>;
+
+/// A policy mapping speedup curves to a CPU allocation.
+pub trait AllocationPolicy {
+    /// Allocate `total_cpus` among the applications; every running app gets
+    /// at least one CPU when `total_cpus >= apps.len()`.
+    fn allocate(&self, apps: &[SpeedupCurve], total_cpus: usize) -> Allocation;
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Naive equal split (the baseline the paper's processor-allocation work
+/// compares against).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Equipartition;
+
+impl AllocationPolicy for Equipartition {
+    fn allocate(&self, apps: &[SpeedupCurve], total_cpus: usize) -> Allocation {
+        if apps.is_empty() {
+            return Vec::new();
+        }
+        let n = apps.len();
+        let base = total_cpus / n;
+        let extra = total_cpus % n;
+        (0..n)
+            .map(|i| base + usize::from(i < extra))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "equipartition"
+    }
+}
+
+/// Performance-driven allocation: greedy marginal-gain water-filling using
+/// the run-time measured speedup curves ([Corbalan2000]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerformanceDriven;
+
+impl AllocationPolicy for PerformanceDriven {
+    fn allocate(&self, apps: &[SpeedupCurve], total_cpus: usize) -> Allocation {
+        if apps.is_empty() {
+            return Vec::new();
+        }
+        let n = apps.len();
+        let mut alloc = vec![0usize; n];
+        let mut remaining = total_cpus;
+        // Every app gets one CPU first (no starvation).
+        for a in alloc.iter_mut() {
+            if remaining == 0 {
+                break;
+            }
+            *a = 1;
+            remaining -= 1;
+        }
+        // Hand out the rest one CPU at a time to the best marginal gain.
+        while remaining > 0 {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, curve) in apps.iter().enumerate() {
+                if alloc[i] == 0 {
+                    continue;
+                }
+                if alloc[i] >= curve.max_cpus() {
+                    continue; // no measured benefit beyond this point
+                }
+                let gain = curve.marginal(alloc[i]);
+                match best {
+                    None => best = Some((i, gain)),
+                    Some((_, g)) if gain > g => best = Some((i, gain)),
+                    _ => {}
+                }
+            }
+            match best {
+                Some((i, gain)) if gain > 0.0 => {
+                    alloc[i] += 1;
+                    remaining -= 1;
+                }
+                // No app benefits from more CPUs: stop handing them out.
+                _ => break,
+            }
+        }
+        alloc
+    }
+
+    fn name(&self) -> &'static str {
+        "performance-driven"
+    }
+}
+
+/// Total system speedup achieved by an allocation (the figure of merit used
+/// when comparing policies).
+pub fn total_speedup(apps: &[SpeedupCurve], alloc: &[usize]) -> f64 {
+    apps.iter()
+        .zip(alloc)
+        .map(|(c, &p)| if p == 0 { 0.0 } else { c.at(p) })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_interpolates_and_clamps() {
+        let c = SpeedupCurve::new(vec![(1, 1.0), (4, 3.0), (8, 4.0)]);
+        assert_eq!(c.at(1), 1.0);
+        assert_eq!(c.at(4), 3.0);
+        assert!((c.at(2) - (1.0 + 2.0 / 3.0)).abs() < 1e-12);
+        assert_eq!(c.at(100), 4.0); // clamped
+        assert_eq!(c.at(0), 1.0); // clamped low
+    }
+
+    #[test]
+    fn curve_inserts_unit_anchor() {
+        let c = SpeedupCurve::new(vec![(4, 3.0)]);
+        assert_eq!(c.at(1), 1.0);
+    }
+
+    #[test]
+    fn amdahl_curve_saturates() {
+        let c = SpeedupCurve::amdahl(0.25, 64);
+        assert!(c.at(64) < 4.0);
+        assert!(c.at(64) > 3.0);
+    }
+
+    #[test]
+    fn equipartition_splits_evenly() {
+        let apps = vec![SpeedupCurve::linear(16); 3];
+        let alloc = Equipartition.allocate(&apps, 16);
+        assert_eq!(alloc.iter().sum::<usize>(), 16);
+        assert_eq!(alloc, vec![6, 5, 5]);
+    }
+
+    #[test]
+    fn performance_driven_favors_scalable_app() {
+        // App A scales linearly; app B saturates at 2 CPUs.
+        let apps = vec![
+            SpeedupCurve::linear(16),
+            SpeedupCurve::new(vec![(1, 1.0), (2, 1.8), (4, 1.9), (16, 1.9)]),
+        ];
+        let alloc = PerformanceDriven.allocate(&apps, 16);
+        assert!(alloc[0] > alloc[1], "alloc: {alloc:?}");
+        assert!(alloc[0] >= 12, "scalable app should dominate: {alloc:?}");
+        // And it beats equipartition on total speedup.
+        let eq = Equipartition.allocate(&apps, 16);
+        assert!(total_speedup(&apps, &alloc) > total_speedup(&apps, &eq));
+    }
+
+    #[test]
+    fn performance_driven_no_starvation() {
+        let apps = vec![SpeedupCurve::linear(16), SpeedupCurve::linear(16)];
+        let alloc = PerformanceDriven.allocate(&apps, 8);
+        assert!(alloc.iter().all(|&p| p >= 1));
+        assert_eq!(alloc.iter().sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn performance_driven_stops_when_no_gain() {
+        // Both apps saturate at 2 CPUs; with 16 available the policy must
+        // not hand out useless CPUs.
+        let flat = SpeedupCurve::new(vec![(1, 1.0), (2, 1.5), (16, 1.5)]);
+        let apps = vec![flat.clone(), flat];
+        let alloc = PerformanceDriven.allocate(&apps, 16);
+        assert!(alloc.iter().sum::<usize>() < 16, "alloc: {alloc:?}");
+    }
+
+    #[test]
+    fn empty_apps_empty_allocation() {
+        assert!(Equipartition.allocate(&[], 8).is_empty());
+        assert!(PerformanceDriven.allocate(&[], 8).is_empty());
+    }
+
+    #[test]
+    fn fewer_cpus_than_apps() {
+        let apps = vec![SpeedupCurve::linear(4); 4];
+        let alloc = PerformanceDriven.allocate(&apps, 2);
+        assert_eq!(alloc.iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(Equipartition.name(), "equipartition");
+        assert_eq!(PerformanceDriven.name(), "performance-driven");
+    }
+}

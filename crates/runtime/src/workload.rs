@@ -1,0 +1,230 @@
+//! Multiprogrammed-workload simulation.
+//!
+//! The paper's §5.1 claim — performance-driven allocation "providing a
+//! great benefit" \[Corbalan2000\] — is about a *multiprogrammed* machine:
+//! several iterative applications sharing the CPUs. This module simulates
+//! that: each job is an iterative application with a speedup profile; a
+//! policy partitions the machine; jobs advance in virtual time under their
+//! allocation, re-partitioned whenever a job finishes. The figure of merit
+//! is makespan / mean turnaround — turning the curve arithmetic of
+//! [`crate::sched`] into an actual schedule.
+
+use crate::sched::{AllocationPolicy, SpeedupCurve};
+
+/// One iterative job.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Job name (reports).
+    pub name: String,
+    /// Time of one main-loop iteration on 1 CPU, nanoseconds.
+    pub iteration_ns: u64,
+    /// Total iterations to run.
+    pub iterations: u64,
+    /// Measured/predicted speedup profile.
+    pub curve: SpeedupCurve,
+}
+
+impl Job {
+    /// Remaining single-CPU work.
+    fn total_work_ns(&self) -> f64 {
+        self.iteration_ns as f64 * self.iterations as f64
+    }
+}
+
+/// Completion record for one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// Job name.
+    pub name: String,
+    /// Virtual completion time (ns).
+    pub finish_ns: f64,
+    /// CPUs the job held when it finished.
+    pub final_cpus: usize,
+}
+
+/// Result of simulating a workload under one policy.
+#[derive(Debug, Clone)]
+pub struct ScheduleOutcome {
+    /// Per-job completions, in finish order.
+    pub completions: Vec<Completion>,
+    /// Time the last job finished.
+    pub makespan_ns: f64,
+    /// Mean turnaround (all jobs start at t = 0).
+    pub mean_turnaround_ns: f64,
+}
+
+/// Simulate `jobs` sharing `total_cpus` under `policy`.
+///
+/// Event-driven: between job completions, every running job progresses at
+/// rate `curve.at(alloc)` relative to its single-CPU rate. On each
+/// completion the machine is re-partitioned among the survivors.
+pub fn simulate(
+    jobs: &[Job],
+    total_cpus: usize,
+    policy: &dyn AllocationPolicy,
+) -> ScheduleOutcome {
+    assert!(total_cpus > 0, "need at least one CPU");
+    let mut remaining: Vec<(usize, f64)> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| (i, j.total_work_ns()))
+        .collect();
+    let mut now = 0.0f64;
+    let mut completions = Vec::new();
+
+    while !remaining.is_empty() {
+        let curves: Vec<SpeedupCurve> = remaining
+            .iter()
+            .map(|&(i, _)| jobs[i].curve.clone())
+            .collect();
+        let alloc = policy.allocate(&curves, total_cpus);
+        debug_assert_eq!(alloc.len(), remaining.len());
+        // Progress rate per job: speedup at its allocation (work-ns per ns).
+        let rates: Vec<f64> = remaining
+            .iter()
+            .zip(&alloc)
+            .map(|(&(i, _), &cpus)| {
+                if cpus == 0 {
+                    0.0
+                } else {
+                    jobs[i].curve.at(cpus).max(1e-9)
+                }
+            })
+            .collect();
+        // Next completion: min over jobs of remaining_work / rate.
+        let (next_idx, dt) = remaining
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| rates[*k] > 0.0)
+            .map(|(k, &(_, work))| (k, work / rates[k]))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("at least one job must be runnable");
+        now += dt;
+        // Advance everyone.
+        for (k, entry) in remaining.iter_mut().enumerate() {
+            entry.1 -= rates[k] * dt;
+        }
+        let (job_idx, _) = remaining.remove(next_idx);
+        completions.push(Completion {
+            name: jobs[job_idx].name.clone(),
+            finish_ns: now,
+            final_cpus: alloc[next_idx],
+        });
+    }
+
+    let makespan_ns = now;
+    let mean_turnaround_ns =
+        completions.iter().map(|c| c.finish_ns).sum::<f64>() / completions.len().max(1) as f64;
+    ScheduleOutcome {
+        completions,
+        makespan_ns,
+        mean_turnaround_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{Equipartition, PerformanceDriven};
+
+    fn job(name: &str, iter_ms: u64, iters: u64, curve: SpeedupCurve) -> Job {
+        Job {
+            name: name.into(),
+            iteration_ns: iter_ms * 1_000_000,
+            iterations: iters,
+            curve,
+        }
+    }
+
+    #[test]
+    fn single_job_gets_whole_machine() {
+        let jobs = vec![job("solo", 10, 100, SpeedupCurve::linear(16))];
+        let out = simulate(&jobs, 16, &Equipartition);
+        // 1000 ms of work at speedup 16 -> 62.5 ms.
+        assert!((out.makespan_ns - 62.5e6).abs() < 1e3, "{}", out.makespan_ns);
+        assert_eq!(out.completions[0].final_cpus, 16);
+    }
+
+    #[test]
+    fn completion_frees_cpus_for_survivors() {
+        // Short job + long job, both linear: after the short one finishes
+        // the long one should accelerate, beating a static half-machine run.
+        let jobs = vec![
+            job("short", 10, 10, SpeedupCurve::linear(16)),
+            job("long", 10, 100, SpeedupCurve::linear(16)),
+        ];
+        let out = simulate(&jobs, 16, &Equipartition);
+        assert_eq!(out.completions[0].name, "short");
+        // Static half machine for the long job: 1000 ms / 8 = 125 ms.
+        assert!(
+            out.makespan_ns < 125.0e6,
+            "survivor must speed up: {} ns",
+            out.makespan_ns
+        );
+    }
+
+    #[test]
+    fn performance_driven_beats_equipartition_on_mixed_workload() {
+        let jobs = vec![
+            job("scalable", 10, 200, SpeedupCurve::amdahl(0.02, 16)),
+            job("saturating", 10, 200, SpeedupCurve::amdahl(0.5, 16)),
+            job("serial-ish", 10, 200, SpeedupCurve::amdahl(0.8, 16)),
+        ];
+        let eq = simulate(&jobs, 16, &Equipartition);
+        let pd = simulate(&jobs, 16, &PerformanceDriven);
+        assert!(
+            pd.mean_turnaround_ns <= eq.mean_turnaround_ns * 1.001,
+            "PD turnaround {} vs EQ {}",
+            pd.mean_turnaround_ns,
+            eq.mean_turnaround_ns
+        );
+        assert!(
+            pd.makespan_ns <= eq.makespan_ns * 1.05,
+            "PD makespan {} vs EQ {}",
+            pd.makespan_ns,
+            eq.makespan_ns
+        );
+    }
+
+    #[test]
+    fn all_jobs_complete_exactly_once() {
+        let jobs: Vec<Job> = (0..5)
+            .map(|i| {
+                job(
+                    &format!("j{i}"),
+                    5 + i,
+                    50 + 10 * i,
+                    SpeedupCurve::amdahl(0.1 * i as f64, 16),
+                )
+            })
+            .collect();
+        let out = simulate(&jobs, 16, &PerformanceDriven);
+        assert_eq!(out.completions.len(), 5);
+        let mut names: Vec<&str> = out.completions.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["j0", "j1", "j2", "j3", "j4"]);
+        // Finish times are non-decreasing.
+        for w in out.completions.windows(2) {
+            assert!(w[1].finish_ns >= w[0].finish_ns);
+        }
+    }
+
+    #[test]
+    fn more_cpus_never_hurt_makespan() {
+        let jobs = vec![
+            job("a", 10, 100, SpeedupCurve::amdahl(0.1, 32)),
+            job("b", 10, 100, SpeedupCurve::amdahl(0.2, 32)),
+        ];
+        let m8 = simulate(&jobs, 8, &PerformanceDriven).makespan_ns;
+        let m16 = simulate(&jobs, 16, &PerformanceDriven).makespan_ns;
+        let m32 = simulate(&jobs, 32, &PerformanceDriven).makespan_ns;
+        assert!(m16 <= m8 * 1.001);
+        assert!(m32 <= m16 * 1.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CPU")]
+    fn zero_cpus_rejected() {
+        let _ = simulate(&[], 0, &Equipartition);
+    }
+}

@@ -1,0 +1,345 @@
+//! The SelfAnalyzer mechanism.
+//!
+//! Implements the run-time flow of the paper's Figure 6: every intercepted
+//! parallel-loop call is passed to the DPD; when the DPD signals a period
+//! start, the analyzer identifies the parallel region by "the address of the
+//! starting function and the length of the period" (§5.1) and closes the
+//! timing of the previous iteration. Iteration times are bucketed by the
+//! number of CPUs the iteration ran with, so the speedup
+//! `S = T(baseline) / T(available)` (§5) falls out directly.
+
+use crate::speedup::speedup;
+use dpd_core::capi::Dpd;
+use ditools::hook::CallObserver;
+use ditools::registry::FnAddr;
+
+/// Timing record for one completed iteration of a region's main loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IterationRecord {
+    /// Iteration start (first loop call of the period), nanoseconds.
+    pub start_ns: u64,
+    /// Iteration end (first loop call of the next period), nanoseconds.
+    pub end_ns: u64,
+    /// CPUs allocated to the application during this iteration.
+    pub cpus: usize,
+}
+
+impl IterationRecord {
+    /// Iteration duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// A parallel region discovered by the DPD.
+///
+/// Identified — exactly as in the paper — by the address of the function
+/// starting the period and the period length, "assuming that the case of two
+/// iterative sequences of values with the same length and same initial
+/// function is not a normal case" (§5.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionInfo {
+    /// Address of the loop function that starts each period.
+    pub start_addr: i64,
+    /// Period length in loop calls.
+    pub period: usize,
+    /// Completed iteration timings.
+    pub iterations: Vec<IterationRecord>,
+    /// Start time of the currently open iteration, if any.
+    open_since: Option<u64>,
+}
+
+impl RegionInfo {
+    fn new(start_addr: i64, period: usize) -> Self {
+        RegionInfo {
+            start_addr,
+            period,
+            iterations: Vec::new(),
+            open_since: None,
+        }
+    }
+
+    /// Mean iteration time over iterations executed with `cpus` CPUs.
+    pub fn mean_time_ns(&self, cpus: usize) -> Option<f64> {
+        let times: Vec<u64> = self
+            .iterations
+            .iter()
+            .filter(|r| r.cpus == cpus)
+            .map(|r| r.duration_ns())
+            .collect();
+        if times.is_empty() {
+            None
+        } else {
+            Some(times.iter().sum::<u64>() as f64 / times.len() as f64)
+        }
+    }
+
+    /// Number of completed iterations measured with `cpus` CPUs.
+    pub fn iterations_with(&self, cpus: usize) -> usize {
+        self.iterations.iter().filter(|r| r.cpus == cpus).count()
+    }
+
+    /// Speedup of `cpus` relative to `baseline_cpus` from measured means.
+    pub fn speedup(&self, baseline_cpus: usize, cpus: usize) -> Option<f64> {
+        let tb = self.mean_time_ns(baseline_cpus)?;
+        let tp = self.mean_time_ns(cpus)?;
+        speedup(tb.round() as u64, tp.round() as u64)
+    }
+
+    /// All distinct CPU counts with at least one measured iteration.
+    pub fn measured_cpu_counts(&self) -> Vec<usize> {
+        let mut counts: Vec<usize> = self.iterations.iter().map(|r| r.cpus).collect();
+        counts.sort_unstable();
+        counts.dedup();
+        counts
+    }
+}
+
+/// The SelfAnalyzer: DPD-driven discovery and timing of parallel regions.
+///
+/// # Examples
+/// ```
+/// use selfanalyzer::SelfAnalyzer;
+///
+/// let mut sa = SelfAnalyzer::new(8, 1); // DPD window 8, baseline 1 CPU
+/// let loops = [0x400000i64, 0x400040, 0x400080];
+/// let mut t = 0u64;
+/// // Baseline iterations: each loop call takes 4 µs on 1 CPU.
+/// for i in 0..60 {
+///     sa.on_loop_call(loops[i % 3], t);
+///     t += 4_000;
+/// }
+/// // More CPUs arrive: iterations now take 1 µs per loop call.
+/// sa.set_cpus(4);
+/// for i in 0..120 {
+///     sa.on_loop_call(loops[i % 3], t);
+///     t += 1_000;
+/// }
+/// let region = &sa.regions()[0];
+/// assert_eq!(region.period, 3);
+/// let speedup = region.speedup(1, 4).unwrap();
+/// assert!(speedup > 3.0 && speedup <= 4.0);
+/// ```
+#[derive(Debug)]
+pub struct SelfAnalyzer {
+    dpd: Dpd,
+    regions: Vec<RegionInfo>,
+    /// Index into `regions` of the region currently being timed.
+    active: Option<usize>,
+    /// CPUs the application currently holds (set by the runtime/scheduler).
+    cpus_now: usize,
+    /// Total loop-call events processed.
+    events: u64,
+}
+
+impl SelfAnalyzer {
+    /// Analyzer with the given DPD window and an initial CPU allocation.
+    pub fn new(dpd_window: usize, initial_cpus: usize) -> Self {
+        SelfAnalyzer {
+            dpd: Dpd::with_window(dpd_window),
+            regions: Vec::new(),
+            active: None,
+            cpus_now: initial_cpus.max(1),
+            events: 0,
+        }
+    }
+
+    /// Update the CPU allocation (the scheduler may change it between
+    /// iterations; the paper's §5 procedure runs one iteration at a baseline
+    /// count and later ones at the available count).
+    pub fn set_cpus(&mut self, cpus: usize) {
+        self.cpus_now = cpus.max(1);
+    }
+
+    /// The current CPU allocation used to label iterations.
+    pub fn cpus(&self) -> usize {
+        self.cpus_now
+    }
+
+    /// Handle one intercepted parallel-loop call (the body of the paper's
+    /// `DI_event`): feed the DPD; on a period start, close the previous
+    /// iteration and open the next one. Returns the period when a period
+    /// start was signalled.
+    pub fn on_loop_call(&mut self, addr: i64, t_ns: u64) -> Option<usize> {
+        self.events += 1;
+        let mut period: i32 = 0;
+        let start_period = self.dpd.dpd(addr, &mut period);
+        if start_period == 0 {
+            return None;
+        }
+        let period = period as usize;
+        // InitParallelRegion(address, length) — find or create the region.
+        let idx = match self
+            .regions
+            .iter()
+            .position(|r| r.start_addr == addr && r.period == period)
+        {
+            Some(i) => i,
+            None => {
+                self.regions.push(RegionInfo::new(addr, period));
+                self.regions.len() - 1
+            }
+        };
+        // Close the open iteration of whichever region was active.
+        if let Some(active) = self.active {
+            if let Some(start) = self.regions[active].open_since.take() {
+                if t_ns > start {
+                    self.regions[active].iterations.push(IterationRecord {
+                        start_ns: start,
+                        end_ns: t_ns,
+                        cpus: self.cpus_now,
+                    });
+                }
+            }
+        }
+        self.regions[idx].open_since = Some(t_ns);
+        self.active = Some(idx);
+        Some(period)
+    }
+
+    /// Discovered regions.
+    pub fn regions(&self) -> &[RegionInfo] {
+        &self.regions
+    }
+
+    /// The region currently being timed.
+    pub fn active_region(&self) -> Option<&RegionInfo> {
+        self.active.map(|i| &self.regions[i])
+    }
+
+    /// Total loop-call events processed.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Adjust the DPD window (forwards `DPDWindowSize`).
+    pub fn set_dpd_window(&mut self, size: i32) {
+        self.dpd.dpd_window_size(size);
+    }
+}
+
+impl CallObserver for SelfAnalyzer {
+    fn on_call(&mut self, addr: FnAddr, t_ns: u64) {
+        self.on_loop_call(addr.raw(), t_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive the analyzer with a synthetic period-4 loop stream where each
+    /// loop call takes `cost` ns; returns the analyzer.
+    fn drive(cost: u64, calls: usize, window: usize, cpus: usize) -> SelfAnalyzer {
+        let mut sa = SelfAnalyzer::new(window, cpus);
+        let addrs = [0x100i64, 0x140, 0x180, 0x1c0];
+        let mut t = 0u64;
+        for i in 0..calls {
+            sa.on_loop_call(addrs[i % 4], t);
+            t += cost;
+        }
+        sa
+    }
+
+    #[test]
+    fn discovers_region_and_times_iterations() {
+        let sa = drive(1_000, 200, 8, 4);
+        assert_eq!(sa.regions().len(), 1);
+        let r = &sa.regions()[0];
+        assert_eq!(r.period, 4);
+        assert!(r.iterations.len() > 10);
+        // Every iteration is period * cost long.
+        for it in &r.iterations {
+            assert_eq!(it.duration_ns(), 4_000);
+            assert_eq!(it.cpus, 4);
+        }
+    }
+
+    #[test]
+    fn region_identified_by_start_address() {
+        let sa = drive(1_000, 200, 8, 4);
+        let r = &sa.regions()[0];
+        // The period start is wherever the DPD locked; it must be one of the
+        // four loop addresses and stay consistent.
+        assert!([0x100, 0x140, 0x180, 0x1c0].contains(&r.start_addr));
+    }
+
+    #[test]
+    fn speedup_from_two_allocations() {
+        let mut sa = SelfAnalyzer::new(8, 1);
+        let addrs = [0x100i64, 0x140, 0x180];
+        let mut t = 0u64;
+        // Phase 1: baseline (1 CPU), iterations cost 3 * 4000 ns.
+        for i in 0..90 {
+            sa.on_loop_call(addrs[i % 3], t);
+            t += 4_000;
+        }
+        // Phase 2: 4 CPUs, iterations cost 3 * 1100 ns.
+        sa.set_cpus(4);
+        for i in 90..300 {
+            sa.on_loop_call(addrs[i % 3], t);
+            t += 1_100;
+        }
+        let r = &sa.regions()[0];
+        let s = r.speedup(1, 4).expect("both buckets measured");
+        let expected = 4_000.0 / 1_100.0;
+        assert!(
+            (s - expected).abs() / expected < 0.15,
+            "speedup {s}, expected ~{expected}"
+        );
+        assert_eq!(r.measured_cpu_counts(), vec![1, 4]);
+    }
+
+    #[test]
+    fn no_region_for_aperiodic_stream() {
+        let mut sa = SelfAnalyzer::new(16, 4);
+        for i in 0..200i64 {
+            sa.on_loop_call(0x1000 + i * 0x40, i as u64 * 100);
+        }
+        assert!(sa.regions().is_empty());
+        assert_eq!(sa.events(), 200);
+    }
+
+    #[test]
+    fn observer_interface_feeds_analyzer() {
+        let mut sa = SelfAnalyzer::new(8, 2);
+        let addrs = [FnAddr(0x100), FnAddr(0x140)];
+        let mut t = 0u64;
+        for i in 0..100 {
+            sa.on_call(addrs[i % 2], t);
+            t += 500;
+        }
+        assert_eq!(sa.regions().len(), 1);
+        assert_eq!(sa.regions()[0].period, 2);
+    }
+
+    #[test]
+    fn mean_time_none_for_unmeasured_cpus() {
+        let sa = drive(1_000, 100, 8, 4);
+        let r = &sa.regions()[0];
+        assert!(r.mean_time_ns(4).is_some());
+        assert!(r.mean_time_ns(7).is_none());
+        assert!(r.speedup(7, 4).is_none());
+    }
+
+    #[test]
+    fn set_dpd_window_keeps_working() {
+        let mut sa = SelfAnalyzer::new(256, 2);
+        sa.set_dpd_window(8);
+        let addrs = [0x100i64, 0x140];
+        let mut t = 0u64;
+        for i in 0..60 {
+            sa.on_loop_call(addrs[i % 2], t);
+            t += 500;
+        }
+        assert_eq!(sa.regions().len(), 1);
+    }
+
+    #[test]
+    fn cpus_floor_at_one() {
+        let mut sa = SelfAnalyzer::new(8, 0);
+        assert_eq!(sa.cpus(), 1);
+        sa.set_cpus(0);
+        assert_eq!(sa.cpus(), 1);
+    }
+}

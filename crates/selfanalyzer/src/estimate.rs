@@ -1,0 +1,162 @@
+//! Whole-application execution-time estimation.
+//!
+//! The SelfAnalyzer "estimates the execution time of the whole application"
+//! (paper §5) from the iterative structure: once one iteration of the main
+//! loop is timed, the remaining iterations are assumed to behave the same —
+//! "measurements for a particular iteration can be used to predict the
+//! behavior of the next iterations."
+
+/// Estimates total/remaining execution time of an iterative application.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionEstimator {
+    /// Durations of completed iterations (ns), in completion order.
+    samples: Vec<u64>,
+    /// Expected total number of iterations, when known (e.g. `niter` from
+    /// the input deck). `None` = unknown.
+    total_iterations: Option<u64>,
+    /// Time spent before the first measured iteration (startup / prologue).
+    startup_ns: u64,
+}
+
+impl ExecutionEstimator {
+    /// Estimator with unknown iteration count.
+    pub fn new() -> Self {
+        ExecutionEstimator::default()
+    }
+
+    /// Declare the expected total iteration count.
+    pub fn with_total_iterations(mut self, n: u64) -> Self {
+        self.total_iterations = Some(n);
+        self
+    }
+
+    /// Record startup time preceding the iterative phase.
+    pub fn set_startup_ns(&mut self, ns: u64) {
+        self.startup_ns = ns;
+    }
+
+    /// Record one completed iteration.
+    pub fn record_iteration(&mut self, duration_ns: u64) {
+        self.samples.push(duration_ns);
+    }
+
+    /// Number of iterations measured so far.
+    pub fn measured(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean iteration time; `None` before any measurement.
+    pub fn mean_iteration_ns(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64)
+        }
+    }
+
+    /// Exponentially smoothed recent iteration time (alpha = 0.25), more
+    /// responsive to drift than the mean; `None` before any measurement.
+    pub fn smoothed_iteration_ns(&self) -> Option<f64> {
+        let mut ewma: Option<f64> = None;
+        for &s in &self.samples {
+            ewma = Some(match ewma {
+                None => s as f64,
+                Some(e) => e + 0.25 * (s as f64 - e),
+            });
+        }
+        ewma
+    }
+
+    /// Estimated total execution time, when the iteration count is known:
+    /// `startup + total_iterations * mean_iteration`.
+    pub fn estimated_total_ns(&self) -> Option<f64> {
+        let total = self.total_iterations? as f64;
+        let mean = self.mean_iteration_ns()?;
+        Some(self.startup_ns as f64 + total * mean)
+    }
+
+    /// Estimated remaining time after `completed` iterations.
+    pub fn estimated_remaining_ns(&self, completed: u64) -> Option<f64> {
+        let total = self.total_iterations?;
+        let mean = self.smoothed_iteration_ns()?;
+        Some(total.saturating_sub(completed) as f64 * mean)
+    }
+
+    /// Relative error of the estimate against an actual total, for
+    /// experiment reporting: `|estimate - actual| / actual`.
+    pub fn estimate_error(&self, actual_total_ns: u64) -> Option<f64> {
+        let est = self.estimated_total_ns()?;
+        if actual_total_ns == 0 {
+            return None;
+        }
+        Some((est - actual_total_ns as f64).abs() / actual_total_ns as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_over_samples() {
+        let mut e = ExecutionEstimator::new();
+        assert_eq!(e.mean_iteration_ns(), None);
+        e.record_iteration(100);
+        e.record_iteration(300);
+        assert_eq!(e.mean_iteration_ns(), Some(200.0));
+        assert_eq!(e.measured(), 2);
+    }
+
+    #[test]
+    fn total_estimate_with_known_iterations() {
+        let mut e = ExecutionEstimator::new().with_total_iterations(100);
+        e.set_startup_ns(5_000);
+        e.record_iteration(1_000);
+        e.record_iteration(1_000);
+        assert_eq!(e.estimated_total_ns(), Some(105_000.0));
+    }
+
+    #[test]
+    fn estimate_unavailable_without_iteration_count() {
+        let mut e = ExecutionEstimator::new();
+        e.record_iteration(1_000);
+        assert_eq!(e.estimated_total_ns(), None);
+        assert_eq!(e.estimated_remaining_ns(1), None);
+    }
+
+    #[test]
+    fn remaining_decreases_with_progress() {
+        let mut e = ExecutionEstimator::new().with_total_iterations(10);
+        e.record_iteration(1_000);
+        let r2 = e.estimated_remaining_ns(2).unwrap();
+        let r8 = e.estimated_remaining_ns(8).unwrap();
+        assert!(r8 < r2);
+        assert_eq!(e.estimated_remaining_ns(10), Some(0.0));
+        assert_eq!(e.estimated_remaining_ns(99), Some(0.0)); // saturates
+    }
+
+    #[test]
+    fn smoothing_tracks_drift() {
+        let mut e = ExecutionEstimator::new();
+        for _ in 0..10 {
+            e.record_iteration(1_000);
+        }
+        for _ in 0..10 {
+            e.record_iteration(2_000);
+        }
+        let mean = e.mean_iteration_ns().unwrap();
+        let smooth = e.smoothed_iteration_ns().unwrap();
+        assert!(smooth > mean, "EWMA {smooth} should exceed mean {mean}");
+        assert!(smooth > 1_800.0);
+    }
+
+    #[test]
+    fn estimate_error_against_actual() {
+        let mut e = ExecutionEstimator::new().with_total_iterations(10);
+        e.record_iteration(1_000);
+        // estimate = 10_000; actual 12_500 -> error 0.2
+        let err = e.estimate_error(12_500).unwrap();
+        assert!((err - 0.2).abs() < 1e-12);
+        assert_eq!(e.estimate_error(0), None);
+    }
+}

@@ -1,0 +1,190 @@
+//! Dynamic optimization decisions from measured speedups.
+//!
+//! The paper's introduction motivates dynamic measurement with dynamic
+//! *optimization*: "serialize parallel loops with great overheads"
+//! \[VossEigenmann99\] and performance-driven processor allocation
+//! \[Corbalan2000\]. This module turns the SelfAnalyzer's measurements into
+//! those decisions: run a region serially when parallelism doesn't pay,
+//! and recommend the CPU count with the best marginal efficiency.
+
+use crate::analyzer::RegionInfo;
+
+/// Decision for how to execute a parallel region next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionDecision {
+    /// Keep executing in parallel with the given CPU count.
+    Parallel(usize),
+    /// Serialize: measured speedup does not justify the parallel overheads
+    /// (\[VossEigenmann99\]'s dynamic serialization).
+    Serialize,
+    /// Not enough measurements yet; keep the current configuration.
+    Undecided,
+}
+
+/// Policy thresholds for dynamic serialization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SerializationPolicy {
+    /// Serialize when measured speedup falls below this (1.0 = only when
+    /// parallel is an outright loss; slightly above 1 accounts for the
+    /// opportunity cost of the extra CPUs).
+    pub min_speedup: f64,
+    /// Minimum iterations measured in *both* buckets before deciding.
+    pub min_samples: usize,
+}
+
+impl Default for SerializationPolicy {
+    fn default() -> Self {
+        SerializationPolicy {
+            min_speedup: 1.05,
+            min_samples: 2,
+        }
+    }
+}
+
+impl SerializationPolicy {
+    /// Decide for `region` measured at `baseline_cpus` vs `cpus`.
+    pub fn decide(
+        &self,
+        region: &RegionInfo,
+        baseline_cpus: usize,
+        cpus: usize,
+    ) -> ExecutionDecision {
+        if region.iterations_with(baseline_cpus) < self.min_samples
+            || region.iterations_with(cpus) < self.min_samples
+        {
+            return ExecutionDecision::Undecided;
+        }
+        match region.speedup(baseline_cpus, cpus) {
+            Some(s) if s < self.min_speedup => ExecutionDecision::Serialize,
+            Some(_) => ExecutionDecision::Parallel(cpus),
+            None => ExecutionDecision::Undecided,
+        }
+    }
+}
+
+/// Recommend the most efficient CPU count among the measured ones: the
+/// largest count whose efficiency (`S(p)/p`) stays above `min_efficiency`.
+/// Falls back to the count with the best speedup when none qualifies.
+pub fn recommend_cpus(
+    region: &RegionInfo,
+    baseline_cpus: usize,
+    min_efficiency: f64,
+) -> Option<usize> {
+    let counts = region.measured_cpu_counts();
+    if counts.is_empty() {
+        return None;
+    }
+    let mut best_eff: Option<usize> = None;
+    let mut best_speedup: Option<(usize, f64)> = None;
+    for &p in &counts {
+        let s = region.speedup(baseline_cpus, p)?;
+        if p > 0 && s / p as f64 >= min_efficiency {
+            best_eff = Some(best_eff.map_or(p, |b: usize| b.max(p)));
+        }
+        match best_speedup {
+            None => best_speedup = Some((p, s)),
+            Some((_, bs)) if s > bs => best_speedup = Some((p, s)),
+            _ => {}
+        }
+    }
+    best_eff.or(best_speedup.map(|(p, _)| p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::SelfAnalyzer;
+
+    /// Build an analyzer whose region has iteration time `t1` at 1 CPU and
+    /// `tp` at `p` CPUs (16 iterations each).
+    fn measured(t1: u64, tp: u64, p: usize) -> SelfAnalyzer {
+        let mut sa = SelfAnalyzer::new(8, 1);
+        let addrs = [0x10i64, 0x20];
+        let mut t = 0u64;
+        for i in 0..40 {
+            sa.on_loop_call(addrs[i % 2], t);
+            t += t1 / 2;
+        }
+        sa.set_cpus(p);
+        for i in 40..80 {
+            sa.on_loop_call(addrs[i % 2], t);
+            t += tp / 2;
+        }
+        sa
+    }
+
+    #[test]
+    fn serializes_when_parallel_loses() {
+        // Parallel is slower than serial (overhead-dominated small loop).
+        let sa = measured(1_000, 1_400, 8);
+        let d = SerializationPolicy::default().decide(&sa.regions()[0], 1, 8);
+        assert_eq!(d, ExecutionDecision::Serialize);
+    }
+
+    #[test]
+    fn stays_parallel_when_it_pays() {
+        let sa = measured(8_000, 1_500, 8);
+        let d = SerializationPolicy::default().decide(&sa.regions()[0], 1, 8);
+        assert_eq!(d, ExecutionDecision::Parallel(8));
+    }
+
+    #[test]
+    fn undecided_without_enough_samples() {
+        let sa = measured(8_000, 1_500, 8);
+        let strict = SerializationPolicy {
+            min_samples: 1_000,
+            ..SerializationPolicy::default()
+        };
+        assert_eq!(
+            strict.decide(&sa.regions()[0], 1, 8),
+            ExecutionDecision::Undecided
+        );
+    }
+
+    #[test]
+    fn undecided_for_unmeasured_bucket() {
+        let sa = measured(8_000, 1_500, 8);
+        assert_eq!(
+            SerializationPolicy::default().decide(&sa.regions()[0], 1, 4),
+            ExecutionDecision::Undecided
+        );
+    }
+
+    #[test]
+    fn marginal_speedup_triggers_serialization() {
+        // S = 1.02 < 1.05 threshold.
+        let sa = measured(10_200, 10_000, 16);
+        assert_eq!(
+            SerializationPolicy::default().decide(&sa.regions()[0], 1, 16),
+            ExecutionDecision::Serialize
+        );
+    }
+
+    #[test]
+    fn recommend_prefers_efficient_count() {
+        // Region measured at 1, 4 and 16 CPUs: 4 is efficient, 16 is not.
+        let mut sa = SelfAnalyzer::new(8, 1);
+        let addrs = [0x10i64, 0x20];
+        let mut t = 0u64;
+        let phases: [(usize, u64); 3] = [(1, 4_000), (4, 1_100), (16, 800)];
+        for (cpus, step) in phases {
+            sa.set_cpus(cpus);
+            for i in 0..40 {
+                sa.on_loop_call(addrs[i % 2], t);
+                t += step;
+            }
+        }
+        let region = &sa.regions()[0];
+        // eff(4) = (4000/1100)/4 ≈ 0.91; eff(16) = (4000/800)/16 ≈ 0.31.
+        assert_eq!(recommend_cpus(region, 1, 0.5), Some(4));
+        // With a lax efficiency bar, the bigger count wins.
+        assert_eq!(recommend_cpus(region, 1, 0.25), Some(16));
+    }
+
+    #[test]
+    fn recommend_none_without_measurements() {
+        let sa = SelfAnalyzer::new(8, 1);
+        // No regions at all.
+        assert!(sa.regions().is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! Human-readable speedup reports.
+//!
+//! Formats the SelfAnalyzer's measurements the way the paper's case study
+//! presents them: one row per discovered parallel region, with the measured
+//! iteration times per CPU allocation and the resulting speedup/efficiency.
+
+use crate::analyzer::RegionInfo;
+use crate::speedup::efficiency;
+
+/// One row of a speedup report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupRow {
+    /// Address of the region's starting loop function.
+    pub start_addr: i64,
+    /// Period length (loop calls per iteration).
+    pub period: usize,
+    /// CPU count of this measurement bucket.
+    pub cpus: usize,
+    /// Mean iteration time for the bucket, nanoseconds.
+    pub mean_iteration_ns: f64,
+    /// Speedup relative to the baseline bucket, when available.
+    pub speedup: Option<f64>,
+    /// Efficiency relative to the baseline bucket, when available.
+    pub efficiency: Option<f64>,
+}
+
+/// Build report rows for a region, with `baseline_cpus` as the reference.
+pub fn region_rows(region: &RegionInfo, baseline_cpus: usize) -> Vec<SpeedupRow> {
+    let mut rows = Vec::new();
+    for cpus in region.measured_cpu_counts() {
+        let mean = match region.mean_time_ns(cpus) {
+            Some(m) => m,
+            None => continue,
+        };
+        let s = region.speedup(baseline_cpus, cpus);
+        rows.push(SpeedupRow {
+            start_addr: region.start_addr,
+            period: region.period,
+            cpus,
+            mean_iteration_ns: mean,
+            speedup: s,
+            efficiency: s.map(|v| efficiency(v, cpus)),
+        });
+    }
+    rows
+}
+
+/// Render rows as a fixed-width text table.
+pub fn format_table(rows: &[SpeedupRow]) -> String {
+    let mut out = String::new();
+    out.push_str("region      period  cpus  iter_time(ms)  speedup  efficiency\n");
+    out.push_str("----------  ------  ----  -------------  -------  ----------\n");
+    for r in rows {
+        let s = r
+            .speedup
+            .map(|v| format!("{v:7.2}"))
+            .unwrap_or_else(|| "      -".into());
+        let e = r
+            .efficiency
+            .map(|v| format!("{v:10.2}"))
+            .unwrap_or_else(|| "         -".into());
+        out.push_str(&format!(
+            "{:#010x}  {:6}  {:4}  {:13.3}  {s}  {e}\n",
+            r.start_addr,
+            r.period,
+            r.cpus,
+            r.mean_iteration_ns / 1e6,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::SelfAnalyzer;
+
+    fn measured_analyzer() -> SelfAnalyzer {
+        let mut sa = SelfAnalyzer::new(8, 1);
+        let addrs = [0x100i64, 0x140, 0x180];
+        let mut t = 0u64;
+        for i in 0..60 {
+            sa.on_loop_call(addrs[i % 3], t);
+            t += 4_000;
+        }
+        sa.set_cpus(4);
+        for i in 60..240 {
+            sa.on_loop_call(addrs[i % 3], t);
+            t += 1_000;
+        }
+        sa
+    }
+
+    #[test]
+    fn rows_cover_both_buckets() {
+        let sa = measured_analyzer();
+        let rows = region_rows(&sa.regions()[0], 1);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].cpus, 1);
+        assert_eq!(rows[1].cpus, 4);
+        let s = rows[1].speedup.unwrap();
+        assert!(s > 2.0, "speedup {s}");
+        let e = rows[1].efficiency.unwrap();
+        assert!((e - s / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_row_has_unit_speedup() {
+        let sa = measured_analyzer();
+        let rows = region_rows(&sa.regions()[0], 1);
+        assert!((rows[0].speedup.unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let sa = measured_analyzer();
+        let rows = region_rows(&sa.regions()[0], 1);
+        let table = format_table(&rows);
+        assert_eq!(table.lines().count(), 2 + rows.len());
+        assert!(table.contains("speedup"));
+    }
+
+    #[test]
+    fn missing_baseline_leaves_dashes() {
+        let sa = measured_analyzer();
+        let rows = region_rows(&sa.regions()[0], 9); // nothing measured at 9
+        assert!(rows.iter().all(|r| r.speedup.is_none()));
+        let table = format_table(&rows);
+        assert!(table.contains('-'));
+    }
+}

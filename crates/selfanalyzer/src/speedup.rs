@@ -1,0 +1,118 @@
+//! Speedup and efficiency definitions.
+//!
+//! The ratios the SelfAnalyzer reports, with the classical sanity bounds
+//! from the paper's references: speedup `S(p) = T(base)/T(p)` \[Amdahl67\],
+//! efficiency `E(p) = S(p)/p`, and the Eager/Zahorjan/Lazowska relation that
+//! for well-behaved programs `1 <= S(p) <= p` and `E` decreases as `S`
+//! grows \[Eager89\].
+
+/// Speedup of an execution taking `t_p_ns` relative to a baseline taking
+/// `t_base_ns`.
+///
+/// Returns `None` when either time is zero (no measurement yet).
+pub fn speedup(t_base_ns: u64, t_p_ns: u64) -> Option<f64> {
+    if t_base_ns == 0 || t_p_ns == 0 {
+        None
+    } else {
+        Some(t_base_ns as f64 / t_p_ns as f64)
+    }
+}
+
+/// Parallel efficiency: `speedup / cpus` \[Eager89\].
+pub fn efficiency(speedup: f64, cpus: usize) -> f64 {
+    if cpus == 0 {
+        0.0
+    } else {
+        speedup / cpus as f64
+    }
+}
+
+/// Amdahl's-law speedup for serial fraction `f` on `p` CPUs \[Amdahl67\].
+pub fn amdahl(f: f64, p: usize) -> f64 {
+    let p = p.max(1) as f64;
+    1.0 / (f + (1.0 - f) / p)
+}
+
+/// Serial fraction implied by a measured speedup (inverse Amdahl, the
+/// Karp–Flatt metric): `f = (1/S - 1/p) / (1 - 1/p)`.
+///
+/// Returns `None` for `p <= 1` where the metric is undefined.
+pub fn karp_flatt(speedup: f64, p: usize) -> Option<f64> {
+    if p <= 1 || speedup <= 0.0 {
+        return None;
+    }
+    let p = p as f64;
+    Some(((1.0 / speedup) - (1.0 / p)) / (1.0 - 1.0 / p))
+}
+
+/// Sanity classification of a measured speedup on `p` CPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpeedupClass {
+    /// `S < 1`: the parallel run is slower than the baseline.
+    Slowdown,
+    /// `1 <= S <= p`: the normal regime \[Eager89\].
+    Normal,
+    /// `S > p`: super-linear (cache effects or measurement error).
+    SuperLinear,
+}
+
+/// Classify a speedup value.
+pub fn classify(speedup: f64, p: usize) -> SpeedupClass {
+    if speedup < 1.0 {
+        SpeedupClass::Slowdown
+    } else if speedup <= p as f64 + 1e-9 {
+        SpeedupClass::Normal
+    } else {
+        SpeedupClass::SuperLinear
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_ratio() {
+        assert_eq!(speedup(100, 25), Some(4.0));
+        assert_eq!(speedup(0, 25), None);
+        assert_eq!(speedup(100, 0), None);
+    }
+
+    #[test]
+    fn efficiency_divides_by_cpus() {
+        assert_eq!(efficiency(4.0, 8), 0.5);
+        assert_eq!(efficiency(4.0, 0), 0.0);
+    }
+
+    #[test]
+    fn amdahl_limits() {
+        assert_eq!(amdahl(0.0, 16), 16.0);
+        assert!((amdahl(1.0, 16) - 1.0).abs() < 1e-12);
+        // f=0.2, p→∞ bound is 5
+        assert!(amdahl(0.2, 1_000_000) < 5.0);
+        assert!(amdahl(0.2, 1_000_000) > 4.99);
+    }
+
+    #[test]
+    fn karp_flatt_recovers_serial_fraction() {
+        let f = 0.15;
+        let p = 8;
+        let s = amdahl(f, p);
+        let recovered = karp_flatt(s, p).unwrap();
+        assert!((recovered - f).abs() < 1e-9, "got {recovered}");
+    }
+
+    #[test]
+    fn karp_flatt_undefined_cases() {
+        assert_eq!(karp_flatt(2.0, 1), None);
+        assert_eq!(karp_flatt(0.0, 8), None);
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify(0.8, 4), SpeedupClass::Slowdown);
+        assert_eq!(classify(3.9, 4), SpeedupClass::Normal);
+        assert_eq!(classify(4.0, 4), SpeedupClass::Normal);
+        assert_eq!(classify(4.5, 4), SpeedupClass::SuperLinear);
+    }
+}

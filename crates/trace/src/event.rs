@@ -1,0 +1,141 @@
+//! Event traces: ordered sequences of discrete identifiers.
+//!
+//! In the paper's case study the event stream is the sequence of *addresses
+//! of encapsulated parallel-loop functions* intercepted by DITools (§5.1):
+//! "the address of parallel loops is the value that we pass to the DPD". An
+//! [`EventTrace`] carries those values plus enough metadata to regenerate the
+//! paper's per-application tables.
+
+/// An ordered stream of discrete event identifiers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EventTrace {
+    /// Name of the producing application (e.g. `"tomcatv"`).
+    pub name: String,
+    /// The event values, stream order.
+    pub values: Vec<i64>,
+}
+
+impl EventTrace {
+    /// Create an empty trace for `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        EventTrace {
+            name: name.into(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Create a trace from existing values.
+    pub fn from_values(name: impl Into<String>, values: Vec<i64>) -> Self {
+        EventTrace {
+            name: name.into(),
+            values,
+        }
+    }
+
+    /// Append one event.
+    #[inline]
+    pub fn push(&mut self, value: i64) {
+        self.values.push(value);
+    }
+
+    /// Number of events ("Data stream length" column of Table 2).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no events have been recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The distinct event values, in order of first appearance.
+    pub fn alphabet(&self) -> Vec<i64> {
+        let mut seen = Vec::new();
+        for &v in &self.values {
+            if !seen.contains(&v) {
+                seen.push(v);
+            }
+        }
+        seen
+    }
+
+    /// Length of the longest run of consecutive identical values.
+    pub fn longest_run(&self) -> usize {
+        let mut best = 0usize;
+        let mut cur = 0usize;
+        let mut prev: Option<i64> = None;
+        for &v in &self.values {
+            if prev == Some(v) {
+                cur += 1;
+            } else {
+                cur = 1;
+                prev = Some(v);
+            }
+            best = best.max(cur);
+        }
+        best
+    }
+
+    /// `true` when the trailing `count` values repeat with period `p`
+    /// (`x[i] == x[i-p]` for the last `count` positions).
+    pub fn tail_is_periodic(&self, p: usize, count: usize) -> bool {
+        if p == 0 || self.values.len() < count + p {
+            return false;
+        }
+        let n = self.values.len();
+        (n - count..n).all(|i| self.values[i] == self.values[i - p])
+    }
+}
+
+impl Extend<i64> for EventTrace {
+    fn extend<I: IntoIterator<Item = i64>>(&mut self, iter: I) {
+        self.values.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_len() {
+        let mut t = EventTrace::new("t");
+        assert!(t.is_empty());
+        t.push(1);
+        t.push(2);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn alphabet_preserves_first_appearance_order() {
+        let t = EventTrace::from_values("t", vec![3, 1, 3, 2, 1]);
+        assert_eq!(t.alphabet(), vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn longest_run_counts() {
+        let t = EventTrace::from_values("t", vec![1, 1, 2, 2, 2, 3]);
+        assert_eq!(t.longest_run(), 3);
+        assert_eq!(EventTrace::new("e").longest_run(), 0);
+        assert_eq!(EventTrace::from_values("s", vec![9]).longest_run(), 1);
+    }
+
+    #[test]
+    fn tail_periodicity() {
+        let t = EventTrace::from_values("t", vec![9, 9, 1, 2, 3, 1, 2, 3]);
+        assert!(t.tail_is_periodic(3, 3));
+        assert!(!t.tail_is_periodic(2, 3));
+        assert!(!t.tail_is_periodic(0, 3));
+        assert!(!t.tail_is_periodic(3, 6)); // would need 9 values of history
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut t = EventTrace::new("t");
+        t.extend([1i64, 2, 3]);
+        assert_eq!(t.values, vec![1, 2, 3]);
+    }
+}

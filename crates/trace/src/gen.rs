@@ -1,0 +1,232 @@
+//! Synthetic stream generators.
+//!
+//! These produce the controlled inputs used throughout the test suite and
+//! the ablation benches: exactly periodic streams, nested structures like
+//! the paper's hydro2d/turb3d (Table 2), noisy magnitude streams like the
+//! CPU-usage trace of Figure 3, and aperiodic controls.
+
+use rand::Rng;
+
+/// Build an exactly periodic event stream: `pattern` repeated until `len`
+/// values have been produced (the tail may be a partial pattern).
+pub fn periodic_events(pattern: &[i64], len: usize) -> Vec<i64> {
+    assert!(!pattern.is_empty(), "pattern must be non-empty");
+    (0..len).map(|i| pattern[i % pattern.len()]).collect()
+}
+
+/// Build a nested event stream in the shape of the paper's hydro2d/turb3d:
+/// each outer period consists of `prologue` distinct values, then `runs`
+/// repetitions of an inner pattern of `inner` distinct values.
+///
+/// Returns `(stream, outer_period)` where
+/// `outer_period = prologue + runs * inner`.
+pub fn nested_events(
+    prologue: usize,
+    inner: usize,
+    runs: usize,
+    outers: usize,
+) -> (Vec<i64>, usize) {
+    assert!(inner > 0 && runs > 0 && outers > 0, "degenerate nesting");
+    let mut one: Vec<i64> = Vec::new();
+    one.extend((0..prologue).map(|i| 0x9000 + i as i64));
+    for _ in 0..runs {
+        one.extend((0..inner).map(|i| 0x1000 + i as i64));
+    }
+    let period = one.len();
+    let mut out = Vec::with_capacity(period * outers);
+    for _ in 0..outers {
+        out.extend_from_slice(&one);
+    }
+    (out, period)
+}
+
+/// Build a periodic magnitude stream: one period of `shape` repeated, with
+/// additive uniform noise in `[-noise, +noise]` from `rng`.
+pub fn noisy_magnitudes<R: Rng>(
+    shape: &[f64],
+    periods: usize,
+    noise: f64,
+    rng: &mut R,
+) -> Vec<f64> {
+    assert!(!shape.is_empty(), "shape must be non-empty");
+    let mut out = Vec::with_capacity(shape.len() * periods);
+    for _ in 0..periods {
+        for &v in shape {
+            let n = if noise > 0.0 {
+                rng.gen_range(-noise..=noise)
+            } else {
+                0.0
+            };
+            out.push(v + n);
+        }
+    }
+    out
+}
+
+/// A CPU-usage-like period shape: parallelism opens (ramp up to `max_cpus`),
+/// holds, closes (ramp down to 1), idles — the open/close pattern visible in
+/// the paper's Figure 3. The returned shape has exactly `period` samples.
+pub fn cpu_burst_shape(period: usize, max_cpus: f64) -> Vec<f64> {
+    assert!(period >= 4, "period too short for a burst shape");
+    let ramp = period / 4;
+    let hold = period / 3;
+    let fall = period / 6;
+    let mut shape = Vec::with_capacity(period);
+    for i in 0..ramp {
+        // super-linear opening: threads wake in clusters
+        let f = (i + 1) as f64 / ramp as f64;
+        shape.push(1.0 + (max_cpus - 1.0) * f * f);
+    }
+    for _ in 0..hold {
+        shape.push(max_cpus);
+    }
+    for i in 0..fall {
+        let f = 1.0 - (i + 1) as f64 / fall as f64;
+        shape.push(1.0 + (max_cpus - 1.0) * f);
+    }
+    while shape.len() < period {
+        shape.push(1.0);
+    }
+    shape.truncate(period);
+    shape
+}
+
+/// An aperiodic event stream (strictly increasing identifiers) used as a
+/// negative control: no window can find a periodicity in it.
+pub fn aperiodic_events(len: usize) -> Vec<i64> {
+    (0..len as i64).map(|i| 0x4000 + i).collect()
+}
+
+/// A random event stream over a small alphabet; periodicities may appear by
+/// chance only over windows much larger than the alphabet supports.
+pub fn random_events<R: Rng>(alphabet: usize, len: usize, rng: &mut R) -> Vec<i64> {
+    assert!(alphabet > 0, "alphabet must be non-empty");
+    (0..len)
+        .map(|_| 0x7000 + rng.gen_range(0..alphabet) as i64)
+        .collect()
+}
+
+/// Corrupt an event stream by replacing each value with a fresh identifier
+/// with probability `p` (failure-injection for robustness tests).
+pub fn drop_events<R: Rng>(stream: &[i64], p: f64, rng: &mut R) -> Vec<i64> {
+    let mut out = Vec::with_capacity(stream.len());
+    let mut fresh = 0x7FFF_0000i64;
+    for &v in stream {
+        if rng.gen_bool(p.clamp(0.0, 1.0)) {
+            fresh += 1;
+            out.push(fresh);
+        } else {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Insert `count` spurious events at random positions (jitter injection).
+pub fn insert_events<R: Rng>(stream: &[i64], count: usize, rng: &mut R) -> Vec<i64> {
+    let mut out = stream.to_vec();
+    let mut fresh = 0x7EEE_0000i64;
+    for _ in 0..count {
+        let pos = rng.gen_range(0..=out.len());
+        fresh += 1;
+        out.insert(pos, fresh);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn periodic_events_repeats_pattern() {
+        let s = periodic_events(&[1, 2, 3], 8);
+        assert_eq!(s, vec![1, 2, 3, 1, 2, 3, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn periodic_events_empty_pattern_panics() {
+        let _ = periodic_events(&[], 4);
+    }
+
+    #[test]
+    fn nested_events_structure() {
+        let (s, period) = nested_events(2, 3, 4, 5);
+        assert_eq!(period, 2 + 3 * 4);
+        assert_eq!(s.len(), period * 5);
+        // Outer periodicity holds exactly.
+        for i in period..s.len() {
+            assert_eq!(s[i], s[i - period]);
+        }
+        // Inner periodicity holds within the runs region of one outer period.
+        for i in (2 + 3)..(2 + 12) {
+            assert_eq!(s[i], s[i - 3]);
+        }
+    }
+
+    #[test]
+    fn noisy_magnitudes_bounded_noise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let shape = [0.0, 10.0, 5.0];
+        let s = noisy_magnitudes(&shape, 10, 0.5, &mut rng);
+        assert_eq!(s.len(), 30);
+        for (i, &v) in s.iter().enumerate() {
+            let base = shape[i % 3];
+            assert!((v - base).abs() <= 0.5 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn noiseless_magnitudes_exact() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = noisy_magnitudes(&[1.0, 2.0], 3, 0.0, &mut rng);
+        assert_eq!(s, vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn cpu_burst_shape_properties() {
+        let shape = cpu_burst_shape(44, 16.0);
+        assert_eq!(shape.len(), 44);
+        let max = shape.iter().copied().fold(f64::MIN, f64::max);
+        assert_eq!(max, 16.0);
+        let min = shape.iter().copied().fold(f64::MAX, f64::min);
+        assert!(min >= 1.0);
+        // Opens before it closes: the peak appears before the final sample.
+        let peak_at = shape.iter().position(|&v| v == 16.0).unwrap();
+        assert!(peak_at < shape.len() - 1);
+        assert_eq!(*shape.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn aperiodic_is_strictly_increasing() {
+        let s = aperiodic_events(100);
+        assert!(s.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn random_events_within_alphabet() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = random_events(4, 200, &mut rng);
+        assert!(s.iter().all(|&v| (0x7000..0x7004).contains(&v)));
+    }
+
+    #[test]
+    fn drop_events_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = periodic_events(&[1, 2, 3], 30);
+        assert_eq!(drop_events(&base, 0.0, &mut rng), base);
+        let all = drop_events(&base, 1.0, &mut rng);
+        assert!(all.iter().all(|&v| v >= 0x7FFF_0000));
+    }
+
+    #[test]
+    fn insert_events_grows_stream() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = periodic_events(&[1, 2], 10);
+        let jittered = insert_events(&base, 5, &mut rng);
+        assert_eq!(jittered.len(), 15);
+    }
+}

@@ -1,0 +1,282 @@
+//! Trace persistence: a small line-oriented text format.
+//!
+//! The paper's overhead experiment (§6.3) replays "a trace file that
+//! corresponds to the execution trace of one application" through the DPD;
+//! this module provides the read/write path for those files. The format is
+//! deliberately trivial (header line + one value per line) so traces remain
+//! inspectable with standard tools and no serialization dependency is
+//! needed.
+//!
+//! ```text
+//! # dpd-trace v1 event <name>
+//! 4198400
+//! 4198656
+//! ...
+//! ```
+//!
+//! ```text
+//! # dpd-trace v1 sampled <name> <sample_period_ns>
+//! 1.0
+//! 4.0
+//! ...
+//! ```
+
+use crate::event::EventTrace;
+use crate::sampled::SampledTrace;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors raised while reading a trace file.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The header line is missing or malformed.
+    BadHeader(String),
+    /// A value line failed to parse.
+    BadValue {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// The file declares a different trace kind than requested.
+    WrongKind {
+        /// Kind found in the header.
+        found: String,
+        /// Kind the caller asked for.
+        expected: String,
+    },
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceIoError::BadHeader(h) => write!(f, "bad trace header: {h:?}"),
+            TraceIoError::BadValue { line, text } => {
+                write!(f, "bad trace value at line {line}: {text:?}")
+            }
+            TraceIoError::WrongKind { found, expected } => {
+                write!(f, "wrong trace kind: found {found}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+const MAGIC: &str = "# dpd-trace v1";
+
+/// Write an event trace.
+pub fn write_events<W: Write>(trace: &EventTrace, mut w: W) -> Result<(), TraceIoError> {
+    writeln!(w, "{MAGIC} event {}", sanitize(&trace.name))?;
+    for v in &trace.values {
+        writeln!(w, "{v}")?;
+    }
+    Ok(())
+}
+
+/// Write a sampled trace.
+pub fn write_sampled<W: Write>(trace: &SampledTrace, mut w: W) -> Result<(), TraceIoError> {
+    writeln!(
+        w,
+        "{MAGIC} sampled {} {}",
+        sanitize(&trace.name),
+        trace.sample_period_ns
+    )?;
+    for v in &trace.values {
+        writeln!(w, "{v}")?;
+    }
+    Ok(())
+}
+
+/// Read an event trace.
+pub fn read_events<R: Read>(r: R) -> Result<EventTrace, TraceIoError> {
+    let mut lines = BufReader::new(r).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| TraceIoError::BadHeader(String::new()))??;
+    let (kind, name, _) = parse_header(&header)?;
+    if kind != "event" {
+        return Err(TraceIoError::WrongKind {
+            found: kind,
+            expected: "event".into(),
+        });
+    }
+    let mut trace = EventTrace::new(name);
+    for (idx, line) in lines.enumerate() {
+        let line = line?;
+        let text = line.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let v: i64 = text.parse().map_err(|_| TraceIoError::BadValue {
+            line: idx + 2,
+            text: text.to_string(),
+        })?;
+        trace.push(v);
+    }
+    Ok(trace)
+}
+
+/// Read a sampled trace.
+pub fn read_sampled<R: Read>(r: R) -> Result<SampledTrace, TraceIoError> {
+    let mut lines = BufReader::new(r).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| TraceIoError::BadHeader(String::new()))??;
+    let (kind, name, period) = parse_header(&header)?;
+    if kind != "sampled" {
+        return Err(TraceIoError::WrongKind {
+            found: kind,
+            expected: "sampled".into(),
+        });
+    }
+    let period = period.ok_or_else(|| TraceIoError::BadHeader(header.clone()))?;
+    let mut trace = SampledTrace::new(name, period);
+    for (idx, line) in lines.enumerate() {
+        let line = line?;
+        let text = line.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let v: f64 = text.parse().map_err(|_| TraceIoError::BadValue {
+            line: idx + 2,
+            text: text.to_string(),
+        })?;
+        trace.push(v);
+    }
+    Ok(trace)
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect();
+    if cleaned.is_empty() {
+        "unnamed".to_string()
+    } else {
+        cleaned
+    }
+}
+
+fn parse_header(header: &str) -> Result<(String, String, Option<u64>), TraceIoError> {
+    let rest = header
+        .strip_prefix(MAGIC)
+        .ok_or_else(|| TraceIoError::BadHeader(header.to_string()))?;
+    let mut parts = rest.split_whitespace();
+    let kind = parts
+        .next()
+        .ok_or_else(|| TraceIoError::BadHeader(header.to_string()))?
+        .to_string();
+    let name = parts
+        .next()
+        .ok_or_else(|| TraceIoError::BadHeader(header.to_string()))?
+        .to_string();
+    let period = match parts.next() {
+        Some(p) => Some(
+            p.parse()
+                .map_err(|_| TraceIoError::BadHeader(header.to_string()))?,
+        ),
+        None => None,
+    };
+    Ok((kind, name, period))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_roundtrip() {
+        let t = EventTrace::from_values("tomcatv", vec![10, -20, 30]);
+        let mut buf = Vec::new();
+        write_events(&t, &mut buf).unwrap();
+        let back = read_events(&buf[..]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn sampled_roundtrip() {
+        let t = SampledTrace::from_values("ft-cpus", 1_000_000, vec![1.0, 4.5, 16.0]);
+        let mut buf = Vec::new();
+        write_sampled(&t, &mut buf).unwrap();
+        let back = read_sampled(&buf[..]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn name_with_spaces_is_sanitized() {
+        let t = EventTrace::from_values("my app", vec![1]);
+        let mut buf = Vec::new();
+        write_events(&t, &mut buf).unwrap();
+        let back = read_events(&buf[..]).unwrap();
+        assert_eq!(back.name, "my_app");
+    }
+
+    #[test]
+    fn empty_name_becomes_unnamed() {
+        let t = EventTrace::from_values("", vec![1]);
+        let mut buf = Vec::new();
+        write_events(&t, &mut buf).unwrap();
+        assert_eq!(read_events(&buf[..]).unwrap().name, "unnamed");
+    }
+
+    #[test]
+    fn kind_mismatch_is_detected() {
+        let t = EventTrace::from_values("x", vec![1]);
+        let mut buf = Vec::new();
+        write_events(&t, &mut buf).unwrap();
+        assert!(matches!(
+            read_sampled(&buf[..]),
+            Err(TraceIoError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(matches!(
+            read_events(&b"not a trace\n1\n"[..]),
+            Err(TraceIoError::BadHeader(_))
+        ));
+        assert!(matches!(
+            read_events(&b""[..]),
+            Err(TraceIoError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn bad_value_reports_line() {
+        let data = b"# dpd-trace v1 event x\n1\nnope\n";
+        match read_events(&data[..]) {
+            Err(TraceIoError::BadValue { line, text }) => {
+                assert_eq!(line, 3);
+                assert_eq!(text, "nope");
+            }
+            other => panic!("expected BadValue, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let data = b"# dpd-trace v1 event x\n1\n\n# comment\n2\n";
+        let t = read_events(&data[..]).unwrap();
+        assert_eq!(t.values, vec![1, 2]);
+    }
+
+    #[test]
+    fn sampled_header_requires_period() {
+        let data = b"# dpd-trace v1 sampled x\n1.0\n";
+        assert!(matches!(
+            read_sampled(&data[..]),
+            Err(TraceIoError::BadHeader(_))
+        ));
+    }
+}

@@ -1,0 +1,30 @@
+//! # dpd-trace — trace substrate for the DPD toolkit
+//!
+//! The paper's detector consumes *data streams obtained from the execution of
+//! applications* (§1): sequences of parallel-loop call addresses, CPU-usage
+//! counts sampled at a fixed frequency, hardware-counter values. This crate
+//! provides the trace model shared by the whole workspace:
+//!
+//! * [`event::EventTrace`] — ordered sequences of discrete identifiers
+//!   (function addresses); the input of equation (2).
+//! * [`sampled::SampledTrace`] — values sampled at a fixed frequency
+//!   (instantaneous CPU usage at 1 ms in the paper's Figure 3); the input of
+//!   equation (1).
+//! * [`gen`] — synthetic stream generators used by tests, property tests and
+//!   the calibration/ablation benches (periodic, nested, noisy, aperiodic).
+//! * [`io`] — a small line-oriented text format for persisting traces.
+//! * [`stats`] — summary statistics used when reporting experiments.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod counters;
+pub mod event;
+pub mod gen;
+pub mod io;
+pub mod quantize;
+pub mod sampled;
+pub mod stats;
+
+pub use event::EventTrace;
+pub use sampled::SampledTrace;

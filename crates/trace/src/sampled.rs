@@ -1,0 +1,195 @@
+//! Sampled traces: values recorded at a fixed sampling frequency.
+//!
+//! The paper's Figure 3 trace is "the instantaneous number of active CPUs
+//! used by a parallel application", sampled every 1 ms during a NAS FT run.
+//! [`SampledTrace`] stores such a series together with its sampling period so
+//! detected periodicities (in samples) can be converted back to time.
+
+/// A fixed-rate sampled data series.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SampledTrace {
+    /// Name of the producing application / parameter.
+    pub name: String,
+    /// Sampling period in nanoseconds (1 ms = 1_000_000 ns in the paper).
+    pub sample_period_ns: u64,
+    /// The sampled values.
+    pub values: Vec<f64>,
+}
+
+impl SampledTrace {
+    /// Create an empty trace.
+    pub fn new(name: impl Into<String>, sample_period_ns: u64) -> Self {
+        SampledTrace {
+            name: name.into(),
+            sample_period_ns,
+            values: Vec::new(),
+        }
+    }
+
+    /// Create a trace from existing values.
+    pub fn from_values(
+        name: impl Into<String>,
+        sample_period_ns: u64,
+        values: Vec<f64>,
+    ) -> Self {
+        SampledTrace {
+            name: name.into(),
+            sample_period_ns,
+            values,
+        }
+    }
+
+    /// Append one sample.
+    #[inline]
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no samples have been recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total covered time in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.sample_period_ns * self.values.len() as u64
+    }
+
+    /// Convert a periodicity expressed in samples to nanoseconds.
+    pub fn period_to_ns(&self, period_samples: usize) -> u64 {
+        self.sample_period_ns * period_samples as u64
+    }
+
+    /// Largest sample value (e.g. the peak CPU count in Figure 3).
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().fold(None, |acc, v| match acc {
+            None => Some(v),
+            Some(a) => Some(a.max(v)),
+        })
+    }
+
+    /// Arithmetic mean of the samples.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Downsample by an integer factor, averaging each bucket. Useful to
+    /// re-analyse a 1 ms trace at coarser granularity.
+    pub fn downsample(&self, factor: usize) -> SampledTrace {
+        assert!(factor > 0, "downsample factor must be non-zero");
+        let values: Vec<f64> = self
+            .values
+            .chunks(factor)
+            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+            .collect();
+        SampledTrace {
+            name: format!("{}/{}x", self.name, factor),
+            sample_period_ns: self.sample_period_ns * factor as u64,
+            values,
+        }
+    }
+
+    /// Render a small ASCII strip chart of the trace (for the Figure 3
+    /// reproduction binary); one output row per `rows` quantization level.
+    pub fn ascii_strip(&self, columns: usize, rows: usize) -> String {
+        if self.values.is_empty() || columns == 0 || rows == 0 {
+            return String::new();
+        }
+        let max = self.max().unwrap_or(1.0).max(1e-12);
+        let bucket = (self.values.len() + columns - 1) / columns;
+        let col_vals: Vec<f64> = self
+            .values
+            .chunks(bucket)
+            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+            .collect();
+        let mut out = String::new();
+        for row in (1..=rows).rev() {
+            let threshold = max * row as f64 / rows as f64;
+            for &v in &col_vals {
+                out.push(if v >= threshold - max / (2.0 * rows as f64) {
+                    '#'
+                } else {
+                    ' '
+                });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Extend<f64> for SampledTrace {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.values.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn duration_and_period_conversion() {
+        let t = SampledTrace::from_values("cpu", MS, vec![1.0; 44]);
+        assert_eq!(t.duration_ns(), 44 * MS);
+        assert_eq!(t.period_to_ns(44), 44 * MS);
+    }
+
+    #[test]
+    fn max_and_mean() {
+        let t = SampledTrace::from_values("cpu", MS, vec![1.0, 3.0, 2.0]);
+        assert_eq!(t.max(), Some(3.0));
+        assert_eq!(t.mean(), Some(2.0));
+        let e = SampledTrace::new("e", MS);
+        assert_eq!(e.max(), None);
+        assert_eq!(e.mean(), None);
+    }
+
+    #[test]
+    fn downsample_averages_buckets() {
+        let t = SampledTrace::from_values("cpu", MS, vec![0.0, 2.0, 4.0, 6.0, 8.0]);
+        let d = t.downsample(2);
+        assert_eq!(d.values, vec![1.0, 5.0, 8.0]);
+        assert_eq!(d.sample_period_ns, 2 * MS);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn downsample_zero_panics() {
+        let t = SampledTrace::new("t", MS);
+        let _ = t.downsample(0);
+    }
+
+    #[test]
+    fn ascii_strip_has_requested_rows() {
+        let t = SampledTrace::from_values("cpu", MS, (0..100).map(|i| (i % 10) as f64).collect());
+        let s = t.ascii_strip(50, 4);
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn ascii_strip_empty_trace() {
+        let t = SampledTrace::new("cpu", MS);
+        assert!(t.ascii_strip(10, 4).is_empty());
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut t = SampledTrace::new("t", MS);
+        t.extend([1.0, 2.0]);
+        assert_eq!(t.len(), 2);
+    }
+}

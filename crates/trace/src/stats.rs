@@ -1,0 +1,135 @@
+//! Summary statistics for traces and experiment reporting.
+
+/// Basic descriptive statistics of a numeric series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of values.
+    pub count: usize,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+}
+
+/// Compute a [`Summary`]; `None` for an empty series.
+pub fn summarize(values: &[f64]) -> Option<Summary> {
+    if values.is_empty() {
+        return None;
+    }
+    let count = values.len();
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+        sum += v;
+    }
+    let mean = sum / count as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+    Some(Summary {
+        count,
+        min,
+        max,
+        mean,
+        stddev: var.sqrt(),
+    })
+}
+
+/// Percentile (0..=100) by nearest-rank on a sorted copy; `None` when empty.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+}
+
+/// Histogram with fixed-width bins over `[lo, hi)`; the final bin is
+/// inclusive of `hi`. Out-of-range values clamp to the edge bins.
+pub fn histogram(values: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<u64> {
+    assert!(bins > 0, "at least one bin required");
+    assert!(hi > lo, "hi must exceed lo");
+    let mut h = vec![0u64; bins];
+    let width = (hi - lo) / bins as f64;
+    for &v in values {
+        let idx = if v <= lo {
+            0
+        } else if v >= hi {
+            bins - 1
+        } else {
+            (((v - lo) / width) as usize).min(bins - 1)
+        };
+        h[idx] += 1;
+    }
+    h
+}
+
+/// Run-length encode an event series: `(value, run_length)` pairs.
+pub fn run_lengths(values: &[i64]) -> Vec<(i64, usize)> {
+    let mut out = Vec::new();
+    for &v in values {
+        match out.last_mut() {
+            Some((last, n)) if *last == v => *n += 1,
+            _ => out.push((v, 1)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_basic() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        assert!((s.stddev - 1.118033988749895).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summarize_empty() {
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, 50.0), Some(20.0));
+        assert_eq!(percentile(&v, 100.0), Some(40.0));
+        assert_eq!(percentile(&v, 0.0), Some(10.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn histogram_bins_and_clamping() {
+        let h = histogram(&[0.0, 0.5, 1.5, 2.5, 99.0, -5.0], 0.0, 3.0, 3);
+        assert_eq!(h, vec![3, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        let _ = histogram(&[1.0], 0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn run_lengths_encode() {
+        assert_eq!(
+            run_lengths(&[1, 1, 2, 3, 3, 3]),
+            vec![(1, 2), (2, 1), (3, 3)]
+        );
+        assert!(run_lengths(&[]).is_empty());
+    }
+}

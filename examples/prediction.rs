@@ -1,0 +1,70 @@
+//! Prediction and execution-time estimation (paper §1 application 3, §5).
+//!
+//! Locks onto tomcatv's period with the autotuned DPD, predicts upcoming
+//! loop addresses, and estimates the application's total execution time
+//! from the first measured iterations.
+//!
+//! ```sh
+//! cargo run --release --example prediction
+//! ```
+
+use dpd::analyzer::ExecutionEstimator;
+use dpd::apps::app::{App, RunConfig};
+use dpd::apps::tomcatv::{Tomcatv, ITERATIONS};
+use dpd::core::autotune::{TunedDpd, TunerPolicy};
+use dpd::core::prediction::PeriodicPredictor;
+use dpd::core::streaming::SegmentEvent;
+
+fn main() {
+    let run = Tomcatv.run(&RunConfig::default());
+    let stream = &run.addresses.values;
+
+    // 1. Lock with the autotuned detector (starts large, shrinks to 2x the
+    //    period once confident — paper §3.1 / §4).
+    let mut dpd = TunedDpd::new(TunerPolicy::default());
+    let mut locked = None;
+    let mut boundaries: Vec<u64> = Vec::new();
+    for &s in stream {
+        if let SegmentEvent::PeriodStart { period, position } = dpd.push(s) {
+            locked = Some(period);
+            boundaries.push(position);
+        }
+    }
+    let period = locked.expect("tomcatv must lock");
+    println!(
+        "locked period {period}; window autotuned 1024 -> {} ({} resizes)",
+        dpd.window(),
+        dpd.resizes()
+    );
+
+    // 2. Predict future loop addresses from the locked period.
+    let mut predictor = PeriodicPredictor::new(period);
+    for &s in stream {
+        predictor.verify_and_observe(s);
+    }
+    println!(
+        "address prediction hit rate: {:.1}% over {} checks",
+        predictor.metrics().hit_rate().unwrap() * 100.0,
+        predictor.metrics().checked
+    );
+    let next: Vec<String> = (1..=period)
+        .map(|k| format!("{:#x}", predictor.predict(k).unwrap()))
+        .collect();
+    println!("next {period} loop calls will be: {}", next.join(" "));
+
+    // 3. Estimate total execution time after measuring 10 iterations.
+    let iter_time_ns = run.elapsed_ns / ITERATIONS as u64; // true mean
+    let mut est = ExecutionEstimator::new().with_total_iterations(ITERATIONS as u64);
+    for _ in 0..10 {
+        est.record_iteration(iter_time_ns);
+    }
+    let predicted = est.estimated_total_ns().unwrap();
+    let actual = run.elapsed_ns as f64;
+    println!(
+        "execution-time estimate after 10/{} iterations: {:.2} s (actual {:.2} s, error {:.2}%)",
+        ITERATIONS,
+        predicted / 1e9,
+        actual / 1e9,
+        est.estimate_error(run.elapsed_ns).unwrap() * 100.0
+    );
+}

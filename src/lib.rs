@@ -1,0 +1,43 @@
+//! # dpd — Dynamic Periodicity Detector toolkit
+//!
+//! Facade crate re-exporting the whole workspace: a production-quality
+//! reproduction of Freitag, Corbalan & Labarta, *"A Dynamic Periodicity
+//! Detector: Application to Speedup Computation"* (IPDPS 2001).
+//!
+//! * [`core`] — the DPD algorithm: metrics, streaming detection,
+//!   segmentation, nested periods, prediction, window autotuning.
+//! * [`trace`] — event/sampled trace types, generators and I/O.
+//! * [`runtime`] — the parallel runtime substrate: thread pool, parallel
+//!   loops, CPU-usage accounting and the virtual-time multiprocessor.
+//! * [`interpose`] — DITools-style call interposition.
+//! * [`analyzer`] — the SelfAnalyzer: run-time speedup computation.
+//! * [`apps`] — the paper's evaluation workloads (SPECfp95 + NAS FT shapes).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dpd::core::capi::Dpd;
+//!
+//! // The paper's Table 1 interface on a period-3 loop-address stream.
+//! let mut dpd = Dpd::with_window(16);
+//! let mut period = 0i32;
+//! let mut detections = 0;
+//! for i in 0..100 {
+//!     let address = [0x400000i64, 0x400040, 0x400080][i % 3];
+//!     if dpd.dpd(address, &mut period) != 0 {
+//!         detections += 1;
+//!         assert_eq!(period, 3);
+//!     }
+//! }
+//! assert!(detections > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use dpd_core as core;
+pub use dpd_trace as trace;
+pub use ditools as interpose;
+pub use par_runtime as runtime;
+pub use selfanalyzer as analyzer;
+pub use spec_apps as apps;

@@ -1,0 +1,78 @@
+//! Integration test: the paper's **Table 1 interface** contract, exercised
+//! end to end through the facade crate.
+
+use dpd::core::capi::{Dpd, DEFAULT_WINDOW};
+
+#[test]
+fn dpd_detects_and_segments() {
+    // int DPD(long sample, int *period): nonzero exactly at period starts.
+    let mut dpd = Dpd::with_window(32);
+    let mut period = 0i32;
+    let addrs: Vec<i64> = (0..7).map(|i| 0x400000 + i * 0x40).collect();
+    let mut start_positions = Vec::new();
+    for i in 0..700usize {
+        if dpd.dpd(addrs[i % 7], &mut period) != 0 {
+            assert_eq!(period, 7);
+            start_positions.push(i);
+        }
+    }
+    assert!(!start_positions.is_empty());
+    for w in start_positions.windows(2) {
+        assert_eq!(w[1] - w[0], 7, "marks must be one period apart");
+    }
+}
+
+#[test]
+fn dpd_window_size_adjusts_behaviour() {
+    // void DPDWindowSize(int size): a stream whose period exceeds the
+    // window is undetectable until the window is enlarged (paper §3.1).
+    let period = 40usize;
+    let addrs: Vec<i64> = (0..period).map(|i| 0x500000 + i as i64 * 0x40).collect();
+    let mut dpd = Dpd::with_window(16);
+    let mut p = 0i32;
+    let mut detected_small = false;
+    for i in 0..400usize {
+        if dpd.dpd(addrs[i % period], &mut p) != 0 {
+            detected_small = true;
+        }
+    }
+    assert!(!detected_small, "period 40 must not fit in window 16");
+    dpd.dpd_window_size(128);
+    let mut detected_large = false;
+    for i in 400..1200usize {
+        if dpd.dpd(addrs[i % period], &mut p) != 0 {
+            detected_large = true;
+        }
+    }
+    assert!(detected_large, "window 128 must capture period 40");
+    assert_eq!(p, 40);
+}
+
+#[test]
+fn default_window_is_large_per_paper_guidance() {
+    // §3.1: "the window size N of the periodicity detector should be set
+    // initially to a large value"; the paper used up to 1024.
+    assert_eq!(DEFAULT_WINDOW, 1024);
+    assert_eq!(Dpd::new().window(), 1024);
+}
+
+#[test]
+fn interface_survives_phase_changes() {
+    let mut dpd = Dpd::with_window(16);
+    let mut p = 0i32;
+    // Phase A: period 3; Phase B: aperiodic; Phase C: period 5.
+    let mut detections_a = 0;
+    for i in 0..120usize {
+        detections_a += dpd.dpd([1i64, 2, 3][i % 3], &mut p);
+    }
+    assert!(detections_a > 0);
+    for i in 0..120i64 {
+        assert_eq!(dpd.dpd(1_000 + i, &mut p), 0, "aperiodic phase");
+    }
+    let mut detections_c = 0;
+    for i in 0..200usize {
+        detections_c += dpd.dpd([10i64, 20, 30, 40, 50][i % 5], &mut p);
+    }
+    assert!(detections_c > 0);
+    assert_eq!(p, 5);
+}

@@ -1,0 +1,161 @@
+//! Integration tests for the extension modules: hierarchical segmentation,
+//! measurement intervals, quantization, dynamic serialization, the
+//! autocorrelation baseline and the MPI-style FT variant.
+
+use dpd::apps::app::{App, RunConfig};
+use dpd::apps::ft::{ft_mpi_run, ft_run, PERIOD_MS};
+use dpd::core::baseline::AutocorrDetector;
+use dpd::core::detector::FrameDetector;
+use dpd::core::hierarchy::analyze_hierarchy;
+use dpd::core::intervals::{recommend, IntervalPlanner, IntervalPolicy};
+use dpd::trace::quantize;
+
+#[test]
+fn hydro2d_hierarchy_has_three_levels() {
+    let run = dpd::apps::hydro2d::Hydro2d.run(&RunConfig::default());
+    let h = analyze_hierarchy(&run.addresses.values, &[8, 64, 512]).unwrap();
+    assert_eq!(h.level_periods, vec![269, 24, 1]);
+    // Outer segments contain inner ones.
+    let outer = h.at_level(0)[0];
+    let children = h.children_of(&outer);
+    assert!(
+        children.iter().any(|c| c.period == 24),
+        "24-period segments inside the outer iteration"
+    );
+}
+
+#[test]
+fn turb3d_hierarchy_has_two_levels() {
+    let run = dpd::apps::turb3d::Turb3d.run(&RunConfig::default());
+    let h = analyze_hierarchy(&run.addresses.values, &[8, 64, 512]).unwrap();
+    assert_eq!(h.level_periods, vec![142, 12]);
+    assert_eq!(h.depth(), 2);
+}
+
+#[test]
+fn measurement_interval_for_ft_period() {
+    // Figure 4's m = 44 at 1 ms sampling: measuring over >= 100 ms means 3
+    // whole periods (132 ms), well inside a 1 s budget.
+    let policy = IntervalPolicy::new(100, 1_000);
+    let r = recommend(PERIOD_MS, policy).unwrap();
+    assert_eq!(r.periods, 3);
+    assert_eq!(r.length, 132);
+}
+
+#[test]
+fn interval_planner_follows_dpd_locks() {
+    // Feed the planner the periods the multi-scale DPD reports on hydro2d.
+    let run = dpd::apps::hydro2d::Hydro2d.run(&RunConfig::default());
+    let mut bank = dpd::core::streaming::MultiScaleDpd::default_scales();
+    let mut planner = IntervalPlanner::new(IntervalPolicy::new(100, 10_000));
+    for &s in &run.addresses.values {
+        for (_, e) in bank.push(s).events {
+            if let dpd::core::streaming::SegmentEvent::PeriodStart { period, .. } = e {
+                planner.on_period(period as u64);
+            }
+        }
+    }
+    // The last lock of the largest scale is 269 -> a single period suffices.
+    let r = planner.current().expect("planner has a recommendation");
+    assert_eq!(r.length % r.period, 0);
+    assert!(r.length >= 100 && r.length <= 10_000);
+    assert!(planner.revisions() >= 1);
+}
+
+#[test]
+fn quantized_ft_trace_detects_44_with_event_metric() {
+    // Bridge §2's two acquisition models: quantize the sampled CPU trace
+    // into level events; the periodicity survives quantization.
+    let run = ft_run(20);
+    let stream = quantize::quantize_levels(&run.cpu_trace, 16);
+    // Event metric on quantized samples: d(44) counts only jitter
+    // mismatches. Use the nested detector's mismatch-fraction dips.
+    let det = FrameDetector::magnitudes(200, 0.5);
+    let as_mag: Vec<f64> = stream.iter().map(|&v| v as f64).collect();
+    let report = det.analyze(&as_mag).unwrap();
+    assert_eq!(report.period(), Some(PERIOD_MS as usize));
+}
+
+#[test]
+fn change_events_compress_ft_trace() {
+    let run = ft_run(20);
+    let changes = quantize::change_events(&run.cpu_trace, 16);
+    assert!(changes.len() < run.cpu_trace.len() / 2);
+    assert!(changes.len() > 20, "plateaus compressed away entirely?");
+}
+
+#[test]
+fn autocorrelation_agrees_on_clean_ft_but_may_pick_harmonics() {
+    let run = ft_run(20);
+    let report = AutocorrDetector::new(200)
+        .analyze(&run.cpu_trace.values)
+        .unwrap();
+    let p = report.period.expect("autocorrelation finds a peak");
+    assert_eq!(
+        p % PERIOD_MS as usize,
+        0,
+        "autocorr period {p} is not a multiple of 44"
+    );
+}
+
+#[test]
+fn mpi_ft_matches_shared_memory_ft_periodicity() {
+    let shared = ft_run(20);
+    let mpi = ft_mpi_run(20, 4);
+    let det = FrameDetector::magnitudes(200, 0.5);
+    let p_shared = det.analyze(&shared.cpu_trace.values).unwrap().period();
+    let p_mpi = det.analyze(&mpi.cpu_trace.values).unwrap().period();
+    assert_eq!(p_shared, Some(44));
+    assert_eq!(p_mpi, Some(44));
+}
+
+#[test]
+fn serialization_policy_on_overhead_dominated_loop() {
+    use dpd::analyzer::policy::{ExecutionDecision, SerializationPolicy};
+    use dpd::analyzer::SelfAnalyzer;
+    use dpd::runtime::machine::{LoopSpec, Machine, MachineConfig};
+
+    // A tiny loop whose fork/join overheads exceed its parallel gain.
+    let mut machine = Machine::new(MachineConfig {
+        fork_overhead_ns: 100_000,
+        join_overhead_ns: 100_000,
+        ..MachineConfig::default()
+    });
+    let spec = LoopSpec::parallel(16, 2_000); // 32 µs of work
+    let mut sa = SelfAnalyzer::new(8, 1);
+    let addrs = [0xA0i64, 0xB0];
+    for &(cpus, iters) in &[(1usize, 20usize), (16, 20)] {
+        sa.set_cpus(cpus);
+        for _ in 0..iters {
+            for &a in &addrs {
+                sa.on_loop_call(a, machine.now_ns());
+                machine.run_loop(&spec, cpus);
+            }
+        }
+    }
+    let region = &sa.regions()[0];
+    let s = region.speedup(1, 16).unwrap();
+    assert!(s < 1.0, "parallel must lose here (S = {s})");
+    assert_eq!(
+        SerializationPolicy::default().decide(region, 1, 16),
+        ExecutionDecision::Serialize
+    );
+}
+
+#[test]
+fn live_run_detected_by_dpd() {
+    use dpd::apps::live::{live_jacobi_run, LiveConfig};
+    let run = live_jacobi_run(&LiveConfig {
+        threads: 2,
+        grid: 32,
+        iterations: 50,
+        sample_period: std::time::Duration::from_micros(250),
+    });
+    let mut dpd =
+        dpd::core::streaming::StreamingDpd::events(dpd::core::streaming::StreamingConfig::with_window(8));
+    for &s in &run.addresses.values {
+        dpd.push(s);
+    }
+    assert_eq!(dpd.stats().detected_periods(), vec![3]);
+    assert!(run.residual.is_finite());
+}

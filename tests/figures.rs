@@ -1,0 +1,102 @@
+//! Integration test: properties of **Figures 3, 4 and 7**.
+
+use dpd::apps::app::{App, RunConfig};
+use dpd::apps::ft::{ft_run, PERIOD_MS};
+use dpd::core::detector::FrameDetector;
+use dpd::core::segmentation::Segmenter;
+use dpd::core::streaming::{StreamingConfig, StreamingDpd};
+
+#[test]
+fn figure3_trace_shape() {
+    let run = ft_run(20);
+    let t = &run.cpu_trace;
+    // 1 ms sampling, up to 16 CPUs, parallelism opened and closed.
+    assert_eq!(t.sample_period_ns, 1_000_000);
+    assert_eq!(t.max().unwrap(), 16.0);
+    let distinct: std::collections::BTreeSet<u64> =
+        t.values.iter().map(|&v| v as u64).collect();
+    assert!(
+        distinct.len() >= 4,
+        "trace should show several parallelism levels: {distinct:?}"
+    );
+    // Mean parallelism strictly between serial and full-machine.
+    let mean = t.mean().unwrap();
+    assert!(mean > 2.0 && mean < 15.0, "mean {mean}");
+}
+
+#[test]
+fn figure4_minimum_at_44() {
+    let run = ft_run(20);
+    let det = FrameDetector::magnitudes(200, 0.5);
+    let report = det.analyze(&run.cpu_trace.values).unwrap();
+    let f = report.fundamental.expect("periodicity detected");
+    assert_eq!(f.delay, PERIOD_MS as usize);
+    // The minimum is deep: d(44) well below the spectrum mean.
+    let mean = report.spectrum.mean().unwrap();
+    assert!(
+        f.value < 0.35 * mean,
+        "d(44) = {} not a clear minimum (mean {mean})",
+        f.value
+    );
+}
+
+#[test]
+fn figure4_no_sharper_minimum_at_wrong_delay() {
+    let run = ft_run(20);
+    let det = FrameDetector::magnitudes(200, 0.5);
+    let report = det.analyze(&run.cpu_trace.values).unwrap();
+    let d44 = report.spectrum.at(44).unwrap();
+    for m in 2..=100usize {
+        if m % 44 == 0 {
+            continue; // harmonics may be as deep
+        }
+        let dm = report.spectrum.at(m).unwrap();
+        assert!(
+            dm >= d44 - 1e-9,
+            "d({m}) = {dm} undercuts d(44) = {d44}"
+        );
+    }
+}
+
+#[test]
+fn figure7_marks_are_period_spaced() {
+    for app in dpd::apps::spec_apps() {
+        let run = app.run(&RunConfig::default());
+        let outer = app.expected_periods().into_iter().max().unwrap();
+        let window = (2 * outer).next_power_of_two().max(16);
+        let mut dpd = StreamingDpd::events(StreamingConfig::with_window(window));
+        let mut seg = Segmenter::new();
+        for &s in &run.addresses.values {
+            seg.observe(dpd.push(s));
+        }
+        let marks = seg.marks().to_vec();
+        assert!(
+            marks.len() >= 3,
+            "{}: expected several marks, got {}",
+            app.name(),
+            marks.len()
+        );
+        for w in marks.windows(2) {
+            assert_eq!(
+                w[1] - w[0],
+                outer as u64,
+                "{}: marks must be one outer period apart",
+                app.name()
+            );
+        }
+        let segments = seg.finish();
+        assert_eq!(segments.len(), 1, "{}: steady stream segments once", app.name());
+        assert_eq!(segments[0].period, outer, "{}", app.name());
+    }
+}
+
+#[test]
+fn figure7_segment_covers_most_of_stream() {
+    // The single segment must cover nearly the entire periodic part.
+    let run = dpd::apps::tomcatv::Tomcatv.run(&RunConfig::default());
+    let (segments, _) = dpd::core::segmentation::segment_events(&run.addresses.values, 16);
+    assert_eq!(segments.len(), 1);
+    let seg = segments[0];
+    let coverage = seg.len() as f64 / run.addresses.len() as f64;
+    assert!(coverage > 0.95, "coverage {coverage}");
+}

@@ -1,0 +1,253 @@
+//! Property-based tests on the DPD core invariants (proptest).
+
+use dpd::core::incremental::{EngineConfig, IncrementalEngine};
+use dpd::core::metric::{direct_distance, EventMetric, L1Metric, Metric};
+use dpd::core::prediction::PeriodicPredictor;
+use dpd::core::spectrum::Spectrum;
+use dpd::core::streaming::{StreamingConfig, StreamingDpd};
+use dpd::trace::{io, EventTrace, SampledTrace};
+use proptest::prelude::*;
+
+proptest! {
+    /// Soundness of equation (2): over a fully periodic stream, d(m) is
+    /// zero exactly at multiples of the fundamental period (for delays the
+    /// window can judge).
+    #[test]
+    fn event_metric_zero_iff_periodic(
+        period in 1usize..12,
+        reps in 6usize..20,
+        seed in 0i64..1000,
+    ) {
+        let pattern: Vec<i64> = (0..period).map(|i| seed + i as i64).collect();
+        let len = period * reps;
+        let data: Vec<i64> = (0..len).map(|i| pattern[i % period]).collect();
+        let n = 2 * period;
+        for m in 1..=n.min(len.saturating_sub(n)) {
+            if let Some(d) = direct_distance(&EventMetric, &data, n, m) {
+                // Pattern values are distinct, so d(m) = 0 ⟺ period | m.
+                if m % period == 0 {
+                    prop_assert_eq!(d, 0.0, "m={}, period={}", m, period);
+                } else {
+                    prop_assert_eq!(d, 1.0, "m={}, period={}", m, period);
+                }
+            }
+        }
+    }
+
+    /// The incremental engine computes exactly the same distances as the
+    /// direct definition, for arbitrary event streams.
+    #[test]
+    fn incremental_equals_direct(
+        data in proptest::collection::vec(0i64..8, 30..200),
+        n in 4usize..24,
+        m_max in 1usize..16,
+    ) {
+        let m_max = m_max.min(n);
+        let cfg = EngineConfig { frame: n, m_max, resync_interval: 0 };
+        let mut e = IncrementalEngine::new(EventMetric, cfg).unwrap();
+        for (t, &s) in data.iter().enumerate() {
+            e.push(s);
+            for m in 1..=m_max {
+                if let Some(direct) = direct_distance(&EventMetric, &data[..=t], n, m) {
+                    prop_assert_eq!(e.distance(m), Some(direct), "t={}, m={}", t, m);
+                }
+            }
+        }
+    }
+
+    /// L1 incremental sums stay within numeric tolerance of the direct
+    /// computation even over long streams.
+    #[test]
+    fn incremental_l1_tolerance(
+        data in proptest::collection::vec(-100.0f64..100.0, 50..250),
+    ) {
+        let cfg = EngineConfig { frame: 16, m_max: 8, resync_interval: 0 };
+        let mut e = IncrementalEngine::new(L1Metric, cfg).unwrap();
+        for (t, &s) in data.iter().enumerate() {
+            e.push(s);
+            if t + 1 == data.len() {
+                for m in 1..=8 {
+                    if let Some(direct) = direct_distance(&L1Metric, &data[..=t], 16, m) {
+                        let inc = e.distance(m).unwrap();
+                        prop_assert!((inc - direct).abs() < 1e-6, "m={}: {} vs {}", m, inc, direct);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Streaming detection on an exactly periodic stream locks on the
+    /// fundamental period (never a multiple) and marks are period-spaced.
+    #[test]
+    fn streaming_locks_fundamental(
+        period in 2usize..10,
+        reps in 30usize..60,
+    ) {
+        let pattern: Vec<i64> = (0..period).map(|i| 100 + i as i64).collect();
+        let data: Vec<i64> = (0..period * reps).map(|i| pattern[i % period]).collect();
+        let mut dpd = StreamingDpd::events(StreamingConfig::with_window(2 * period + 2));
+        let mut marks = Vec::new();
+        for &s in &data {
+            let e = dpd.push(s);
+            if let dpd::core::streaming::SegmentEvent::PeriodStart { period: p, position } = e {
+                prop_assert_eq!(p, period);
+                marks.push(position);
+            }
+        }
+        prop_assert!(!marks.is_empty());
+        for w in marks.windows(2) {
+            prop_assert_eq!(w[1] - w[0], period as u64);
+        }
+    }
+
+    /// The periodic predictor is perfect on exactly periodic streams.
+    #[test]
+    fn predictor_perfect_on_periodic(
+        period in 1usize..16,
+        reps in 4usize..20,
+    ) {
+        let data: Vec<i64> = (0..period * reps).map(|i| (i % period) as i64).collect();
+        let mut p = PeriodicPredictor::new(period);
+        for &s in &data {
+            p.verify_and_observe(s);
+        }
+        if let Some(rate) = p.metrics().hit_rate() {
+            prop_assert_eq!(rate, 1.0);
+        }
+    }
+
+    /// fold_harmonics: every output delay divides no earlier output delay,
+    /// and every input delay is a multiple of some output delay.
+    #[test]
+    fn fold_harmonics_properties(
+        mut delays in proptest::collection::vec(1usize..200, 1..20),
+    ) {
+        delays.sort_unstable();
+        delays.dedup();
+        let folded = Spectrum::fold_harmonics(&delays);
+        for (i, &a) in folded.iter().enumerate() {
+            for &b in &folded[i + 1..] {
+                prop_assert_ne!(b % a, 0, "harmonic {} of {} survived", b, a);
+            }
+        }
+        for &d in &delays {
+            prop_assert!(folded.iter().any(|&f| d % f == 0), "{} lost", d);
+        }
+    }
+
+    /// Metric axioms: pair(a, a) = 0 and pair(a, b) >= 0.
+    #[test]
+    fn metric_axioms(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(Metric::<i64>::pair(&EventMetric, a, a), 0.0);
+        prop_assert!(Metric::<i64>::pair(&EventMetric, a, b) >= 0.0);
+        prop_assert_eq!(Metric::<i64>::pair(&L1Metric, a, a), 0.0);
+        prop_assert!(Metric::<i64>::pair(&L1Metric, a, b) >= 0.0);
+    }
+
+    /// Trace file I/O round-trips arbitrary event traces.
+    #[test]
+    fn event_trace_io_roundtrip(
+        values in proptest::collection::vec(any::<i64>(), 0..100),
+    ) {
+        let t = EventTrace::from_values("prop", values);
+        let mut buf = Vec::new();
+        io::write_events(&t, &mut buf).unwrap();
+        let back = io::read_events(&buf[..]).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    /// Sampled trace I/O round-trips finite values.
+    #[test]
+    fn sampled_trace_io_roundtrip(
+        values in proptest::collection::vec(-1e12f64..1e12, 0..100),
+        period in 1u64..10_000_000,
+    ) {
+        let t = SampledTrace::from_values("prop", period, values);
+        let mut buf = Vec::new();
+        io::write_sampled(&t, &mut buf).unwrap();
+        let back = io::read_sampled(&buf[..]).unwrap();
+        prop_assert_eq!(back.sample_period_ns, t.sample_period_ns);
+        prop_assert_eq!(back.values.len(), t.values.len());
+        for (a, b) in back.values.iter().zip(&t.values) {
+            prop_assert!((a - b).abs() <= f64::EPSILON * a.abs().max(1.0));
+        }
+    }
+
+    /// A stream whose period exceeds the window never produces a lock
+    /// (paper §3.1).
+    #[test]
+    fn no_lock_beyond_window(
+        window in 4usize..16,
+        extra in 1usize..20,
+    ) {
+        let period = window + extra;
+        let data: Vec<i64> = (0..period * 30).map(|i| (i % period) as i64).collect();
+        let mut dpd = StreamingDpd::events(StreamingConfig::with_window(window));
+        for &s in &data {
+            let e = dpd.push(s);
+            prop_assert_eq!(e.as_return_value(), 0);
+        }
+    }
+
+    /// RingWindow retains exactly the trailing `capacity` samples.
+    #[test]
+    fn ring_window_retains_tail(
+        data in proptest::collection::vec(any::<i64>(), 1..200),
+        cap in 1usize..32,
+    ) {
+        let mut w = dpd::core::window::RingWindow::new(cap);
+        for &v in &data {
+            w.push(v);
+        }
+        let keep = data.len().min(cap);
+        let expected: Vec<i64> = data[data.len() - keep..].to_vec();
+        prop_assert_eq!(w.to_vec(), expected);
+        prop_assert_eq!(w.len(), keep);
+        prop_assert_eq!(w.pushed(), data.len() as u64);
+    }
+
+    /// RingWindow::resize never loses the most recent samples that fit.
+    #[test]
+    fn ring_window_resize_preserves_newest(
+        data in proptest::collection::vec(any::<i64>(), 1..100),
+        cap_a in 1usize..24,
+        cap_b in 1usize..24,
+    ) {
+        let mut w = dpd::core::window::RingWindow::new(cap_a);
+        for &v in &data {
+            w.push(v);
+        }
+        let before = w.to_vec();
+        w.resize(cap_b);
+        let keep = before.len().min(cap_b);
+        prop_assert_eq!(w.to_vec(), before[before.len() - keep..].to_vec());
+    }
+
+    /// Segmentation invariant on arbitrary periodic-with-phase-changes
+    /// streams: segments never overlap and appear in stream order.
+    #[test]
+    fn segments_never_overlap(
+        p1 in 2usize..8,
+        p2 in 2usize..8,
+        reps1 in 10usize..30,
+        reps2 in 10usize..30,
+    ) {
+        let mut data: Vec<i64> = (0..p1 * reps1).map(|i| (i % p1) as i64).collect();
+        data.extend((0..p2 * reps2).map(|i| 100 + (i % p2) as i64));
+        let (segments, _) = dpd::core::segmentation::segment_events(&data, 16);
+        for w in segments.windows(2) {
+            prop_assert!(w[0].end <= w[1].start, "overlap: {:?}", w);
+        }
+        for s in &segments {
+            prop_assert!(s.start < s.end);
+            // Untruncated segments span periods * period exactly; a lock
+            // loss truncates at most one period's worth off the end.
+            let len = s.end - s.start;
+            prop_assert!(len <= s.periods * s.period as u64, "{:?}", s);
+            prop_assert!(
+                len > (s.periods - 1) * s.period as u64,
+                "{:?}", s
+            );
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Integration test: failure injection and robustness.
+//!
+//! The paper's detector runs on live, imperfect streams. These tests verify
+//! graceful behaviour under perturbation: spurious events, dropped events,
+//! aperiodic prefixes, period changes, and window resizing mid-stream.
+
+use dpd::core::capi::Dpd;
+use dpd::core::streaming::{SegmentEvent, StreamingConfig, StreamingDpd};
+use dpd::trace::gen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn relocks_after_spurious_event() {
+    let mut dpd = StreamingDpd::events(StreamingConfig::with_window(12));
+    let pattern = [1i64, 2, 3, 4];
+    let mut locked_before = false;
+    for i in 0..100usize {
+        if dpd.push(pattern[i % 4]).as_return_value() != 0 {
+            locked_before = true;
+        }
+    }
+    assert!(locked_before);
+    // One spurious event breaks the lock...
+    dpd.push(0xDEAD);
+    // ...but the detector re-locks once the window refills.
+    let mut relocked = false;
+    for i in 0..60usize {
+        if let SegmentEvent::PeriodStart { period, .. } = dpd.push(pattern[i % 4]) {
+            assert_eq!(period, 4);
+            relocked = true;
+        }
+    }
+    assert!(relocked, "must re-lock after a glitch");
+}
+
+#[test]
+fn corruption_rate_degrades_detection_gracefully() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let clean = gen::periodic_events(&[10, 20, 30, 40, 50], 2000);
+    let mut boundaries_at = Vec::new();
+    for &p in &[0.0, 0.02, 0.3] {
+        let stream = gen::drop_events(&clean, p, &mut rng);
+        let mut dpd = StreamingDpd::events(StreamingConfig::with_window(16));
+        let mut boundaries = 0u64;
+        for &s in &stream {
+            if dpd.push(s).as_return_value() != 0 {
+                boundaries += 1;
+            }
+        }
+        boundaries_at.push(boundaries);
+    }
+    // Clean stream: maximal boundaries; light corruption: fewer but plenty;
+    // heavy corruption: dramatically fewer.
+    assert!(boundaries_at[0] > 350, "clean: {boundaries_at:?}");
+    assert!(
+        boundaries_at[1] > 50 && boundaries_at[1] < boundaries_at[0],
+        "light: {boundaries_at:?}"
+    );
+    assert!(
+        boundaries_at[2] < boundaries_at[1] / 2,
+        "heavy: {boundaries_at:?}"
+    );
+}
+
+#[test]
+fn aperiodic_prefix_then_lock() {
+    let mut stream = gen::aperiodic_events(500);
+    stream.extend(gen::periodic_events(&[7, 8, 9], 300));
+    let mut dpd = Dpd::with_window(16);
+    let mut p = 0i32;
+    let mut first_detection = None;
+    for (i, &s) in stream.iter().enumerate() {
+        if dpd.dpd(s, &mut p) != 0 && first_detection.is_none() {
+            first_detection = Some(i);
+        }
+    }
+    let at = first_detection.expect("must eventually lock");
+    assert!(at >= 500, "cannot lock inside the aperiodic prefix");
+    assert_eq!(p, 3);
+}
+
+#[test]
+fn jitter_insertion_reduces_but_does_not_prevent_detection() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let clean = gen::periodic_events(&[1, 2, 3, 4, 5, 6], 3000);
+    let jittered = gen::insert_events(&clean, 20, &mut rng);
+    let mut dpd = StreamingDpd::events(StreamingConfig::with_window(16));
+    for &s in &jittered {
+        dpd.push(s);
+    }
+    let periods = dpd.stats().detected_periods();
+    assert!(
+        periods.contains(&6),
+        "period 6 must still be found: {periods:?}"
+    );
+}
+
+#[test]
+fn window_shrink_mid_stream_recovers() {
+    let mut dpd = Dpd::with_window(1024);
+    let mut p = 0i32;
+    let pattern: Vec<i64> = (0..9).map(|i| 0x100 + i).collect();
+    for i in 0..1100usize {
+        dpd.dpd(pattern[i % 9], &mut p);
+    }
+    // Shrink drastically mid-stream; detection must resume.
+    dpd.dpd_window_size(32);
+    let mut hits = 0;
+    for i in 0..200usize {
+        hits += dpd.dpd(pattern[i % 9], &mut p);
+    }
+    assert!(hits > 0);
+    assert_eq!(p, 9);
+}
+
+#[test]
+fn random_small_alphabet_does_not_lock_spuriously_at_large_window() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let stream = gen::random_events(6, 4000, &mut rng);
+    let mut dpd = StreamingDpd::events(StreamingConfig::with_window(256));
+    let mut starts = 0u64;
+    for &s in &stream {
+        if dpd.push(s).as_return_value() != 0 {
+            starts += 1;
+        }
+    }
+    // A window of 256 random samples over 6 symbols matching a shift
+    // exactly has probability ~6^-256: no locks expected.
+    assert_eq!(starts, 0, "spurious locks on random stream");
+}
+
+#[test]
+fn period_change_detected_with_loss_event() {
+    let mut stream = gen::periodic_events(&[1, 2, 3], 120);
+    stream.extend(gen::periodic_events(&[9, 8, 7, 6, 5], 200));
+    let mut dpd = StreamingDpd::events(StreamingConfig::with_window(12));
+    let mut lost = false;
+    for &s in &stream {
+        if matches!(dpd.push(s), SegmentEvent::PeriodLost { period: 3, .. }) {
+            lost = true;
+        }
+    }
+    assert!(lost, "structure change must emit PeriodLost");
+    let periods = dpd.stats().detected_periods();
+    assert_eq!(periods, vec![3, 5]);
+}

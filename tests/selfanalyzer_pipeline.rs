@@ -1,0 +1,126 @@
+//! Integration test: the paper's **Figure 6 pipeline** —
+//! DITools interception → DPD → SelfAnalyzer → speedup.
+
+use dpd::analyzer::SelfAnalyzer;
+use dpd::apps::app::{App, RunConfig};
+use dpd::interpose::dispatch::Interposer;
+use dpd::interpose::registry::Registry;
+use dpd::runtime::machine::{LoopSpec, Machine, MachineConfig};
+use dpd::runtime::sched::{
+    total_speedup, AllocationPolicy, Equipartition, PerformanceDriven, SpeedupCurve,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Drive a 4-loop iterative app through the full interposition chain at two
+/// CPU allocations and return the region's measured speedup.
+fn pipeline_speedup(cpus: usize) -> f64 {
+    let mut machine = Machine::new(MachineConfig::default());
+    let mut ip = Interposer::new(Registry::new());
+    let analyzer = Rc::new(RefCell::new(SelfAnalyzer::new(16, 1)));
+    ip.attach(Box::new(Rc::clone(&analyzer)));
+
+    let loops = ["pipe_a", "pipe_b", "pipe_c", "pipe_d"];
+    let spec = LoopSpec {
+        iterations: 512,
+        cost_per_iter_ns: 50_000,
+        serial_fraction: 0.05,
+    };
+    for &(phase_cpus, iters) in &[(1usize, 12usize), (cpus, 24)] {
+        analyzer.borrow_mut().set_cpus(phase_cpus);
+        for _ in 0..iters {
+            for name in loops {
+                let addr = ip.register(name);
+                let now = machine.now_ns();
+                ip.intercept_timed(addr, now, || {
+                    let span = machine.run_loop(&spec, phase_cpus);
+                    ((), span.end_ns)
+                });
+            }
+        }
+    }
+    drop(ip);
+    let analyzer = Rc::try_unwrap(analyzer).expect("unique").into_inner();
+    let region = analyzer.regions().first().expect("region discovered");
+    assert_eq!(region.period, 4, "DPD must find the 4-loop iteration");
+    region.speedup(1, cpus).expect("both buckets measured")
+}
+
+#[test]
+fn speedup_is_monotone_and_bounded() {
+    let mut prev = 1.0;
+    for cpus in [2usize, 4, 8, 16] {
+        let s = pipeline_speedup(cpus);
+        assert!(s >= prev - 0.05, "S({cpus}) = {s} dropped below {prev}");
+        assert!(s <= cpus as f64 + 0.01, "S({cpus}) = {s} super-linear");
+        assert!(s > 1.0, "S({cpus}) = {s} shows no benefit");
+        prev = s;
+    }
+}
+
+#[test]
+fn amdahl_shape_with_serial_fraction() {
+    // With 5% inherent serial fraction plus overheads, S(16) stays well
+    // under the Amdahl bound 1/(0.05 + 0.95/16) ≈ 9.14.
+    let s16 = pipeline_speedup(16);
+    assert!(s16 < 9.14, "S(16) = {s16} violates the Amdahl bound");
+    assert!(s16 > 4.0, "S(16) = {s16} implausibly low");
+}
+
+#[test]
+fn analyzer_labels_iterations_with_allocation() {
+    let mut machine = Machine::new(MachineConfig::default());
+    let mut ip = Interposer::new(Registry::new());
+    let analyzer = Rc::new(RefCell::new(SelfAnalyzer::new(8, 3)));
+    ip.attach(Box::new(Rc::clone(&analyzer)));
+    let spec = LoopSpec::parallel(256, 10_000);
+    for _ in 0..30 {
+        for name in ["x_loop", "y_loop"] {
+            let addr = ip.register(name);
+            let now = machine.now_ns();
+            ip.intercept_timed(addr, now, || {
+                let span = machine.run_loop(&spec, 3);
+                ((), span.end_ns)
+            });
+        }
+    }
+    drop(ip);
+    let analyzer = Rc::try_unwrap(analyzer).expect("unique").into_inner();
+    let region = &analyzer.regions()[0];
+    assert_eq!(region.measured_cpu_counts(), vec![3]);
+    assert!(region.iterations_with(3) > 10);
+}
+
+#[test]
+fn measured_curves_drive_allocation_policies() {
+    // End-to-end: measure a real speedup curve through the pipeline, then
+    // allocate processors with it ([Corbalan2000] motivation, paper §5.1).
+    let points: Vec<(usize, f64)> = [2usize, 4, 8, 16]
+        .iter()
+        .map(|&p| (p, pipeline_speedup(p)))
+        .collect();
+    let measured = SpeedupCurve::new(points);
+    let apps = vec![measured, SpeedupCurve::amdahl(0.4, 16), SpeedupCurve::amdahl(0.02, 16)];
+    let eq = Equipartition.allocate(&apps, 16);
+    let pd = PerformanceDriven.allocate(&apps, 16);
+    assert_eq!(eq.iter().sum::<usize>(), 16);
+    assert!(pd.iter().sum::<usize>() <= 16);
+    assert!(
+        total_speedup(&apps, &pd) >= total_speedup(&apps, &eq),
+        "performance-driven {pd:?} must not lose to equipartition {eq:?}"
+    );
+}
+
+#[test]
+fn analyzer_attached_via_runconfig() {
+    // The spec-apps Driver wires the same chain via RunConfig.
+    let run = dpd::apps::tomcatv::Tomcatv.run(&RunConfig {
+        with_analyzer: true,
+        ..RunConfig::default()
+    });
+    let sa = run.analyzer.expect("requested");
+    assert_eq!(sa.events(), 3750);
+    // Window 512 locks on tomcatv's period 5 after ~517 events.
+    assert!(!sa.regions().is_empty());
+    assert_eq!(sa.regions()[0].period, 5);
+}
