@@ -7,10 +7,10 @@
 //! interposer*, so the produced address stream is exactly what the paper's
 //! instrumentation observes.
 
-use dpd_trace::{EventTrace, SampledTrace};
 use ditools::dispatch::Interposer;
 use ditools::hook::RecordingObserver;
 use ditools::registry::Registry;
+use dpd_trace::{EventTrace, SampledTrace};
 use par_runtime::machine::{LoopSpec, Machine, MachineConfig};
 use selfanalyzer::SelfAnalyzer;
 use std::cell::RefCell;

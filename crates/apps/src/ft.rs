@@ -14,10 +14,10 @@
 //! per-iteration jitter in the phase boundaries so consecutive periods are
 //! similar but not identical.
 
-use dpd_trace::{EventTrace, SampledTrace};
 use ditools::dispatch::Interposer;
 use ditools::hook::RecordingObserver;
 use ditools::registry::Registry;
+use dpd_trace::{EventTrace, SampledTrace};
 use par_runtime::machine::{Machine, MachineConfig};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -99,11 +99,7 @@ pub fn ft_run(iterations: usize) -> FtRun {
     }
 
     let elapsed_ns = machine.now_ns();
-    let cpu_trace = SampledTrace::from_values(
-        "ft",
-        MS,
-        machine.sample_cpu_trace(MS),
-    );
+    let cpu_trace = SampledTrace::from_values("ft", MS, machine.sample_cpu_trace(MS));
     drop(ip);
     let recorder = Rc::try_unwrap(recorder).expect("unique").into_inner();
     FtRun {
@@ -122,7 +118,10 @@ pub fn ft_run(iterations: usize) -> FtRun {
 /// still periodic at [`PERIOD_MS`].
 pub fn ft_mpi_run(iterations: usize, processes: usize) -> FtRun {
     use par_runtime::msg::{NetConfig, ProcessGroup};
-    assert!(processes > 0 && 16 % processes == 0, "processes must divide 16");
+    assert!(
+        processes > 0 && 16 % processes == 0,
+        "processes must divide 16"
+    );
     let cpus_each = 16 / processes;
     let mut group = ProcessGroup::new(processes, cpus_each, NetConfig::default());
     let mut addresses = Vec::new();
@@ -158,7 +157,10 @@ pub fn ft_mpi_run(iterations: usize, processes: usize) -> FtRun {
         for r in 0..processes {
             let m = group.machine(r);
             let now = m.now_ns();
-            assert!(now < target, "iteration overran its period ({now} >= {target})");
+            assert!(
+                now < target,
+                "iteration overran its period ({now} >= {target})"
+            );
             m.run_serial(target - now);
         }
     }
@@ -200,12 +202,7 @@ mod tests {
         let max = run.cpu_trace.max().unwrap();
         assert_eq!(max, 16.0, "up to 16 CPUs in parallel");
         // Parallelism closes between phases: plenty of 1-CPU samples.
-        let ones = run
-            .cpu_trace
-            .values
-            .iter()
-            .filter(|&&v| v == 1.0)
-            .count();
+        let ones = run.cpu_trace.values.iter().filter(|&&v| v == 1.0).count();
         assert!(ones > 20, "only {ones} serial samples");
     }
 

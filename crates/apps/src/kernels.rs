@@ -51,39 +51,32 @@ pub fn jacobi_sweep_parallel(grid: &mut [f64], n: usize, threads: usize) -> f64 
         // Move row slices into a structure indexable by the loop body.
         let rows: Vec<std::sync::Mutex<(usize, &mut [f64])>> =
             rows.into_iter().map(std::sync::Mutex::new).collect();
-        parallel_for(
-            threads,
-            0..rows.len() as u64,
-            Schedule::Static,
-            None,
-            |r| {
-                let mut guard = rows[r as usize].lock().unwrap();
-                let (i, row) = &mut *guard;
-                let i = *i;
-                let mut local = 0.0;
-                for j in 1..n - 1 {
-                    let idx = i * n + j;
-                    let new =
-                        0.25 * (old[idx - 1] + old[idx + 1] + old[idx - n] + old[idx + n]);
-                    local += (new - old[idx]) * (new - old[idx]);
-                    row[j] = new;
+        parallel_for(threads, 0..rows.len() as u64, Schedule::Static, None, |r| {
+            let mut guard = rows[r as usize].lock().unwrap();
+            let (i, row) = &mut *guard;
+            let i = *i;
+            let mut local = 0.0;
+            for j in 1..n - 1 {
+                let idx = i * n + j;
+                let new = 0.25 * (old[idx - 1] + old[idx + 1] + old[idx - n] + old[idx + n]);
+                local += (new - old[idx]) * (new - old[idx]);
+                row[j] = new;
+            }
+            // Atomic f64 accumulation via CAS on bits.
+            let mut cur = residual_bits.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(cur) + local).to_bits();
+                match residual_bits.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(c) => cur = c,
                 }
-                // Atomic f64 accumulation via CAS on bits.
-                let mut cur = residual_bits.load(Ordering::Relaxed);
-                loop {
-                    let next = (f64::from_bits(cur) + local).to_bits();
-                    match residual_bits.compare_exchange_weak(
-                        cur,
-                        next,
-                        Ordering::Relaxed,
-                        Ordering::Relaxed,
-                    ) {
-                        Ok(_) => break,
-                        Err(c) => cur = c,
-                    }
-                }
-            },
-        );
+            }
+        });
     }
     f64::from_bits(residual_bits.load(Ordering::Relaxed)).sqrt()
 }
@@ -95,7 +88,10 @@ pub fn jacobi_sweep_parallel(grid: &mut [f64], n: usize, threads: usize) -> f64 
 /// the solution. All must have equal length `>= 1`.
 pub fn tridiag_solve(a: &[f64], b: &[f64], c: &[f64], d: &mut [f64]) {
     let n = d.len();
-    assert!(a.len() == n && b.len() == n && c.len() == n, "length mismatch");
+    assert!(
+        a.len() == n && b.len() == n && c.len() == n,
+        "length mismatch"
+    );
     if n == 0 {
         return;
     }

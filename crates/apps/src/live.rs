@@ -8,10 +8,10 @@
 //! acquires a genuine Figure-3-style trace. The DPD runs on exactly the
 //! data a production deployment would see.
 
-use dpd_trace::{EventTrace, SampledTrace};
 use ditools::dispatch::Interposer;
 use ditools::hook::RecordingObserver;
 use ditools::registry::Registry;
+use dpd_trace::{EventTrace, SampledTrace};
 use par_runtime::cpustat::CpuUsage;
 use par_runtime::loops::{parallel_for, Schedule};
 use par_runtime::sampler::Sampler;
@@ -103,8 +103,8 @@ pub fn live_jacobi_run(config: &LiveConfig) -> LiveRun {
                         let i = *i;
                         for j in 1..n - 1 {
                             let idx = i * n + j;
-                            row[j] = 0.25
-                                * (old[idx - 1] + old[idx + 1] + old[idx - n] + old[idx + n]);
+                            row[j] =
+                                0.25 * (old[idx - 1] + old[idx + 1] + old[idx - n] + old[idx + n]);
                         }
                     },
                 );
@@ -247,18 +247,23 @@ mod tests {
 
     #[test]
     fn live_cpu_trace_observes_activity() {
-        let run = live_jacobi_run(&LiveConfig {
-            grid: 96,
-            iterations: 30,
-            ..small_config()
-        });
-        assert!(!run.cpu_trace.is_empty());
-        // Some samples must catch the workers in flight.
-        assert!(
-            run.cpu_trace.max().unwrap_or(0.0) >= 1.0,
-            "sampler saw no activity over {} samples",
-            run.cpu_trace.len()
-        );
+        // Whether a fixed-rate sampler catches the workers in flight depends
+        // on host scheduling; under a loaded test machine a single short run
+        // can legitimately miss. Give it a few runs before calling it a bug.
+        let mut last_len = 0;
+        for attempt in 0..5 {
+            let run = live_jacobi_run(&LiveConfig {
+                grid: 96,
+                iterations: 30 * (attempt + 1),
+                ..small_config()
+            });
+            assert!(!run.cpu_trace.is_empty());
+            last_len = run.cpu_trace.len();
+            if run.cpu_trace.max().unwrap_or(0.0) >= 1.0 {
+                return;
+            }
+        }
+        panic!("sampler saw no activity over {last_len} samples in 5 runs");
     }
 
     #[test]

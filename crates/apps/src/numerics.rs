@@ -60,10 +60,10 @@ impl TomcatvMesh {
         for i in 1..n - 1 {
             for j in 1..n - 1 {
                 let k = i * n + j;
-                rx[k] = self.x[k - 1] + self.x[k + 1] + self.x[k - n] + self.x[k + n]
-                    - 4.0 * self.x[k];
-                ry[k] = self.y[k - 1] + self.y[k + 1] + self.y[k - n] + self.y[k + n]
-                    - 4.0 * self.y[k];
+                rx[k] =
+                    self.x[k - 1] + self.x[k + 1] + self.x[k - n] + self.x[k + n] - 4.0 * self.x[k];
+                ry[k] =
+                    self.y[k - 1] + self.y[k + 1] + self.y[k - n] + self.y[k + n] - 4.0 * self.y[k];
             }
         }
         // Regions 2+3: tridiagonal solves along each interior line
@@ -258,10 +258,7 @@ mod tests {
             sw.step();
         }
         let m1 = sw.mass();
-        assert!(
-            (m1 - m0).abs() / m0 < 1e-9,
-            "mass drift: {m0} -> {m1}"
-        );
+        assert!((m1 - m0).abs() / m0 < 1e-9, "mass drift: {m0} -> {m1}");
     }
 
     #[test]

@@ -18,19 +18,15 @@ fn bench_event_detection(c: &mut Criterion) {
         let run = app.run(&RunConfig::default());
         let data = run.addresses.values.clone();
         g.throughput(Throughput::Elements(data.len() as u64));
-        g.bench_with_input(
-            BenchmarkId::from_parameter(app.name()),
-            &data,
-            |b, data| {
-                b.iter(|| {
-                    let mut bank = MultiScaleDpd::default_scales();
-                    for &s in data {
-                        bank.push(black_box(s));
-                    }
-                    bank.detected_periods().len()
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(app.name()), &data, |b, data| {
+            b.iter(|| {
+                let mut bank = MultiScaleDpd::default_scales();
+                for &s in data {
+                    bank.push(black_box(s));
+                }
+                bank.detected_periods().len()
+            })
+        });
     }
     g.finish();
 }

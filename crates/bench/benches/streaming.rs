@@ -38,6 +38,47 @@ fn bench_push_per_window(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_push_slice_per_window(c: &mut Criterion) {
+    // Batch ingestion of the same streams as `streaming/push`.
+    let mut g = c.benchmark_group("streaming/push_slice");
+    for &n in &[16usize, 64, 256, 1024] {
+        let data = stream(6, 4 * n);
+        g.throughput(Throughput::Elements(data.len() as u64));
+        g.bench_with_input(BenchmarkId::new("window", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut dpd = StreamingDpd::events(StreamingConfig::with_window(n));
+                dpd.push_slice(black_box(&data)).len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_engine_batch_vs_single(c: &mut Criterion) {
+    // Pure-engine spectrum maintenance: per-sample push vs push_slice.
+    let mut g = c.benchmark_group("streaming/engine_ingest");
+    let n = 1024usize;
+    let data = stream(6, 4 * n);
+    g.throughput(Throughput::Elements(data.len() as u64));
+    g.bench_function("push_per_sample", |b| {
+        b.iter(|| {
+            let mut e = IncrementalEngine::new(EventMetric, EngineConfig::square(n)).unwrap();
+            for &s in &data {
+                e.push(black_box(s));
+            }
+            e.first_zero()
+        })
+    });
+    g.bench_function("push_slice", |b| {
+        b.iter(|| {
+            let mut e = IncrementalEngine::new(EventMetric, EngineConfig::square(n)).unwrap();
+            e.push_slice(black_box(&data));
+            e.first_zero()
+        })
+    });
+    g.finish();
+}
+
 fn bench_capi_replay(c: &mut Criterion) {
     // The exact Table 3 protocol: replay a trace through `DPD()`.
     let mut g = c.benchmark_group("streaming/dpd_capi_replay");
@@ -54,6 +95,12 @@ fn bench_capi_replay(c: &mut Criterion) {
             hits
         })
     });
+    g.bench_function("swim_sized_window16_batch", |b| {
+        b.iter(|| {
+            let mut dpd = Dpd::with_window(16);
+            dpd.dpd_batch(black_box(&data)).len()
+        })
+    });
     g.finish();
 }
 
@@ -64,8 +111,7 @@ fn bench_incremental_vs_scratch(c: &mut Criterion) {
     let data = stream(6, 6 * n);
     g.bench_function("incremental_o_m", |b| {
         b.iter(|| {
-            let mut e =
-                IncrementalEngine::new(EventMetric, EngineConfig::square(n)).unwrap();
+            let mut e = IncrementalEngine::new(EventMetric, EngineConfig::square(n)).unwrap();
             let mut zeros = 0u64;
             for &s in &data {
                 e.push(black_box(s));
@@ -98,6 +144,8 @@ fn bench_incremental_vs_scratch(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_push_per_window,
+    bench_push_slice_per_window,
+    bench_engine_batch_vs_single,
     bench_capi_replay,
     bench_incremental_vs_scratch
 );

@@ -17,7 +17,9 @@ use std::time::Instant;
 
 fn trial(noise: f64, trials: u32) -> (u32, u32) {
     let mut rng = StdRng::seed_from_u64(0xD1CE + (noise * 1000.0) as u64);
-    let shape = [1.0, 1.0, 16.0, 16.0, 16.0, 16.0, 8.0, 8.0, 4.0, 1.0, 1.0, 1.0];
+    let shape = [
+        1.0, 1.0, 16.0, 16.0, 16.0, 16.0, 8.0, 8.0, 4.0, 1.0, 1.0, 1.0,
+    ];
     let mut dpd_hits = 0;
     let mut auto_hits = 0;
     for _ in 0..trials {

@@ -24,8 +24,8 @@ fn main() {
         let window = window_for(app.as_ref());
         let mut dpd = StreamingDpd::events(StreamingConfig::with_window(window));
         let mut seg = Segmenter::new();
-        for &s in data {
-            seg.observe(dpd.push(s));
+        for event in dpd.push_slice(data) {
+            seg.observe(event);
         }
         let marks: Vec<u64> = seg.marks().to_vec();
         let segments = seg.finish();

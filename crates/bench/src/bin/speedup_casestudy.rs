@@ -35,20 +35,28 @@ fn measure_speedup(structure: &AppStructure, cpus: usize, baseline_iters: usize)
     let mut t_ns = 0u64;
     let mut machine = par_runtime::Machine::new(par_runtime::MachineConfig::default());
     let run_phase = |structure: &AppStructure,
-                         cpus: usize,
-                         analyzer: &mut selfanalyzer::SelfAnalyzer,
-                         machine: &mut par_runtime::Machine,
-                         t_ns: &mut u64| {
+                     cpus: usize,
+                     analyzer: &mut selfanalyzer::SelfAnalyzer,
+                     machine: &mut par_runtime::Machine,
+                     t_ns: &mut u64| {
         analyzer.set_cpus(cpus);
         let mut addr_book = ditools::registry::Registry::new();
+        // Execute the phase on the virtual machine first, recording the
+        // loop-call stream, then hand the whole stream to the analyzer's
+        // batch ingestion (the CPU allocation is constant within a phase,
+        // so this is equivalent to interleaved per-call feeding).
+        let mut addrs = Vec::new();
+        let mut times = Vec::new();
         for _ in 0..structure.iterations {
             for call in &structure.iteration {
                 let addr = addr_book.register(call.name);
-                analyzer.on_loop_call(addr.raw(), *t_ns);
+                addrs.push(addr.raw());
+                times.push(*t_ns);
                 let span = machine.run_loop(&call.spec, cpus);
                 *t_ns = span.end_ns;
             }
         }
+        analyzer.on_loop_calls(&addrs, &times);
     };
     run_phase(&base, 1, &mut analyzer, &mut machine, &mut t_ns);
     run_phase(&rest, cpus, &mut analyzer, &mut machine, &mut t_ns);
@@ -98,9 +106,9 @@ fn main() {
     println!("--- processor allocation on 16 CPUs ([Corbalan2000] motivation) ---");
     let measured = SpeedupCurve::new(curve_points);
     let apps = vec![
-        measured.clone(),                    // tomcatv, measured at run time
-        SpeedupCurve::amdahl(0.35, 16),      // a poorly scaling co-runner
-        SpeedupCurve::amdahl(0.05, 16),      // a well scaling co-runner
+        measured.clone(),               // tomcatv, measured at run time
+        SpeedupCurve::amdahl(0.35, 16), // a poorly scaling co-runner
+        SpeedupCurve::amdahl(0.05, 16), // a well scaling co-runner
     ];
     for policy in [&Equipartition as &dyn AllocationPolicy, &PerformanceDriven] {
         let alloc = policy.allocate(&apps, 16);

@@ -29,9 +29,7 @@ use spec_apps::app::{App, AppRun, RunConfig};
 pub fn run_and_detect(app: &dyn App) -> (AppRun, Vec<usize>) {
     let run = app.run(&RunConfig::default());
     let mut bank = MultiScaleDpd::default_scales();
-    for &s in &run.addresses.values {
-        bank.push(s);
-    }
+    bank.push_slice(&run.addresses.values);
     let periods = bank.detected_periods();
     (run, periods)
 }

@@ -136,11 +136,8 @@ fn analyze(flags: &Flags) -> Result<String, String> {
             .map(|p| p.trim().parse().map_err(|_| format!("bad scale {p:?}")))
             .collect::<Result<_, _>>()?,
     };
-    let mut bank =
-        MultiScaleDpd::new(&scales).map_err(|e| format!("invalid scales: {e}"))?;
-    for &s in &trace.values {
-        bank.push(s);
-    }
+    let mut bank = MultiScaleDpd::new(&scales).map_err(|e| format!("invalid scales: {e}"))?;
+    bank.push_slice(&trace.values);
     let mut out = String::new();
     writeln!(out, "trace {:?}: {} events", trace.name, trace.len()).unwrap();
     writeln!(out, "detected periodicities: {:?}", bank.detected_periods()).unwrap();

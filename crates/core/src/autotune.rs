@@ -213,7 +213,10 @@ mod tests {
             confirmations: 2,
             ..TunerPolicy::default()
         });
-        let start = SegmentEvent::PeriodStart { period: 5, position: 0 };
+        let start = SegmentEvent::PeriodStart {
+            period: 5,
+            position: 0,
+        };
         assert_eq!(tuner.decide(1024, start), TuneAction::Keep);
         assert_eq!(tuner.decide(1024, start), TuneAction::Resize(10));
     }
@@ -226,7 +229,10 @@ mod tests {
             ..TunerPolicy::default()
         });
         // period 300 -> target 600; window 1024 is < 2x of 600 -> keep.
-        let e = SegmentEvent::PeriodStart { period: 300, position: 0 };
+        let e = SegmentEvent::PeriodStart {
+            period: 300,
+            position: 0,
+        };
         assert_eq!(tuner.decide(1024, e), TuneAction::Keep);
     }
 
@@ -237,7 +243,10 @@ mod tests {
             confirmations: 1,
             ..TunerPolicy::default()
         });
-        let e = SegmentEvent::PeriodStart { period: 2, position: 0 };
+        let e = SegmentEvent::PeriodStart {
+            period: 2,
+            position: 0,
+        };
         assert_eq!(tuner.decide(1024, e), TuneAction::Resize(16));
     }
 
@@ -253,7 +262,10 @@ mod tests {
             confirmations: 1,
             ..TunerPolicy::default()
         });
-        let e = SegmentEvent::PeriodStart { period: 5, position: 0 };
+        let e = SegmentEvent::PeriodStart {
+            period: 5,
+            position: 0,
+        };
         assert_eq!(tuner.decide(1024, e), TuneAction::Resize(10));
         // Same period again at the already-shrunk window: keep.
         assert_eq!(tuner.decide(10, e), TuneAction::Keep);

@@ -95,7 +95,11 @@ impl AutocorrDetector {
             if !v.is_finite() || v < self.min_peak {
                 continue;
             }
-            let left = if i == 0 { f64::NEG_INFINITY } else { values[i - 1] };
+            let left = if i == 0 {
+                f64::NEG_INFINITY
+            } else {
+                values[i - 1]
+            };
             let right = if i + 1 == values.len() {
                 f64::NEG_INFINITY
             } else {
@@ -175,7 +179,9 @@ mod tests {
         let mut x = 12345u64;
         let data: Vec<f64> = (0..300)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 33) as f64 / 2f64.powi(31)) - 1.0
             })
             .collect();
@@ -183,7 +189,11 @@ mod tests {
         let report = det.analyze(&data).unwrap();
         if let Some(p) = report.period {
             // If anything passes, the peak must be marginal.
-            assert!(report.peak < 0.6, "noise produced period {p} at {}", report.peak);
+            assert!(
+                report.peak < 0.6,
+                "noise produced period {p} at {}",
+                report.peak
+            );
         }
     }
 

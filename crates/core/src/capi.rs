@@ -57,6 +57,27 @@ impl Dpd {
         }
     }
 
+    /// Batch variant of [`Dpd::dpd`]: feed a whole slice of samples.
+    ///
+    /// Returns `(offset, period)` for every sample that started a period,
+    /// where `offset` is the sample's position **within `samples`** — the
+    /// positional analogue of the per-sample nonzero return. Feeding the
+    /// same stream through `dpd_batch` or sample-by-sample [`Dpd::dpd`]
+    /// yields identical detections.
+    pub fn dpd_batch(&mut self, samples: &[i64]) -> Vec<(usize, i32)> {
+        let base = self.inner.stats().samples;
+        self.inner
+            .push_slice(samples)
+            .into_iter()
+            .filter_map(|e| match e {
+                SegmentEvent::PeriodStart { period, position } => {
+                    Some(((position - base) as usize, period as i32))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
     /// `void DPDWindowSize(int size)` — adjust data window size.
     ///
     /// Sizes `<= 0` are ignored (defensive, like the C original); any active
@@ -154,6 +175,45 @@ mod tests {
         }
         assert!(relock.is_some(), "must re-lock after shrink");
         assert!(relock.unwrap() < 40, "small window locks quickly");
+    }
+
+    #[test]
+    fn dpd_batch_matches_per_sample() {
+        let data: Vec<i64> = (0..300)
+            .map(|i| [0x1000i64, 0x2000, 0x3000, 0x4000, 0x5000][i % 5])
+            .collect();
+        let mut single = Dpd::with_window(16);
+        let mut period = 0i32;
+        let mut expected = Vec::new();
+        for (i, &s) in data.iter().enumerate() {
+            if single.dpd(s, &mut period) != 0 {
+                expected.push((i, period));
+            }
+        }
+
+        let mut batch = Dpd::with_window(16);
+        let mut got = Vec::new();
+        for (chunk_idx, chunk) in data.chunks(120).enumerate() {
+            for (offset, p) in batch.dpd_batch(chunk) {
+                got.push((chunk_idx * 120 + offset, p));
+            }
+        }
+        assert_eq!(got, expected);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn dpd_batch_offsets_are_chunk_relative() {
+        let mut dpd = Dpd::with_window(8);
+        let data: Vec<i64> = (0..40).map(|i| [7i64, 8][i % 2]).collect();
+        let first = dpd.dpd_batch(&data);
+        assert!(!first.is_empty());
+        // A second chunk restarts offsets at 0.
+        let second = dpd.dpd_batch(&data[..4]);
+        for (offset, p) in second {
+            assert!(offset < 4);
+            assert_eq!(p, 2);
+        }
     }
 
     #[test]

@@ -106,14 +106,22 @@ mod tests {
     #[test]
     fn exact_zero_scores_one() {
         let s = spec(vec![1.0, 0.0, 1.0], 8);
-        let m = Minimum { delay: 2, value: 0.0, depth: 1.0 };
+        let m = Minimum {
+            delay: 2,
+            value: 0.0,
+            depth: 1.0,
+        };
         assert_eq!(shape_confidence(&s, &m, &[m]), 1.0);
     }
 
     #[test]
     fn unique_deep_valley_scores_high() {
         let s = spec(vec![1.0, 1.0, 0.05, 1.0, 1.0], 8);
-        let m = Minimum { delay: 3, value: 0.05, depth: 0.94 };
+        let m = Minimum {
+            delay: 3,
+            value: 0.05,
+            depth: 0.94,
+        };
         let c = shape_confidence(&s, &m, &[m]);
         assert!(c > 0.8, "confidence {c}");
     }
@@ -121,9 +129,21 @@ mod tests {
     #[test]
     fn competing_minima_damp_confidence() {
         let s = spec(vec![1.0, 0.1, 1.0, 0.1, 1.0, 0.1], 8);
-        let a = Minimum { delay: 2, value: 0.1, depth: 0.8 };
-        let b = Minimum { delay: 4, value: 0.1, depth: 0.8 };
-        let c = Minimum { delay: 6, value: 0.1, depth: 0.8 };
+        let a = Minimum {
+            delay: 2,
+            value: 0.1,
+            depth: 0.8,
+        };
+        let b = Minimum {
+            delay: 4,
+            value: 0.1,
+            depth: 0.8,
+        };
+        let c = Minimum {
+            delay: 6,
+            value: 0.1,
+            depth: 0.8,
+        };
         let solo = shape_confidence(&s, &a, &[a]);
         let crowded = shape_confidence(&s, &a, &[a, b, c]);
         assert!(crowded < solo, "{crowded} !< {solo}");
@@ -133,7 +153,11 @@ mod tests {
     fn degenerate_spectrum_scores_zero() {
         let s = spec(vec![0.0; 4], 8);
         // all-zero spectrum: mean is 0 -> inexact minimum unfalsifiable
-        let m = Minimum { delay: 1, value: 0.1, depth: 0.0 };
+        let m = Minimum {
+            delay: 1,
+            value: 0.1,
+            depth: 0.0,
+        };
         assert_eq!(shape_confidence(&s, &m, &[m]), 0.0);
     }
 

@@ -7,7 +7,7 @@
 //! m = 44); the on-line streaming detector lives in [`crate::streaming`].
 
 use crate::metric::{direct_distance, Metric};
-use crate::minima::{Minimum, MinimaPolicy};
+use crate::minima::{MinimaPolicy, Minimum};
 use crate::spectrum::Spectrum;
 
 /// Result of analysing one frame of data.
@@ -261,9 +261,7 @@ mod tests {
 
     #[test]
     fn l1_detector_sees_amplitude_scaled_stream() {
-        let base: Vec<f64> = (0..120)
-            .map(|i| [0.0, 4.0, 8.0, 4.0][i % 4])
-            .collect();
+        let base: Vec<f64> = (0..120).map(|i| [0.0, 4.0, 8.0, 4.0][i % 4]).collect();
         let det = FrameDetector::magnitudes(32, 0.5);
         assert_eq!(det.analyze(&base).unwrap().period(), Some(4));
         let scaled: Vec<f64> = base.iter().map(|v| v * 1000.0).collect();

@@ -112,7 +112,9 @@ mod tests {
             one.extend([1i64, 2, 3, 4]);
         }
         one.extend(100..108);
-        (0..one.len() * outers).map(|i| one[i % one.len()]).collect()
+        (0..one.len() * outers)
+            .map(|i| one[i % one.len()])
+            .collect()
     }
 
     #[test]
@@ -165,7 +167,7 @@ mod tests {
         // prologue-free hydro2d shape: 5 boundary + 11 * (10 same + 14 distinct).
         let mut one: Vec<i64> = (500..505).collect();
         for _ in 0..11 {
-            one.extend(std::iter::repeat(42).take(10));
+            one.extend(std::iter::repeat_n(42, 10));
             one.extend(600..614);
         }
         assert_eq!(one.len(), 269);

@@ -11,14 +11,42 @@
 //! * the newly formed pair `(x[t], x[t-m])` enters the frame,
 //! * the pair `(x[t-N], x[t-N-m])` leaves it.
 //!
+//! # Hot-path layout
+//!
+//! History lives in a [`MirroredHistory`]: every sample is stored twice so
+//! the trailing `N + M + k` samples are always one contiguous slice — no
+//! modulo indexing, no wraparound branch. `push` splits into two paths:
+//!
+//! * a branchy **warmup** path while some delay still lacks a full frame of
+//!   pairs (the first `N + M` samples after construction or reset), and
+//! * a branch-free **steady-state** path in which *every* delay gains one
+//!   incoming pair and sheds one outgoing pair. The per-delay update then
+//!   reads two reverse-contiguous slices of history and accumulates into the
+//!   flat `sums` array — a pure streaming kernel that LLVM auto-vectorizes.
+//!
+//! [`IncrementalEngine::push_slice`] feeds whole slices: warmup samples go
+//! through the per-sample path, after which samples are ingested in
+//! cache-sized blocks (history written first, then one fused pass per block)
+//! amortizing per-push bookkeeping. Block processing preserves the exact
+//! per-accumulator floating-point operation order of sample-by-sample
+//! `push`, so batch and per-sample ingestion produce **bit-identical**
+//! spectra — a property the test suite checks with property tests.
+//!
 //! For the event metric the pair contributions are exact small integers, so
 //! the running sums never drift. For the floating-point L1 metric the engine
 //! optionally re-derives all sums from the retained history every
-//! `resync_interval` pushes to bound accumulated rounding error.
+//! `resync_interval` pushes to bound accumulated rounding error; batch
+//! ingestion splits blocks at resync boundaries so the resync points are
+//! sample-exact.
 
 use crate::metric::Metric;
 use crate::spectrum::Spectrum;
-use crate::window::RingWindow;
+use crate::window::MirroredHistory;
+
+/// Block length for steady-state batch ingestion. Sized so the working set
+/// (history slice of `N + M + BLOCK` samples plus the `M`-entry sums array)
+/// stays cache-resident for the window sizes the paper uses (`N <= 1024`).
+const STEADY_BLOCK: usize = 64;
 
 /// Configuration of an [`IncrementalEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +83,12 @@ impl EngineConfig {
         }
         Ok(())
     }
+
+    /// History retention backing this configuration: the frame, the deepest
+    /// delayed access, and one steady-state ingestion block.
+    fn history_capacity(&self) -> usize {
+        self.frame + self.m_max + STEADY_BLOCK
+    }
 }
 
 /// O(M)-per-sample sliding computation of `d(m)` for all `m <= M`.
@@ -62,8 +96,8 @@ impl EngineConfig {
 pub struct IncrementalEngine<T, M: Metric<T>> {
     metric: M,
     config: EngineConfig,
-    /// Last `N + M` samples (plus one slot of slack for the outgoing pair).
-    history: RingWindow<T>,
+    /// Last `N + M + STEADY_BLOCK` samples, mirrored for contiguous reads.
+    history: MirroredHistory<T>,
     /// Running pair-sums, indexed by `m - 1`.
     sums: Vec<f64>,
     /// Number of pairs currently contributing to each sum.
@@ -78,7 +112,7 @@ impl<T: Copy, M: Metric<T>> IncrementalEngine<T, M> {
         config.validate()?;
         Ok(IncrementalEngine {
             metric,
-            history: RingWindow::new(config.frame + config.m_max + 1),
+            history: MirroredHistory::new(config.history_capacity()),
             sums: vec![0.0; config.m_max],
             pairs: vec![0; config.m_max],
             config,
@@ -111,32 +145,126 @@ impl<T: Copy, M: Metric<T>> IncrementalEngine<T, M> {
         self.pushed as usize >= self.warmup_len()
     }
 
+    /// `true` when the *next* push takes the branch-free steady-state path:
+    /// every delay both gains an incoming pair and sheds an outgoing one.
+    #[inline]
+    fn next_push_is_steady(&self) -> bool {
+        self.history.len() >= self.warmup_len()
+    }
+
     /// Push one sample, updating every `d(m)` in O(M).
+    #[inline]
     pub fn push(&mut self, sample: T) {
+        if self.next_push_is_steady() {
+            self.history.push(sample);
+            self.pushed += 1;
+            self.steady_update(1);
+        } else {
+            self.warm_push(sample);
+        }
+        self.maybe_resync();
+    }
+
+    /// Push a whole slice of samples, semantically identical to calling
+    /// [`IncrementalEngine::push`] for each element — including bit-identical
+    /// floating-point sums — but ingested in cache-sized blocks once the
+    /// engine is warm.
+    pub fn push_slice(&mut self, samples: &[T]) {
+        let mut rest = samples;
+
+        // Warmup: per-sample branchy path until every delay is complete.
+        while !rest.is_empty() && !self.next_push_is_steady() {
+            self.warm_push(rest[0]);
+            self.maybe_resync();
+            rest = &rest[1..];
+        }
+
+        // Steady state: blocks, split at resync boundaries so inexact
+        // metrics resynchronize at exactly the same stream positions as
+        // sample-by-sample ingestion.
+        let interval = self.config.resync_interval;
+        while !rest.is_empty() {
+            let mut block = rest.len().min(STEADY_BLOCK);
+            if interval > 0 {
+                let until_boundary = interval - (self.pushed % interval);
+                block = block.min(until_boundary as usize);
+            }
+            let (now, later) = rest.split_at(block);
+            self.history.extend_from_slice(now);
+            self.pushed += block as u64;
+            self.steady_update(block);
+            if interval > 0 && self.pushed.is_multiple_of(interval) {
+                self.resync();
+            }
+            rest = later;
+        }
+    }
+
+    /// Warmup-path push: some delays may still be missing pairs, so every
+    /// delay carries two data-dependent branches. Mirrors the definition
+    /// exactly; runs for the first `N + M` samples after construction,
+    /// [`IncrementalEngine::reset`] or a shrinking reconfigure.
+    fn warm_push(&mut self, sample: T) {
         let n = self.config.frame;
         let m_max = self.config.m_max;
         self.history.push(sample);
         self.pushed += 1;
-        let t = self.history.len(); // retained samples, newest has age 0
+        let h = self.history.as_slice();
+        let t = h.len(); // retained samples; h[t - 1] is the newest
+        let newest = h[t - 1];
 
         for m in 1..=m_max {
             // Incoming pair (x[t], x[t-m]): ages 0 and m.
             if t > m {
-                let newest = self.history.ago_unchecked(0);
-                let delayed = self.history.ago_unchecked(m);
-                self.sums[m - 1] += self.metric.pair(newest, delayed);
+                self.sums[m - 1] += self.metric.pair(newest, h[t - 1 - m]);
                 self.pairs[m - 1] += 1;
                 // Outgoing pair (x[t-N], x[t-N-m]): ages N and N+m.
                 if self.pairs[m - 1] as usize > n {
-                    let out_cur = self.history.ago_unchecked(n);
-                    let out_del = self.history.ago_unchecked(n + m);
-                    self.sums[m - 1] -= self.metric.pair(out_cur, out_del);
+                    self.sums[m - 1] -= self.metric.pair(h[t - 1 - n], h[t - 1 - n - m]);
                     self.pairs[m - 1] = n as u32;
                 }
             }
         }
+    }
 
-        if self.config.resync_interval > 0 && self.pushed % self.config.resync_interval == 0 {
+    /// Steady-state spectrum update for the trailing `block` samples already
+    /// written to history. For each sample the per-delay work is a pure
+    /// streaming kernel: broadcast the incoming/outgoing anchors, read the
+    /// two reverse-contiguous history slices, accumulate into `sums`. No
+    /// branches, no modulo — auto-vectorizable.
+    ///
+    /// Per accumulator the operation order is identical to sample-by-sample
+    /// ingestion (`+= incoming` then `-= outgoing`, in stream order), so
+    /// results are bit-identical to repeated `push`.
+    fn steady_update(&mut self, block: usize) {
+        let n = self.config.frame;
+        let m_max = self.config.m_max;
+        let h = self.history.tail(n + m_max + block);
+        let sums = &mut self.sums[..m_max];
+        let metric = &self.metric;
+        for i in 0..block {
+            // Stream indices within `h`: current sample at n + m_max + i.
+            let cur = h[n + m_max + i];
+            let out_cur = h[m_max + i];
+            // delayed[m_max - m] == x[t - m]; out_delayed[m_max - m] == x[t - N - m].
+            let delayed = &h[n + i..n + m_max + i];
+            let out_delayed = &h[i..m_max + i];
+            for ((s, &d_in), &d_out) in sums
+                .iter_mut()
+                .zip(delayed.iter().rev())
+                .zip(out_delayed.iter().rev())
+            {
+                *s += metric.pair(cur, d_in);
+                *s -= metric.pair(out_cur, d_out);
+            }
+        }
+    }
+
+    #[inline]
+    fn maybe_resync(&mut self) {
+        if self.config.resync_interval > 0
+            && self.pushed.is_multiple_of(self.config.resync_interval)
+        {
             self.resync();
         }
     }
@@ -145,16 +273,15 @@ impl<T: Copy, M: Metric<T>> IncrementalEngine<T, M> {
     /// floating-point drift for inexact metrics; a no-op semantically.
     pub fn resync(&mut self) {
         let n = self.config.frame;
+        let h = self.history.as_slice();
+        let avail = h.len();
         for m in 1..=self.config.m_max {
-            let avail = self.history.len();
             // Pairs exist for current ages 0..N-1 provided age+m < avail.
             let mut sum = 0.0;
             let mut count = 0u32;
             for age in 0..n.min(avail) {
                 if age + m < avail {
-                    let cur = self.history.ago_unchecked(age);
-                    let del = self.history.ago_unchecked(age + m);
-                    sum += self.metric.pair(cur, del);
+                    sum += self.metric.pair(h[avail - 1 - age], h[avail - 1 - age - m]);
                     count += 1;
                 }
             }
@@ -205,8 +332,7 @@ impl<T: Copy, M: Metric<T>> IncrementalEngine<T, M> {
     /// For the event metric this is the paper's equation-(2) detection: "if
     /// d(m) = 0, then a periodic pattern with dimension m is detected".
     pub fn first_zero(&self) -> Option<usize> {
-        (1..=self.config.m_max)
-            .find(|&m| self.is_complete(m) && self.sums[m - 1] == 0.0)
+        (1..=self.config.m_max).find(|&m| self.is_complete(m) && self.sums[m - 1] == 0.0)
     }
 
     /// Reconfigure frame size and maximum delay, preserving as much history
@@ -214,7 +340,7 @@ impl<T: Copy, M: Metric<T>> IncrementalEngine<T, M> {
     pub fn reconfigure(&mut self, config: EngineConfig) -> crate::Result<()> {
         config.validate()?;
         self.config = config;
-        self.history.resize(config.frame + config.m_max + 1);
+        self.history.resize(config.history_capacity());
         self.sums = vec![0.0; config.m_max];
         self.pairs = vec![0; config.m_max];
         self.resync();
@@ -259,15 +385,27 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(EngineConfig { frame: 0, m_max: 1, resync_interval: 0 }
-            .validate()
-            .is_err());
-        assert!(EngineConfig { frame: 4, m_max: 0, resync_interval: 0 }
-            .validate()
-            .is_err());
-        assert!(EngineConfig { frame: 4, m_max: 5, resync_interval: 0 }
-            .validate()
-            .is_err());
+        assert!(EngineConfig {
+            frame: 0,
+            m_max: 1,
+            resync_interval: 0
+        }
+        .validate()
+        .is_err());
+        assert!(EngineConfig {
+            frame: 4,
+            m_max: 0,
+            resync_interval: 0
+        }
+        .validate()
+        .is_err());
+        assert!(EngineConfig {
+            frame: 4,
+            m_max: 5,
+            resync_interval: 0
+        }
+        .validate()
+        .is_err());
         assert!(EngineConfig::square(8).validate().is_ok());
     }
 
@@ -287,18 +425,18 @@ mod tests {
     fn incremental_matches_direct_for_events() {
         // pseudo-random-ish but deterministic data
         let data: Vec<i64> = (0..200).map(|i| (i * i % 17) as i64).collect();
-        let cfg = EngineConfig { frame: 16, m_max: 12, resync_interval: 0 };
+        let cfg = EngineConfig {
+            frame: 16,
+            m_max: 12,
+            resync_interval: 0,
+        };
         let mut e = IncrementalEngine::new(EventMetric, cfg).unwrap();
         for (t, &s) in data.iter().enumerate() {
             e.push(s);
             let seen = &data[..=t];
             for m in 1..=12 {
                 if let Some(direct) = direct_distance(&EventMetric, seen, 16, m) {
-                    assert_eq!(
-                        e.distance(m),
-                        Some(direct),
-                        "mismatch at t={t} m={m}"
-                    );
+                    assert_eq!(e.distance(m), Some(direct), "mismatch at t={t} m={m}");
                 }
             }
         }
@@ -309,7 +447,11 @@ mod tests {
         let data: Vec<f64> = (0..150)
             .map(|i| ((i as f64) * 0.7).sin() * 10.0 + (i % 5) as f64)
             .collect();
-        let cfg = EngineConfig { frame: 20, m_max: 15, resync_interval: 0 };
+        let cfg = EngineConfig {
+            frame: 20,
+            m_max: 15,
+            resync_interval: 0,
+        };
         let mut e = IncrementalEngine::new(L1Metric, cfg).unwrap();
         for (t, &s) in data.iter().enumerate() {
             e.push(s);
@@ -329,11 +471,18 @@ mod tests {
     #[test]
     fn resync_is_semantically_noop() {
         let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.3).cos() * 4.0).collect();
-        let cfg = EngineConfig { frame: 10, m_max: 8, resync_interval: 0 };
+        let cfg = EngineConfig {
+            frame: 10,
+            m_max: 8,
+            resync_interval: 0,
+        };
         let mut a = IncrementalEngine::new(L1Metric, cfg).unwrap();
         let mut b = IncrementalEngine::new(
             L1Metric,
-            EngineConfig { resync_interval: 7, ..cfg },
+            EngineConfig {
+                resync_interval: 7,
+                ..cfg
+            },
         )
         .unwrap();
         for &s in &data {
@@ -349,7 +498,11 @@ mod tests {
 
     #[test]
     fn warmup_accounting() {
-        let cfg = EngineConfig { frame: 6, m_max: 4, resync_interval: 0 };
+        let cfg = EngineConfig {
+            frame: 6,
+            m_max: 4,
+            resync_interval: 0,
+        };
         let mut e = IncrementalEngine::new(EventMetric, cfg).unwrap();
         assert_eq!(e.warmup_len(), 10);
         for i in 0..9i64 {
@@ -422,5 +575,106 @@ mod tests {
             assert_eq!(s.at(m), e.distance(m), "m={m}");
         }
         assert_eq!(s.zeros(), vec![5, 10]);
+    }
+
+    // --- batch ingestion ---
+
+    /// Clone-free helper: feed `data` through per-sample pushes into one
+    /// engine and through `push_slice` chunks into another, then assert the
+    /// observable state matches bit-for-bit.
+    fn assert_batch_equivalent<T, M>(metric: M, cfg: EngineConfig, data: &[T], chunks: &[usize])
+    where
+        T: Copy + std::fmt::Debug + PartialEq,
+        M: Metric<T>,
+    {
+        let mut single = IncrementalEngine::new(metric.clone(), cfg).unwrap();
+        let mut batch = IncrementalEngine::new(metric, cfg).unwrap();
+        for &s in data {
+            single.push(s);
+        }
+        let mut rest = data;
+        let mut it = chunks.iter().copied().cycle();
+        while !rest.is_empty() {
+            let k = it.next().unwrap().clamp(1, rest.len());
+            let (now, later) = rest.split_at(k);
+            batch.push_slice(now);
+            rest = later;
+        }
+        assert_eq!(single.pushed(), batch.pushed());
+        for m in 1..=cfg.m_max {
+            assert_eq!(
+                single.pair_sum(m).map(f64::to_bits),
+                batch.pair_sum(m).map(f64::to_bits),
+                "pair_sum mismatch at m={m}"
+            );
+            assert_eq!(single.is_complete(m), batch.is_complete(m), "m={m}");
+            assert_eq!(
+                single.distance(m).map(f64::to_bits),
+                batch.distance(m).map(f64::to_bits),
+                "distance mismatch at m={m}"
+            );
+        }
+        assert_eq!(single.history_vec(), batch.history_vec());
+    }
+
+    #[test]
+    fn push_slice_bit_identical_events() {
+        let data: Vec<i64> = (0..700).map(|i| (i * 31 % 13) as i64).collect();
+        let cfg = EngineConfig {
+            frame: 24,
+            m_max: 20,
+            resync_interval: 0,
+        };
+        assert_batch_equivalent(EventMetric, cfg, &data, &[1, 7, 64, 3, 200]);
+    }
+
+    #[test]
+    fn push_slice_bit_identical_l1_with_resync() {
+        let data: Vec<f64> = (0..900)
+            .map(|i| ((i as f64) * 0.37).sin() * 5.0 + ((i * 7) % 11) as f64 * 0.1)
+            .collect();
+        let cfg = EngineConfig {
+            frame: 32,
+            m_max: 24,
+            resync_interval: 53,
+        };
+        assert_batch_equivalent(L1Metric, cfg, &data, &[5, 1, 97, 13]);
+    }
+
+    #[test]
+    fn push_slice_crossing_warmup_boundary() {
+        // One slice covering warmup and steady state in a single call.
+        let data: Vec<i64> = (0..300).map(|i| [3, 1, 4, 1, 5][i % 5]).collect();
+        let cfg = EngineConfig {
+            frame: 40,
+            m_max: 40,
+            resync_interval: 0,
+        };
+        assert_batch_equivalent(EventMetric, cfg, &data, &[300]);
+    }
+
+    #[test]
+    fn push_slice_empty_is_noop() {
+        let mut e = IncrementalEngine::new(EventMetric, EngineConfig::square(8)).unwrap();
+        e.push_slice(&[]);
+        assert_eq!(e.pushed(), 0);
+        feed(&mut e, &[1, 2, 1, 2]);
+        let before: Vec<Option<f64>> = (1..=8).map(|m| e.pair_sum(m)).collect();
+        e.push_slice(&[]);
+        let after: Vec<Option<f64>> = (1..=8).map(|m| e.pair_sum(m)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn push_slice_after_reset_replays_warmup() {
+        let data: Vec<i64> = (0..60).map(|i| [9, 8, 7][i % 3]).collect();
+        let cfg = EngineConfig::square(8);
+        let mut e = IncrementalEngine::new(EventMetric, cfg).unwrap();
+        e.push_slice(&data);
+        assert_eq!(e.first_zero(), Some(3));
+        e.reset();
+        assert_eq!(e.first_zero(), None);
+        e.push_slice(&data);
+        assert_eq!(e.first_zero(), Some(3));
     }
 }

@@ -176,7 +176,7 @@ mod tests {
         assert_eq!(planner.current(), None);
         let r = planner.on_period(44).unwrap();
         assert_eq!(r.periods, 3); // 132 >= 100
-        // Same period again: no change signalled.
+                                  // Same period again: no change signalled.
         assert_eq!(planner.on_period(44), None);
         // Period refined: new recommendation.
         let r2 = planner.on_period(269).unwrap();

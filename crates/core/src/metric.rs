@@ -102,9 +102,8 @@ impl<T: PartialEq + Copy> Metric<T> for EventMetric {
 
     #[inline]
     fn finalize(&self, pair_sum: f64, n_pairs: usize) -> f64 {
-        if n_pairs == 0 {
-            1.0
-        } else if pair_sum > 0.0 {
+        // No pairs counts as "not periodic" (1.0), like any nonzero sum.
+        if n_pairs == 0 || pair_sum > 0.0 {
             1.0
         } else {
             0.0

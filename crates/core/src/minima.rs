@@ -114,9 +114,9 @@ impl MinimaPolicy {
                 v[j] > v[i] || (!self.strict && v[j] >= v[i])
             };
             let is_local_min = left_larger && right_larger;
-            let passes_rel = mean.is_finite() && mean > 0.0
-                && v[i] <= self.relative_threshold * mean
-                || self.relative_threshold.is_infinite();
+            let passes_rel =
+                mean.is_finite() && mean > 0.0 && v[i] <= self.relative_threshold * mean
+                    || self.relative_threshold.is_infinite();
             let passes_abs = v[i] <= self.absolute_threshold;
             // An exact zero is always a valid minimum regardless of shape:
             // the metric cannot go lower, and for event streams d(m)=0 *is*
@@ -238,6 +238,9 @@ mod tests {
         let pairs = vec![2u32, 8];
         let s = Spectrum::from_parts(values, pairs, 8);
         let minima = MinimaPolicy::exact().extract(&s);
-        assert!(minima.is_empty(), "incomplete zero must not fire: {minima:?}");
+        assert!(
+            minima.is_empty(),
+            "incomplete zero must not fire: {minima:?}"
+        );
     }
 }

@@ -9,9 +9,9 @@
 //! *fraction* spectrum so that inner patterns that only repeat for part of
 //! the outer period still produce detectable dips.
 
+use crate::detector::FrameDetector;
 use crate::metric::MismatchFraction;
 use crate::minima::MinimaPolicy;
-use crate::detector::FrameDetector;
 use crate::streaming::MultiScaleDpd;
 
 /// Result of nested analysis.
@@ -81,15 +81,13 @@ impl NestedDetector {
             .windows
             .iter()
             .copied()
-            .filter(|&w| w + 1 <= data.len())
+            .filter(|&w| w < data.len())
             .collect();
         let mut periods: Vec<usize> = if usable.is_empty() {
             Vec::new()
         } else {
             let mut bank = MultiScaleDpd::new(&usable).expect("validated windows");
-            for &s in data {
-                bank.push(s);
-            }
+            bank.push_slice(data);
             bank.detected_periods()
         };
 
@@ -163,7 +161,9 @@ mod tests {
         // inner 4, repeated 10 times + 8 tail = outer 48; 12 outer periods.
         let data = nested_stream(4, 10, 8, 12);
         assert_eq!(data.len(), 48 * 12);
-        let report = NestedDetector::with_windows(vec![8, 128]).unwrap().analyze(&data);
+        let report = NestedDetector::with_windows(vec![8, 128])
+            .unwrap()
+            .analyze(&data);
         assert!(report.periods.contains(&4), "{:?}", report.periods);
         assert!(report.periods.contains(&48), "{:?}", report.periods);
         assert_eq!(report.inner(), Some(4));
@@ -175,8 +175,12 @@ mod tests {
         // Outer period: 20 repeats of the same address + 12 distinct.
         let mut outer = vec![5i64; 20];
         outer.extend(200..212);
-        let data: Vec<i64> = (0..outer.len() * 15).map(|i| outer[i % outer.len()]).collect();
-        let report = NestedDetector::with_windows(vec![8, 128]).unwrap().analyze(&data);
+        let data: Vec<i64> = (0..outer.len() * 15)
+            .map(|i| outer[i % outer.len()])
+            .collect();
+        let report = NestedDetector::with_windows(vec![8, 128])
+            .unwrap()
+            .analyze(&data);
         assert!(report.periods.contains(&1), "{:?}", report.periods);
         assert!(report.periods.contains(&32), "{:?}", report.periods);
     }

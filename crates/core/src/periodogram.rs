@@ -102,9 +102,7 @@ impl PeriodogramDetector {
         let mut im = vec![0.0; n];
         fft(&mut re, &mut im);
         let half = n / 2;
-        let power: Vec<f64> = (1..=half)
-            .map(|k| re[k] * re[k] + im[k] * im[k])
-            .collect();
+        let power: Vec<f64> = (1..=half).map(|k| re[k] * re[k] + im[k] * im[k]).collect();
         let total: f64 = power.iter().sum();
         if total <= 0.0 {
             return Some(PeriodogramReport {

@@ -121,8 +121,10 @@ impl Segmenter {
 pub fn segment_events(data: &[i64], window: usize) -> (Vec<Segment>, Vec<u64>) {
     let mut dpd = StreamingDpd::events(StreamingConfig::with_window(window));
     let mut seg = Segmenter::new();
-    for &s in data {
-        seg.observe(dpd.push(s));
+    // Batch ingestion: push_slice returns only the non-trivial events, and
+    // observe() ignores `None`, so this is equivalent to per-sample feeding.
+    for event in dpd.push_slice(data) {
+        seg.observe(event);
     }
     let marks = seg.marks().to_vec();
     (seg.finish(), marks)
@@ -184,9 +186,18 @@ mod tests {
     #[test]
     fn observe_period_change_without_loss_event() {
         let mut seg = Segmenter::new();
-        seg.observe(SegmentEvent::PeriodStart { period: 3, position: 0 });
-        seg.observe(SegmentEvent::PeriodStart { period: 3, position: 3 });
-        seg.observe(SegmentEvent::PeriodStart { period: 5, position: 6 });
+        seg.observe(SegmentEvent::PeriodStart {
+            period: 3,
+            position: 0,
+        });
+        seg.observe(SegmentEvent::PeriodStart {
+            period: 3,
+            position: 3,
+        });
+        seg.observe(SegmentEvent::PeriodStart {
+            period: 5,
+            position: 6,
+        });
         let segments = seg.finish();
         assert_eq!(segments.len(), 2);
         assert_eq!(segments[0].period, 3);
@@ -196,10 +207,19 @@ mod tests {
     #[test]
     fn loss_truncates_open_segment() {
         let mut seg = Segmenter::new();
-        seg.observe(SegmentEvent::PeriodStart { period: 4, position: 0 });
-        seg.observe(SegmentEvent::PeriodStart { period: 4, position: 4 });
+        seg.observe(SegmentEvent::PeriodStart {
+            period: 4,
+            position: 0,
+        });
+        seg.observe(SegmentEvent::PeriodStart {
+            period: 4,
+            position: 4,
+        });
         // Structure breaks midway through the next period.
-        seg.observe(SegmentEvent::PeriodLost { period: 4, position: 6 });
+        seg.observe(SegmentEvent::PeriodLost {
+            period: 4,
+            position: 6,
+        });
         let segments = seg.finish();
         assert_eq!(segments.len(), 1);
         assert_eq!(segments[0].end, 6);
@@ -210,7 +230,10 @@ mod tests {
     fn open_segment_visible_before_finish() {
         let mut seg = Segmenter::new();
         assert!(seg.open_segment().is_none());
-        seg.observe(SegmentEvent::PeriodStart { period: 2, position: 8 });
+        seg.observe(SegmentEvent::PeriodStart {
+            period: 2,
+            position: 8,
+        });
         let open = seg.open_segment().unwrap();
         assert_eq!(open.start, 8);
         assert_eq!(open.period, 2);

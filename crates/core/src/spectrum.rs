@@ -167,7 +167,11 @@ impl Spectrum {
             } else {
                 0
             };
-            out.push_str(&format!("m={m:4} |{}{}  d={v:.4}\n", "#".repeat(bar), " ".repeat(width.saturating_sub(bar))));
+            out.push_str(&format!(
+                "m={m:4} |{}{}  d={v:.4}\n",
+                "#".repeat(bar),
+                " ".repeat(width.saturating_sub(bar))
+            ));
         }
         out
     }

@@ -394,6 +394,30 @@ impl<T: Copy + PartialEq, M: Metric<T>> StreamingDpd<T, M> {
         }
     }
 
+    /// Push a whole slice of samples, returning every non-trivial event in
+    /// stream order. Semantically identical to calling
+    /// [`StreamingDpd::push`] per sample and discarding
+    /// [`SegmentEvent::None`] results; each returned event carries the
+    /// absolute stream position of the sample that produced it, so callers
+    /// can associate events with samples positionally.
+    ///
+    /// Detection is inherently per-sample (the state machine must see every
+    /// intermediate spectrum), so this steps the same per-sample fast path
+    /// as `push`; the batch form buys positional event collection, not a
+    /// different algorithm. Callers that only need final spectra should use
+    /// [`IncrementalEngine::push_slice`](crate::incremental::IncrementalEngine::push_slice),
+    /// whose block ingestion skips per-push bookkeeping entirely.
+    pub fn push_slice(&mut self, samples: &[T]) -> Vec<SegmentEvent> {
+        let mut events = Vec::new();
+        for &s in samples {
+            let e = self.push(s);
+            if e != SegmentEvent::None {
+                events.push(e);
+            }
+        }
+        events
+    }
+
     /// `true` when the newest sample equals the sample one period earlier.
     fn sample_matches_period(&self, period: usize) -> bool {
         match (self.newest(), self.at_age(period)) {
@@ -449,13 +473,10 @@ impl MultiScaleEvent {
     /// The period-start event from the *largest* window, if any — the outer
     /// iteration boundary used for segmentation displays (paper Fig. 7).
     pub fn outer_start(&self) -> Option<(usize, usize)> {
-        self.events
-            .iter()
-            .rev()
-            .find_map(|(w, e)| match e {
-                SegmentEvent::PeriodStart { period, .. } => Some((*w, *period)),
-                _ => None,
-            })
+        self.events.iter().rev().find_map(|(w, e)| match e {
+            SegmentEvent::PeriodStart { period, .. } => Some((*w, *period)),
+            _ => None,
+        })
     }
 }
 
@@ -491,6 +512,31 @@ impl MultiScaleDpd {
             }
         }
         MultiScaleEvent { events }
+    }
+
+    /// Push a whole slice of samples through every scale.
+    ///
+    /// Returns `(window_size, event)` pairs for every non-trivial event any
+    /// scale produced, ordered by stream position and, within one position,
+    /// by scale construction order — exactly the dispatch order of
+    /// sample-by-sample [`MultiScaleDpd::push`]. Each event carries its
+    /// absolute stream position, so callers can associate events with
+    /// samples positionally.
+    pub fn push_slice(&mut self, samples: &[i64]) -> Vec<(usize, SegmentEvent)> {
+        let mut tagged: Vec<(u64, usize, usize, SegmentEvent)> = Vec::new();
+        for (scale_idx, dpd) in self.scales.iter_mut().enumerate() {
+            let window = dpd.window();
+            for e in dpd.push_slice(samples) {
+                let position = match e {
+                    SegmentEvent::PeriodStart { position, .. }
+                    | SegmentEvent::PeriodLost { position, .. } => position,
+                    SegmentEvent::None => unreachable!("push_slice never yields None"),
+                };
+                tagged.push((position, scale_idx, window, e));
+            }
+        }
+        tagged.sort_by_key(|&(position, scale_idx, _, _)| (position, scale_idx));
+        tagged.into_iter().map(|(_, _, w, e)| (w, e)).collect()
     }
 
     /// Union of distinct periodicities locked by any scale, ascending —
@@ -667,11 +713,93 @@ mod tests {
     fn outer_start_prefers_largest_window() {
         let e = MultiScaleEvent {
             events: vec![
-                (8, SegmentEvent::PeriodStart { period: 4, position: 1 }),
-                (128, SegmentEvent::PeriodStart { period: 40, position: 1 }),
+                (
+                    8,
+                    SegmentEvent::PeriodStart {
+                        period: 4,
+                        position: 1,
+                    },
+                ),
+                (
+                    128,
+                    SegmentEvent::PeriodStart {
+                        period: 40,
+                        position: 1,
+                    },
+                ),
             ],
         };
         assert_eq!(e.outer_start(), Some((128, 40)));
+    }
+
+    #[test]
+    fn push_slice_equals_per_sample_events() {
+        // Structure change halfway through so the sequence includes locks,
+        // boundary starts and a loss.
+        let mut data: Vec<i64> = (0..60).map(|i| [1, 2, 3][i % 3]).collect();
+        data.extend((0..70).map(|i| [10, 20, 30, 40, 50][i % 5]));
+
+        let mut single = StreamingDpd::events(StreamingConfig::with_window(8));
+        let expected: Vec<SegmentEvent> = data
+            .iter()
+            .map(|&s| single.push(s))
+            .filter(|e| *e != SegmentEvent::None)
+            .collect();
+
+        let mut batch = StreamingDpd::events(StreamingConfig::with_window(8));
+        let mut got = Vec::new();
+        for chunk in data.chunks(23) {
+            got.extend(batch.push_slice(chunk));
+        }
+        assert_eq!(got, expected);
+        assert_eq!(batch.stats(), single.stats());
+        assert_eq!(batch.locked_period(), single.locked_period());
+    }
+
+    #[test]
+    fn push_slice_magnitudes_match_per_sample() {
+        let data: Vec<f64> = (0..500)
+            .map(|i| {
+                let base = [0.0, 2.0, 8.0, 16.0, 8.0, 2.0][i % 6];
+                base + ((i * 7919) % 11) as f64 * 0.02
+            })
+            .collect();
+        let mut single = StreamingDpd::magnitudes(StreamingConfig::magnitudes(24));
+        let expected: Vec<SegmentEvent> = data
+            .iter()
+            .map(|&s| single.push(s))
+            .filter(|e| *e != SegmentEvent::None)
+            .collect();
+        let mut batch = StreamingDpd::magnitudes(StreamingConfig::magnitudes(24));
+        let got = batch.push_slice(&data);
+        assert_eq!(got, expected);
+        assert!(!got.is_empty(), "magnitude stream must lock");
+    }
+
+    #[test]
+    fn multiscale_push_slice_matches_per_sample() {
+        let mut outer: Vec<i64> = Vec::new();
+        for _ in 0..8 {
+            outer.extend([1i64, 2, 3, 4]);
+        }
+        outer.extend(101..109);
+        let data: Vec<i64> = (0..400).map(|i| outer[i % 40]).collect();
+
+        let mut single = MultiScaleDpd::new(&[8, 128]).unwrap();
+        let mut expected = Vec::new();
+        for &s in &data {
+            for (w, e) in single.push(s).events {
+                expected.push((w, e));
+            }
+        }
+
+        let mut batch = MultiScaleDpd::new(&[8, 128]).unwrap();
+        let mut got = Vec::new();
+        for chunk in data.chunks(57) {
+            got.extend(batch.push_slice(chunk));
+        }
+        assert_eq!(got, expected);
+        assert_eq!(batch.detected_periods(), single.detected_periods());
     }
 
     #[test]

@@ -1,11 +1,19 @@
-//! Ring-buffer sample window.
+//! Sample-history windows.
 //!
 //! The DPD needs access to the last `N + M` samples of the stream: the data
 //! window of size `N` plus `M` additional samples of history so that the
 //! shifted sequence `x[n - m]` is available for every delay `m <= M`
 //! (see paper §3.1 and the memory discussion referencing \[Freitag00\]).
-//! [`RingWindow`] provides exactly that: O(1) push, O(1) random access to the
-//! most recent `capacity` samples addressed *backwards* from the newest one.
+//! Two implementations are provided:
+//!
+//! * [`RingWindow`] — a classic modulo-indexed ring buffer with O(1) push and
+//!   O(1) random access, for callers that only need point lookups.
+//! * [`MirroredHistory`] — every sample is written twice, at `buf[i]` and
+//!   `buf[i + cap]`, so the trailing `k <= cap` samples are *always available
+//!   as one contiguous slice*. This is the backing store of the incremental
+//!   engine's hot path: the per-delay update reads plain slices with no
+//!   modulo arithmetic and no wraparound branch, which is what lets LLVM
+//!   auto-vectorize the spectrum update (see `crate::incremental`).
 
 /// Fixed-capacity ring buffer over the most recent samples of a stream.
 ///
@@ -16,9 +24,13 @@
 #[derive(Debug, Clone)]
 pub struct RingWindow<T> {
     buf: Vec<T>,
+    /// Requested retention capacity. Kept explicitly: `Vec::capacity()` is
+    /// allowed to over-allocate, and using it as the logical capacity would
+    /// silently retain more samples than configured.
+    cap: usize,
     /// Index of the slot that will receive the *next* push.
     head: usize,
-    /// Number of valid samples stored (saturates at `buf.len()`).
+    /// Number of valid samples stored (saturates at `cap`).
     len: usize,
     /// Total number of samples ever pushed.
     pushed: u64,
@@ -33,6 +45,7 @@ impl<T: Copy> RingWindow<T> {
         assert!(capacity > 0, "RingWindow capacity must be non-zero");
         RingWindow {
             buf: Vec::with_capacity(capacity),
+            cap: capacity,
             head: 0,
             len: 0,
             pushed: 0,
@@ -42,7 +55,7 @@ impl<T: Copy> RingWindow<T> {
     /// Retention capacity of the window.
     #[inline]
     pub fn capacity(&self) -> usize {
-        self.buf.capacity()
+        self.cap
     }
 
     /// Number of valid samples currently retained (`<= capacity`).
@@ -60,7 +73,7 @@ impl<T: Copy> RingWindow<T> {
     /// `true` once `capacity` samples have been pushed.
     #[inline]
     pub fn is_full(&self) -> bool {
-        self.len == self.capacity()
+        self.len == self.cap
     }
 
     /// Total number of samples pushed over the lifetime of the window.
@@ -72,13 +85,13 @@ impl<T: Copy> RingWindow<T> {
     /// Append a sample, evicting the oldest one if the window is full.
     #[inline]
     pub fn push(&mut self, sample: T) {
-        if self.buf.len() < self.buf.capacity() {
+        if self.buf.len() < self.cap {
             self.buf.push(sample);
         } else {
             self.buf[self.head] = sample;
         }
-        self.head = (self.head + 1) % self.buf.capacity();
-        if self.len < self.buf.capacity() {
+        self.head = (self.head + 1) % self.cap;
+        if self.len < self.cap {
             self.len += 1;
         }
         self.pushed += 1;
@@ -92,7 +105,7 @@ impl<T: Copy> RingWindow<T> {
         if age >= self.len {
             return None;
         }
-        let cap = self.buf.capacity();
+        let cap = self.cap;
         // head points at the next write slot; newest element is head-1.
         let idx = (self.head + cap - 1 - age) % cap;
         Some(self.buf[idx])
@@ -100,13 +113,13 @@ impl<T: Copy> RingWindow<T> {
 
     /// Like [`RingWindow::ago`] but without the bounds check.
     ///
-    /// # Panics
-    /// Panics (in debug builds via the modulo index) or returns stale data if
-    /// `age >= len`; callers must uphold `age < self.len()`.
+    /// Panics on the `debug_assert!` in debug builds, or returns stale data
+    /// in release builds, if `age >= len`; callers must uphold
+    /// `age < self.len()`.
     #[inline]
     pub fn ago_unchecked(&self, age: usize) -> T {
         debug_assert!(age < self.len, "age {age} out of window (len {})", self.len);
-        let cap = self.buf.capacity();
+        let cap = self.cap;
         let idx = (self.head + cap - 1 - age) % cap;
         self.buf[idx]
     }
@@ -137,7 +150,7 @@ impl<T: Copy> RingWindow<T> {
     /// (`DPDWindowSize`, paper Table 1).
     pub fn resize(&mut self, new_capacity: usize) {
         assert!(new_capacity > 0, "RingWindow capacity must be non-zero");
-        if new_capacity == self.capacity() {
+        if new_capacity == self.cap {
             return;
         }
         let keep = self.len.min(new_capacity);
@@ -145,8 +158,175 @@ impl<T: Copy> RingWindow<T> {
         newest_first.reverse(); // oldest-first now
         self.buf = Vec::with_capacity(new_capacity);
         self.buf.extend(newest_first.iter().copied());
+        self.cap = new_capacity;
         self.head = self.buf.len() % new_capacity;
         self.len = keep;
+    }
+}
+
+/// History buffer whose trailing samples are always one contiguous slice.
+///
+/// Every pushed sample is written twice — at `buf[i]` and `buf[i + cap]` —
+/// so for any `k <= len` the most recent `k` samples occupy the contiguous
+/// range `buf[head + cap - k .. head + cap]`, oldest first. Point access
+/// needs no modulo: the sample pushed `age` steps ago sits at
+/// `buf[head + cap - 1 - age]`.
+///
+/// The double-write costs one extra store per push; in exchange, bulk
+/// consumers (the incremental spectrum kernel) read plain slices that the
+/// compiler can auto-vectorize, which is worth far more than the store.
+#[derive(Debug, Clone)]
+pub struct MirroredHistory<T> {
+    /// `2 * cap` slots once initialized; empty until the first push (there
+    /// is no `T: Default`, so the backing store is materialized from the
+    /// first pushed value).
+    buf: Vec<T>,
+    cap: usize,
+    /// Next write slot, in `0..cap`.
+    head: usize,
+    /// Number of valid samples retained (saturates at `cap`).
+    len: usize,
+    /// Total number of samples ever pushed.
+    pushed: u64,
+}
+
+impl<T: Copy> MirroredHistory<T> {
+    /// Create a history retaining the last `capacity` samples.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MirroredHistory capacity must be non-zero");
+        MirroredHistory {
+            buf: Vec::new(),
+            cap: capacity,
+            head: 0,
+            len: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Retention capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of valid samples currently retained (`<= capacity`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` until the first push (or after [`MirroredHistory::clear`]).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` once `capacity` samples are retained.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len == self.cap
+    }
+
+    /// Total number of samples pushed over the lifetime of the history.
+    #[inline]
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Append a sample, evicting the oldest one if the history is full.
+    #[inline]
+    pub fn push(&mut self, sample: T) {
+        if self.buf.is_empty() {
+            // Materialize the backing store from the first value pushed.
+            self.buf = vec![sample; 2 * self.cap];
+        }
+        self.buf[self.head] = sample;
+        self.buf[self.head + self.cap] = sample;
+        self.head += 1;
+        if self.head == self.cap {
+            self.head = 0;
+        }
+        if self.len < self.cap {
+            self.len += 1;
+        }
+        self.pushed += 1;
+    }
+
+    /// Append every sample of `slice` in order.
+    #[inline]
+    pub fn extend_from_slice(&mut self, slice: &[T]) {
+        for &s in slice {
+            self.push(s);
+        }
+    }
+
+    /// The most recent `k` retained samples as one contiguous slice, oldest
+    /// first (`tail(k)[k - 1]` is the newest sample).
+    ///
+    /// # Panics
+    /// Panics if `k > self.len()`.
+    #[inline]
+    pub fn tail(&self, k: usize) -> &[T] {
+        assert!(k <= self.len, "tail({k}) exceeds retained len {}", self.len);
+        if k == 0 {
+            return &[];
+        }
+        let end = self.head + self.cap;
+        &self.buf[end - k..end]
+    }
+
+    /// All retained samples as one contiguous slice, oldest first.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        self.tail(self.len)
+    }
+
+    /// The sample pushed `age` steps ago (`age == 0` is the newest).
+    ///
+    /// Returns `None` when fewer than `age + 1` samples are retained.
+    #[inline]
+    pub fn ago(&self, age: usize) -> Option<T> {
+        if age >= self.len {
+            return None;
+        }
+        Some(self.buf[self.head + self.cap - 1 - age])
+    }
+
+    /// Copy the retained samples into a `Vec`, oldest first.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.as_slice().to_vec()
+    }
+
+    /// Drop all retained samples but keep the capacity and push counter.
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+
+    /// Grow or shrink the retention capacity, preserving the most recent
+    /// samples that fit.
+    ///
+    /// # Panics
+    /// Panics if `new_capacity` is zero.
+    pub fn resize(&mut self, new_capacity: usize) {
+        assert!(
+            new_capacity > 0,
+            "MirroredHistory capacity must be non-zero"
+        );
+        if new_capacity == self.cap {
+            return;
+        }
+        let keep: Vec<T> = self.tail(self.len.min(new_capacity)).to_vec();
+        let pushed = self.pushed;
+        self.buf = Vec::new();
+        self.cap = new_capacity;
+        self.head = 0;
+        self.len = 0;
+        self.extend_from_slice(&keep);
+        self.pushed = pushed;
     }
 }
 
@@ -271,5 +451,122 @@ mod tests {
         for age in 0..7 {
             assert_eq!(w.ago(age), Some(999 - age as i64));
         }
+    }
+
+    #[test]
+    fn capacity_is_exactly_as_requested() {
+        // Vec::with_capacity may over-allocate; the logical capacity must
+        // not follow it. 6 is a size where Vec typically rounds up.
+        let mut w = RingWindow::new(6);
+        assert_eq!(w.capacity(), 6);
+        for v in 0..100i64 {
+            w.push(v);
+        }
+        assert_eq!(w.len(), 6);
+        assert_eq!(w.to_vec(), (94..100).collect::<Vec<i64>>());
+        assert_eq!(w.ago(6), None, "retains exactly 6 samples, not more");
+    }
+
+    // --- MirroredHistory ---
+
+    #[test]
+    fn mirrored_empty() {
+        let h: MirroredHistory<i64> = MirroredHistory::new(4);
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+        assert_eq!(h.ago(0), None);
+        assert_eq!(h.as_slice(), &[] as &[i64]);
+        assert_eq!(h.tail(0), &[] as &[i64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn mirrored_zero_capacity_panics() {
+        let _ = MirroredHistory::<i64>::new(0);
+    }
+
+    #[test]
+    fn mirrored_tail_is_contiguous_after_wraparound() {
+        let mut h = MirroredHistory::new(5);
+        for v in 0..137i64 {
+            h.push(v);
+            let len = h.len();
+            // The full retained slice is always oldest..newest.
+            let expect: Vec<i64> = ((v + 1 - len as i64)..=v).collect();
+            assert_eq!(h.as_slice(), &expect[..], "after push {v}");
+            // Every tail length agrees with ago().
+            for k in 0..=len {
+                let t = h.tail(k);
+                assert_eq!(t.len(), k);
+                for (i, &tv) in t.iter().enumerate() {
+                    assert_eq!(Some(tv), h.ago(k - 1 - i));
+                }
+            }
+        }
+        assert_eq!(h.pushed(), 137);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds retained")]
+    fn mirrored_tail_beyond_len_panics() {
+        let mut h = MirroredHistory::new(4);
+        h.push(1i64);
+        let _ = h.tail(2);
+    }
+
+    #[test]
+    fn mirrored_matches_ring_window_semantics() {
+        let mut ring = RingWindow::new(7);
+        let mut mir = MirroredHistory::new(7);
+        for v in 0..200i64 {
+            ring.push(v * v % 31);
+            mir.push(v * v % 31);
+            assert_eq!(ring.to_vec(), mir.to_vec());
+            assert_eq!(ring.len(), mir.len());
+            for age in 0..10 {
+                assert_eq!(ring.ago(age), mir.ago(age));
+            }
+        }
+    }
+
+    #[test]
+    fn mirrored_extend_equals_pushes() {
+        let data: Vec<i64> = (0..50).collect();
+        let mut a = MirroredHistory::new(8);
+        let mut b = MirroredHistory::new(8);
+        a.extend_from_slice(&data);
+        for &v in &data {
+            b.push(v);
+        }
+        assert_eq!(a.to_vec(), b.to_vec());
+        assert_eq!(a.pushed(), b.pushed());
+    }
+
+    #[test]
+    fn mirrored_clear_keeps_counter() {
+        let mut h = MirroredHistory::new(4);
+        h.push(1i64);
+        h.push(2);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.pushed(), 2);
+        h.push(9);
+        assert_eq!(h.to_vec(), vec![9]);
+    }
+
+    #[test]
+    fn mirrored_resize_keeps_newest() {
+        let mut h = MirroredHistory::new(6);
+        for v in 0..10i64 {
+            h.push(v);
+        }
+        h.resize(3);
+        assert_eq!(h.capacity(), 3);
+        assert_eq!(h.to_vec(), vec![7, 8, 9]);
+        assert_eq!(h.pushed(), 10);
+        h.resize(8);
+        assert_eq!(h.to_vec(), vec![7, 8, 9]);
+        h.push(10);
+        assert_eq!(h.to_vec(), vec![7, 8, 9, 10]);
     }
 }

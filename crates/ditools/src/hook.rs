@@ -37,7 +37,9 @@ impl<T: CallObserver> CallObserver for std::rc::Rc<std::cell::RefCell<T>> {
 /// Thread-safe shared observers for multi-threaded runtimes.
 impl<T: CallObserver> CallObserver for std::sync::Arc<std::sync::Mutex<T>> {
     fn on_call(&mut self, addr: FnAddr, t_ns: u64) {
-        self.lock().expect("observer mutex poisoned").on_call(addr, t_ns);
+        self.lock()
+            .expect("observer mutex poisoned")
+            .on_call(addr, t_ns);
     }
 
     fn on_return(&mut self, addr: FnAddr, t_ns: u64) {

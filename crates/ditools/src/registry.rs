@@ -57,7 +57,9 @@ impl Registry {
         if off < 0 || off % FN_STRIDE != 0 {
             return None;
         }
-        self.names.get((off / FN_STRIDE) as usize).map(|s| s.as_str())
+        self.names
+            .get((off / FN_STRIDE) as usize)
+            .map(|s| s.as_str())
     }
 
     /// Number of registered functions.

@@ -61,9 +61,7 @@ pub fn parallel_for<F>(
             std::thread::scope(|scope| {
                 for t in 0..threads as u64 {
                     // Blocks of per+1 for the first `extra` threads.
-                    let start = range.start
-                        + t * per
-                        + t.min(extra);
+                    let start = range.start + t * per + t.min(extra);
                     let len = per + if t < extra { 1 } else { 0 };
                     let body = &body;
                     scope.spawn(move || {
@@ -224,9 +222,15 @@ mod tests {
     #[test]
     fn usage_counter_updated() {
         let usage = CpuUsage::default();
-        parallel_for(2, 0..100, Schedule::Dynamic { chunk: 10 }, Some(&usage), |_| {
-            std::thread::yield_now();
-        });
+        parallel_for(
+            2,
+            0..100,
+            Schedule::Dynamic { chunk: 10 },
+            Some(&usage),
+            |_| {
+                std::thread::yield_now();
+            },
+        );
         assert_eq!(usage.active(), 0, "all workers left");
         assert!(usage.peak() >= 1);
     }

@@ -166,8 +166,7 @@ impl Machine {
             return total;
         }
         // Chunked division: ceil(iterations / p) iterations per CPU.
-        let par_iters = spec.iterations
-            - (spec.iterations as f64 * spec.serial_fraction) as u64;
+        let par_iters = spec.iterations - (spec.iterations as f64 * spec.serial_fraction) as u64;
         let chunk_iters = par_iters.div_ceil(p);
         let ideal = chunk_iters.saturating_mul(spec.cost_per_iter_ns);
         let slowdown = 1.0 + self.config.contention * (p - 1) as f64;
@@ -193,8 +192,7 @@ impl Machine {
             self.clock.advance(serial);
         }
         // Parallel plateau.
-        let par_iters = spec.iterations
-            - (spec.iterations as f64 * spec.serial_fraction) as u64;
+        let par_iters = spec.iterations - (spec.iterations as f64 * spec.serial_fraction) as u64;
         let chunk_iters = par_iters.div_ceil(p);
         let ideal = chunk_iters.saturating_mul(spec.cost_per_iter_ns);
         let slowdown = 1.0 + self.config.contention * (p - 1) as f64;
@@ -327,10 +325,7 @@ mod tests {
         let spec = LoopSpec::parallel(16, 1_000); // only 16 µs of work
         let t1 = m.predict_loop_ns(&spec, 1);
         let t16 = m.predict_loop_ns(&spec, 16);
-        assert!(
-            t16 > t1,
-            "tiny loop should lose in parallel: {t16} !> {t1}"
-        );
+        assert!(t16 > t1, "tiny loop should lose in parallel: {t16} !> {t1}");
     }
 
     #[test]

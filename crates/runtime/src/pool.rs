@@ -147,7 +147,7 @@ mod tests {
         let pool = ThreadPool::new(2);
         let usage = pool.usage();
         for _ in 0..10 {
-            pool.execute(|| std::thread::yield_now());
+            pool.execute(std::thread::yield_now);
         }
         pool.wait_idle();
         assert_eq!(usage.active(), 0);

@@ -124,8 +124,15 @@ mod tests {
         t.close(2);
         t.close(3);
         match t.events() {
-            [RegionEvent::Open { depth: 1, .. }, RegionEvent::Open { depth: 2, .. }, RegionEvent::Close { depth: 2, addr: 0x2, .. }, RegionEvent::Close { depth: 1, addr: 0x1, .. }] => {
-            }
+            [RegionEvent::Open { depth: 1, .. }, RegionEvent::Open { depth: 2, .. }, RegionEvent::Close {
+                depth: 2,
+                addr: 0x2,
+                ..
+            }, RegionEvent::Close {
+                depth: 1,
+                addr: 0x1,
+                ..
+            }] => {}
             other => panic!("unexpected events: {other:?}"),
         }
     }

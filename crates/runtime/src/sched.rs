@@ -97,9 +97,7 @@ impl AllocationPolicy for Equipartition {
         let n = apps.len();
         let base = total_cpus / n;
         let extra = total_cpus % n;
-        (0..n)
-            .map(|i| base + usize::from(i < extra))
-            .collect()
+        (0..n).map(|i| base + usize::from(i < extra)).collect()
     }
 
     fn name(&self) -> &'static str {

@@ -58,11 +58,7 @@ pub struct ScheduleOutcome {
 /// Event-driven: between job completions, every running job progresses at
 /// rate `curve.at(alloc)` relative to its single-CPU rate. On each
 /// completion the machine is re-partitioned among the survivors.
-pub fn simulate(
-    jobs: &[Job],
-    total_cpus: usize,
-    policy: &dyn AllocationPolicy,
-) -> ScheduleOutcome {
+pub fn simulate(jobs: &[Job], total_cpus: usize, policy: &dyn AllocationPolicy) -> ScheduleOutcome {
     assert!(total_cpus > 0, "need at least one CPU");
     let mut remaining: Vec<(usize, f64)> = jobs
         .iter()
@@ -141,7 +137,11 @@ mod tests {
         let jobs = vec![job("solo", 10, 100, SpeedupCurve::linear(16))];
         let out = simulate(&jobs, 16, &Equipartition);
         // 1000 ms of work at speedup 16 -> 62.5 ms.
-        assert!((out.makespan_ns - 62.5e6).abs() < 1e3, "{}", out.makespan_ns);
+        assert!(
+            (out.makespan_ns - 62.5e6).abs() < 1e3,
+            "{}",
+            out.makespan_ns
+        );
         assert_eq!(out.completions[0].final_cpus, 16);
     }
 

@@ -9,9 +9,9 @@
 //! `S = T(baseline) / T(available)` (§5) falls out directly.
 
 use crate::speedup::speedup;
-use dpd_core::capi::Dpd;
 use ditools::hook::CallObserver;
 use ditools::registry::FnAddr;
+use dpd_core::capi::Dpd;
 
 /// Timing record for one completed iteration of a region's main loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,7 +168,39 @@ impl SelfAnalyzer {
             return None;
         }
         let period = period as usize;
-        // InitParallelRegion(address, length) — find or create the region.
+        self.handle_period_start(addr, period, t_ns);
+        Some(period)
+    }
+
+    /// Handle a whole batch of intercepted loop calls at once.
+    ///
+    /// `addrs[i]` was called at `times_ns[i]`; the two slices must have the
+    /// same length. The DPD processes the address stream through its batch
+    /// ingestion path and the analyzer applies the region bookkeeping to the
+    /// period starts it reports positionally — producing exactly the regions
+    /// and iteration timings of per-call [`SelfAnalyzer::on_loop_call`].
+    /// Returns the number of period starts observed in the batch.
+    ///
+    /// # Panics
+    /// Panics when `addrs` and `times_ns` have different lengths.
+    pub fn on_loop_calls(&mut self, addrs: &[i64], times_ns: &[u64]) -> usize {
+        assert_eq!(
+            addrs.len(),
+            times_ns.len(),
+            "addrs/times_ns length mismatch"
+        );
+        self.events += addrs.len() as u64;
+        let detections = self.dpd.dpd_batch(addrs);
+        for &(offset, period) in &detections {
+            self.handle_period_start(addrs[offset], period as usize, times_ns[offset]);
+        }
+        detections.len()
+    }
+
+    /// The paper's `InitParallelRegion(address, length)` plus iteration
+    /// timing: find or create the region, close the previously open
+    /// iteration, open the next one.
+    fn handle_period_start(&mut self, addr: i64, period: usize, t_ns: u64) {
         let idx = match self
             .regions
             .iter()
@@ -194,7 +226,6 @@ impl SelfAnalyzer {
         }
         self.regions[idx].open_since = Some(t_ns);
         self.active = Some(idx);
-        Some(period)
     }
 
     /// Discovered regions.
@@ -333,6 +364,39 @@ mod tests {
             t += 500;
         }
         assert_eq!(sa.regions().len(), 1);
+    }
+
+    #[test]
+    fn batch_calls_match_per_call_analysis() {
+        let addrs_cycle = [0x100i64, 0x140, 0x180];
+        let addrs: Vec<i64> = (0..240).map(|i| addrs_cycle[i % 3]).collect();
+        let times: Vec<u64> = (0..240).map(|i| i as u64 * 2_500).collect();
+
+        let mut per_call = SelfAnalyzer::new(8, 2);
+        for (&a, &t) in addrs.iter().zip(&times) {
+            per_call.on_loop_call(a, t);
+        }
+
+        let mut batched = SelfAnalyzer::new(8, 2);
+        let mut starts = 0;
+        for i in (0..addrs.len()).step_by(100) {
+            let end = (i + 100).min(addrs.len());
+            starts += batched.on_loop_calls(&addrs[i..end], &times[i..end]);
+        }
+
+        assert_eq!(batched.events(), per_call.events());
+        assert_eq!(batched.regions().len(), per_call.regions().len());
+        for (b, p) in batched.regions().iter().zip(per_call.regions()) {
+            assert_eq!(b, p);
+        }
+        assert!(starts > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn batch_length_mismatch_panics() {
+        let mut sa = SelfAnalyzer::new(8, 1);
+        sa.on_loop_calls(&[1, 2, 3], &[0, 1]);
     }
 
     #[test]

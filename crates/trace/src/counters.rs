@@ -27,7 +27,7 @@ pub fn counter_stream<R: Rng>(
     rng: &mut R,
 ) -> Vec<f64> {
     assert!(!phases.is_empty(), "need at least one phase");
-    assert!(jitter >= 0.0 && jitter < 1.0, "jitter must be in [0, 1)");
+    assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
     let mut out = Vec::new();
     for _ in 0..periods {
         for phase in phases {
@@ -49,10 +49,22 @@ pub fn counter_stream<R: Rng>(
 /// the sum of the interval counts.
 pub fn solver_profile() -> Vec<CounterPhase> {
     vec![
-        CounterPhase { rate: 9.0e6, intervals: 14 }, // stencil compute
-        CounterPhase { rate: 1.5e6, intervals: 4 },  // halo exchange
-        CounterPhase { rate: 6.0e6, intervals: 8 },  // solve
-        CounterPhase { rate: 0.8e6, intervals: 2 },  // reduction
+        CounterPhase {
+            rate: 9.0e6,
+            intervals: 14,
+        }, // stencil compute
+        CounterPhase {
+            rate: 1.5e6,
+            intervals: 4,
+        }, // halo exchange
+        CounterPhase {
+            rate: 6.0e6,
+            intervals: 8,
+        }, // solve
+        CounterPhase {
+            rate: 0.8e6,
+            intervals: 2,
+        }, // reduction
     ]
 }
 
@@ -90,7 +102,10 @@ mod tests {
     #[test]
     fn noise_is_bounded() {
         let mut rng = StdRng::seed_from_u64(2);
-        let phases = [CounterPhase { rate: 100.0, intervals: 3 }];
+        let phases = [CounterPhase {
+            rate: 100.0,
+            intervals: 3,
+        }];
         let s = counter_stream(&phases, 50, 0.1, &mut rng);
         for v in s {
             assert!((90.0..=110.0).contains(&v), "{v} outside jitter band");

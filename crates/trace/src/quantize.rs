@@ -20,7 +20,11 @@ pub fn quantize_levels(trace: &SampledTrace, levels: usize) -> Vec<i64> {
         return Vec::new();
     }
     let min = trace.values.iter().copied().fold(f64::INFINITY, f64::min);
-    let max = trace.values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let max = trace
+        .values
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
     let width = (max - min) / levels as f64;
     trace
         .values
@@ -54,7 +58,10 @@ pub fn change_events(trace: &SampledTrace, levels: usize) -> Vec<(usize, i64)> {
 /// Convert the change events to a plain event stream (values only), the
 /// form the event-metric DPD consumes.
 pub fn change_stream(trace: &SampledTrace, levels: usize) -> Vec<i64> {
-    change_events(trace, levels).into_iter().map(|(_, v)| v).collect()
+    change_events(trace, levels)
+        .into_iter()
+        .map(|(_, v)| v)
+        .collect()
 }
 
 #[cfg(test)]

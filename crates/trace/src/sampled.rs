@@ -27,11 +27,7 @@ impl SampledTrace {
     }
 
     /// Create a trace from existing values.
-    pub fn from_values(
-        name: impl Into<String>,
-        sample_period_ns: u64,
-        values: Vec<f64>,
-    ) -> Self {
+    pub fn from_values(name: impl Into<String>, sample_period_ns: u64, values: Vec<f64>) -> Self {
         SampledTrace {
             name: name.into(),
             sample_period_ns,
@@ -107,7 +103,7 @@ impl SampledTrace {
             return String::new();
         }
         let max = self.max().unwrap_or(1.0).max(1e-12);
-        let bucket = (self.values.len() + columns - 1) / columns;
+        let bucket = self.values.len().div_ceil(columns);
         let col_vals: Vec<f64> = self
             .values
             .chunks(bucket)

@@ -6,7 +6,7 @@
 //! cargo run --release --example segmentation
 //! ```
 
-use dpd::apps::app::{App, RunConfig};
+use dpd::apps::app::RunConfig;
 use dpd::core::nested::NestedDetector;
 use dpd::core::streaming::MultiScaleDpd;
 

@@ -35,9 +35,9 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub use ditools as interpose;
 pub use dpd_core as core;
 pub use dpd_trace as trace;
-pub use ditools as interpose;
 pub use par_runtime as runtime;
 pub use selfanalyzer as analyzer;
 pub use spec_apps as apps;

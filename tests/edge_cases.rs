@@ -2,8 +2,8 @@
 //! confidence tracking and cross-module corner conditions.
 
 use dpd::core::confidence::ConfidenceTracker;
-use dpd::core::streaming::{SegmentEvent, StreamingConfig, StreamingDpd};
 use dpd::core::minima::MinimaPolicy;
+use dpd::core::streaming::{SegmentEvent, StreamingConfig, StreamingDpd};
 
 #[test]
 fn window_of_one_locks_on_constant_stream() {
@@ -61,7 +61,11 @@ fn m_max_smaller_than_window() {
     let mut dpd = StreamingDpd::new(dpd::core::metric::EventMetric, config).unwrap();
     for i in 0..400usize {
         let e = dpd.push([1i64, 2, 3, 4, 5, 6][i % 6]);
-        assert_eq!(e.as_return_value(), 0, "period 6 must be invisible with M=4");
+        assert_eq!(
+            e.as_return_value(),
+            0,
+            "period 6 must be invisible with M=4"
+        );
     }
     // Period 3 stream is visible.
     let mut found = false;
@@ -89,7 +93,10 @@ fn confidence_tracker_responds_to_regime_change() {
     for _ in 0..20 {
         t.miss();
     }
-    assert!(!t.is_satisfying(10, 0.3), "sustained misses must disqualify");
+    assert!(
+        !t.is_satisfying(10, 0.3),
+        "sustained misses must disqualify"
+    );
 }
 
 #[test]

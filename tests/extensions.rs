@@ -151,8 +151,9 @@ fn live_run_detected_by_dpd() {
         iterations: 50,
         sample_period: std::time::Duration::from_micros(250),
     });
-    let mut dpd =
-        dpd::core::streaming::StreamingDpd::events(dpd::core::streaming::StreamingConfig::with_window(8));
+    let mut dpd = dpd::core::streaming::StreamingDpd::events(
+        dpd::core::streaming::StreamingConfig::with_window(8),
+    );
     for &s in &run.addresses.values {
         dpd.push(s);
     }

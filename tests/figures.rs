@@ -13,8 +13,7 @@ fn figure3_trace_shape() {
     // 1 ms sampling, up to 16 CPUs, parallelism opened and closed.
     assert_eq!(t.sample_period_ns, 1_000_000);
     assert_eq!(t.max().unwrap(), 16.0);
-    let distinct: std::collections::BTreeSet<u64> =
-        t.values.iter().map(|&v| v as u64).collect();
+    let distinct: std::collections::BTreeSet<u64> = t.values.iter().map(|&v| v as u64).collect();
     assert!(
         distinct.len() >= 4,
         "trace should show several parallelism levels: {distinct:?}"
@@ -51,10 +50,7 @@ fn figure4_no_sharper_minimum_at_wrong_delay() {
             continue; // harmonics may be as deep
         }
         let dm = report.spectrum.at(m).unwrap();
-        assert!(
-            dm >= d44 - 1e-9,
-            "d({m}) = {dm} undercuts d(44) = {d44}"
-        );
+        assert!(dm >= d44 - 1e-9, "d({m}) = {dm} undercuts d(44) = {d44}");
     }
 }
 
@@ -85,7 +81,12 @@ fn figure7_marks_are_period_spaced() {
             );
         }
         let segments = seg.finish();
-        assert_eq!(segments.len(), 1, "{}: steady stream segments once", app.name());
+        assert_eq!(
+            segments.len(),
+            1,
+            "{}: steady stream segments once",
+            app.name()
+        );
         assert_eq!(segments[0].period, outer, "{}", app.name());
     }
 }

@@ -1,0 +1,256 @@
+//! Property tests: batch ingestion (`push_slice` / `dpd_batch`) is
+//! observably identical to sample-by-sample feeding.
+//!
+//! The incremental engine's batch path promises **bit-identical** running
+//! sums (the per-accumulator floating-point operation order is preserved
+//! exactly), and the streaming detectors promise the **same event
+//! sequence**. These properties are exercised across arbitrary chunkings —
+//! including chunks that straddle the warmup/steady-state boundary — for
+//! both metrics, with and without the `resync_interval` drift-bound path.
+
+use dpd::core::incremental::{EngineConfig, IncrementalEngine};
+use dpd::core::metric::{EventMetric, L1Metric, Metric};
+use dpd::core::streaming::{SegmentEvent, StreamingConfig, StreamingDpd};
+use dpd::core::{Dpd, MultiScaleDpd};
+use proptest::prelude::*;
+
+/// Split `data` into chunks whose sizes cycle through `chunk_sizes`.
+fn chunked<'d>(data: &'d [i64], chunk_sizes: &[usize]) -> Vec<&'d [i64]> {
+    let mut out = Vec::new();
+    let mut rest = data;
+    let mut it = chunk_sizes.iter().copied().cycle();
+    while !rest.is_empty() {
+        let k = it.next().unwrap_or(1).clamp(1, rest.len());
+        let (now, later) = rest.split_at(k);
+        out.push(now);
+        rest = later;
+    }
+    out
+}
+
+fn chunked_f64<'d>(data: &'d [f64], chunk_sizes: &[usize]) -> Vec<&'d [f64]> {
+    let mut out = Vec::new();
+    let mut rest = data;
+    let mut it = chunk_sizes.iter().copied().cycle();
+    while !rest.is_empty() {
+        let k = it.next().unwrap_or(1).clamp(1, rest.len());
+        let (now, later) = rest.split_at(k);
+        out.push(now);
+        rest = later;
+    }
+    out
+}
+
+/// Assert two engines observing the same stream differently-chunked agree
+/// bit-for-bit on every observable.
+fn assert_engines_identical<T, M>(
+    single: &IncrementalEngine<T, M>,
+    batch: &IncrementalEngine<T, M>,
+    m_max: usize,
+) where
+    T: Copy + PartialEq + std::fmt::Debug,
+    M: Metric<T>,
+{
+    assert_eq!(single.pushed(), batch.pushed());
+    assert_eq!(single.is_warm(), batch.is_warm());
+    let ss = single.spectrum();
+    let bs = batch.spectrum();
+    for m in 1..=m_max {
+        assert_eq!(
+            single.pair_sum(m).map(f64::to_bits),
+            batch.pair_sum(m).map(f64::to_bits),
+            "pair_sum differs at m={m}"
+        );
+        assert_eq!(
+            single.distance(m).map(f64::to_bits),
+            batch.distance(m).map(f64::to_bits),
+            "distance differs at m={m}"
+        );
+        assert_eq!(single.is_complete(m), batch.is_complete(m), "m={m}");
+        assert_eq!(
+            ss.at(m).map(f64::to_bits),
+            bs.at(m).map(f64::to_bits),
+            "spectrum differs at m={m}"
+        );
+    }
+    assert_eq!(single.first_zero(), batch.first_zero());
+    assert_eq!(single.history_vec(), batch.history_vec());
+}
+
+proptest! {
+    /// Engine, event metric: arbitrary streams and chunkings, arbitrary
+    /// configurations — bit-identical spectra. Short streams keep some
+    /// chunkings entirely inside warmup; long ones straddle the boundary.
+    #[test]
+    fn engine_events_batch_bit_identical(
+        data in collection::vec(0i64..6, 1..400),
+        n in 2usize..40,
+        m_extra in 0usize..20,
+        chunk_sizes in collection::vec(1usize..80, 1..6),
+    ) {
+        let m_max = (n - 1).saturating_sub(m_extra).max(1);
+        let cfg = EngineConfig { frame: n, m_max, resync_interval: 0 };
+        let mut single = IncrementalEngine::new(EventMetric, cfg).unwrap();
+        let mut batch = IncrementalEngine::new(EventMetric, cfg).unwrap();
+        for &s in &data {
+            single.push(s);
+        }
+        for chunk in chunked(&data, &chunk_sizes) {
+            batch.push_slice(chunk);
+        }
+        assert_engines_identical(&single, &batch, m_max);
+    }
+
+    /// Engine, L1 metric with the resync drift-bound enabled: the batch path
+    /// must fire resyncs at exactly the same stream positions, so sums stay
+    /// bit-identical even though resync rewrites them from history.
+    #[test]
+    fn engine_l1_batch_bit_identical_with_resync(
+        data in collection::vec(-100.0f64..100.0, 1..400),
+        n in 2usize..32,
+        resync in 1u64..120,
+        chunk_sizes in collection::vec(1usize..90, 1..5),
+    ) {
+        let cfg = EngineConfig { frame: n, m_max: n, resync_interval: resync };
+        let mut single = IncrementalEngine::new(L1Metric, cfg).unwrap();
+        let mut batch = IncrementalEngine::new(L1Metric, cfg).unwrap();
+        for &s in &data {
+            single.push(s);
+        }
+        for chunk in chunked_f64(&data, &chunk_sizes) {
+            batch.push_slice(chunk);
+        }
+        assert_engines_identical(&single, &batch, n);
+    }
+
+    /// Streaming detector, event metric: identical event sequences (periods,
+    /// positions, losses) and identical final statistics under any chunking
+    /// of a stream with a mid-stream structure change.
+    #[test]
+    fn streaming_events_same_event_sequence(
+        period_a in 1usize..7,
+        period_b in 1usize..7,
+        len_a in 0usize..120,
+        len_b in 0usize..120,
+        window in 4usize..24,
+        chunk_sizes in collection::vec(1usize..70, 1..5),
+    ) {
+        let mut data: Vec<i64> = (0..len_a).map(|i| (i % period_a) as i64).collect();
+        data.extend((0..len_b).map(|i| 1000 + (i % period_b) as i64));
+        if data.is_empty() {
+            data.push(1);
+        }
+
+        let mut single = StreamingDpd::events(StreamingConfig::with_window(window));
+        let expected: Vec<SegmentEvent> = data
+            .iter()
+            .map(|&s| single.push(s))
+            .filter(|e| *e != SegmentEvent::None)
+            .collect();
+
+        let mut batch = StreamingDpd::events(StreamingConfig::with_window(window));
+        let mut got = Vec::new();
+        for chunk in chunked(&data, &chunk_sizes) {
+            got.extend(batch.push_slice(chunk));
+        }
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(batch.stats(), single.stats());
+        prop_assert_eq!(batch.locked_period(), single.locked_period());
+    }
+
+    /// Streaming detector, L1 metric with confirmation, losses and resync:
+    /// the noisy-magnitude configuration takes every state-machine path.
+    #[test]
+    fn streaming_magnitudes_same_event_sequence(
+        period in 2usize..8,
+        reps in 10usize..60,
+        noise_scale in 0u32..40,
+        chunk_sizes in collection::vec(1usize..50, 1..4),
+    ) {
+        let data: Vec<f64> = (0..period * reps)
+            .map(|i| {
+                let base = ((i % period) as f64) * 4.0;
+                let noise = ((i * 7919) % 17) as f64 * (noise_scale as f64 * 0.001);
+                base + noise
+            })
+            .collect();
+        let mut config = StreamingConfig::magnitudes(3 * period);
+        config.resync_interval = 37; // force mid-stream resyncs
+        let mut single = StreamingDpd::magnitudes(config);
+        let expected: Vec<SegmentEvent> = data
+            .iter()
+            .map(|&s| single.push(s))
+            .filter(|e| *e != SegmentEvent::None)
+            .collect();
+        let mut batch = StreamingDpd::magnitudes(config);
+        let mut got = Vec::new();
+        for chunk in chunked_f64(&data, &chunk_sizes) {
+            got.extend(batch.push_slice(chunk));
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Table 1 batch interface: `dpd_batch` reports exactly the detections
+    /// of per-sample `dpd()`, with chunk-relative offsets.
+    #[test]
+    fn capi_batch_matches_per_sample(
+        period in 1usize..9,
+        reps in 5usize..80,
+        window in 4usize..32,
+        chunk_sizes in collection::vec(1usize..60, 1..5),
+    ) {
+        let data: Vec<i64> = (0..period * reps).map(|i| (i % period) as i64).collect();
+
+        let mut single = Dpd::with_window(window);
+        let mut period_out = 0i32;
+        let mut expected = Vec::new();
+        for (i, &s) in data.iter().enumerate() {
+            if single.dpd(s, &mut period_out) != 0 {
+                expected.push((i, period_out));
+            }
+        }
+
+        let mut batch = Dpd::with_window(window);
+        let mut got = Vec::new();
+        let mut consumed = 0usize;
+        for chunk in chunked(&data, &chunk_sizes) {
+            for (offset, p) in batch.dpd_batch(chunk) {
+                got.push((consumed + offset, p));
+            }
+            consumed += chunk.len();
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Multi-scale bank: batch ingestion preserves the per-sample dispatch
+    /// order (position-major, then scale order) and the detected-period set.
+    #[test]
+    fn multiscale_batch_matches_per_sample(
+        inner in 1usize..5,
+        runs in 1usize..6,
+        tail in 0usize..6,
+        outers in 2usize..10,
+        chunk_sizes in collection::vec(1usize..40, 1..4),
+    ) {
+        let mut one: Vec<i64> = Vec::new();
+        for _ in 0..runs {
+            one.extend((0..inner).map(|i| 0x100 + i as i64));
+        }
+        one.extend((0..tail).map(|i| 0x900 + i as i64));
+        let data: Vec<i64> = (0..one.len() * outers).map(|i| one[i % one.len()]).collect();
+
+        let mut single = MultiScaleDpd::new(&[8, 64]).unwrap();
+        let mut expected = Vec::new();
+        for &s in &data {
+            expected.extend(single.push(s).events);
+        }
+
+        let mut batch = MultiScaleDpd::new(&[8, 64]).unwrap();
+        let mut got = Vec::new();
+        for chunk in chunked(&data, &chunk_sizes) {
+            got.extend(batch.push_slice(chunk));
+        }
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(batch.detected_periods(), single.detected_periods());
+    }
+}

@@ -1,7 +1,7 @@
 //! Property-based tests for the substrate and extension modules.
 
-use dpd::core::periodogram::PeriodogramDetector;
 use dpd::core::intervals::{recommend, IntervalPolicy};
+use dpd::core::periodogram::PeriodogramDetector;
 use dpd::runtime::machine::{LoopSpec, Machine, MachineConfig};
 use dpd::runtime::msg::{NetConfig, ProcessGroup};
 use dpd::runtime::sched::{AllocationPolicy, Equipartition, PerformanceDriven, SpeedupCurve};

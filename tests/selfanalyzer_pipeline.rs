@@ -100,7 +100,11 @@ fn measured_curves_drive_allocation_policies() {
         .map(|&p| (p, pipeline_speedup(p)))
         .collect();
     let measured = SpeedupCurve::new(points);
-    let apps = vec![measured, SpeedupCurve::amdahl(0.4, 16), SpeedupCurve::amdahl(0.02, 16)];
+    let apps = vec![
+        measured,
+        SpeedupCurve::amdahl(0.4, 16),
+        SpeedupCurve::amdahl(0.02, 16),
+    ];
     let eq = Equipartition.allocate(&apps, 16);
     let pd = PerformanceDriven.allocate(&apps, 16);
     assert_eq!(eq.iter().sum::<usize>(), 16);

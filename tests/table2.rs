@@ -10,10 +10,10 @@ use dpd::core::streaming::MultiScaleDpd;
 
 fn detect(app: &dyn App) -> (usize, Vec<usize>) {
     let run = app.run(&RunConfig::default());
+    // Batch ingestion path; equivalence with per-sample push is proven by
+    // the proptest suite and the per-sample replay in figures.rs.
     let mut bank = MultiScaleDpd::default_scales();
-    for &s in &run.addresses.values {
-        bank.push(s);
-    }
+    bank.push_slice(&run.addresses.values);
     (run.addresses.len(), bank.detected_periods())
 }
 

@@ -1,0 +1,158 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Provides [`Mutex`] (whose `lock` returns the guard directly, no poison
+//! `Result`) and [`Condvar`] (whose `wait` takes `&mut MutexGuard`), backed
+//! by `std::sync`. Poisoning is swallowed: a panic while holding the lock
+//! does not poison it, matching parking_lot semantics.
+
+use std::sync::PoisonError;
+
+/// A mutual-exclusion lock with parking_lot's panic-free `lock()` API.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `Option` so Condvar::wait can temporarily take ownership of the
+    // underlying std guard; always `Some` outside of `Condvar::wait`.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Wrap a value in a mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard vacated during wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_deref_mut()
+            .expect("guard vacated during wait")
+    }
+}
+
+/// A condition variable compatible with [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// New condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically release the guard's lock and wait for a notification,
+    /// reacquiring the lock before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.inner.take().expect("guard vacated during wait");
+        let reacquired = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(reacquired);
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_guards_exclusive_access() {
+        let m = Arc::new(Mutex::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    *m.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 4000);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let waiter = std::thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn lock_survives_panicked_holder() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7); // not poisoned
+    }
+}
