@@ -1,0 +1,59 @@
+//! Aggregate multi-stream ingest throughput vs shard count.
+//!
+//! The workload is the high-fan-in shape the sharded service targets:
+//! `streams` concurrent periodic traces delivered as round-robin chunked
+//! records (`dpd_trace::gen::interleaved_streams`). Each iteration stands
+//! up a fresh service, ingests the whole schedule, and quiesces through
+//! `finish()` — so the measured figure is *end-to-end processed* samples
+//! per second, not enqueue-side admission. `shards = 0` is the
+//! deterministic inline fallback the sharded modes are compared against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpd_core::shard::StreamId;
+use dpd_trace::gen::interleaved_streams;
+use par_runtime::service::{MultiStreamDpd, ServiceConfig};
+use std::hint::black_box;
+
+const WINDOW: usize = 16;
+const CHUNK: usize = 64;
+const ROUNDS: usize = 2;
+
+fn run(schedule: &[(u64, Vec<i64>)], shards: usize) -> usize {
+    let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(shards, WINDOW));
+    // One ingest call per round-robin wave, like a frontend draining its
+    // socket set once per poll cycle.
+    for wave in schedule.chunks(schedule.len() / ROUNDS) {
+        let records: Vec<(StreamId, &[i64])> = wave
+            .iter()
+            .map(|(s, rec)| (StreamId(*s), rec.as_slice()))
+            .collect();
+        svc.ingest(&records);
+    }
+    let (events, snapshot) = svc.finish();
+    assert_eq!(
+        snapshot.total().samples as usize,
+        schedule.len() * CHUNK,
+        "lost samples"
+    );
+    events.len()
+}
+
+fn bench_throughput_vs_shards(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multistream/end_to_end");
+    for &streams in &[100u64, 1_000, 10_000] {
+        let schedule = interleaved_streams(streams, CHUNK, ROUNDS);
+        let total = (schedule.len() * CHUNK) as u64;
+        g.throughput(Throughput::Elements(total));
+        for &shards in &[0usize, 1, 2, 4, 8] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("streams/{streams}/shards"), shards),
+                &shards,
+                |b, &shards| b.iter(|| run(black_box(&schedule), shards)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_throughput_vs_shards);
+criterion_main!(benches);

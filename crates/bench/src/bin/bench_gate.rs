@@ -1,0 +1,151 @@
+//! CI bench-regression gate.
+//!
+//! Runs the criterion bench groups named by `DPD_GATE_BENCHES` (default
+//! `streaming`) in fast mode, then compares each bench's ns/iter against
+//! the latest `BENCH_*.json` record at the workspace root and fails when
+//! any bench regressed by more than the tolerance — so a hot-path win
+//! recorded in one PR cannot silently rot in a later one.
+//!
+//! ```text
+//! cargo run -p dpd-bench --bin bench_gate
+//! ```
+//!
+//! Environment:
+//! * `DPD_BENCH_TOLERANCE` — allowed `current / baseline` ratio (default
+//!   `1.5`; CI machines differ from the recording machine, so this guards
+//!   against large rots, not percent-level noise).
+//! * `DPD_GATE_BENCHES`   — comma-separated bench targets (default
+//!   `streaming`).
+//! * `DPD_GATE_BASELINE`  — explicit baseline file (default: the
+//!   highest-numbered `BENCH_*.json` at the workspace root).
+//! * `DPD_GATE_FULL=1`    — measure at full sample counts instead of the
+//!   CI fast mode.
+
+use dpd_bench::gate::{compare, extract_baselines, latest_bench_record, Verdict};
+use std::process::ExitCode;
+
+fn workspace_root() -> std::path::PathBuf {
+    // crates/bench -> workspace root.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let tolerance: f64 = std::env::var("DPD_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.5);
+
+    // Locate the baseline record.
+    let baseline_path = match std::env::var("DPD_GATE_BASELINE") {
+        Ok(p) => std::path::PathBuf::from(p),
+        Err(_) => {
+            let names: Vec<String> = match std::fs::read_dir(&root) {
+                Ok(rd) => rd
+                    .filter_map(|e| e.ok()?.file_name().into_string().ok())
+                    .collect(),
+                Err(e) => {
+                    eprintln!("bench_gate: cannot read {}: {e}", root.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match latest_bench_record(&names) {
+                Some(n) => root.join(n),
+                None => {
+                    eprintln!("bench_gate: no BENCH_*.json baseline found; nothing to gate");
+                    return ExitCode::SUCCESS;
+                }
+            }
+        }
+    };
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_gate: read {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let baselines = extract_baselines(&baseline_text);
+    if baselines.is_empty() {
+        eprintln!(
+            "bench_gate: no usable entries in {}; nothing to gate",
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Run the bench targets with the shim's JSON output into a temp file.
+    let benches = std::env::var("DPD_GATE_BENCHES").unwrap_or_else(|_| "streaming".into());
+    let json_path = std::env::temp_dir().join(format!("bench_gate_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&json_path);
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    for bench in benches.split(',').map(str::trim).filter(|b| !b.is_empty()) {
+        let mut cmd = std::process::Command::new(&cargo);
+        cmd.current_dir(&root)
+            .args(["bench", "-p", "dpd-bench", "--bench", bench])
+            .env("CRITERION_JSON", &json_path);
+        if std::env::var("DPD_GATE_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
+            cmd.env_remove("DPD_BENCH_FAST");
+        } else {
+            cmd.env("DPD_BENCH_FAST", "1");
+        }
+        match cmd.status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("bench_gate: `cargo bench --bench {bench}` failed: {status}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("bench_gate: failed to spawn cargo: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let current_text = match std::fs::read_to_string(&json_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "bench_gate: no measurements at {}: {e}",
+                json_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let _ = std::fs::remove_file(&json_path);
+    let current = extract_baselines(&current_text);
+
+    // Compare and report.
+    println!(
+        "bench_gate: {} current benches vs {} (tolerance {tolerance:.2}x)",
+        current.len(),
+        baseline_path.display()
+    );
+    let rows = compare(&current, &baselines, tolerance);
+    let mut regressions = 0usize;
+    for (id, now, verdict) in &rows {
+        match verdict {
+            Verdict::Ok(ratio) => {
+                println!("  OK   {id:<55} {now:>14.0} ns/iter  ({ratio:.2}x of baseline)")
+            }
+            Verdict::Regressed(ratio) => {
+                regressions += 1;
+                println!("  FAIL {id:<55} {now:>14.0} ns/iter  ({ratio:.2}x of baseline)")
+            }
+            Verdict::NoBaseline => {
+                println!("  NEW  {id:<55} {now:>14.0} ns/iter  (no baseline)")
+            }
+        }
+    }
+    if regressions > 0 {
+        eprintln!("bench_gate: {regressions} bench(es) regressed beyond {tolerance:.2}x");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: no regression beyond {tolerance:.2}x");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,104 @@
+//! Shard-scaling table for the multi-stream service (BENCH_2.json source).
+//!
+//! Prints, for each `streams × shards` cell, the admission time (what the
+//! ingesting frontend observes — enqueue for sharded modes, synchronous
+//! processing inline), the quiesce time (flush + close), and the
+//! end-to-end aggregate throughput. Separating the phases matters on
+//! constrained hosts: admission benefits from sharding even when total CPU
+//! work cannot parallelize.
+//!
+//! ```text
+//! cargo run --release -p dpd-bench --bin multistream_scaling [streams...]
+//! ```
+
+use dpd_core::shard::StreamId;
+use dpd_trace::gen::interleaved_streams;
+use par_runtime::service::{MultiStreamDpd, ServiceConfig};
+use std::time::Instant;
+
+const WINDOW: usize = 16;
+const CHUNK: usize = 64;
+const ROUNDS: usize = 2;
+
+struct Cell {
+    admit_ms: f64,
+    quiesce_ms: f64,
+    total_ms: f64,
+    msamples_per_s: f64,
+    events: usize,
+}
+
+fn run(schedule: &[(u64, Vec<i64>)], shards: usize) -> Cell {
+    let total_samples = (schedule.len() * CHUNK) as f64;
+    let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(shards, WINDOW));
+    let start = Instant::now();
+    for wave in schedule.chunks(schedule.len() / ROUNDS) {
+        let records: Vec<(StreamId, &[i64])> = wave
+            .iter()
+            .map(|(s, rec)| (StreamId(*s), rec.as_slice()))
+            .collect();
+        svc.ingest(&records);
+    }
+    let admitted = start.elapsed();
+    let (events, snapshot) = svc.finish();
+    let total = start.elapsed();
+    assert_eq!(snapshot.total().samples as usize, schedule.len() * CHUNK);
+    Cell {
+        admit_ms: admitted.as_secs_f64() * 1e3,
+        quiesce_ms: (total - admitted).as_secs_f64() * 1e3,
+        total_ms: total.as_secs_f64() * 1e3,
+        msamples_per_s: total_samples / total.as_secs_f64() / 1e6,
+        events: events.len(),
+    }
+}
+
+fn main() {
+    let args: Vec<u64> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let stream_counts: &[u64] = if args.is_empty() {
+        &[100, 1_000, 10_000]
+    } else {
+        &args
+    };
+    let repeats: usize = std::env::var("DPD_SCALING_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+
+    println!(
+        "window={WINDOW} chunk={CHUNK} rounds={ROUNDS} (samples/stream = {})",
+        CHUNK * ROUNDS
+    );
+    println!(
+        "{:>8} {:>7} {:>11} {:>11} {:>11} {:>13} {:>8}  vs shards=0",
+        "streams", "shards", "admit_ms", "quiesce_ms", "total_ms", "Msamples/s", "events"
+    );
+    for &streams in stream_counts {
+        let schedule = interleaved_streams(streams, CHUNK, ROUNDS);
+        let mut baseline: Option<f64> = None;
+        for &shards in &[0usize, 1, 2, 4, 8] {
+            // Best-of-N to shed scheduler noise.
+            let mut best: Option<Cell> = None;
+            for _ in 0..repeats {
+                let cell = run(&schedule, shards);
+                if best.as_ref().is_none_or(|b| cell.total_ms < b.total_ms) {
+                    best = Some(cell);
+                }
+            }
+            let cell = best.expect("at least one repeat");
+            let speedup = match baseline {
+                None => {
+                    baseline = Some(cell.total_ms);
+                    1.0
+                }
+                Some(base) => base / cell.total_ms,
+            };
+            println!(
+                "{streams:>8} {shards:>7} {:>11.2} {:>11.2} {:>11.2} {:>13.2} {:>8}  {speedup:>5.2}x",
+                cell.admit_ms, cell.quiesce_ms, cell.total_ms, cell.msamples_per_s, cell.events
+            );
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Bench-regression gate: compare a fresh measurement against the latest
+//! recorded `BENCH_*.json` baseline and fail on regression.
+//!
+//! The repo records performance results as `BENCH_<pr>.json` at the
+//! workspace root. Two baseline shapes are understood, both produced by
+//! this workspace (no external JSON dependency, so the parser is a small
+//! purpose-built scanner, not a general JSON implementation):
+//!
+//! * a `"gate_baselines"` object mapping bench id → ns/iter — the
+//!   authoritative flat table new records should carry;
+//! * entry objects containing a `"bench"` (or `"id"`) string plus one of
+//!   the `*ns_per_iter` keys — the tables BENCH_1.json already uses, and
+//!   the JSONL lines the vendored criterion shim appends via
+//!   `CRITERION_JSON`.
+//!
+//! The gate compares per-bench `current / baseline` ratios against a
+//! tolerance (default 1.5×, `DPD_BENCH_TOLERANCE`). Baselines are recorded
+//! on a developer machine while CI runs elsewhere, so the tolerance guards
+//! against *large* rots (like losing an auto-vectorized kernel), not
+//! single-digit-percent noise.
+
+use std::collections::BTreeMap;
+
+/// Priority order of per-entry time keys: the criterion-shim key first,
+/// then the "shipped config" column of hand-written tables.
+const TIME_KEYS: [&str; 3] = [
+    "ns_per_iter",
+    "after_native_ns_per_iter",
+    "after_default_ns_per_iter",
+];
+
+/// Extract `bench id -> ns/iter` baselines from a `BENCH_*.json` document
+/// or a criterion-shim JSONL stream.
+pub fn extract_baselines(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let mut scanner = Scanner {
+        chars: text.char_indices().peekable(),
+        text,
+    };
+    scanner.value(None, &mut out);
+    // JSONL streams are a sequence of top-level objects; keep consuming.
+    while scanner.skip_ws() {
+        scanner.value(None, &mut out);
+    }
+    out
+}
+
+/// Outcome of one bench comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Within tolerance (ratio = current / baseline).
+    Ok(f64),
+    /// Slower than `tolerance * baseline`.
+    Regressed(f64),
+    /// Present in the current run only.
+    NoBaseline,
+}
+
+/// Compare current measurements against baselines with a ratio tolerance.
+/// Returns `(bench id, current ns, verdict)` for every current bench, in
+/// id order.
+pub fn compare(
+    current: &BTreeMap<String, f64>,
+    baseline: &BTreeMap<String, f64>,
+    tolerance: f64,
+) -> Vec<(String, f64, Verdict)> {
+    current
+        .iter()
+        .map(|(id, &now)| {
+            let verdict = match baseline.get(id) {
+                None => Verdict::NoBaseline,
+                Some(&base) if base <= 0.0 => Verdict::NoBaseline,
+                Some(&base) => {
+                    let ratio = now / base;
+                    if ratio > tolerance {
+                        Verdict::Regressed(ratio)
+                    } else {
+                        Verdict::Ok(ratio)
+                    }
+                }
+            };
+            (id.clone(), now, verdict)
+        })
+        .collect()
+}
+
+/// Pick the highest-numbered `BENCH_<n>.json` among the given file names.
+pub fn latest_bench_record(names: &[String]) -> Option<String> {
+    names
+        .iter()
+        .filter_map(|n| {
+            let digits = n.strip_prefix("BENCH_")?.strip_suffix(".json")?;
+            digits.parse::<u64>().ok().map(|v| (v, n.clone()))
+        })
+        .max_by_key(|(v, _)| *v)
+        .map(|(_, n)| n)
+}
+
+// ---------------------------------------------------------------------
+// A tolerant scanner for the subset of JSON this workspace writes.
+
+struct Scanner<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    text: &'a str,
+}
+
+impl Scanner<'_> {
+    /// Skip whitespace; `true` when input remains.
+    fn skip_ws(&mut self) -> bool {
+        while let Some(&(_, c)) = self.chars.peek() {
+            if c.is_whitespace() {
+                self.chars.next();
+            } else {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Parse one value. Objects report their flat `(string key, number)`
+    /// pairs: entry-shaped objects (a `"bench"`/`"id"` name + a time key)
+    /// and the children of a `"gate_baselines"` object are recorded into
+    /// `out`. `parent_key` is the key this value sits under, if any.
+    fn value(&mut self, parent_key: Option<&str>, out: &mut BTreeMap<String, f64>) {
+        if !self.skip_ws() {
+            return;
+        }
+        match self.chars.peek().map(|&(_, c)| c) {
+            Some('{') => self.object(parent_key, out),
+            Some('[') => {
+                self.chars.next();
+                loop {
+                    if !self.skip_ws() {
+                        return;
+                    }
+                    match self.chars.peek().map(|&(_, c)| c) {
+                        Some(']') => {
+                            self.chars.next();
+                            return;
+                        }
+                        Some(',') => {
+                            self.chars.next();
+                        }
+                        _ => self.value(parent_key, out),
+                    }
+                }
+            }
+            Some('"') => {
+                let _ = self.string();
+            }
+            _ => {
+                // number / true / false / null: consume the token.
+                while let Some(&(_, c)) = self.chars.peek() {
+                    if c == ',' || c == '}' || c == ']' || c.is_whitespace() {
+                        break;
+                    }
+                    self.chars.next();
+                }
+            }
+        }
+    }
+
+    fn object(&mut self, parent_key: Option<&str>, out: &mut BTreeMap<String, f64>) {
+        self.chars.next(); // '{'
+        let mut strings: BTreeMap<String, String> = BTreeMap::new();
+        let mut numbers: BTreeMap<String, f64> = BTreeMap::new();
+        loop {
+            if !self.skip_ws() {
+                break;
+            }
+            match self.chars.peek().map(|&(_, c)| c) {
+                Some('}') => {
+                    self.chars.next();
+                    break;
+                }
+                Some(',') => {
+                    self.chars.next();
+                    continue;
+                }
+                Some('"') => {
+                    let key = self.string();
+                    self.skip_ws();
+                    if let Some(&(_, ':')) = self.chars.peek() {
+                        self.chars.next();
+                    }
+                    self.skip_ws();
+                    match self.chars.peek().map(|&(_, c)| c) {
+                        Some('"') => {
+                            let v = self.string();
+                            strings.insert(key, v);
+                        }
+                        Some('{') | Some('[') => self.value(Some(&key), out),
+                        _ => {
+                            let start = self.chars.peek().map(|&(i, _)| i).unwrap_or(0);
+                            let mut end = start;
+                            while let Some(&(i, c)) = self.chars.peek() {
+                                if c == ',' || c == '}' || c == ']' || c.is_whitespace() {
+                                    end = i;
+                                    break;
+                                }
+                                end = i + c.len_utf8();
+                                self.chars.next();
+                            }
+                            if let Ok(n) = self.text[start..end].parse::<f64>() {
+                                numbers.insert(key, n);
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    self.chars.next();
+                }
+            }
+        }
+        if let Some(name) = strings.get("bench").or_else(|| strings.get("id")) {
+            for key in TIME_KEYS {
+                if let Some(&ns) = numbers.get(key) {
+                    out.insert(name.clone(), ns);
+                    break;
+                }
+            }
+        }
+        if parent_key == Some("gate_baselines") {
+            for (k, v) in numbers {
+                out.insert(k, v);
+            }
+        }
+    }
+
+    fn string(&mut self) -> String {
+        let mut s = String::new();
+        self.chars.next(); // opening quote
+        while let Some((_, c)) = self.chars.next() {
+            match c {
+                '"' => break,
+                '\\' => {
+                    if let Some((_, esc)) = self.chars.next() {
+                        s.push(match esc {
+                            'n' => '\n',
+                            't' => '\t',
+                            other => other,
+                        });
+                    }
+                }
+                other => s.push(other),
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_bench_entries_from_record() {
+        let doc = r#"{
+          "pr": 1,
+          "streaming_push": [
+            {"bench": "streaming/push/window/16", "elems_per_iter": 64,
+             "before_ns_per_iter": 7340, "after_default_ns_per_iter": 2512,
+             "after_native_ns_per_iter": 2517, "speedup_like_for_like": 2.92},
+            {"bench": "streaming/push/window/64", "after_native_ns_per_iter": 23879}
+          ],
+          "observations": ["text with \"quotes\" and numbers 123"]
+        }"#;
+        let b = extract_baselines(doc);
+        assert_eq!(b.get("streaming/push/window/16"), Some(&2517.0));
+        assert_eq!(b.get("streaming/push/window/64"), Some(&23879.0));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn extracts_criterion_shim_jsonl() {
+        let doc = "{\"id\":\"streaming/push/window/16\",\"ns_per_iter\":2400,\"best_ns_per_iter\":2300,\"elems_per_iter\":64}\n\
+                   {\"id\":\"streaming/engine_ingest/push_slice\",\"ns_per_iter\":4300000}\n";
+        let b = extract_baselines(doc);
+        assert_eq!(b.get("streaming/push/window/16"), Some(&2400.0));
+        assert_eq!(
+            b.get("streaming/engine_ingest/push_slice"),
+            Some(&4300000.0)
+        );
+    }
+
+    #[test]
+    fn gate_baselines_table_wins() {
+        let doc = r#"{
+          "gate_baselines": {"streaming/push/window/16": 2500, "multistream/x": 10},
+          "entries": [{"bench": "other/bench", "ns_per_iter": 7}]
+        }"#;
+        let b = extract_baselines(doc);
+        assert_eq!(b.get("streaming/push/window/16"), Some(&2500.0));
+        assert_eq!(b.get("multistream/x"), Some(&10.0));
+        assert_eq!(b.get("other/bench"), Some(&7.0));
+    }
+
+    #[test]
+    fn compare_flags_regressions_only_beyond_tolerance() {
+        let mut base = BTreeMap::new();
+        base.insert("a".to_string(), 100.0);
+        base.insert("b".to_string(), 100.0);
+        let mut now = BTreeMap::new();
+        now.insert("a".to_string(), 140.0); // 1.4x: within 1.5x
+        now.insert("b".to_string(), 160.0); // 1.6x: regression
+        now.insert("c".to_string(), 5.0); // no baseline
+        let rows = compare(&now, &base, 1.5);
+        assert_eq!(rows[0].2, Verdict::Ok(1.4));
+        assert!(matches!(rows[1].2, Verdict::Regressed(r) if (r - 1.6).abs() < 1e-9));
+        assert_eq!(rows[2].2, Verdict::NoBaseline);
+    }
+
+    #[test]
+    fn latest_record_picks_highest_number() {
+        let names = vec![
+            "BENCH_1.json".to_string(),
+            "BENCH_2.json".to_string(),
+            "README.md".to_string(),
+            "BENCH_x.json".to_string(),
+        ];
+        assert_eq!(latest_bench_record(&names).as_deref(), Some("BENCH_2.json"));
+        assert_eq!(latest_bench_record(&["a".to_string()]), None);
+    }
+}

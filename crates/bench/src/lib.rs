@@ -21,6 +21,8 @@
 
 #![warn(missing_docs)]
 
+pub mod gate;
+
 use dpd_core::streaming::MultiScaleDpd;
 use spec_apps::app::{App, AppRun, RunConfig};
 

@@ -5,8 +5,10 @@
 
 use dpd_core::detector::FrameDetector;
 use dpd_core::segmentation::segment_events;
+use dpd_core::shard::{MultiStreamEvent, StreamId};
 use dpd_core::streaming::MultiScaleDpd;
 use dpd_trace::{gen, io, EventTrace};
+use par_runtime::service::{MultiStreamDpd, ServiceConfig};
 use spec_apps::app::RunConfig;
 use std::fmt::Write as _;
 
@@ -16,7 +18,8 @@ pub const USAGE: &str = "usage:
   dpd apps --app tomcatv|swim|apsi|hydro2d|turb3d --out FILE
   dpd analyze FILE [--scales 8,64,512]
   dpd spectrum FILE [--window 128]
-  dpd segment FILE [--window 64]";
+  dpd segment FILE [--window 64]
+  dpd multistream DIR [--shards 4] [--window 64] [--chunk 256]";
 
 /// A parsed flag set: positional args + `--key value` pairs.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -75,6 +78,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         "analyze" => analyze(&flags),
         "spectrum" => spectrum(&flags),
         "segment" => segment(&flags),
+        "multistream" => multistream(&flags),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -194,6 +198,103 @@ fn segment(flags: &Flags) -> Result<String, String> {
     Ok(out)
 }
 
+fn multistream(flags: &Flags) -> Result<String, String> {
+    let dir = flags
+        .positional
+        .first()
+        .ok_or("multistream expects a directory of trace files")?;
+    let shards = flags.get_usize("shards", 4)?;
+    let window = flags.get_usize("window", 64)?;
+    let chunk = flags.get_usize("chunk", 256)?.max(1);
+
+    // One stream per trace file, in name order so stream ids are stable.
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read dir {dir}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_file())
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no trace files in {dir}"));
+    }
+    let mut traces = Vec::with_capacity(paths.len());
+    for p in &paths {
+        let file = std::fs::File::open(p).map_err(|e| format!("open {}: {e}", p.display()))?;
+        let trace = io::read_events(file).map_err(|e| format!("{}: {e}", p.display()))?;
+        traces.push(trace);
+    }
+
+    // Replay all traces concurrently: round-robin chunks until exhausted,
+    // the arrival pattern of many applications tracing at once.
+    let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(shards, window));
+    let total: usize = traces.iter().map(|t| t.len()).sum();
+    let start = std::time::Instant::now();
+    let mut offset = 0;
+    loop {
+        let mut records: Vec<(StreamId, &[i64])> = Vec::new();
+        for (s, t) in traces.iter().enumerate() {
+            if offset < t.values.len() {
+                let end = (offset + chunk).min(t.values.len());
+                records.push((StreamId(s as u64), &t.values[offset..end]));
+            }
+        }
+        if records.is_empty() {
+            break;
+        }
+        svc.ingest(&records);
+        offset += chunk;
+    }
+    let (events, snapshot) = svc.finish();
+    let elapsed = start.elapsed();
+
+    let mut out = String::new();
+    let mode = if shards == 0 {
+        "inline".to_string()
+    } else {
+        format!("{shards} shard(s)")
+    };
+    writeln!(
+        out,
+        "replayed {} streams ({} samples) over {mode} in {:.1} ms ({:.2} Msamples/s)",
+        traces.len(),
+        total,
+        elapsed.as_secs_f64() * 1e3,
+        total as f64 / elapsed.as_secs_f64().max(1e-9) / 1e6,
+    )
+    .unwrap();
+    for e in &events {
+        if let MultiStreamEvent::Closed {
+            stream,
+            samples,
+            period,
+        } = e
+        {
+            let name = &traces[stream.0 as usize].name;
+            match period {
+                Some(p) => writeln!(
+                    out,
+                    "  {name:<24} {samples:>8} samples  period {p} at close"
+                )
+                .unwrap(),
+                None => {
+                    writeln!(out, "  {name:<24} {samples:>8} samples  no lock at close").unwrap()
+                }
+            }
+        }
+    }
+    let t = snapshot.total();
+    writeln!(
+        out,
+        "shards: {} | events {} | evicted {} | closed {}",
+        snapshot.shards.len(),
+        t.events,
+        t.evicted,
+        t.closed
+    )
+    .unwrap();
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +383,40 @@ mod tests {
     #[test]
     fn analyze_missing_file_errors() {
         assert!(dispatch(&argv("analyze /nonexistent/path.trace")).is_err());
+    }
+
+    #[test]
+    fn multistream_replays_directory() {
+        let dir = std::env::temp_dir().join("dpd-cli-multistream-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, period) in [("a", 3usize), ("b", 5), ("c", 7)] {
+            let path = dir.join(format!("{name}.trace"));
+            dispatch(&argv(&format!(
+                "generate --kind periodic --period {period} --len 3000 --out {}",
+                path.to_str().unwrap()
+            )))
+            .unwrap();
+        }
+        for shards in [0usize, 3] {
+            let out = dispatch(&argv(&format!(
+                "multistream {} --shards {shards} --window 16 --chunk 128",
+                dir.to_str().unwrap()
+            )))
+            .unwrap();
+            assert!(out.contains("replayed 3 streams (9000 samples)"), "{out}");
+            assert!(out.contains("period 3 at close"), "{out}");
+            assert!(out.contains("period 5 at close"), "{out}");
+            assert!(out.contains("period 7 at close"), "{out}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multistream_empty_dir_errors() {
+        let dir = std::env::temp_dir().join("dpd-cli-multistream-empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(dispatch(&argv(&format!("multistream {}", dir.to_str().unwrap()))).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub mod nested;
 pub mod periodogram;
 pub mod prediction;
 pub mod segmentation;
+pub mod shard;
 pub mod spectrum;
 pub mod streaming;
 pub mod window;
@@ -75,6 +76,7 @@ pub use capi::Dpd;
 pub use detector::{FrameDetector, PeriodicityReport};
 pub use metric::{EventMetric, L1Metric, Metric};
 pub use prediction::PeriodicPredictor;
+pub use shard::{MultiStreamEvent, StreamId, StreamTable, TableConfig};
 pub use spectrum::Spectrum;
 pub use streaming::{MultiScaleDpd, SegmentEvent, StreamingConfig, StreamingDpd};
 

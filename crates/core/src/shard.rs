@@ -1,0 +1,563 @@
+//! Multi-stream detection: keyed stream tables and shard routing.
+//!
+//! The paper's detector analyzes one instrumented stream; a production
+//! deployment serves *many* concurrent traces — one per user session, per
+//! instrumented loop nest, per monitored process. This module provides the
+//! deterministic single-threaded substrate for that scale-out:
+//!
+//! * [`StreamId`] — an opaque 64-bit stream key,
+//! * [`shard_of`] — the stable hash route `StreamId -> shard index` used by
+//!   the sharded service in `par-runtime`,
+//! * [`StreamTable`] — a keyed map of independent [`StreamingDpd`] detectors
+//!   with lazy stream creation, idle eviction by a sample-count watermark,
+//!   and explicit close with a final segmentation flush.
+//!
+//! A sharded deployment runs one `StreamTable` per shard and routes batches
+//! by `shard_of`; a deterministic fallback runs a single table over the same
+//! batch sequence. Both produce **identical per-stream event sequences**
+//! because every decision a table makes about a stream depends only on that
+//! stream's own samples and on the global sample clock (`seq`) carried with
+//! each batch — never on which other streams happen to share the table.
+
+use crate::streaming::{SegmentEvent, StreamStats, StreamingConfig, StreamingDpd};
+use crate::EventMetric;
+use std::collections::HashMap;
+
+/// Opaque identifier of one logical input stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub u64);
+
+impl std::fmt::Display for StreamId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stream#{}", self.0)
+    }
+}
+
+/// Stable shard route for a stream: `splitmix64(id) % shards`.
+///
+/// The finalizer scrambles low-entropy keys (sequential ids, aligned
+/// addresses) so consecutive streams spread across shards instead of
+/// clustering on `id % shards` residues.
+///
+/// # Panics
+/// Panics when `shards == 0` — a zero-shard service has no routing.
+pub fn shard_of(stream: StreamId, shards: usize) -> usize {
+    assert!(shards > 0, "shard_of requires at least one shard");
+    let mut z = stream.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % shards as u64) as usize
+}
+
+/// Configuration of a [`StreamTable`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableConfig {
+    /// Detector configuration applied to every stream.
+    pub detector: StreamingConfig,
+    /// Idle-eviction watermark, in global samples: a stream whose last
+    /// sample is more than this many samples of total traffic in the past
+    /// is evicted (its detector state discarded). `0` disables eviction.
+    pub evict_after: u64,
+}
+
+impl TableConfig {
+    /// Table with the given detector window and no eviction.
+    pub fn with_window(n: usize) -> Self {
+        TableConfig {
+            detector: StreamingConfig::with_window(n),
+            evict_after: 0,
+        }
+    }
+
+    /// Same, with an idle-eviction watermark.
+    pub fn with_eviction(n: usize, evict_after: u64) -> Self {
+        TableConfig {
+            detector: StreamingConfig::with_window(n),
+            evict_after,
+        }
+    }
+}
+
+/// One observation emitted by a multi-stream detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiStreamEvent {
+    /// A segmentation event on one stream.
+    Segment {
+        /// The stream the event belongs to.
+        stream: StreamId,
+        /// The underlying detector event (never [`SegmentEvent::None`]).
+        event: SegmentEvent,
+    },
+    /// A stream was explicitly closed; carries the final segmentation
+    /// state as the close-time "flush".
+    Closed {
+        /// The closed stream.
+        stream: StreamId,
+        /// Samples the stream received over its lifetime.
+        samples: u64,
+        /// The periodicity locked at close time, if any.
+        period: Option<usize>,
+    },
+}
+
+impl MultiStreamEvent {
+    /// The stream this event belongs to.
+    pub fn stream(&self) -> StreamId {
+        match self {
+            MultiStreamEvent::Segment { stream, .. } => *stream,
+            MultiStreamEvent::Closed { stream, .. } => *stream,
+        }
+    }
+}
+
+/// Rollup counters of one [`StreamTable`] (one shard's worth of state).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Live streams currently held.
+    pub streams: u64,
+    /// Streams ever created (lazy creations, including re-creations after
+    /// eviction or close).
+    pub created: u64,
+    /// Total samples ingested.
+    pub samples: u64,
+    /// Total non-trivial segmentation events emitted.
+    pub events: u64,
+    /// Streams evicted by the idle watermark (swept or reset in place).
+    pub evicted: u64,
+    /// Streams explicitly closed.
+    pub closed: u64,
+}
+
+#[derive(Debug)]
+struct StreamEntry {
+    dpd: StreamingDpd<i64, EventMetric>,
+    /// Global sample clock at this stream's most recent sample.
+    last_seq: u64,
+}
+
+/// A keyed table of independent per-stream detectors.
+///
+/// Streams are created lazily on first sample, evicted when idle past the
+/// configured watermark, and closed explicitly with a final flush event.
+/// All behavior is deterministic in the batch sequence: feeding the same
+/// `(seq, stream, samples)` calls produces the same per-stream events
+/// regardless of how streams are partitioned across tables.
+///
+/// # Examples
+/// ```
+/// use dpd_core::shard::{MultiStreamEvent, StreamId, StreamTable, TableConfig};
+///
+/// let mut table = StreamTable::new(TableConfig::with_window(8));
+/// let mut out = Vec::new();
+/// let mut seq = 0u64;
+/// for round in 0..30 {
+///     for s in 0..3u64 {
+///         // Stream s carries period s+2.
+///         let chunk: Vec<i64> = (0..4).map(|i| ((round * 4 + i) % (s + 2)) as i64).collect();
+///         table.ingest(seq, StreamId(s), &chunk, &mut out);
+///         seq += chunk.len() as u64;
+///     }
+/// }
+/// assert_eq!(table.len(), 3);
+/// assert!(out.iter().any(|e| matches!(
+///     e,
+///     MultiStreamEvent::Segment { stream: StreamId(0), .. }
+/// )));
+/// ```
+#[derive(Debug)]
+pub struct StreamTable {
+    config: TableConfig,
+    streams: HashMap<u64, StreamEntry>,
+    stats: TableStats,
+}
+
+impl StreamTable {
+    /// Empty table with the given configuration.
+    pub fn new(config: TableConfig) -> Self {
+        StreamTable {
+            config,
+            streams: HashMap::new(),
+            stats: TableStats::default(),
+        }
+    }
+
+    /// The table's configuration.
+    pub fn config(&self) -> &TableConfig {
+        &self.config
+    }
+
+    /// Number of live streams.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// `true` when no stream is live.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// Rollup counters.
+    pub fn stats(&self) -> TableStats {
+        TableStats {
+            streams: self.streams.len() as u64,
+            ..self.stats
+        }
+    }
+
+    /// Per-stream detector statistics for a live stream.
+    pub fn stream_stats(&self, stream: StreamId) -> Option<&StreamStats> {
+        self.streams.get(&stream.0).map(|e| e.dpd.stats())
+    }
+
+    /// The period a live stream is currently locked to, if any.
+    pub fn locked_period(&self, stream: StreamId) -> Option<usize> {
+        self.streams
+            .get(&stream.0)
+            .and_then(|e| e.dpd.locked_period())
+    }
+
+    /// Live stream ids, ascending (stable across table partitionings).
+    pub fn stream_ids(&self) -> Vec<StreamId> {
+        let mut ids: Vec<StreamId> = self.streams.keys().map(|&k| StreamId(k)).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Ingest one batch of samples for one stream, appending every
+    /// non-trivial event to `out`.
+    ///
+    /// `seq` is the global sample clock at the batch's first sample — the
+    /// total number of samples ingested across *all* streams before this
+    /// batch. It drives idle eviction: a stream whose previous sample is
+    /// more than `evict_after` global samples in the past is reset to a
+    /// fresh detector before the batch is applied (the idle state could
+    /// not have been swept deterministically, so it is discarded lazily —
+    /// observably identical to a sweep at any point inside the gap).
+    pub fn ingest(
+        &mut self,
+        seq: u64,
+        stream: StreamId,
+        samples: &[i64],
+        out: &mut Vec<MultiStreamEvent>,
+    ) {
+        if samples.is_empty() {
+            return;
+        }
+        let TableConfig {
+            detector,
+            evict_after,
+        } = self.config;
+        let entry = match self.streams.entry(stream.0) {
+            std::collections::hash_map::Entry::Occupied(o) => {
+                let e = o.into_mut();
+                if evict_after > 0 && seq.saturating_sub(e.last_seq) > evict_after {
+                    // Idle past the watermark: discard state, count the
+                    // eviction, and start over — exactly what a memory
+                    // sweep anywhere inside the gap would have produced.
+                    e.dpd = StreamingDpd::events(detector);
+                    self.stats.evicted += 1;
+                    self.stats.created += 1;
+                }
+                e
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.stats.created += 1;
+                v.insert(StreamEntry {
+                    dpd: StreamingDpd::events(detector),
+                    last_seq: seq,
+                })
+            }
+        };
+        for &s in samples {
+            let e = entry.dpd.push(s);
+            if e != SegmentEvent::None {
+                out.push(MultiStreamEvent::Segment { stream, event: e });
+                self.stats.events += 1;
+            }
+        }
+        entry.last_seq = seq + samples.len() as u64 - 1;
+        self.stats.samples += samples.len() as u64;
+    }
+
+    /// Explicitly close a stream at global sample clock `seq`, emitting a
+    /// final [`MultiStreamEvent::Closed`] flush. A stream already idle past
+    /// the eviction watermark at `seq` is evicted silently instead — it was
+    /// logically gone before the close arrived, whether or not a memory
+    /// sweep had gotten to it, so close-time behavior stays independent of
+    /// sweep scheduling. Returns `false` when the stream is not live
+    /// (already closed, evicted, or never seen).
+    pub fn close(&mut self, seq: u64, stream: StreamId, out: &mut Vec<MultiStreamEvent>) -> bool {
+        match self.streams.remove(&stream.0) {
+            Some(entry) => {
+                if self.config.evict_after > 0
+                    && seq.saturating_sub(entry.last_seq) > self.config.evict_after
+                {
+                    self.stats.evicted += 1;
+                    return false;
+                }
+                self.stats.closed += 1;
+                self.stats.events += 1;
+                out.push(MultiStreamEvent::Closed {
+                    stream,
+                    samples: entry.dpd.stats().samples,
+                    period: entry.dpd.locked_period(),
+                });
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Close every live stream at clock `seq`, ascending by id (a stable
+    /// order no matter how streams were partitioned across tables).
+    pub fn close_all(&mut self, seq: u64, out: &mut Vec<MultiStreamEvent>) {
+        for id in self.stream_ids() {
+            self.close(seq, id, out);
+        }
+    }
+
+    /// Reclaim memory of streams idle past the watermark at global sample
+    /// clock `seq`. Returns the number of streams evicted. Emits no events:
+    /// a swept stream that later receives samples is indistinguishable from
+    /// one lazily reset by [`StreamTable::ingest`], so sweeps may run on
+    /// any schedule without affecting determinism.
+    pub fn sweep(&mut self, seq: u64) -> usize {
+        if self.config.evict_after == 0 {
+            return 0;
+        }
+        let watermark = self.config.evict_after;
+        let before = self.streams.len();
+        self.streams
+            .retain(|_, e| seq.saturating_sub(e.last_seq) <= watermark);
+        let evicted = before - self.streams.len();
+        self.stats.evicted += evicted as u64;
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn periodic(period: u64, start: u64, len: usize) -> Vec<i64> {
+        (0..len as u64)
+            .map(|i| ((start + i) % period) as i64)
+            .collect()
+    }
+
+    /// Feed `rounds` rounds of `chunk`-sized batches for `streams` streams
+    /// round-robin; stream `s` carries period `s + 2`.
+    fn drive(
+        table: &mut StreamTable,
+        streams: u64,
+        chunk: usize,
+        rounds: u64,
+    ) -> Vec<MultiStreamEvent> {
+        let mut out = Vec::new();
+        let mut seq = 0u64;
+        for r in 0..rounds {
+            for s in 0..streams {
+                let data = periodic(s + 2, r * chunk as u64, chunk);
+                table.ingest(seq, StreamId(s), &data, &mut out);
+                seq += chunk as u64;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn lazy_creation_and_per_stream_detection() {
+        let mut table = StreamTable::new(TableConfig::with_window(8));
+        let out = drive(&mut table, 4, 8, 20);
+        assert_eq!(table.len(), 4);
+        assert_eq!(table.stats().created, 4);
+        for s in 0..4u64 {
+            let stats = table.stream_stats(StreamId(s)).unwrap();
+            assert_eq!(
+                stats.detected_periods(),
+                vec![(s + 2) as usize],
+                "stream {s}"
+            );
+        }
+        assert!(out.len() > 20);
+        assert_eq!(table.stats().events, out.len() as u64);
+    }
+
+    #[test]
+    fn events_tag_the_right_stream() {
+        let mut table = StreamTable::new(TableConfig::with_window(8));
+        let out = drive(&mut table, 3, 6, 30);
+        for e in &out {
+            if let MultiStreamEvent::Segment {
+                stream,
+                event: SegmentEvent::PeriodStart { period, .. },
+            } = e
+            {
+                assert_eq!(*period as u64, stream.0 + 2);
+            }
+        }
+    }
+
+    #[test]
+    fn table_partitioning_is_observation_invariant() {
+        // One table over 6 streams vs two tables over a 3/3 split: the
+        // per-stream event sequences must be identical.
+        let mut whole = StreamTable::new(TableConfig::with_eviction(8, 64));
+        let all = drive(&mut whole, 6, 8, 25);
+
+        let mut even = StreamTable::new(TableConfig::with_eviction(8, 64));
+        let mut odd = StreamTable::new(TableConfig::with_eviction(8, 64));
+        let mut split = Vec::new();
+        let mut seq = 0u64;
+        for r in 0..25u64 {
+            for s in 0..6u64 {
+                let data = periodic(s + 2, r * 8, 8);
+                let table = if s % 2 == 0 { &mut even } else { &mut odd };
+                table.ingest(seq, StreamId(s), &data, &mut split);
+                seq += 8;
+            }
+        }
+        for s in 0..6u64 {
+            let expect: Vec<_> = all.iter().filter(|e| e.stream().0 == s).collect();
+            let got: Vec<_> = split.iter().filter(|e| e.stream().0 == s).collect();
+            assert_eq!(got, expect, "stream {s}");
+        }
+    }
+
+    #[test]
+    fn idle_eviction_resets_detector_state() {
+        let mut table = StreamTable::new(TableConfig::with_eviction(8, 16));
+        let mut out = Vec::new();
+        // Lock stream 0 to period 3.
+        table.ingest(0, StreamId(0), &periodic(3, 0, 24), &mut out);
+        assert_eq!(table.locked_period(StreamId(0)), Some(3));
+        // 100 global samples of other traffic go by (> watermark 16).
+        table.ingest(24, StreamId(1), &periodic(5, 0, 100), &mut out);
+        // Stream 0 returns: its old lock must be gone (fresh detector).
+        out.clear();
+        table.ingest(124, StreamId(0), &periodic(3, 0, 4), &mut out);
+        assert_eq!(table.locked_period(StreamId(0)), None);
+        assert_eq!(table.stats().evicted, 1);
+        // ...and it re-locks with more data, proving the state is live.
+        table.ingest(128, StreamId(0), &periodic(3, 4, 24), &mut out);
+        assert_eq!(table.locked_period(StreamId(0)), Some(3));
+    }
+
+    #[test]
+    fn sweep_matches_lazy_eviction_observably() {
+        let mk = || StreamTable::new(TableConfig::with_eviction(8, 16));
+        let feed = |table: &mut StreamTable, sweep_at: Option<u64>| {
+            let mut out = Vec::new();
+            table.ingest(0, StreamId(0), &periodic(3, 0, 24), &mut out);
+            table.ingest(24, StreamId(1), &periodic(5, 0, 100), &mut out);
+            if let Some(seq) = sweep_at {
+                table.sweep(seq);
+            }
+            table.ingest(124, StreamId(0), &periodic(3, 0, 30), &mut out);
+            table.ingest(154, StreamId(1), &periodic(5, 100, 10), &mut out);
+            out
+        };
+        let lazy = feed(&mut mk(), None);
+        let swept = feed(&mut mk(), Some(124));
+        assert_eq!(lazy, swept);
+        // The sweep actually removed stream 0's state at seq 124.
+        let mut probe = mk();
+        let mut out = Vec::new();
+        probe.ingest(0, StreamId(0), &periodic(3, 0, 24), &mut out);
+        probe.ingest(24, StreamId(1), &periodic(5, 0, 100), &mut out);
+        assert_eq!(probe.sweep(124), 1);
+        assert_eq!(probe.len(), 1);
+        assert_eq!(probe.stats().evicted, 1);
+    }
+
+    #[test]
+    fn close_emits_final_flush() {
+        let mut table = StreamTable::new(TableConfig::with_window(8));
+        let mut out = Vec::new();
+        table.ingest(0, StreamId(7), &periodic(4, 0, 32), &mut out);
+        out.clear();
+        assert!(table.close(32, StreamId(7), &mut out));
+        assert_eq!(
+            out,
+            vec![MultiStreamEvent::Closed {
+                stream: StreamId(7),
+                samples: 32,
+                period: Some(4),
+            }]
+        );
+        assert!(!table.close(32, StreamId(7), &mut out), "already closed");
+        assert_eq!(table.stats().closed, 1);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn close_all_is_ascending_by_id() {
+        let mut table = StreamTable::new(TableConfig::with_window(8));
+        let mut out = Vec::new();
+        for &s in &[9u64, 2, 5] {
+            table.ingest(0, StreamId(s), &periodic(3, 0, 6), &mut out);
+        }
+        out.clear();
+        table.close_all(18, &mut out);
+        let order: Vec<u64> = out.iter().map(|e| e.stream().0).collect();
+        assert_eq!(order, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn close_of_idle_stream_evicts_silently() {
+        let mut table = StreamTable::new(TableConfig::with_eviction(8, 16));
+        let mut out = Vec::new();
+        table.ingest(0, StreamId(0), &periodic(3, 0, 24), &mut out);
+        out.clear();
+        // Clock 200: stream 0 sat idle far past the watermark. Whether or
+        // not a sweep ran in between, close must not flush it.
+        assert!(!table.close(200, StreamId(0), &mut out));
+        assert!(out.is_empty());
+        assert_eq!(table.stats().evicted, 1);
+        assert_eq!(table.stats().closed, 0);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut table = StreamTable::new(TableConfig::with_window(8));
+        let mut out = Vec::new();
+        table.ingest(0, StreamId(1), &[], &mut out);
+        assert!(table.is_empty());
+        assert_eq!(table.stats().samples, 0);
+    }
+
+    #[test]
+    fn shard_of_spreads_sequential_ids() {
+        let shards = 8;
+        let mut counts = vec![0usize; shards];
+        for s in 0..8000u64 {
+            counts[shard_of(StreamId(s), shards)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (700..=1300).contains(&c),
+                "shard {i} got {c} of 8000 streams"
+            );
+        }
+        // Stable: same input, same route.
+        assert_eq!(shard_of(StreamId(42), 8), shard_of(StreamId(42), 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn shard_of_zero_panics() {
+        let _ = shard_of(StreamId(1), 0);
+    }
+
+    #[test]
+    fn stats_roll_up() {
+        let mut table = StreamTable::new(TableConfig::with_window(8));
+        let out = drive(&mut table, 2, 10, 10);
+        let st = table.stats();
+        assert_eq!(st.streams, 2);
+        assert_eq!(st.samples, 200);
+        assert_eq!(st.events, out.len() as u64);
+        assert_eq!(st.evicted, 0);
+    }
+}

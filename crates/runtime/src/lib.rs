@@ -18,7 +18,10 @@
 //!   speedup run here deterministically regardless of the host machine;
 //! * [`sched`] — processor-allocation policies (equipartition and the
 //!   performance-driven policy of \[Corbalan2000\] that consumes the
-//!   SelfAnalyzer's speedup estimates).
+//!   SelfAnalyzer's speedup estimates);
+//! * [`service`] — the sharded multi-stream DPD service: parallel
+//!   ingestion of thousands of concurrent streams over per-shard worker
+//!   threads, with a deterministic single-threaded fallback.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -32,10 +35,12 @@ pub mod pool;
 pub mod region;
 pub mod sampler;
 pub mod sched;
+pub mod service;
 pub mod vclock;
 pub mod workload;
 
 pub use cpustat::{CpuTimeline, CpuUsage};
 pub use machine::{LoopSpec, Machine, MachineConfig, VirtualSpan};
 pub use pool::ThreadPool;
+pub use service::{MultiStreamDpd, ServiceConfig, ServiceSnapshot, ShardStats};
 pub use vclock::VirtualClock;

@@ -19,6 +19,10 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 struct Shared {
     usage: Arc<CpuUsage>,
     pending: AtomicUsize,
+    /// Threads currently blocked in [`ThreadPool::wait_idle`]. Lets the
+    /// worker fast path skip the idle lock entirely when nobody waits —
+    /// the common case when jobs trickle in one at a time.
+    waiters: AtomicUsize,
     idle_lock: Mutex<()>,
     idle_cv: Condvar,
 }
@@ -41,6 +45,7 @@ impl ThreadPool {
         let shared = Arc::new(Shared {
             usage: CpuUsage::new(),
             pending: AtomicUsize::new(0),
+            waiters: AtomicUsize::new(0),
             idle_lock: Mutex::new(()),
             idle_cv: Condvar::new(),
         });
@@ -56,7 +61,14 @@ impl ThreadPool {
                             sh.usage.enter();
                             job();
                             sh.usage.leave();
-                            if sh.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            // SeqCst pairs with wait_idle's registration:
+                            // either this decrement-to-zero sees the
+                            // registered waiter, or the waiter's pending
+                            // check sees the zero (store-buffer case ruled
+                            // out by the single total order).
+                            if sh.pending.fetch_sub(1, Ordering::SeqCst) == 1
+                                && sh.waiters.load(Ordering::SeqCst) > 0
+                            {
                                 let _g = sh.idle_lock.lock();
                                 sh.idle_cv.notify_all();
                             }
@@ -98,11 +110,26 @@ impl ThreadPool {
     }
 
     /// Block until every submitted job has finished.
+    ///
+    /// Condvar-based: the waiter parks on the pool's idle condition
+    /// variable and is woken by the worker that completes the last pending
+    /// job — no polling, no spinning, no CPU burned while quiescing.
+    /// Workers only touch the idle lock when a waiter is registered, so
+    /// the per-job completion path stays lock-free when nothing waits.
     pub fn wait_idle(&self) {
+        if self.shared.pending.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        // Register before re-checking: the worker reads `waiters` *after*
+        // its decrement, so (SeqCst) either it sees the registration and
+        // notifies, or the re-check below sees pending == 0.
+        self.shared.waiters.fetch_add(1, Ordering::SeqCst);
         let mut guard = self.shared.idle_lock.lock();
-        while self.shared.pending.load(Ordering::Acquire) != 0 {
+        while self.shared.pending.load(Ordering::SeqCst) != 0 {
             self.shared.idle_cv.wait(&mut guard);
         }
+        drop(guard);
+        self.shared.waiters.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -152,6 +179,44 @@ mod tests {
         pool.wait_idle();
         assert_eq!(usage.active(), 0);
         assert!(usage.peak() >= 1);
+    }
+
+    #[test]
+    fn concurrent_waiters_all_release() {
+        let pool = Arc::new(ThreadPool::new(2));
+        let done = Arc::new(AtomicU64::new(0));
+        for _ in 0..200 {
+            let d = Arc::clone(&done);
+            pool.execute(move || {
+                d.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let waiters: Vec<_> = (0..3)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    pool.wait_idle();
+                    assert_eq!(done.load(Ordering::Relaxed), 200);
+                })
+            })
+            .collect();
+        for w in waiters {
+            w.join().unwrap();
+        }
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn wait_idle_fast_path_when_already_idle() {
+        let pool = ThreadPool::new(2);
+        for _ in 0..10 {
+            pool.execute(|| {});
+        }
+        pool.wait_idle();
+        // Second wait takes the no-waiter fast path (pending == 0).
+        pool.wait_idle();
+        assert_eq!(pool.pending(), 0);
     }
 
     #[test]

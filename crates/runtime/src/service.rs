@@ -1,0 +1,682 @@
+//! Sharded multi-stream DPD service.
+//!
+//! [`MultiStreamDpd`] scales the single-stream detector *out*: it owns `S`
+//! shards, each a worker thread holding a [`StreamTable`] (a keyed map of
+//! independent per-stream detectors), and routes interleaved
+//! `(StreamId, &[i64])` record batches to the owning shard by the stable
+//! hash [`shard_of`]. Each shard drains its queue in FIFO order and emits
+//! `(StreamId, SegmentEvent)` observations into an aggregated event sink.
+//!
+//! * **Sink.** Workers publish through `std::sync::mpsc`, whose send path
+//!   is the lock-free linked-list queue std adopted from crossbeam-channel
+//!   (Rust ≥ 1.67): producers never take a lock, and the service side
+//!   drains with the non-blocking [`MultiStreamDpd::drain`].
+//! * **Rollups.** Per-shard [`ShardStats`] (streams, samples, events, queue
+//!   depth, ...) are published through plain atomics and read without
+//!   synchronizing with the workers via [`MultiStreamDpd::snapshot`].
+//! * **Determinism.** `shards: 0` selects an inline single-threaded mode
+//!   that processes every record synchronously on the calling thread. It is
+//!   the reference implementation: for any shard count and any interleaving
+//!   of per-stream batches, the sharded service produces exactly the same
+//!   per-stream event sequences (property-tested in
+//!   `tests/proptest_multistream.rs`). This holds because a stream is owned
+//!   by exactly one shard, shard queues are FIFO, and every `StreamTable`
+//!   decision depends only on the stream's own samples and the global
+//!   sample clock carried with each batch.
+//!
+//! Stream lifecycle: streams are created lazily on first sample, evicted
+//! after sitting idle past a sample-count watermark, and closed explicitly
+//! (or by [`MultiStreamDpd::finish`]) with a final segmentation flush event.
+
+use crossbeam::channel::{unbounded, Sender};
+use dpd_core::shard::{shard_of, MultiStreamEvent, StreamId, StreamTable, TableConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// Configuration of a [`MultiStreamDpd`] service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Worker shards. `0` = deterministic inline mode (no threads): every
+    /// record is processed synchronously on the calling thread.
+    pub shards: usize,
+    /// Per-shard stream-table configuration (detector + eviction).
+    pub table: TableConfig,
+    /// Samples of shard-local traffic between idle-stream memory sweeps
+    /// (`0` = sweep only at [`MultiStreamDpd::finish`]). Sweeps reclaim
+    /// memory early but never change emitted events.
+    pub sweep_every: u64,
+}
+
+impl ServiceConfig {
+    /// `shards` workers, detector window `n`, no eviction.
+    pub fn with_window(shards: usize, n: usize) -> Self {
+        ServiceConfig {
+            shards,
+            table: TableConfig::with_window(n),
+            sweep_every: 0,
+        }
+    }
+
+    /// Same, with an idle-eviction watermark (in global samples).
+    pub fn with_eviction(shards: usize, n: usize, evict_after: u64) -> Self {
+        ServiceConfig {
+            shards,
+            table: TableConfig::with_eviction(n, evict_after),
+            sweep_every: if evict_after == 0 { 0 } else { evict_after * 4 },
+        }
+    }
+}
+
+/// Point-in-time rollup of one shard (or of the inline table).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Live streams held by the shard.
+    pub streams: u64,
+    /// Samples ingested by the shard.
+    pub samples: u64,
+    /// Segmentation events emitted (including close flushes).
+    pub events: u64,
+    /// Streams evicted by the idle watermark.
+    pub evicted: u64,
+    /// Streams explicitly closed.
+    pub closed: u64,
+    /// Record batches routed to the shard and not yet processed.
+    pub queue_depth: u64,
+    /// Record batches fully processed.
+    pub batches: u64,
+}
+
+impl ShardStats {
+    fn add(&mut self, other: &ShardStats) {
+        self.streams += other.streams;
+        self.samples += other.samples;
+        self.events += other.events;
+        self.evicted += other.evicted;
+        self.closed += other.closed;
+        self.queue_depth += other.queue_depth;
+        self.batches += other.batches;
+    }
+}
+
+/// Snapshot of the whole service: one [`ShardStats`] per shard.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceSnapshot {
+    /// Per-shard rollups (a single entry in inline mode).
+    pub shards: Vec<ShardStats>,
+}
+
+impl ServiceSnapshot {
+    /// Sum over all shards.
+    pub fn total(&self) -> ShardStats {
+        let mut t = ShardStats::default();
+        for s in &self.shards {
+            t.add(s);
+        }
+        t
+    }
+}
+
+/// Lock-free per-shard counters published by workers, read by `snapshot`.
+#[derive(Debug, Default)]
+struct ShardShared {
+    streams: AtomicU64,
+    samples: AtomicU64,
+    events: AtomicU64,
+    evicted: AtomicU64,
+    closed: AtomicU64,
+    queue_depth: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl ShardShared {
+    fn snapshot(&self) -> ShardStats {
+        ShardStats {
+            streams: self.streams.load(Ordering::Relaxed),
+            samples: self.samples.load(Ordering::Relaxed),
+            events: self.events.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            closed: self.closed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One routed record: global sample clock at the first sample, stream,
+/// owned samples.
+type Record = (u64, StreamId, Vec<i64>);
+
+enum Cmd {
+    /// Routed record batches, in frontend arrival order.
+    Batches(Vec<Record>),
+    /// Explicit close of one stream at the given global clock (final
+    /// flush event unless the stream is already idle past the watermark).
+    Close(u64, StreamId),
+    /// Quiesce barrier: ack once every earlier command is processed.
+    Flush(mpsc::Sender<()>),
+    /// Final sweep at the given global clock + close of every live stream.
+    Finish(u64, mpsc::Sender<()>),
+}
+
+struct Sharded {
+    txs: Vec<Sender<Cmd>>,
+    workers: Vec<JoinHandle<()>>,
+    sink: mpsc::Receiver<Vec<MultiStreamEvent>>,
+    stats: Arc<Vec<ShardShared>>,
+}
+
+enum Mode {
+    Inline {
+        table: StreamTable,
+        events: Vec<MultiStreamEvent>,
+    },
+    Sharded(Sharded),
+}
+
+/// A sharded multi-stream periodicity-detection service.
+///
+/// # Examples
+/// ```
+/// use dpd_core::shard::StreamId;
+/// use par_runtime::service::{MultiStreamDpd, ServiceConfig};
+///
+/// let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(2, 8));
+/// for round in 0..20 {
+///     let a: Vec<i64> = (0..6).map(|i| ((round * 6 + i) % 3) as i64).collect();
+///     let b: Vec<i64> = (0..6).map(|i| ((round * 6 + i) % 5) as i64).collect();
+///     svc.ingest(&[(StreamId(1), &a), (StreamId(2), &b)]);
+/// }
+/// let (events, snapshot) = svc.finish();
+/// assert_eq!(snapshot.total().samples, 240);
+/// assert!(events.iter().any(|e| e.stream() == StreamId(1)));
+/// assert!(events.iter().any(|e| e.stream() == StreamId(2)));
+/// ```
+pub struct MultiStreamDpd {
+    mode: Mode,
+    config: ServiceConfig,
+    /// Global sample clock: samples accepted across all streams.
+    ingested: u64,
+    /// Inline mode: samples since the last sweep.
+    since_sweep: u64,
+}
+
+impl MultiStreamDpd {
+    /// Start a service. `config.shards == 0` runs inline (no threads);
+    /// otherwise one worker thread per shard is spawned.
+    pub fn new(config: ServiceConfig) -> Self {
+        let mode = if config.shards == 0 {
+            Mode::Inline {
+                table: StreamTable::new(config.table),
+                events: Vec::new(),
+            }
+        } else {
+            let (sink_tx, sink_rx) = mpsc::channel();
+            let stats: Arc<Vec<ShardShared>> =
+                Arc::new((0..config.shards).map(|_| ShardShared::default()).collect());
+            let mut txs = Vec::with_capacity(config.shards);
+            let mut workers = Vec::with_capacity(config.shards);
+            for shard in 0..config.shards {
+                let (tx, rx) = unbounded::<Cmd>();
+                let sink = sink_tx.clone();
+                let stats = Arc::clone(&stats);
+                let table_config = config.table;
+                let sweep_every = config.sweep_every;
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("dpd-shard-{shard}"))
+                        .spawn(move || {
+                            shard_worker(rx, sink, &stats[shard], table_config, sweep_every)
+                        })
+                        .expect("failed to spawn shard worker"),
+                );
+                txs.push(tx);
+            }
+            Mode::Sharded(Sharded {
+                txs,
+                workers,
+                sink: sink_rx,
+                stats,
+            })
+        };
+        MultiStreamDpd {
+            mode,
+            config,
+            ingested: 0,
+            since_sweep: 0,
+        }
+    }
+
+    /// Number of shards (`0` = inline mode).
+    pub fn shards(&self) -> usize {
+        self.config.shards
+    }
+
+    /// Samples accepted so far (the global sample clock).
+    pub fn samples_ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Ingest a batch of interleaved per-stream records.
+    ///
+    /// Records are applied in slice order; two records for the same stream
+    /// in one call (or across calls) are processed in that order. In
+    /// sharded mode this routes each record to its owning shard and returns
+    /// once everything is *enqueued* — processing is asynchronous; use
+    /// [`MultiStreamDpd::flush`] to quiesce. Empty sample slices are
+    /// ignored.
+    pub fn ingest(&mut self, records: &[(StreamId, &[i64])]) {
+        match &mut self.mode {
+            Mode::Inline { table, events } => {
+                for (stream, samples) in records {
+                    table.ingest(self.ingested, *stream, samples, events);
+                    self.ingested += samples.len() as u64;
+                    self.since_sweep += samples.len() as u64;
+                }
+                if self.config.sweep_every > 0 && self.since_sweep >= self.config.sweep_every {
+                    table.sweep(self.ingested);
+                    self.since_sweep = 0;
+                }
+            }
+            Mode::Sharded(sh) => {
+                let shards = self.config.shards;
+                let mut routed: Vec<Vec<Record>> = vec![Vec::new(); shards];
+                for (stream, samples) in records {
+                    if samples.is_empty() {
+                        continue;
+                    }
+                    routed[shard_of(*stream, shards)].push((
+                        self.ingested,
+                        *stream,
+                        samples.to_vec(),
+                    ));
+                    self.ingested += samples.len() as u64;
+                }
+                for (shard, batch) in routed.into_iter().enumerate() {
+                    if batch.is_empty() {
+                        continue;
+                    }
+                    sh.stats[shard].queue_depth.fetch_add(1, Ordering::Relaxed);
+                    sh.txs[shard]
+                        .send(Cmd::Batches(batch))
+                        .expect("shard worker exited early");
+                }
+            }
+        }
+    }
+
+    /// Ingest a single stream's batch (convenience wrapper).
+    pub fn push(&mut self, stream: StreamId, samples: &[i64]) {
+        self.ingest(&[(stream, samples)]);
+    }
+
+    /// Explicitly close one stream, emitting its final flush event. Closing
+    /// an unknown (or already closed/evicted) stream is a silent no-op, in
+    /// both modes.
+    pub fn close(&mut self, stream: StreamId) {
+        match &mut self.mode {
+            Mode::Inline { table, events } => {
+                table.close(self.ingested, stream, events);
+            }
+            Mode::Sharded(sh) => {
+                let shard = shard_of(stream, self.config.shards);
+                sh.stats[shard].queue_depth.fetch_add(1, Ordering::Relaxed);
+                sh.txs[shard]
+                    .send(Cmd::Close(self.ingested, stream))
+                    .expect("shard worker exited early");
+            }
+        }
+    }
+
+    /// Block until every routed record has been processed. No-op in inline
+    /// mode (ingestion is synchronous there). Workers park on their queue
+    /// condition variable while idle — quiescing burns no CPU.
+    pub fn flush(&mut self) {
+        if let Mode::Sharded(sh) = &mut self.mode {
+            let (ack_tx, ack_rx) = mpsc::channel();
+            for tx in &sh.txs {
+                tx.send(Cmd::Flush(ack_tx.clone()))
+                    .expect("shard worker exited early");
+            }
+            drop(ack_tx);
+            for _ in 0..sh.txs.len() {
+                ack_rx.recv().expect("shard worker dropped flush ack");
+            }
+        }
+    }
+
+    /// Drain every event published so far, in sink arrival order (per-shard
+    /// and therefore per-stream order is preserved; events of different
+    /// shards interleave arbitrarily). Non-blocking.
+    pub fn drain(&mut self) -> Vec<MultiStreamEvent> {
+        match &mut self.mode {
+            Mode::Inline { events, .. } => std::mem::take(events),
+            Mode::Sharded(sh) => sh.sink.try_iter().flatten().collect(),
+        }
+    }
+
+    /// Point-in-time per-shard rollups (lock-free reads; inline mode
+    /// reports itself as a single shard with queue depth 0).
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        match &self.mode {
+            Mode::Inline { table, .. } => {
+                let t = table.stats();
+                ServiceSnapshot {
+                    shards: vec![ShardStats {
+                        streams: t.streams,
+                        samples: t.samples,
+                        events: t.events,
+                        evicted: t.evicted,
+                        closed: t.closed,
+                        queue_depth: 0,
+                        batches: 0,
+                    }],
+                }
+            }
+            Mode::Sharded(sh) => ServiceSnapshot {
+                shards: sh.stats.iter().map(ShardShared::snapshot).collect(),
+            },
+        }
+    }
+
+    /// Finish the service: sweep idle streams at the final clock, close
+    /// every live stream (final flush events), quiesce, and return all
+    /// undrained events plus the final snapshot. Worker threads are joined.
+    pub fn finish(mut self) -> (Vec<MultiStreamEvent>, ServiceSnapshot) {
+        let final_seq = self.ingested;
+        match &mut self.mode {
+            Mode::Inline { table, events } => {
+                table.sweep(final_seq);
+                table.close_all(final_seq, events);
+            }
+            Mode::Sharded(sh) => {
+                let (ack_tx, ack_rx) = mpsc::channel();
+                for tx in &sh.txs {
+                    tx.send(Cmd::Finish(final_seq, ack_tx.clone()))
+                        .expect("shard worker exited early");
+                }
+                drop(ack_tx);
+                for _ in 0..sh.txs.len() {
+                    ack_rx.recv().expect("shard worker dropped finish ack");
+                }
+            }
+        }
+        let snapshot = self.snapshot();
+        let events = self.drain();
+        (events, snapshot)
+        // Drop joins the workers.
+    }
+}
+
+impl Drop for MultiStreamDpd {
+    fn drop(&mut self) {
+        if let Mode::Sharded(sh) = &mut self.mode {
+            sh.txs.clear(); // closing the queues stops the workers
+            for w in sh.workers.drain(..) {
+                let _ = w.join();
+            }
+        }
+    }
+}
+
+fn shard_worker(
+    rx: crossbeam::channel::Receiver<Cmd>,
+    sink: mpsc::Sender<Vec<MultiStreamEvent>>,
+    shared: &ShardShared,
+    table_config: TableConfig,
+    sweep_every: u64,
+) {
+    let mut table = StreamTable::new(table_config);
+    let mut out: Vec<MultiStreamEvent> = Vec::new();
+    let mut since_sweep = 0u64;
+    let mut clock = 0u64; // highest global sample clock seen by this shard
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Batches(records) => {
+                for (seq, stream, samples) in records {
+                    clock = clock.max(seq + samples.len() as u64);
+                    since_sweep += samples.len() as u64;
+                    table.ingest(seq, stream, &samples, &mut out);
+                }
+                if sweep_every > 0 && since_sweep >= sweep_every {
+                    table.sweep(clock);
+                    since_sweep = 0;
+                }
+                shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                shared.batches.fetch_add(1, Ordering::Relaxed);
+            }
+            Cmd::Close(seq, stream) => {
+                table.close(seq, stream, &mut out);
+                shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            }
+            Cmd::Flush(ack) => {
+                // FIFO queue: everything routed before this barrier has
+                // been processed and published below on the previous
+                // iterations; ack after publishing this round too.
+                publish(&table, shared, &mut out, &sink);
+                let _ = ack.send(());
+                continue;
+            }
+            Cmd::Finish(seq, ack) => {
+                table.sweep(seq);
+                table.close_all(seq, &mut out);
+                publish(&table, shared, &mut out, &sink);
+                let _ = ack.send(());
+                continue;
+            }
+        }
+        publish(&table, shared, &mut out, &sink);
+    }
+}
+
+/// Push pending events into the sink and refresh the shard's rollups.
+fn publish(
+    table: &StreamTable,
+    shared: &ShardShared,
+    out: &mut Vec<MultiStreamEvent>,
+    sink: &mpsc::Sender<Vec<MultiStreamEvent>>,
+) {
+    if !out.is_empty() {
+        // One lock-free send per processed command, not per event. A send
+        // fails only when the service side dropped the receiver
+        // (teardown); events are discarded then, matching inline `drop`.
+        let _ = sink.send(std::mem::take(out));
+    }
+    let t = table.stats();
+    shared.streams.store(t.streams, Ordering::Relaxed);
+    shared.samples.store(t.samples, Ordering::Relaxed);
+    shared.events.store(t.events, Ordering::Relaxed);
+    shared.evicted.store(t.evicted, Ordering::Relaxed);
+    shared.closed.store(t.closed, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpd_core::streaming::SegmentEvent;
+
+    fn periodic(period: u64, start: u64, len: usize) -> Vec<i64> {
+        (0..len as u64)
+            .map(|i| ((start + i) % period) as i64)
+            .collect()
+    }
+
+    /// Round-robin workload: `streams` streams, stream `s` has period
+    /// `s % 7 + 2`, delivered as `rounds` rounds of `chunk`-sample records.
+    fn drive(svc: &mut MultiStreamDpd, streams: u64, chunk: usize, rounds: u64) {
+        for r in 0..rounds {
+            let owned: Vec<(StreamId, Vec<i64>)> = (0..streams)
+                .map(|s| (StreamId(s), periodic(s % 7 + 2, r * chunk as u64, chunk)))
+                .collect();
+            let records: Vec<(StreamId, &[i64])> =
+                owned.iter().map(|(s, v)| (*s, v.as_slice())).collect();
+            svc.ingest(&records);
+        }
+    }
+
+    fn by_stream(
+        events: &[MultiStreamEvent],
+    ) -> std::collections::BTreeMap<u64, Vec<MultiStreamEvent>> {
+        let mut m: std::collections::BTreeMap<u64, Vec<MultiStreamEvent>> = Default::default();
+        for &e in events {
+            m.entry(e.stream().0).or_default().push(e);
+        }
+        m
+    }
+
+    #[test]
+    fn sharded_matches_inline_reference() {
+        let mut reference = MultiStreamDpd::new(ServiceConfig::with_window(0, 8));
+        drive(&mut reference, 20, 6, 15);
+        let (ref_events, ref_snap) = reference.finish();
+
+        for shards in [1usize, 2, 4, 7] {
+            let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(shards, 8));
+            drive(&mut svc, 20, 6, 15);
+            let (events, snap) = svc.finish();
+            assert_eq!(
+                by_stream(&events),
+                by_stream(&ref_events),
+                "shards={shards}"
+            );
+            assert_eq!(snap.total().samples, ref_snap.total().samples);
+            assert_eq!(snap.total().events, ref_snap.total().events);
+            assert_eq!(snap.shards.len(), shards);
+        }
+    }
+
+    #[test]
+    fn eviction_equivalence_with_sweeps() {
+        // Idle gaps larger than the watermark + periodic sweeps in the
+        // sharded workers: per-stream events still match the reference.
+        let run = |shards: usize| {
+            let mut svc = MultiStreamDpd::new(ServiceConfig::with_eviction(shards, 8, 40));
+            // Stream 0 locks, goes idle past the watermark, comes back.
+            svc.push(StreamId(0), &periodic(3, 0, 30));
+            svc.push(StreamId(1), &periodic(4, 0, 120));
+            svc.push(StreamId(0), &periodic(3, 30, 30));
+            svc.push(StreamId(2), &periodic(5, 0, 200));
+            svc.finish()
+        };
+        let (ref_events, _) = run(0);
+        for shards in [1usize, 3, 4] {
+            let (events, _) = run(shards);
+            assert_eq!(
+                by_stream(&events),
+                by_stream(&ref_events),
+                "shards={shards}"
+            );
+        }
+        // The reference itself observed the eviction.
+        assert!(ref_events.iter().any(|e| matches!(
+            e,
+            MultiStreamEvent::Segment {
+                stream: StreamId(0),
+                event: SegmentEvent::PeriodStart { .. }
+            }
+        )));
+    }
+
+    #[test]
+    fn close_flushes_final_state() {
+        for shards in [0usize, 2] {
+            let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(shards, 8));
+            svc.push(StreamId(5), &periodic(4, 0, 40));
+            svc.close(StreamId(5));
+            svc.close(StreamId(99)); // unknown: silent no-op
+            svc.flush();
+            let events = svc.drain();
+            assert!(
+                events.contains(&MultiStreamEvent::Closed {
+                    stream: StreamId(5),
+                    samples: 40,
+                    period: Some(4),
+                }),
+                "shards={shards}: {events:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn flush_quiesces_queues() {
+        let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(3, 8));
+        drive(&mut svc, 30, 8, 10);
+        svc.flush();
+        let snap = svc.snapshot();
+        assert_eq!(snap.total().queue_depth, 0);
+        assert_eq!(snap.total().samples, 30 * 8 * 10);
+        assert_eq!(snap.total().streams, 30);
+        assert!(snap.total().batches > 0);
+        drop(svc);
+    }
+
+    #[test]
+    fn drain_mid_run_preserves_per_stream_order() {
+        let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(4, 8));
+        let mut collected = Vec::new();
+        for r in 0..12u64 {
+            drive(&mut svc, 10, 6, 1);
+            // Interleave drains with ingestion; ordering per stream must
+            // still be position-monotonic.
+            if r % 3 == 0 {
+                svc.flush();
+                collected.extend(svc.drain());
+            }
+        }
+        let (tail, _) = svc.finish();
+        collected.extend(tail);
+        for (stream, events) in by_stream(&collected) {
+            let positions: Vec<u64> = events
+                .iter()
+                .filter_map(|e| match e {
+                    MultiStreamEvent::Segment {
+                        event:
+                            SegmentEvent::PeriodStart { position, .. }
+                            | SegmentEvent::PeriodLost { position, .. },
+                        ..
+                    } => Some(*position),
+                    _ => None,
+                })
+                .collect();
+            assert!(
+                positions.windows(2).all(|w| w[0] < w[1]),
+                "stream {stream}: positions not monotonic: {positions:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn inline_snapshot_reports_single_shard() {
+        let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(0, 8));
+        svc.push(StreamId(1), &periodic(3, 0, 30));
+        let snap = svc.snapshot();
+        assert_eq!(snap.shards.len(), 1);
+        assert_eq!(snap.total().samples, 30);
+        assert_eq!(snap.total().streams, 1);
+    }
+
+    #[test]
+    fn finish_closes_every_live_stream() {
+        let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(2, 8));
+        drive(&mut svc, 9, 6, 10);
+        let (events, snap) = svc.finish();
+        let closed: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                MultiStreamEvent::Closed { stream, .. } => Some(stream.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(closed.len(), 9);
+        assert_eq!(snap.total().closed, 9);
+        assert_eq!(snap.total().streams, 0);
+    }
+
+    #[test]
+    fn empty_service_finishes_clean() {
+        let svc = MultiStreamDpd::new(ServiceConfig::with_window(3, 8));
+        let (events, snap) = svc.finish();
+        assert!(events.is_empty());
+        assert_eq!(snap.total().samples, 0);
+    }
+}

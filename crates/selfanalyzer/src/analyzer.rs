@@ -95,6 +95,64 @@ impl RegionInfo {
     }
 }
 
+/// Region bookkeeping shared by the single-stream [`SelfAnalyzer`] and the
+/// multi-stream [`crate::multistream::MultiStreamAnalyzer`]: the paper's
+/// `InitParallelRegion(address, length)` plus iteration timing.
+#[derive(Debug, Default)]
+pub struct RegionBook {
+    regions: Vec<RegionInfo>,
+    /// Index into `regions` of the region currently being timed.
+    active: Option<usize>,
+}
+
+impl RegionBook {
+    /// Empty book.
+    pub fn new() -> Self {
+        RegionBook::default()
+    }
+
+    /// Record a DPD period start for `(addr, period)` at time `t_ns` under
+    /// a `cpus`-processor allocation: find or create the region, close the
+    /// previously open iteration, open the next one.
+    pub fn note_period_start(&mut self, addr: i64, period: usize, t_ns: u64, cpus: usize) {
+        let idx = match self
+            .regions
+            .iter()
+            .position(|r| r.start_addr == addr && r.period == period)
+        {
+            Some(i) => i,
+            None => {
+                self.regions.push(RegionInfo::new(addr, period));
+                self.regions.len() - 1
+            }
+        };
+        // Close the open iteration of whichever region was active.
+        if let Some(active) = self.active {
+            if let Some(start) = self.regions[active].open_since.take() {
+                if t_ns > start {
+                    self.regions[active].iterations.push(IterationRecord {
+                        start_ns: start,
+                        end_ns: t_ns,
+                        cpus,
+                    });
+                }
+            }
+        }
+        self.regions[idx].open_since = Some(t_ns);
+        self.active = Some(idx);
+    }
+
+    /// Discovered regions, in discovery order.
+    pub fn regions(&self) -> &[RegionInfo] {
+        &self.regions
+    }
+
+    /// The region currently being timed.
+    pub fn active_region(&self) -> Option<&RegionInfo> {
+        self.active.map(|i| &self.regions[i])
+    }
+}
+
 /// The SelfAnalyzer: DPD-driven discovery and timing of parallel regions.
 ///
 /// # Examples
@@ -123,9 +181,7 @@ impl RegionInfo {
 #[derive(Debug)]
 pub struct SelfAnalyzer {
     dpd: Dpd,
-    regions: Vec<RegionInfo>,
-    /// Index into `regions` of the region currently being timed.
-    active: Option<usize>,
+    book: RegionBook,
     /// CPUs the application currently holds (set by the runtime/scheduler).
     cpus_now: usize,
     /// Total loop-call events processed.
@@ -137,8 +193,7 @@ impl SelfAnalyzer {
     pub fn new(dpd_window: usize, initial_cpus: usize) -> Self {
         SelfAnalyzer {
             dpd: Dpd::with_window(dpd_window),
-            regions: Vec::new(),
-            active: None,
+            book: RegionBook::new(),
             cpus_now: initial_cpus.max(1),
             events: 0,
         }
@@ -168,7 +223,8 @@ impl SelfAnalyzer {
             return None;
         }
         let period = period as usize;
-        self.handle_period_start(addr, period, t_ns);
+        self.book
+            .note_period_start(addr, period, t_ns, self.cpus_now);
         Some(period)
     }
 
@@ -192,50 +248,24 @@ impl SelfAnalyzer {
         self.events += addrs.len() as u64;
         let detections = self.dpd.dpd_batch(addrs);
         for &(offset, period) in &detections {
-            self.handle_period_start(addrs[offset], period as usize, times_ns[offset]);
+            self.book.note_period_start(
+                addrs[offset],
+                period as usize,
+                times_ns[offset],
+                self.cpus_now,
+            );
         }
         detections.len()
     }
 
-    /// The paper's `InitParallelRegion(address, length)` plus iteration
-    /// timing: find or create the region, close the previously open
-    /// iteration, open the next one.
-    fn handle_period_start(&mut self, addr: i64, period: usize, t_ns: u64) {
-        let idx = match self
-            .regions
-            .iter()
-            .position(|r| r.start_addr == addr && r.period == period)
-        {
-            Some(i) => i,
-            None => {
-                self.regions.push(RegionInfo::new(addr, period));
-                self.regions.len() - 1
-            }
-        };
-        // Close the open iteration of whichever region was active.
-        if let Some(active) = self.active {
-            if let Some(start) = self.regions[active].open_since.take() {
-                if t_ns > start {
-                    self.regions[active].iterations.push(IterationRecord {
-                        start_ns: start,
-                        end_ns: t_ns,
-                        cpus: self.cpus_now,
-                    });
-                }
-            }
-        }
-        self.regions[idx].open_since = Some(t_ns);
-        self.active = Some(idx);
-    }
-
     /// Discovered regions.
     pub fn regions(&self) -> &[RegionInfo] {
-        &self.regions
+        self.book.regions()
     }
 
     /// The region currently being timed.
     pub fn active_region(&self) -> Option<&RegionInfo> {
-        self.active.map(|i| &self.regions[i])
+        self.book.active_region()
     }
 
     /// Total loop-call events processed.

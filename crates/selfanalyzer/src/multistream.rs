@@ -1,0 +1,276 @@
+//! Multi-stream SelfAnalyzer: one analyzer, many instrumented loops.
+//!
+//! The single-stream [`SelfAnalyzer`](crate::SelfAnalyzer) dedicates one
+//! detector to one interposed call stream; instrumenting several sequential
+//! loops (or several processes) that way means one analyzer object per
+//! source, each with its own region list and no shared bookkeeping. The
+//! [`MultiStreamAnalyzer`] instead treats every instrumented loop id as one
+//! **logical stream** inside a single [`StreamTable`] — the same keyed
+//! multi-stream substrate the sharded service in `par-runtime` uses — and
+//! keeps per-stream [`RegionBook`]s for the paper's region timing.
+//!
+//! Period starts reported by the table carry the stream position of the
+//! triggering sample; the analyzer maps that position back to the address
+//! and timestamp inside the batch, so batched multi-stream feeding produces
+//! exactly the regions of per-call single-stream analysis.
+
+use crate::analyzer::{RegionBook, RegionInfo};
+use dpd_core::shard::{MultiStreamEvent, StreamId, StreamTable, TableConfig};
+use dpd_core::streaming::SegmentEvent;
+use std::collections::HashMap;
+
+/// A SelfAnalyzer over many concurrent instrumented streams.
+///
+/// # Examples
+/// ```
+/// use selfanalyzer::multistream::MultiStreamAnalyzer;
+///
+/// let mut msa = MultiStreamAnalyzer::new(8, 4);
+/// // Two instrumented main loops, interleaved: loop 1 has three parallel
+/// // loops per iteration, loop 2 has two.
+/// let l1 = [0x100i64, 0x140, 0x180];
+/// let l2 = [0x900i64, 0x940];
+/// for i in 0..60usize {
+///     msa.on_loop_calls(1, &[l1[i % 3]], &[i as u64 * 1_000]);
+///     msa.on_loop_calls(2, &[l2[i % 2]], &[i as u64 * 1_000 + 500]);
+/// }
+/// assert_eq!(msa.regions(1).unwrap()[0].period, 3);
+/// assert_eq!(msa.regions(2).unwrap()[0].period, 2);
+/// ```
+#[derive(Debug)]
+pub struct MultiStreamAnalyzer {
+    table: StreamTable,
+    books: HashMap<u64, RegionBook>,
+    scratch: Vec<MultiStreamEvent>,
+    /// Global sample clock across all instrumented streams.
+    seq: u64,
+    cpus_now: usize,
+    events: u64,
+}
+
+impl MultiStreamAnalyzer {
+    /// Analyzer with the given per-stream DPD window and initial CPU
+    /// allocation.
+    pub fn new(dpd_window: usize, initial_cpus: usize) -> Self {
+        MultiStreamAnalyzer::with_table(TableConfig::with_window(dpd_window), initial_cpus)
+    }
+
+    /// Analyzer over an explicit table configuration (e.g. with idle
+    /// eviction for deployments where instrumented processes come and go).
+    pub fn with_table(config: TableConfig, initial_cpus: usize) -> Self {
+        MultiStreamAnalyzer {
+            table: StreamTable::new(config),
+            books: HashMap::new(),
+            scratch: Vec::new(),
+            seq: 0,
+            cpus_now: initial_cpus.max(1),
+            events: 0,
+        }
+    }
+
+    /// Update the CPU allocation used to label subsequent iterations.
+    pub fn set_cpus(&mut self, cpus: usize) {
+        self.cpus_now = cpus.max(1);
+    }
+
+    /// The current CPU allocation.
+    pub fn cpus(&self) -> usize {
+        self.cpus_now
+    }
+
+    /// Total loop-call events processed across all streams.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Number of distinct instrumented streams seen so far.
+    pub fn streams(&self) -> usize {
+        self.books.len()
+    }
+
+    /// Instrumented stream ids, ascending.
+    pub fn stream_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.books.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Handle a batch of intercepted parallel-loop calls from one
+    /// instrumented loop: `addrs[i]` was called at `times_ns[i]`. Returns
+    /// the number of period starts observed in the batch.
+    ///
+    /// # Panics
+    /// Panics when `addrs` and `times_ns` have different lengths.
+    pub fn on_loop_calls(&mut self, loop_id: u64, addrs: &[i64], times_ns: &[u64]) -> usize {
+        assert_eq!(
+            addrs.len(),
+            times_ns.len(),
+            "addrs/times_ns length mismatch"
+        );
+        if addrs.is_empty() {
+            return 0;
+        }
+        self.events += addrs.len() as u64;
+        let stream = StreamId(loop_id);
+        self.scratch.clear();
+        self.table
+            .ingest(self.seq, stream, addrs, &mut self.scratch);
+        self.seq += addrs.len() as u64;
+        // Stream position of `addrs[0]`: whatever the (possibly freshly
+        // evicted-and-recreated) detector counted before this batch.
+        let base = self
+            .table
+            .stream_stats(stream)
+            .map(|s| s.samples - addrs.len() as u64)
+            .unwrap_or(0);
+        let book = self.books.entry(loop_id).or_default();
+        let mut starts = 0;
+        for e in &self.scratch {
+            if let MultiStreamEvent::Segment {
+                event: SegmentEvent::PeriodStart { period, position },
+                ..
+            } = e
+            {
+                let offset = (position - base) as usize;
+                book.note_period_start(addrs[offset], *period, times_ns[offset], self.cpus_now);
+                starts += 1;
+            }
+        }
+        starts
+    }
+
+    /// Regions discovered on one instrumented stream.
+    pub fn regions(&self, loop_id: u64) -> Option<&[RegionInfo]> {
+        self.books.get(&loop_id).map(|b| b.regions())
+    }
+
+    /// The region currently being timed on one instrumented stream.
+    pub fn active_region(&self, loop_id: u64) -> Option<&RegionInfo> {
+        self.books.get(&loop_id).and_then(|b| b.active_region())
+    }
+
+    /// The underlying multi-stream detector table (detector stats, locked
+    /// periods, lifecycle counters).
+    pub fn table(&self) -> &StreamTable {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SelfAnalyzer;
+
+    /// Interleave three instrumented loops and check each stream's regions
+    /// match a dedicated single-stream analyzer fed the same calls.
+    #[test]
+    fn matches_per_loop_single_stream_analyzers() {
+        let cycles: [&[i64]; 3] = [
+            &[0x100, 0x140, 0x180],
+            &[0x900, 0x940],
+            &[0x500, 0x540, 0x580, 0x5c0],
+        ];
+        let mut msa = MultiStreamAnalyzer::new(8, 2);
+        let mut singles: Vec<SelfAnalyzer> = (0..3).map(|_| SelfAnalyzer::new(8, 2)).collect();
+
+        let mut t = 0u64;
+        for i in 0..200usize {
+            for (id, cycle) in cycles.iter().enumerate() {
+                let addr = cycle[i % cycle.len()];
+                msa.on_loop_calls(id as u64, &[addr], &[t]);
+                singles[id].on_loop_call(addr, t);
+                t += 700;
+            }
+        }
+
+        assert_eq!(msa.streams(), 3);
+        for (id, single) in singles.iter().enumerate() {
+            let got = msa.regions(id as u64).unwrap();
+            assert_eq!(got, single.regions(), "loop {id}");
+            assert!(!got.is_empty(), "loop {id} found no regions");
+        }
+        assert_eq!(msa.events(), 600);
+    }
+
+    #[test]
+    fn batched_feeding_matches_per_call() {
+        let cycle = [0x100i64, 0x140, 0x180];
+        let addrs: Vec<i64> = (0..240).map(|i| cycle[i % 3]).collect();
+        let times: Vec<u64> = (0..240).map(|i| i as u64 * 2_500).collect();
+
+        let mut per_call = MultiStreamAnalyzer::new(8, 2);
+        for (&a, &t) in addrs.iter().zip(&times) {
+            per_call.on_loop_calls(7, &[a], &[t]);
+        }
+        let mut batched = MultiStreamAnalyzer::new(8, 2);
+        let mut starts = 0;
+        for i in (0..addrs.len()).step_by(100) {
+            let end = (i + 100).min(addrs.len());
+            starts += batched.on_loop_calls(7, &addrs[i..end], &times[i..end]);
+        }
+        assert_eq!(batched.regions(7).unwrap(), per_call.regions(7).unwrap());
+        assert!(starts > 0);
+    }
+
+    #[test]
+    fn speedup_per_stream() {
+        let mut msa = MultiStreamAnalyzer::new(8, 1);
+        let cycle = [0x100i64, 0x140, 0x180];
+        let mut t = 0u64;
+        for i in 0..90usize {
+            msa.on_loop_calls(3, &[cycle[i % 3]], &[t]);
+            t += 4_000;
+        }
+        msa.set_cpus(4);
+        for i in 90..300usize {
+            msa.on_loop_calls(3, &[cycle[i % 3]], &[t]);
+            t += 1_100;
+        }
+        let r = &msa.regions(3).unwrap()[0];
+        let s = r.speedup(1, 4).expect("both buckets measured");
+        let expected = 4_000.0 / 1_100.0;
+        assert!((s - expected).abs() / expected < 0.15, "speedup {s}");
+    }
+
+    #[test]
+    fn eviction_recovers_position_mapping() {
+        // Watermark 20: loop 1 goes idle while loop 2 streams, then
+        // returns; the position base must follow the fresh detector.
+        let mut msa = MultiStreamAnalyzer::with_table(TableConfig::with_eviction(8, 20), 2);
+        let c1 = [0x100i64, 0x140];
+        let c2 = [0x900i64, 0x940, 0x980];
+        let mut t = 0u64;
+        for i in 0..40usize {
+            msa.on_loop_calls(1, &[c1[i % 2]], &[t]);
+            t += 1_000;
+        }
+        for i in 0..200usize {
+            msa.on_loop_calls(2, &[c2[i % 3]], &[t]);
+            t += 1_000;
+        }
+        for i in 0..40usize {
+            msa.on_loop_calls(1, &[c1[i % 2]], &[t]);
+            t += 1_000;
+        }
+        assert_eq!(msa.table().stats().evicted, 1);
+        let r = msa.regions(1).unwrap();
+        assert!(r.iter().any(|r| r.period == 2), "{r:?}");
+        // Iterations timed on both sides of the idle gap.
+        assert!(r[0].iterations.len() > 10);
+    }
+
+    #[test]
+    fn unknown_stream_has_no_regions() {
+        let msa = MultiStreamAnalyzer::new(8, 1);
+        assert!(msa.regions(42).is_none());
+        assert!(msa.active_region(42).is_none());
+        assert_eq!(msa.streams(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn batch_length_mismatch_panics() {
+        let mut msa = MultiStreamAnalyzer::new(8, 1);
+        msa.on_loop_calls(1, &[1, 2, 3], &[0, 1]);
+    }
+}

@@ -91,6 +91,79 @@ pub fn cpu_burst_shape(period: usize, max_cpus: f64) -> Vec<f64> {
     shape
 }
 
+/// The period assigned to stream `s` of an interleaved multi-stream
+/// schedule: cycles 2..=13 so neighbouring streams differ.
+pub fn interleaved_stream_period(stream: u64) -> usize {
+    (stream % 12) as usize + 2
+}
+
+/// Build an interleaved multi-stream record schedule: `streams` concurrent
+/// periodic streams delivered as `rounds` round-robin rounds of
+/// `chunk`-sample records — the shape a high-fan-in ingestion frontend
+/// sees when thousands of traced applications report concurrently.
+///
+/// Stream `s` carries an exactly periodic event stream of period
+/// [`interleaved_stream_period`]`(s)`, value-offset by `s` so streams do
+/// not alias. Records preserve per-stream sample order; the returned
+/// schedule has `streams * rounds` records of `chunk` samples each.
+pub fn interleaved_streams(streams: u64, chunk: usize, rounds: usize) -> Vec<(u64, Vec<i64>)> {
+    assert!(
+        streams > 0 && chunk > 0 && rounds > 0,
+        "degenerate schedule"
+    );
+    let mut schedule = Vec::with_capacity(streams as usize * rounds);
+    for round in 0..rounds {
+        for s in 0..streams {
+            let period = interleaved_stream_period(s) as u64;
+            let base = (round * chunk) as u64;
+            let record: Vec<i64> = (0..chunk as u64)
+                .map(|i| 0x1000 + (s as i64) * 0x100 + ((base + i) % period) as i64)
+                .collect();
+            schedule.push((s, record));
+        }
+    }
+    schedule
+}
+
+/// Shuffle an interleaved schedule's records while preserving each stream's
+/// internal record order (the only ordering a keyed ingestion layer may
+/// rely on). `tests/proptest_multistream.rs` uses this to check shard
+/// routing under adversarial arrival orders.
+pub fn shuffle_preserving_stream_order<R: Rng>(schedule: &mut [(u64, Vec<i64>)], rng: &mut R) {
+    // Fisher–Yates over record slots, then stable re-sort of each stream's
+    // records back into original relative order by tagging them first.
+    let tagged: Vec<(usize, u64)> = schedule
+        .iter()
+        .enumerate()
+        .map(|(i, (s, _))| (i, *s))
+        .collect();
+    let mut order: Vec<usize> = (0..schedule.len()).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        order.swap(i, j);
+    }
+    // For each stream, the records must appear in their original relative
+    // order: collect per-stream original indices, then walk the shuffled
+    // slot order assigning each stream's next-unused record.
+    let mut per_stream: std::collections::HashMap<u64, std::collections::VecDeque<usize>> =
+        Default::default();
+    for &(i, s) in &tagged {
+        per_stream.entry(s).or_default().push_back(i);
+    }
+    let mut result: Vec<(u64, Vec<i64>)> = Vec::with_capacity(schedule.len());
+    for &slot in &order {
+        let stream = tagged[slot].1;
+        let original = per_stream
+            .get_mut(&stream)
+            .and_then(|q| q.pop_front())
+            .expect("every slot maps to a record");
+        result.push(std::mem::take(&mut schedule[original]));
+    }
+    for (dst, src) in schedule.iter_mut().zip(result) {
+        *dst = src;
+    }
+}
+
 /// An aperiodic event stream (strictly increasing identifiers) used as a
 /// negative control: no window can find a periodicity in it.
 pub fn aperiodic_events(len: usize) -> Vec<i64> {
@@ -220,6 +293,54 @@ mod tests {
         assert_eq!(drop_events(&base, 0.0, &mut rng), base);
         let all = drop_events(&base, 1.0, &mut rng);
         assert!(all.iter().all(|&v| v >= 0x7FFF_0000));
+    }
+
+    #[test]
+    fn interleaved_schedule_shape_and_periodicity() {
+        let schedule = interleaved_streams(5, 8, 6);
+        assert_eq!(schedule.len(), 5 * 6);
+        // Round-robin: first 5 records cover streams 0..5 in order.
+        let first: Vec<u64> = schedule[..5].iter().map(|(s, _)| *s).collect();
+        assert_eq!(first, vec![0, 1, 2, 3, 4]);
+        // Concatenating one stream's records yields an exactly periodic
+        // stream of its assigned period.
+        for s in 0..5u64 {
+            let mut whole = Vec::new();
+            for (id, rec) in &schedule {
+                if *id == s {
+                    whole.extend_from_slice(rec);
+                }
+            }
+            assert_eq!(whole.len(), 48);
+            let p = interleaved_stream_period(s);
+            for i in p..whole.len() {
+                assert_eq!(whole[i], whole[i - p], "stream {s} at {i}");
+            }
+        }
+        // Streams do not alias: alphabets are disjoint.
+        assert_ne!(schedule[0].1[0], schedule[1].1[0]);
+    }
+
+    #[test]
+    fn shuffle_preserves_per_stream_order() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let reference = interleaved_streams(4, 3, 10);
+        let mut shuffled = reference.clone();
+        shuffle_preserving_stream_order(&mut shuffled, &mut rng);
+        assert_ne!(shuffled, reference, "shuffle changed nothing");
+        for s in 0..4u64 {
+            let expect: Vec<&Vec<i64>> = reference
+                .iter()
+                .filter(|(id, _)| *id == s)
+                .map(|(_, r)| r)
+                .collect();
+            let got: Vec<&Vec<i64>> = shuffled
+                .iter()
+                .filter(|(id, _)| *id == s)
+                .map(|(_, r)| r)
+                .collect();
+            assert_eq!(got, expect, "stream {s}");
+        }
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //!   segmentation, nested periods, prediction, window autotuning.
 //! * [`trace`] — event/sampled trace types, generators and I/O.
 //! * [`runtime`] — the parallel runtime substrate: thread pool, parallel
-//!   loops, CPU-usage accounting and the virtual-time multiprocessor.
+//!   loops, CPU-usage accounting, the virtual-time multiprocessor, and the
+//!   sharded multi-stream DPD service.
 //! * [`interpose`] — DITools-style call interposition.
 //! * [`analyzer`] — the SelfAnalyzer: run-time speedup computation.
 //! * [`apps`] — the paper's evaluation workloads (SPECfp95 + NAS FT shapes).
