@@ -1,0 +1,155 @@
+//! Trace persistence throughput: text format vs the DTB binary container.
+//!
+//! The corpus is the multi-stream shape the sharded service replays: 10k
+//! concurrent periodic streams of 128 samples each (1.28M samples total,
+//! `dpd_trace::gen::interleaved_streams`). Four measurements:
+//!
+//! * `parse/*` — pure decode cost: text is one doc per stream (the
+//!   `dpd multistream DIR` layout), DTB is a single container holding all
+//!   10k streams;
+//! * `replay/*` — decode + end-to-end ingestion through the inline
+//!   (`shards = 0`) multi-stream service, i.e. what `dpd multistream`
+//!   does for a persisted corpus.
+//!
+//! The DTB decode path is what `BENCH_3.json` regression-gates: losing
+//! the near-memcpy property (e.g. an accidental per-block allocation)
+//! shows up here first.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dpd_core::shard::StreamId;
+use dpd_trace::dtb::{Block, DtbReader, DtbWriter};
+use dpd_trace::gen::interleaved_streams;
+use dpd_trace::{io, EventTrace};
+use par_runtime::service::{MultiStreamDpd, ServiceConfig};
+use std::hint::black_box;
+
+const STREAMS: u64 = 10_000;
+const CHUNK: usize = 64;
+const ROUNDS: usize = 2;
+const WINDOW: usize = 16;
+
+/// Per-stream text documents (the `multistream` directory layout).
+fn text_corpus(schedule: &[(u64, Vec<i64>)]) -> Vec<Vec<u8>> {
+    let mut traces: Vec<EventTrace> = (0..STREAMS)
+        .map(|s| EventTrace::new(format!("s{s}")))
+        .collect();
+    for (id, rec) in schedule {
+        traces[*id as usize].extend(rec.iter().copied());
+    }
+    traces
+        .iter()
+        .map(|t| {
+            let mut doc = Vec::new();
+            io::write_events(t, &mut doc).expect("in-memory write");
+            doc
+        })
+        .collect()
+}
+
+/// One DTB container holding every stream, written in arrival order.
+fn dtb_corpus(schedule: &[(u64, Vec<i64>)]) -> Vec<u8> {
+    let mut w = DtbWriter::new(Vec::new()).expect("in-memory write");
+    for s in 0..STREAMS {
+        w.declare_events(s, &format!("s{s}")).unwrap();
+    }
+    for (id, rec) in schedule {
+        w.push_events(*id, rec).unwrap();
+    }
+    w.finish().unwrap()
+}
+
+fn parse_text(docs: &[Vec<u8>]) -> usize {
+    let mut total = 0usize;
+    for doc in docs {
+        let t = io::read_events(&doc[..]).expect("valid text doc");
+        total += t.len();
+    }
+    total
+}
+
+fn parse_dtb(bytes: &[u8]) -> usize {
+    let mut total = 0usize;
+    let mut r = DtbReader::new(bytes).expect("valid container");
+    while let Some(block) = r.next_block() {
+        if let Block::Events { values, .. } = block.expect("uncorrupted corpus") {
+            total += values.len();
+        }
+    }
+    total
+}
+
+fn replay_text(docs: &[Vec<u8>]) -> u64 {
+    let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(0, WINDOW));
+    for (s, doc) in docs.iter().enumerate() {
+        let t = io::read_events(&doc[..]).expect("valid text doc");
+        svc.ingest(&[(StreamId(s as u64), &t.values)]);
+    }
+    let (_, snapshot) = svc.finish();
+    snapshot.total().samples
+}
+
+fn replay_dtb(bytes: &[u8]) -> u64 {
+    let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(0, WINDOW));
+    let mut r = DtbReader::new(bytes).expect("valid container");
+    while let Some(block) = r.next_block() {
+        if let Block::Events { stream, values } = block.expect("uncorrupted corpus") {
+            // The reader's borrowed batch feeds ingest directly — no copy.
+            svc.ingest(&[(StreamId(stream), values)]);
+        }
+    }
+    let (_, snapshot) = svc.finish();
+    snapshot.total().samples
+}
+
+fn bench_trace_io(c: &mut Criterion) {
+    let schedule = interleaved_streams(STREAMS, CHUNK, ROUNDS);
+    let total = (schedule.len() * CHUNK) as u64;
+    let docs = text_corpus(&schedule);
+    let bytes = dtb_corpus(&schedule);
+    let text_size: usize = docs.iter().map(Vec::len).sum();
+
+    let mut g = c.benchmark_group("trace_io");
+    g.throughput(Throughput::Elements(total));
+    g.bench_function("parse/text_10k_streams", |b| {
+        b.iter(|| {
+            let n = parse_text(black_box(&docs));
+            assert_eq!(n as u64, total);
+            n
+        })
+    });
+    g.bench_function("parse/dtb_10k_streams", |b| {
+        b.iter(|| {
+            let n = parse_dtb(black_box(&bytes));
+            assert_eq!(n as u64, total);
+            n
+        })
+    });
+    g.bench_function("replay/text_10k_streams", |b| {
+        b.iter(|| {
+            let n = replay_text(black_box(&docs));
+            assert_eq!(n, total);
+            n
+        })
+    });
+    g.bench_function("replay/dtb_10k_streams", |b| {
+        b.iter(|| {
+            let n = replay_dtb(black_box(&bytes));
+            assert_eq!(n, total);
+            n
+        })
+    });
+    g.finish();
+
+    eprintln!(
+        "trace_io corpus: {} streams x {} samples = {} samples; text {} bytes, dtb {} bytes ({:.1}x smaller)",
+        STREAMS,
+        CHUNK * ROUNDS,
+        total,
+        text_size,
+        bytes.len(),
+        text_size as f64 / bytes.len() as f64,
+    );
+}
+
+criterion_group!(benches, bench_trace_io);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Multiprogrammed scheduling simulation ([Corbalan2000] claim, §5.1).
+//! Multiprogrammed scheduling simulation (\[Corbalan2000\] claim, §5.1).
 //!
 //! Uses the SelfAnalyzer-measured speedup curve of a real workload plus
 //! co-runner profiles to simulate several iterative jobs time-sharing a

@@ -1,6 +1,6 @@
 //! Reproduces the paper's **§5 case study**: the DPD + SelfAnalyzer
 //! pipeline computing per-region speedups at run time, and the
-//! performance-driven processor allocation it enables ([Corbalan2000]).
+//! performance-driven processor allocation it enables (\[Corbalan2000\]).
 //!
 //! Protocol (paper §5): the SelfAnalyzer times iterations of the main loop
 //! delimited by DPD period starts; the first iterations run with a baseline

@@ -16,6 +16,8 @@
 //! | bench `apps`           | full-trace detection per application |
 //! | bench `window_sweep`   | window-size ablation N ∈ {16..1024} |
 //! | bench `machine`        | virtual machine + thread-pool substrate |
+//! | bench `multistream`    | sharded service end-to-end throughput |
+//! | bench `trace_io`       | text vs DTB parse/replay throughput |
 //!
 //! This library hosts the small shared helpers the binaries use.
 

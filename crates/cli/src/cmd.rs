@@ -7,19 +7,25 @@ use dpd_core::detector::FrameDetector;
 use dpd_core::segmentation::segment_events;
 use dpd_core::shard::{MultiStreamEvent, StreamId};
 use dpd_core::streaming::MultiScaleDpd;
-use dpd_trace::{gen, io, EventTrace};
+use dpd_trace::io::TraceFormat;
+use dpd_trace::{dtb, gen, io, EventTrace, SampledTrace};
 use par_runtime::service::{MultiStreamDpd, ServiceConfig};
 use spec_apps::app::RunConfig;
 use std::fmt::Write as _;
 
 /// Usage text shown on errors.
 pub const USAGE: &str = "usage:
-  dpd generate --kind periodic|nested|aperiodic [--period P] [--len N] --out FILE
-  dpd apps --app tomcatv|swim|apsi|hydro2d|turb3d --out FILE
+  dpd generate --kind periodic|nested|aperiodic [--period P] [--len N] [--format text|dtb] --out FILE
+  dpd apps --app tomcatv|swim|apsi|hydro2d|turb3d [--format text|dtb] --out FILE
+  dpd convert FILE --out FILE [--to text|dtb]
   dpd analyze FILE [--scales 8,64,512]
   dpd spectrum FILE [--window 128]
   dpd segment FILE [--window 64]
-  dpd multistream DIR [--shards 4] [--window 64] [--chunk 256]";
+  dpd multistream DIR [--shards 4] [--window 64] [--chunk 256]
+
+Trace files are text or DTB binary containers; every reader auto-detects
+the format by magic, and a multistream DIR may mix both (a single .dtb
+file can carry many streams).";
 
 /// A parsed flag set: positional args + `--key value` pairs.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -75,6 +81,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
     match cmd.as_str() {
         "generate" => generate(&flags),
         "apps" => apps(&flags),
+        "convert" => convert(&flags),
         "analyze" => analyze(&flags),
         "spectrum" => spectrum(&flags),
         "segment" => segment(&flags),
@@ -89,7 +96,26 @@ fn load_events(flags: &Flags) -> Result<EventTrace, String> {
         .first()
         .ok_or("expected a trace file argument")?;
     let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    io::read_events(file).map_err(|e| e.to_string())
+    io::read_events_auto(file).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Parse `--format` / `--to` into a [`TraceFormat`].
+fn parse_format(value: &str) -> Result<TraceFormat, String> {
+    match value {
+        "text" => Ok(TraceFormat::Text),
+        "dtb" => Ok(TraceFormat::Dtb),
+        other => Err(format!("unknown trace format {other:?} (text|dtb)")),
+    }
+}
+
+/// Write an event trace to `path` in the requested format.
+fn write_events_as(trace: &EventTrace, path: &str, format: TraceFormat) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    let file = std::io::BufWriter::new(file);
+    match format {
+        TraceFormat::Text => io::write_events(trace, file).map_err(|e| e.to_string()),
+        TraceFormat::Dtb => dtb::write_events(trace, file).map_err(|e| e.to_string()),
+    }
 }
 
 fn generate(flags: &Flags) -> Result<String, String> {
@@ -110,25 +136,151 @@ fn generate(flags: &Flags) -> Result<String, String> {
         other => return Err(format!("unknown --kind {other:?}")),
     };
     let trace = EventTrace::from_values(kind, values);
-    let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
-    io::write_events(&trace, file).map_err(|e| e.to_string())?;
+    let format = parse_format(flags.get("format").unwrap_or("text"))?;
+    write_events_as(&trace, out, format)?;
     Ok(format!("wrote {} events to {out}\n", trace.len()))
 }
 
 fn apps(flags: &Flags) -> Result<String, String> {
     let name = flags.get("app").ok_or("apps requires --app NAME")?;
     let out = flags.get("out").ok_or("apps requires --out FILE")?;
+    let format = parse_format(flags.get("format").unwrap_or("text"))?;
     let app = spec_apps::spec_apps()
         .into_iter()
         .find(|a| a.name() == name)
         .ok_or_else(|| format!("unknown app {name:?}"))?;
     let run = app.run(&RunConfig::default());
-    let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
-    io::write_events(&run.addresses, file).map_err(|e| e.to_string())?;
+    write_events_as(&run.addresses, out, format)?;
     Ok(format!(
         "ran {name}: {} loop-call events written to {out}\n",
         run.addresses.len()
     ))
+}
+
+/// Streams of a DTB container with their original ids, one list per kind.
+type DtbStreams = (Vec<(u64, EventTrace)>, Vec<(u64, SampledTrace)>);
+
+/// Decode every stream of a DTB container, keeping original stream ids
+/// (declaration order preserved).
+fn read_dtb_streams(bytes: &[u8]) -> Result<DtbStreams, dtb::DtbError> {
+    let mut reader = dtb::DtbReader::new(bytes)?;
+    let mut events: Vec<(u64, EventTrace)> = Vec::new();
+    let mut sampled: Vec<(u64, SampledTrace)> = Vec::new();
+    while let Some(block) = reader.next_block() {
+        match block? {
+            dtb::Block::Decl { stream, meta } => match meta.kind {
+                dtb::StreamKind::Events => {
+                    if !events.iter().any(|(id, _)| *id == stream) {
+                        events.push((stream, EventTrace::new(meta.name.clone())));
+                    }
+                }
+                dtb::StreamKind::Sampled => {
+                    if !sampled.iter().any(|(id, _)| *id == stream) {
+                        sampled.push((
+                            stream,
+                            SampledTrace::new(meta.name.clone(), meta.sample_period_ns),
+                        ));
+                    }
+                }
+            },
+            dtb::Block::Events { stream, values } => {
+                let (_, t) = events
+                    .iter_mut()
+                    .find(|(id, _)| *id == stream)
+                    .expect("decl enforced by the reader");
+                t.values.extend_from_slice(values);
+            }
+            dtb::Block::Samples { stream, values } => {
+                let (_, t) = sampled
+                    .iter_mut()
+                    .find(|(id, _)| *id == stream)
+                    .expect("decl enforced by the reader");
+                t.values.extend_from_slice(values);
+            }
+        }
+    }
+    Ok((events, sampled))
+}
+
+/// `dpd convert IN --out OUT [--to text|dtb]`: transcode a trace file
+/// between the text format and the DTB binary container. The input format
+/// is auto-detected; `--to` defaults to the *other* format. DTB stream ids
+/// are preserved on DTB output (text input becomes stream 0). A
+/// multi-stream DTB container converts to text only when it holds exactly
+/// one stream (the text format is single-stream by construction).
+fn convert(flags: &Flags) -> Result<String, String> {
+    let path = flags
+        .positional
+        .first()
+        .ok_or("convert expects an input trace file")?;
+    let out = flags.get("out").ok_or("convert requires --out FILE")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    let from = io::detect_format(&bytes)
+        .ok_or_else(|| format!("{path}: neither a text trace nor a DTB container"))?;
+    let to = match flags.get("to") {
+        Some(v) => parse_format(v)?,
+        None => match from {
+            TraceFormat::Text => TraceFormat::Dtb,
+            TraceFormat::Dtb => TraceFormat::Text,
+        },
+    };
+
+    // Decode every stream the input holds, keeping stream ids.
+    let (events, sampled): DtbStreams = match from {
+        TraceFormat::Dtb => read_dtb_streams(&bytes).map_err(|e| format!("{path}: {e}"))?,
+        TraceFormat::Text => match io::read_events(&bytes[..]) {
+            Ok(t) => (vec![(0, t)], Vec::new()),
+            Err(io::TraceIoError::WrongKind { .. }) => {
+                let s = io::read_sampled(&bytes[..]).map_err(|e| format!("{path}: {e}"))?;
+                (Vec::new(), vec![(0, s)])
+            }
+            Err(e) => return Err(format!("{path}: {e}")),
+        },
+    };
+    let values: usize = events.iter().map(|(_, t)| t.len()).sum::<usize>()
+        + sampled.iter().map(|(_, t)| t.len()).sum::<usize>();
+
+    let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    let file = std::io::BufWriter::new(file);
+    match to {
+        TraceFormat::Dtb => {
+            let mut w = dtb::DtbWriter::new(file).map_err(|e| e.to_string())?;
+            for (id, t) in &events {
+                w.declare_events(*id, &t.name).map_err(|e| e.to_string())?;
+                w.push_events(*id, &t.values).map_err(|e| e.to_string())?;
+            }
+            for (id, t) in &sampled {
+                w.declare_sampled(*id, &t.name, t.sample_period_ns)
+                    .map_err(|e| e.to_string())?;
+                w.push_samples(*id, &t.values).map_err(|e| e.to_string())?;
+            }
+            w.finish().map_err(|e| e.to_string())?;
+        }
+        TraceFormat::Text => match (events.as_slice(), sampled.as_slice()) {
+            ([(_, t)], []) => io::write_events(t, file).map_err(|e| e.to_string())?,
+            ([], [(_, s)]) => io::write_sampled(s, file).map_err(|e| e.to_string())?,
+            _ => {
+                return Err(format!(
+                    "{path} holds {} event + {} sampled streams; the text format \
+                     is single-stream — convert streams individually",
+                    events.len(),
+                    sampled.len()
+                ))
+            }
+        },
+    }
+    let (from_s, to_s) = (fmt_name(from), fmt_name(to));
+    Ok(format!(
+        "converted {} stream(s), {values} values: {from_s} -> {to_s}, wrote {out}\n",
+        events.len() + sampled.len()
+    ))
+}
+
+fn fmt_name(f: TraceFormat) -> &'static str {
+    match f {
+        TraceFormat::Text => "text",
+        TraceFormat::Dtb => "dtb",
+    }
 }
 
 fn analyze(flags: &Flags) -> Result<String, String> {
@@ -217,11 +369,30 @@ fn multistream(flags: &Flags) -> Result<String, String> {
     if paths.is_empty() {
         return Err(format!("no trace files in {dir}"));
     }
+    // Text files carry one stream each; a DTB container may carry many —
+    // expand each container into its event streams, in declaration order.
+    // Sampled streams are not replayable here (the service ingests event
+    // values), so they are counted and reported, not silently dropped.
     let mut traces = Vec::with_capacity(paths.len());
+    let mut skipped_sampled = 0usize;
     for p in &paths {
-        let file = std::fs::File::open(p).map_err(|e| format!("open {}: {e}", p.display()))?;
-        let trace = io::read_events(file).map_err(|e| format!("{}: {e}", p.display()))?;
-        traces.push(trace);
+        let bytes = std::fs::read(p).map_err(|e| format!("read {}: {e}", p.display()))?;
+        match io::detect_format(&bytes) {
+            Some(TraceFormat::Dtb) => {
+                let (events, sampled) =
+                    dtb::read_all(&bytes).map_err(|e| format!("{}: {e}", p.display()))?;
+                if events.is_empty() {
+                    return Err(format!("{}: container holds no event stream", p.display()));
+                }
+                skipped_sampled += sampled.len();
+                traces.extend(events);
+            }
+            _ => {
+                let trace =
+                    io::read_events(&bytes[..]).map_err(|e| format!("{}: {e}", p.display()))?;
+                traces.push(trace);
+            }
+        }
     }
 
     // Replay all traces concurrently: round-robin chunks until exhausted,
@@ -262,6 +433,14 @@ fn multistream(flags: &Flags) -> Result<String, String> {
         total as f64 / elapsed.as_secs_f64().max(1e-9) / 1e6,
     )
     .unwrap();
+    if skipped_sampled > 0 {
+        writeln!(
+            out,
+            "note: skipped {skipped_sampled} sampled stream(s) in .dtb containers \
+             (multistream replays event streams only)"
+        )
+        .unwrap();
+    }
     for e in &events {
         if let MultiStreamEvent::Closed {
             stream,
@@ -408,6 +587,153 @@ mod tests {
             assert!(out.contains("period 5 at close"), "{out}");
             assert!(out.contains("period 7 at close"), "{out}");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn convert_roundtrips_text_dtb_text_bit_identically() {
+        let dir = std::env::temp_dir().join("dpd-cli-convert-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for kind in ["periodic", "nested", "aperiodic"] {
+            let text1 = dir.join(format!("{kind}.trace"));
+            let bin = dir.join(format!("{kind}.dtb"));
+            let text2 = dir.join(format!("{kind}.back.trace"));
+            let (t1, b, t2) = (
+                text1.to_str().unwrap().to_string(),
+                bin.to_str().unwrap().to_string(),
+                text2.to_str().unwrap().to_string(),
+            );
+            dispatch(&argv(&format!(
+                "generate --kind {kind} --len 3000 --out {t1}"
+            )))
+            .unwrap();
+            let out = dispatch(&argv(&format!("convert {t1} --out {b}"))).unwrap();
+            assert!(out.contains("text -> dtb"), "{out}");
+            let out = dispatch(&argv(&format!("convert {b} --out {t2}"))).unwrap();
+            assert!(out.contains("dtb -> text"), "{out}");
+            assert_eq!(
+                std::fs::read(&text1).unwrap(),
+                std::fs::read(&text2).unwrap(),
+                "{kind}: text -> dtb -> text not bit-identical"
+            );
+            // The binary file is the smaller artifact on periodic streams.
+            if kind == "periodic" {
+                assert!(
+                    std::fs::metadata(&bin).unwrap().len()
+                        < std::fs::metadata(&text1).unwrap().len()
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generate_dtb_analyzes_like_text() {
+        let dir = std::env::temp_dir().join("dpd-cli-dtb-analyze-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.dtb");
+        let p = path.to_str().unwrap().to_string();
+        dispatch(&argv(&format!(
+            "generate --kind periodic --period 7 --len 2000 --format dtb --out {p}"
+        )))
+        .unwrap();
+        let out = dispatch(&argv(&format!("analyze {p}"))).unwrap();
+        assert!(out.contains("detected periodicities: [7]"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multistream_replays_dtb_container() {
+        use dpd_trace::dtb::DtbWriter;
+        let dir = std::env::temp_dir().join("dpd-cli-multistream-dtb-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // One container holding all three streams (vs three text files).
+        let file = std::fs::File::create(dir.join("all.dtb")).unwrap();
+        let mut w = DtbWriter::new(file).unwrap();
+        for (id, (name, period)) in [("a", 3usize), ("b", 5), ("c", 7)].iter().enumerate() {
+            let pattern: Vec<i64> = (0..*period).map(|i| 0x1000 + i as i64).collect();
+            w.declare_events(id as u64, name).unwrap();
+            w.push_events(id as u64, &gen::periodic_events(&pattern, 3000))
+                .unwrap();
+        }
+        w.finish().unwrap();
+        for shards in [0usize, 3] {
+            let out = dispatch(&argv(&format!(
+                "multistream {} --shards {shards} --window 16 --chunk 128",
+                dir.to_str().unwrap()
+            )))
+            .unwrap();
+            assert!(out.contains("replayed 3 streams (9000 samples)"), "{out}");
+            for period in [3, 5, 7] {
+                assert!(out.contains(&format!("period {period} at close")), "{out}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn convert_dtb_to_dtb_preserves_stream_ids() {
+        use dpd_trace::dtb::{DtbReader, DtbWriter};
+        let dir = std::env::temp_dir().join("dpd-cli-convert-ids");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("src.dtb");
+        let dst = dir.join("dst.dtb");
+        let mut w = DtbWriter::new(std::fs::File::create(&src).unwrap()).unwrap();
+        for id in [17u64, 42] {
+            w.declare_events(id, &format!("s{id}")).unwrap();
+            w.push_events(id, &[1, 2, 3]).unwrap();
+        }
+        w.finish().unwrap();
+        dispatch(&argv(&format!(
+            "convert {} --to dtb --out {}",
+            src.to_str().unwrap(),
+            dst.to_str().unwrap()
+        )))
+        .unwrap();
+        let bytes = std::fs::read(&dst).unwrap();
+        let mut r = DtbReader::new(&bytes).unwrap();
+        while r.next_block().is_some() {}
+        assert_eq!(r.stream_ids(), vec![17, 42], "stream ids renumbered");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multistream_reports_skipped_sampled_streams() {
+        use dpd_trace::dtb::DtbWriter;
+        let dir = std::env::temp_dir().join("dpd-cli-multistream-sampled");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut w = DtbWriter::new(std::fs::File::create(dir.join("mix.dtb")).unwrap()).unwrap();
+        w.declare_events(0, "e").unwrap();
+        w.push_events(0, &gen::periodic_events(&[1, 2, 3], 600))
+            .unwrap();
+        w.declare_sampled(1, "cpu", 1_000_000).unwrap();
+        w.push_samples(1, &[1.0, 2.0, 4.0]).unwrap();
+        w.finish().unwrap();
+        let out = dispatch(&argv(&format!(
+            "multistream {} --shards 0 --window 8",
+            dir.to_str().unwrap()
+        )))
+        .unwrap();
+        assert!(out.contains("replayed 1 streams (600 samples)"), "{out}");
+        assert!(out.contains("skipped 1 sampled stream(s)"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn convert_rejects_unknown_format() {
+        let dir = std::env::temp_dir().join("dpd-cli-convert-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("junk");
+        std::fs::write(&path, b"not a trace at all").unwrap();
+        let err = dispatch(&argv(&format!(
+            "convert {} --out /tmp/x.dtb",
+            path.to_str().unwrap()
+        )))
+        .unwrap_err();
+        assert!(
+            err.contains("neither a text trace nor a DTB container"),
+            "{err}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -2,12 +2,17 @@
 //!
 //! ```text
 //! dpd generate --kind periodic --period 6 --len 5000 --out trace.txt
-//! dpd generate --kind nested --out trace.txt
+//! dpd generate --kind nested --format dtb --out trace.dtb
 //! dpd apps --app tomcatv --out tomcatv.trace
+//! dpd convert trace.txt --out trace.dtb
 //! dpd analyze trace.txt [--scales 8,64,512]
 //! dpd spectrum trace.txt [--window 128]
 //! dpd segment trace.txt [--window 64]
+//! dpd multistream traces/ [--shards 4]
 //! ```
+//!
+//! Trace files are the text format or DTB binary containers; every
+//! reader auto-detects the format by magic (see `docs/FORMAT.md`).
 
 use std::process::ExitCode;
 

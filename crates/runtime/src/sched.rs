@@ -106,7 +106,7 @@ impl AllocationPolicy for Equipartition {
 }
 
 /// Performance-driven allocation: greedy marginal-gain water-filling using
-/// the run-time measured speedup curves ([Corbalan2000]).
+/// the run-time measured speedup curves (\[Corbalan2000\]).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PerformanceDriven;
 

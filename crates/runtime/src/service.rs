@@ -192,6 +192,37 @@ enum Mode {
 /// assert!(events.iter().any(|e| e.stream() == StreamId(1)));
 /// assert!(events.iter().any(|e| e.stream() == StreamId(2)));
 /// ```
+///
+/// Replaying a persisted DTB trace container (the wire-speed ingestion
+/// path — the reader's event batches feed `ingest` without copying):
+///
+/// ```
+/// use dpd_core::shard::StreamId;
+/// use dpd_trace::dtb::{Block, DtbReader, DtbWriter};
+/// use par_runtime::service::{MultiStreamDpd, ServiceConfig};
+///
+/// // Persist two periodic streams into one container...
+/// let mut w = DtbWriter::new(Vec::new()).unwrap();
+/// for (id, period) in [(1u64, 3i64), (2, 5)] {
+///     w.declare_events(id, &format!("app-{id}")).unwrap();
+///     let vals: Vec<i64> = (0..120).map(|i| i % period).collect();
+///     w.push_events(id, &vals).unwrap();
+/// }
+/// let bytes = w.finish().unwrap();
+///
+/// // ...and replay it through the service.
+/// let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(0, 8));
+/// let mut reader = DtbReader::new(&bytes).unwrap();
+/// while let Some(block) = reader.next_block() {
+///     if let Block::Events { stream, values } = block.unwrap() {
+///         svc.ingest(&[(StreamId(stream), values)]);
+///     }
+/// }
+/// let (events, snapshot) = svc.finish();
+/// assert_eq!(snapshot.total().samples, 240);
+/// assert_eq!(snapshot.total().closed, 2);
+/// # let _ = events;
+/// ```
 pub struct MultiStreamDpd {
     mode: Mode,
     config: ServiceConfig,

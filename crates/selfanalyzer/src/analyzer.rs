@@ -151,6 +151,30 @@ impl RegionBook {
     pub fn active_region(&self) -> Option<&RegionInfo> {
         self.active.map(|i| &self.regions[i])
     }
+
+    /// Dump every discovered region into one DTB container on `w`.
+    ///
+    /// Each region becomes one event stream (stream id = discovery index,
+    /// name `region@<start_addr>/p<period>`) whose values are the region's
+    /// completed iteration durations in nanoseconds — so a recorded run
+    /// can be re-analyzed offline (`dpd analyze dump.dtb`, periodicity of
+    /// the iteration times themselves) or replayed through the
+    /// multi-stream service at wire speed.
+    pub fn write_dtb<W: std::io::Write>(&self, w: W) -> Result<(), dpd_trace::dtb::DtbError> {
+        let mut writer = dpd_trace::dtb::DtbWriter::new(w)?;
+        for (ix, region) in self.regions.iter().enumerate() {
+            let name = format!("region@{:#x}/p{}", region.start_addr, region.period);
+            writer.declare_events(ix as u64, &name)?;
+            let durations: Vec<i64> = region
+                .iterations
+                .iter()
+                .map(|it| it.duration_ns() as i64)
+                .collect();
+            writer.push_events(ix as u64, &durations)?;
+        }
+        writer.finish()?;
+        Ok(())
+    }
 }
 
 /// The SelfAnalyzer: DPD-driven discovery and timing of parallel regions.
@@ -276,6 +300,15 @@ impl SelfAnalyzer {
     /// Adjust the DPD window (forwards `DPDWindowSize`).
     pub fn set_dpd_window(&mut self, size: i32) {
         self.dpd.dpd_window_size(size);
+    }
+
+    /// Dump the discovered regions as a DTB container (see
+    /// [`RegionBook::write_dtb`] for the stream layout).
+    pub fn dump_regions_dtb<W: std::io::Write>(
+        &self,
+        w: W,
+    ) -> Result<(), dpd_trace::dtb::DtbError> {
+        self.book.write_dtb(w)
     }
 }
 
@@ -427,6 +460,36 @@ mod tests {
     fn batch_length_mismatch_panics() {
         let mut sa = SelfAnalyzer::new(8, 1);
         sa.on_loop_calls(&[1, 2, 3], &[0, 1]);
+    }
+
+    #[test]
+    fn dtb_dump_roundtrips_region_durations() {
+        let sa = drive(1_000, 200, 8, 4);
+        let mut buf = Vec::new();
+        sa.dump_regions_dtb(&mut buf).unwrap();
+        let (events, sampled) = dpd_trace::dtb::read_all(&buf).unwrap();
+        assert!(sampled.is_empty());
+        assert_eq!(events.len(), 1);
+        let region = &sa.regions()[0];
+        assert_eq!(
+            events[0].name,
+            format!("region@{:#x}/p{}", region.start_addr, region.period)
+        );
+        let expect: Vec<i64> = region
+            .iterations
+            .iter()
+            .map(|it| it.duration_ns() as i64)
+            .collect();
+        assert_eq!(events[0].values, expect);
+    }
+
+    #[test]
+    fn dtb_dump_of_empty_book_is_valid_and_empty() {
+        let book = RegionBook::new();
+        let mut buf = Vec::new();
+        book.write_dtb(&mut buf).unwrap();
+        let (events, sampled) = dpd_trace::dtb::read_all(&buf).unwrap();
+        assert!(events.is_empty() && sampled.is_empty());
     }
 
     #[test]

@@ -1,11 +1,21 @@
-//! Trace persistence: a small line-oriented text format.
+//! Trace persistence: the line-oriented text format, plus format
+//! auto-detection against the DTB binary container.
 //!
 //! The paper's overhead experiment (§6.3) replays "a trace file that
 //! corresponds to the execution trace of one application" through the DPD;
-//! this module provides the read/write path for those files. The format is
-//! deliberately trivial (header line + one value per line) so traces remain
-//! inspectable with standard tools and no serialization dependency is
-//! needed.
+//! this module provides the read/write path for those files. Two on-disk
+//! formats exist:
+//!
+//! * the **text format** below — header line + one value per line,
+//!   deliberately trivial so traces remain inspectable with standard tools
+//!   and no serialization dependency is needed;
+//! * the **DTB binary container** ([`crate::dtb`]) — delta-of-delta +
+//!   varint encoded, CRC-protected, multi-stream; the format replay-heavy
+//!   pipelines should use (see `docs/FORMAT.md`).
+//!
+//! Both start with an unambiguous magic, so [`detect_format`] and the
+//! `read_*_auto` functions dispatch on the first bytes of a file and
+//! callers never need to care which format they were handed.
 //!
 //! ```text
 //! # dpd-trace v1 event <name>
@@ -21,6 +31,7 @@
 //! ...
 //! ```
 
+use crate::dtb;
 use crate::event::EventTrace;
 use crate::sampled::SampledTrace;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -32,6 +43,8 @@ pub enum TraceIoError {
     Io(std::io::Error),
     /// The header line is missing or malformed.
     BadHeader(String),
+    /// The file carried the DTB magic but failed binary decoding.
+    Dtb(dtb::DtbError),
     /// A value line failed to parse.
     BadValue {
         /// 1-based line number of the offending line.
@@ -53,6 +66,7 @@ impl std::fmt::Display for TraceIoError {
         match self {
             TraceIoError::Io(e) => write!(f, "trace I/O error: {e}"),
             TraceIoError::BadHeader(h) => write!(f, "bad trace header: {h:?}"),
+            TraceIoError::Dtb(e) => write!(f, "{e}"),
             TraceIoError::BadValue { line, text } => {
                 write!(f, "bad trace value at line {line}: {text:?}")
             }
@@ -71,7 +85,62 @@ impl From<std::io::Error> for TraceIoError {
     }
 }
 
+impl From<dtb::DtbError> for TraceIoError {
+    fn from(e: dtb::DtbError) -> Self {
+        match e {
+            dtb::DtbError::Io(io) => TraceIoError::Io(io),
+            other => TraceIoError::Dtb(other),
+        }
+    }
+}
+
 const MAGIC: &str = "# dpd-trace v1";
+
+/// The on-disk formats this crate reads and writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Line-oriented text (`# dpd-trace v1 ...` header).
+    Text,
+    /// DTB binary container (`DTB1` magic; see [`crate::dtb`]).
+    Dtb,
+}
+
+/// Identify the format of a trace file from its first bytes, or `None`
+/// when neither magic matches. Four bytes suffice for DTB; the text
+/// format needs its full 14-byte header prefix.
+pub fn detect_format(head: &[u8]) -> Option<TraceFormat> {
+    if head.len() >= dtb::MAGIC.len() && head[..dtb::MAGIC.len()] == dtb::MAGIC {
+        return Some(TraceFormat::Dtb);
+    }
+    if head.len() >= MAGIC.len() && &head[..MAGIC.len()] == MAGIC.as_bytes() {
+        return Some(TraceFormat::Text);
+    }
+    None
+}
+
+/// Read an event trace from either format, dispatching on the magic.
+///
+/// The whole input is buffered in memory first (the DTB decoder is
+/// slice-based); for the multi-gigabyte case stream the DTB container
+/// through [`dtb::DtbReader`] directly instead.
+pub fn read_events_auto<R: Read>(mut r: R) -> Result<EventTrace, TraceIoError> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    match detect_format(&bytes) {
+        Some(TraceFormat::Dtb) => Ok(dtb::read_events(&bytes)?),
+        _ => read_events(&bytes[..]),
+    }
+}
+
+/// Read a sampled trace from either format, dispatching on the magic.
+pub fn read_sampled_auto<R: Read>(mut r: R) -> Result<SampledTrace, TraceIoError> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    match detect_format(&bytes) {
+        Some(TraceFormat::Dtb) => Ok(dtb::read_sampled(&bytes)?),
+        _ => read_sampled(&bytes[..]),
+    }
+}
 
 /// Write an event trace.
 pub fn write_events<W: Write>(trace: &EventTrace, mut w: W) -> Result<(), TraceIoError> {
@@ -269,6 +338,50 @@ mod tests {
         let data = b"# dpd-trace v1 event x\n1\n\n# comment\n2\n";
         let t = read_events(&data[..]).unwrap();
         assert_eq!(t.values, vec![1, 2]);
+    }
+
+    #[test]
+    fn detect_format_by_magic() {
+        assert_eq!(
+            detect_format(b"# dpd-trace v1 event x"),
+            Some(TraceFormat::Text)
+        );
+        assert_eq!(detect_format(b"DTB1\x01\x00"), Some(TraceFormat::Dtb));
+        assert_eq!(detect_format(b"DTB1"), Some(TraceFormat::Dtb));
+        assert_eq!(detect_format(b"# dpd"), None);
+        assert_eq!(detect_format(b""), None);
+    }
+
+    #[test]
+    fn auto_reads_both_formats() {
+        let t = EventTrace::from_values("both", vec![5, 5, 9, -3]);
+        let mut text = Vec::new();
+        write_events(&t, &mut text).unwrap();
+        let mut bin = Vec::new();
+        dtb::write_events(&t, &mut bin).unwrap();
+        assert_eq!(read_events_auto(&text[..]).unwrap(), t);
+        assert_eq!(read_events_auto(&bin[..]).unwrap(), t);
+
+        let s = SampledTrace::from_values("cpu", 1_000_000, vec![1.0, 2.5]);
+        let mut stext = Vec::new();
+        write_sampled(&s, &mut stext).unwrap();
+        let mut sbin = Vec::new();
+        dtb::write_sampled(&s, &mut sbin).unwrap();
+        assert_eq!(read_sampled_auto(&stext[..]).unwrap(), s);
+        assert_eq!(read_sampled_auto(&sbin[..]).unwrap(), s);
+    }
+
+    #[test]
+    fn auto_surfaces_dtb_errors() {
+        let t = EventTrace::from_values("x", vec![1, 2, 3]);
+        let mut bin = Vec::new();
+        dtb::write_events(&t, &mut bin).unwrap();
+        let last = bin.len() - 1;
+        bin[last] ^= 0xFF; // break the last frame's CRC
+        assert!(matches!(
+            read_events_auto(&bin[..]),
+            Err(TraceIoError::Dtb(_))
+        ));
     }
 
     #[test]

@@ -12,13 +12,18 @@
 //!   equation (1).
 //! * [`gen`] — synthetic stream generators used by tests, property tests and
 //!   the calibration/ablation benches (periodic, nested, noisy, aperiodic).
-//! * [`io`] — a small line-oriented text format for persisting traces.
+//! * [`io`] — trace persistence: the inspectable line-oriented text format
+//!   plus auto-detection between it and the DTB binary container.
+//! * [`dtb`] — the DTB binary container: multi-stream, delta-of-delta +
+//!   varint encoded, CRC-protected, built for wire-speed replay (see
+//!   `docs/FORMAT.md` for the normative spec).
 //! * [`stats`] — summary statistics used when reporting experiments.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod counters;
+pub mod dtb;
 pub mod event;
 pub mod gen;
 pub mod io;

@@ -14,6 +14,10 @@
 //! * [`analyzer`] — the SelfAnalyzer: run-time speedup computation.
 //! * [`apps`] — the paper's evaluation workloads (SPECfp95 + NAS FT shapes).
 //!
+//! A crate-by-crate data-flow tour with a pipeline diagram lives in
+//! `docs/ARCHITECTURE.md`; the on-disk trace formats are specified in
+//! `docs/FORMAT.md`.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -31,6 +35,24 @@
 //!     }
 //! }
 //! assert!(detections > 0);
+//! ```
+//!
+//! ## Persisting and replaying traces
+//!
+//! Traces persist in an inspectable text format or the compact DTB binary
+//! container ([`trace::dtb`]); readers auto-detect either by magic:
+//!
+//! ```
+//! use dpd::trace::{io, EventTrace};
+//!
+//! // Persist a period-2 loop-address stream as DTB...
+//! let trace = EventTrace::from_values("demo", vec![0x40, 0x80, 0x40, 0x80]);
+//! let mut bytes = Vec::new();
+//! dpd::trace::dtb::write_events(&trace, &mut bytes).unwrap();
+//!
+//! // ...and read it back without saying which format it is.
+//! let back = io::read_events_auto(&bytes[..]).unwrap();
+//! assert_eq!(back, trace);
 //! ```
 
 #![warn(missing_docs)]
