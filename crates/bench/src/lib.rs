@@ -18,6 +18,7 @@
 //! | bench `machine`        | virtual machine + thread-pool substrate |
 //! | bench `multistream`    | sharded service end-to-end throughput |
 //! | bench `trace_io`       | text vs DTB parse/replay throughput |
+//! | bench `predict`        | forecasting overhead (push, slice, table) |
 //!
 //! This library hosts the small shared helpers the binaries use.
 

@@ -15,17 +15,20 @@ use std::fmt::Write as _;
 
 /// Usage text shown on errors.
 pub const USAGE: &str = "usage:
-  dpd generate --kind periodic|nested|aperiodic [--period P] [--len N] [--format text|dtb] --out FILE
+  dpd generate --kind periodic|nested|aperiodic|phases [--period P] [--len N] [--format text|dtb] --out FILE
   dpd apps --app tomcatv|swim|apsi|hydro2d|turb3d [--format text|dtb] --out FILE
   dpd convert FILE --out FILE [--to text|dtb]
   dpd analyze FILE [--scales 8,64,512]
   dpd spectrum FILE [--window 128]
   dpd segment FILE [--window 64]
-  dpd multistream DIR [--shards 4] [--window 64] [--chunk 256]
+  dpd multistream DIR [--shards 4] [--window 64] [--chunk 256] [--timing show|none]
+  dpd predict FILE [--window 64] [--horizon 1]
 
 Trace files are text or DTB binary containers; every reader auto-detects
 the format by magic, and a multistream DIR may mix both (a single .dtb
-file can carry many streams).";
+file can carry many streams). `predict` replays every event stream of
+FILE through the online forecaster and reports per-stream hit rate and
+MAPE at the given horizon (see docs/PREDICTION.md).";
 
 /// A parsed flag set: positional args + `--key value` pairs.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -86,6 +89,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         "spectrum" => spectrum(&flags),
         "segment" => segment(&flags),
         "multistream" => multistream(&flags),
+        "predict" => predict(&flags),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -133,6 +137,20 @@ fn generate(flags: &Flags) -> Result<String, String> {
         }
         "nested" => gen::nested_events(5, 10, 11, len.div_ceil(115).max(1)).0,
         "aperiodic" => gen::aperiodic_events(len),
+        "phases" => {
+            // Three segments with structurally disjoint alphabets: period
+            // P, then 2P+1, then P+1 — an injected-phase-change corpus for
+            // evaluating forecast invalidation (docs/PREDICTION.md).
+            if period == 0 {
+                return Err("--period must be positive".into());
+            }
+            let third = (len / 3).max(1);
+            gen::phase_change_events(&[
+                (period, third),
+                (2 * period + 1, third),
+                (period + 1, len.saturating_sub(2 * third)),
+            ])
+        }
         other => return Err(format!("unknown --kind {other:?}")),
     };
     let trace = EventTrace::from_values(kind, values);
@@ -358,6 +376,13 @@ fn multistream(flags: &Flags) -> Result<String, String> {
     let shards = flags.get_usize("shards", 4)?;
     let window = flags.get_usize("window", 64)?;
     let chunk = flags.get_usize("chunk", 256)?.max(1);
+    // `--timing none` suppresses the wall-clock figures so the output is
+    // byte-stable (golden-file tests, diffable logs).
+    let timing = match flags.get("timing").unwrap_or("show") {
+        "show" => true,
+        "none" => false,
+        other => return Err(format!("unknown --timing {other:?} (show|none)")),
+    };
 
     // One stream per trace file, in name order so stream ids are stable.
     let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
@@ -424,15 +449,25 @@ fn multistream(flags: &Flags) -> Result<String, String> {
     } else {
         format!("{shards} shard(s)")
     };
-    writeln!(
-        out,
-        "replayed {} streams ({} samples) over {mode} in {:.1} ms ({:.2} Msamples/s)",
-        traces.len(),
-        total,
-        elapsed.as_secs_f64() * 1e3,
-        total as f64 / elapsed.as_secs_f64().max(1e-9) / 1e6,
-    )
-    .unwrap();
+    if timing {
+        writeln!(
+            out,
+            "replayed {} streams ({} samples) over {mode} in {:.1} ms ({:.2} Msamples/s)",
+            traces.len(),
+            total,
+            elapsed.as_secs_f64() * 1e3,
+            total as f64 / elapsed.as_secs_f64().max(1e-9) / 1e6,
+        )
+        .unwrap();
+    } else {
+        writeln!(
+            out,
+            "replayed {} streams ({} samples) over {mode}",
+            traces.len(),
+            total,
+        )
+        .unwrap();
+    }
     if skipped_sampled > 0 {
         writeln!(
             out,
@@ -469,6 +504,104 @@ fn multistream(flags: &Flags) -> Result<String, String> {
         t.events,
         t.evicted,
         t.closed
+    )
+    .unwrap();
+    Ok(out)
+}
+
+/// Format an optional rate as a fixed-width percentage, `n/a` when absent.
+fn fmt_pct(rate: Option<f64>) -> String {
+    match rate {
+        Some(r) => format!("{:.1}%", r * 100.0),
+        None => "n/a".to_string(),
+    }
+}
+
+/// `dpd predict FILE [--window W] [--horizon H]`: replay every event
+/// stream of the trace through [`ForecastingDpd`], scoring the H-step-ahead
+/// forecast at each sample, and report per-stream accuracy. Output is
+/// deliberately deterministic (stable stream order, no wall-clock figures)
+/// so it can be golden-file tested.
+fn predict(flags: &Flags) -> Result<String, String> {
+    use dpd_core::predict::ForecastingDpd;
+    use dpd_core::streaming::StreamingConfig;
+
+    let path = flags
+        .positional
+        .first()
+        .ok_or("predict expects a trace file argument")?;
+    let window = flags.get_usize("window", 64)?;
+    let horizon = flags.get_usize("horizon", 1)?;
+    if horizon == 0 {
+        return Err("--horizon must be positive".into());
+    }
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    // Every event stream of the file, in stable order: declaration order
+    // for DTB containers, the single stream of a text trace otherwise.
+    // Sampled streams are not replayable here (the forecaster extends
+    // event values), so they are counted and reported, not dropped
+    // silently — same policy as `multistream`.
+    let mut skipped_sampled = 0usize;
+    let streams: Vec<EventTrace> = match io::detect_format(&bytes) {
+        Some(TraceFormat::Dtb) => {
+            let (events, sampled) = read_dtb_streams(&bytes).map_err(|e| format!("{path}: {e}"))?;
+            if events.is_empty() {
+                return Err(format!("{path}: container holds no event stream"));
+            }
+            skipped_sampled = sampled.len();
+            events.into_iter().map(|(_, t)| t).collect()
+        }
+        _ => vec![io::read_events(&bytes[..]).map_err(|e| format!("{path}: {e}"))?],
+    };
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "forecast replay: horizon {horizon}, window {window}, {} stream(s)",
+        streams.len()
+    )
+    .unwrap();
+    if skipped_sampled > 0 {
+        writeln!(
+            out,
+            "note: skipped {skipped_sampled} sampled stream(s) \
+             (predict replays event streams only)"
+        )
+        .unwrap();
+    }
+    let mut checked_total = 0u64;
+    let mut hits_total = 0u64;
+    for trace in &streams {
+        let mut f = ForecastingDpd::events(StreamingConfig::with_window(window), horizon)
+            .map_err(|e| format!("invalid predict configuration: {e}"))?;
+        for &s in &trace.values {
+            f.push(s);
+        }
+        let stats = f.predictor().stats();
+        checked_total += stats.checked;
+        hits_total += stats.hits;
+        let period = match f.predictor().period() {
+            Some(p) => format!("period {p}"),
+            None => "no lock".to_string(),
+        };
+        writeln!(
+            out,
+            "  {:<24} {:>8} samples  checked {:>6}  hit-rate {:>6}  MAPE {:>6}  invalidated {}  {} at end",
+            trace.name,
+            trace.len(),
+            stats.checked,
+            fmt_pct(stats.hit_rate()),
+            fmt_pct(stats.mape()),
+            stats.invalidations,
+            period,
+        )
+        .unwrap();
+    }
+    let total_rate = (checked_total > 0).then(|| hits_total as f64 / checked_total as f64);
+    writeln!(
+        out,
+        "total: checked {checked_total}  hit-rate {}",
+        fmt_pct(total_rate)
     )
     .unwrap();
     Ok(out)
@@ -742,6 +875,162 @@ mod tests {
         let dir = std::env::temp_dir().join("dpd-cli-multistream-empty");
         std::fs::create_dir_all(&dir).unwrap();
         assert!(dispatch(&argv(&format!("multistream {}", dir.to_str().unwrap()))).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn predict_periodic_corpus_hits_after_warmup() {
+        let dir = std::env::temp_dir().join("dpd-cli-predict-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.trace");
+        let p = path.to_str().unwrap().to_string();
+        dispatch(&argv(&format!(
+            "generate --kind periodic --period 6 --len 4000 --out {p}"
+        )))
+        .unwrap();
+        let out = dispatch(&argv(&format!("predict {p} --window 16 --horizon 1"))).unwrap();
+        assert!(out.contains("hit-rate 100.0%"), "{out}");
+        assert!(out.contains("invalidated 0"), "{out}");
+        assert!(out.contains("period 6 at end"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn predict_phase_changes_invalidate_without_stale_scoring() {
+        let dir = std::env::temp_dir().join("dpd-cli-predict-phases");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("phases.trace");
+        let p = path.to_str().unwrap().to_string();
+        dispatch(&argv(&format!(
+            "generate --kind phases --period 4 --len 6000 --out {p}"
+        )))
+        .unwrap();
+        for horizon in [1usize, 4] {
+            let out = dispatch(&argv(&format!(
+                "predict {p} --window 32 --horizon {horizon}"
+            )))
+            .unwrap();
+            // Phase changes must invalidate standing forecasts...
+            assert!(!out.contains("invalidated 0"), "h={horizon}: {out}");
+            // ...and with stale predictions dropped unscored, every scored
+            // one on this exactly periodic corpus is a hit.
+            assert!(out.contains("hit-rate 100.0%"), "h={horizon}: {out}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn predict_dtb_container_reports_every_stream() {
+        use dpd_trace::dtb::DtbWriter;
+        let dir = std::env::temp_dir().join("dpd-cli-predict-dtb");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("all.dtb");
+        let mut w = DtbWriter::new(std::fs::File::create(&path).unwrap()).unwrap();
+        for (id, (name, period)) in [("a", 3usize), ("b", 5)].iter().enumerate() {
+            let pattern: Vec<i64> = (0..*period).map(|i| 0x1000 + i as i64).collect();
+            w.declare_events(id as u64, name).unwrap();
+            w.push_events(id as u64, &gen::periodic_events(&pattern, 2000))
+                .unwrap();
+        }
+        w.finish().unwrap();
+        let out = dispatch(&argv(&format!(
+            "predict {} --window 16 --horizon 2",
+            path.to_str().unwrap()
+        )))
+        .unwrap();
+        assert!(out.contains("2 stream(s)"), "{out}");
+        assert!(out.contains("period 3 at end"), "{out}");
+        assert!(out.contains("period 5 at end"), "{out}");
+        assert!(out.contains("total: checked"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn predict_reports_skipped_sampled_streams() {
+        use dpd_trace::dtb::DtbWriter;
+        let dir = std::env::temp_dir().join("dpd-cli-predict-sampled");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mix.dtb");
+        let mut w = DtbWriter::new(std::fs::File::create(&path).unwrap()).unwrap();
+        w.declare_events(0, "e").unwrap();
+        w.push_events(0, &gen::periodic_events(&[1, 2, 3], 600))
+            .unwrap();
+        w.declare_sampled(1, "cpu", 1_000_000).unwrap();
+        w.push_samples(1, &[1.0, 2.0, 4.0]).unwrap();
+        w.finish().unwrap();
+        let out = dispatch(&argv(&format!(
+            "predict {} --window 8",
+            path.to_str().unwrap()
+        )))
+        .unwrap();
+        assert!(out.contains("1 stream(s)"), "{out}");
+        assert!(out.contains("skipped 1 sampled stream(s)"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn predict_rejects_bad_flags() {
+        assert!(dispatch(&argv("predict /nonexistent.trace")).is_err());
+        let dir = std::env::temp_dir().join("dpd-cli-predict-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.trace");
+        let p = path.to_str().unwrap().to_string();
+        dispatch(&argv(&format!(
+            "generate --kind periodic --period 3 --len 300 --out {p}"
+        )))
+        .unwrap();
+        assert!(dispatch(&argv(&format!("predict {p} --horizon 0"))).is_err());
+        assert!(dispatch(&argv(&format!("predict {p} --window 0"))).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multistream_timing_none_is_deterministic() {
+        let dir = std::env::temp_dir().join("dpd-cli-multistream-timing");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.trace");
+        dispatch(&argv(&format!(
+            "generate --kind periodic --period 3 --len 900 --out {}",
+            path.to_str().unwrap()
+        )))
+        .unwrap();
+        let cmd = format!(
+            "multistream {} --shards 0 --window 16 --timing none",
+            dir.to_str().unwrap()
+        );
+        let a = dispatch(&argv(&cmd)).unwrap();
+        let b = dispatch(&argv(&cmd)).unwrap();
+        assert_eq!(a, b, "byte-stable output expected");
+        assert!(
+            a.contains("replayed 1 streams (900 samples) over inline\n"),
+            "{a}"
+        );
+        assert!(!a.contains("Msamples/s"), "{a}");
+        assert!(dispatch(&argv(&format!(
+            "multistream {} --timing sometimes",
+            dir.to_str().unwrap()
+        )))
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generate_phases_analyzes_all_periods() {
+        let dir = std::env::temp_dir().join("dpd-cli-phases-gen");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("phases.trace");
+        let p = path.to_str().unwrap().to_string();
+        let out = dispatch(&argv(&format!(
+            "generate --kind phases --period 3 --len 3000 --out {p}"
+        )))
+        .unwrap();
+        assert!(out.contains("3000 events"), "{out}");
+        let out = dispatch(&argv(&format!("analyze {p} --scales 16"))).unwrap();
+        // Segments carry periods 3, 7 and 4.
+        assert!(
+            out.contains('3') && out.contains('7') && out.contains('4'),
+            "{out}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,11 @@
+//! Library surface of the `dpd` command-line front end.
+//!
+//! The binary in `main.rs` is a thin wrapper around [`cmd::dispatch`];
+//! exposing the command layer as a library lets integration tests (the
+//! golden-file CLI regression suite at `tests/golden_cli.rs`) execute
+//! commands in-process and assert their exact stdout.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cmd;

@@ -9,6 +9,7 @@
 //! dpd spectrum trace.txt [--window 128]
 //! dpd segment trace.txt [--window 64]
 //! dpd multistream traces/ [--shards 4]
+//! dpd predict trace.txt [--window 64] [--horizon 1]
 //! ```
 //!
 //! Trace files are the text format or DTB binary containers; every
@@ -16,7 +17,7 @@
 
 use std::process::ExitCode;
 
-mod cmd;
+use dpd_cli::cmd;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

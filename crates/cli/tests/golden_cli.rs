@@ -1,0 +1,175 @@
+//! Golden-file CLI regression tests.
+//!
+//! Small committed fixtures (`tests/fixtures/traces/` at the workspace
+//! root: one text trace, one multi-stream DTB container) are replayed
+//! through `dpd multistream`, `dpd convert` and `dpd predict`, and the
+//! *exact* stdout is compared against committed golden files
+//! (`tests/fixtures/golden/`). Every command under test is deterministic:
+//! stable stream ordering, inline (shards 0) replay, `--timing none`.
+//!
+//! To regenerate fixtures and goldens after an intentional output change:
+//!
+//! ```text
+//! DPD_BLESS=1 cargo test -p dpd-cli --test golden_cli
+//! ```
+//!
+//! then commit the updated files (and review the diff — that diff *is*
+//! the user-visible behavior change).
+
+use dpd_cli::cmd::dispatch;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+fn fixtures_dir() -> PathBuf {
+    workspace_root().join("tests/fixtures")
+}
+
+fn bless() -> bool {
+    std::env::var("DPD_BLESS")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(String::from).collect()
+}
+
+/// Create the committed trace fixtures (bless mode only).
+fn write_trace_fixtures(traces: &Path) {
+    std::fs::create_dir_all(traces).unwrap();
+    // Text fixture: the injected-phase-change corpus (periods 3, 7, 4
+    // over disjoint alphabets) — exercises locks, invalidation, relocks.
+    dispatch(&argv(&format!(
+        "generate --kind phases --period 3 --len 600 --out {}",
+        traces.join("single.trace").display()
+    )))
+    .unwrap();
+    // DTB fixture: one container holding three periodic streams.
+    let file = std::fs::File::create(traces.join("streams.dtb")).unwrap();
+    let mut w = dpd_trace::dtb::DtbWriter::new(file).unwrap();
+    for (id, (name, period)) in [("alpha", 3usize), ("beta", 5), ("gamma", 7)]
+        .iter()
+        .enumerate()
+    {
+        let values: Vec<i64> = (0..400).map(|i| 0x2000 + (i % period) as i64).collect();
+        w.declare_events(id as u64, name).unwrap();
+        w.push_events(id as u64, &values).unwrap();
+    }
+    w.finish().unwrap();
+}
+
+/// Run one command and compare (or bless) its stdout against a golden.
+fn check_golden(name: &str, cmd: &str) {
+    let golden = fixtures_dir().join("golden").join(name);
+    let out = dispatch(&argv(cmd)).unwrap_or_else(|e| panic!("{cmd}: {e}"));
+    if bless() {
+        std::fs::create_dir_all(golden.parent().unwrap()).unwrap();
+        std::fs::write(&golden, &out).unwrap();
+        return;
+    }
+    let expect = std::fs::read_to_string(&golden).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\n(run DPD_BLESS=1 cargo test -p dpd-cli --test golden_cli)",
+            golden.display()
+        )
+    });
+    assert_eq!(
+        out, expect,
+        "stdout of `dpd {cmd}` changed; if intentional, re-bless and commit"
+    );
+}
+
+#[test]
+fn golden_cli_outputs_are_stable() {
+    let traces = fixtures_dir().join("traces");
+    if bless() {
+        write_trace_fixtures(&traces);
+    }
+    let single = traces.join("single.trace");
+    let dtb = traces.join("streams.dtb");
+    assert!(
+        single.is_file() && dtb.is_file(),
+        "trace fixtures missing (run DPD_BLESS=1 cargo test -p dpd-cli --test golden_cli)"
+    );
+
+    // Scratch outputs for convert. The --out path appears verbatim in the
+    // command's stdout, so it must be byte-identical on every machine: a
+    // fixed path *relative to the test cwd* (cargo runs integration tests
+    // from the package root, crates/cli).
+    let scratch = PathBuf::from("../../target/golden-scratch");
+    std::fs::create_dir_all(&scratch).unwrap();
+
+    // multistream: inline (deterministic event order), no wall-clock.
+    check_golden(
+        "multistream.txt",
+        &format!(
+            "multistream {} --shards 0 --window 16 --chunk 64 --timing none",
+            traces.display()
+        ),
+    );
+
+    // convert: text -> DTB and DTB -> DTB (id-preserving transcode).
+    check_golden(
+        "convert_text_to_dtb.txt",
+        &format!(
+            "convert {} --to dtb --out {}",
+            single.display(),
+            scratch.join("single.dtb").display()
+        ),
+    );
+    check_golden(
+        "convert_dtb_to_dtb.txt",
+        &format!(
+            "convert {} --to dtb --out {}",
+            dtb.display(),
+            scratch.join("streams.copy.dtb").display()
+        ),
+    );
+
+    // predict: horizon-1 and horizon-4 replays of both fixture shapes.
+    check_golden(
+        "predict_single_h1.txt",
+        &format!("predict {} --window 16 --horizon 1", single.display()),
+    );
+    check_golden(
+        "predict_single_h4.txt",
+        &format!("predict {} --window 16 --horizon 4", single.display()),
+    );
+    check_golden(
+        "predict_dtb_h1.txt",
+        &format!("predict {} --window 16 --horizon 1", dtb.display()),
+    );
+
+    // The transcodes themselves must be byte-stable too: converting the
+    // committed DTB container again reproduces it bit-for-bit.
+    if !bless() {
+        let copy = std::fs::read(scratch.join("streams.copy.dtb")).unwrap();
+        let original = std::fs::read(&dtb).unwrap();
+        assert_eq!(copy, original, "DTB -> DTB transcode is not canonical");
+    }
+}
+
+/// The convert stdout golden embeds absolute scratch paths only under
+/// `target/`; make sure the goldens themselves never leak a temp dir.
+#[test]
+fn goldens_contain_no_volatile_paths() {
+    if bless() {
+        return;
+    }
+    let golden_dir = fixtures_dir().join("golden");
+    for entry in std::fs::read_dir(&golden_dir).unwrap() {
+        let path = entry.unwrap().path();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            !text.contains("/tmp/"),
+            "{}: golden references a temp path",
+            path.display()
+        );
+    }
+}

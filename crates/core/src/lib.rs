@@ -29,6 +29,10 @@
 //!   nested iterative structures (hydro2d/turb3d in the paper's Table 2),
 //! * [`prediction::PeriodicPredictor`] — prediction of future stream values
 //!   from the detected period (paper §1, application 3),
+//! * [`predict::Predictor`] / [`predict::ForecastingDpd`] — the online
+//!   forecasting subsystem: allocation-free per-stream forecasts with
+//!   confidence scoring and phase-change invalidation (see
+//!   `docs/PREDICTION.md`),
 //! * [`autotune::WindowTuner`] — dynamic adjustment of the window size once a
 //!   satisfying periodicity has been found (paper §3.1/§4),
 //! * [`capi::Dpd`] — the paper-faithful Table 1 interface.
@@ -65,6 +69,7 @@ pub mod metric;
 pub mod minima;
 pub mod nested;
 pub mod periodogram;
+pub mod predict;
 pub mod prediction;
 pub mod segmentation;
 pub mod shard;
@@ -75,6 +80,7 @@ pub mod window;
 pub use capi::Dpd;
 pub use detector::{FrameDetector, PeriodicityReport};
 pub use metric::{EventMetric, L1Metric, Metric};
+pub use predict::{Forecast, ForecastStats, ForecastingDpd, PredictConfig, Predictor};
 pub use prediction::PeriodicPredictor;
 pub use shard::{MultiStreamEvent, StreamId, StreamTable, TableConfig};
 pub use spectrum::Spectrum;
@@ -99,6 +105,8 @@ pub enum DpdError {
         /// Number of samples provided.
         got: usize,
     },
+    /// The requested forecast horizon is zero or otherwise unusable.
+    InvalidHorizon(usize),
 }
 
 impl core::fmt::Display for DpdError {
@@ -111,6 +119,7 @@ impl core::fmt::Display for DpdError {
             DpdError::StreamTooShort { needed, got } => {
                 write!(f, "stream too short: need {needed} samples, got {got}")
             }
+            DpdError::InvalidHorizon(h) => write!(f, "invalid forecast horizon: {h}"),
         }
     }
 }

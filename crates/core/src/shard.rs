@@ -19,6 +19,7 @@
 //! stream's own samples and on the global sample clock (`seq`) carried with
 //! each batch — never on which other streams happen to share the table.
 
+use crate::predict::{Forecast, ForecastStats, PredictConfig, Predictor};
 use crate::streaming::{SegmentEvent, StreamStats, StreamingConfig, StreamingDpd};
 use crate::EventMetric;
 use std::collections::HashMap;
@@ -59,6 +60,10 @@ pub struct TableConfig {
     /// sample is more than this many samples of total traffic in the past
     /// is evicted (its detector state discarded). `0` disables eviction.
     pub evict_after: u64,
+    /// Opt-in per-stream forecasting: horizon `H` of the [`Predictor`]
+    /// attached to every stream (scoring the `H`-step-ahead prediction at
+    /// each sample). `0` disables forecasting.
+    pub forecast_horizon: usize,
 }
 
 impl TableConfig {
@@ -67,6 +72,7 @@ impl TableConfig {
         TableConfig {
             detector: StreamingConfig::with_window(n),
             evict_after: 0,
+            forecast_horizon: 0,
         }
     }
 
@@ -75,7 +81,32 @@ impl TableConfig {
         TableConfig {
             detector: StreamingConfig::with_window(n),
             evict_after,
+            forecast_horizon: 0,
         }
+    }
+
+    /// Table with per-stream forecasting at horizon `h` (detector window
+    /// `n`, no eviction).
+    pub fn with_forecast(n: usize, h: usize) -> Self {
+        TableConfig {
+            detector: StreamingConfig::with_window(n),
+            evict_after: 0,
+            forecast_horizon: h,
+        }
+    }
+
+    /// Builder-style: enable forecasting at horizon `h` on any config.
+    pub fn forecasting(mut self, h: usize) -> Self {
+        self.forecast_horizon = h;
+        self
+    }
+
+    /// The predictor configuration for one stream, when forecasting is on.
+    fn predict_config(&self) -> Option<PredictConfig> {
+        (self.forecast_horizon > 0)
+            .then(|| PredictConfig::new(self.detector.window, self.forecast_horizon))
+            .transpose()
+            .expect("window validated by detector construction")
     }
 }
 
@@ -127,13 +158,42 @@ pub struct TableStats {
     pub evicted: u64,
     /// Streams explicitly closed.
     pub closed: u64,
+    /// Forecasts scored against an arrived sample (monotonic: survives
+    /// eviction and close of the streams that produced them). `0` unless
+    /// [`TableConfig::forecast_horizon`] is set.
+    pub forecast_checked: u64,
+    /// Scored forecasts that matched exactly.
+    pub forecast_hits: u64,
+    /// Forecast invalidations across all streams (phase changes; see
+    /// [`crate::predict`]).
+    pub forecast_invalidations: u64,
+}
+
+impl TableStats {
+    /// Exact-match rate of scored forecasts; `None` before any check.
+    pub fn forecast_hit_rate(&self) -> Option<f64> {
+        (self.forecast_checked > 0)
+            .then(|| self.forecast_hits as f64 / self.forecast_checked as f64)
+    }
 }
 
 #[derive(Debug)]
 struct StreamEntry {
     dpd: StreamingDpd<i64, EventMetric>,
+    /// Per-stream forecaster, present when the table forecasts.
+    predictor: Option<Predictor>,
     /// Global sample clock at this stream's most recent sample.
     last_seq: u64,
+}
+
+impl StreamEntry {
+    fn new(config: &TableConfig) -> Self {
+        StreamEntry {
+            dpd: StreamingDpd::events(config.detector),
+            predictor: config.predict_config().map(Predictor::new),
+            last_seq: 0,
+        }
+    }
 }
 
 /// A keyed table of independent per-stream detectors.
@@ -217,6 +277,39 @@ impl StreamTable {
             .and_then(|e| e.dpd.locked_period())
     }
 
+    /// Forecast-accuracy statistics of one live stream (since its creation
+    /// or last eviction reset). `None` when the stream is not live or the
+    /// table does not forecast.
+    pub fn forecast_stats(&self, stream: StreamId) -> Option<ForecastStats> {
+        self.streams
+            .get(&stream.0)?
+            .predictor
+            .as_ref()
+            .map(|p| p.stats())
+    }
+
+    /// Current forecast confidence of one live stream; `None` when the
+    /// stream is not live or the table does not forecast.
+    pub fn forecast_confidence(&self, stream: StreamId) -> Option<f64> {
+        self.streams
+            .get(&stream.0)?
+            .predictor
+            .as_ref()
+            .map(|p| p.confidence())
+    }
+
+    /// Materialize the forecast for the next `h` values of one stream
+    /// (`h` up to the configured horizon). `None` when the stream is not
+    /// live, the table does not forecast, or the stream's predictor is not
+    /// locked and primed yet.
+    pub fn forecast(&mut self, stream: StreamId, h: usize) -> Option<Forecast<'_>> {
+        self.streams
+            .get_mut(&stream.0)?
+            .predictor
+            .as_mut()?
+            .forecast(h)
+    }
+
     /// Live stream ids, ascending (stable across table partitionings).
     pub fn stream_ids(&self) -> Vec<StreamId> {
         let mut ids: Vec<StreamId> = self.streams.keys().map(|&k| StreamId(k)).collect();
@@ -244,18 +337,17 @@ impl StreamTable {
         if samples.is_empty() {
             return;
         }
-        let TableConfig {
-            detector,
-            evict_after,
-        } = self.config;
+        let config = self.config;
         let entry = match self.streams.entry(stream.0) {
             std::collections::hash_map::Entry::Occupied(o) => {
                 let e = o.into_mut();
-                if evict_after > 0 && seq.saturating_sub(e.last_seq) > evict_after {
+                if config.evict_after > 0 && seq.saturating_sub(e.last_seq) > config.evict_after {
                     // Idle past the watermark: discard state, count the
                     // eviction, and start over — exactly what a memory
                     // sweep anywhere inside the gap would have produced.
-                    e.dpd = StreamingDpd::events(detector);
+                    // Forecast state is part of that state: the fresh
+                    // predictor starts unlocked with empty statistics.
+                    *e = StreamEntry::new(&config);
                     self.stats.evicted += 1;
                     self.stats.created += 1;
                 }
@@ -263,10 +355,7 @@ impl StreamTable {
             }
             std::collections::hash_map::Entry::Vacant(v) => {
                 self.stats.created += 1;
-                v.insert(StreamEntry {
-                    dpd: StreamingDpd::events(detector),
-                    last_seq: seq,
-                })
+                v.insert(StreamEntry::new(&config))
             }
         };
         for &s in samples {
@@ -274,6 +363,14 @@ impl StreamTable {
             if e != SegmentEvent::None {
                 out.push(MultiStreamEvent::Segment { stream, event: e });
                 self.stats.events += 1;
+            }
+            if let Some(pred) = entry.predictor.as_mut() {
+                let ob = pred.observe(s, e);
+                if let Some(scored) = ob.scored {
+                    self.stats.forecast_checked += 1;
+                    self.stats.forecast_hits += scored.hit as u64;
+                }
+                self.stats.forecast_invalidations += ob.invalidated as u64;
             }
         }
         entry.last_seq = seq + samples.len() as u64 - 1;
@@ -548,6 +645,64 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn shard_of_zero_panics() {
         let _ = shard_of(StreamId(1), 0);
+    }
+
+    #[test]
+    fn forecasting_table_scores_per_stream() {
+        let mut table = StreamTable::new(TableConfig::with_forecast(8, 2));
+        let mut out = Vec::new();
+        table.ingest(0, StreamId(1), &periodic(3, 0, 60), &mut out);
+        table.ingest(60, StreamId(2), &periodic(5, 0, 60), &mut out);
+        let t = table.stats();
+        assert!(t.forecast_checked > 0);
+        assert_eq!(t.forecast_hits, t.forecast_checked);
+        assert_eq!(t.forecast_hit_rate(), Some(1.0));
+        for s in [1u64, 2] {
+            let fs = table.forecast_stats(StreamId(s)).unwrap();
+            assert_eq!(fs.hit_rate(), Some(1.0), "stream {s}");
+            assert!(table.forecast_confidence(StreamId(s)).unwrap() > 0.9);
+        }
+        // Table totals are the sum of per-stream stats while all live.
+        let sum: u64 = [1u64, 2]
+            .iter()
+            .map(|&s| table.forecast_stats(StreamId(s)).unwrap().checked)
+            .sum();
+        assert_eq!(sum, t.forecast_checked);
+        // Forecast slice for stream 1: period 3, last sample of
+        // periodic(3, 0, 60) is value (59 % 3) = 2.
+        let fc = table.forecast(StreamId(1), 2).unwrap();
+        assert_eq!(fc.period, 3);
+        assert_eq!(fc.predicted, &[0, 1]);
+    }
+
+    #[test]
+    fn non_forecasting_table_reports_none() {
+        let mut table = StreamTable::new(TableConfig::with_window(8));
+        let mut out = Vec::new();
+        table.ingest(0, StreamId(1), &periodic(3, 0, 40), &mut out);
+        assert_eq!(table.forecast_stats(StreamId(1)), None);
+        assert_eq!(table.forecast_confidence(StreamId(1)), None);
+        assert!(table.forecast(StreamId(1), 1).is_none());
+        assert_eq!(table.stats().forecast_checked, 0);
+    }
+
+    #[test]
+    fn eviction_resets_forecast_state_but_keeps_table_counters() {
+        let cfg = TableConfig::with_eviction(8, 16).forecasting(1);
+        let mut table = StreamTable::new(cfg);
+        let mut out = Vec::new();
+        table.ingest(0, StreamId(0), &periodic(3, 0, 40), &mut out);
+        let before = table.stats().forecast_checked;
+        assert!(before > 0);
+        assert!(table.forecast_stats(StreamId(0)).unwrap().checked > 0);
+        // Idle past the watermark, then return: per-stream stats reset,
+        // table rollups stay monotonic.
+        table.ingest(40, StreamId(1), &periodic(4, 0, 100), &mut out);
+        table.ingest(140, StreamId(0), &periodic(3, 0, 4), &mut out);
+        let fs = table.forecast_stats(StreamId(0)).unwrap();
+        assert_eq!(fs.checked, 0, "fresh predictor after eviction");
+        assert_eq!(table.forecast_confidence(StreamId(0)), Some(0.0));
+        assert!(table.stats().forecast_checked >= before);
     }
 
     #[test]

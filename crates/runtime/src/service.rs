@@ -66,6 +66,17 @@ impl ServiceConfig {
             sweep_every: if evict_after == 0 { 0 } else { evict_after * 4 },
         }
     }
+
+    /// `shards` workers with opt-in per-stream forecasting at horizon `h`
+    /// (detector window `n`, no eviction). Forecast accuracy rolls up into
+    /// [`ShardStats::forecast_checked`] / [`ShardStats::forecast_hits`].
+    pub fn with_forecast(shards: usize, n: usize, h: usize) -> Self {
+        ServiceConfig {
+            shards,
+            table: TableConfig::with_forecast(n, h),
+            sweep_every: 0,
+        }
+    }
 }
 
 /// Point-in-time rollup of one shard (or of the inline table).
@@ -85,6 +96,11 @@ pub struct ShardStats {
     pub queue_depth: u64,
     /// Record batches fully processed.
     pub batches: u64,
+    /// Forecasts scored against an arrived sample (`0` unless the table
+    /// config enables forecasting).
+    pub forecast_checked: u64,
+    /// Scored forecasts that matched exactly.
+    pub forecast_hits: u64,
 }
 
 impl ShardStats {
@@ -96,6 +112,14 @@ impl ShardStats {
         self.closed += other.closed;
         self.queue_depth += other.queue_depth;
         self.batches += other.batches;
+        self.forecast_checked += other.forecast_checked;
+        self.forecast_hits += other.forecast_hits;
+    }
+
+    /// Exact-match rate of scored forecasts; `None` before any check.
+    pub fn forecast_hit_rate(&self) -> Option<f64> {
+        (self.forecast_checked > 0)
+            .then(|| self.forecast_hits as f64 / self.forecast_checked as f64)
     }
 }
 
@@ -127,6 +151,8 @@ struct ShardShared {
     closed: AtomicU64,
     queue_depth: AtomicU64,
     batches: AtomicU64,
+    forecast_checked: AtomicU64,
+    forecast_hits: AtomicU64,
 }
 
 impl ShardShared {
@@ -139,6 +165,8 @@ impl ShardShared {
             closed: self.closed.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            forecast_checked: self.forecast_checked.load(Ordering::Relaxed),
+            forecast_hits: self.forecast_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -401,6 +429,8 @@ impl MultiStreamDpd {
                         closed: t.closed,
                         queue_depth: 0,
                         batches: 0,
+                        forecast_checked: t.forecast_checked,
+                        forecast_hits: t.forecast_hits,
                     }],
                 }
             }
@@ -519,6 +549,12 @@ fn publish(
     shared.events.store(t.events, Ordering::Relaxed);
     shared.evicted.store(t.evicted, Ordering::Relaxed);
     shared.closed.store(t.closed, Ordering::Relaxed);
+    shared
+        .forecast_checked
+        .store(t.forecast_checked, Ordering::Relaxed);
+    shared
+        .forecast_hits
+        .store(t.forecast_hits, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -701,6 +737,40 @@ mod tests {
         assert_eq!(closed.len(), 9);
         assert_eq!(snap.total().closed, 9);
         assert_eq!(snap.total().streams, 0);
+    }
+
+    #[test]
+    fn forecasting_rollups_match_inline_reference() {
+        let run = |shards: usize| {
+            let mut svc = MultiStreamDpd::new(ServiceConfig::with_forecast(shards, 8, 2));
+            drive(&mut svc, 12, 6, 20);
+            let (_, snap) = svc.finish();
+            snap.total()
+        };
+        let reference = run(0);
+        assert!(reference.forecast_checked > 0);
+        assert_eq!(
+            reference.forecast_hit_rate(),
+            Some(1.0),
+            "exact periodic corpus must forecast perfectly"
+        );
+        for shards in [1usize, 3] {
+            let t = run(shards);
+            assert_eq!(
+                t.forecast_checked, reference.forecast_checked,
+                "shards={shards}"
+            );
+            assert_eq!(t.forecast_hits, reference.forecast_hits, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn non_forecasting_service_reports_zero() {
+        let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(0, 8));
+        svc.push(StreamId(1), &periodic(3, 0, 40));
+        let (_, snap) = svc.finish();
+        assert_eq!(snap.total().forecast_checked, 0);
+        assert_eq!(snap.total().forecast_hit_rate(), None);
     }
 
     #[test]

@@ -93,6 +93,61 @@ impl RegionInfo {
         counts.dedup();
         counts
     }
+
+    /// Forecast the duration of the region's *next* iteration under a
+    /// `cpus`-processor allocation, from the most recent iterations
+    /// measured with that allocation.
+    ///
+    /// The point forecast is the mean of the last (up to)
+    /// [`DURATION_FORECAST_DEPTH`] matching iterations — the periodic-
+    /// extension assumption of `dpd_core::predict` applied to the
+    /// iteration-time stream. Confidence reflects recent stability: it is
+    /// `1 - cv` (the coefficient of variation of those durations), clamped
+    /// to `[0, 1]` and scaled down while fewer than
+    /// [`DURATION_FORECAST_DEPTH`] samples exist. `None` without any
+    /// matching iteration.
+    pub fn forecast_next_duration_ns(&self, cpus: usize) -> Option<DurationForecast> {
+        let recent: Vec<f64> = self
+            .iterations
+            .iter()
+            .rev()
+            .filter(|r| r.cpus == cpus)
+            .take(DURATION_FORECAST_DEPTH)
+            .map(|r| r.duration_ns() as f64)
+            .collect();
+        if recent.is_empty() {
+            return None;
+        }
+        let n = recent.len() as f64;
+        let mean = recent.iter().sum::<f64>() / n;
+        let var = recent.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n;
+        let cv = if mean > 0.0 { var.sqrt() / mean } else { 1.0 };
+        let confidence =
+            (1.0 - cv).clamp(0.0, 1.0) * (recent.len() as f64 / DURATION_FORECAST_DEPTH as f64);
+        Some(DurationForecast {
+            predicted_ns: mean,
+            confidence,
+            samples: recent.len(),
+            cpus,
+        })
+    }
+}
+
+/// Iterations consulted by [`RegionInfo::forecast_next_duration_ns`].
+pub const DURATION_FORECAST_DEPTH: usize = 8;
+
+/// A forecast of the next iteration's duration (see
+/// [`RegionInfo::forecast_next_duration_ns`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DurationForecast {
+    /// Predicted duration of the next iteration, nanoseconds.
+    pub predicted_ns: f64,
+    /// Stability-derived confidence in `[0, 1]`.
+    pub confidence: f64,
+    /// Iterations the forecast is based on.
+    pub samples: usize,
+    /// CPU allocation the forecast assumes.
+    pub cpus: usize,
 }
 
 /// Region bookkeeping shared by the single-stream [`SelfAnalyzer`] and the
@@ -297,6 +352,15 @@ impl SelfAnalyzer {
         self.events
     }
 
+    /// Forecast the duration of the next iteration of the region currently
+    /// being timed, under the current CPU allocation. `None` until a
+    /// region is active and has measured iterations at this allocation.
+    pub fn forecast_next_iteration(&self) -> Option<DurationForecast> {
+        self.book
+            .active_region()?
+            .forecast_next_duration_ns(self.cpus_now)
+    }
+
     /// Adjust the DPD window (forwards `DPDWindowSize`).
     pub fn set_dpd_window(&mut self, size: i32) {
         self.dpd.dpd_window_size(size);
@@ -490,6 +554,62 @@ mod tests {
         book.write_dtb(&mut buf).unwrap();
         let (events, sampled) = dpd_trace::dtb::read_all(&buf).unwrap();
         assert!(events.is_empty() && sampled.is_empty());
+    }
+
+    #[test]
+    fn forecasts_stable_iteration_durations_with_high_confidence() {
+        let sa = drive(1_000, 200, 8, 4);
+        let f = sa.forecast_next_iteration().expect("active region");
+        assert_eq!(f.predicted_ns, 4_000.0, "4 calls x 1000 ns");
+        assert_eq!(f.cpus, 4);
+        assert_eq!(f.samples, DURATION_FORECAST_DEPTH);
+        assert!(f.confidence > 0.99, "stable stream: {f:?}");
+    }
+
+    #[test]
+    fn duration_forecast_tracks_allocation_changes() {
+        let mut sa = SelfAnalyzer::new(8, 1);
+        let addrs = [0x100i64, 0x140, 0x180];
+        let mut t = 0u64;
+        for i in 0..90 {
+            sa.on_loop_call(addrs[i % 3], t);
+            t += 4_000;
+        }
+        sa.set_cpus(4);
+        // No iteration measured at 4 CPUs yet: no forecast for the new
+        // allocation.
+        assert!(sa.forecast_next_iteration().is_none());
+        for i in 90..200 {
+            sa.on_loop_call(addrs[i % 3], t);
+            t += 1_000;
+        }
+        let f = sa.forecast_next_iteration().unwrap();
+        assert_eq!(f.cpus, 4);
+        assert!((f.predicted_ns - 3_000.0).abs() < 1e-9);
+        // The baseline bucket still forecasts its own allocation: every
+        // 1-CPU iteration took 3 calls x 4000 ns.
+        let r = &sa.regions()[0];
+        let base = r.forecast_next_duration_ns(1).unwrap();
+        assert!((base.predicted_ns - 12_000.0).abs() < 1e-9, "{base:?}");
+    }
+
+    #[test]
+    fn jittery_durations_lower_confidence() {
+        let mut sa = SelfAnalyzer::new(8, 2);
+        let addrs = [0x100i64, 0x140];
+        let mut t = 0u64;
+        for i in 0..120 {
+            sa.on_loop_call(addrs[i % 2], t);
+            // Period-3 call costs against period-2 iterations: whatever
+            // the lock anchor's parity, iteration durations flap.
+            t += if i % 3 == 0 { 4_500 } else { 500 };
+        }
+        let f = sa.forecast_next_iteration().unwrap();
+        let stable = drive(1_000, 120, 8, 2).forecast_next_iteration().unwrap();
+        assert!(
+            f.confidence < stable.confidence,
+            "jitter {f:?} vs stable {stable:?}"
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod policy;
 pub mod report;
 pub mod speedup;
 
-pub use analyzer::{RegionBook, RegionInfo, SelfAnalyzer};
+pub use analyzer::{DurationForecast, RegionBook, RegionInfo, SelfAnalyzer};
 pub use estimate::ExecutionEstimator;
 pub use multistream::MultiStreamAnalyzer;
 pub use speedup::{efficiency, speedup};

@@ -149,6 +149,14 @@ impl MultiStreamAnalyzer {
         self.books.get(&loop_id).and_then(|b| b.active_region())
     }
 
+    /// Forecast the next iteration's duration on one instrumented stream,
+    /// under the current CPU allocation (see
+    /// [`RegionInfo::forecast_next_duration_ns`]).
+    pub fn forecast_next_iteration(&self, loop_id: u64) -> Option<crate::DurationForecast> {
+        self.active_region(loop_id)?
+            .forecast_next_duration_ns(self.cpus_now)
+    }
+
     /// The underlying multi-stream detector table (detector stats, locked
     /// periods, lifecycle counters).
     pub fn table(&self) -> &StreamTable {

@@ -164,6 +164,23 @@ pub fn shuffle_preserving_stream_order<R: Rng>(schedule: &mut [(u64, Vec<i64>)],
     }
 }
 
+/// Build an event stream with injected phase changes: each `(period, len)`
+/// segment is an exactly periodic stream over a segment-private alphabet
+/// (`0x1000 * (segment_index + 1)` base values), so every segment boundary
+/// is a true structural phase change — no value of one phase ever recurs
+/// in another. The forecasting evaluation uses this to check that
+/// predictions issued under a stale period are invalidated, not scored.
+pub fn phase_change_events(segments: &[(usize, usize)]) -> Vec<i64> {
+    assert!(!segments.is_empty(), "need at least one segment");
+    let mut out = Vec::with_capacity(segments.iter().map(|&(_, len)| len).sum());
+    for (seg, &(period, len)) in segments.iter().enumerate() {
+        assert!(period > 0, "segment {seg}: period must be positive");
+        let base = 0x1000 * (seg as i64 + 1);
+        out.extend((0..len).map(|i| base + (i % period) as i64));
+    }
+    out
+}
+
 /// An aperiodic event stream (strictly increasing identifiers) used as a
 /// negative control: no window can find a periodicity in it.
 pub fn aperiodic_events(len: usize) -> Vec<i64> {
@@ -271,6 +288,26 @@ mod tests {
         let peak_at = shape.iter().position(|&v| v == 16.0).unwrap();
         assert!(peak_at < shape.len() - 1);
         assert_eq!(*shape.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn phase_change_segments_are_periodic_and_disjoint() {
+        let s = phase_change_events(&[(3, 30), (5, 25)]);
+        assert_eq!(s.len(), 55);
+        for i in 3..30 {
+            assert_eq!(s[i], s[i - 3]);
+        }
+        for i in 35..55 {
+            assert_eq!(s[i], s[i - 5]);
+        }
+        // Alphabets are disjoint across segments.
+        assert!(s[..30].iter().all(|v| !s[30..].contains(v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn phase_change_zero_period_panics() {
+        let _ = phase_change_events(&[(0, 10)]);
     }
 
     #[test]

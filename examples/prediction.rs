@@ -1,8 +1,14 @@
 //! Prediction and execution-time estimation (paper §1 application 3, §5).
 //!
 //! Locks onto tomcatv's period with the autotuned DPD, predicts upcoming
-//! loop addresses, and estimates the application's total execution time
-//! from the first measured iterations.
+//! loop addresses — both with the simple period-locked predictor and with
+//! the online forecasting subsystem (`dpd_core::predict`, see
+//! docs/PREDICTION.md) — and estimates the application's total execution
+//! time from the first measured iterations.
+//!
+//! Like every example in this workspace, it asserts its own expected
+//! results, so the CI examples smoke job fails if behavior rots instead
+//! of merely checking that the example still compiles.
 //!
 //! ```sh
 //! cargo run --release --example prediction
@@ -12,8 +18,9 @@ use dpd::analyzer::ExecutionEstimator;
 use dpd::apps::app::{App, RunConfig};
 use dpd::apps::tomcatv::{Tomcatv, ITERATIONS};
 use dpd::core::autotune::{TunedDpd, TunerPolicy};
+use dpd::core::predict::ForecastingDpd;
 use dpd::core::prediction::PeriodicPredictor;
-use dpd::core::streaming::SegmentEvent;
+use dpd::core::streaming::{SegmentEvent, StreamingConfig};
 
 fn main() {
     let run = Tomcatv.run(&RunConfig::default());
@@ -42,17 +49,62 @@ fn main() {
     for &s in stream {
         predictor.verify_and_observe(s);
     }
+    let hit_rate = predictor.metrics().hit_rate().unwrap();
     println!(
         "address prediction hit rate: {:.1}% over {} checks",
-        predictor.metrics().hit_rate().unwrap() * 100.0,
+        hit_rate * 100.0,
         predictor.metrics().checked
+    );
+    assert!(
+        hit_rate > 0.95,
+        "tomcatv's loop stream is exactly periodic; hit rate was {hit_rate}"
     );
     let next: Vec<String> = (1..=period)
         .map(|k| format!("{:#x}", predictor.predict(k).unwrap()))
         .collect();
     println!("next {period} loop calls will be: {}", next.join(" "));
 
-    // 3. Estimate total execution time after measuring 10 iterations.
+    // 3. The online forecasting subsystem: detector + forecaster in one,
+    //    with confidence and forecast-error statistics maintained as the
+    //    stream advances (docs/PREDICTION.md).
+    let mut forecaster =
+        ForecastingDpd::events(StreamingConfig::with_window(32), period).expect("valid config");
+    for &s in stream {
+        forecaster.push(s);
+    }
+    let stats = forecaster.predictor().stats();
+    let forecast = forecaster.forecast(period).expect("locked and primed");
+    println!(
+        "online forecaster: hit-rate {:.1}% over {} checks, confidence {:.2}, \
+         next period forecast {:?}",
+        stats.hit_rate().unwrap() * 100.0,
+        stats.checked,
+        forecast.confidence,
+        forecast
+            .predicted
+            .iter()
+            .map(|v| format!("{v:#x}"))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(forecast.period, period, "forecaster agrees with the lock");
+    assert!(
+        stats.hit_rate().unwrap() > 0.95,
+        "forecast hit rate {:?} below the exactly-periodic expectation",
+        stats.hit_rate()
+    );
+    assert!(
+        forecast.confidence > 0.9,
+        "stable stream must yield high confidence, got {}",
+        forecast.confidence
+    );
+    assert_eq!(stats.invalidations, 0, "no phase change in tomcatv");
+    // Both prediction paths agree on the upcoming values.
+    let simple: Vec<i64> = (1..=period)
+        .map(|k| predictor.predict(k).unwrap())
+        .collect();
+    assert_eq!(forecast.predicted, &simple[..], "predictors disagree");
+
+    // 4. Estimate total execution time after measuring 10 iterations.
     let iter_time_ns = run.elapsed_ns / ITERATIONS as u64; // true mean
     let mut est = ExecutionEstimator::new().with_total_iterations(ITERATIONS as u64);
     for _ in 0..10 {
@@ -60,11 +112,16 @@ fn main() {
     }
     let predicted = est.estimated_total_ns().unwrap();
     let actual = run.elapsed_ns as f64;
+    let error = est.estimate_error(run.elapsed_ns).unwrap();
     println!(
         "execution-time estimate after 10/{} iterations: {:.2} s (actual {:.2} s, error {:.2}%)",
         ITERATIONS,
         predicted / 1e9,
         actual / 1e9,
-        est.estimate_error(run.elapsed_ns).unwrap() * 100.0
+        error * 100.0
+    );
+    assert!(
+        error.abs() < 0.05,
+        "estimate from the true mean must land within 5%, got {error}"
     );
 }

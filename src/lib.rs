@@ -16,7 +16,9 @@
 //!
 //! A crate-by-crate data-flow tour with a pipeline diagram lives in
 //! `docs/ARCHITECTURE.md`; the on-disk trace formats are specified in
-//! `docs/FORMAT.md`.
+//! `docs/FORMAT.md`; the online forecasting subsystem's contract
+//! (confidence semantics, phase-change invalidation, MAPE) lives in
+//! `docs/PREDICTION.md`.
 //!
 //! ## Quick start
 //!

@@ -1,0 +1,183 @@
+//! Eviction-edge coverage for [`StreamTable`]: watermark ties,
+//! close-after-evict interactions, and re-opening an evicted stream in the
+//! middle of a forecast — forecast state must reset and every counter must
+//! stay consistent.
+
+use dpd::core::shard::{MultiStreamEvent, StreamId, StreamTable, TableConfig};
+
+fn periodic(period: u64, start: u64, len: usize) -> Vec<i64> {
+    (0..len as u64)
+        .map(|i| ((start + i) % period) as i64)
+        .collect()
+}
+
+/// The eviction comparison is strict: a stream whose idle gap equals the
+/// watermark *exactly* is still live; one more sample of gap evicts it.
+#[test]
+fn watermark_tie_is_not_an_eviction() {
+    for extra in [0u64, 1] {
+        let mut table = StreamTable::new(TableConfig::with_eviction(8, 50));
+        let mut out = Vec::new();
+        table.ingest(0, StreamId(0), &periodic(3, 0, 24), &mut out);
+        assert_eq!(table.locked_period(StreamId(0)), Some(3));
+        // Stream 0's last sample sits at clock 23. A batch arriving at
+        // seq such that seq - 23 == 50 (+ extra) probes the boundary.
+        let seq = 23 + 50 + extra;
+        table.ingest(seq, StreamId(0), &periodic(3, 24, 3), &mut out);
+        if extra == 0 {
+            assert_eq!(table.stats().evicted, 0, "tie must keep the stream");
+            assert_eq!(
+                table.locked_period(StreamId(0)),
+                Some(3),
+                "lock survives a gap of exactly the watermark"
+            );
+        } else {
+            assert_eq!(table.stats().evicted, 1, "gap one past the watermark");
+            assert_eq!(table.locked_period(StreamId(0)), None);
+        }
+    }
+}
+
+/// `sweep` uses the same strict comparison as lazy eviction.
+#[test]
+fn sweep_watermark_tie_is_not_an_eviction() {
+    let mut table = StreamTable::new(TableConfig::with_eviction(8, 50));
+    let mut out = Vec::new();
+    table.ingest(0, StreamId(0), &periodic(3, 0, 24), &mut out);
+    assert_eq!(table.sweep(23 + 50), 0, "tie survives the sweep");
+    assert_eq!(table.len(), 1);
+    assert_eq!(table.sweep(23 + 51), 1, "one past the watermark is gone");
+    assert!(table.is_empty());
+    assert_eq!(table.stats().evicted, 1);
+}
+
+/// Closing a stream that a sweep already evicted is a plain
+/// unknown-stream close: no flush, no double-counted eviction.
+#[test]
+fn close_after_sweep_evict_is_a_silent_noop() {
+    let mut table = StreamTable::new(TableConfig::with_eviction(8, 16));
+    let mut out = Vec::new();
+    table.ingest(0, StreamId(0), &periodic(3, 0, 24), &mut out);
+    assert_eq!(table.sweep(200), 1);
+    out.clear();
+    assert!(!table.close(200, StreamId(0), &mut out));
+    assert!(out.is_empty());
+    let stats = table.stats();
+    assert_eq!(stats.evicted, 1, "the sweep's eviction, counted once");
+    assert_eq!(stats.closed, 0);
+    // Whether the eviction happened by sweep or lazily inside close, the
+    // observable event stream is identical (none) and the rollups agree.
+    let mut lazy = StreamTable::new(TableConfig::with_eviction(8, 16));
+    let mut lazy_out = Vec::new();
+    lazy.ingest(0, StreamId(0), &periodic(3, 0, 24), &mut lazy_out);
+    lazy_out.clear();
+    assert!(!lazy.close(200, StreamId(0), &mut lazy_out));
+    assert!(lazy_out.is_empty());
+    assert_eq!(lazy.stats().evicted, stats.evicted);
+    assert_eq!(lazy.stats().closed, stats.closed);
+}
+
+/// A closed stream id can be re-opened: the close flushed the old state,
+/// and the re-opened stream starts from scratch (fresh creation counter).
+#[test]
+fn reopen_after_close_starts_fresh() {
+    let mut table = StreamTable::new(TableConfig::with_forecast(8, 1));
+    let mut out = Vec::new();
+    table.ingest(0, StreamId(9), &periodic(4, 0, 32), &mut out);
+    assert!(table.close(32, StreamId(9), &mut out));
+    assert_eq!(table.stats().created, 1);
+    out.clear();
+    table.ingest(32, StreamId(9), &periodic(6, 0, 12), &mut out);
+    assert_eq!(table.stats().created, 2);
+    assert_eq!(table.locked_period(StreamId(9)), None, "fresh detector");
+    let fs = table.forecast_stats(StreamId(9)).unwrap();
+    assert_eq!(fs.checked, 0, "fresh forecaster after close + re-open");
+}
+
+/// Re-opening an evicted stream mid-forecast: the stream was locked and
+/// actively forecasting when it went idle; on return its forecast state
+/// (lock, confidence, pending predictions, per-stream statistics) must be
+/// reset while the table-level rollups stay monotonic and consistent.
+#[test]
+fn reopen_of_evicted_stream_mid_forecast_resets_forecast_state() {
+    let horizon = 4usize;
+    let cfg = TableConfig::with_eviction(8, 30).forecasting(horizon);
+    let mut table = StreamTable::new(cfg);
+    let mut out = Vec::new();
+
+    // Lock and forecast: stream 0 is primed with in-flight predictions
+    // (horizon 4 means up to 4 outstanding at any time).
+    table.ingest(0, StreamId(0), &periodic(3, 0, 40), &mut out);
+    let before = table.forecast_stats(StreamId(0)).unwrap();
+    assert!(before.checked > 0, "forecasting was live");
+    assert!(before.issued > before.checked, "predictions in flight");
+    assert!(table.forecast_confidence(StreamId(0)).unwrap() > 0.9);
+    let table_before = table.stats();
+
+    // 100 samples of other traffic put stream 0 far past the watermark.
+    table.ingest(40, StreamId(1), &periodic(5, 0, 100), &mut out);
+
+    // Stream 0 returns mid-forecast: its in-flight predictions must not
+    // be scored against post-gap samples, its stats must restart, and it
+    // must be able to re-lock and forecast again.
+    table.ingest(140, StreamId(0), &periodic(3, 1, 2), &mut out);
+    let after = table.forecast_stats(StreamId(0)).unwrap();
+    assert_eq!(after, Default::default(), "stats restart from zero");
+    assert_eq!(table.forecast_confidence(StreamId(0)), Some(0.0));
+    assert_eq!(table.locked_period(StreamId(0)), None);
+    assert!(table.forecast(StreamId(0), 1).is_none());
+
+    let stats = table.stats();
+    assert_eq!(stats.evicted, 1);
+    assert_eq!(stats.created, 3, "streams 0, 1, and the re-creation");
+    assert!(
+        stats.forecast_checked >= table_before.forecast_checked,
+        "table rollups are monotonic across evictions"
+    );
+    // The dropped in-flight predictions are simply gone — not scored:
+    // checked grew only by stream 1's post-lock scoring.
+    let s1 = table.forecast_stats(StreamId(1)).unwrap();
+    assert_eq!(
+        stats.forecast_checked,
+        table_before.forecast_checked + s1.checked,
+        "no stale stream-0 prediction was scored after the eviction"
+    );
+
+    // And the revived stream forecasts again after a fresh lock.
+    table.ingest(142, StreamId(0), &periodic(3, 3, 30), &mut out);
+    assert_eq!(table.locked_period(StreamId(0)), Some(3));
+    let revived = table.forecast_stats(StreamId(0)).unwrap();
+    assert!(revived.checked > 0);
+    assert_eq!(revived.hit_rate(), Some(1.0));
+    assert!(table.forecast(StreamId(0), horizon).is_some());
+}
+
+/// Event counters and emitted events agree across every lifecycle edge.
+#[test]
+fn event_counters_stay_consistent_across_evict_close_reopen() {
+    let cfg = TableConfig::with_eviction(8, 20).forecasting(2);
+    let mut table = StreamTable::new(cfg);
+    let mut out = Vec::new();
+    table.ingest(0, StreamId(3), &periodic(2, 0, 30), &mut out);
+    table.ingest(30, StreamId(4), &periodic(3, 0, 60), &mut out); // 3 idles out
+    table.ingest(90, StreamId(3), &periodic(2, 0, 30), &mut out); // re-created
+    table.close(120, StreamId(3), &mut out);
+    table.close(120, StreamId(3), &mut out); // double close: no-op
+    table.close_all(120, &mut out);
+
+    let stats = table.stats();
+    assert_eq!(stats.events, out.len() as u64, "every event was counted");
+    let closes = out
+        .iter()
+        .filter(|e| matches!(e, MultiStreamEvent::Closed { .. }))
+        .count() as u64;
+    assert_eq!(stats.closed, closes);
+    // Stream 3 closes for real (fresh activity at clock 90..120); stream
+    // 4 last sampled at clock 89, so its close at 120 finds it idle past
+    // the watermark and evicts silently instead — the second eviction.
+    assert_eq!(stats.closed, 1, "only stream 3 was live enough to flush");
+    assert_eq!(stats.evicted, 2, "idle-out of 3, close-time evict of 4");
+    assert_eq!(stats.created, 3);
+    assert_eq!(stats.samples, 120);
+    assert_eq!(stats.streams, 0);
+}
