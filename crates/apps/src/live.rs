@@ -215,7 +215,7 @@ pub fn live_swim_run(config: &LiveConfig) -> (LiveRun, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dpd_core::streaming::{StreamingConfig, StreamingDpd};
+    use dpd_core::pipeline::DpdBuilder;
 
     fn small_config() -> LiveConfig {
         LiveConfig {
@@ -230,7 +230,7 @@ mod tests {
     fn live_run_produces_period_3_address_stream() {
         let run = live_jacobi_run(&small_config());
         assert_eq!(run.addresses.len(), 3 * 40);
-        let mut dpd = StreamingDpd::events(StreamingConfig::with_window(8));
+        let mut dpd = DpdBuilder::new().window(8).build_detector().unwrap();
         for &s in &run.addresses.values {
             dpd.push(s);
         }
@@ -283,7 +283,7 @@ mod tests {
             ..small_config()
         });
         assert_eq!(run.addresses.len(), 6 * 40);
-        let mut dpd = StreamingDpd::events(StreamingConfig::with_window(16));
+        let mut dpd = DpdBuilder::new().window(16).build_detector().unwrap();
         for &s in &run.addresses.values {
             dpd.push(s);
         }

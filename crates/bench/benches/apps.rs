@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dpd_core::detector::FrameDetector;
-use dpd_core::streaming::MultiScaleDpd;
+use dpd_core::pipeline::{DpdBuilder, DEFAULT_SCALES};
 use spec_apps::app::{App, RunConfig};
 use spec_apps::ft::ft_run;
 use std::hint::black_box;
@@ -20,7 +20,10 @@ fn bench_event_detection(c: &mut Criterion) {
         g.throughput(Throughput::Elements(data.len() as u64));
         g.bench_with_input(BenchmarkId::from_parameter(app.name()), &data, |b, data| {
             b.iter(|| {
-                let mut bank = MultiScaleDpd::default_scales();
+                let mut bank = DpdBuilder::new()
+                    .scales(DEFAULT_SCALES)
+                    .build_multi_scale()
+                    .unwrap();
                 for &s in data {
                     bank.push(black_box(s));
                 }

@@ -9,9 +9,10 @@
 //! deterministic inline fallback the sharded modes are compared against.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpd_core::pipeline::DpdBuilder;
 use dpd_core::shard::StreamId;
 use dpd_trace::gen::interleaved_streams;
-use par_runtime::service::{MultiStreamDpd, ServiceConfig};
+use par_runtime::service::MultiStreamDpd;
 use std::hint::black_box;
 
 const WINDOW: usize = 16;
@@ -19,7 +20,8 @@ const CHUNK: usize = 64;
 const ROUNDS: usize = 2;
 
 fn run(schedule: &[(u64, Vec<i64>)], shards: usize) -> usize {
-    let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(shards, WINDOW));
+    let mut svc =
+        MultiStreamDpd::from_builder(&DpdBuilder::new().window(WINDOW).shards(shards)).unwrap();
     // One ingest call per round-robin wave, like a frontend draining its
     // socket set once per poll cycle.
     for wave in schedule.chunks(schedule.len() / ROUNDS) {

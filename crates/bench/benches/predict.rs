@@ -10,9 +10,8 @@
 //!   same interleaved schedule.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dpd_core::predict::ForecastingDpd;
+use dpd_core::pipeline::DpdBuilder;
 use dpd_core::shard::{StreamId, StreamTable, TableConfig};
-use dpd_core::streaming::{StreamingConfig, StreamingDpd};
 use dpd_trace::gen;
 use std::hint::black_box;
 
@@ -27,7 +26,7 @@ fn bench_push_overhead(c: &mut Criterion) {
     g.throughput(Throughput::Elements(data.len() as u64));
     g.bench_function("detector_only", |b| {
         b.iter(|| {
-            let mut dpd = StreamingDpd::events(StreamingConfig::with_window(n));
+            let mut dpd = DpdBuilder::new().window(n).build_detector().unwrap();
             let mut starts = 0u64;
             for &s in &data {
                 if dpd.push(black_box(s)).as_return_value() != 0 {
@@ -40,7 +39,11 @@ fn bench_push_overhead(c: &mut Criterion) {
     for &h in &[1usize, 8] {
         g.bench_with_input(BenchmarkId::new("forecasting/horizon", h), &h, |b, &h| {
             b.iter(|| {
-                let mut f = ForecastingDpd::events(StreamingConfig::with_window(n), h).unwrap();
+                let mut f = DpdBuilder::new()
+                    .window(n)
+                    .forecast(h)
+                    .build_forecasting()
+                    .unwrap();
                 for &s in &data {
                     f.push(black_box(s));
                 }
@@ -56,7 +59,11 @@ fn bench_forecast_slice(c: &mut Criterion) {
     // is primed once outside the measurement loop.
     let mut g = c.benchmark_group("predict/forecast_slice");
     for &h in &[1usize, 16, 256] {
-        let mut f = ForecastingDpd::events(StreamingConfig::with_window(512), h).unwrap();
+        let mut f = DpdBuilder::new()
+            .window(512)
+            .forecast(h)
+            .build_forecasting()
+            .unwrap();
         for &s in &stream(44, 4096) {
             f.push(s);
         }
@@ -91,10 +98,23 @@ fn bench_table_overhead(c: &mut Criterion) {
         (out.len() as u64, t.forecast_checked)
     };
     g.bench_function("detector_only", |b| {
-        b.iter(|| run(black_box(TableConfig::with_window(64))))
+        b.iter(|| {
+            run(black_box(
+                DpdBuilder::new().window(64).keyed().table_config().unwrap(),
+            ))
+        })
     });
     g.bench_function("forecasting_h1", |b| {
-        b.iter(|| run(black_box(TableConfig::with_forecast(64, 1))))
+        b.iter(|| {
+            run(black_box(
+                DpdBuilder::new()
+                    .window(64)
+                    .keyed()
+                    .forecast(1)
+                    .table_config()
+                    .unwrap(),
+            ))
+        })
     });
     g.finish();
 }

@@ -7,10 +7,9 @@
 //! from scratch each push.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dpd_core::capi::Dpd;
 use dpd_core::incremental::{EngineConfig, IncrementalEngine};
 use dpd_core::metric::{direct_distance, EventMetric};
-use dpd_core::streaming::{StreamingConfig, StreamingDpd};
+use dpd_core::pipeline::DpdBuilder;
 use std::hint::black_box;
 
 fn stream(period: usize, len: usize) -> Vec<i64> {
@@ -24,7 +23,7 @@ fn bench_push_per_window(c: &mut Criterion) {
         g.throughput(Throughput::Elements(data.len() as u64));
         g.bench_with_input(BenchmarkId::new("window", n), &n, |b, &n| {
             b.iter(|| {
-                let mut dpd = StreamingDpd::events(StreamingConfig::with_window(n));
+                let mut dpd = DpdBuilder::new().window(n).build_detector().unwrap();
                 let mut starts = 0u64;
                 for &s in &data {
                     if dpd.push(black_box(s)).as_return_value() != 0 {
@@ -46,7 +45,7 @@ fn bench_push_slice_per_window(c: &mut Criterion) {
         g.throughput(Throughput::Elements(data.len() as u64));
         g.bench_with_input(BenchmarkId::new("window", n), &n, |b, &n| {
             b.iter(|| {
-                let mut dpd = StreamingDpd::events(StreamingConfig::with_window(n));
+                let mut dpd = DpdBuilder::new().window(n).build_detector().unwrap();
                 dpd.push_slice(black_box(&data)).len()
             })
         });
@@ -86,7 +85,7 @@ fn bench_capi_replay(c: &mut Criterion) {
     g.throughput(Throughput::Elements(data.len() as u64));
     g.bench_function("swim_sized_window16", |b| {
         b.iter(|| {
-            let mut dpd = Dpd::with_window(16);
+            let mut dpd = DpdBuilder::new().window(16).build_capi().unwrap();
             let mut period = 0i32;
             let mut hits = 0u64;
             for &s in &data {
@@ -97,7 +96,7 @@ fn bench_capi_replay(c: &mut Criterion) {
     });
     g.bench_function("swim_sized_window16_batch", |b| {
         b.iter(|| {
-            let mut dpd = Dpd::with_window(16);
+            let mut dpd = DpdBuilder::new().window(16).build_capi().unwrap();
             dpd.dpd_batch(black_box(&data)).len()
         })
     });

@@ -16,11 +16,12 @@
 //! shows up here first.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dpd_core::pipeline::DpdBuilder;
 use dpd_core::shard::StreamId;
 use dpd_trace::dtb::{Block, DtbReader, DtbWriter};
 use dpd_trace::gen::interleaved_streams;
 use dpd_trace::{io, EventTrace};
-use par_runtime::service::{MultiStreamDpd, ServiceConfig};
+use par_runtime::service::MultiStreamDpd;
 use std::hint::black_box;
 
 const STREAMS: u64 = 10_000;
@@ -79,7 +80,8 @@ fn parse_dtb(bytes: &[u8]) -> usize {
 }
 
 fn replay_text(docs: &[Vec<u8>]) -> u64 {
-    let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(0, WINDOW));
+    let mut svc =
+        MultiStreamDpd::from_builder(&DpdBuilder::new().window(WINDOW).shards(0)).unwrap();
     for (s, doc) in docs.iter().enumerate() {
         let t = io::read_events(&doc[..]).expect("valid text doc");
         svc.ingest(&[(StreamId(s as u64), &t.values)]);
@@ -89,7 +91,8 @@ fn replay_text(docs: &[Vec<u8>]) -> u64 {
 }
 
 fn replay_dtb(bytes: &[u8]) -> u64 {
-    let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(0, WINDOW));
+    let mut svc =
+        MultiStreamDpd::from_builder(&DpdBuilder::new().window(WINDOW).shards(0)).unwrap();
     let mut r = DtbReader::new(bytes).expect("valid container");
     while let Some(block) = r.next_block() {
         if let Block::Events { stream, values } = block.expect("uncorrupted corpus") {

@@ -10,7 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dpd_core::autotune::{TunedDpd, TunerPolicy};
-use dpd_core::streaming::{StreamingConfig, StreamingDpd};
+use dpd_core::pipeline::DpdBuilder;
 use std::hint::black_box;
 
 fn stream(period: usize, len: usize) -> Vec<i64> {
@@ -24,7 +24,7 @@ fn bench_cost_vs_window(c: &mut Criterion) {
         g.throughput(Throughput::Elements(data.len() as u64));
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
-                let mut dpd = StreamingDpd::events(StreamingConfig::with_window(n));
+                let mut dpd = DpdBuilder::new().window(n).build_detector().unwrap();
                 for &s in &data {
                     black_box(dpd.push(s));
                 }
@@ -41,7 +41,7 @@ fn bench_resize_cost(c: &mut Criterion) {
     let data = stream(12, 2048);
     g.bench_function("resize_1024_to_32", |b| {
         b.iter(|| {
-            let mut dpd = StreamingDpd::events(StreamingConfig::with_window(1024));
+            let mut dpd = DpdBuilder::new().window(1024).build_detector().unwrap();
             for &s in &data {
                 dpd.push(s);
             }
@@ -74,7 +74,7 @@ fn bench_autotuned_end_to_end(c: &mut Criterion) {
     });
     g.bench_function("fixed_1024_reference", |b| {
         b.iter(|| {
-            let mut dpd = StreamingDpd::events(StreamingConfig::with_window(1024));
+            let mut dpd = DpdBuilder::new().window(1024).build_detector().unwrap();
             for &s in &data {
                 black_box(dpd.push(s));
             }

@@ -5,8 +5,8 @@
 //! the steady state with the DPD's period-start marks underneath, plus the
 //! segmentation summary (segments, periods per segment).
 
+use dpd_core::pipeline::DpdBuilder;
 use dpd_core::segmentation::Segmenter;
-use dpd_core::streaming::{StreamingConfig, StreamingDpd};
 use spec_apps::app::{App, RunConfig};
 
 /// Window sized to the app's outermost periodicity (as the paper does by
@@ -22,7 +22,7 @@ fn main() {
         let run = app.run(&RunConfig::default());
         let data = &run.addresses.values;
         let window = window_for(app.as_ref());
-        let mut dpd = StreamingDpd::events(StreamingConfig::with_window(window));
+        let mut dpd = DpdBuilder::new().window(window).build_detector().unwrap();
         let mut seg = Segmenter::new();
         for event in dpd.push_slice(data) {
             seg.observe(event);

@@ -11,9 +11,10 @@
 //! cargo run --release -p dpd-bench --bin multistream_scaling [streams...]
 //! ```
 
+use dpd_core::pipeline::DpdBuilder;
 use dpd_core::shard::StreamId;
 use dpd_trace::gen::interleaved_streams;
-use par_runtime::service::{MultiStreamDpd, ServiceConfig};
+use par_runtime::service::MultiStreamDpd;
 use std::time::Instant;
 
 const WINDOW: usize = 16;
@@ -30,7 +31,8 @@ struct Cell {
 
 fn run(schedule: &[(u64, Vec<i64>)], shards: usize) -> Cell {
     let total_samples = (schedule.len() * CHUNK) as f64;
-    let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(shards, WINDOW));
+    let mut svc =
+        MultiStreamDpd::from_builder(&DpdBuilder::new().window(WINDOW).shards(shards)).unwrap();
     let start = Instant::now();
     for wave in schedule.chunks(schedule.len() / ROUNDS) {
         let records: Vec<(StreamId, &[i64])> = wave

@@ -17,7 +17,7 @@
 //! applications and visibly larger (window scales with the 269-sample
 //! period) — yet still small — for hydro2d.
 
-use dpd_core::capi::Dpd;
+use dpd_core::pipeline::DpdBuilder;
 use spec_apps::app::{App, RunConfig};
 use std::time::Instant;
 
@@ -50,7 +50,7 @@ fn main() {
         // the DPD (identical detections to per-sample `dpd()`; the paper's
         // synthetic benchmark also reads the whole trace up front).
         let window = window_for(app.as_ref());
-        let mut dpd = Dpd::with_window(window);
+        let mut dpd = DpdBuilder::new().window(window).build_capi().unwrap();
         let start = Instant::now();
         let detections = dpd.dpd_batch(trace).len() as u64;
         let time_proc = start.elapsed().as_secs_f64();

@@ -26,14 +26,17 @@
 
 pub mod gate;
 
-use dpd_core::streaming::MultiScaleDpd;
+use dpd_core::pipeline::{DpdBuilder, DEFAULT_SCALES};
 use spec_apps::app::{App, AppRun, RunConfig};
 
 /// Run one application with default settings and analyse its address
 /// stream with the default multi-scale bank.
 pub fn run_and_detect(app: &dyn App) -> (AppRun, Vec<usize>) {
     let run = app.run(&RunConfig::default());
-    let mut bank = MultiScaleDpd::default_scales();
+    let mut bank = DpdBuilder::new()
+        .scales(DEFAULT_SCALES)
+        .build_multi_scale()
+        .expect("default scale set is valid");
     bank.push_slice(&run.addresses.values);
     let periods = bank.detected_periods();
     (run, periods)

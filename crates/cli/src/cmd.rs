@@ -4,12 +4,12 @@
 //! `--flag value` pairs plus at most one positional trace-file path.
 
 use dpd_core::detector::FrameDetector;
+use dpd_core::pipeline::DpdBuilder;
 use dpd_core::segmentation::segment_events;
 use dpd_core::shard::{MultiStreamEvent, StreamId};
-use dpd_core::streaming::MultiScaleDpd;
 use dpd_trace::io::TraceFormat;
 use dpd_trace::{dtb, gen, io, EventTrace, SampledTrace};
-use par_runtime::service::{MultiStreamDpd, ServiceConfig};
+use par_runtime::service::MultiStreamDpd;
 use spec_apps::app::RunConfig;
 use std::fmt::Write as _;
 
@@ -310,7 +310,10 @@ fn analyze(flags: &Flags) -> Result<String, String> {
             .map(|p| p.trim().parse().map_err(|_| format!("bad scale {p:?}")))
             .collect::<Result<_, _>>()?,
     };
-    let mut bank = MultiScaleDpd::new(&scales).map_err(|e| format!("invalid scales: {e}"))?;
+    let mut bank = DpdBuilder::new()
+        .scales(&scales)
+        .build_multi_scale()
+        .map_err(|e| format!("invalid scales: {e}"))?;
     bank.push_slice(&trace.values);
     let mut out = String::new();
     writeln!(out, "trace {:?}: {} events", trace.name, trace.len()).unwrap();
@@ -422,7 +425,8 @@ fn multistream(flags: &Flags) -> Result<String, String> {
 
     // Replay all traces concurrently: round-robin chunks until exhausted,
     // the arrival pattern of many applications tracing at once.
-    let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(shards, window));
+    let mut svc = MultiStreamDpd::from_builder(&DpdBuilder::new().window(window).shards(shards))
+        .map_err(|e| format!("invalid multistream configuration: {e}"))?;
     let total: usize = traces.iter().map(|t| t.len()).sum();
     let start = std::time::Instant::now();
     let mut offset = 0;
@@ -523,9 +527,6 @@ fn fmt_pct(rate: Option<f64>) -> String {
 /// deliberately deterministic (stable stream order, no wall-clock figures)
 /// so it can be golden-file tested.
 fn predict(flags: &Flags) -> Result<String, String> {
-    use dpd_core::predict::ForecastingDpd;
-    use dpd_core::streaming::StreamingConfig;
-
     let path = flags
         .positional
         .first()
@@ -572,7 +573,10 @@ fn predict(flags: &Flags) -> Result<String, String> {
     let mut checked_total = 0u64;
     let mut hits_total = 0u64;
     for trace in &streams {
-        let mut f = ForecastingDpd::events(StreamingConfig::with_window(window), horizon)
+        let mut f = DpdBuilder::new()
+            .window(window)
+            .forecast(horizon)
+            .build_forecasting()
             .map_err(|e| format!("invalid predict configuration: {e}"))?;
         for &s in &trace.values {
             f.push(s);

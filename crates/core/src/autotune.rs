@@ -8,7 +8,7 @@
 //! detector: shrink to a small multiple of the locked period, grow back
 //! toward the maximum when the lock is lost.
 
-use crate::streaming::{SegmentEvent, StreamingConfig, StreamingDpd};
+use crate::streaming::{SegmentEvent, StreamingDpd};
 
 /// Window adaptation policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -123,7 +123,10 @@ pub struct TunedDpd {
 impl TunedDpd {
     /// Create a tuned detector starting at the policy's maximum window.
     pub fn new(policy: TunerPolicy) -> Self {
-        let dpd = StreamingDpd::events(StreamingConfig::with_window(policy.max_window));
+        let dpd = crate::pipeline::DpdBuilder::new()
+            .window(policy.max_window)
+            .build_detector()
+            .expect("invalid tuner max_window");
         TunedDpd {
             dpd,
             tuner: WindowTuner::new(policy),

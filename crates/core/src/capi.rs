@@ -11,7 +11,7 @@
 //! nonzero exactly when the sample starts a period — the condition on which
 //! the SelfAnalyzer initialises a parallel region (Fig. 6).
 
-use crate::streaming::{SegmentEvent, StreamingConfig, StreamingDpd};
+use crate::streaming::{SegmentEvent, StreamingDpd};
 
 /// Default initial window size: "the window size N of the periodicity
 /// detector should be set initially to a large value" (§3.1); the paper used
@@ -26,19 +26,34 @@ pub struct Dpd {
 
 impl Dpd {
     /// Create a DPD with the default (large) window.
+    #[deprecated(note = "use dpd_core::pipeline::DpdBuilder::new().build_capi() — \
+                         see the README migration table")]
     pub fn new() -> Self {
-        Dpd::with_window(DEFAULT_WINDOW)
+        crate::pipeline::DpdBuilder::new()
+            .build_capi()
+            .expect("default window is valid")
     }
 
     /// Create a DPD with an explicit window size.
     ///
     /// # Panics
     /// Panics when `window == 0` (mirrors the C implementation's assert).
+    #[deprecated(
+        note = "use dpd_core::pipeline::DpdBuilder::new().window(n).build_capi() — \
+                         see the README migration table"
+    )]
     pub fn with_window(window: usize) -> Self {
         assert!(window > 0, "DPD window size must be non-zero");
-        Dpd {
-            inner: StreamingDpd::events(StreamingConfig::with_window(window)),
-        }
+        crate::pipeline::DpdBuilder::new()
+            .window(window)
+            .build_capi()
+            .expect("window validated above")
+    }
+
+    /// Wrap an assembled detector (the [`crate::pipeline::DpdBuilder`]
+    /// hook).
+    pub(crate) fn from_detector(inner: StreamingDpd<i64, crate::metric::EventMetric>) -> Self {
+        Dpd { inner }
     }
 
     /// `int DPD(long sample, int *period)` — periodicity detection and
@@ -102,17 +117,24 @@ impl Dpd {
 
 impl Default for Dpd {
     fn default() -> Self {
-        Dpd::new()
+        crate::pipeline::DpdBuilder::new()
+            .build_capi()
+            .expect("default window is valid")
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::DpdBuilder;
+
+    fn capi(window: usize) -> Dpd {
+        DpdBuilder::new().window(window).build_capi().unwrap()
+    }
 
     #[test]
     fn table1_contract_periodic_stream() {
-        let mut dpd = Dpd::with_window(16);
+        let mut dpd = capi(16);
         let mut period: i32 = 0;
         let mut nonzero_returns = 0;
         for i in 0..200usize {
@@ -127,7 +149,7 @@ mod tests {
 
     #[test]
     fn period_untouched_when_return_is_zero() {
-        let mut dpd = Dpd::with_window(16);
+        let mut dpd = capi(16);
         let mut period: i32 = -7;
         // Aperiodic stream: return must stay 0 and period must stay -7.
         for i in 0..100i64 {
@@ -138,7 +160,7 @@ mod tests {
 
     #[test]
     fn window_size_adjustment() {
-        let mut dpd = Dpd::new();
+        let mut dpd = DpdBuilder::new().build_capi().unwrap();
         assert_eq!(dpd.window(), DEFAULT_WINDOW);
         dpd.dpd_window_size(64);
         assert_eq!(dpd.window(), 64);
@@ -150,7 +172,7 @@ mod tests {
 
     #[test]
     fn shrinking_window_enables_faster_relock() {
-        let mut dpd = Dpd::with_window(512);
+        let mut dpd = capi(512);
         let mut period = 0;
         // Feed exactly enough of a period-6 stream to lock with N=512:
         // needs 512 + 6 samples.
@@ -182,7 +204,7 @@ mod tests {
         let data: Vec<i64> = (0..300)
             .map(|i| [0x1000i64, 0x2000, 0x3000, 0x4000, 0x5000][i % 5])
             .collect();
-        let mut single = Dpd::with_window(16);
+        let mut single = capi(16);
         let mut period = 0i32;
         let mut expected = Vec::new();
         for (i, &s) in data.iter().enumerate() {
@@ -191,7 +213,7 @@ mod tests {
             }
         }
 
-        let mut batch = Dpd::with_window(16);
+        let mut batch = capi(16);
         let mut got = Vec::new();
         for (chunk_idx, chunk) in data.chunks(120).enumerate() {
             for (offset, p) in batch.dpd_batch(chunk) {
@@ -204,7 +226,7 @@ mod tests {
 
     #[test]
     fn dpd_batch_offsets_are_chunk_relative() {
-        let mut dpd = Dpd::with_window(8);
+        let mut dpd = capi(8);
         let data: Vec<i64> = (0..40).map(|i| [7i64, 8][i % 2]).collect();
         let first = dpd.dpd_batch(&data);
         assert!(!first.is_empty());
@@ -218,6 +240,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "non-zero")]
+    #[allow(deprecated)] // the compat shim keeps the C assert's behavior
     fn zero_window_panics() {
         let _ = Dpd::with_window(0);
     }
@@ -225,5 +248,12 @@ mod tests {
     #[test]
     fn default_is_new() {
         assert_eq!(Dpd::default().window(), DEFAULT_WINDOW);
+    }
+
+    #[test]
+    #[allow(deprecated)] // compat shims must assemble the same detector
+    fn deprecated_shims_delegate_to_builder() {
+        assert_eq!(Dpd::new().window(), DEFAULT_WINDOW);
+        assert_eq!(Dpd::with_window(64).window(), 64);
     }
 }

@@ -57,7 +57,7 @@ impl Hierarchy {
 
 /// Build a [`Hierarchy`] from an event stream using a multi-scale bank.
 pub fn analyze_hierarchy(data: &[i64], windows: &[usize]) -> crate::Result<Hierarchy> {
-    let mut bank = MultiScaleDpd::new(windows)?;
+    let mut bank = MultiScaleDpd::from_windows(windows)?;
     // One segmenter per scale.
     let mut segmenters: Vec<Segmenter> = windows.iter().map(|_| Segmenter::new()).collect();
     for &s in data {

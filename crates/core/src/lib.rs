@@ -37,20 +37,27 @@
 //!   satisfying periodicity has been found (paper §3.1/§4),
 //! * [`capi::Dpd`] — the paper-faithful Table 1 interface.
 //!
+//! Every one of those stacks is constructed through **one typed entry
+//! point**, [`pipeline::DpdBuilder`], which validates option combinations
+//! ([`pipeline::BuildError`]) and reports through one event stream
+//! ([`pipeline::EventSink`] / [`pipeline::DpdEvent`]). The pre-builder
+//! constructors remain as `#[deprecated]` delegates; the README's
+//! *"Migration from 0.x constructors"* table maps each to its builder call.
+//!
 //! ## Quick start
 //!
 //! ```
-//! use dpd_core::streaming::{StreamingDpd, StreamingConfig, SegmentEvent};
+//! use dpd_core::pipeline::{Detector, DpdBuilder, DpdEvent};
+//! use dpd_core::streaming::SegmentEvent;
 //!
 //! // A stream of "parallel loop addresses" with period 3: A B C A B C ...
 //! let stream = [10i64, 20, 30, 10, 20, 30, 10, 20, 30, 10, 20, 30];
-//! let mut dpd = StreamingDpd::events(StreamingConfig::with_window(8));
-//! let mut detected = None;
-//! for &s in &stream {
-//!     if let SegmentEvent::PeriodStart { period, .. } = dpd.push(s) {
-//!         detected = Some(period);
-//!     }
-//! }
+//! let mut pipe = DpdBuilder::new().window(8).build(Vec::new()).unwrap();
+//! pipe.push_slice(&stream);
+//! let detected = pipe.into_sink().iter().find_map(|(_, e)| match e {
+//!     DpdEvent::Segment(SegmentEvent::PeriodStart { period, .. }) => Some(*period),
+//!     _ => None,
+//! });
 //! assert_eq!(detected, Some(3));
 //! ```
 
@@ -69,6 +76,7 @@ pub mod metric;
 pub mod minima;
 pub mod nested;
 pub mod periodogram;
+pub mod pipeline;
 pub mod predict;
 pub mod prediction;
 pub mod segmentation;
@@ -77,9 +85,16 @@ pub mod spectrum;
 pub mod streaming;
 pub mod window;
 
+/// The naive full-history periodic predictor, re-exported under a name
+/// that distinguishes it from the normative online forecasting subsystem
+/// in [`predict`]: `naive::PeriodicPredictor` is the simple period-locked
+/// baseline (`docs/PREDICTION.md` states which module is normative).
+pub use self::prediction as naive;
+
 pub use capi::Dpd;
 pub use detector::{FrameDetector, PeriodicityReport};
 pub use metric::{EventMetric, L1Metric, Metric};
+pub use pipeline::{BuildError, Detector, DpdBuilder, DpdEvent, EventSink};
 pub use predict::{Forecast, ForecastStats, ForecastingDpd, PredictConfig, Predictor};
 pub use prediction::PeriodicPredictor;
 pub use shard::{MultiStreamEvent, StreamId, StreamTable, TableConfig};
@@ -87,6 +102,12 @@ pub use spectrum::Spectrum;
 pub use streaming::{MultiScaleDpd, SegmentEvent, StreamingConfig, StreamingDpd};
 
 /// Errors produced by detector construction and reconfiguration.
+///
+/// `#[non_exhaustive]`: downstream matches must carry a wildcard arm so
+/// new diagnostics can be added without a breaking change. Every variant
+/// renders a lowercase, period-free [`Display`](core::fmt::Display)
+/// message (asserted by a unit test).
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DpdError {
     /// The requested window size is zero or otherwise unusable.
@@ -128,3 +149,34 @@ impl std::error::Error for DpdError {}
 
 /// Crate-wide result alias.
 pub type Result<T> = core::result::Result<T, DpdError>;
+
+#[cfg(test)]
+mod error_tests {
+    use super::DpdError;
+
+    /// Every `DpdError` variant renders a lowercase, period-free message
+    /// and is usable as a `std::error::Error`.
+    #[test]
+    fn every_dpd_error_variant_renders() {
+        let variants = vec![
+            DpdError::InvalidWindow(0),
+            DpdError::InvalidMaxDelay {
+                m_max: 9,
+                window: 8,
+            },
+            DpdError::StreamTooShort { needed: 10, got: 3 },
+            DpdError::InvalidHorizon(0),
+        ];
+        for v in variants {
+            let msg = v.to_string();
+            assert!(!msg.is_empty(), "{v:?} renders empty");
+            assert!(
+                msg.chars().next().unwrap().is_lowercase(),
+                "{v:?} message must start lowercase: {msg:?}"
+            );
+            assert!(!msg.ends_with('.'), "{v:?} message ends with a period");
+            let err: &dyn std::error::Error = &v;
+            assert!(err.source().is_none());
+        }
+    }
+}

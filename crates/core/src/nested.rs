@@ -86,7 +86,7 @@ impl NestedDetector {
         let mut periods: Vec<usize> = if usable.is_empty() {
             Vec::new()
         } else {
-            let mut bank = MultiScaleDpd::new(&usable).expect("validated windows");
+            let mut bank = MultiScaleDpd::from_windows(&usable).expect("validated windows");
             bank.push_slice(data);
             bank.detected_periods()
         };

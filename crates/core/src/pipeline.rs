@@ -1,0 +1,1519 @@
+//! One typed entry point for every detector stack: the [`DpdBuilder`].
+//!
+//! The paper describes a single conceptual object — a dynamic periodicity
+//! detector fed a sample stream, emitting periods, segments and forecasts —
+//! but a grown codebase easily fractures that object into parallel
+//! construction paths (`Dpd::with_window`, `StreamingDpd` + config,
+//! `MultiScaleDpd`, `ForecastingDpd`, `StreamTable`, the sharded service),
+//! each with its own push/event vocabulary. This module is the unification:
+//!
+//! * [`DpdBuilder`] — one builder whose typed options (window, metric,
+//!   multi-scale bank, forecast horizon, keyed table, shard count) cover
+//!   every stack; incoherent combinations are rejected with a precise
+//!   [`BuildError`] instead of panicking or silently misbehaving,
+//! * [`Detector`] — the uniform push surface (`push` / `push_slice`),
+//! * [`EventSink`] + [`DpdEvent`] — the uniform event stream: segmentation,
+//!   per-scale nested-period reports, stream-close flushes and forecast
+//!   issuance/scoring all arrive through one `on_event(stream, &event)`
+//!   call, whatever stack produced them.
+//!
+//! The old constructors remain as `#[deprecated]` shims that delegate here;
+//! the README's *"Migration from 0.x constructors"* table maps each one to
+//! its builder call. Behavior is bit-identical (property-tested in
+//! `tests/proptest_pipeline.rs`): the builder assembles exactly the same
+//! detector objects the deprecated paths did.
+//!
+//! # Quick start
+//!
+//! ```
+//! use dpd_core::pipeline::{Detector, DpdBuilder, DpdEvent};
+//! use dpd_core::streaming::SegmentEvent;
+//!
+//! // Period-3 loop-address stream through the default event-stream stack.
+//! let mut pipe = DpdBuilder::new().window(8).build(Vec::new()).unwrap();
+//! for i in 0..30usize {
+//!     pipe.push([0x400000i64, 0x400040, 0x400080][i % 3]);
+//! }
+//! let events = pipe.into_sink();
+//! assert!(events.iter().any(|(_, e)| matches!(
+//!     e,
+//!     DpdEvent::Segment(SegmentEvent::PeriodStart { period: 3, .. })
+//! )));
+//! ```
+//!
+//! A forecasting stack is the same entry point plus one option:
+//!
+//! ```
+//! use dpd_core::pipeline::{Detector, DpdBuilder};
+//!
+//! let mut pipe = DpdBuilder::new().window(8).forecast(4).build(Vec::new()).unwrap();
+//! for i in 0..40usize {
+//!     pipe.push([10i64, 20, 30][i % 3]);
+//! }
+//! let fc = pipe.forecast(4).expect("locked and primed");
+//! assert_eq!(fc.period, 3);
+//! assert_eq!(fc.predicted, &[20, 30, 10, 20]);
+//! ```
+
+use crate::capi::Dpd;
+use crate::metric::{EventMetric, L1Metric};
+use crate::minima::MinimaPolicy;
+use crate::predict::{Forecast, ForecastingDpd, PredictConfig, Predictor};
+use crate::shard::{MultiStreamEvent, StreamId, StreamTable, TableConfig};
+use crate::streaming::{MultiScaleDpd, SegmentEvent, StreamingConfig, StreamingDpd};
+use crate::DpdError;
+
+/// The paper's multi-scale setting: small, medium and large windows
+/// (`N = 8, 64, 512`; §3.1 discusses N from under 10 up to 1024).
+pub const DEFAULT_SCALES: &[usize] = &[8, 64, 512];
+
+/// An option combination the builder cannot assemble into a coherent stack.
+///
+/// Every variant renders a lowercase, period-free [`Display`] message
+/// (asserted by a unit test) and the enum is `#[non_exhaustive]`: new
+/// incoherent-combination diagnostics may be added without a major bump.
+///
+/// [`Display`]: core::fmt::Display
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The underlying detector configuration is invalid (window, maximum
+    /// delay or forecast horizon out of range).
+    Detector(DpdError),
+    /// `scales(&[])`: a multi-scale bank needs at least one window.
+    EmptyScales,
+    /// A multi-scale bank cannot drive the forecaster (which extends one
+    /// stream under one lock); forecast on the outer scale explicitly via
+    /// two pipelines instead.
+    ScalesWithForecast,
+    /// A multi-scale bank is a single-stream analysis; it cannot be the
+    /// per-stream detector of a keyed table or sharded service.
+    ScalesWithKeyed,
+    /// A plain single detector was requested but a multi-scale bank is
+    /// configured; finish with [`DpdBuilder::build_multi_scale`] instead.
+    ScalesOnPlainDetector,
+    /// [`DpdBuilder::build_multi_scale`] needs [`DpdBuilder::scales`].
+    ScalesRequired,
+    /// A plain single detector was requested but a forecast horizon is
+    /// configured; finish with [`DpdBuilder::build_forecasting`] or
+    /// [`DpdBuilder::build`] instead.
+    ForecastOnPlainDetector,
+    /// [`DpdBuilder::build_forecasting`] needs [`DpdBuilder::forecast`].
+    ForecastRequired,
+    /// Magnitude streams (equation 1) carry `f64` samples; the multi-scale
+    /// bank is an event-stream (equation 2) analysis.
+    MagnitudesWithScales,
+    /// The online forecaster extends exact event values; magnitude streams
+    /// have no exact periodic extension to issue.
+    MagnitudesWithForecast,
+    /// Keyed tables and the sharded service detect event streams; magnitude
+    /// streams are single-stream analyses.
+    MagnitudesWithKeyed,
+    /// An event-stream (`i64`) stack was requested but
+    /// [`DpdBuilder::magnitudes`] is set; finish with
+    /// [`DpdBuilder::build_magnitude_detector`] instead.
+    MagnitudesOnEventPipeline,
+    /// [`DpdBuilder::build_magnitude_detector`] needs
+    /// [`DpdBuilder::magnitudes`].
+    EventsOnMagnitudePipeline,
+    /// A keyed-table option ([`DpdBuilder::keyed`] /
+    /// [`DpdBuilder::evict_after`]) is set but a single-stream stack was
+    /// requested; finish with [`DpdBuilder::build_keyed`] or
+    /// [`DpdBuilder::build_table`] instead.
+    KeyedOnSingleStream,
+    /// [`DpdBuilder::shards`] is set but a single-stream stack was
+    /// requested; build the sharded service via
+    /// `MultiStreamDpd::from_builder` in `par-runtime` instead.
+    ShardsOnSingleStream,
+    /// [`DpdBuilder::shards`] is set but an in-process keyed table was
+    /// requested; sharding is a service concern — use
+    /// `MultiStreamDpd::from_builder`, or drop the option.
+    ShardsOnTable,
+    /// A service was requested ([`DpdBuilder::service_spec`]) without
+    /// [`DpdBuilder::shards`] (use `shards(0)` for the deterministic
+    /// inline mode).
+    ShardsRequired,
+    /// [`DpdBuilder::sweep_every`] paces idle-stream sweeps of a keyed
+    /// table or service; it has no meaning on a single-stream stack.
+    SweepWithoutKeyed,
+}
+
+impl core::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            // Transparent: callers prefixing "invalid configuration: {e}"
+            // read the same message the pre-builder constructors produced.
+            BuildError::Detector(e) => write!(f, "{e}"),
+            BuildError::EmptyScales => write!(f, "multi-scale bank needs at least one window"),
+            BuildError::ScalesWithForecast => {
+                write!(f, "forecasting is incompatible with a multi-scale bank")
+            }
+            BuildError::ScalesWithKeyed => {
+                write!(f, "a keyed table cannot hold multi-scale banks")
+            }
+            BuildError::ScalesOnPlainDetector => {
+                write!(f, "scales are configured: finish with build_multi_scale")
+            }
+            BuildError::ScalesRequired => {
+                write!(f, "build_multi_scale needs scales(..)")
+            }
+            BuildError::ForecastOnPlainDetector => {
+                write!(
+                    f,
+                    "a forecast horizon is configured: finish with build_forecasting"
+                )
+            }
+            BuildError::ForecastRequired => {
+                write!(f, "build_forecasting needs forecast(..)")
+            }
+            BuildError::MagnitudesWithScales => {
+                write!(f, "magnitude streams have no multi-scale bank")
+            }
+            BuildError::MagnitudesWithForecast => {
+                write!(f, "magnitude streams cannot drive the online forecaster")
+            }
+            BuildError::MagnitudesWithKeyed => {
+                write!(f, "keyed tables detect event streams, not magnitudes")
+            }
+            BuildError::MagnitudesOnEventPipeline => {
+                write!(
+                    f,
+                    "magnitudes() is set: finish with build_magnitude_detector"
+                )
+            }
+            BuildError::EventsOnMagnitudePipeline => {
+                write!(f, "build_magnitude_detector needs magnitudes()")
+            }
+            BuildError::KeyedOnSingleStream => {
+                write!(f, "keyed-table options need build_keyed or build_table")
+            }
+            BuildError::ShardsOnSingleStream => {
+                write!(f, "shards(..) needs the sharded service (par-runtime)")
+            }
+            BuildError::ShardsOnTable => {
+                write!(
+                    f,
+                    "an in-process table has no shards: use the service or drop shards(..)"
+                )
+            }
+            BuildError::ShardsRequired => {
+                write!(f, "a service needs shards(..) (0 selects inline mode)")
+            }
+            BuildError::SweepWithoutKeyed => {
+                write!(f, "sweep_every(..) only paces keyed tables and services")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Detector(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DpdError> for BuildError {
+    fn from(e: DpdError) -> Self {
+        BuildError::Detector(e)
+    }
+}
+
+/// The uniform push surface of every event-stream detector stack.
+///
+/// Implementations feed their configured [`EventSink`] as a side effect of
+/// pushing; the paper's per-sample return value becomes sink traffic, so a
+/// consumer wired against `Detector` + `EventSink` works unchanged whether
+/// the stack is a plain detector, a multi-scale bank or a forecaster.
+pub trait Detector {
+    /// Push one sample.
+    fn push(&mut self, sample: i64);
+
+    /// Push a whole slice of samples, in order. Semantically identical to
+    /// per-sample [`Detector::push`].
+    fn push_slice(&mut self, samples: &[i64]) {
+        for &s in samples {
+            self.push(s);
+        }
+    }
+}
+
+/// The uniform event stream: one callback for every observation any stack
+/// makes, tagged with the logical stream it belongs to.
+///
+/// Implementations exist for `Vec<(StreamId, DpdEvent)>` (collect), for any
+/// `FnMut(StreamId, &DpdEvent)` closure, and for `()` (discard).
+pub trait EventSink {
+    /// Handle one event on one stream.
+    fn on_event(&mut self, stream: StreamId, event: &DpdEvent);
+}
+
+impl EventSink for Vec<(StreamId, DpdEvent)> {
+    fn on_event(&mut self, stream: StreamId, event: &DpdEvent) {
+        self.push((stream, *event));
+    }
+}
+
+impl EventSink for () {
+    fn on_event(&mut self, _stream: StreamId, _event: &DpdEvent) {}
+}
+
+impl<F: FnMut(StreamId, &DpdEvent)> EventSink for F {
+    fn on_event(&mut self, stream: StreamId, event: &DpdEvent) {
+        self(stream, event)
+    }
+}
+
+/// One observation from any detector stack, on one logical stream.
+///
+/// `#[non_exhaustive]`: downstream matches must carry a wildcard arm, so
+/// new observation kinds (new subsystems) extend the enum without breaking
+/// consumers — the whole point of funnelling every layer's vocabulary
+/// through one type.
+///
+/// Per pushed sample, a stack emits events in a fixed order: the
+/// segmentation observation first, then forecast invalidation, scoring and
+/// issuance (mirroring [`Predictor::observe`]'s internal step order).
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DpdEvent {
+    /// A segmentation event from a single-detector stack (never
+    /// [`SegmentEvent::None`]).
+    Segment(SegmentEvent),
+    /// A segmentation event from one scale of a multi-scale bank — the
+    /// nested-period report, tagged with the scale's window size.
+    Scale {
+        /// Window size `N` of the scale that observed the event.
+        window: usize,
+        /// The underlying detector event (never [`SegmentEvent::None`]).
+        event: SegmentEvent,
+    },
+    /// A stream was explicitly closed; the final segmentation state is the
+    /// close-time "flush".
+    Closed {
+        /// Samples the stream received over its lifetime.
+        samples: u64,
+        /// The periodicity locked at close time, if any.
+        period: Option<usize>,
+    },
+    /// The forecaster issued its `H`-step-ahead prediction for an upcoming
+    /// position.
+    ForecastIssued {
+        /// Stream position (0-based) the prediction targets.
+        position: u64,
+        /// The predicted value.
+        value: i64,
+    },
+    /// A standing prediction was scored against the sample that arrived at
+    /// its target position.
+    ForecastScored {
+        /// What was predicted for this position.
+        predicted: i64,
+        /// What actually arrived.
+        actual: i64,
+        /// `predicted == actual`.
+        hit: bool,
+    },
+    /// A phase change invalidated the forecast state: outstanding
+    /// predictions were dropped unscored (see `docs/PREDICTION.md`).
+    ForecastInvalidated {
+        /// Outstanding predictions dropped by this invalidation.
+        dropped: u64,
+    },
+}
+
+impl DpdEvent {
+    /// Translate a [`MultiStreamEvent`] into the unified vocabulary,
+    /// splitting off the stream tag.
+    pub fn from_multi_stream(event: &MultiStreamEvent) -> (StreamId, DpdEvent) {
+        match *event {
+            MultiStreamEvent::Segment { stream, event } => (stream, DpdEvent::Segment(event)),
+            MultiStreamEvent::Closed {
+                stream,
+                samples,
+                period,
+            } => (stream, DpdEvent::Closed { samples, period }),
+        }
+    }
+}
+
+/// Everything `par-runtime` needs to assemble the sharded service from a
+/// builder: the validated per-stream table configuration (the factory each
+/// shard clones), the shard count, and the sweep cadence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceSpec {
+    /// Per-stream table configuration, cloned into every shard.
+    pub table: TableConfig,
+    /// Worker shards (`0` = deterministic inline mode).
+    pub shards: usize,
+    /// Samples of shard-local traffic between idle-stream sweeps
+    /// (`0` = sweep only at service finish).
+    pub sweep_every: u64,
+}
+
+/// One typed, validated construction path for every detector stack.
+///
+/// Options compose freely; incoherent combinations surface as a
+/// [`BuildError`] from the finisher instead of a panic deep inside a
+/// subsystem. Finishers, by stack:
+///
+/// | finisher | stack |
+/// |----------|-------|
+/// | [`build`](DpdBuilder::build) | unified single-stream pipeline (plain / multi-scale / forecasting) behind [`Detector`] + [`EventSink`] |
+/// | [`build_detector`](DpdBuilder::build_detector) | raw [`StreamingDpd`] (event metric, equation 2) |
+/// | [`build_magnitude_detector`](DpdBuilder::build_magnitude_detector) | raw [`StreamingDpd`] (`f64` L1 metric, equation 1) |
+/// | [`build_multi_scale`](DpdBuilder::build_multi_scale) | raw [`MultiScaleDpd`] bank |
+/// | [`build_forecasting`](DpdBuilder::build_forecasting) | raw [`ForecastingDpd`] |
+/// | [`build_capi`](DpdBuilder::build_capi) | the paper-faithful Table 1 [`Dpd`] |
+/// | [`build_keyed`](DpdBuilder::build_keyed) | [`KeyedDpd`]: keyed multi-stream table behind [`EventSink`] |
+/// | [`build_table`](DpdBuilder::build_table) | raw [`StreamTable`] |
+/// | [`service_spec`](DpdBuilder::service_spec) | sharded service (finished by `MultiStreamDpd::from_builder` in `par-runtime`) |
+///
+/// [`detector_config`](DpdBuilder::detector_config) and
+/// [`table_config`](DpdBuilder::table_config) expose the validated
+/// configuration structs for code that embeds them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpdBuilder {
+    window: usize,
+    m_max: Option<usize>,
+    policy: Option<MinimaPolicy>,
+    confirm: Option<usize>,
+    lose: Option<usize>,
+    resync_interval: Option<u64>,
+    magnitudes: bool,
+    scales: Option<Vec<usize>>,
+    horizon: Option<usize>,
+    keyed: bool,
+    evict_after: u64,
+    shards: Option<usize>,
+    sweep_every: Option<u64>,
+    stream: StreamId,
+}
+
+impl Default for DpdBuilder {
+    fn default() -> Self {
+        DpdBuilder::new()
+    }
+}
+
+impl DpdBuilder {
+    /// Builder with the paper's defaults: the large initial window
+    /// ([`crate::capi::DEFAULT_WINDOW`], §3.1), exact event metric,
+    /// immediate lock, no forecasting, single stream.
+    pub fn new() -> Self {
+        DpdBuilder {
+            window: crate::capi::DEFAULT_WINDOW,
+            m_max: None,
+            policy: None,
+            confirm: None,
+            lose: None,
+            resync_interval: None,
+            magnitudes: false,
+            scales: None,
+            horizon: None,
+            keyed: false,
+            evict_after: 0,
+            shards: None,
+            sweep_every: None,
+            stream: StreamId(0),
+        }
+    }
+
+    /// Data window size `N`.
+    pub fn window(mut self, n: usize) -> Self {
+        self.window = n;
+        self
+    }
+
+    /// Maximum candidate delay `M` (`0 < M <= N`); defaults to `N`.
+    pub fn m_max(mut self, m: usize) -> Self {
+        self.m_max = Some(m);
+        self
+    }
+
+    /// Minima acceptance policy (consulted by inexact metrics only).
+    pub fn policy(mut self, policy: MinimaPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Consecutive agreeing detections required to lock (default 1 for
+    /// event streams, 4 under [`DpdBuilder::magnitudes`]).
+    pub fn confirm(mut self, n: usize) -> Self {
+        self.confirm = Some(n);
+        self
+    }
+
+    /// Consecutive failed boundary verifications tolerated before the lock
+    /// drops (default 1 for event streams, 2 under
+    /// [`DpdBuilder::magnitudes`]).
+    pub fn lose(mut self, n: usize) -> Self {
+        self.lose = Some(n);
+        self
+    }
+
+    /// Resync interval for the incremental engine's L1 drift bound
+    /// (default 0 for event streams, 8192 under
+    /// [`DpdBuilder::magnitudes`]).
+    pub fn resync_interval(mut self, samples: u64) -> Self {
+        self.resync_interval = Some(samples);
+        self
+    }
+
+    /// Select the magnitude-stream metric (equation 1, `f64` samples —
+    /// sampled CPU-usage traces, paper Figs. 3/4) with its noisy-stream
+    /// defaults: relative-threshold minima policy, confirmation window 4,
+    /// loss tolerance 2, drift resync every 8192 samples. Explicit
+    /// [`DpdBuilder::policy`] / [`DpdBuilder::confirm`] /
+    /// [`DpdBuilder::lose`] / [`DpdBuilder::resync_interval`] calls
+    /// override the defaults in any order. Finish with
+    /// [`DpdBuilder::build_magnitude_detector`].
+    pub fn magnitudes(mut self) -> Self {
+        self.magnitudes = true;
+        self
+    }
+
+    /// Run a bank of event-stream detectors at these window sizes
+    /// (ascending recommended; see [`DEFAULT_SCALES`]) to capture nested
+    /// periodicities (paper Table 2).
+    pub fn scales(mut self, windows: &[usize]) -> Self {
+        self.scales = Some(windows.to_vec());
+        self
+    }
+
+    /// Attach the online forecaster at horizon `h >= 1`: the `h`-step-ahead
+    /// prediction is issued and scored at every sample
+    /// (see `docs/PREDICTION.md`).
+    pub fn forecast(mut self, h: usize) -> Self {
+        self.horizon = Some(h);
+        self
+    }
+
+    /// Key detectors by [`StreamId`]: one independent detector per logical
+    /// stream, created lazily, behind one table.
+    pub fn keyed(mut self) -> Self {
+        self.keyed = true;
+        self
+    }
+
+    /// Evict a stream idle for more than this many global samples
+    /// (implies [`DpdBuilder::keyed`]; `0` disables eviction).
+    pub fn evict_after(mut self, samples: u64) -> Self {
+        self.evict_after = samples;
+        self.keyed = true;
+        self
+    }
+
+    /// Shard the keyed table over this many worker threads (`0` =
+    /// deterministic inline mode). Only the sharded service consumes this
+    /// option — finish with `MultiStreamDpd::from_builder` in
+    /// `par-runtime`.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Samples of traffic between idle-stream memory sweeps on a keyed
+    /// table or service (default: four eviction watermarks when eviction is
+    /// on, else never). Sweeps reclaim memory early but never change
+    /// emitted events.
+    pub fn sweep_every(mut self, samples: u64) -> Self {
+        self.sweep_every = Some(samples);
+        self
+    }
+
+    /// Tag for the single logical stream of a [`DpdBuilder::build`]
+    /// pipeline's events (default `StreamId(0)`).
+    pub fn stream_id(mut self, stream: StreamId) -> Self {
+        self.stream = stream;
+        self
+    }
+
+    /// Adopt every detector-level option from an existing
+    /// [`StreamingConfig`] (window, maximum delay, policy, confirmation,
+    /// loss tolerance, resync interval).
+    pub fn detector(mut self, config: StreamingConfig) -> Self {
+        self.window = config.window;
+        self.m_max = Some(config.m_max);
+        self.policy = Some(config.policy);
+        self.confirm = Some(config.confirm);
+        self.lose = Some(config.lose);
+        self.resync_interval = Some(config.resync_interval);
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // Validation.
+
+    /// `true` when any keyed-table option is set.
+    fn is_keyed(&self) -> bool {
+        self.keyed || self.evict_after > 0
+    }
+
+    /// Checks shared by every finisher.
+    fn validate_shared(&self) -> Result<(), BuildError> {
+        if let Some(scales) = &self.scales {
+            if scales.is_empty() {
+                return Err(BuildError::EmptyScales);
+            }
+            if scales.contains(&0) {
+                return Err(BuildError::Detector(DpdError::InvalidWindow(0)));
+            }
+            if self.magnitudes {
+                return Err(BuildError::MagnitudesWithScales);
+            }
+            if self.horizon.is_some() {
+                return Err(BuildError::ScalesWithForecast);
+            }
+            if self.is_keyed() || self.shards.is_some() {
+                return Err(BuildError::ScalesWithKeyed);
+            }
+        }
+        if self.magnitudes {
+            if self.horizon.is_some() {
+                return Err(BuildError::MagnitudesWithForecast);
+            }
+            if self.is_keyed() || self.shards.is_some() {
+                return Err(BuildError::MagnitudesWithKeyed);
+            }
+        }
+        if self.sweep_every.is_some() && !self.is_keyed() && self.shards.is_none() {
+            return Err(BuildError::SweepWithoutKeyed);
+        }
+        if self.window == 0 {
+            return Err(BuildError::Detector(DpdError::InvalidWindow(0)));
+        }
+        let m_max = self.m_max.unwrap_or(self.window);
+        if m_max == 0 || m_max > self.window {
+            return Err(BuildError::Detector(DpdError::InvalidMaxDelay {
+                m_max,
+                window: self.window,
+            }));
+        }
+        if let Some(h) = self.horizon {
+            // Validated here (not only in PredictConfig) so every finisher
+            // reports a bad horizon the same way.
+            if h == 0 {
+                return Err(BuildError::Detector(DpdError::InvalidHorizon(0)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reject multi-stream options on single-stream finishers.
+    fn validate_single_stream(&self) -> Result<(), BuildError> {
+        if self.shards.is_some() {
+            return Err(BuildError::ShardsOnSingleStream);
+        }
+        if self.is_keyed() {
+            return Err(BuildError::KeyedOnSingleStream);
+        }
+        Ok(())
+    }
+
+    /// The assembled detector configuration (defaults resolved by metric).
+    fn assemble_detector(&self) -> StreamingConfig {
+        StreamingConfig {
+            window: self.window,
+            m_max: self.m_max.unwrap_or(self.window),
+            policy: self.policy.unwrap_or(if self.magnitudes {
+                MinimaPolicy::relative(0.35)
+            } else {
+                MinimaPolicy::exact()
+            }),
+            confirm: self.confirm.unwrap_or(if self.magnitudes { 4 } else { 1 }),
+            lose: self.lose.unwrap_or(if self.magnitudes { 2 } else { 1 }),
+            resync_interval: self
+                .resync_interval
+                .unwrap_or(if self.magnitudes { 8192 } else { 0 }),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Finishers.
+
+    /// The validated single-detector [`StreamingConfig`] (for embedding in
+    /// code that owns its own detector wiring).
+    pub fn detector_config(&self) -> Result<StreamingConfig, BuildError> {
+        self.validate_shared()?;
+        if self.scales.is_some() {
+            return Err(BuildError::ScalesOnPlainDetector);
+        }
+        Ok(self.assemble_detector())
+    }
+
+    /// Assemble the event-stream detector (options already validated).
+    fn assemble_event_detector(&self) -> Result<StreamingDpd<i64, EventMetric>, BuildError> {
+        StreamingDpd::new(EventMetric, self.assemble_detector()).map_err(BuildError::Detector)
+    }
+
+    /// Assemble the detector + forecaster bundle (options already
+    /// validated, horizon already resolved).
+    fn assemble_forecasting(&self, horizon: usize) -> Result<ForecastingDpd, BuildError> {
+        let predict = PredictConfig::new(self.window, horizon).map_err(BuildError::Detector)?;
+        Ok(ForecastingDpd::from_parts(
+            self.assemble_event_detector()?,
+            Predictor::new(predict),
+        ))
+    }
+
+    /// A raw event-stream detector (equation 2) — the paper's on-line DPD.
+    pub fn build_detector(&self) -> Result<StreamingDpd<i64, EventMetric>, BuildError> {
+        self.validate_shared()?;
+        self.validate_single_stream()?;
+        if self.magnitudes {
+            return Err(BuildError::MagnitudesOnEventPipeline);
+        }
+        if self.horizon.is_some() {
+            return Err(BuildError::ForecastOnPlainDetector);
+        }
+        if self.scales.is_some() {
+            return Err(BuildError::ScalesOnPlainDetector);
+        }
+        self.assemble_event_detector()
+    }
+
+    /// A raw magnitude-stream detector (equation 1, `f64` samples).
+    /// Requires [`DpdBuilder::magnitudes`].
+    pub fn build_magnitude_detector(&self) -> Result<StreamingDpd<f64, L1Metric>, BuildError> {
+        self.validate_shared()?;
+        self.validate_single_stream()?;
+        if !self.magnitudes {
+            return Err(BuildError::EventsOnMagnitudePipeline);
+        }
+        if self.horizon.is_some() {
+            return Err(BuildError::ForecastOnPlainDetector);
+        }
+        if self.scales.is_some() {
+            return Err(BuildError::ScalesOnPlainDetector);
+        }
+        StreamingDpd::new(L1Metric, self.assemble_detector()).map_err(BuildError::Detector)
+    }
+
+    /// A raw multi-scale bank. Requires [`DpdBuilder::scales`].
+    pub fn build_multi_scale(&self) -> Result<MultiScaleDpd, BuildError> {
+        self.validate_shared()?;
+        self.validate_single_stream()?;
+        match &self.scales {
+            Some(scales) => MultiScaleDpd::from_windows(scales).map_err(BuildError::Detector),
+            None => Err(BuildError::ScalesRequired),
+        }
+    }
+
+    /// The paper-faithful Table 1 interface
+    /// (`int DPD(long sample, int *period)`).
+    pub fn build_capi(&self) -> Result<Dpd, BuildError> {
+        Ok(Dpd::from_detector(self.build_detector()?))
+    }
+
+    /// A raw detector + forecaster bundle. Requires
+    /// [`DpdBuilder::forecast`].
+    pub fn build_forecasting(&self) -> Result<ForecastingDpd, BuildError> {
+        self.validate_shared()?;
+        self.validate_single_stream()?;
+        if self.magnitudes {
+            return Err(BuildError::MagnitudesOnEventPipeline);
+        }
+        let horizon = self.horizon.ok_or(BuildError::ForecastRequired)?;
+        self.assemble_forecasting(horizon)
+    }
+
+    /// The unified single-stream pipeline: the stack the options select
+    /// (plain detector, multi-scale bank, or forecaster), pushing every
+    /// observation into `sink` as [`DpdEvent`]s tagged
+    /// [`DpdBuilder::stream_id`].
+    pub fn build<S: EventSink>(&self, sink: S) -> Result<DpdPipeline<S>, BuildError> {
+        self.validate_shared()?;
+        self.validate_single_stream()?;
+        if self.magnitudes {
+            return Err(BuildError::MagnitudesOnEventPipeline);
+        }
+        // validate_shared above already rejected every incoherent combo;
+        // dispatch straight to the assemblers (one validation pass).
+        let stack = if let Some(horizon) = self.horizon {
+            Stack::Forecasting(self.assemble_forecasting(horizon)?)
+        } else if let Some(scales) = &self.scales {
+            Stack::MultiScale(MultiScaleDpd::from_windows(scales).map_err(BuildError::Detector)?)
+        } else {
+            Stack::Streaming(self.assemble_event_detector()?)
+        };
+        Ok(DpdPipeline {
+            stack,
+            sink,
+            stream: self.stream,
+        })
+    }
+
+    /// Validate and assemble the per-stream table configuration shared by
+    /// the in-process table and the sharded service.
+    fn keyed_table_config(&self) -> Result<TableConfig, BuildError> {
+        self.validate_shared()?;
+        if self.scales.is_some() {
+            return Err(BuildError::ScalesWithKeyed);
+        }
+        if self.magnitudes {
+            return Err(BuildError::MagnitudesWithKeyed);
+        }
+        Ok(TableConfig {
+            detector: self.assemble_detector(),
+            evict_after: self.evict_after,
+            forecast_horizon: self.horizon.unwrap_or(0),
+        })
+    }
+
+    /// The validated keyed-table configuration. Implies
+    /// [`DpdBuilder::keyed`].
+    pub fn table_config(&self) -> Result<TableConfig, BuildError> {
+        if self.shards.is_some() {
+            return Err(BuildError::ShardsOnTable);
+        }
+        self.keyed_table_config()
+    }
+
+    /// A raw keyed stream table. Implies [`DpdBuilder::keyed`].
+    pub fn build_table(&self) -> Result<StreamTable, BuildError> {
+        Ok(StreamTable::new(self.table_config()?))
+    }
+
+    /// A keyed multi-stream pipeline over `sink`. Implies
+    /// [`DpdBuilder::keyed`].
+    pub fn build_keyed<S: EventSink>(&self, sink: S) -> Result<KeyedDpd<S>, BuildError> {
+        let table = self.build_table()?;
+        Ok(KeyedDpd {
+            table,
+            sink,
+            scratch: Vec::new(),
+            clock: 0,
+            since_sweep: 0,
+            sweep_every: self.resolved_sweep_every(),
+        })
+    }
+
+    /// The sweep cadence with its eviction-coupled default resolved.
+    fn resolved_sweep_every(&self) -> u64 {
+        self.sweep_every.unwrap_or(if self.evict_after > 0 {
+            self.evict_after * 4
+        } else {
+            0
+        })
+    }
+
+    /// Everything the sharded service needs. Requires
+    /// [`DpdBuilder::shards`] (`shards(0)` selects the deterministic
+    /// inline mode); finish with `MultiStreamDpd::from_builder` in
+    /// `par-runtime`.
+    pub fn service_spec(&self) -> Result<ServiceSpec, BuildError> {
+        let shards = self.shards.ok_or(BuildError::ShardsRequired)?;
+        Ok(ServiceSpec {
+            table: self.keyed_table_config()?,
+            shards,
+            sweep_every: self.resolved_sweep_every(),
+        })
+    }
+}
+
+/// The stack a [`DpdBuilder::build`] call assembled. The size spread
+/// between variants is fine: exactly one `Stack` exists per pipeline, so
+/// boxing the large variant would only add an indirection to the hot
+/// push path.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
+enum Stack {
+    Streaming(StreamingDpd<i64, EventMetric>),
+    MultiScale(MultiScaleDpd),
+    Forecasting(ForecastingDpd),
+}
+
+/// A single-stream detector stack behind the uniform [`Detector`] push
+/// surface, reporting through one [`EventSink`].
+///
+/// Built by [`DpdBuilder::build`]; the stack is whichever of today's
+/// detector objects the builder options selected, and the typed accessors
+/// ([`DpdPipeline::streaming`], [`DpdPipeline::multi_scale`],
+/// [`DpdPipeline::forecasting`]) expose it for stack-specific statistics.
+#[derive(Debug, Clone)]
+pub struct DpdPipeline<S: EventSink> {
+    stack: Stack,
+    sink: S,
+    stream: StreamId,
+}
+
+impl<S: EventSink> Detector for DpdPipeline<S> {
+    fn push(&mut self, sample: i64) {
+        match &mut self.stack {
+            Stack::Streaming(dpd) => {
+                let e = dpd.push(sample);
+                if e != SegmentEvent::None {
+                    self.sink.on_event(self.stream, &DpdEvent::Segment(e));
+                }
+            }
+            Stack::MultiScale(bank) => {
+                for (window, event) in bank.push(sample).events {
+                    self.sink
+                        .on_event(self.stream, &DpdEvent::Scale { window, event });
+                }
+            }
+            Stack::Forecasting(f) => {
+                let (e, ob) = f.push(sample);
+                if e != SegmentEvent::None {
+                    self.sink.on_event(self.stream, &DpdEvent::Segment(e));
+                }
+                if ob.invalidated {
+                    self.sink.on_event(
+                        self.stream,
+                        &DpdEvent::ForecastInvalidated {
+                            dropped: ob.dropped,
+                        },
+                    );
+                }
+                if let Some(s) = ob.scored {
+                    self.sink.on_event(
+                        self.stream,
+                        &DpdEvent::ForecastScored {
+                            predicted: s.predicted,
+                            actual: s.actual,
+                            hit: s.hit,
+                        },
+                    );
+                }
+                if let Some((position, value)) = ob.issued {
+                    self.sink
+                        .on_event(self.stream, &DpdEvent::ForecastIssued { position, value });
+                }
+            }
+        }
+    }
+
+    /// Forwards to the stack's own batch-ingestion path where one exists
+    /// (`StreamingDpd::push_slice` / `MultiScaleDpd::push_slice`, which
+    /// produce exactly the per-sample event sequence); the forecasting
+    /// stack is inherently per-sample (the predictor must observe every
+    /// sample/event pair) and falls back to the loop.
+    fn push_slice(&mut self, samples: &[i64]) {
+        match &mut self.stack {
+            Stack::Streaming(dpd) => {
+                for e in dpd.push_slice(samples) {
+                    self.sink.on_event(self.stream, &DpdEvent::Segment(e));
+                }
+            }
+            Stack::MultiScale(bank) => {
+                for (window, event) in bank.push_slice(samples) {
+                    self.sink
+                        .on_event(self.stream, &DpdEvent::Scale { window, event });
+                }
+            }
+            Stack::Forecasting(_) => {
+                for &s in samples {
+                    self.push(s);
+                }
+            }
+        }
+    }
+}
+
+impl<S: EventSink> DpdPipeline<S> {
+    /// The stream tag on emitted events.
+    pub fn stream_id(&self) -> StreamId {
+        self.stream
+    }
+
+    /// Distinct periodicities detected so far, ascending — the union over
+    /// scales for a multi-scale stack (paper Table 2 cell).
+    pub fn detected_periods(&self) -> Vec<usize> {
+        match &self.stack {
+            Stack::Streaming(d) => d.stats().detected_periods(),
+            Stack::MultiScale(bank) => bank.detected_periods(),
+            Stack::Forecasting(f) => f.dpd().stats().detected_periods(),
+        }
+    }
+
+    /// The currently locked periodicity, if any (largest-window lock for a
+    /// multi-scale stack).
+    pub fn locked_period(&self) -> Option<usize> {
+        match &self.stack {
+            Stack::Streaming(d) => d.locked_period(),
+            Stack::MultiScale(bank) => bank
+                .scales()
+                .iter()
+                .filter_map(|d| d.locked_period().map(|p| (d.window(), p)))
+                .max_by_key(|&(window, _)| window)
+                .map(|(_, period)| period),
+            Stack::Forecasting(f) => f.dpd().locked_period(),
+        }
+    }
+
+    /// Materialize the forecast for the next `h` positions (forecasting
+    /// stacks only; `None` otherwise, or before locked-and-primed).
+    pub fn forecast(&mut self, h: usize) -> Option<Forecast<'_>> {
+        match &mut self.stack {
+            Stack::Forecasting(f) => f.forecast(h),
+            _ => None,
+        }
+    }
+
+    /// The plain streaming detector, when that is the assembled stack.
+    pub fn streaming(&self) -> Option<&StreamingDpd<i64, EventMetric>> {
+        match &self.stack {
+            Stack::Streaming(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The multi-scale bank, when that is the assembled stack.
+    pub fn multi_scale(&self) -> Option<&MultiScaleDpd> {
+        match &self.stack {
+            Stack::MultiScale(bank) => Some(bank),
+            _ => None,
+        }
+    }
+
+    /// The forecasting bundle, when that is the assembled stack.
+    pub fn forecasting(&self) -> Option<&ForecastingDpd> {
+        match &self.stack {
+            Stack::Forecasting(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The event sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable access to the event sink (e.g. to drain a collected `Vec`).
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Tear down the pipeline, returning the sink.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+}
+
+/// A keyed multi-stream detector table behind one [`EventSink`].
+///
+/// Built by [`DpdBuilder::build_keyed`]. Maintains the global sample clock
+/// itself (every ingested batch advances it) and paces idle-stream sweeps
+/// by the builder's [`sweep_every`](DpdBuilder::sweep_every) — the same
+/// semantics as the sharded service's deterministic inline mode, so a
+/// `KeyedDpd` is the in-process reference for any shard count.
+///
+/// # Examples
+/// ```
+/// use dpd_core::pipeline::{DpdBuilder, DpdEvent};
+/// use dpd_core::shard::StreamId;
+///
+/// let mut keyed = DpdBuilder::new().window(8).keyed().build_keyed(Vec::new()).unwrap();
+/// for round in 0..20i64 {
+///     for s in 0..3u64 {
+///         let chunk: Vec<i64> = (0..4).map(|i| (round * 4 + i) % (s as i64 + 2)).collect();
+///         keyed.ingest(StreamId(s), &chunk);
+///     }
+/// }
+/// keyed.close_all();
+/// let events = keyed.into_sink();
+/// assert!(events
+///     .iter()
+///     .any(|(s, e)| *s == StreamId(0) && matches!(e, DpdEvent::Closed { .. })));
+/// ```
+#[derive(Debug)]
+pub struct KeyedDpd<S: EventSink> {
+    table: StreamTable,
+    sink: S,
+    scratch: Vec<MultiStreamEvent>,
+    clock: u64,
+    since_sweep: u64,
+    sweep_every: u64,
+}
+
+impl<S: EventSink> KeyedDpd<S> {
+    /// Ingest one batch of samples for one stream.
+    pub fn ingest(&mut self, stream: StreamId, samples: &[i64]) {
+        self.scratch.clear();
+        self.table
+            .ingest(self.clock, stream, samples, &mut self.scratch);
+        self.clock += samples.len() as u64;
+        self.since_sweep += samples.len() as u64;
+        if self.sweep_every > 0 && self.since_sweep >= self.sweep_every {
+            self.table.sweep(self.clock);
+            self.since_sweep = 0;
+        }
+        self.flush_scratch();
+    }
+
+    /// Explicitly close one stream (final flush event); returns `false`
+    /// when the stream is not live.
+    pub fn close(&mut self, stream: StreamId) -> bool {
+        self.scratch.clear();
+        let closed = self.table.close(self.clock, stream, &mut self.scratch);
+        self.flush_scratch();
+        closed
+    }
+
+    /// Close every live stream, ascending by id.
+    pub fn close_all(&mut self) {
+        self.scratch.clear();
+        self.table.close_all(self.clock, &mut self.scratch);
+        self.flush_scratch();
+    }
+
+    /// Sweep idle streams now; returns the number evicted.
+    pub fn sweep(&mut self) -> usize {
+        self.since_sweep = 0;
+        self.table.sweep(self.clock)
+    }
+
+    /// Materialize the forecast for the next `h` values of one stream
+    /// (forecasting tables only; see
+    /// [`StreamTable::forecast`]).
+    pub fn forecast(&mut self, stream: StreamId, h: usize) -> Option<Forecast<'_>> {
+        self.table.forecast(stream, h)
+    }
+
+    /// The global sample clock (samples ingested across all streams).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// The underlying table (per-stream statistics, rollups, lifecycle
+    /// counters).
+    pub fn table(&self) -> &StreamTable {
+        &self.table
+    }
+
+    /// The event sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable access to the event sink.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Tear down the pipeline, returning the sink.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    fn flush_scratch(&mut self) {
+        for e in &self.scratch {
+            let (stream, event) = DpdEvent::from_multi_stream(e);
+            self.sink.on_event(stream, &event);
+        }
+        self.scratch.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn periodic(period: i64, len: usize) -> Vec<i64> {
+        (0..len as i64).map(|i| i % period).collect()
+    }
+
+    #[test]
+    fn plain_pipeline_segments() {
+        let mut pipe = DpdBuilder::new().window(8).build(Vec::new()).unwrap();
+        pipe.push_slice(&periodic(3, 60));
+        assert_eq!(pipe.detected_periods(), vec![3]);
+        assert_eq!(pipe.locked_period(), Some(3));
+        let events = pipe.into_sink();
+        assert!(events.iter().all(|(s, _)| *s == StreamId(0)));
+        assert!(events
+            .iter()
+            .any(|(_, e)| matches!(e, DpdEvent::Segment(SegmentEvent::PeriodStart { .. }))));
+    }
+
+    #[test]
+    fn multi_scale_pipeline_reports_scales() {
+        let mut outer: Vec<i64> = Vec::new();
+        for _ in 0..8 {
+            outer.extend([1i64, 2, 3, 4]);
+        }
+        outer.extend(101..109);
+        let data: Vec<i64> = (0..400).map(|i| outer[i % 40]).collect();
+        let mut pipe = DpdBuilder::new()
+            .scales(&[8, 128])
+            .build(Vec::new())
+            .unwrap();
+        pipe.push_slice(&data);
+        assert_eq!(pipe.detected_periods(), vec![4, 40]);
+        assert!(pipe.multi_scale().is_some());
+        let windows: std::collections::BTreeSet<usize> = pipe
+            .sink()
+            .iter()
+            .filter_map(|(_, e)| match e {
+                DpdEvent::Scale { window, .. } => Some(*window),
+                _ => None,
+            })
+            .collect();
+        assert!(windows.contains(&8) && windows.contains(&128));
+    }
+
+    #[test]
+    fn forecasting_pipeline_emits_full_lifecycle() {
+        let mut data = periodic(3, 60);
+        data.extend((0..80).map(|i| [10i64, 20, 30, 40, 50][i % 5]));
+        let mut pipe = DpdBuilder::new()
+            .window(8)
+            .forecast(2)
+            .build(Vec::new())
+            .unwrap();
+        pipe.push_slice(&data);
+        let events = pipe.into_sink();
+        let mut issued = 0u64;
+        let mut scored = 0u64;
+        let mut invalidated = 0u64;
+        for (_, e) in &events {
+            match e {
+                DpdEvent::ForecastIssued { .. } => issued += 1,
+                DpdEvent::ForecastScored { hit, .. } => {
+                    assert!(hit, "exactly periodic phases must score hits");
+                    scored += 1;
+                }
+                DpdEvent::ForecastInvalidated { .. } => invalidated += 1,
+                _ => {}
+            }
+        }
+        assert!(issued > 0 && scored > 0 && invalidated >= 1);
+        assert!(issued >= scored, "scoring lags issuance");
+    }
+
+    #[test]
+    fn forecast_issuance_matches_predictor_bookkeeping() {
+        let mut pipe = DpdBuilder::new()
+            .window(8)
+            .forecast(3)
+            .build(Vec::new())
+            .unwrap();
+        pipe.push_slice(&periodic(4, 100));
+        let stats = pipe.forecasting().unwrap().predictor().stats();
+        let issued = pipe
+            .sink()
+            .iter()
+            .filter(|(_, e)| matches!(e, DpdEvent::ForecastIssued { .. }))
+            .count() as u64;
+        let scored = pipe
+            .sink()
+            .iter()
+            .filter(|(_, e)| matches!(e, DpdEvent::ForecastScored { .. }))
+            .count() as u64;
+        assert_eq!(issued, stats.issued);
+        assert_eq!(scored, stats.checked);
+    }
+
+    #[test]
+    fn keyed_pipeline_matches_raw_table() {
+        let builder = DpdBuilder::new().window(8).evict_after(64);
+        let mut keyed = builder.build_keyed(Vec::new()).unwrap();
+        let mut table = builder.build_table().unwrap();
+        let mut raw = Vec::new();
+        let mut seq = 0u64;
+        for round in 0..25i64 {
+            for s in 0..4u64 {
+                let chunk: Vec<i64> = (0..6).map(|i| (round * 6 + i) % (s as i64 + 2)).collect();
+                keyed.ingest(StreamId(s), &chunk);
+                table.ingest(seq, StreamId(s), &chunk, &mut raw);
+                seq += 6;
+            }
+        }
+        keyed.close_all();
+        table.close_all(seq, &mut raw);
+        let expected: Vec<(StreamId, DpdEvent)> =
+            raw.iter().map(DpdEvent::from_multi_stream).collect();
+        assert_eq!(keyed.sink(), &expected);
+        assert_eq!(keyed.clock(), seq);
+    }
+
+    #[test]
+    fn closure_and_unit_sinks() {
+        let mut count = 0usize;
+        let mut pipe = DpdBuilder::new()
+            .window(8)
+            .build(|_s: StreamId, _e: &DpdEvent| count += 1)
+            .unwrap();
+        pipe.push_slice(&periodic(3, 40));
+        drop(pipe);
+        assert!(count > 0);
+
+        let mut silent = DpdBuilder::new().window(8).build(()).unwrap();
+        silent.push_slice(&periodic(3, 40));
+        assert_eq!(silent.locked_period(), Some(3));
+    }
+
+    /// Satellite: every documented incoherent option combination returns
+    /// its precise `BuildError` variant — none of them panic.
+    #[test]
+    fn incoherent_combos_error_precisely() {
+        use BuildError as E;
+        let b = DpdBuilder::new;
+        // (case, got, expected) triples, table-driven.
+        let cases: Vec<(&str, Option<E>, E)> = vec![
+            (
+                "zero window",
+                b().window(0).build_detector().err(),
+                E::Detector(DpdError::InvalidWindow(0)),
+            ),
+            (
+                "m_max beyond window",
+                b().window(8).m_max(9).build_detector().err(),
+                E::Detector(DpdError::InvalidMaxDelay {
+                    m_max: 9,
+                    window: 8,
+                }),
+            ),
+            (
+                "zero m_max",
+                b().window(8).m_max(0).build_detector().err(),
+                E::Detector(DpdError::InvalidMaxDelay {
+                    m_max: 0,
+                    window: 8,
+                }),
+            ),
+            (
+                "zero forecast horizon",
+                b().forecast(0).build_forecasting().err(),
+                E::Detector(DpdError::InvalidHorizon(0)),
+            ),
+            (
+                "empty scales",
+                b().scales(&[]).build_multi_scale().err(),
+                E::EmptyScales,
+            ),
+            (
+                "zero scale window",
+                b().scales(&[8, 0]).build_multi_scale().err(),
+                E::Detector(DpdError::InvalidWindow(0)),
+            ),
+            (
+                "forecast horizon on a multi-scale bank",
+                b().scales(&[8]).forecast(2).build(()).err(),
+                E::ScalesWithForecast,
+            ),
+            (
+                "scales on a keyed table",
+                b().scales(&[8]).keyed().build_table().err(),
+                E::ScalesWithKeyed,
+            ),
+            (
+                "scales on the sharded service",
+                b().scales(&[8]).shards(2).service_spec().err(),
+                E::ScalesWithKeyed,
+            ),
+            (
+                "scales on a plain detector",
+                b().scales(&[8]).build_detector().err(),
+                E::ScalesOnPlainDetector,
+            ),
+            (
+                "multi-scale finisher without scales",
+                b().build_multi_scale().err(),
+                E::ScalesRequired,
+            ),
+            (
+                "forecast on a plain detector finisher",
+                b().forecast(2).build_detector().err(),
+                E::ForecastOnPlainDetector,
+            ),
+            (
+                "forecasting finisher without a horizon",
+                b().build_forecasting().err(),
+                E::ForecastRequired,
+            ),
+            (
+                "magnitudes with scales",
+                b().magnitudes().scales(&[8]).build(()).err(),
+                E::MagnitudesWithScales,
+            ),
+            (
+                "magnitudes with forecasting",
+                b().magnitudes().forecast(2).build_forecasting().err(),
+                E::MagnitudesWithForecast,
+            ),
+            (
+                "magnitudes on a keyed table",
+                b().magnitudes().keyed().build_table().err(),
+                E::MagnitudesWithKeyed,
+            ),
+            (
+                "magnitudes on the sharded service",
+                b().magnitudes().shards(2).service_spec().err(),
+                E::MagnitudesWithKeyed,
+            ),
+            (
+                "magnitudes on the event pipeline",
+                b().magnitudes().build(()).err(),
+                E::MagnitudesOnEventPipeline,
+            ),
+            (
+                "magnitude finisher without magnitudes()",
+                b().build_magnitude_detector().err(),
+                E::EventsOnMagnitudePipeline,
+            ),
+            (
+                "keyed option on a single-stream finisher",
+                b().keyed().build_detector().err(),
+                E::KeyedOnSingleStream,
+            ),
+            (
+                "eviction on a single-stream finisher",
+                b().evict_after(64).build(()).err(),
+                E::KeyedOnSingleStream,
+            ),
+            (
+                "shards on a single-stream finisher",
+                b().shards(4).build_detector().err(),
+                E::ShardsOnSingleStream,
+            ),
+            (
+                "shards on the in-process table",
+                b().shards(4).keyed().build_table().err(),
+                E::ShardsOnTable,
+            ),
+            (
+                "service without shards",
+                b().keyed().service_spec().err(),
+                E::ShardsRequired,
+            ),
+            (
+                "sweep cadence without a keyed table",
+                b().sweep_every(128).build_detector().err(),
+                E::SweepWithoutKeyed,
+            ),
+        ];
+        for (case, got, expected) in cases {
+            assert_eq!(got, Some(expected), "case: {case}");
+        }
+    }
+
+    /// Satellite: every `BuildError` variant renders a lowercase,
+    /// period-free message.
+    #[test]
+    fn every_build_error_variant_renders() {
+        let variants = vec![
+            BuildError::Detector(DpdError::InvalidWindow(0)),
+            BuildError::EmptyScales,
+            BuildError::ScalesWithForecast,
+            BuildError::ScalesWithKeyed,
+            BuildError::ScalesOnPlainDetector,
+            BuildError::ScalesRequired,
+            BuildError::ForecastOnPlainDetector,
+            BuildError::ForecastRequired,
+            BuildError::MagnitudesWithScales,
+            BuildError::MagnitudesWithForecast,
+            BuildError::MagnitudesWithKeyed,
+            BuildError::MagnitudesOnEventPipeline,
+            BuildError::EventsOnMagnitudePipeline,
+            BuildError::KeyedOnSingleStream,
+            BuildError::ShardsOnSingleStream,
+            BuildError::ShardsOnTable,
+            BuildError::ShardsRequired,
+            BuildError::SweepWithoutKeyed,
+        ];
+        for v in variants {
+            let msg = v.to_string();
+            assert!(!msg.is_empty(), "{v:?} renders empty");
+            assert!(
+                msg.chars().next().unwrap().is_lowercase(),
+                "{v:?} message must start lowercase: {msg:?}"
+            );
+            assert!(!msg.ends_with('.'), "{v:?} message ends with a period");
+            // std::error::Error is wired up, with sources on wrappers.
+            let err: &dyn std::error::Error = &v;
+            if matches!(v, BuildError::Detector(_)) {
+                assert!(err.source().is_some());
+            } else {
+                assert!(err.source().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn magnitude_detector_matches_magnitude_defaults() {
+        let config = DpdBuilder::new()
+            .window(24)
+            .magnitudes()
+            .detector_config()
+            .unwrap();
+        assert_eq!(config.confirm, 4);
+        assert_eq!(config.lose, 2);
+        assert_eq!(config.resync_interval, 8192);
+        // Overrides win regardless of call order.
+        let tuned = DpdBuilder::new()
+            .confirm(7)
+            .magnitudes()
+            .window(24)
+            .detector_config()
+            .unwrap();
+        assert_eq!(tuned.confirm, 7);
+        assert_eq!(tuned.lose, 2);
+        let mut dpd = DpdBuilder::new()
+            .window(24)
+            .magnitudes()
+            .build_magnitude_detector()
+            .unwrap();
+        for i in 0..400usize {
+            dpd.push([0.0, 2.0, 8.0, 16.0, 8.0, 2.0][i % 6] + ((i * 7919) % 11) as f64 * 0.02);
+        }
+        assert_eq!(dpd.locked_period(), Some(6));
+    }
+
+    #[test]
+    fn detector_option_round_trips_configs() {
+        let config = StreamingConfig {
+            window: 48,
+            m_max: 32,
+            policy: MinimaPolicy::relative(0.2),
+            confirm: 3,
+            lose: 5,
+            resync_interval: 1024,
+        };
+        let round = DpdBuilder::new()
+            .detector(config)
+            .detector_config()
+            .unwrap();
+        assert_eq!(round, config);
+    }
+
+    #[test]
+    fn service_spec_carries_table_and_sweep_defaults() {
+        let spec = DpdBuilder::new()
+            .window(16)
+            .evict_after(100)
+            .forecast(2)
+            .shards(4)
+            .service_spec()
+            .unwrap();
+        assert_eq!(spec.shards, 4);
+        assert_eq!(spec.sweep_every, 400, "defaults to four watermarks");
+        assert_eq!(spec.table.evict_after, 100);
+        assert_eq!(spec.table.forecast_horizon, 2);
+        assert_eq!(spec.table.detector.window, 16);
+        let explicit = DpdBuilder::new()
+            .evict_after(100)
+            .sweep_every(50)
+            .shards(0)
+            .service_spec()
+            .unwrap();
+        assert_eq!(explicit.sweep_every, 50);
+        assert_eq!(explicit.shards, 0);
+    }
+
+    #[test]
+    fn stream_id_tags_pipeline_events() {
+        let mut pipe = DpdBuilder::new()
+            .window(8)
+            .stream_id(StreamId(42))
+            .build(Vec::new())
+            .unwrap();
+        pipe.push_slice(&periodic(3, 40));
+        assert_eq!(pipe.stream_id(), StreamId(42));
+        assert!(!pipe.sink().is_empty());
+        assert!(pipe.sink().iter().all(|(s, _)| *s == StreamId(42)));
+    }
+}

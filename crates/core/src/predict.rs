@@ -10,6 +10,14 @@
 //! [`ForecastingDpd`] bundles detector + predictor into one
 //! push-per-sample object.
 //!
+//! This module is the **normative** forecasting subsystem (contract in
+//! `docs/PREDICTION.md`). The similarly named
+//! [`prediction`](crate::prediction) module — re-exported as
+//! [`crate::naive`] — is the *naive* full-history baseline: a simple
+//! period-locked extension with no confidence tracking and no phase-change
+//! invalidation, kept as the reference oracle the property tests compare
+//! this subsystem against.
+//!
 //! # Model
 //!
 //! While a periodicity `p` is locked, the forecast for `k` samples ahead of
@@ -52,10 +60,9 @@
 //! # Examples
 //!
 //! ```
-//! use dpd_core::predict::ForecastingDpd;
-//! use dpd_core::streaming::StreamingConfig;
+//! use dpd_core::pipeline::DpdBuilder;
 //!
-//! let mut f = ForecastingDpd::events(StreamingConfig::with_window(8), 4).unwrap();
+//! let mut f = DpdBuilder::new().window(8).forecast(4).build_forecasting().unwrap();
 //! for i in 0..40usize {
 //!     f.push([10i64, 20, 30][i % 3]);
 //! }
@@ -185,6 +192,12 @@ pub struct Observation {
     /// `true` when this sample's event invalidated the forecast state
     /// (lock lost or relocked onto a different period).
     pub invalidated: bool,
+    /// Outstanding predictions dropped unscored by this call's
+    /// invalidation (`0` unless `invalidated`).
+    pub dropped: u64,
+    /// The `H`-step-ahead prediction issued from the post-sample state,
+    /// as `(target_position, value)`; `None` while not locked and primed.
+    pub issued: Option<(u64, i64)>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -270,17 +283,28 @@ impl Predictor {
         self.pos
     }
 
+    /// The most recently issued outstanding prediction, as
+    /// `(target_position, value)`; `None` when nothing is outstanding.
+    /// The unified pipeline uses this to surface issuance on its event
+    /// stream without re-deriving the periodic extension.
+    pub fn last_issued(&self) -> Option<(u64, i64)> {
+        self.pending.back().map(|p| (p.pos, p.value))
+    }
+
     /// Drop the lock, every outstanding prediction (unscored) and reset
-    /// confidence. Counted as an invalidation when any state was live.
-    fn invalidate(&mut self) -> bool {
+    /// confidence. Counted as an invalidation when any state was live;
+    /// returns `Some(dropped_count)` then, `None` when nothing was live.
+    fn invalidate(&mut self) -> Option<u64> {
         let had_state = self.lock.is_some() || !self.pending.is_empty();
-        if had_state {
-            self.stats.invalidations += 1;
-            self.stats.dropped += self.pending.len() as u64;
-        }
-        self.pending.clear();
         self.lock = None;
-        had_state
+        if !had_state {
+            return None;
+        }
+        let dropped = self.pending.len() as u64;
+        self.stats.invalidations += 1;
+        self.stats.dropped += dropped;
+        self.pending.clear();
+        Some(dropped)
     }
 
     /// Observe one actual sample together with the detector event its push
@@ -295,14 +319,20 @@ impl Predictor {
         //    before scoring so no stale-period prediction is ever counted.
         match event {
             SegmentEvent::PeriodLost { .. } => {
-                ob.invalidated = self.invalidate();
+                if let Some(dropped) = self.invalidate() {
+                    ob.invalidated = true;
+                    ob.dropped = dropped;
+                }
             }
             SegmentEvent::PeriodStart { period, .. } => match self.lock {
                 Some(ref mut l) if l.period == period => {
                     l.ewma += BOUNDARY_ALPHA * (1.0 - l.ewma);
                 }
                 Some(_) => {
-                    ob.invalidated = self.invalidate();
+                    if let Some(dropped) = self.invalidate() {
+                        ob.invalidated = true;
+                        ob.dropped = dropped;
+                    }
                     self.lock = Some(Lock {
                         period,
                         ewma: FRESH_LOCK_CONFIDENCE,
@@ -356,11 +386,10 @@ impl Predictor {
 
         // 5. Issue the H-step-ahead prediction from the new state.
         if let Some(value) = self.predicted_value(self.config.horizon) {
-            self.pending.push_back(Pending {
-                pos: self.pos - 1 + self.config.horizon as u64,
-                value,
-            });
+            let pos = self.pos - 1 + self.config.horizon as u64;
+            self.pending.push_back(Pending { pos, value });
             self.stats.issued += 1;
+            ob.issued = Some((pos, value));
         }
         ob
     }
@@ -412,12 +441,21 @@ pub struct ForecastingDpd {
 
 impl ForecastingDpd {
     /// Event-stream detector with forecasting at the given horizon.
+    #[deprecated(note = "use dpd_core::pipeline::DpdBuilder::new().detector(config)\
+                         .forecast(horizon).build_forecasting() — see the README \
+                         migration table")]
     pub fn events(config: StreamingConfig, horizon: usize) -> crate::Result<Self> {
         let predict = PredictConfig::new(config.window, horizon)?;
         Ok(ForecastingDpd {
-            dpd: StreamingDpd::events(config),
+            dpd: StreamingDpd::new(EventMetric, config).expect("validated by with_window"),
             predictor: Predictor::new(predict),
         })
+    }
+
+    /// Bundle an assembled detector and predictor (the
+    /// [`crate::pipeline::DpdBuilder`] hook).
+    pub(crate) fn from_parts(dpd: StreamingDpd<i64, EventMetric>, predictor: Predictor) -> Self {
+        ForecastingDpd { dpd, predictor }
     }
 
     /// Push one sample through detector and predictor; returns the
@@ -448,6 +486,19 @@ impl ForecastingDpd {
 mod tests {
     use super::*;
 
+    use crate::pipeline::DpdBuilder;
+
+    fn forecasting(window: usize, horizon: usize) -> crate::Result<ForecastingDpd> {
+        DpdBuilder::new()
+            .window(window)
+            .forecast(horizon)
+            .build_forecasting()
+            .map_err(|e| match e {
+                crate::pipeline::BuildError::Detector(d) => d,
+                other => panic!("unexpected build error: {other}"),
+            })
+    }
+
     fn push_all(f: &mut ForecastingDpd, data: &[i64]) -> Vec<Observation> {
         data.iter().map(|&s| f.push(s).1).collect()
     }
@@ -467,7 +518,7 @@ mod tests {
 
     #[test]
     fn no_forecast_before_lock() {
-        let mut f = ForecastingDpd::events(StreamingConfig::with_window(8), 2).unwrap();
+        let mut f = forecasting(8, 2).unwrap();
         for &s in &[1i64, 2, 3, 4, 5] {
             f.push(s);
         }
@@ -479,7 +530,7 @@ mod tests {
     #[test]
     fn exact_periodic_stream_forecasts_perfectly() {
         let data: Vec<i64> = (0..200).map(|i| [7i64, 8, 9, 10][i % 4]).collect();
-        let mut f = ForecastingDpd::events(StreamingConfig::with_window(8), 3).unwrap();
+        let mut f = forecasting(8, 3).unwrap();
         push_all(&mut f, &data);
         let stats = f.predictor().stats();
         assert!(stats.checked > 100, "{stats:?}");
@@ -499,7 +550,7 @@ mod tests {
 
     #[test]
     fn horizon_wraps_past_one_period() {
-        let mut f = ForecastingDpd::events(StreamingConfig::with_window(8), 7).unwrap();
+        let mut f = forecasting(8, 7).unwrap();
         for i in 0..40usize {
             f.push([1i64, 2, 3][i % 3]);
         }
@@ -515,7 +566,7 @@ mod tests {
         // scored against the new phase.
         let mut data: Vec<i64> = (0..60).map(|i| [1i64, 2, 3][i % 3]).collect();
         data.extend((0..80).map(|i| [10i64, 20, 30, 40, 50][i % 5]));
-        let mut f = ForecastingDpd::events(StreamingConfig::with_window(8), 4).unwrap();
+        let mut f = forecasting(8, 4).unwrap();
         let obs = push_all(&mut f, &data);
 
         let stats = f.predictor().stats();
@@ -532,7 +583,7 @@ mod tests {
 
     #[test]
     fn confidence_decays_on_mismatching_samples() {
-        let mut f = ForecastingDpd::events(StreamingConfig::with_window(8), 1).unwrap();
+        let mut f = forecasting(8, 1).unwrap();
         for i in 0..30usize {
             f.push([1i64, 2][i % 2]);
         }
@@ -549,7 +600,7 @@ mod tests {
 
     #[test]
     fn forecast_rejects_out_of_range_horizons() {
-        let mut f = ForecastingDpd::events(StreamingConfig::with_window(8), 2).unwrap();
+        let mut f = forecasting(8, 2).unwrap();
         for i in 0..30usize {
             f.push([4i64, 5][i % 2]);
         }
@@ -560,7 +611,7 @@ mod tests {
 
     #[test]
     fn scored_observation_reports_prediction() {
-        let mut f = ForecastingDpd::events(StreamingConfig::with_window(8), 1).unwrap();
+        let mut f = forecasting(8, 1).unwrap();
         let mut scored = Vec::new();
         for i in 0..30usize {
             let (_, ob) = f.push([6i64, 7, 8][i % 3]);
@@ -576,7 +627,7 @@ mod tests {
     fn mape_skips_zero_actuals() {
         // Period-2 stream containing zeros: MAPE only counts the non-zero
         // positions, MAE counts all.
-        let mut f = ForecastingDpd::events(StreamingConfig::with_window(4), 1).unwrap();
+        let mut f = forecasting(4, 1).unwrap();
         for i in 0..40usize {
             f.push([0i64, 9][i % 2]);
         }
@@ -587,7 +638,7 @@ mod tests {
 
     #[test]
     fn pending_never_exceeds_horizon() {
-        let mut f = ForecastingDpd::events(StreamingConfig::with_window(8), 5).unwrap();
+        let mut f = forecasting(8, 5).unwrap();
         for i in 0..200usize {
             f.push([1i64, 2, 3, 4][i % 4]);
             assert!(f.predictor().pending.len() <= 5);

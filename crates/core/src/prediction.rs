@@ -6,6 +6,15 @@
 //! predicts `x[t + k] = x[t + k - p]`; its accuracy tracker quantifies how
 //! well the assumption holds (useful on the not-exactly-repeating CPU traces
 //! of Figure 3).
+//!
+//! This is the **naive baseline** — also re-exported as
+//! [`crate::naive::PeriodicPredictor`] to make its role explicit. The
+//! *normative* forecasting subsystem is [`crate::predict`]: online,
+//! allocation-free, confidence-tracked, with phase-change invalidation
+//! (contract in `docs/PREDICTION.md`, which states that `predict` is
+//! normative). This module stays as the paper's minimal §1 artifact and as
+//! the reference oracle `tests/proptest_predict.rs` compares the normative
+//! subsystem against.
 
 use crate::window::RingWindow;
 

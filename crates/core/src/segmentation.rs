@@ -7,7 +7,7 @@
 //! explicit [`Segment`] records, and [`segment_events`] is the convenience
 //! entry point used by the Figure 7 reproduction.
 
-use crate::streaming::{SegmentEvent, StreamingConfig, StreamingDpd};
+use crate::streaming::SegmentEvent;
 
 /// One contiguous segment of the stream covered by a periodicity lock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,7 +50,7 @@ impl Segmenter {
         Segmenter::default()
     }
 
-    /// Feed one event (as returned by [`StreamingDpd::push`]).
+    /// Feed one event (as returned by [`crate::streaming::StreamingDpd::push`]).
     pub fn observe(&mut self, event: SegmentEvent) {
         match event {
             SegmentEvent::None => {}
@@ -119,7 +119,10 @@ impl Segmenter {
 /// Run a fresh event-stream detector over `data` and return the segmentation
 /// together with the per-sample events (Figure 7 helper).
 pub fn segment_events(data: &[i64], window: usize) -> (Vec<Segment>, Vec<u64>) {
-    let mut dpd = StreamingDpd::events(StreamingConfig::with_window(window));
+    let mut dpd = crate::pipeline::DpdBuilder::new()
+        .window(window)
+        .build_detector()
+        .expect("invalid segmentation window");
     let mut seg = Segmenter::new();
     // Batch ingestion: push_slice returns only the non-trivial events, and
     // observe() ignores `None`, so this is equivalent to per-sample feeding.

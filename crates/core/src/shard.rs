@@ -68,18 +68,22 @@ pub struct TableConfig {
 
 impl TableConfig {
     /// Table with the given detector window and no eviction.
+    #[deprecated(note = "use dpd_core::pipeline::DpdBuilder::new().window(n).keyed()\
+                         .table_config() — see the README migration table")]
     pub fn with_window(n: usize) -> Self {
         TableConfig {
-            detector: StreamingConfig::with_window(n),
+            detector: StreamingConfig::events_defaults(n),
             evict_after: 0,
             forecast_horizon: 0,
         }
     }
 
     /// Same, with an idle-eviction watermark.
+    #[deprecated(note = "use dpd_core::pipeline::DpdBuilder::new().window(n)\
+                         .evict_after(samples).table_config() — see the README migration table")]
     pub fn with_eviction(n: usize, evict_after: u64) -> Self {
         TableConfig {
-            detector: StreamingConfig::with_window(n),
+            detector: StreamingConfig::events_defaults(n),
             evict_after,
             forecast_horizon: 0,
         }
@@ -87,15 +91,19 @@ impl TableConfig {
 
     /// Table with per-stream forecasting at horizon `h` (detector window
     /// `n`, no eviction).
+    #[deprecated(note = "use dpd_core::pipeline::DpdBuilder::new().window(n).keyed()\
+                         .forecast(h).table_config() — see the README migration table")]
     pub fn with_forecast(n: usize, h: usize) -> Self {
         TableConfig {
-            detector: StreamingConfig::with_window(n),
+            detector: StreamingConfig::events_defaults(n),
             evict_after: 0,
             forecast_horizon: h,
         }
     }
 
     /// Builder-style: enable forecasting at horizon `h` on any config.
+    #[deprecated(note = "use dpd_core::pipeline::DpdBuilder::forecast(h) — \
+                         see the README migration table")]
     pub fn forecasting(mut self, h: usize) -> Self {
         self.forecast_horizon = h;
         self
@@ -189,7 +197,8 @@ struct StreamEntry {
 impl StreamEntry {
     fn new(config: &TableConfig) -> Self {
         StreamEntry {
-            dpd: StreamingDpd::events(config.detector),
+            dpd: StreamingDpd::new(EventMetric, config.detector)
+                .expect("table config validated at construction"),
             predictor: config.predict_config().map(Predictor::new),
             last_seq: 0,
         }
@@ -206,9 +215,10 @@ impl StreamEntry {
 ///
 /// # Examples
 /// ```
-/// use dpd_core::shard::{MultiStreamEvent, StreamId, StreamTable, TableConfig};
+/// use dpd_core::pipeline::DpdBuilder;
+/// use dpd_core::shard::{MultiStreamEvent, StreamId};
 ///
-/// let mut table = StreamTable::new(TableConfig::with_window(8));
+/// let mut table = DpdBuilder::new().window(8).keyed().build_table().unwrap();
 /// let mut out = Vec::new();
 /// let mut seq = 0u64;
 /// for round in 0..30 {
@@ -436,6 +446,19 @@ impl StreamTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::DpdBuilder;
+
+    fn table_with_window(n: usize) -> StreamTable {
+        DpdBuilder::new().window(n).keyed().build_table().unwrap()
+    }
+
+    fn table_with_eviction(n: usize, evict_after: u64) -> StreamTable {
+        DpdBuilder::new()
+            .window(n)
+            .evict_after(evict_after)
+            .build_table()
+            .unwrap()
+    }
 
     fn periodic(period: u64, start: u64, len: usize) -> Vec<i64> {
         (0..len as u64)
@@ -465,7 +488,7 @@ mod tests {
 
     #[test]
     fn lazy_creation_and_per_stream_detection() {
-        let mut table = StreamTable::new(TableConfig::with_window(8));
+        let mut table = table_with_window(8);
         let out = drive(&mut table, 4, 8, 20);
         assert_eq!(table.len(), 4);
         assert_eq!(table.stats().created, 4);
@@ -483,7 +506,7 @@ mod tests {
 
     #[test]
     fn events_tag_the_right_stream() {
-        let mut table = StreamTable::new(TableConfig::with_window(8));
+        let mut table = table_with_window(8);
         let out = drive(&mut table, 3, 6, 30);
         for e in &out {
             if let MultiStreamEvent::Segment {
@@ -500,11 +523,11 @@ mod tests {
     fn table_partitioning_is_observation_invariant() {
         // One table over 6 streams vs two tables over a 3/3 split: the
         // per-stream event sequences must be identical.
-        let mut whole = StreamTable::new(TableConfig::with_eviction(8, 64));
+        let mut whole = table_with_eviction(8, 64);
         let all = drive(&mut whole, 6, 8, 25);
 
-        let mut even = StreamTable::new(TableConfig::with_eviction(8, 64));
-        let mut odd = StreamTable::new(TableConfig::with_eviction(8, 64));
+        let mut even = table_with_eviction(8, 64);
+        let mut odd = table_with_eviction(8, 64);
         let mut split = Vec::new();
         let mut seq = 0u64;
         for r in 0..25u64 {
@@ -524,7 +547,7 @@ mod tests {
 
     #[test]
     fn idle_eviction_resets_detector_state() {
-        let mut table = StreamTable::new(TableConfig::with_eviction(8, 16));
+        let mut table = table_with_eviction(8, 16);
         let mut out = Vec::new();
         // Lock stream 0 to period 3.
         table.ingest(0, StreamId(0), &periodic(3, 0, 24), &mut out);
@@ -543,7 +566,7 @@ mod tests {
 
     #[test]
     fn sweep_matches_lazy_eviction_observably() {
-        let mk = || StreamTable::new(TableConfig::with_eviction(8, 16));
+        let mk = || table_with_eviction(8, 16);
         let feed = |table: &mut StreamTable, sweep_at: Option<u64>| {
             let mut out = Vec::new();
             table.ingest(0, StreamId(0), &periodic(3, 0, 24), &mut out);
@@ -570,7 +593,7 @@ mod tests {
 
     #[test]
     fn close_emits_final_flush() {
-        let mut table = StreamTable::new(TableConfig::with_window(8));
+        let mut table = table_with_window(8);
         let mut out = Vec::new();
         table.ingest(0, StreamId(7), &periodic(4, 0, 32), &mut out);
         out.clear();
@@ -590,7 +613,7 @@ mod tests {
 
     #[test]
     fn close_all_is_ascending_by_id() {
-        let mut table = StreamTable::new(TableConfig::with_window(8));
+        let mut table = table_with_window(8);
         let mut out = Vec::new();
         for &s in &[9u64, 2, 5] {
             table.ingest(0, StreamId(s), &periodic(3, 0, 6), &mut out);
@@ -603,7 +626,7 @@ mod tests {
 
     #[test]
     fn close_of_idle_stream_evicts_silently() {
-        let mut table = StreamTable::new(TableConfig::with_eviction(8, 16));
+        let mut table = table_with_eviction(8, 16);
         let mut out = Vec::new();
         table.ingest(0, StreamId(0), &periodic(3, 0, 24), &mut out);
         out.clear();
@@ -617,7 +640,7 @@ mod tests {
 
     #[test]
     fn empty_batch_is_a_noop() {
-        let mut table = StreamTable::new(TableConfig::with_window(8));
+        let mut table = table_with_window(8);
         let mut out = Vec::new();
         table.ingest(0, StreamId(1), &[], &mut out);
         assert!(table.is_empty());
@@ -649,7 +672,12 @@ mod tests {
 
     #[test]
     fn forecasting_table_scores_per_stream() {
-        let mut table = StreamTable::new(TableConfig::with_forecast(8, 2));
+        let mut table = DpdBuilder::new()
+            .window(8)
+            .keyed()
+            .forecast(2)
+            .build_table()
+            .unwrap();
         let mut out = Vec::new();
         table.ingest(0, StreamId(1), &periodic(3, 0, 60), &mut out);
         table.ingest(60, StreamId(2), &periodic(5, 0, 60), &mut out);
@@ -677,7 +705,7 @@ mod tests {
 
     #[test]
     fn non_forecasting_table_reports_none() {
-        let mut table = StreamTable::new(TableConfig::with_window(8));
+        let mut table = table_with_window(8);
         let mut out = Vec::new();
         table.ingest(0, StreamId(1), &periodic(3, 0, 40), &mut out);
         assert_eq!(table.forecast_stats(StreamId(1)), None);
@@ -688,8 +716,12 @@ mod tests {
 
     #[test]
     fn eviction_resets_forecast_state_but_keeps_table_counters() {
-        let cfg = TableConfig::with_eviction(8, 16).forecasting(1);
-        let mut table = StreamTable::new(cfg);
+        let mut table = DpdBuilder::new()
+            .window(8)
+            .evict_after(16)
+            .forecast(1)
+            .build_table()
+            .unwrap();
         let mut out = Vec::new();
         table.ingest(0, StreamId(0), &periodic(3, 0, 40), &mut out);
         let before = table.stats().forecast_checked;
@@ -707,7 +739,7 @@ mod tests {
 
     #[test]
     fn stats_roll_up() {
-        let mut table = StreamTable::new(TableConfig::with_window(8));
+        let mut table = table_with_window(8);
         let out = drive(&mut table, 2, 10, 10);
         let st = table.stats();
         assert_eq!(st.streams, 2);

@@ -44,6 +44,10 @@ pub struct StreamingConfig {
 
 impl StreamingConfig {
     /// Sensible defaults for a window of `n` samples (`M = N`).
+    #[deprecated(
+        note = "use dpd_core::pipeline::DpdBuilder::new().window(n).detector_config() \
+                         — see the README migration table"
+    )]
     pub fn with_window(n: usize) -> Self {
         StreamingConfig {
             window: n,
@@ -57,6 +61,10 @@ impl StreamingConfig {
 
     /// Defaults for noisy magnitude streams: relative-threshold policy,
     /// confirmation window and drift resync.
+    #[deprecated(
+        note = "use dpd_core::pipeline::DpdBuilder::new().window(n).magnitudes()\
+                         .detector_config() — see the README migration table"
+    )]
     pub fn magnitudes(n: usize) -> Self {
         StreamingConfig {
             window: n,
@@ -65,6 +73,19 @@ impl StreamingConfig {
             confirm: 4,
             lose: 2,
             resync_interval: 8192,
+        }
+    }
+
+    /// Engine-level event-stream defaults (`M = N`, exact policy) shared
+    /// by the builder internals and the deprecated compat shims.
+    pub(crate) fn events_defaults(n: usize) -> Self {
+        StreamingConfig {
+            window: n,
+            m_max: n,
+            policy: MinimaPolicy::exact(),
+            confirm: 1,
+            lose: 1,
+            resync_interval: 0,
         }
     }
 
@@ -162,9 +183,10 @@ enum State<T> {
 ///
 /// # Examples
 /// ```
-/// use dpd_core::streaming::{SegmentEvent, StreamingConfig, StreamingDpd};
+/// use dpd_core::pipeline::DpdBuilder;
+/// use dpd_core::streaming::SegmentEvent;
 ///
-/// let mut dpd = StreamingDpd::events(StreamingConfig::with_window(8));
+/// let mut dpd = DpdBuilder::new().window(8).build_detector().unwrap();
 /// let mut boundaries = 0;
 /// for i in 0..100usize {
 ///     let address = [0x400000i64, 0x400040, 0x400080, 0x4000c0][i % 4];
@@ -187,6 +209,8 @@ pub struct StreamingDpd<T, M: Metric<T>> {
 impl StreamingDpd<i64, EventMetric> {
     /// Event-stream detector (equation 2) — the variant used on sequences of
     /// parallel-loop addresses in the paper's evaluation.
+    #[deprecated(note = "use dpd_core::pipeline::DpdBuilder::new().detector(config)\
+                         .build_detector() — see the README migration table")]
     pub fn events(config: StreamingConfig) -> Self {
         StreamingDpd::new(EventMetric, config).expect("validated by with_window")
     }
@@ -195,6 +219,10 @@ impl StreamingDpd<i64, EventMetric> {
 impl StreamingDpd<f64, L1Metric> {
     /// Magnitude-stream detector (equation 1) — the variant used on sampled
     /// CPU-usage traces (paper Figs. 3/4).
+    #[deprecated(
+        note = "use dpd_core::pipeline::DpdBuilder::new().detector(config).magnitudes()\
+                         .build_magnitude_detector() — see the README migration table"
+    )]
     pub fn magnitudes(config: StreamingConfig) -> Self {
         StreamingDpd::new(L1Metric, config).expect("validated by magnitudes")
     }
@@ -444,14 +472,14 @@ impl<T: Copy + PartialEq, M: Metric<T>> StreamingDpd<T, M> {
 ///
 /// # Examples
 /// ```
-/// use dpd_core::streaming::MultiScaleDpd;
+/// use dpd_core::pipeline::DpdBuilder;
 ///
 /// // Inner pattern of 4, repeated 8 times + 8 tail values: outer period 40.
 /// let mut outer: Vec<i64> = Vec::new();
 /// for _ in 0..8 { outer.extend([1, 2, 3, 4]); }
 /// outer.extend(100..108);
 ///
-/// let mut bank = MultiScaleDpd::new(&[8, 128]).unwrap();
+/// let mut bank = DpdBuilder::new().scales(&[8, 128]).build_multi_scale().unwrap();
 /// for i in 0..400 {
 ///     bank.push(outer[i % 40]);
 /// }
@@ -482,7 +510,25 @@ impl MultiScaleEvent {
 
 impl MultiScaleDpd {
     /// Detector bank with the given window sizes (ascending recommended).
+    #[deprecated(note = "use dpd_core::pipeline::DpdBuilder::new().scales(windows)\
+                         .build_multi_scale() — see the README migration table")]
     pub fn new(windows: &[usize]) -> crate::Result<Self> {
+        MultiScaleDpd::from_windows(windows)
+    }
+
+    /// The paper's setting: small, medium and large windows
+    /// (`N = 8, 64, 512`; §3.1 discusses N from under 10 up to 1024).
+    #[deprecated(note = "use dpd_core::pipeline::DpdBuilder::new()\
+                         .scales(pipeline::DEFAULT_SCALES).build_multi_scale() \
+                         — see the README migration table")]
+    pub fn default_scales() -> Self {
+        MultiScaleDpd::from_windows(crate::pipeline::DEFAULT_SCALES)
+            .expect("static scale set is valid")
+    }
+
+    /// Engine-level bank construction shared by the builder and the
+    /// deprecated shims.
+    pub(crate) fn from_windows(windows: &[usize]) -> crate::Result<Self> {
         if windows.is_empty() {
             return Err(crate::DpdError::InvalidWindow(0));
         }
@@ -491,15 +537,10 @@ impl MultiScaleDpd {
             if w == 0 {
                 return Err(crate::DpdError::InvalidWindow(0));
             }
-            scales.push(StreamingDpd::events(StreamingConfig::with_window(w)));
+            let config = StreamingConfig::events_defaults(w);
+            scales.push(StreamingDpd::new(EventMetric, config).expect("validated above"));
         }
         Ok(MultiScaleDpd { scales })
-    }
-
-    /// The paper's setting: small, medium and large windows
-    /// (`N = 8, 64, 512`; §3.1 discusses N from under 10 up to 1024).
-    pub fn default_scales() -> Self {
-        MultiScaleDpd::new(&[8, 64, 512]).expect("static scale set is valid")
     }
 
     /// Push a sample through every scale.
@@ -561,9 +602,10 @@ impl MultiScaleDpd {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::DpdBuilder;
 
     fn run_events(data: &[i64], window: usize) -> (Vec<SegmentEvent>, StreamStats) {
-        let mut dpd = StreamingDpd::events(StreamingConfig::with_window(window));
+        let mut dpd = DpdBuilder::new().window(window).build_detector().unwrap();
         let events = data.iter().map(|&s| dpd.push(s)).collect();
         (events, dpd.stats().clone())
     }
@@ -653,7 +695,11 @@ mod tests {
                 base + noise
             })
             .collect();
-        let mut dpd = StreamingDpd::magnitudes(StreamingConfig::magnitudes(24));
+        let mut dpd = DpdBuilder::new()
+            .window(24)
+            .magnitudes()
+            .build_magnitude_detector()
+            .unwrap();
         let mut locked = None;
         for &s in &data {
             if let SegmentEvent::PeriodStart { period, .. } = dpd.push(s) {
@@ -665,7 +711,7 @@ mod tests {
 
     #[test]
     fn set_window_drops_lock_and_recovers() {
-        let mut dpd = StreamingDpd::events(StreamingConfig::with_window(16));
+        let mut dpd = DpdBuilder::new().window(16).build_detector().unwrap();
         for i in 0..64 {
             dpd.push([1i64, 2, 3][i % 3]);
         }
@@ -694,7 +740,10 @@ mod tests {
         assert_eq!(outer.len(), 40);
         let data: Vec<i64> = (0..400).map(|i| outer[i % 40]).collect();
 
-        let mut bank = MultiScaleDpd::new(&[8, 128]).unwrap();
+        let mut bank = DpdBuilder::new()
+            .scales(&[8, 128])
+            .build_multi_scale()
+            .unwrap();
         for &s in &data {
             bank.push(s);
         }
@@ -705,8 +754,8 @@ mod tests {
 
     #[test]
     fn multiscale_rejects_empty_and_zero() {
-        assert!(MultiScaleDpd::new(&[]).is_err());
-        assert!(MultiScaleDpd::new(&[8, 0]).is_err());
+        assert!(MultiScaleDpd::from_windows(&[]).is_err());
+        assert!(MultiScaleDpd::from_windows(&[8, 0]).is_err());
     }
 
     #[test]
@@ -739,14 +788,14 @@ mod tests {
         let mut data: Vec<i64> = (0..60).map(|i| [1, 2, 3][i % 3]).collect();
         data.extend((0..70).map(|i| [10, 20, 30, 40, 50][i % 5]));
 
-        let mut single = StreamingDpd::events(StreamingConfig::with_window(8));
+        let mut single = DpdBuilder::new().window(8).build_detector().unwrap();
         let expected: Vec<SegmentEvent> = data
             .iter()
             .map(|&s| single.push(s))
             .filter(|e| *e != SegmentEvent::None)
             .collect();
 
-        let mut batch = StreamingDpd::events(StreamingConfig::with_window(8));
+        let mut batch = DpdBuilder::new().window(8).build_detector().unwrap();
         let mut got = Vec::new();
         for chunk in data.chunks(23) {
             got.extend(batch.push_slice(chunk));
@@ -764,13 +813,14 @@ mod tests {
                 base + ((i * 7919) % 11) as f64 * 0.02
             })
             .collect();
-        let mut single = StreamingDpd::magnitudes(StreamingConfig::magnitudes(24));
+        let magnitudes = DpdBuilder::new().window(24).magnitudes();
+        let mut single = magnitudes.build_magnitude_detector().unwrap();
         let expected: Vec<SegmentEvent> = data
             .iter()
             .map(|&s| single.push(s))
             .filter(|e| *e != SegmentEvent::None)
             .collect();
-        let mut batch = StreamingDpd::magnitudes(StreamingConfig::magnitudes(24));
+        let mut batch = magnitudes.build_magnitude_detector().unwrap();
         let got = batch.push_slice(&data);
         assert_eq!(got, expected);
         assert!(!got.is_empty(), "magnitude stream must lock");
@@ -785,7 +835,10 @@ mod tests {
         outer.extend(101..109);
         let data: Vec<i64> = (0..400).map(|i| outer[i % 40]).collect();
 
-        let mut single = MultiScaleDpd::new(&[8, 128]).unwrap();
+        let mut single = DpdBuilder::new()
+            .scales(&[8, 128])
+            .build_multi_scale()
+            .unwrap();
         let mut expected = Vec::new();
         for &s in &data {
             for (w, e) in single.push(s).events {
@@ -793,7 +846,10 @@ mod tests {
             }
         }
 
-        let mut batch = MultiScaleDpd::new(&[8, 128]).unwrap();
+        let mut batch = DpdBuilder::new()
+            .scales(&[8, 128])
+            .build_multi_scale()
+            .unwrap();
         let mut got = Vec::new();
         for chunk in data.chunks(57) {
             got.extend(batch.push_slice(chunk));

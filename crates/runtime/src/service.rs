@@ -29,6 +29,7 @@
 //! (or by [`MultiStreamDpd::finish`]) with a final segmentation flush event.
 
 use crossbeam::channel::{unbounded, Sender};
+use dpd_core::pipeline::{BuildError, DpdBuilder, DpdEvent, EventSink};
 use dpd_core::shard::{shard_of, MultiStreamEvent, StreamId, StreamTable, TableConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -49,20 +50,36 @@ pub struct ServiceConfig {
 }
 
 impl ServiceConfig {
+    /// Assemble a service configuration from the unified builder: the
+    /// builder is the per-stream factory every shard clones. Requires
+    /// [`DpdBuilder::shards`] (`shards(0)` selects inline mode).
+    pub fn from_builder(builder: &DpdBuilder) -> Result<Self, BuildError> {
+        let spec = builder.service_spec()?;
+        Ok(ServiceConfig {
+            shards: spec.shards,
+            table: spec.table,
+            sweep_every: spec.sweep_every,
+        })
+    }
+
     /// `shards` workers, detector window `n`, no eviction.
+    #[deprecated(note = "use MultiStreamDpd::from_builder(DpdBuilder::new().window(n)\
+                         .shards(shards)) — see the README migration table")]
     pub fn with_window(shards: usize, n: usize) -> Self {
         ServiceConfig {
             shards,
-            table: TableConfig::with_window(n),
+            table: table_defaults(n, 0, 0),
             sweep_every: 0,
         }
     }
 
     /// Same, with an idle-eviction watermark (in global samples).
+    #[deprecated(note = "use MultiStreamDpd::from_builder(DpdBuilder::new().window(n)\
+                         .evict_after(samples).shards(shards)) — see the README migration table")]
     pub fn with_eviction(shards: usize, n: usize, evict_after: u64) -> Self {
         ServiceConfig {
             shards,
-            table: TableConfig::with_eviction(n, evict_after),
+            table: table_defaults(n, evict_after, 0),
             sweep_every: if evict_after == 0 { 0 } else { evict_after * 4 },
         }
     }
@@ -70,13 +87,28 @@ impl ServiceConfig {
     /// `shards` workers with opt-in per-stream forecasting at horizon `h`
     /// (detector window `n`, no eviction). Forecast accuracy rolls up into
     /// [`ShardStats::forecast_checked`] / [`ShardStats::forecast_hits`].
+    #[deprecated(note = "use MultiStreamDpd::from_builder(DpdBuilder::new().window(n)\
+                         .forecast(h).shards(shards)) — see the README migration table")]
     pub fn with_forecast(shards: usize, n: usize, h: usize) -> Self {
         ServiceConfig {
             shards,
-            table: TableConfig::with_forecast(n, h),
+            table: table_defaults(n, 0, h),
             sweep_every: 0,
         }
     }
+}
+
+/// Builder-equivalent table defaults for the deprecated shims (kept
+/// bit-identical to what `DpdBuilder` assembles).
+fn table_defaults(n: usize, evict_after: u64, forecast_horizon: usize) -> TableConfig {
+    let mut b = DpdBuilder::new().window(n).keyed();
+    if evict_after > 0 {
+        b = b.evict_after(evict_after);
+    }
+    if forecast_horizon > 0 {
+        b = b.forecast(forecast_horizon);
+    }
+    b.table_config().expect("shim options are coherent")
 }
 
 /// Point-in-time rollup of one shard (or of the inline table).
@@ -206,10 +238,12 @@ enum Mode {
 ///
 /// # Examples
 /// ```
+/// use dpd_core::pipeline::DpdBuilder;
 /// use dpd_core::shard::StreamId;
-/// use par_runtime::service::{MultiStreamDpd, ServiceConfig};
+/// use par_runtime::service::MultiStreamDpd;
 ///
-/// let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(2, 8));
+/// let svc = MultiStreamDpd::from_builder(&DpdBuilder::new().window(8).shards(2));
+/// let mut svc = svc.unwrap();
 /// for round in 0..20 {
 ///     let a: Vec<i64> = (0..6).map(|i| ((round * 6 + i) % 3) as i64).collect();
 ///     let b: Vec<i64> = (0..6).map(|i| ((round * 6 + i) % 5) as i64).collect();
@@ -225,9 +259,10 @@ enum Mode {
 /// path — the reader's event batches feed `ingest` without copying):
 ///
 /// ```
+/// use dpd_core::pipeline::DpdBuilder;
 /// use dpd_core::shard::StreamId;
 /// use dpd_trace::dtb::{Block, DtbReader, DtbWriter};
-/// use par_runtime::service::{MultiStreamDpd, ServiceConfig};
+/// use par_runtime::service::MultiStreamDpd;
 ///
 /// // Persist two periodic streams into one container...
 /// let mut w = DtbWriter::new(Vec::new()).unwrap();
@@ -239,7 +274,7 @@ enum Mode {
 /// let bytes = w.finish().unwrap();
 ///
 /// // ...and replay it through the service.
-/// let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(0, 8));
+/// let mut svc = MultiStreamDpd::from_builder(&DpdBuilder::new().window(8).shards(0)).unwrap();
 /// let mut reader = DtbReader::new(&bytes).unwrap();
 /// while let Some(block) = reader.next_block() {
 ///     if let Block::Events { stream, values } = block.unwrap() {
@@ -261,6 +296,14 @@ pub struct MultiStreamDpd {
 }
 
 impl MultiStreamDpd {
+    /// Start a service straight from the unified builder (the builder
+    /// becomes the per-stream detector factory each shard clones).
+    /// Requires [`DpdBuilder::shards`]; `shards(0)` selects the
+    /// deterministic inline mode.
+    pub fn from_builder(builder: &DpdBuilder) -> Result<Self, BuildError> {
+        Ok(MultiStreamDpd::new(ServiceConfig::from_builder(builder)?))
+    }
+
     /// Start a service. `config.shards == 0` runs inline (no threads);
     /// otherwise one worker thread per shard is spawned.
     pub fn new(config: ServiceConfig) -> Self {
@@ -414,6 +457,19 @@ impl MultiStreamDpd {
         }
     }
 
+    /// Drain every event published so far into a unified-pipeline
+    /// [`EventSink`] (translated to [`DpdEvent`]s), returning the number of
+    /// events delivered. The service-side analogue of the single-stream
+    /// pipeline's event stream. Non-blocking.
+    pub fn drain_into<S: EventSink>(&mut self, sink: &mut S) -> usize {
+        let events = self.drain();
+        for e in &events {
+            let (stream, event) = DpdEvent::from_multi_stream(e);
+            sink.on_event(stream, &event);
+        }
+        events.len()
+    }
+
     /// Point-in-time per-shard rollups (lock-free reads; inline mode
     /// reports itself as a single shard with queue depth 0).
     pub fn snapshot(&self) -> ServiceSnapshot {
@@ -562,6 +618,25 @@ mod tests {
     use super::*;
     use dpd_core::streaming::SegmentEvent;
 
+    fn svc_with_window(shards: usize, n: usize) -> MultiStreamDpd {
+        MultiStreamDpd::from_builder(&DpdBuilder::new().window(n).shards(shards)).unwrap()
+    }
+
+    fn svc_with_eviction(shards: usize, n: usize, evict_after: u64) -> MultiStreamDpd {
+        MultiStreamDpd::from_builder(
+            &DpdBuilder::new()
+                .window(n)
+                .evict_after(evict_after)
+                .shards(shards),
+        )
+        .unwrap()
+    }
+
+    fn svc_with_forecast(shards: usize, n: usize, h: usize) -> MultiStreamDpd {
+        MultiStreamDpd::from_builder(&DpdBuilder::new().window(n).forecast(h).shards(shards))
+            .unwrap()
+    }
+
     fn periodic(period: u64, start: u64, len: usize) -> Vec<i64> {
         (0..len as u64)
             .map(|i| ((start + i) % period) as i64)
@@ -593,12 +668,12 @@ mod tests {
 
     #[test]
     fn sharded_matches_inline_reference() {
-        let mut reference = MultiStreamDpd::new(ServiceConfig::with_window(0, 8));
+        let mut reference = svc_with_window(0, 8);
         drive(&mut reference, 20, 6, 15);
         let (ref_events, ref_snap) = reference.finish();
 
         for shards in [1usize, 2, 4, 7] {
-            let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(shards, 8));
+            let mut svc = svc_with_window(shards, 8);
             drive(&mut svc, 20, 6, 15);
             let (events, snap) = svc.finish();
             assert_eq!(
@@ -617,7 +692,7 @@ mod tests {
         // Idle gaps larger than the watermark + periodic sweeps in the
         // sharded workers: per-stream events still match the reference.
         let run = |shards: usize| {
-            let mut svc = MultiStreamDpd::new(ServiceConfig::with_eviction(shards, 8, 40));
+            let mut svc = svc_with_eviction(shards, 8, 40);
             // Stream 0 locks, goes idle past the watermark, comes back.
             svc.push(StreamId(0), &periodic(3, 0, 30));
             svc.push(StreamId(1), &periodic(4, 0, 120));
@@ -647,7 +722,7 @@ mod tests {
     #[test]
     fn close_flushes_final_state() {
         for shards in [0usize, 2] {
-            let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(shards, 8));
+            let mut svc = svc_with_window(shards, 8);
             svc.push(StreamId(5), &periodic(4, 0, 40));
             svc.close(StreamId(5));
             svc.close(StreamId(99)); // unknown: silent no-op
@@ -666,7 +741,7 @@ mod tests {
 
     #[test]
     fn flush_quiesces_queues() {
-        let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(3, 8));
+        let mut svc = svc_with_window(3, 8);
         drive(&mut svc, 30, 8, 10);
         svc.flush();
         let snap = svc.snapshot();
@@ -679,7 +754,7 @@ mod tests {
 
     #[test]
     fn drain_mid_run_preserves_per_stream_order() {
-        let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(4, 8));
+        let mut svc = svc_with_window(4, 8);
         let mut collected = Vec::new();
         for r in 0..12u64 {
             drive(&mut svc, 10, 6, 1);
@@ -714,7 +789,7 @@ mod tests {
 
     #[test]
     fn inline_snapshot_reports_single_shard() {
-        let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(0, 8));
+        let mut svc = svc_with_window(0, 8);
         svc.push(StreamId(1), &periodic(3, 0, 30));
         let snap = svc.snapshot();
         assert_eq!(snap.shards.len(), 1);
@@ -724,7 +799,7 @@ mod tests {
 
     #[test]
     fn finish_closes_every_live_stream() {
-        let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(2, 8));
+        let mut svc = svc_with_window(2, 8);
         drive(&mut svc, 9, 6, 10);
         let (events, snap) = svc.finish();
         let closed: Vec<u64> = events
@@ -742,7 +817,7 @@ mod tests {
     #[test]
     fn forecasting_rollups_match_inline_reference() {
         let run = |shards: usize| {
-            let mut svc = MultiStreamDpd::new(ServiceConfig::with_forecast(shards, 8, 2));
+            let mut svc = svc_with_forecast(shards, 8, 2);
             drive(&mut svc, 12, 6, 20);
             let (_, snap) = svc.finish();
             snap.total()
@@ -766,7 +841,7 @@ mod tests {
 
     #[test]
     fn non_forecasting_service_reports_zero() {
-        let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(0, 8));
+        let mut svc = svc_with_window(0, 8);
         svc.push(StreamId(1), &periodic(3, 0, 40));
         let (_, snap) = svc.finish();
         assert_eq!(snap.total().forecast_checked, 0);
@@ -775,7 +850,7 @@ mod tests {
 
     #[test]
     fn empty_service_finishes_clean() {
-        let svc = MultiStreamDpd::new(ServiceConfig::with_window(3, 8));
+        let svc = svc_with_window(3, 8);
         let (events, snap) = svc.finish();
         assert!(events.is_empty());
         assert_eq!(snap.total().samples, 0);

@@ -12,6 +12,7 @@ use crate::speedup::speedup;
 use ditools::hook::CallObserver;
 use ditools::registry::FnAddr;
 use dpd_core::capi::Dpd;
+use dpd_core::pipeline::DpdBuilder;
 
 /// Timing record for one completed iteration of a region's main loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -269,13 +270,27 @@ pub struct SelfAnalyzer {
 
 impl SelfAnalyzer {
     /// Analyzer with the given DPD window and an initial CPU allocation.
+    ///
+    /// # Panics
+    /// Panics when `dpd_window == 0`.
     pub fn new(dpd_window: usize, initial_cpus: usize) -> Self {
-        SelfAnalyzer {
-            dpd: Dpd::with_window(dpd_window),
+        SelfAnalyzer::from_builder(&DpdBuilder::new().window(dpd_window), initial_cpus)
+            .expect("invalid DPD window")
+    }
+
+    /// Analyzer over an explicit detector builder — the unified pipeline
+    /// entry point ([`DpdBuilder`]) carried through to the paper's
+    /// SelfAnalyzer integration (Fig. 6).
+    pub fn from_builder(
+        builder: &DpdBuilder,
+        initial_cpus: usize,
+    ) -> Result<Self, dpd_core::pipeline::BuildError> {
+        Ok(SelfAnalyzer {
+            dpd: builder.build_capi()?,
             book: RegionBook::new(),
             cpus_now: initial_cpus.max(1),
             events: 0,
-        }
+        })
     }
 
     /// Update the CPU allocation (the scheduler may change it between

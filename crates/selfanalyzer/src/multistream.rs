@@ -15,6 +15,7 @@
 //! exactly the regions of per-call single-stream analysis.
 
 use crate::analyzer::{RegionBook, RegionInfo};
+use dpd_core::pipeline::{BuildError, DpdBuilder};
 use dpd_core::shard::{MultiStreamEvent, StreamId, StreamTable, TableConfig};
 use dpd_core::streaming::SegmentEvent;
 use std::collections::HashMap;
@@ -51,8 +52,22 @@ pub struct MultiStreamAnalyzer {
 impl MultiStreamAnalyzer {
     /// Analyzer with the given per-stream DPD window and initial CPU
     /// allocation.
+    ///
+    /// # Panics
+    /// Panics when `dpd_window == 0`.
     pub fn new(dpd_window: usize, initial_cpus: usize) -> Self {
-        MultiStreamAnalyzer::with_table(TableConfig::with_window(dpd_window), initial_cpus)
+        MultiStreamAnalyzer::from_builder(&DpdBuilder::new().window(dpd_window), initial_cpus)
+            .expect("invalid DPD window")
+    }
+
+    /// Analyzer over an explicit detector builder (the unified pipeline
+    /// entry point; keyed mode is implied — one logical stream per
+    /// instrumented loop id).
+    pub fn from_builder(builder: &DpdBuilder, initial_cpus: usize) -> Result<Self, BuildError> {
+        Ok(MultiStreamAnalyzer::with_table(
+            builder.table_config()?,
+            initial_cpus,
+        ))
     }
 
     /// Analyzer over an explicit table configuration (e.g. with idle
@@ -244,7 +259,9 @@ mod tests {
     fn eviction_recovers_position_mapping() {
         // Watermark 20: loop 1 goes idle while loop 2 streams, then
         // returns; the position base must follow the fresh detector.
-        let mut msa = MultiStreamAnalyzer::with_table(TableConfig::with_eviction(8, 20), 2);
+        let mut msa =
+            MultiStreamAnalyzer::from_builder(&DpdBuilder::new().window(8).evict_after(20), 2)
+                .unwrap();
         let c1 = [0x100i64, 0x140];
         let c2 = [0x900i64, 0x940, 0x980];
         let mut t = 0u64;

@@ -115,8 +115,8 @@ mod tests {
         let values: Vec<f64> = (0..240).map(|i| shape[i % 6]).collect();
         let t = SampledTrace::from_values("t", MS, values);
         let stream = quantize_levels(&t, 16);
-        use dpd_core::streaming::{StreamingConfig, StreamingDpd};
-        let mut dpd = StreamingDpd::events(StreamingConfig::with_window(16));
+        use dpd_core::pipeline::DpdBuilder;
+        let mut dpd = DpdBuilder::new().window(16).build_detector().unwrap();
         for s in stream {
             dpd.push(s);
         }

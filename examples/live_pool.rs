@@ -7,7 +7,7 @@
 //! ```
 
 use dpd::apps::live::{live_jacobi_run, LiveConfig};
-use dpd::core::streaming::{StreamingConfig, StreamingDpd};
+use dpd::core::pipeline::DpdBuilder;
 use dpd::trace::quantize;
 use std::time::Duration;
 
@@ -32,7 +32,7 @@ fn main() {
     );
 
     // Event-stream DPD on the intercepted addresses.
-    let mut dpd = StreamingDpd::events(StreamingConfig::with_window(8));
+    let mut dpd = DpdBuilder::new().window(8).build_detector().unwrap();
     for &s in &run.addresses.values {
         dpd.push(s);
     }

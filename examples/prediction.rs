@@ -18,9 +18,9 @@ use dpd::analyzer::ExecutionEstimator;
 use dpd::apps::app::{App, RunConfig};
 use dpd::apps::tomcatv::{Tomcatv, ITERATIONS};
 use dpd::core::autotune::{TunedDpd, TunerPolicy};
-use dpd::core::predict::ForecastingDpd;
+use dpd::core::pipeline::DpdBuilder;
 use dpd::core::prediction::PeriodicPredictor;
-use dpd::core::streaming::{SegmentEvent, StreamingConfig};
+use dpd::core::streaming::SegmentEvent;
 
 fn main() {
     let run = Tomcatv.run(&RunConfig::default());
@@ -67,8 +67,11 @@ fn main() {
     // 3. The online forecasting subsystem: detector + forecaster in one,
     //    with confidence and forecast-error statistics maintained as the
     //    stream advances (docs/PREDICTION.md).
-    let mut forecaster =
-        ForecastingDpd::events(StreamingConfig::with_window(32), period).expect("valid config");
+    let mut forecaster = DpdBuilder::new()
+        .window(32)
+        .forecast(period)
+        .build_forecasting()
+        .expect("valid config");
     for &s in stream {
         forecaster.push(s);
     }

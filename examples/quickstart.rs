@@ -4,9 +4,10 @@
 //! cargo run --example quickstart
 //! ```
 
-use dpd::core::capi::Dpd;
+use dpd::core::pipeline::{Detector, DpdBuilder, DpdEvent};
 use dpd::core::prediction::PeriodicPredictor;
 use dpd::core::segmentation::segment_events;
+use dpd::core::streaming::SegmentEvent;
 
 fn main() {
     // A stream of "parallel loop addresses": 4 loops called per iteration
@@ -14,17 +15,24 @@ fn main() {
     let addrs = [0x400000i64, 0x400040, 0x400080, 0x4000c0];
     let stream: Vec<i64> = (0..240).map(|i| addrs[i % 4]).collect();
 
-    // 1. The paper's Table 1 interface: push samples, get period starts.
-    println!("== DPD interface (paper Table 1) ==");
-    let mut dpd = Dpd::with_window(16);
-    let mut period = 0i32;
+    // 1. The unified pipeline: one builder, one event stream (the paper's
+    //    Table 1 return value becomes sink traffic).
+    println!("== DPD pipeline ==");
     let mut first = None;
-    for (i, &s) in stream.iter().enumerate() {
-        if dpd.dpd(s, &mut period) != 0 && first.is_none() {
-            first = Some(i);
-            println!("first period start at sample {i}, periodicity {period}");
-        }
-    }
+    let mut pipe = DpdBuilder::new()
+        .window(16)
+        .build(|_, e: &DpdEvent| {
+            if let DpdEvent::Segment(SegmentEvent::PeriodStart { period, position }) = e {
+                if first.is_none() {
+                    first = Some(*position);
+                    println!("first period start at sample {position}, periodicity {period}");
+                }
+            }
+        })
+        .unwrap();
+    pipe.push_slice(&stream);
+    drop(pipe);
+    assert!(first.is_some(), "period-4 stream must segment");
 
     // 2. Segmentation (paper §1, application 1).
     println!();

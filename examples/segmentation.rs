@@ -8,14 +8,17 @@
 
 use dpd::apps::app::RunConfig;
 use dpd::core::nested::NestedDetector;
-use dpd::core::streaming::MultiScaleDpd;
+use dpd::core::pipeline::{DpdBuilder, DEFAULT_SCALES};
 
 fn main() {
     for app in dpd::apps::spec_apps() {
         let run = app.run(&RunConfig::default());
 
         // On-line multi-scale detection (what the paper's tool does).
-        let mut bank = MultiScaleDpd::default_scales();
+        let mut bank = DpdBuilder::new()
+            .scales(DEFAULT_SCALES)
+            .build_multi_scale()
+            .expect("default scale set is valid");
         let mut outer_marks = 0u64;
         for &s in &run.addresses.values {
             if bank.push(s).outer_start().is_some() {

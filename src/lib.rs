@@ -22,21 +22,29 @@
 //!
 //! ## Quick start
 //!
-//! ```
-//! use dpd::core::capi::Dpd;
+//! Every detector stack is assembled by one typed entry point,
+//! [`core::pipeline::DpdBuilder`], and reports through one event stream
+//! ([`core::pipeline::EventSink`] receiving [`core::pipeline::DpdEvent`]s):
 //!
-//! // The paper's Table 1 interface on a period-3 loop-address stream.
-//! let mut dpd = Dpd::with_window(16);
-//! let mut period = 0i32;
-//! let mut detections = 0;
+//! ```
+//! use dpd::core::pipeline::{Detector, DpdBuilder, DpdEvent};
+//! use dpd::core::streaming::SegmentEvent;
+//!
+//! // A period-3 loop-address stream through the unified pipeline.
+//! let mut pipe = DpdBuilder::new().window(16).build(Vec::new()).unwrap();
 //! for i in 0..100 {
-//!     let address = [0x400000i64, 0x400040, 0x400080][i % 3];
-//!     if dpd.dpd(address, &mut period) != 0 {
-//!         detections += 1;
-//!         assert_eq!(period, 3);
-//!     }
+//!     pipe.push([0x400000i64, 0x400040, 0x400080][i % 3]);
 //! }
-//! assert!(detections > 0);
+//! let detections: Vec<usize> = pipe
+//!     .into_sink()
+//!     .iter()
+//!     .filter_map(|(_, e)| match e {
+//!         DpdEvent::Segment(SegmentEvent::PeriodStart { period, .. }) => Some(*period),
+//!         _ => None,
+//!     })
+//!     .collect();
+//! assert!(!detections.is_empty());
+//! assert!(detections.iter().all(|&p| p == 3));
 //! ```
 //!
 //! ## Persisting and replaying traces

@@ -1,0 +1,197 @@
+//! Public-API surface golden test.
+//!
+//! Snapshots the curated export list of `dpd_core` (via the `dpd` facade)
+//! and the facade's top-level modules against
+//! `tests/fixtures/api_surface.txt`, so accidental public-API breakage —
+//! a removed type, a renamed module, a re-export that silently vanishes —
+//! fails CI instead of shipping.
+//!
+//! Two layers of protection:
+//!
+//! 1. **Existence is checked by the compiler**: every listed path appears
+//!    in a `use` item below, so removing or renaming the item breaks this
+//!    test's build (no `cargo doc` machinery involved).
+//! 2. **The list itself is goldened**: adding or removing an entry changes
+//!    the snapshot, which must be re-blessed explicitly with
+//!    `DPD_BLESS=1 cargo test --test api_surface` — making API-surface
+//!    changes visible in review as a fixture diff.
+
+/// Existence proof: each public item named in the snapshot, imported once.
+/// A removal from the public API turns into a compile error right here.
+#[allow(unused_imports)]
+mod exists {
+    // Deprecated compat shims are still part of the public surface until
+    // they are dropped in a major bump.
+    mod facade_modules {
+        pub use dpd::{analyzer, apps, core, interpose, runtime, trace};
+    }
+    mod core_modules {
+        pub use dpd::core::{
+            autotune, baseline, capi, confidence, detector, hierarchy, incremental, intervals,
+            metric, minima, naive, nested, periodogram, pipeline, predict, prediction,
+            segmentation, shard, spectrum, streaming, window,
+        };
+    }
+    mod core_top_level {
+        pub use dpd::core::{
+            BuildError, Detector, Dpd, DpdBuilder, DpdError, DpdEvent, EventMetric, EventSink,
+            Forecast, ForecastStats, ForecastingDpd, FrameDetector, L1Metric, Metric,
+            MultiScaleDpd, MultiStreamEvent, PeriodicPredictor, PeriodicityReport, PredictConfig,
+            Predictor, Result, SegmentEvent, Spectrum, StreamId, StreamTable, StreamingConfig,
+            StreamingDpd, TableConfig,
+        };
+    }
+    mod pipeline_items {
+        pub use dpd::core::pipeline::{
+            BuildError, Detector, DpdBuilder, DpdEvent, DpdPipeline, EventSink, KeyedDpd,
+            ServiceSpec, DEFAULT_SCALES,
+        };
+    }
+    mod naive_predictor {
+        pub use dpd::core::naive::{PeriodicPredictor, PredictorMetrics};
+    }
+    mod shard_items {
+        pub use dpd::core::shard::{
+            shard_of, MultiStreamEvent, StreamId, StreamTable, TableConfig, TableStats,
+        };
+    }
+    mod streaming_items {
+        pub use dpd::core::streaming::{
+            MultiScaleDpd, MultiScaleEvent, SegmentEvent, StreamStats, StreamingConfig,
+            StreamingDpd,
+        };
+    }
+    mod predict_items {
+        pub use dpd::core::predict::{
+            Forecast, ForecastStats, ForecastingDpd, Observation, PredictConfig, Predictor, Scored,
+        };
+    }
+    mod service_items {
+        pub use dpd::runtime::service::{
+            MultiStreamDpd, ServiceConfig, ServiceSnapshot, ShardStats,
+        };
+    }
+    mod analyzer_items {
+        pub use dpd::analyzer::{
+            multistream::MultiStreamAnalyzer, ExecutionEstimator, RegionInfo, SelfAnalyzer,
+        };
+    }
+}
+
+/// The snapshot: one path per line, kept sorted. Existence of every entry
+/// is enforced by the `exists` module above; membership is enforced by the
+/// golden fixture.
+const SURFACE: &[&str] = &[
+    "dpd::analyzer",
+    "dpd::analyzer::ExecutionEstimator",
+    "dpd::analyzer::RegionInfo",
+    "dpd::analyzer::SelfAnalyzer",
+    "dpd::analyzer::multistream::MultiStreamAnalyzer",
+    "dpd::apps",
+    "dpd::core",
+    "dpd::core::BuildError",
+    "dpd::core::Detector",
+    "dpd::core::Dpd",
+    "dpd::core::DpdBuilder",
+    "dpd::core::DpdError",
+    "dpd::core::DpdEvent",
+    "dpd::core::EventMetric",
+    "dpd::core::EventSink",
+    "dpd::core::Forecast",
+    "dpd::core::ForecastStats",
+    "dpd::core::ForecastingDpd",
+    "dpd::core::FrameDetector",
+    "dpd::core::L1Metric",
+    "dpd::core::Metric",
+    "dpd::core::MultiScaleDpd",
+    "dpd::core::MultiStreamEvent",
+    "dpd::core::PeriodicPredictor",
+    "dpd::core::PeriodicityReport",
+    "dpd::core::PredictConfig",
+    "dpd::core::Predictor",
+    "dpd::core::Result",
+    "dpd::core::SegmentEvent",
+    "dpd::core::Spectrum",
+    "dpd::core::StreamId",
+    "dpd::core::StreamTable",
+    "dpd::core::StreamingConfig",
+    "dpd::core::StreamingDpd",
+    "dpd::core::TableConfig",
+    "dpd::core::autotune",
+    "dpd::core::baseline",
+    "dpd::core::capi",
+    "dpd::core::confidence",
+    "dpd::core::detector",
+    "dpd::core::hierarchy",
+    "dpd::core::incremental",
+    "dpd::core::intervals",
+    "dpd::core::metric",
+    "dpd::core::minima",
+    "dpd::core::naive",
+    "dpd::core::naive::PeriodicPredictor",
+    "dpd::core::naive::PredictorMetrics",
+    "dpd::core::nested",
+    "dpd::core::periodogram",
+    "dpd::core::pipeline",
+    "dpd::core::pipeline::BuildError",
+    "dpd::core::pipeline::DEFAULT_SCALES",
+    "dpd::core::pipeline::Detector",
+    "dpd::core::pipeline::DpdBuilder",
+    "dpd::core::pipeline::DpdEvent",
+    "dpd::core::pipeline::DpdPipeline",
+    "dpd::core::pipeline::EventSink",
+    "dpd::core::pipeline::KeyedDpd",
+    "dpd::core::pipeline::ServiceSpec",
+    "dpd::core::predict",
+    "dpd::core::predict::Observation",
+    "dpd::core::predict::Scored",
+    "dpd::core::prediction",
+    "dpd::core::segmentation",
+    "dpd::core::shard",
+    "dpd::core::shard::TableStats",
+    "dpd::core::shard::shard_of",
+    "dpd::core::spectrum",
+    "dpd::core::streaming",
+    "dpd::core::streaming::MultiScaleEvent",
+    "dpd::core::streaming::StreamStats",
+    "dpd::core::window",
+    "dpd::interpose",
+    "dpd::runtime",
+    "dpd::runtime::service::MultiStreamDpd",
+    "dpd::runtime::service::ServiceConfig",
+    "dpd::runtime::service::ServiceSnapshot",
+    "dpd::runtime::service::ShardStats",
+    "dpd::trace",
+];
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/api_surface.txt"
+);
+
+#[test]
+fn public_surface_matches_golden_fixture() {
+    let mut current: Vec<&str> = SURFACE.to_vec();
+    let sorted = {
+        let mut s = current.clone();
+        s.sort_unstable();
+        s
+    };
+    assert_eq!(current, sorted, "keep SURFACE sorted for stable diffs");
+    current.dedup();
+    assert_eq!(current.len(), SURFACE.len(), "duplicate SURFACE entries");
+
+    let rendered = format!("{}\n", SURFACE.join("\n"));
+    if std::env::var_os("DPD_BLESS").is_some() {
+        std::fs::write(FIXTURE, &rendered).expect("write api_surface fixture");
+        return;
+    }
+    let golden = std::fs::read_to_string(FIXTURE).unwrap_or_else(|e| {
+        panic!("missing {FIXTURE} ({e}); run DPD_BLESS=1 cargo test --test api_surface")
+    });
+    assert_eq!(
+        rendered, golden,
+        "public API surface changed; review the diff and re-bless with \
+         DPD_BLESS=1 cargo test --test api_surface"
+    );
+}

@@ -1,12 +1,13 @@
 //! Integration test: the paper's **Table 1 interface** contract, exercised
 //! end to end through the facade crate.
 
-use dpd::core::capi::{Dpd, DEFAULT_WINDOW};
+use dpd::core::capi::DEFAULT_WINDOW;
+use dpd::core::pipeline::DpdBuilder;
 
 #[test]
 fn dpd_detects_and_segments() {
     // int DPD(long sample, int *period): nonzero exactly at period starts.
-    let mut dpd = Dpd::with_window(32);
+    let mut dpd = DpdBuilder::new().window(32).build_capi().unwrap();
     let mut period = 0i32;
     let addrs: Vec<i64> = (0..7).map(|i| 0x400000 + i * 0x40).collect();
     let mut start_positions = Vec::new();
@@ -28,7 +29,7 @@ fn dpd_window_size_adjusts_behaviour() {
     // window is undetectable until the window is enlarged (paper §3.1).
     let period = 40usize;
     let addrs: Vec<i64> = (0..period).map(|i| 0x500000 + i as i64 * 0x40).collect();
-    let mut dpd = Dpd::with_window(16);
+    let mut dpd = DpdBuilder::new().window(16).build_capi().unwrap();
     let mut p = 0i32;
     let mut detected_small = false;
     for i in 0..400usize {
@@ -53,12 +54,12 @@ fn default_window_is_large_per_paper_guidance() {
     // §3.1: "the window size N of the periodicity detector should be set
     // initially to a large value"; the paper used up to 1024.
     assert_eq!(DEFAULT_WINDOW, 1024);
-    assert_eq!(Dpd::new().window(), 1024);
+    assert_eq!(DpdBuilder::new().build_capi().unwrap().window(), 1024);
 }
 
 #[test]
 fn interface_survives_phase_changes() {
-    let mut dpd = Dpd::with_window(16);
+    let mut dpd = DpdBuilder::new().window(16).build_capi().unwrap();
     let mut p = 0i32;
     // Phase A: period 3; Phase B: aperiodic; Phase C: period 5.
     let mut detections_a = 0;

@@ -3,11 +3,12 @@
 
 use dpd::core::confidence::ConfidenceTracker;
 use dpd::core::minima::MinimaPolicy;
-use dpd::core::streaming::{SegmentEvent, StreamingConfig, StreamingDpd};
+use dpd::core::pipeline::DpdBuilder;
+use dpd::core::streaming::SegmentEvent;
 
 #[test]
 fn window_of_one_locks_on_constant_stream() {
-    let mut dpd = StreamingDpd::events(StreamingConfig::with_window(1));
+    let mut dpd = DpdBuilder::new().window(1).build_detector().unwrap();
     let mut starts = 0u64;
     for _ in 0..20 {
         if dpd.push(5i64).as_return_value() != 0 {
@@ -21,11 +22,12 @@ fn window_of_one_locks_on_constant_stream() {
 fn lose_tolerance_survives_single_boundary_anomaly() {
     // With lose = 2, one bad boundary must NOT drop the lock for magnitude
     // streams (event streams break on mid-period mismatches by design).
-    let config = StreamingConfig {
-        lose: 2,
-        ..StreamingConfig::magnitudes(16)
-    };
-    let mut dpd = StreamingDpd::magnitudes(config);
+    let mut dpd = DpdBuilder::new()
+        .window(16)
+        .magnitudes()
+        .lose(2)
+        .build_magnitude_detector()
+        .unwrap();
     let shape = [0.0f64, 4.0, 9.0, 4.0];
     // Establish the lock.
     for i in 0..200usize {
@@ -53,12 +55,11 @@ fn lose_tolerance_survives_single_boundary_anomaly() {
 #[test]
 fn m_max_smaller_than_window() {
     // Restricting the candidate range must hide larger periods.
-    let config = StreamingConfig {
-        window: 64,
-        m_max: 4,
-        ..StreamingConfig::with_window(64)
-    };
-    let mut dpd = StreamingDpd::new(dpd::core::metric::EventMetric, config).unwrap();
+    let mut dpd = DpdBuilder::new()
+        .window(64)
+        .m_max(4)
+        .build_detector()
+        .unwrap();
     for i in 0..400usize {
         let e = dpd.push([1i64, 2, 3, 4, 5, 6][i % 6]);
         assert_eq!(
@@ -115,7 +116,7 @@ fn minima_policy_min_delay_zero_behaves_like_one() {
 
 #[test]
 fn stream_of_two_alternating_values() {
-    let mut dpd = StreamingDpd::events(StreamingConfig::with_window(4));
+    let mut dpd = DpdBuilder::new().window(4).build_detector().unwrap();
     let mut periods = Vec::new();
     for i in 0..40usize {
         if let SegmentEvent::PeriodStart { period, .. } = dpd.push([10i64, 20][i % 2]) {
@@ -129,7 +130,7 @@ fn stream_of_two_alternating_values() {
 #[test]
 fn very_long_stream_stays_stable() {
     // 1M samples through a small window: no drift, no spurious losses.
-    let mut dpd = StreamingDpd::events(StreamingConfig::with_window(16));
+    let mut dpd = DpdBuilder::new().window(16).build_detector().unwrap();
     for i in 0..1_000_000usize {
         dpd.push([1i64, 2, 3, 4, 5][i % 5]);
     }
@@ -143,8 +144,8 @@ fn very_long_stream_stays_stable() {
 
 #[test]
 fn interleaved_detectors_do_not_share_state() {
-    let mut a = StreamingDpd::events(StreamingConfig::with_window(8));
-    let mut b = StreamingDpd::events(StreamingConfig::with_window(8));
+    let mut a = DpdBuilder::new().window(8).build_detector().unwrap();
+    let mut b = DpdBuilder::new().window(8).build_detector().unwrap();
     for i in 0..100usize {
         a.push([1i64, 2, 3][i % 3]);
         b.push(i as i64); // aperiodic
@@ -155,7 +156,7 @@ fn interleaved_detectors_do_not_share_state() {
 
 #[test]
 fn capi_handles_extreme_sample_values() {
-    let mut dpd = dpd::core::capi::Dpd::with_window(8);
+    let mut dpd = DpdBuilder::new().window(8).build_capi().unwrap();
     let mut p = 0i32;
     let pattern = [i64::MIN, -1, 0, i64::MAX];
     let mut hits = 0;

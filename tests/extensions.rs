@@ -46,7 +46,10 @@ fn measurement_interval_for_ft_period() {
 fn interval_planner_follows_dpd_locks() {
     // Feed the planner the periods the multi-scale DPD reports on hydro2d.
     let run = dpd::apps::hydro2d::Hydro2d.run(&RunConfig::default());
-    let mut bank = dpd::core::streaming::MultiScaleDpd::default_scales();
+    let mut bank = dpd::core::pipeline::DpdBuilder::new()
+        .scales(dpd::core::pipeline::DEFAULT_SCALES)
+        .build_multi_scale()
+        .unwrap();
     let mut planner = IntervalPlanner::new(IntervalPolicy::new(100, 10_000));
     for &s in &run.addresses.values {
         for (_, e) in bank.push(s).events {
@@ -151,9 +154,10 @@ fn live_run_detected_by_dpd() {
         iterations: 50,
         sample_period: std::time::Duration::from_micros(250),
     });
-    let mut dpd = dpd::core::streaming::StreamingDpd::events(
-        dpd::core::streaming::StreamingConfig::with_window(8),
-    );
+    let mut dpd = dpd::core::pipeline::DpdBuilder::new()
+        .window(8)
+        .build_detector()
+        .unwrap();
     for &s in &run.addresses.values {
         dpd.push(s);
     }

@@ -3,8 +3,8 @@
 use dpd::apps::app::{App, RunConfig};
 use dpd::apps::ft::{ft_run, PERIOD_MS};
 use dpd::core::detector::FrameDetector;
+use dpd::core::pipeline::DpdBuilder;
 use dpd::core::segmentation::Segmenter;
-use dpd::core::streaming::{StreamingConfig, StreamingDpd};
 
 #[test]
 fn figure3_trace_shape() {
@@ -60,7 +60,7 @@ fn figure7_marks_are_period_spaced() {
         let run = app.run(&RunConfig::default());
         let outer = app.expected_periods().into_iter().max().unwrap();
         let window = (2 * outer).next_power_of_two().max(16);
-        let mut dpd = StreamingDpd::events(StreamingConfig::with_window(window));
+        let mut dpd = DpdBuilder::new().window(window).build_detector().unwrap();
         let mut seg = Segmenter::new();
         for &s in &run.addresses.values {
             seg.observe(dpd.push(s));

@@ -10,8 +10,8 @@
 
 use dpd::core::incremental::{EngineConfig, IncrementalEngine};
 use dpd::core::metric::{EventMetric, L1Metric, Metric};
-use dpd::core::streaming::{SegmentEvent, StreamingConfig, StreamingDpd};
-use dpd::core::{Dpd, MultiScaleDpd};
+use dpd::core::pipeline::DpdBuilder;
+use dpd::core::streaming::{SegmentEvent, StreamingDpd};
 use proptest::prelude::*;
 
 /// Split `data` into chunks whose sizes cycle through `chunk_sizes`.
@@ -141,14 +141,14 @@ proptest! {
             data.push(1);
         }
 
-        let mut single = StreamingDpd::events(StreamingConfig::with_window(window));
+        let mut single = DpdBuilder::new().window(window).build_detector().unwrap();
         let expected: Vec<SegmentEvent> = data
             .iter()
             .map(|&s| single.push(s))
             .filter(|e| *e != SegmentEvent::None)
             .collect();
 
-        let mut batch = StreamingDpd::events(StreamingConfig::with_window(window));
+        let mut batch = DpdBuilder::new().window(window).build_detector().unwrap();
         let mut got = Vec::new();
         for chunk in chunked(&data, &chunk_sizes) {
             got.extend(batch.push_slice(chunk));
@@ -174,15 +174,19 @@ proptest! {
                 base + noise
             })
             .collect();
-        let mut config = StreamingConfig::magnitudes(3 * period);
+        let mut config = DpdBuilder::new()
+            .window(3 * period)
+            .magnitudes()
+            .detector_config()
+            .unwrap();
         config.resync_interval = 37; // force mid-stream resyncs
-        let mut single = StreamingDpd::magnitudes(config);
+        let mut single = StreamingDpd::new(L1Metric, config).unwrap();
         let expected: Vec<SegmentEvent> = data
             .iter()
             .map(|&s| single.push(s))
             .filter(|e| *e != SegmentEvent::None)
             .collect();
-        let mut batch = StreamingDpd::magnitudes(config);
+        let mut batch = StreamingDpd::new(L1Metric, config).unwrap();
         let mut got = Vec::new();
         for chunk in chunked_f64(&data, &chunk_sizes) {
             got.extend(batch.push_slice(chunk));
@@ -201,7 +205,7 @@ proptest! {
     ) {
         let data: Vec<i64> = (0..period * reps).map(|i| (i % period) as i64).collect();
 
-        let mut single = Dpd::with_window(window);
+        let mut single = DpdBuilder::new().window(window).build_capi().unwrap();
         let mut period_out = 0i32;
         let mut expected = Vec::new();
         for (i, &s) in data.iter().enumerate() {
@@ -210,7 +214,7 @@ proptest! {
             }
         }
 
-        let mut batch = Dpd::with_window(window);
+        let mut batch = DpdBuilder::new().window(window).build_capi().unwrap();
         let mut got = Vec::new();
         let mut consumed = 0usize;
         for chunk in chunked(&data, &chunk_sizes) {
@@ -239,13 +243,13 @@ proptest! {
         one.extend((0..tail).map(|i| 0x900 + i as i64));
         let data: Vec<i64> = (0..one.len() * outers).map(|i| one[i % one.len()]).collect();
 
-        let mut single = MultiScaleDpd::new(&[8, 64]).unwrap();
+        let mut single = DpdBuilder::new().scales(&[8, 64]).build_multi_scale().unwrap();
         let mut expected = Vec::new();
         for &s in &data {
             expected.extend(single.push(s).events);
         }
 
-        let mut batch = MultiScaleDpd::new(&[8, 64]).unwrap();
+        let mut batch = DpdBuilder::new().scales(&[8, 64]).build_multi_scale().unwrap();
         let mut got = Vec::new();
         for chunk in chunked(&data, &chunk_sizes) {
             got.extend(batch.push_slice(chunk));

@@ -2,9 +2,9 @@
 
 use dpd::core::incremental::{EngineConfig, IncrementalEngine};
 use dpd::core::metric::{direct_distance, EventMetric, L1Metric, Metric};
+use dpd::core::pipeline::DpdBuilder;
 use dpd::core::prediction::PeriodicPredictor;
 use dpd::core::spectrum::Spectrum;
-use dpd::core::streaming::{StreamingConfig, StreamingDpd};
 use dpd::trace::{io, EventTrace, SampledTrace};
 use proptest::prelude::*;
 
@@ -85,7 +85,7 @@ proptest! {
     ) {
         let pattern: Vec<i64> = (0..period).map(|i| 100 + i as i64).collect();
         let data: Vec<i64> = (0..period * reps).map(|i| pattern[i % period]).collect();
-        let mut dpd = StreamingDpd::events(StreamingConfig::with_window(2 * period + 2));
+        let mut dpd = DpdBuilder::new().window(2 * period + 2).build_detector().unwrap();
         let mut marks = Vec::new();
         for &s in &data {
             let e = dpd.push(s);
@@ -182,7 +182,7 @@ proptest! {
     ) {
         let period = window + extra;
         let data: Vec<i64> = (0..period * 30).map(|i| (i % period) as i64).collect();
-        let mut dpd = StreamingDpd::events(StreamingConfig::with_window(window));
+        let mut dpd = DpdBuilder::new().window(window).build_detector().unwrap();
         for &s in &data {
             let e = dpd.push(s);
             prop_assert_eq!(e.as_return_value(), 0);

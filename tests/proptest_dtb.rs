@@ -16,8 +16,9 @@
 //!    produces exactly the per-stream detector event sequences of the
 //!    same corpus replayed from text files.
 
+use dpd::core::pipeline::DpdBuilder;
 use dpd::core::shard::{MultiStreamEvent, StreamId};
-use dpd::runtime::service::{MultiStreamDpd, ServiceConfig};
+use dpd::runtime::service::MultiStreamDpd;
 use dpd::trace::dtb::{self, Block, DtbError, DtbReader, DtbWriter};
 use dpd::trace::{gen, io, EventTrace, SampledTrace};
 use proptest::prelude::*;
@@ -224,7 +225,8 @@ proptest! {
 /// Replay a set of event traces through a fresh service in round-robin
 /// `chunk`-sample waves, exactly like `dpd multistream`.
 fn replay(traces: &[EventTrace], shards: usize, chunk: usize) -> Vec<MultiStreamEvent> {
-    let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(shards, 16));
+    let mut svc =
+        MultiStreamDpd::from_builder(&DpdBuilder::new().window(16).shards(shards)).unwrap();
     let mut offset = 0;
     loop {
         let mut records: Vec<(StreamId, &[i64])> = Vec::new();

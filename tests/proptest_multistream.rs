@@ -10,8 +10,9 @@
 //! decisions depend only on the stream's samples plus the global sample
 //! clock carried with each batch).
 
+use dpd::core::pipeline::DpdBuilder;
 use dpd::core::shard::{MultiStreamEvent, StreamId};
-use dpd::runtime::service::{MultiStreamDpd, ServiceConfig};
+use dpd::runtime::service::MultiStreamDpd;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -58,12 +59,11 @@ fn run(
     window: usize,
     evict_after: u64,
 ) -> (Vec<MultiStreamEvent>, u64, u64, u64, u64) {
-    let config = if evict_after == 0 {
-        ServiceConfig::with_window(shards, window)
-    } else {
-        ServiceConfig::with_eviction(shards, window, evict_after)
-    };
-    let mut svc = MultiStreamDpd::new(config);
+    let mut builder = DpdBuilder::new().window(window).keyed().shards(shards);
+    if evict_after > 0 {
+        builder = builder.evict_after(evict_after);
+    }
+    let mut svc = MultiStreamDpd::from_builder(&builder).unwrap();
     let mut fresh = 0x7F00_0000i64;
     let mut events = Vec::new();
     for (i, op) in ops.iter().enumerate() {
@@ -113,7 +113,8 @@ fn run_schedule(
     shards: usize,
     window: usize,
 ) -> Vec<MultiStreamEvent> {
-    let mut svc = MultiStreamDpd::new(ServiceConfig::with_window(shards, window));
+    let mut svc =
+        MultiStreamDpd::from_builder(&DpdBuilder::new().window(window).shards(shards)).unwrap();
     for (stream, samples) in schedule {
         svc.ingest(&[(StreamId(*stream), samples)]);
     }

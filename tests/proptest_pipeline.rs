@@ -1,0 +1,443 @@
+//! Differential property tests: every **deprecated constructor path** and
+//! its `DpdBuilder` replacement assemble bit-identical detector stacks.
+//!
+//! For random segmented traces (phase changes included) and random
+//! configurations, each pair below must agree **byte for byte**: the full
+//! event sequences (compared structurally — every payload is integral),
+//! the running statistics, and the forecast `f64` accumulators (compared
+//! via `to_bits`, so even the floating-point operation *order* must
+//! match). This is the proof that the migration shims in the README table
+//! are pure renames, not behavior changes.
+
+// This test exists to pin the deprecated paths against the builder, so it
+// intentionally calls them.
+#![allow(deprecated)]
+
+use dpd::core::capi::Dpd;
+use dpd::core::pipeline::{Detector, DpdBuilder, DpdEvent};
+use dpd::core::predict::{ForecastStats, ForecastingDpd};
+use dpd::core::shard::{MultiStreamEvent, StreamId, StreamTable, TableConfig};
+use dpd::core::streaming::{
+    MultiScaleDpd, SegmentEvent, StreamStats, StreamingConfig, StreamingDpd,
+};
+use dpd::runtime::service::{MultiStreamDpd, ServiceConfig};
+use proptest::collection;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Deterministic segmented event trace: a few phases, each periodic with
+/// its own alphabet, driven from random words.
+fn trace_from_words(words: &[u64]) -> Vec<i64> {
+    let mut out = Vec::new();
+    for (pi, &w) in words.iter().enumerate() {
+        let period = (w % 7 + 1) as usize;
+        let len = (w >> 8) % 120 + 30;
+        let base = (pi as i64 + 1) * 1000;
+        for i in 0..len as usize {
+            out.push(base + (i % period) as i64);
+        }
+    }
+    out
+}
+
+/// `ForecastStats` equality including bit-exact `f64` accumulators.
+fn assert_forecast_stats_bit_identical(a: ForecastStats, b: ForecastStats, ctx: &str) {
+    assert_eq!(a.issued, b.issued, "{ctx}: issued");
+    assert_eq!(a.checked, b.checked, "{ctx}: checked");
+    assert_eq!(a.hits, b.hits, "{ctx}: hits");
+    assert_eq!(a.invalidations, b.invalidations, "{ctx}: invalidations");
+    assert_eq!(a.dropped, b.dropped, "{ctx}: dropped");
+    assert_eq!(a.ape_checked, b.ape_checked, "{ctx}: ape_checked");
+    assert_eq!(
+        a.abs_err_sum.to_bits(),
+        b.abs_err_sum.to_bits(),
+        "{ctx}: abs_err_sum bits"
+    );
+    assert_eq!(
+        a.ape_sum.to_bits(),
+        b.ape_sum.to_bits(),
+        "{ctx}: ape_sum bits"
+    );
+}
+
+fn assert_stream_stats_equal(a: &StreamStats, b: &StreamStats, ctx: &str) {
+    assert_eq!(a, b, "{ctx}: detector stats");
+}
+
+/// Old `StreamingDpd::events` vs `DpdBuilder::build(sink)`: same events on
+/// the unified stream, same stats, same lock.
+fn check_streaming(data: &[i64], window: usize) {
+    let mut old = StreamingDpd::events(StreamingConfig::with_window(window));
+    let mut old_events = Vec::new();
+    for &s in data {
+        let e = old.push(s);
+        if e != SegmentEvent::None {
+            old_events.push((StreamId(0), DpdEvent::Segment(e)));
+        }
+    }
+
+    let mut new = DpdBuilder::new().window(window).build(Vec::new()).unwrap();
+    new.push_slice(data);
+    assert_eq!(new.sink(), &old_events, "streaming window={window}");
+    assert_stream_stats_equal(
+        new.streaming().unwrap().stats(),
+        old.stats(),
+        &format!("streaming window={window}"),
+    );
+    assert_eq!(new.locked_period(), old.locked_period());
+}
+
+/// Old `MultiScaleDpd::new` vs `DpdBuilder::scales(..).build(sink)`.
+fn check_multi_scale(data: &[i64], scales: &[usize]) {
+    let mut old = MultiScaleDpd::new(scales).unwrap();
+    let mut old_events = Vec::new();
+    for &s in data {
+        for (window, event) in old.push(s).events {
+            old_events.push((StreamId(0), DpdEvent::Scale { window, event }));
+        }
+    }
+
+    let mut new = DpdBuilder::new().scales(scales).build(Vec::new()).unwrap();
+    new.push_slice(data);
+    assert_eq!(new.sink(), &old_events, "scales={scales:?}");
+    assert_eq!(new.detected_periods(), old.detected_periods());
+}
+
+/// Old `ForecastingDpd::events` vs the builder's forecasting pipeline:
+/// segment/scored/invalidated events and the bit-exact forecast stats.
+fn check_forecasting(data: &[i64], window: usize, horizon: usize) {
+    let mut old = ForecastingDpd::events(StreamingConfig::with_window(window), horizon).unwrap();
+    let mut old_events: Vec<(StreamId, DpdEvent)> = Vec::new();
+    for &s in data {
+        let (e, ob) = old.push(s);
+        if e != SegmentEvent::None {
+            old_events.push((StreamId(0), DpdEvent::Segment(e)));
+        }
+        if ob.invalidated {
+            old_events.push((
+                StreamId(0),
+                DpdEvent::ForecastInvalidated {
+                    dropped: ob.dropped,
+                },
+            ));
+        }
+        if let Some(sc) = ob.scored {
+            old_events.push((
+                StreamId(0),
+                DpdEvent::ForecastScored {
+                    predicted: sc.predicted,
+                    actual: sc.actual,
+                    hit: sc.hit,
+                },
+            ));
+        }
+        if let Some((position, value)) = ob.issued {
+            assert_eq!(
+                old.predictor().last_issued(),
+                Some((position, value)),
+                "issued observation disagrees with pending tail"
+            );
+            old_events.push((StreamId(0), DpdEvent::ForecastIssued { position, value }));
+        }
+    }
+
+    let mut new = DpdBuilder::new()
+        .window(window)
+        .forecast(horizon)
+        .build(Vec::new())
+        .unwrap();
+    new.push_slice(data);
+    let ctx = format!("forecasting window={window} horizon={horizon}");
+    assert_eq!(new.sink(), &old_events, "{ctx}");
+    assert_forecast_stats_bit_identical(
+        new.forecasting().unwrap().predictor().stats(),
+        old.predictor().stats(),
+        &ctx,
+    );
+    // The materialized forecast slices agree too.
+    let old_fc = old
+        .forecast(horizon)
+        .map(|f| (f.period, f.predicted.to_vec(), f.confidence.to_bits()));
+    let new_fc = new
+        .forecast(horizon)
+        .map(|f| (f.period, f.predicted.to_vec(), f.confidence.to_bits()));
+    assert_eq!(new_fc, old_fc, "{ctx}: forecast slice");
+}
+
+/// Old `Dpd::with_window` (Table 1 shim) vs `build_capi`: identical return
+/// values and period out-params, sample by sample.
+fn check_capi(data: &[i64], window: usize) {
+    let mut old = Dpd::with_window(window);
+    let mut new = DpdBuilder::new().window(window).build_capi().unwrap();
+    let (mut po, mut pn) = (0i32, 0i32);
+    for &s in data {
+        let ro = old.dpd(s, &mut po);
+        let rn = new.dpd(s, &mut pn);
+        assert_eq!((ro, po), (rn, pn), "capi window={window}");
+    }
+}
+
+/// A batch schedule: `(stream, chunk)` pairs replayed in order.
+type Schedule = Vec<(u64, Vec<i64>)>;
+
+fn schedule_from_words(words: &[u64], streams: u64) -> Schedule {
+    let mut out = Vec::new();
+    for &w in words {
+        let stream = w % streams;
+        let period = (w >> 4) % 6 + 1;
+        let len = ((w >> 16) % 40 + 1) as usize;
+        let start = (w >> 32) % 1000;
+        out.push((
+            stream,
+            (0..len as u64)
+                .map(|i| ((start + i) % period) as i64)
+                .collect(),
+        ));
+    }
+    out
+}
+
+/// Old `StreamTable` + `TableConfig::with_*` vs `build_keyed`: identical
+/// unified events and table rollups, including forecast counters.
+fn check_keyed(schedule: &Schedule, window: usize, evict_after: u64, horizon: usize) {
+    let config = if horizon > 0 {
+        TableConfig::with_eviction(window, evict_after).forecasting(horizon)
+    } else {
+        TableConfig::with_eviction(window, evict_after)
+    };
+    let mut old = StreamTable::new(config);
+    let mut old_raw = Vec::new();
+    let mut seq = 0u64;
+    for (stream, samples) in schedule {
+        old.ingest(seq, StreamId(*stream), samples, &mut old_raw);
+        seq += samples.len() as u64;
+    }
+    old.close_all(seq, &mut old_raw);
+    let old_events: Vec<(StreamId, DpdEvent)> =
+        old_raw.iter().map(DpdEvent::from_multi_stream).collect();
+
+    let mut builder = DpdBuilder::new().window(window).keyed();
+    if evict_after > 0 {
+        builder = builder.evict_after(evict_after);
+    }
+    if horizon > 0 {
+        builder = builder.forecast(horizon);
+    }
+    // sweep_every(0) keeps the lazy-eviction schedule of the raw loop
+    // above (KeyedDpd's default paces sweeps; sweeps never change events,
+    // but rollup eviction *counts* depend on the schedule).
+    let mut new = builder.sweep_every(0).build_keyed(Vec::new()).unwrap();
+    for (stream, samples) in schedule {
+        new.ingest(StreamId(*stream), samples);
+    }
+    new.close_all();
+    let ctx = format!("keyed window={window} evict={evict_after} horizon={horizon}");
+    assert_eq!(new.sink(), &old_events, "{ctx}");
+    assert_eq!(new.table().stats(), old.stats(), "{ctx}: rollups");
+    // Per-stream forecast accumulators, bit for bit.
+    for id in old.stream_ids() {
+        match (old.forecast_stats(id), new.table().forecast_stats(id)) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_forecast_stats_bit_identical(a, b, &format!("{ctx} stream {id}"))
+            }
+            (a, b) => panic!("{ctx} stream {id}: forecast stats diverge: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+fn by_stream(events: &[MultiStreamEvent]) -> BTreeMap<u64, Vec<MultiStreamEvent>> {
+    let mut m: BTreeMap<u64, Vec<MultiStreamEvent>> = BTreeMap::new();
+    for &e in events {
+        m.entry(e.stream().0).or_default().push(e);
+    }
+    m
+}
+
+/// Old `MultiStreamDpd::new(ServiceConfig::with_window(..))` vs
+/// `MultiStreamDpd::from_builder`: identical per-stream event sequences
+/// and identical totals, for inline and sharded modes.
+fn check_service(schedule: &Schedule, shards: usize, window: usize) {
+    let run = |mut svc: MultiStreamDpd| {
+        for (stream, samples) in schedule {
+            svc.ingest(&[(StreamId(*stream), samples.as_slice())]);
+        }
+        svc.finish()
+    };
+    let (old_events, old_snap) = run(MultiStreamDpd::new(ServiceConfig::with_window(
+        shards, window,
+    )));
+    let (new_events, new_snap) = run(MultiStreamDpd::from_builder(
+        &DpdBuilder::new().window(window).shards(shards),
+    )
+    .unwrap());
+    let ctx = format!("service shards={shards} window={window}");
+    assert_eq!(by_stream(&new_events), by_stream(&old_events), "{ctx}");
+    assert_eq!(new_snap.total().samples, old_snap.total().samples, "{ctx}");
+    assert_eq!(new_snap.total().events, old_snap.total().events, "{ctx}");
+}
+
+/// `MultiStreamDpd::drain_into` delivers exactly `drain()`'s events,
+/// translated through the one unified vocabulary.
+#[test]
+fn service_drain_into_matches_drain() {
+    let schedule = schedule_from_words(&[3, 99, 0x50_0007, 0xAB_CDEF, 42], 3);
+    let run = |collect: bool| {
+        let mut svc = MultiStreamDpd::from_builder(&DpdBuilder::new().window(8).shards(0)).unwrap();
+        for (stream, samples) in &schedule {
+            svc.ingest(&[(StreamId(*stream), samples.as_slice())]);
+        }
+        svc.flush();
+        if collect {
+            let mut sink: Vec<(StreamId, DpdEvent)> = Vec::new();
+            svc.drain_into(&mut sink);
+            sink
+        } else {
+            svc.drain()
+                .iter()
+                .map(DpdEvent::from_multi_stream)
+                .collect()
+        }
+    };
+    let a = run(true);
+    let b = run(false);
+    assert_eq!(a, b);
+    assert!(!a.is_empty());
+}
+
+/// A closure sink observes the same events a `Vec` sink collects.
+#[test]
+fn closure_sink_sees_vec_sink_events() {
+    let data = trace_from_words(&[7, 0x30_0042, 19]);
+    let mut collected = Vec::new();
+    {
+        let sink = |s: StreamId, e: &DpdEvent| collected.push((s, *e));
+        let mut pipe = DpdBuilder::new().window(8).forecast(2).build(sink).unwrap();
+        pipe.push_slice(&data);
+    }
+    let mut reference = DpdBuilder::new()
+        .window(8)
+        .forecast(2)
+        .build(Vec::new())
+        .unwrap();
+    reference.push_slice(&data);
+    assert_eq!(&collected, reference.sink());
+    assert!(!collected.is_empty());
+}
+
+/// The `EventSink` impl for `()` discards without disturbing the stack.
+#[test]
+fn unit_sink_keeps_stack_behavior() {
+    let data = trace_from_words(&[5, 0x20_0031]);
+    let mut silent = DpdBuilder::new().window(8).build(()).unwrap();
+    silent.push_slice(&data);
+    let mut loud = DpdBuilder::new().window(8).build(Vec::new()).unwrap();
+    loud.push_slice(&data);
+    assert_eq!(silent.detected_periods(), loud.detected_periods());
+    assert_eq!(silent.locked_period(), loud.locked_period());
+}
+
+proptest! {
+    /// Plain streaming stack: old constructor vs builder, random traces
+    /// and windows.
+    #[test]
+    fn streaming_builder_bit_identical(
+        words in collection::vec(any::<u64>(), 1..6),
+        window_pow in 0u32..7,
+    ) {
+        let data = trace_from_words(&words);
+        check_streaming(&data, 1usize << window_pow);
+    }
+
+    /// Magnitude stack: old constructor vs builder — same type, so the
+    /// whole event sequence and final spectrum must agree.
+    #[test]
+    fn magnitudes_builder_bit_identical(
+        words in collection::vec(any::<u64>(), 1..5),
+        window in 4usize..40,
+    ) {
+        let data: Vec<f64> = trace_from_words(&words)
+            .iter()
+            .map(|&v| (v % 97) as f64 * 0.5)
+            .collect();
+        let mut old = StreamingDpd::magnitudes(StreamingConfig::magnitudes(window));
+        let mut new = DpdBuilder::new()
+            .window(window)
+            .magnitudes()
+            .build_magnitude_detector()
+            .unwrap();
+        for &s in &data {
+            prop_assert_eq!(old.push(s), new.push(s));
+        }
+        prop_assert_eq!(old.stats(), new.stats());
+        let (os, ns) = (old.spectrum(), new.spectrum());
+        for m in 1..=window {
+            prop_assert_eq!(
+                os.at(m).map(f64::to_bits),
+                ns.at(m).map(f64::to_bits),
+                "d({}) bits",
+                m
+            );
+        }
+    }
+
+    /// Multi-scale stack: old bank vs builder pipeline.
+    #[test]
+    fn multi_scale_builder_bit_identical(
+        words in collection::vec(any::<u64>(), 1..6),
+        small in 2usize..12,
+        large in 32usize..128,
+    ) {
+        let data = trace_from_words(&words);
+        check_multi_scale(&data, &[small, large]);
+    }
+
+    /// Forecasting stack: old bundle vs builder pipeline, incl. bit-exact
+    /// f64 accumulators and forecast slices.
+    #[test]
+    fn forecasting_builder_bit_identical(
+        words in collection::vec(any::<u64>(), 1..6),
+        window_pow in 2u32..7,
+        horizon in 1usize..9,
+    ) {
+        let data = trace_from_words(&words);
+        check_forecasting(&data, 1usize << window_pow, horizon);
+    }
+
+    /// Table 1 C-style interface: shim vs builder.
+    #[test]
+    fn capi_builder_bit_identical(
+        words in collection::vec(any::<u64>(), 1..5),
+        window in 2usize..64,
+    ) {
+        let data = trace_from_words(&words);
+        check_capi(&data, window);
+    }
+
+    /// Keyed table: deprecated TableConfig constructors vs build_keyed,
+    /// with eviction and per-stream forecasting in play.
+    #[test]
+    fn keyed_builder_bit_identical(
+        words in collection::vec(any::<u64>(), 1..20),
+        window in 2usize..24,
+        evict_sel in 0u64..2,
+        evict_raw in 20u64..200,
+        horizon in 0usize..4,
+    ) {
+        let evict = if evict_sel == 0 { 0 } else { evict_raw };
+        let schedule = schedule_from_words(&words, 5);
+        check_keyed(&schedule, window, evict, horizon);
+    }
+
+    /// Sharded service: deprecated ServiceConfig constructors vs
+    /// from_builder, inline and threaded.
+    #[test]
+    fn service_builder_bit_identical(
+        words in collection::vec(any::<u64>(), 1..12),
+        shards in 0usize..4,
+        window in 4usize..32,
+    ) {
+        let schedule = schedule_from_words(&words, 6);
+        check_service(&schedule, shards, window);
+    }
+}

@@ -10,8 +10,9 @@
 //! error accumulators) across random traces, horizons, warmup/steady
 //! chunk straddles, and detector resyncs.
 
-use dpd::core::predict::{ForecastStats, ForecastingDpd};
-use dpd::core::streaming::{SegmentEvent, StreamingConfig, StreamingDpd};
+use dpd::core::pipeline::DpdBuilder;
+use dpd::core::predict::ForecastStats;
+use dpd::core::streaming::{SegmentEvent, StreamingConfig};
 use proptest::prelude::*;
 
 // The confidence constants of the forecasting contract (PREDICTION.md).
@@ -182,10 +183,17 @@ fn assert_stats_bit_identical(incremental: ForecastStats, naive: ForecastStats, 
 /// statistics at the end. `config` parameterizes the shared detector
 /// (window, confirmation counts, resync interval).
 fn run_differential(data: &[i64], config: StreamingConfig, horizon: usize, chunk: usize) {
-    let mut incremental = ForecastingDpd::events(config, horizon).expect("valid config");
+    let mut incremental = DpdBuilder::new()
+        .detector(config)
+        .forecast(horizon)
+        .build_forecasting()
+        .expect("valid config");
     // The naive path drives its own detector instance: same config, same
     // samples => same event sequence.
-    let mut detector = StreamingDpd::events(config);
+    let mut detector = DpdBuilder::new()
+        .detector(config)
+        .build_detector()
+        .expect("valid config");
     let mut naive = NaiveForecaster::new(horizon);
 
     let ctx = format!(
@@ -224,7 +232,8 @@ fn simple_periodic_and_phase_change_corpora() {
     data.extend((0..80).map(|i| [10i64, 20, 30, 40, 50][i % 5]));
     for horizon in [1usize, 3, 8] {
         for chunk in [1usize, 7, 140] {
-            run_differential(&data, StreamingConfig::with_window(8), horizon, chunk);
+            let config = DpdBuilder::new().window(8).detector_config().unwrap();
+            run_differential(&data, config, horizon, chunk);
         }
     }
 }
@@ -233,10 +242,11 @@ fn simple_periodic_and_phase_change_corpora() {
 fn resync_interval_does_not_change_forecasts() {
     let data = trace_from_words(&[0x00012345, 0x00fe4321, 0x00aa0077, 0x00054321]);
     for resync in [0u64, 13, 64] {
-        let config = StreamingConfig {
-            resync_interval: resync,
-            ..StreamingConfig::with_window(16)
-        };
+        let config = DpdBuilder::new()
+            .window(16)
+            .resync_interval(resync)
+            .detector_config()
+            .unwrap();
         run_differential(&data, config, 4, 23);
     }
 }
@@ -253,7 +263,8 @@ proptest! {
     ) {
         let data = trace_from_words(&words);
         let window = 1usize << window_pow; // 4..=64
-        run_differential(&data, StreamingConfig::with_window(window), horizon, chunk);
+        let config = DpdBuilder::new().window(window).detector_config().unwrap();
+        run_differential(&data, config, horizon, chunk);
     }
 
     /// Confirmation/lose hysteresis and resync intervals forwarded to the
@@ -267,12 +278,13 @@ proptest! {
         resync in 0u64..40,
     ) {
         let data = trace_from_words(&words);
-        let config = StreamingConfig {
-            confirm,
-            lose,
-            resync_interval: resync,
-            ..StreamingConfig::with_window(16)
-        };
+        let config = DpdBuilder::new()
+            .window(16)
+            .confirm(confirm)
+            .lose(lose)
+            .resync_interval(resync)
+            .detector_config()
+            .unwrap();
         run_differential(&data, config, horizon, 11);
     }
 }

@@ -4,15 +4,15 @@
 //! graceful behaviour under perturbation: spurious events, dropped events,
 //! aperiodic prefixes, period changes, and window resizing mid-stream.
 
-use dpd::core::capi::Dpd;
-use dpd::core::streaming::{SegmentEvent, StreamingConfig, StreamingDpd};
+use dpd::core::pipeline::DpdBuilder;
+use dpd::core::streaming::SegmentEvent;
 use dpd::trace::gen;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 #[test]
 fn relocks_after_spurious_event() {
-    let mut dpd = StreamingDpd::events(StreamingConfig::with_window(12));
+    let mut dpd = DpdBuilder::new().window(12).build_detector().unwrap();
     let pattern = [1i64, 2, 3, 4];
     let mut locked_before = false;
     for i in 0..100usize {
@@ -41,7 +41,7 @@ fn corruption_rate_degrades_detection_gracefully() {
     let mut boundaries_at = Vec::new();
     for &p in &[0.0, 0.02, 0.3] {
         let stream = gen::drop_events(&clean, p, &mut rng);
-        let mut dpd = StreamingDpd::events(StreamingConfig::with_window(16));
+        let mut dpd = DpdBuilder::new().window(16).build_detector().unwrap();
         let mut boundaries = 0u64;
         for &s in &stream {
             if dpd.push(s).as_return_value() != 0 {
@@ -67,7 +67,7 @@ fn corruption_rate_degrades_detection_gracefully() {
 fn aperiodic_prefix_then_lock() {
     let mut stream = gen::aperiodic_events(500);
     stream.extend(gen::periodic_events(&[7, 8, 9], 300));
-    let mut dpd = Dpd::with_window(16);
+    let mut dpd = DpdBuilder::new().window(16).build_capi().unwrap();
     let mut p = 0i32;
     let mut first_detection = None;
     for (i, &s) in stream.iter().enumerate() {
@@ -85,7 +85,7 @@ fn jitter_insertion_reduces_but_does_not_prevent_detection() {
     let mut rng = StdRng::seed_from_u64(7);
     let clean = gen::periodic_events(&[1, 2, 3, 4, 5, 6], 3000);
     let jittered = gen::insert_events(&clean, 20, &mut rng);
-    let mut dpd = StreamingDpd::events(StreamingConfig::with_window(16));
+    let mut dpd = DpdBuilder::new().window(16).build_detector().unwrap();
     for &s in &jittered {
         dpd.push(s);
     }
@@ -98,7 +98,7 @@ fn jitter_insertion_reduces_but_does_not_prevent_detection() {
 
 #[test]
 fn window_shrink_mid_stream_recovers() {
-    let mut dpd = Dpd::with_window(1024);
+    let mut dpd = DpdBuilder::new().window(1024).build_capi().unwrap();
     let mut p = 0i32;
     let pattern: Vec<i64> = (0..9).map(|i| 0x100 + i).collect();
     for i in 0..1100usize {
@@ -118,7 +118,7 @@ fn window_shrink_mid_stream_recovers() {
 fn random_small_alphabet_does_not_lock_spuriously_at_large_window() {
     let mut rng = StdRng::seed_from_u64(99);
     let stream = gen::random_events(6, 4000, &mut rng);
-    let mut dpd = StreamingDpd::events(StreamingConfig::with_window(256));
+    let mut dpd = DpdBuilder::new().window(256).build_detector().unwrap();
     let mut starts = 0u64;
     for &s in &stream {
         if dpd.push(s).as_return_value() != 0 {
@@ -134,7 +134,7 @@ fn random_small_alphabet_does_not_lock_spuriously_at_large_window() {
 fn period_change_detected_with_loss_event() {
     let mut stream = gen::periodic_events(&[1, 2, 3], 120);
     stream.extend(gen::periodic_events(&[9, 8, 7, 6, 5], 200));
-    let mut dpd = StreamingDpd::events(StreamingConfig::with_window(12));
+    let mut dpd = DpdBuilder::new().window(12).build_detector().unwrap();
     let mut lost = false;
     for &s in &stream {
         if matches!(dpd.push(s), SegmentEvent::PeriodLost { period: 3, .. }) {

@@ -3,7 +3,8 @@
 //! middle of a forecast — forecast state must reset and every counter must
 //! stay consistent.
 
-use dpd::core::shard::{MultiStreamEvent, StreamId, StreamTable, TableConfig};
+use dpd::core::pipeline::DpdBuilder;
+use dpd::core::shard::{MultiStreamEvent, StreamId};
 
 fn periodic(period: u64, start: u64, len: usize) -> Vec<i64> {
     (0..len as u64)
@@ -16,7 +17,11 @@ fn periodic(period: u64, start: u64, len: usize) -> Vec<i64> {
 #[test]
 fn watermark_tie_is_not_an_eviction() {
     for extra in [0u64, 1] {
-        let mut table = StreamTable::new(TableConfig::with_eviction(8, 50));
+        let mut table = DpdBuilder::new()
+            .window(8)
+            .evict_after(50)
+            .build_table()
+            .unwrap();
         let mut out = Vec::new();
         table.ingest(0, StreamId(0), &periodic(3, 0, 24), &mut out);
         assert_eq!(table.locked_period(StreamId(0)), Some(3));
@@ -41,7 +46,11 @@ fn watermark_tie_is_not_an_eviction() {
 /// `sweep` uses the same strict comparison as lazy eviction.
 #[test]
 fn sweep_watermark_tie_is_not_an_eviction() {
-    let mut table = StreamTable::new(TableConfig::with_eviction(8, 50));
+    let mut table = DpdBuilder::new()
+        .window(8)
+        .evict_after(50)
+        .build_table()
+        .unwrap();
     let mut out = Vec::new();
     table.ingest(0, StreamId(0), &periodic(3, 0, 24), &mut out);
     assert_eq!(table.sweep(23 + 50), 0, "tie survives the sweep");
@@ -55,7 +64,11 @@ fn sweep_watermark_tie_is_not_an_eviction() {
 /// unknown-stream close: no flush, no double-counted eviction.
 #[test]
 fn close_after_sweep_evict_is_a_silent_noop() {
-    let mut table = StreamTable::new(TableConfig::with_eviction(8, 16));
+    let mut table = DpdBuilder::new()
+        .window(8)
+        .evict_after(16)
+        .build_table()
+        .unwrap();
     let mut out = Vec::new();
     table.ingest(0, StreamId(0), &periodic(3, 0, 24), &mut out);
     assert_eq!(table.sweep(200), 1);
@@ -67,7 +80,11 @@ fn close_after_sweep_evict_is_a_silent_noop() {
     assert_eq!(stats.closed, 0);
     // Whether the eviction happened by sweep or lazily inside close, the
     // observable event stream is identical (none) and the rollups agree.
-    let mut lazy = StreamTable::new(TableConfig::with_eviction(8, 16));
+    let mut lazy = DpdBuilder::new()
+        .window(8)
+        .evict_after(16)
+        .build_table()
+        .unwrap();
     let mut lazy_out = Vec::new();
     lazy.ingest(0, StreamId(0), &periodic(3, 0, 24), &mut lazy_out);
     lazy_out.clear();
@@ -81,7 +98,12 @@ fn close_after_sweep_evict_is_a_silent_noop() {
 /// and the re-opened stream starts from scratch (fresh creation counter).
 #[test]
 fn reopen_after_close_starts_fresh() {
-    let mut table = StreamTable::new(TableConfig::with_forecast(8, 1));
+    let mut table = DpdBuilder::new()
+        .window(8)
+        .keyed()
+        .forecast(1)
+        .build_table()
+        .unwrap();
     let mut out = Vec::new();
     table.ingest(0, StreamId(9), &periodic(4, 0, 32), &mut out);
     assert!(table.close(32, StreamId(9), &mut out));
@@ -101,8 +123,12 @@ fn reopen_after_close_starts_fresh() {
 #[test]
 fn reopen_of_evicted_stream_mid_forecast_resets_forecast_state() {
     let horizon = 4usize;
-    let cfg = TableConfig::with_eviction(8, 30).forecasting(horizon);
-    let mut table = StreamTable::new(cfg);
+    let mut table = DpdBuilder::new()
+        .window(8)
+        .evict_after(30)
+        .forecast(horizon)
+        .build_table()
+        .unwrap();
     let mut out = Vec::new();
 
     // Lock and forecast: stream 0 is primed with in-flight predictions
@@ -155,8 +181,8 @@ fn reopen_of_evicted_stream_mid_forecast_resets_forecast_state() {
 /// Event counters and emitted events agree across every lifecycle edge.
 #[test]
 fn event_counters_stay_consistent_across_evict_close_reopen() {
-    let cfg = TableConfig::with_eviction(8, 20).forecasting(2);
-    let mut table = StreamTable::new(cfg);
+    let builder = DpdBuilder::new().window(8).evict_after(20).forecast(2);
+    let mut table = builder.build_table().unwrap();
     let mut out = Vec::new();
     table.ingest(0, StreamId(3), &periodic(2, 0, 30), &mut out);
     table.ingest(30, StreamId(4), &periodic(3, 0, 60), &mut out); // 3 idles out

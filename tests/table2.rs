@@ -6,13 +6,16 @@
 //! match the paper exactly.
 
 use dpd::apps::app::{App, RunConfig};
-use dpd::core::streaming::MultiScaleDpd;
+use dpd::core::pipeline::{DpdBuilder, DEFAULT_SCALES};
 
 fn detect(app: &dyn App) -> (usize, Vec<usize>) {
     let run = app.run(&RunConfig::default());
     // Batch ingestion path; equivalence with per-sample push is proven by
     // the proptest suite and the per-sample replay in figures.rs.
-    let mut bank = MultiScaleDpd::default_scales();
+    let mut bank = DpdBuilder::new()
+        .scales(DEFAULT_SCALES)
+        .build_multi_scale()
+        .unwrap();
     bank.push_slice(&run.addresses.values);
     (run.addresses.len(), bank.detected_periods())
 }
