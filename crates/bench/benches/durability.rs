@@ -1,0 +1,132 @@
+//! Durability subsystem cost: checkpoint serialization, restore, and the
+//! crash-recovery scan.
+//!
+//! The corpus is the sharded service's per-shard unit of durable state: a
+//! [`StreamTable`] holding 1k locked, forecasting streams of 128 samples
+//! each. Four measurements:
+//!
+//! * `snapshot/*` — full bit-exact serialization of the table (what one
+//!   shard contributes to every `MultiStreamDpd::checkpoint`);
+//! * `restore/*` — parse + rebuild of the same state (the resume path);
+//! * `pile/append_*` — write-ahead logging throughput: framing + CRC for
+//!   one ingest wave's worth of records;
+//! * `pile/recover_*` — the startup scan over a full segment log (the
+//!   cost `PileWriter::open` pays after a crash).
+//!
+//! `BENCH_6.json` regression-gates this group: a checkpoint that stops
+//! being cheap relative to ingest (e.g. an accidental quadratic walk in
+//! snapshot encoding, or a recovery scan that re-allocates per frame)
+//! shows up here first.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dpd_core::pipeline::DpdBuilder;
+use dpd_core::shard::{StreamId, StreamTable};
+use dpd_core::snapshot::{Restore, Snapshot};
+use dpd_trace::pile::{recover, PileWriter};
+use std::hint::black_box;
+
+const STREAMS: u64 = 1_000;
+const SAMPLES: usize = 128;
+const WINDOW: usize = 16;
+const WAVES: u64 = 64;
+
+/// One shard's worth of live state: every stream locked and forecasting.
+fn populated_table() -> StreamTable {
+    let mut table = DpdBuilder::new()
+        .window(WINDOW)
+        .forecast(2)
+        .build_table()
+        .unwrap();
+    let mut out = Vec::new();
+    for s in 0..STREAMS {
+        let period = 3 + (s % 5) as i64;
+        let chunk: Vec<i64> = (0..SAMPLES as i64).map(|i| i % period).collect();
+        table.ingest(s * SAMPLES as u64, StreamId(s), &chunk, &mut out);
+        out.clear();
+    }
+    table
+}
+
+/// One ingest wave's records: 64 streams x 64 samples.
+fn wave_records() -> Vec<(u64, Vec<i64>)> {
+    (0..64u64)
+        .map(|s| (s, (0..64i64).map(|i| i % (3 + s as i64 % 5)).collect()))
+        .collect()
+}
+
+/// A full segment log: `WAVES` event frames with a checkpoint + epoch
+/// every 8 waves — the shape `dpd checkpoint` leaves on disk.
+fn full_pile(records: &[(u64, Vec<i64>)], snapshot: &[u8]) -> Vec<u8> {
+    let mut w = PileWriter::new(Vec::new()).unwrap();
+    for wave in 0..WAVES {
+        w.events(wave, records).unwrap();
+        if (wave + 1) % 8 == 0 {
+            w.checkpoint(snapshot).unwrap();
+            w.epoch(dpd_trace::pile::EpochMarker {
+                wave: wave + 1,
+                samples: (wave + 1) * 64 * 64,
+                ordinal: (wave + 1) / 8,
+            })
+            .unwrap();
+        }
+    }
+    w.into_inner().unwrap()
+}
+
+fn bench_durability(c: &mut Criterion) {
+    let table = populated_table();
+    let snapshot = table.snapshot();
+    let records = wave_records();
+    let wave_samples: u64 = records.iter().map(|(_, v)| v.len() as u64).sum();
+    let pile = full_pile(&records, &snapshot);
+
+    let mut g = c.benchmark_group("durability");
+
+    g.throughput(Throughput::Elements(STREAMS));
+    g.bench_function("snapshot/table_1k_streams", |b| {
+        b.iter(|| {
+            let bytes = black_box(&table).snapshot();
+            assert!(!bytes.is_empty());
+            bytes.len()
+        })
+    });
+    g.bench_function("restore/table_1k_streams", |b| {
+        b.iter(|| {
+            let t = StreamTable::restore(black_box(&snapshot)).expect("valid snapshot");
+            assert_eq!(t.len() as u64, STREAMS);
+            t
+        })
+    });
+
+    g.throughput(Throughput::Elements(wave_samples));
+    g.bench_function("pile/append_wave", |b| {
+        b.iter(|| {
+            let mut w = PileWriter::new(Vec::with_capacity(64 * 1024)).unwrap();
+            w.events(0, black_box(&records)).unwrap();
+            w.into_inner().unwrap().len()
+        })
+    });
+
+    g.throughput(Throughput::Bytes(pile.len() as u64));
+    g.bench_function("pile/recover_full_log", |b| {
+        b.iter(|| {
+            let rec = recover(black_box(&pile));
+            assert_eq!(rec.valid_len, pile.len());
+            assert_eq!(rec.last_epoch.map(|m| m.ordinal), Some(WAVES / 8));
+            rec.frames.len()
+        })
+    });
+    g.finish();
+
+    eprintln!(
+        "durability corpus: snapshot {} bytes for {} streams x {} samples; pile {} bytes over {} waves",
+        snapshot.len(),
+        STREAMS,
+        SAMPLES,
+        pile.len(),
+        WAVES,
+    );
+}
+
+criterion_group!(benches, bench_durability);
+criterion_main!(benches);

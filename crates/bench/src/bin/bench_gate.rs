@@ -1,13 +1,14 @@
 //! CI bench-regression gate.
 //!
 //! Runs the criterion bench groups named by `DPD_GATE_BENCHES` (default
-//! `streaming,trace_io,predict`) in fast mode, then compares each bench's
-//! ns/iter against the latest `BENCH_*.json` record at the workspace root
-//! and fails when any bench regressed by more than the tolerance — so a
-//! hot-path win recorded in one PR cannot silently rot in a later one.
-//! The gated groups are the wins PRs have recorded so far: the vectorized
-//! streaming kernel (PR 1), DTB decode throughput (PR 3), and the
-//! forecasting subsystem's overhead bounds (PR 4).
+//! `streaming,trace_io,predict,durability`) in fast mode, then compares
+//! each bench's ns/iter against the latest `BENCH_*.json` record at the
+//! workspace root and fails when any bench regressed by more than the
+//! tolerance — so a hot-path win recorded in one PR cannot silently rot
+//! in a later one. The gated groups are the wins PRs have recorded so
+//! far: the vectorized streaming kernel (PR 1), DTB decode throughput
+//! (PR 3), the forecasting subsystem's overhead bounds (PR 4), and the
+//! checkpoint/recovery costs of the durability subsystem (PR 6).
 //!
 //! ```text
 //! cargo run -p dpd-bench --bin bench_gate
@@ -18,7 +19,7 @@
 //!   `1.5`; CI machines differ from the recording machine, so this guards
 //!   against large rots, not percent-level noise).
 //! * `DPD_GATE_BENCHES`   — comma-separated bench targets (default
-//!   `streaming,trace_io,predict`).
+//!   `streaming,trace_io,predict,durability`).
 //! * `DPD_GATE_BASELINE`  — explicit baseline file (default: the
 //!   highest-numbered `BENCH_*.json` at the workspace root).
 //! * `DPD_GATE_FULL=1`    — measure at full sample counts instead of the
@@ -81,8 +82,8 @@ fn main() -> ExitCode {
     }
 
     // Run the bench targets with the shim's JSON output into a temp file.
-    let benches =
-        std::env::var("DPD_GATE_BENCHES").unwrap_or_else(|_| "streaming,trace_io,predict".into());
+    let benches = std::env::var("DPD_GATE_BENCHES")
+        .unwrap_or_else(|_| "streaming,trace_io,predict,durability".into());
     let json_path = std::env::temp_dir().join(format!("bench_gate_{}.jsonl", std::process::id()));
     let _ = std::fs::remove_file(&json_path);
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());

@@ -8,6 +8,7 @@ use dpd_core::pipeline::DpdBuilder;
 use dpd_core::segmentation::segment_events;
 use dpd_core::shard::{MultiStreamEvent, StreamId};
 use dpd_trace::io::TraceFormat;
+use dpd_trace::pile::{EpochMarker, PileFrame, PileWriter};
 use dpd_trace::{dtb, gen, io, EventTrace, SampledTrace};
 use par_runtime::service::MultiStreamDpd;
 use spec_apps::app::RunConfig;
@@ -23,12 +24,21 @@ pub const USAGE: &str = "usage:
   dpd segment FILE [--window 64]
   dpd multistream DIR [--shards 4] [--window 64] [--chunk 256] [--timing show|none]
   dpd predict FILE [--window 64] [--horizon 1]
+  dpd checkpoint DIR --pile FILE [--snap FILE] [--window 64] [--shards 0] [--chunk 256]
+                 [--every 8] [--forecast H] [--throttle-ms T]
+  dpd resume DIR --pile FILE [--snap FILE] [same flags as checkpoint]
 
 Trace files are text or DTB binary containers; every reader auto-detects
 the format by magic, and a multistream DIR may mix both (a single .dtb
 file can carry many streams). `predict` replays every event stream of
 FILE through the online forecaster and reports per-stream hit rate and
-MAPE at the given horizon (see docs/PREDICTION.md).";
+MAPE at the given horizon (see docs/PREDICTION.md). `checkpoint` is the
+durable ingest pipeline: every wave of records is appended to the
+crash-safe pile log and fsynced *before* it is ingested, and the full
+detector state is checkpointed to the snap file every K waves; after a
+crash, `resume` restores the snap, replays the logged-but-uncovered
+waves from the pile, and continues — emitting exactly the events an
+uninterrupted run would have (see docs/FORMAT.md \u{a7}9).";
 
 /// A parsed flag set: positional args + `--key value` pairs.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -90,6 +100,8 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         "segment" => segment(&flags),
         "multistream" => multistream(&flags),
         "predict" => predict(&flags),
+        "checkpoint" => checkpoint_cmd(&flags),
+        "resume" => resume_cmd(&flags),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -371,23 +383,14 @@ fn segment(flags: &Flags) -> Result<String, String> {
     Ok(out)
 }
 
-fn multistream(flags: &Flags) -> Result<String, String> {
-    let dir = flags
-        .positional
-        .first()
-        .ok_or("multistream expects a directory of trace files")?;
-    let shards = flags.get_usize("shards", 4)?;
-    let window = flags.get_usize("window", 64)?;
-    let chunk = flags.get_usize("chunk", 256)?.max(1);
-    // `--timing none` suppresses the wall-clock figures so the output is
-    // byte-stable (golden-file tests, diffable logs).
-    let timing = match flags.get("timing").unwrap_or("show") {
-        "show" => true,
-        "none" => false,
-        other => return Err(format!("unknown --timing {other:?} (show|none)")),
-    };
-
-    // One stream per trace file, in name order so stream ids are stable.
+/// Load every event stream of a directory of trace files.
+///
+/// One stream per text file, in name order so stream ids are stable; a
+/// DTB container expands into its event streams in declaration order.
+/// Sampled streams are not replayable by the event-ingesting commands,
+/// so they are counted and reported, not silently dropped. Returns the
+/// traces plus the skipped sampled-stream count.
+fn load_dir_traces(dir: &str) -> Result<(Vec<EventTrace>, usize), String> {
     let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
         .map_err(|e| format!("read dir {dir}: {e}"))?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
@@ -397,10 +400,6 @@ fn multistream(flags: &Flags) -> Result<String, String> {
     if paths.is_empty() {
         return Err(format!("no trace files in {dir}"));
     }
-    // Text files carry one stream each; a DTB container may carry many —
-    // expand each container into its event streams, in declaration order.
-    // Sampled streams are not replayable here (the service ingests event
-    // values), so they are counted and reported, not silently dropped.
     let mut traces = Vec::with_capacity(paths.len());
     let mut skipped_sampled = 0usize;
     for p in &paths {
@@ -422,6 +421,26 @@ fn multistream(flags: &Flags) -> Result<String, String> {
             }
         }
     }
+    Ok((traces, skipped_sampled))
+}
+
+fn multistream(flags: &Flags) -> Result<String, String> {
+    let dir = flags
+        .positional
+        .first()
+        .ok_or("multistream expects a directory of trace files")?;
+    let shards = flags.get_usize("shards", 4)?;
+    let window = flags.get_usize("window", 64)?;
+    let chunk = flags.get_usize("chunk", 256)?.max(1);
+    // `--timing none` suppresses the wall-clock figures so the output is
+    // byte-stable (golden-file tests, diffable logs).
+    let timing = match flags.get("timing").unwrap_or("show") {
+        "show" => true,
+        "none" => false,
+        other => return Err(format!("unknown --timing {other:?} (show|none)")),
+    };
+
+    let (traces, skipped_sampled) = load_dir_traces(dir)?;
 
     // Replay all traces concurrently: round-robin chunks until exhausted,
     // the arrival pattern of many applications tracing at once.
@@ -608,6 +627,278 @@ fn predict(flags: &Flags) -> Result<String, String> {
         fmt_pct(total_rate)
     )
     .unwrap();
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Durable ingest: `dpd checkpoint` / `dpd resume`.
+
+/// Flags shared by `checkpoint` and `resume`.
+struct DurableOpts {
+    dir: String,
+    pile: String,
+    snap: String,
+    window: usize,
+    shards: usize,
+    chunk: usize,
+    every: usize,
+    horizon: usize,
+    throttle_ms: u64,
+}
+
+impl DurableOpts {
+    fn parse(cmd: &str, flags: &Flags) -> Result<DurableOpts, String> {
+        let dir = flags
+            .positional
+            .first()
+            .ok_or_else(|| format!("{cmd} expects a directory of trace files"))?
+            .clone();
+        let pile = flags
+            .get("pile")
+            .ok_or_else(|| format!("{cmd} requires --pile FILE"))?
+            .to_string();
+        let snap = flags
+            .get("snap")
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("{pile}.snap"));
+        Ok(DurableOpts {
+            dir,
+            pile,
+            snap,
+            window: flags.get_usize("window", 64)?,
+            shards: flags.get_usize("shards", 0)?,
+            chunk: flags.get_usize("chunk", 256)?.max(1),
+            every: flags.get_usize("every", 8)?.max(1),
+            horizon: flags.get_usize("forecast", 0)?,
+            throttle_ms: flags.get_usize("throttle-ms", 0)? as u64,
+        })
+    }
+
+    /// The service builder both commands construct — `resume` validates
+    /// the snap file against exactly this configuration.
+    fn builder(&self) -> DpdBuilder {
+        let mut b = DpdBuilder::new().window(self.window).shards(self.shards);
+        if self.horizon > 0 {
+            b = b.forecast(self.horizon);
+        }
+        b
+    }
+}
+
+/// Print a drained event batch, sorted by stream id (stable, so the
+/// per-stream order the service guarantees is preserved): with a flush
+/// before every drain this makes the output deterministic for any shard
+/// count, which is what lets a resumed run be diffed against an
+/// uninterrupted one.
+fn print_events(out: &mut String, mut events: Vec<MultiStreamEvent>) {
+    events.sort_by_key(|e| e.stream().0);
+    for e in &events {
+        writeln!(out, "  {e:?}").unwrap();
+    }
+}
+
+/// The round-robin records of one wave, in pile-frame form.
+fn wave_records(traces: &[EventTrace], wave: usize, chunk: usize) -> Vec<(u64, Vec<i64>)> {
+    let offset = wave * chunk;
+    let mut records = Vec::new();
+    for (s, t) in traces.iter().enumerate() {
+        if offset < t.values.len() {
+            let end = (offset + chunk).min(t.values.len());
+            records.push((s as u64, t.values[offset..end].to_vec()));
+        }
+    }
+    records
+}
+
+/// Checkpoint the service to the snap file and append the epoch marker to
+/// the pile (in that order: the snap is the authority; the epoch is the
+/// pile-side statement that earlier frames are covered).
+fn take_checkpoint(
+    out: &mut String,
+    svc: &mut MultiStreamDpd,
+    pile: &mut PileWriter<std::fs::File>,
+    snap: &str,
+    marker: EpochMarker,
+) -> Result<(), String> {
+    let pending = svc
+        .checkpoint(snap, marker)
+        .map_err(|e| format!("checkpoint {snap}: {e}"))?;
+    print_events(out, pending);
+    pile.epoch(marker)
+        .and_then(|()| pile.sync())
+        .map_err(|e| format!("pile epoch: {e}"))?;
+    writeln!(
+        out,
+        "checkpoint #{} wave {} samples {}",
+        marker.ordinal, marker.wave, marker.samples
+    )
+    .unwrap();
+    Ok(())
+}
+
+/// Ingest one wave (already durably logged), print its events, and
+/// checkpoint on the every-K boundary. The cadence depends only on the
+/// absolute wave index, so a resumed run checkpoints at exactly the same
+/// points as an uninterrupted one.
+fn apply_wave(
+    out: &mut String,
+    svc: &mut MultiStreamDpd,
+    pile: &mut PileWriter<std::fs::File>,
+    opts: &DurableOpts,
+    wave: usize,
+    records: &[(u64, Vec<i64>)],
+) -> Result<(), String> {
+    let recs: Vec<(StreamId, &[i64])> = records
+        .iter()
+        .map(|(s, v)| (StreamId(*s), v.as_slice()))
+        .collect();
+    svc.ingest(&recs);
+    svc.flush();
+    print_events(out, svc.drain());
+    if (wave + 1).is_multiple_of(opts.every) {
+        let marker = EpochMarker {
+            wave: wave as u64 + 1,
+            samples: svc.samples_ingested(),
+            ordinal: ((wave + 1) / opts.every) as u64,
+        };
+        take_checkpoint(out, svc, pile, &opts.snap, marker)?;
+    }
+    Ok(())
+}
+
+/// Drive waves from the source directory, write-ahead: each wave is
+/// appended to the pile and fsynced *before* it is ingested, so a crash
+/// at any point loses no acknowledged work. Returns the wave count.
+fn run_waves(
+    out: &mut String,
+    svc: &mut MultiStreamDpd,
+    pile: &mut PileWriter<std::fs::File>,
+    opts: &DurableOpts,
+    traces: &[EventTrace],
+    start_wave: usize,
+) -> Result<usize, String> {
+    let mut wave = start_wave;
+    loop {
+        let records = wave_records(traces, wave, opts.chunk);
+        if records.is_empty() {
+            return Ok(wave);
+        }
+        pile.events(wave as u64, &records)
+            .and_then(|()| pile.sync())
+            .map_err(|e| format!("pile append: {e}"))?;
+        apply_wave(out, svc, pile, opts, wave, &records)?;
+        if opts.throttle_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(opts.throttle_ms));
+        }
+        wave += 1;
+    }
+}
+
+/// Final checkpoint (when the last wave was not on a boundary), close
+/// every stream, and summarize.
+fn finish_run(
+    out: &mut String,
+    mut svc: MultiStreamDpd,
+    pile: &mut PileWriter<std::fs::File>,
+    opts: &DurableOpts,
+    waves: usize,
+) -> Result<(), String> {
+    if !waves.is_multiple_of(opts.every) {
+        let marker = EpochMarker {
+            wave: waves as u64,
+            samples: svc.samples_ingested(),
+            ordinal: (waves / opts.every) as u64 + 1,
+        };
+        take_checkpoint(out, &mut svc, pile, &opts.snap, marker)?;
+    }
+    let (events, snap) = svc.finish();
+    print_events(out, events);
+    let t = snap.total();
+    writeln!(
+        out,
+        "done: {} samples, {} events, {} closed",
+        t.samples, t.events, t.closed
+    )
+    .unwrap();
+    Ok(())
+}
+
+/// `dpd checkpoint DIR --pile FILE [--snap FILE] ...`: the durable ingest
+/// pipeline. Refuses a pile that already holds frames — that is a crashed
+/// run, and continuing it is `dpd resume`'s job.
+fn checkpoint_cmd(flags: &Flags) -> Result<String, String> {
+    let opts = DurableOpts::parse("checkpoint", flags)?;
+    let (traces, _) = load_dir_traces(&opts.dir)?;
+    let mut svc = MultiStreamDpd::from_builder(&opts.builder())
+        .map_err(|e| format!("invalid checkpoint configuration: {e}"))?;
+    let (mut pile, rec) =
+        PileWriter::open(&opts.pile).map_err(|e| format!("open pile {}: {e}", opts.pile))?;
+    if !rec.frames.is_empty() {
+        return Err(format!(
+            "pile {} already holds {} frame(s); continue it with `dpd resume`",
+            opts.pile,
+            rec.frames.len()
+        ));
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "ingesting {} streams in waves of {} (checkpoint every {} waves)",
+        traces.len(),
+        opts.chunk,
+        opts.every
+    )
+    .unwrap();
+    let waves = run_waves(&mut out, &mut svc, &mut pile, &opts, &traces, 0)?;
+    finish_run(&mut out, svc, &mut pile, &opts, waves)?;
+    Ok(out)
+}
+
+/// `dpd resume DIR --pile FILE [--snap FILE] ...`: crash recovery. Opens
+/// the pile (truncating any torn tail), restores the service from the
+/// snap file, replays the logged waves the checkpoint does not cover, and
+/// continues ingesting from the source directory. The emitted event
+/// stream is bit-identical to the suffix an uninterrupted `dpd
+/// checkpoint` run would have produced from the same point.
+fn resume_cmd(flags: &Flags) -> Result<String, String> {
+    let opts = DurableOpts::parse("resume", flags)?;
+    let (traces, _) = load_dir_traces(&opts.dir)?;
+    let (mut pile, rec) =
+        PileWriter::open(&opts.pile).map_err(|e| format!("open pile {}: {e}", opts.pile))?;
+    let (mut svc, marker) = MultiStreamDpd::resume(&opts.builder(), &opts.snap)
+        .map_err(|e| format!("resume {}: {e}", opts.snap))?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "resumed from checkpoint #{} at wave {}, samples {}",
+        marker.ordinal, marker.wave, marker.samples
+    )
+    .unwrap();
+    // Replay the write-ahead frames the checkpoint does not cover: logged
+    // (durable) waves whose effects were lost with the crashed process.
+    let mut next_wave = marker.wave as usize;
+    type LoggedWave = (u64, Vec<(u64, Vec<i64>)>);
+    let replay: Vec<LoggedWave> = rec
+        .frames
+        .into_iter()
+        .filter_map(|f| match f {
+            PileFrame::Events { wave, records } if wave >= marker.wave => Some((wave, records)),
+            _ => None,
+        })
+        .collect();
+    for (wave, records) in replay {
+        apply_wave(
+            &mut out,
+            &mut svc,
+            &mut pile,
+            &opts,
+            wave as usize,
+            &records,
+        )?;
+        next_wave = wave as usize + 1;
+    }
+    let waves = run_waves(&mut out, &mut svc, &mut pile, &opts, &traces, next_wave)?;
+    finish_run(&mut out, svc, &mut pile, &opts, waves)?;
     Ok(out)
 }
 
@@ -1041,6 +1332,152 @@ mod tests {
     #[test]
     fn apps_unknown_name_errors() {
         assert!(dispatch(&argv("apps --app nosuch --out /tmp/x.trace")).is_err());
+    }
+
+    /// Fresh directory of periodic source traces for durable-ingest tests.
+    fn durable_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dpd-cli-durable-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("src")).unwrap();
+        for (name, period) in [("a", 3usize), ("b", 5), ("c", 7)] {
+            dispatch(&argv(&format!(
+                "generate --kind periodic --period {period} --len 2000 --out {}",
+                dir.join("src")
+                    .join(format!("{name}.trace"))
+                    .to_str()
+                    .unwrap()
+            )))
+            .unwrap();
+        }
+        dir
+    }
+
+    #[test]
+    fn checkpoint_writes_pile_and_snap_then_resume_continues() {
+        let dir = durable_dir("roundtrip");
+        let src = dir.join("src").to_str().unwrap().to_string();
+        let pile = dir.join("events.pile").to_str().unwrap().to_string();
+        let out = dispatch(&argv(&format!(
+            "checkpoint {src} --pile {pile} --window 16 --chunk 128 --every 4"
+        )))
+        .unwrap();
+        assert!(out.contains("checkpoint #1 wave 4"), "{out}");
+        assert!(out.contains("done: 6000 samples"), "{out}");
+        assert!(std::path::Path::new(&format!("{pile}.snap")).exists());
+
+        // A completed run resumes cleanly: nothing to replay, totals match.
+        let resumed = dispatch(&argv(&format!(
+            "resume {src} --pile {pile} --window 16 --chunk 128 --every 4"
+        )))
+        .unwrap();
+        assert!(
+            resumed.contains("resumed from checkpoint #4 at wave 16"),
+            "{resumed}"
+        );
+        assert!(resumed.contains("done: 6000 samples"), "{resumed}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Resuming from a mid-run checkpoint replays the logged waves and
+    /// emits exactly the oracle's post-checkpoint output suffix.
+    #[test]
+    fn resume_suffix_matches_uninterrupted_run() {
+        let dir = durable_dir("suffix");
+        let src = dir.join("src").to_str().unwrap().to_string();
+
+        // Oracle: one uninterrupted run.
+        let oracle_pile = dir.join("oracle.pile").to_str().unwrap().to_string();
+        let oracle = dispatch(&argv(&format!(
+            "checkpoint {src} --pile {oracle_pile} --window 16 --chunk 128 --every 4"
+        )))
+        .unwrap();
+
+        // "Crashed" run: same ingest, but stop after checkpoint #2 by
+        // rebuilding its on-disk state — log all 8 waves (write-ahead),
+        // but snapshot only through wave 8. The extra logged waves model
+        // work durably logged but lost with the crashed process.
+        let pile = dir.join("crashed.pile").to_str().unwrap().to_string();
+        {
+            use dpd_core::pipeline::DpdBuilder;
+            let (traces, _) = load_dir_traces(&src).unwrap();
+            let opts_builder = DpdBuilder::new().window(16).shards(0);
+            let mut svc = MultiStreamDpd::from_builder(&opts_builder).unwrap();
+            let (mut p, _) = PileWriter::open(&pile).unwrap();
+            for wave in 0..10usize {
+                let records = wave_records(&traces, wave, 128);
+                p.events(wave as u64, &records).unwrap();
+                p.sync().unwrap();
+                if wave < 8 {
+                    let recs: Vec<(StreamId, &[i64])> = records
+                        .iter()
+                        .map(|(s, v)| (StreamId(*s), v.as_slice()))
+                        .collect();
+                    svc.ingest(&recs);
+                    svc.drain();
+                }
+                if wave == 3 || wave == 7 {
+                    let marker = EpochMarker {
+                        wave: wave as u64 + 1,
+                        samples: svc.samples_ingested(),
+                        ordinal: (wave as u64 + 1) / 4,
+                    };
+                    svc.checkpoint(format!("{pile}.snap"), marker).unwrap();
+                    p.epoch(marker).unwrap();
+                    p.sync().unwrap();
+                }
+            }
+        }
+
+        let resumed = dispatch(&argv(&format!(
+            "resume {src} --pile {pile} --window 16 --chunk 128 --every 4"
+        )))
+        .unwrap();
+        let header = "resumed from checkpoint #2 at wave 8, samples 3072\n";
+        assert!(resumed.starts_with(header), "{resumed}");
+        let suffix = &resumed[header.len()..];
+        let anchor = "checkpoint #2 wave 8 samples 3072\n";
+        let pos = oracle.find(anchor).expect("oracle took checkpoint #2") + anchor.len();
+        assert_eq!(
+            &oracle[pos..],
+            suffix,
+            "resumed output diverges from the uninterrupted run"
+        );
+        // Both runs end on bit-identical final snapshots.
+        assert_eq!(
+            std::fs::read(format!("{oracle_pile}.snap")).unwrap(),
+            std::fs::read(format!("{pile}.snap")).unwrap(),
+            "final snap files differ"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_refuses_used_pile_and_resume_needs_snap() {
+        let dir = durable_dir("guards");
+        let src = dir.join("src").to_str().unwrap().to_string();
+        let pile = dir.join("events.pile").to_str().unwrap().to_string();
+        dispatch(&argv(&format!(
+            "checkpoint {src} --pile {pile} --window 16 --chunk 128"
+        )))
+        .unwrap();
+        let err = dispatch(&argv(&format!(
+            "checkpoint {src} --pile {pile} --window 16 --chunk 128"
+        )))
+        .unwrap_err();
+        assert!(err.contains("dpd resume"), "{err}");
+
+        let fresh = dir.join("fresh.pile").to_str().unwrap().to_string();
+        let err = dispatch(&argv(&format!("resume {src} --pile {fresh}"))).unwrap_err();
+        assert!(err.contains("resume"), "{err}");
+
+        // A mismatched builder is rejected, not silently accepted.
+        let err = dispatch(&argv(&format!(
+            "resume {src} --pile {pile} --window 32 --chunk 128 --every 4"
+        )))
+        .unwrap_err();
+        assert!(err.contains("does not match"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

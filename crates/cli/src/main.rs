@@ -10,10 +10,15 @@
 //! dpd segment trace.txt [--window 64]
 //! dpd multistream traces/ [--shards 4]
 //! dpd predict trace.txt [--window 64] [--horizon 1]
+//! dpd checkpoint traces/ --pile run.pile [--every 8]
+//! dpd resume traces/ --pile run.pile [--every 8]
 //! ```
 //!
 //! Trace files are the text format or DTB binary containers; every
 //! reader auto-detects the format by magic (see `docs/FORMAT.md`).
+//! `checkpoint`/`resume` run the durable ingest loop: write-ahead
+//! logging to a crash-safe pile plus periodic whole-service
+//! checkpoints (see `docs/FORMAT.md` §9).
 
 use std::process::ExitCode;
 

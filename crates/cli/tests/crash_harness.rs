@@ -1,0 +1,194 @@
+//! End-to-end crash/recovery harness for the durable ingest pipeline.
+//!
+//! The scenario the durability subsystem exists for, exercised with real
+//! processes and a real `SIGKILL`:
+//!
+//! 1. **Oracle** — `dpd checkpoint` runs to completion over a corpus of
+//!    periodic streams; its stdout is the ground-truth event log.
+//! 2. **Crash** — the same command runs throttled in a child process and
+//!    is killed with `SIGKILL` mid-stream, after at least one checkpoint
+//!    hit the disk. Nothing of the child survives except its files: the
+//!    write-ahead pile (possibly with a torn tail) and the last snap.
+//! 3. **Resume** — `dpd resume` restores the snap, replays the logged
+//!    waves the checkpoint does not cover, and finishes the corpus.
+//!
+//! Acceptance: the resumed run's output after its header is *byte
+//! identical* to the oracle's output after the matching `checkpoint #k`
+//! line (per-stream event sequences, forecast rollups and the final
+//! summary all included), and both runs end on bit-identical snap files
+//! (`f64` state compared via its serialized `to_bits` form).
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_dpd")
+}
+
+fn run(args: &[&str]) -> String {
+    let out = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn dpd binary");
+    assert!(
+        out.status.success(),
+        "dpd {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("dpd output is utf-8")
+}
+
+/// Fresh scratch directory with a `src/` corpus of three periodic streams.
+fn corpus(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dpd-crash-harness-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("src")).unwrap();
+    for (name, period) in [("a", 3usize), ("b", 5), ("c", 7)] {
+        run(&[
+            "generate",
+            "--kind",
+            "periodic",
+            "--period",
+            &period.to_string(),
+            "--len",
+            "3000",
+            "--out",
+            dir.join("src")
+                .join(format!("{name}.trace"))
+                .to_str()
+                .unwrap(),
+        ]);
+    }
+    dir
+}
+
+/// The shared ingest flags: inline mode (the deterministic reference),
+/// forecasting on so predictor state rides through the checkpoint too.
+fn ingest_args(src: &Path, pile: &Path) -> Vec<String> {
+    [
+        "checkpoint",
+        src.to_str().unwrap(),
+        "--pile",
+        pile.to_str().unwrap(),
+        "--shards",
+        "0",
+        "--window",
+        "16",
+        "--chunk",
+        "64",
+        "--every",
+        "8",
+        "--forecast",
+        "2",
+    ]
+    .map(String::from)
+    .to_vec()
+}
+
+#[test]
+fn kill_nine_mid_stream_then_resume_is_bit_identical() {
+    let dir = corpus("kill9");
+    let src = dir.join("src");
+
+    // 1. Oracle: uninterrupted run.
+    let oracle_pile = dir.join("oracle.pile");
+    let oracle_args = ingest_args(&src, &oracle_pile);
+    let oracle = run(&oracle_args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(oracle.contains("checkpoint #1 wave 8"), "{oracle}");
+    assert!(oracle.contains("done: 9000 samples"), "{oracle}");
+
+    // 2. Crash: same ingest, throttled so the kill lands mid-stream.
+    let crash_pile = dir.join("crash.pile");
+    let crash_snap = dir.join("crash.pile.snap");
+    let mut crash_args = ingest_args(&src, &crash_pile);
+    crash_args.extend(["--throttle-ms".into(), "25".into()]);
+    let mut child = Command::new(bin())
+        .args(&crash_args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn throttled ingest");
+    // Kill as soon as the first checkpoint is durably on disk. 47 waves
+    // at 25 ms each leave ~1 s of runway after checkpoint #1 (wave 8).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !crash_snap.exists() {
+        assert!(
+            Instant::now() < deadline,
+            "no checkpoint appeared before the deadline"
+        );
+        if let Ok(Some(status)) = child.try_wait() {
+            panic!("ingest finished before it could be killed: {status}");
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().expect("SIGKILL the ingest");
+    let status = child.wait().unwrap();
+    assert!(!status.success(), "child was killed, not finished");
+
+    // 3. Resume from whatever the crash left behind.
+    let mut resume_args = ingest_args(&src, &crash_pile);
+    resume_args[0] = "resume".into();
+    let resumed = run(&resume_args.iter().map(String::as_str).collect::<Vec<_>>());
+
+    // The header names the checkpoint the run restarted from; the oracle
+    // printed the very same line when it took that checkpoint.
+    let header = resumed.lines().next().expect("resume printed a header");
+    let rest = &resumed[header.len() + 1..];
+    let tail = header
+        .strip_prefix("resumed from checkpoint #")
+        .unwrap_or_else(|| panic!("unexpected resume header: {header}"));
+    let (ordinal, tail) = tail.split_once(" at wave ").unwrap();
+    let (wave, samples) = tail.split_once(", samples ").unwrap();
+    let anchor = format!("checkpoint #{ordinal} wave {wave} samples {samples}\n");
+    let pos = oracle
+        .find(&anchor)
+        .unwrap_or_else(|| panic!("oracle never took {anchor:?}"))
+        + anchor.len();
+
+    // Byte-identical event suffix: same per-stream events in the same
+    // order, same later checkpoint lines, same close flushes and summary.
+    assert_eq!(
+        &oracle[pos..],
+        rest,
+        "resumed run diverges from the uninterrupted oracle"
+    );
+
+    // And the final durable states agree bit-for-bit: the snapshot
+    // encoding serializes every f64 via to_bits, so file equality is
+    // bit-exactness of all float statistics too.
+    assert_eq!(
+        std::fs::read(dir.join("oracle.pile.snap")).unwrap(),
+        std::fs::read(&crash_snap).unwrap(),
+        "final snap files differ"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Crash-safety of the checkpoint file itself: a torn snap write must
+/// never eclipse the previous good checkpoint. The atomic write goes to
+/// `<snap>.tmp` first, so a stray torn temp file next to a good snap is
+/// exactly the post-crash disk state — resume must ignore it.
+#[test]
+fn torn_snap_tmp_does_not_break_resume() {
+    let dir = corpus("torn");
+    let src = dir.join("src");
+    let pile = dir.join("events.pile");
+    let args = ingest_args(&src, &pile);
+    run(&args.iter().map(String::as_str).collect::<Vec<_>>());
+
+    let snap = dir.join("events.pile.snap");
+    let good = std::fs::read(&snap).unwrap();
+    // A torn in-flight replacement: half the bytes, at the tmp path.
+    std::fs::write(snap.with_extension("snap.tmp"), &good[..good.len() / 2]).unwrap();
+
+    let mut resume_args = args.clone();
+    resume_args[0] = "resume".into();
+    let resumed = run(&resume_args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(resumed.contains("done: 9000 samples"), "{resumed}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -40,6 +40,7 @@
 //! sample-exact.
 
 use crate::metric::Metric;
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::spectrum::Spectrum;
 use crate::window::MirroredHistory;
 
@@ -369,6 +370,75 @@ impl<T: Copy, M: Metric<T>> IncrementalEngine<T, M> {
     #[inline]
     pub fn metric_ref(&self) -> &M {
         &self.metric
+    }
+
+    /// Serialize the engine state (not the configuration — the caller owns
+    /// that) into `w`. `put` encodes one sample of `T`.
+    pub(crate) fn snapshot_state(
+        &self,
+        w: &mut SnapshotWriter,
+        put: &impl Fn(&mut SnapshotWriter, T),
+    ) {
+        w.u64(self.pushed);
+        let hist = self.history.to_vec();
+        w.u64(hist.len() as u64);
+        for &s in &hist {
+            put(w, s);
+        }
+        w.u64(self.history.pushed());
+        w.u64(self.sums.len() as u64);
+        for &s in &self.sums {
+            w.f64(s);
+        }
+        for &p in &self.pairs {
+            w.u64(u64::from(p));
+        }
+    }
+
+    /// Rebuild an engine from serialized state under a known-valid
+    /// configuration. The running sums are restored verbatim — **never**
+    /// re-derived via [`IncrementalEngine::resync`], which could differ from
+    /// the incrementally-maintained values in the last ulp.
+    pub(crate) fn restore_state<'a>(
+        metric: M,
+        config: EngineConfig,
+        r: &mut SnapshotReader<'a>,
+        get: &impl Fn(&mut SnapshotReader<'a>) -> Result<T, SnapshotError>,
+    ) -> Result<Self, SnapshotError> {
+        let mut engine =
+            IncrementalEngine::new(metric, config).map_err(|_| SnapshotError::Malformed {
+                what: "engine configuration fails validation",
+            })?;
+        let pushed = r.u64()?;
+        let hist_len = r.count(
+            config.history_capacity(),
+            "history longer than configured capacity",
+        )?;
+        for _ in 0..hist_len {
+            let s = get(r)?;
+            engine.history.push(s);
+        }
+        engine.history.set_pushed(r.u64()?);
+        let m_max = r.u64()? as usize;
+        if m_max != config.m_max {
+            return Err(SnapshotError::Malformed {
+                what: "sums length disagrees with configured max delay",
+            });
+        }
+        for s in engine.sums.iter_mut() {
+            *s = r.f64()?;
+        }
+        for p in engine.pairs.iter_mut() {
+            let v = r.u64()?;
+            if v > u64::from(u32::MAX) {
+                return Err(SnapshotError::Malformed {
+                    what: "pair count overflows 32 bits",
+                });
+            }
+            *p = v as u32;
+        }
+        engine.pushed = pushed;
+        Ok(engine)
     }
 }
 

@@ -35,6 +35,10 @@
 //!   `docs/PREDICTION.md`),
 //! * [`autotune::WindowTuner`] — dynamic adjustment of the window size once a
 //!   satisfying periodicity has been found (paper §3.1/§4),
+//! * [`snapshot::Snapshot`] / [`snapshot::Restore`] — versioned,
+//!   bit-exact serialization of every stack's full state for crash-safe
+//!   checkpoint/restore (builder `restore_*` finishers validate the
+//!   snapshot against the builder's configuration),
 //! * [`capi::Dpd`] — the paper-faithful Table 1 interface.
 //!
 //! Every one of those stacks is constructed through **one typed entry
@@ -81,6 +85,7 @@ pub mod predict;
 pub mod prediction;
 pub mod segmentation;
 pub mod shard;
+pub mod snapshot;
 pub mod spectrum;
 pub mod streaming;
 pub mod window;
@@ -98,6 +103,7 @@ pub use pipeline::{BuildError, Detector, DpdBuilder, DpdEvent, EventSink};
 pub use predict::{Forecast, ForecastStats, ForecastingDpd, PredictConfig, Predictor};
 pub use prediction::PeriodicPredictor;
 pub use shard::{MultiStreamEvent, StreamId, StreamTable, TableConfig};
+pub use snapshot::{Restore, Snapshot, SnapshotError};
 pub use spectrum::Spectrum;
 pub use streaming::{MultiScaleDpd, SegmentEvent, StreamingConfig, StreamingDpd};
 

@@ -60,6 +60,7 @@ use crate::metric::{EventMetric, L1Metric};
 use crate::minima::MinimaPolicy;
 use crate::predict::{Forecast, ForecastingDpd, PredictConfig, Predictor};
 use crate::shard::{MultiStreamEvent, StreamId, StreamTable, TableConfig};
+use crate::snapshot::{Restore, SnapshotError};
 use crate::streaming::{MultiScaleDpd, SegmentEvent, StreamingConfig, StreamingDpd};
 use crate::DpdError;
 
@@ -136,6 +137,10 @@ pub enum BuildError {
     /// [`DpdBuilder::sweep_every`] paces idle-stream sweeps of a keyed
     /// table or service; it has no meaning on a single-stream stack.
     SweepWithoutKeyed,
+    /// A `restore_*` finisher could not reconstruct the stack from the
+    /// snapshot bytes (truncated/corrupt image, wrong type tag, or a
+    /// configuration mismatch against the builder's options).
+    Snapshot(SnapshotError),
 }
 
 impl core::fmt::Display for BuildError {
@@ -202,6 +207,8 @@ impl core::fmt::Display for BuildError {
             BuildError::SweepWithoutKeyed => {
                 write!(f, "sweep_every(..) only paces keyed tables and services")
             }
+            // Transparent like Detector: the snapshot error is the message.
+            BuildError::Snapshot(e) => write!(f, "{e}"),
         }
     }
 }
@@ -210,6 +217,7 @@ impl std::error::Error for BuildError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             BuildError::Detector(e) => Some(e),
+            BuildError::Snapshot(e) => Some(e),
             _ => None,
         }
     }
@@ -218,6 +226,12 @@ impl std::error::Error for BuildError {
 impl From<DpdError> for BuildError {
     fn from(e: DpdError) -> Self {
         BuildError::Detector(e)
+    }
+}
+
+impl From<SnapshotError> for BuildError {
+    fn from(e: SnapshotError) -> Self {
+        BuildError::Snapshot(e)
     }
 }
 
@@ -811,6 +825,106 @@ impl DpdBuilder {
             shards,
             sweep_every: self.resolved_sweep_every(),
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Restore finishers: rebuild a stack bit-exactly from snapshot bytes
+    // (see [`crate::snapshot`]). Each finisher first validates the
+    // builder's options exactly like its `build_*` twin, then checks the
+    // snapshot's embedded configuration against what this builder would
+    // assemble — restoring a checkpoint into a differently-configured
+    // stack is a [`BuildError::Snapshot`] error, never silent drift.
+
+    /// Restore an event-stream detector snapshot
+    /// (the [`build_detector`](DpdBuilder::build_detector) twin).
+    pub fn restore_detector(
+        &self,
+        bytes: &[u8],
+    ) -> Result<StreamingDpd<i64, EventMetric>, BuildError> {
+        let expected = self.build_detector()?.config();
+        let restored = StreamingDpd::<i64, EventMetric>::restore(bytes)?;
+        if restored.config() != expected {
+            return Err(BuildError::Snapshot(SnapshotError::ConfigMismatch {
+                what: "detector configuration",
+            }));
+        }
+        Ok(restored)
+    }
+
+    /// Restore a magnitude-stream detector snapshot
+    /// (the [`build_magnitude_detector`](DpdBuilder::build_magnitude_detector) twin).
+    pub fn restore_magnitude_detector(
+        &self,
+        bytes: &[u8],
+    ) -> Result<StreamingDpd<f64, L1Metric>, BuildError> {
+        let expected = self.build_magnitude_detector()?.config();
+        let restored = StreamingDpd::<f64, L1Metric>::restore(bytes)?;
+        if restored.config() != expected {
+            return Err(BuildError::Snapshot(SnapshotError::ConfigMismatch {
+                what: "magnitude detector configuration",
+            }));
+        }
+        Ok(restored)
+    }
+
+    /// Restore a multi-scale bank snapshot
+    /// (the [`build_multi_scale`](DpdBuilder::build_multi_scale) twin).
+    pub fn restore_multi_scale(&self, bytes: &[u8]) -> Result<MultiScaleDpd, BuildError> {
+        let expected = self.build_multi_scale()?;
+        let restored = MultiScaleDpd::restore(bytes)?;
+        let windows = |bank: &MultiScaleDpd| -> Vec<usize> {
+            bank.scales().iter().map(|d| d.window()).collect()
+        };
+        if windows(&restored) != windows(&expected) {
+            return Err(BuildError::Snapshot(SnapshotError::ConfigMismatch {
+                what: "multi-scale window set",
+            }));
+        }
+        Ok(restored)
+    }
+
+    /// Restore a paper-interface detector snapshot
+    /// (the [`build_capi`](DpdBuilder::build_capi) twin).
+    pub fn restore_capi(&self, bytes: &[u8]) -> Result<Dpd, BuildError> {
+        let expected = self.build_capi()?.inner().config();
+        let restored = Dpd::restore(bytes)?;
+        if restored.inner().config() != expected {
+            return Err(BuildError::Snapshot(SnapshotError::ConfigMismatch {
+                what: "detector configuration",
+            }));
+        }
+        Ok(restored)
+    }
+
+    /// Restore a detector + forecaster snapshot
+    /// (the [`build_forecasting`](DpdBuilder::build_forecasting) twin).
+    pub fn restore_forecasting(&self, bytes: &[u8]) -> Result<ForecastingDpd, BuildError> {
+        let expected = self.build_forecasting()?;
+        let restored = ForecastingDpd::restore(bytes)?;
+        if restored.dpd().config() != expected.dpd().config() {
+            return Err(BuildError::Snapshot(SnapshotError::ConfigMismatch {
+                what: "detector configuration",
+            }));
+        }
+        if restored.predictor().config() != expected.predictor().config() {
+            return Err(BuildError::Snapshot(SnapshotError::ConfigMismatch {
+                what: "forecaster configuration",
+            }));
+        }
+        Ok(restored)
+    }
+
+    /// Restore a keyed stream-table snapshot
+    /// (the [`build_table`](DpdBuilder::build_table) twin).
+    pub fn restore_table(&self, bytes: &[u8]) -> Result<StreamTable, BuildError> {
+        let expected = self.table_config()?;
+        let restored = StreamTable::restore(bytes)?;
+        if *restored.config() != expected {
+            return Err(BuildError::Snapshot(SnapshotError::ConfigMismatch {
+                what: "table configuration",
+            }));
+        }
+        Ok(restored)
     }
 }
 
@@ -1414,6 +1528,7 @@ mod tests {
             BuildError::ShardsOnTable,
             BuildError::ShardsRequired,
             BuildError::SweepWithoutKeyed,
+            BuildError::Snapshot(SnapshotError::Truncated),
         ];
         for v in variants {
             let msg = v.to_string();
@@ -1425,7 +1540,7 @@ mod tests {
             assert!(!msg.ends_with('.'), "{v:?} message ends with a period");
             // std::error::Error is wired up, with sources on wrappers.
             let err: &dyn std::error::Error = &v;
-            if matches!(v, BuildError::Detector(_)) {
+            if matches!(v, BuildError::Detector(_) | BuildError::Snapshot(_)) {
                 assert!(err.source().is_some());
             } else {
                 assert!(err.source().is_none());

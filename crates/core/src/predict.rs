@@ -75,6 +75,7 @@
 //! ```
 
 use crate::metric::EventMetric;
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::streaming::{SegmentEvent, StreamingConfig, StreamingDpd};
 use crate::window::RingWindow;
 use std::collections::VecDeque;
@@ -424,6 +425,83 @@ impl Predictor {
             confidence: self.confidence(),
             period,
         })
+    }
+
+    /// Serialize the full predictor state — configuration, history, lock,
+    /// outstanding predictions and statistics — into `w`. The confidence
+    /// EWMA and the error accumulators travel as raw bit patterns.
+    pub(crate) fn snapshot_state(&self, w: &mut SnapshotWriter) {
+        crate::snapshot::write_predict_config(w, &self.config);
+        let hist = self.history.to_vec();
+        w.u64(hist.len() as u64);
+        for &s in &hist {
+            w.i64(s);
+        }
+        w.u64(self.history.pushed());
+        match self.lock {
+            Some(Lock { period, ewma }) => {
+                w.bool(true);
+                w.u64(period as u64);
+                w.f64(ewma);
+            }
+            None => w.bool(false),
+        }
+        w.u64(self.pos);
+        w.u64(self.pending.len() as u64);
+        for p in &self.pending {
+            w.u64(p.pos);
+            w.i64(p.value);
+        }
+        w.u64(self.stats.issued);
+        w.u64(self.stats.checked);
+        w.u64(self.stats.hits);
+        w.f64(self.stats.abs_err_sum);
+        w.f64(self.stats.ape_sum);
+        w.u64(self.stats.ape_checked);
+        w.u64(self.stats.invalidations);
+        w.u64(self.stats.dropped);
+    }
+
+    /// Rebuild a predictor from serialized state.
+    pub(crate) fn restore_state(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let config = crate::snapshot::read_predict_config(r)?;
+        let mut p = Predictor::new(config);
+        let hist_len = r.count(config.window, "history longer than configured window")?;
+        for _ in 0..hist_len {
+            let s = r.i64()?;
+            p.history.push(s);
+        }
+        p.history.set_pushed(r.u64()?);
+        if r.bool()? {
+            let period = r.u64()? as usize;
+            if period == 0 {
+                return Err(SnapshotError::Malformed {
+                    what: "locked forecast period is zero",
+                });
+            }
+            p.lock = Some(Lock {
+                period,
+                ewma: r.f64()?,
+            });
+        }
+        p.pos = r.u64()?;
+        let n_pending = r.count(config.horizon, "more pending predictions than the horizon")?;
+        for _ in 0..n_pending {
+            let pos = r.u64()?;
+            let value = r.i64()?;
+            p.pending.push_back(Pending { pos, value });
+        }
+        p.stats = ForecastStats {
+            issued: r.u64()?,
+            checked: r.u64()?,
+            hits: r.u64()?,
+            abs_err_sum: r.f64()?,
+            ape_sum: r.f64()?,
+            ape_checked: r.u64()?,
+            invalidations: r.u64()?,
+            dropped: r.u64()?,
+        };
+        Ok(p)
     }
 }
 

@@ -20,6 +20,7 @@
 //! each batch — never on which other streams happen to share the table.
 
 use crate::predict::{Forecast, ForecastStats, PredictConfig, Predictor};
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::streaming::{SegmentEvent, StreamStats, StreamingConfig, StreamingDpd};
 use crate::EventMetric;
 use std::collections::HashMap;
@@ -440,6 +441,108 @@ impl StreamTable {
         let evicted = before - self.streams.len();
         self.stats.evicted += evicted as u64;
         evicted
+    }
+
+    /// Serialize the full table state — configuration, rollup counters and
+    /// every live stream entry (ascending by id, so the byte image is
+    /// independent of hash-map iteration order) — into `w`.
+    pub(crate) fn snapshot_state(&self, w: &mut SnapshotWriter) {
+        crate::snapshot::write_streaming_config(w, &self.config.detector);
+        w.u64(self.config.evict_after);
+        w.u64(self.config.forecast_horizon as u64);
+        w.u64(self.stats.created);
+        w.u64(self.stats.samples);
+        w.u64(self.stats.events);
+        w.u64(self.stats.evicted);
+        w.u64(self.stats.closed);
+        w.u64(self.stats.forecast_checked);
+        w.u64(self.stats.forecast_hits);
+        w.u64(self.stats.forecast_invalidations);
+        w.u64(self.streams.len() as u64);
+        for id in self.stream_ids() {
+            let entry = &self.streams[&id.0];
+            w.u64(id.0);
+            w.u64(entry.last_seq);
+            entry.dpd.snapshot_state(w, &|w, v| w.i64(v));
+            match entry.predictor.as_ref() {
+                Some(p) => {
+                    w.bool(true);
+                    p.snapshot_state(w);
+                }
+                None => w.bool(false),
+            }
+        }
+    }
+
+    /// Rebuild a table from serialized state.
+    pub(crate) fn restore_state(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let detector = crate::snapshot::read_streaming_config(r)?;
+        let config = TableConfig {
+            detector,
+            evict_after: r.u64()?,
+            forecast_horizon: r.u64()? as usize,
+        };
+        if detector.window == 0 || detector.m_max == 0 || detector.m_max > detector.window {
+            return Err(SnapshotError::Malformed {
+                what: "table detector configuration fails validation",
+            });
+        }
+        let mut table = StreamTable::new(config);
+        table.stats = TableStats {
+            streams: 0,
+            created: r.u64()?,
+            samples: r.u64()?,
+            events: r.u64()?,
+            evicted: r.u64()?,
+            closed: r.u64()?,
+            forecast_checked: r.u64()?,
+            forecast_hits: r.u64()?,
+            forecast_invalidations: r.u64()?,
+        };
+        let n = r.count(1 << 32, "implausible live-stream count")?;
+        table.streams.reserve(n);
+        let mut prev: Option<u64> = None;
+        for _ in 0..n {
+            let id = r.u64()?;
+            if prev.is_some_and(|p| p >= id) {
+                return Err(SnapshotError::Malformed {
+                    what: "stream entries out of ascending id order",
+                });
+            }
+            prev = Some(id);
+            let last_seq = r.u64()?;
+            let dpd = StreamingDpd::restore_state(EventMetric, r, &|r| r.i64())?;
+            if dpd.config() != config.detector {
+                return Err(SnapshotError::Malformed {
+                    what: "stream detector configuration disagrees with table",
+                });
+            }
+            let predictor = if r.bool()? {
+                let p = Predictor::restore_state(r)?;
+                if Some(p.config()) != config.predict_config() {
+                    return Err(SnapshotError::Malformed {
+                        what: "stream predictor configuration disagrees with table",
+                    });
+                }
+                Some(p)
+            } else {
+                if config.forecast_horizon > 0 {
+                    return Err(SnapshotError::Malformed {
+                        what: "forecasting table entry lacks a predictor",
+                    });
+                }
+                None
+            };
+            table.streams.insert(
+                id,
+                StreamEntry {
+                    dpd,
+                    predictor,
+                    last_seq,
+                },
+            );
+        }
+        Ok(table)
     }
 }
 

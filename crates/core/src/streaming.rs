@@ -19,6 +19,7 @@
 use crate::incremental::{EngineConfig, IncrementalEngine};
 use crate::metric::{EventMetric, L1Metric, Metric};
 use crate::minima::MinimaPolicy;
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::spectrum::Spectrum;
 
 /// Configuration of a [`StreamingDpd`].
@@ -461,6 +462,114 @@ impl<T: Copy + PartialEq, M: Metric<T>> StreamingDpd<T, M> {
     fn at_age(&self, age: usize) -> Option<T> {
         self.engine.history_ago(age)
     }
+
+    /// The full configuration (snapshot/restore validation hook).
+    pub(crate) fn config(&self) -> StreamingConfig {
+        self.config
+    }
+
+    /// Serialize the full detector state — configuration, engine,
+    /// segmentation state machine and statistics — into `w`.
+    pub(crate) fn snapshot_state(
+        &self,
+        w: &mut SnapshotWriter,
+        put: &impl Fn(&mut SnapshotWriter, T),
+    ) {
+        crate::snapshot::write_streaming_config(w, &self.config);
+        self.engine.snapshot_state(w, put);
+        match self.state {
+            State::Searching { candidate, agree } => {
+                w.u8(0);
+                w.bool(candidate.is_some());
+                w.u64(candidate.unwrap_or(0) as u64);
+                w.u64(agree as u64);
+            }
+            State::Locked {
+                period,
+                anchor,
+                phase,
+                misses,
+            } => {
+                w.u8(1);
+                w.u64(period as u64);
+                put(w, anchor);
+                w.u64(phase as u64);
+                w.u64(misses as u64);
+            }
+        }
+        w.u64(self.stats.periods.len() as u64);
+        for &(p, n) in &self.stats.periods {
+            w.u64(p as u64);
+            w.u64(n);
+        }
+        w.u64(self.stats.samples);
+        w.u64(self.stats.boundaries);
+        w.u64(self.stats.losses);
+    }
+
+    /// Rebuild a detector from serialized state. The embedded configuration
+    /// is re-validated through [`StreamingDpd::new`]; the engine sums are
+    /// restored verbatim, never re-derived.
+    pub(crate) fn restore_state<'a>(
+        metric: M,
+        r: &mut SnapshotReader<'a>,
+        get: &impl Fn(&mut SnapshotReader<'a>) -> Result<T, SnapshotError>,
+    ) -> Result<Self, SnapshotError> {
+        let config = crate::snapshot::read_streaming_config(r)?;
+        let probe = StreamingDpd::new(metric, config).map_err(|_| SnapshotError::Malformed {
+            what: "detector configuration fails validation",
+        })?;
+        let metric = probe.engine.metric_ref().clone();
+        let engine = IncrementalEngine::restore_state(metric, config.engine_config(), r, get)?;
+        let state = match r.u8()? {
+            0 => {
+                let has_candidate = r.bool()?;
+                let candidate = r.u64()? as usize;
+                State::Searching {
+                    candidate: has_candidate.then_some(candidate),
+                    agree: r.u64()? as usize,
+                }
+            }
+            1 => {
+                let period = r.u64()? as usize;
+                if period == 0 || period > config.m_max {
+                    return Err(SnapshotError::Malformed {
+                        what: "locked period outside the configured delay range",
+                    });
+                }
+                State::Locked {
+                    period,
+                    anchor: get(r)?,
+                    phase: r.u64()? as usize,
+                    misses: r.u64()? as usize,
+                }
+            }
+            _ => {
+                return Err(SnapshotError::Malformed {
+                    what: "unknown segmentation state tag",
+                })
+            }
+        };
+        let n_periods = r.count(1 << 24, "implausible distinct-period count")?;
+        let mut periods = Vec::with_capacity(n_periods);
+        for _ in 0..n_periods {
+            let p = r.u64()? as usize;
+            let n = r.u64()?;
+            periods.push((p, n));
+        }
+        let stats = StreamStats {
+            periods,
+            samples: r.u64()?,
+            boundaries: r.u64()?,
+            losses: r.u64()?,
+        };
+        Ok(StreamingDpd {
+            engine,
+            config,
+            state,
+            stats,
+        })
+    }
 }
 
 /// A bank of event-stream detectors at several window sizes.
@@ -596,6 +705,12 @@ impl MultiScaleDpd {
     /// Access the per-scale detectors.
     pub fn scales(&self) -> &[StreamingDpd<i64, EventMetric>] {
         &self.scales
+    }
+
+    /// Reassemble a bank from restored per-scale detectors (snapshot
+    /// restore only; the caller guarantees `scales` is non-empty).
+    pub(crate) fn from_scales(scales: Vec<StreamingDpd<i64, EventMetric>>) -> Self {
+        MultiScaleDpd { scales }
     }
 }
 

@@ -145,6 +145,13 @@ impl<T: Copy> RingWindow<T> {
         self.len = 0;
     }
 
+    /// Overwrite the lifetime push counter (snapshot restore only: the
+    /// restored window must report the same `pushed()` as the one that was
+    /// serialized, even though its contents were re-pushed here).
+    pub(crate) fn set_pushed(&mut self, n: u64) {
+        self.pushed = n;
+    }
+
     /// Grow or shrink the retention capacity, preserving the most recent
     /// samples that fit. Used by the dynamic window-size interface
     /// (`DPDWindowSize`, paper Table 1).
@@ -304,6 +311,12 @@ impl<T: Copy> MirroredHistory<T> {
     pub fn clear(&mut self) {
         self.head = 0;
         self.len = 0;
+    }
+
+    /// Overwrite the lifetime push counter (snapshot restore only; see
+    /// [`RingWindow::set_pushed`]).
+    pub(crate) fn set_pushed(&mut self, n: u64) {
+        self.pushed = n;
     }
 
     /// Grow or shrink the retention capacity, preserving the most recent

@@ -21,7 +21,9 @@
 //!   SelfAnalyzer's speedup estimates);
 //! * [`service`] — the sharded multi-stream DPD service: parallel
 //!   ingestion of thousands of concurrent streams over per-shard worker
-//!   threads, with a deterministic single-threaded fallback.
+//!   threads, with a deterministic single-threaded fallback, plus durable
+//!   crash-safe state via [`service::MultiStreamDpd::checkpoint`] /
+//!   [`service::MultiStreamDpd::resume`].
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -42,5 +44,5 @@ pub mod workload;
 pub use cpustat::{CpuTimeline, CpuUsage};
 pub use machine::{LoopSpec, Machine, MachineConfig, VirtualSpan};
 pub use pool::ThreadPool;
-pub use service::{MultiStreamDpd, ServiceConfig, ServiceSnapshot, ShardStats};
+pub use service::{CheckpointError, MultiStreamDpd, ServiceConfig, ServiceSnapshot, ShardStats};
 pub use vclock::VirtualClock;

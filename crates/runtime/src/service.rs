@@ -27,10 +27,24 @@
 //! Stream lifecycle: streams are created lazily on first sample, evicted
 //! after sitting idle past a sample-count watermark, and closed explicitly
 //! (or by [`MultiStreamDpd::finish`]) with a final segmentation flush event.
+//!
+//! * **Durability.** [`MultiStreamDpd::checkpoint`] quiesces every shard,
+//!   snapshots the full detector state of the whole service (bit-exact,
+//!   via `dpd_core::snapshot`) and writes it to a single-file pile
+//!   container atomically (write to `<path>.tmp`, fsync, rename, fsync
+//!   the directory). [`MultiStreamDpd::resume`] rebuilds the service from
+//!   that file and continues emitting exactly the event suffix an
+//!   uninterrupted run would have emitted.
 
 use crossbeam::channel::{unbounded, Sender};
 use dpd_core::pipeline::{BuildError, DpdBuilder, DpdEvent, EventSink};
 use dpd_core::shard::{shard_of, MultiStreamEvent, StreamId, StreamTable, TableConfig};
+use dpd_core::snapshot::{
+    Restore, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, TAG_SERVICE,
+};
+use dpd_trace::pile::{recover, EpochMarker, PileError, PileFrame, PileWriter};
+use std::fs::{self, File};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -173,6 +187,89 @@ impl ServiceSnapshot {
     }
 }
 
+/// Errors produced by [`MultiStreamDpd::checkpoint`] and
+/// [`MultiStreamDpd::resume`].
+///
+/// `#[non_exhaustive]`: downstream matches must carry a wildcard arm.
+/// Every variant renders a lowercase, period-free
+/// [`Display`](core::fmt::Display) message (asserted by a unit test).
+#[non_exhaustive]
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// A filesystem operation outside the pile layer failed (read,
+    /// rename, directory fsync).
+    Io(std::io::Error),
+    /// The checkpoint pile container could not be written or decoded.
+    Pile(PileError),
+    /// The embedded state snapshot is truncated, malformed, or from an
+    /// incompatible version.
+    Snapshot(SnapshotError),
+    /// The builder passed to [`MultiStreamDpd::resume`] does not describe
+    /// a coherent service.
+    Build(BuildError),
+    /// The recovered pile prefix holds no checkpoint frame.
+    NoCheckpoint,
+    /// The checkpointed service disagrees with the builder's
+    /// configuration (`what` names the first mismatching option).
+    ConfigMismatch {
+        /// Which configuration aspect disagreed.
+        what: &'static str,
+    },
+}
+
+impl core::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint file io failure: {e}"),
+            CheckpointError::Pile(e) => write!(f, "{e}"),
+            CheckpointError::Snapshot(e) => write!(f, "{e}"),
+            CheckpointError::Build(e) => write!(f, "{e}"),
+            CheckpointError::NoCheckpoint => {
+                write!(f, "no checkpoint frame in the recovered pile prefix")
+            }
+            CheckpointError::ConfigMismatch { what } => {
+                write!(f, "checkpoint does not match the builder: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Pile(e) => Some(e),
+            CheckpointError::Snapshot(e) => Some(e),
+            CheckpointError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<PileError> for CheckpointError {
+    fn from(e: PileError) -> Self {
+        CheckpointError::Pile(e)
+    }
+}
+
+impl From<SnapshotError> for CheckpointError {
+    fn from(e: SnapshotError) -> Self {
+        CheckpointError::Snapshot(e)
+    }
+}
+
+impl From<BuildError> for CheckpointError {
+    fn from(e: BuildError) -> Self {
+        CheckpointError::Build(e)
+    }
+}
+
 /// Lock-free per-shard counters published by workers, read by `snapshot`.
 #[derive(Debug, Default)]
 struct ShardShared {
@@ -215,6 +312,10 @@ enum Cmd {
     Close(u64, StreamId),
     /// Quiesce barrier: ack once every earlier command is processed.
     Flush(mpsc::Sender<()>),
+    /// Checkpoint barrier: reply with the shard's full serialized table
+    /// state plus its local clock and sweep phase. Read-only; the shard
+    /// keeps running on the same table afterwards.
+    Snapshot(mpsc::Sender<(Vec<u8>, u64, u64)>),
     /// Final sweep at the given global clock + close of every live stream.
     Finish(u64, mpsc::Sender<()>),
 }
@@ -313,33 +414,10 @@ impl MultiStreamDpd {
                 events: Vec::new(),
             }
         } else {
-            let (sink_tx, sink_rx) = mpsc::channel();
-            let stats: Arc<Vec<ShardShared>> =
-                Arc::new((0..config.shards).map(|_| ShardShared::default()).collect());
-            let mut txs = Vec::with_capacity(config.shards);
-            let mut workers = Vec::with_capacity(config.shards);
-            for shard in 0..config.shards {
-                let (tx, rx) = unbounded::<Cmd>();
-                let sink = sink_tx.clone();
-                let stats = Arc::clone(&stats);
-                let table_config = config.table;
-                let sweep_every = config.sweep_every;
-                workers.push(
-                    std::thread::Builder::new()
-                        .name(format!("dpd-shard-{shard}"))
-                        .spawn(move || {
-                            shard_worker(rx, sink, &stats[shard], table_config, sweep_every)
-                        })
-                        .expect("failed to spawn shard worker"),
-                );
-                txs.push(tx);
-            }
-            Mode::Sharded(Sharded {
-                txs,
-                workers,
-                sink: sink_rx,
-                stats,
-            })
+            Mode::Sharded(spawn_sharded(
+                &config,
+                (0..config.shards).map(|_| None).collect(),
+            ))
         };
         MultiStreamDpd {
             mode,
@@ -523,6 +601,177 @@ impl MultiStreamDpd {
         (events, snapshot)
         // Drop joins the workers.
     }
+
+    /// Checkpoint the whole service to `path`, durably and atomically.
+    ///
+    /// Quiesces every shard, captures a bit-exact snapshot of the full
+    /// detector state (every stream's detector, forecaster, statistics and
+    /// the global sample clock), and writes it as a single-file pile
+    /// container carrying one checkpoint frame plus the given epoch
+    /// `marker`. The file appears atomically: the bytes go to
+    /// `<path>.tmp`, are fsynced, renamed over `path`, and the directory
+    /// is fsynced — a crash at any point leaves either the previous
+    /// checkpoint or the new one, never a torn file.
+    ///
+    /// Returns every event published up to the checkpoint (the service
+    /// sink is drained as part of quiescing); the caller owns delivering
+    /// them. The service keeps running — checkpointing is a read-only
+    /// barrier, not a shutdown.
+    pub fn checkpoint(
+        &mut self,
+        path: impl AsRef<Path>,
+        marker: EpochMarker,
+    ) -> Result<Vec<MultiStreamEvent>, CheckpointError> {
+        self.flush();
+        let entries: Vec<(Vec<u8>, u64, u64)> = match &mut self.mode {
+            Mode::Inline { table, .. } => {
+                vec![(table.snapshot(), self.ingested, self.since_sweep)]
+            }
+            Mode::Sharded(sh) => {
+                let mut acks = Vec::with_capacity(sh.txs.len());
+                for tx in &sh.txs {
+                    let (ack_tx, ack_rx) = mpsc::channel();
+                    tx.send(Cmd::Snapshot(ack_tx))
+                        .expect("shard worker exited early");
+                    acks.push(ack_rx);
+                }
+                acks.iter()
+                    .map(|rx| rx.recv().expect("shard worker dropped snapshot ack"))
+                    .collect()
+            }
+        };
+        let events = self.drain();
+        let mut w = SnapshotWriter::envelope(TAG_SERVICE);
+        w.u64(self.config.shards as u64);
+        w.u64(self.config.sweep_every);
+        w.u64(self.ingested);
+        w.u64(entries.len() as u64);
+        for (bytes, clock, since_sweep) in &entries {
+            w.bytes(bytes);
+            w.u64(*clock);
+            w.u64(*since_sweep);
+        }
+        write_checkpoint_file(path.as_ref(), &w.into_bytes(), marker)?;
+        Ok(events)
+    }
+
+    /// Rebuild a service from a checkpoint file written by
+    /// [`MultiStreamDpd::checkpoint`].
+    ///
+    /// The `builder` must describe the same service that took the
+    /// checkpoint (shard count, sweep interval, and per-stream table
+    /// configuration are all validated —
+    /// [`CheckpointError::ConfigMismatch`] otherwise). The file is scanned
+    /// with the pile crash-recovery policy, so a torn tail from a crash
+    /// mid-write of a *later* append is ignored; the last intact
+    /// checkpoint frame wins. Returns the service plus the epoch marker
+    /// identifying where ingestion should restart. The resumed service
+    /// continues the original event stream bit-identically: replaying the
+    /// post-checkpoint suffix of the input yields exactly the events an
+    /// uninterrupted run would have emitted.
+    pub fn resume(
+        builder: &DpdBuilder,
+        path: impl AsRef<Path>,
+    ) -> Result<(Self, EpochMarker), CheckpointError> {
+        let config = ServiceConfig::from_builder(builder)?;
+        let data = fs::read(path)?;
+        let rec = recover(&data);
+        let mut payload: Option<&[u8]> = None;
+        for frame in &rec.frames {
+            if let PileFrame::Checkpoint(p) = frame {
+                payload = Some(p);
+            }
+        }
+        let payload = payload.ok_or(CheckpointError::NoCheckpoint)?;
+        let marker = rec.last_epoch.unwrap_or(EpochMarker {
+            wave: 0,
+            samples: 0,
+            ordinal: 0,
+        });
+
+        let mut r = SnapshotReader::envelope(payload, TAG_SERVICE)?;
+        if r.u64()? as usize != config.shards {
+            return Err(CheckpointError::ConfigMismatch {
+                what: "shard count",
+            });
+        }
+        if r.u64()? != config.sweep_every {
+            return Err(CheckpointError::ConfigMismatch {
+                what: "sweep interval",
+            });
+        }
+        let ingested = r.u64()?;
+        let expected = config.shards.max(1);
+        let n = r.count(4096, "implausible shard-state count")?;
+        if n != expected {
+            return Err(CheckpointError::Snapshot(SnapshotError::Malformed {
+                what: "shard-state count disagrees with the shard count",
+            }));
+        }
+        let mut entries: Vec<ShardInit> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let bytes = r.bytes()?.to_vec();
+            let clock = r.u64()?;
+            let since_sweep = r.u64()?;
+            let table = StreamTable::restore(&bytes)?;
+            if *table.config() != config.table {
+                return Err(CheckpointError::ConfigMismatch {
+                    what: "table configuration",
+                });
+            }
+            entries.push((table, clock, since_sweep));
+        }
+        r.finish()?;
+
+        let (mode, since_sweep) = if config.shards == 0 {
+            let (table, _clock, since_sweep) = entries.pop().expect("count checked above");
+            (
+                Mode::Inline {
+                    table,
+                    events: Vec::new(),
+                },
+                since_sweep,
+            )
+        } else {
+            let inits = entries.into_iter().map(Some).collect();
+            (Mode::Sharded(spawn_sharded(&config, inits)), 0)
+        };
+        Ok((
+            MultiStreamDpd {
+                mode,
+                config,
+                ingested,
+                since_sweep,
+            },
+            marker,
+        ))
+    }
+}
+
+/// Write `payload` + `marker` as a fresh single-checkpoint pile at `path`,
+/// atomically: build `<path>.tmp`, fsync it, rename over `path`, fsync
+/// the containing directory.
+fn write_checkpoint_file(
+    path: &Path,
+    payload: &[u8],
+    marker: EpochMarker,
+) -> Result<(), CheckpointError> {
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    let mut w = PileWriter::new(File::create(&tmp)?)?;
+    w.checkpoint(payload)?;
+    w.epoch(marker)?;
+    let file = w.into_inner()?;
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            File::open(dir)?.sync_all()?;
+        }
+    }
+    Ok(())
 }
 
 impl Drop for MultiStreamDpd {
@@ -536,17 +785,60 @@ impl Drop for MultiStreamDpd {
     }
 }
 
+/// Restored state one shard worker starts from: its table, the highest
+/// global sample clock it had seen, and its sweep phase.
+type ShardInit = (StreamTable, u64, u64);
+
+/// Spawn the worker threads of a sharded service. `inits[shard]` seeds the
+/// worker with checkpointed state ([`MultiStreamDpd::resume`]); `None`
+/// starts it on a fresh table.
+fn spawn_sharded(config: &ServiceConfig, inits: Vec<Option<ShardInit>>) -> Sharded {
+    debug_assert_eq!(inits.len(), config.shards);
+    let (sink_tx, sink_rx) = mpsc::channel();
+    let stats: Arc<Vec<ShardShared>> =
+        Arc::new((0..config.shards).map(|_| ShardShared::default()).collect());
+    let mut txs = Vec::with_capacity(config.shards);
+    let mut workers = Vec::with_capacity(config.shards);
+    for (shard, init) in inits.into_iter().enumerate() {
+        let (tx, rx) = unbounded::<Cmd>();
+        let sink = sink_tx.clone();
+        let stats = Arc::clone(&stats);
+        let table_config = config.table;
+        let sweep_every = config.sweep_every;
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("dpd-shard-{shard}"))
+                .spawn(move || {
+                    shard_worker(rx, sink, &stats[shard], table_config, sweep_every, init)
+                })
+                .expect("failed to spawn shard worker"),
+        );
+        txs.push(tx);
+    }
+    Sharded {
+        txs,
+        workers,
+        sink: sink_rx,
+        stats,
+    }
+}
+
 fn shard_worker(
     rx: crossbeam::channel::Receiver<Cmd>,
     sink: mpsc::Sender<Vec<MultiStreamEvent>>,
     shared: &ShardShared,
     table_config: TableConfig,
     sweep_every: u64,
+    init: Option<ShardInit>,
 ) {
-    let mut table = StreamTable::new(table_config);
+    let (mut table, mut clock, mut since_sweep) = match init {
+        Some((table, clock, since_sweep)) => (table, clock, since_sweep),
+        None => (StreamTable::new(table_config), 0u64, 0u64),
+    };
     let mut out: Vec<MultiStreamEvent> = Vec::new();
-    let mut since_sweep = 0u64;
-    let mut clock = 0u64; // highest global sample clock seen by this shard
+    // Publish the starting rollups so a resumed service's `snapshot`
+    // reflects the restored streams before the first routed record.
+    publish(&table, shared, &mut out, &sink);
     while let Ok(cmd) = rx.recv() {
         match cmd {
             Cmd::Batches(records) => {
@@ -572,6 +864,11 @@ fn shard_worker(
                 // iterations; ack after publishing this round too.
                 publish(&table, shared, &mut out, &sink);
                 let _ = ack.send(());
+                continue;
+            }
+            Cmd::Snapshot(ack) => {
+                publish(&table, shared, &mut out, &sink);
+                let _ = ack.send((table.snapshot(), clock, since_sweep));
                 continue;
             }
             Cmd::Finish(seq, ack) => {
@@ -854,5 +1151,201 @@ mod tests {
         let (events, snap) = svc.finish();
         assert!(events.is_empty());
         assert_eq!(snap.total().samples, 0);
+    }
+
+    /// Unique checkpoint path in a fresh temp directory.
+    fn ckpt_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dpd-svc-ckpt-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("state.snap")
+    }
+
+    fn marker(wave: u64, samples: u64, ordinal: u64) -> EpochMarker {
+        EpochMarker {
+            wave,
+            samples,
+            ordinal,
+        }
+    }
+
+    /// Checkpoint mid-run, resume, continue: the combined event stream is
+    /// bit-identical to an uninterrupted run, in both modes, including
+    /// forecasting rollups and idle-stream eviction.
+    #[test]
+    fn checkpoint_resume_is_bit_identical_to_uninterrupted_run() {
+        for shards in [0usize, 3] {
+            let builder = DpdBuilder::new()
+                .window(8)
+                .forecast(2)
+                .evict_after(200)
+                .shards(shards);
+
+            let mut oracle = MultiStreamDpd::from_builder(&builder).unwrap();
+            drive(&mut oracle, 12, 6, 30);
+            let (oracle_events, oracle_snap) = oracle.finish();
+
+            let path = ckpt_path(&format!("roundtrip-{shards}"));
+            let mut first = MultiStreamDpd::from_builder(&builder).unwrap();
+            drive(&mut first, 12, 6, 13);
+            let mut events = first
+                .checkpoint(&path, marker(13, first.samples_ingested(), 1))
+                .unwrap();
+            drop(first); // the "crash": the first process goes away
+
+            let (mut resumed, m) = MultiStreamDpd::resume(&builder, &path).unwrap();
+            assert_eq!(m.wave, 13);
+            assert_eq!(m.ordinal, 1);
+            assert_eq!(resumed.samples_ingested(), m.samples);
+            // Replay the suffix the oracle saw after wave 13.
+            for r in 13..30u64 {
+                let owned: Vec<(StreamId, Vec<i64>)> = (0..12u64)
+                    .map(|s| (StreamId(s), periodic(s % 7 + 2, r * 6, 6)))
+                    .collect();
+                let records: Vec<(StreamId, &[i64])> =
+                    owned.iter().map(|(s, v)| (*s, v.as_slice())).collect();
+                resumed.ingest(&records);
+            }
+            let (tail, snap) = resumed.finish();
+            events.extend(tail);
+
+            assert_eq!(
+                by_stream(&events),
+                by_stream(&oracle_events),
+                "shards={shards}"
+            );
+            assert_eq!(snap.total().samples, oracle_snap.total().samples);
+            assert_eq!(snap.total().events, oracle_snap.total().events);
+            assert_eq!(
+                snap.total().forecast_checked,
+                oracle_snap.total().forecast_checked
+            );
+            assert_eq!(
+                snap.total().forecast_hits,
+                oracle_snap.total().forecast_hits
+            );
+        }
+    }
+
+    /// The service keeps running after a checkpoint (read-only barrier),
+    /// and a restored sharded service reports its streams in `snapshot`
+    /// before any new record arrives.
+    #[test]
+    fn checkpoint_is_nondestructive_and_resume_publishes_rollups() {
+        let path = ckpt_path("live");
+        let builder = DpdBuilder::new().window(8).shards(2);
+        let mut svc = MultiStreamDpd::from_builder(&builder).unwrap();
+        drive(&mut svc, 6, 6, 10);
+        let before = svc
+            .checkpoint(&path, marker(10, svc.samples_ingested(), 1))
+            .unwrap();
+        assert!(!before.is_empty());
+        drive(&mut svc, 6, 6, 5); // keeps ingesting fine
+        let (_, snap) = svc.finish();
+        assert_eq!(snap.total().samples, 6 * 6 * 15);
+
+        let (mut resumed, _) = MultiStreamDpd::resume(&builder, &path).unwrap();
+        resumed.flush();
+        let snap = resumed.snapshot();
+        assert_eq!(snap.total().streams, 6);
+        assert_eq!(snap.total().samples, 6 * 6 * 10);
+        drop(resumed);
+    }
+
+    /// Overwriting a checkpoint is atomic: the second file fully replaces
+    /// the first and resumes from the later state.
+    #[test]
+    fn checkpoint_overwrite_resumes_from_latest() {
+        let path = ckpt_path("overwrite");
+        let builder = DpdBuilder::new().window(8).shards(0);
+        let mut svc = MultiStreamDpd::from_builder(&builder).unwrap();
+        drive(&mut svc, 4, 6, 5);
+        svc.checkpoint(&path, marker(5, svc.samples_ingested(), 1))
+            .unwrap();
+        drive(&mut svc, 4, 6, 5);
+        svc.checkpoint(&path, marker(10, svc.samples_ingested(), 2))
+            .unwrap();
+
+        let (resumed, m) = MultiStreamDpd::resume(&builder, &path).unwrap();
+        assert_eq!(m.ordinal, 2);
+        assert_eq!(resumed.samples_ingested(), 4 * 6 * 10);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_builder() {
+        let path = ckpt_path("mismatch");
+        let builder = DpdBuilder::new().window(8).shards(2);
+        let mut svc = MultiStreamDpd::from_builder(&builder).unwrap();
+        drive(&mut svc, 4, 6, 5);
+        svc.checkpoint(&path, marker(5, svc.samples_ingested(), 1))
+            .unwrap();
+        drop(svc);
+
+        let wrong_shards = DpdBuilder::new().window(8).shards(3);
+        assert!(matches!(
+            MultiStreamDpd::resume(&wrong_shards, &path),
+            Err(CheckpointError::ConfigMismatch {
+                what: "shard count"
+            })
+        ));
+        let wrong_window = DpdBuilder::new().window(16).shards(2);
+        assert!(matches!(
+            MultiStreamDpd::resume(&wrong_window, &path),
+            Err(CheckpointError::ConfigMismatch {
+                what: "table configuration"
+            })
+        ));
+    }
+
+    #[test]
+    fn resume_surfaces_missing_and_empty_files() {
+        let path = ckpt_path("absent");
+        let builder = DpdBuilder::new().window(8).shards(0);
+        assert!(matches!(
+            MultiStreamDpd::resume(&builder, &path),
+            Err(CheckpointError::Io(_))
+        ));
+        std::fs::write(&path, b"not a pile at all").unwrap();
+        assert!(matches!(
+            MultiStreamDpd::resume(&builder, &path),
+            Err(CheckpointError::NoCheckpoint)
+        ));
+    }
+
+    /// Every `CheckpointError` variant renders a lowercase, period-free
+    /// message; wrapping variants expose their cause through `source()`.
+    #[test]
+    fn every_checkpoint_error_variant_renders() {
+        let variants = vec![
+            CheckpointError::Io(std::io::Error::from(std::io::ErrorKind::NotFound)),
+            CheckpointError::Pile(PileError::Truncated { offset: 7 }),
+            CheckpointError::Snapshot(SnapshotError::Truncated),
+            CheckpointError::Build(BuildError::ShardsRequired),
+            CheckpointError::NoCheckpoint,
+            CheckpointError::ConfigMismatch {
+                what: "shard count",
+            },
+        ];
+        for v in variants {
+            let msg = v.to_string();
+            assert!(!msg.is_empty(), "{v:?} renders empty");
+            assert!(
+                msg.chars().next().unwrap().is_lowercase(),
+                "{v:?} message must start lowercase: {msg:?}"
+            );
+            assert!(!msg.ends_with('.'), "{v:?} message ends with a period");
+            let err: &dyn std::error::Error = &v;
+            assert_eq!(
+                err.source().is_some(),
+                matches!(
+                    v,
+                    CheckpointError::Io(_)
+                        | CheckpointError::Pile(_)
+                        | CheckpointError::Snapshot(_)
+                        | CheckpointError::Build(_)
+                ),
+                "{v:?} source() disagrees with its wrapping shape"
+            );
+        }
     }
 }

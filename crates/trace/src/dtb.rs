@@ -73,6 +73,13 @@ const FRAME_EVENTS: u8 = 0x02;
 const FRAME_SAMPLES: u8 = 0x03;
 
 /// Errors raised while writing or reading a DTB container.
+///
+/// `#[non_exhaustive]`: downstream matches must carry a wildcard arm so
+/// new diagnostics can be added without a breaking change — the same
+/// policy as `dpd_core`'s `DpdError`/`BuildError`. Every variant renders
+/// a lowercase, period-free [`Display`](std::fmt::Display) message
+/// (asserted by a unit test).
+#[non_exhaustive]
 #[derive(Debug)]
 pub enum DtbError {
     /// Underlying I/O failure (write path only; reads are slice-based).
@@ -134,7 +141,7 @@ pub enum DtbError {
 impl std::fmt::Display for DtbError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DtbError::Io(e) => write!(f, "DTB I/O error: {e}"),
+            DtbError::Io(e) => write!(f, "container I/O error: {e}"),
             DtbError::BadMagic => write!(f, "not a DTB container (bad magic)"),
             DtbError::UnsupportedVersion(v) => write!(f, "unsupported DTB version {v}"),
             DtbError::Truncated { offset } => {
@@ -146,7 +153,7 @@ impl std::fmt::Display for DtbError {
                 computed,
             } => write!(
                 f,
-                "DTB frame at byte {offset} corrupt: stored CRC {stored:#010x}, computed {computed:#010x}"
+                "corrupt DTB frame at byte {offset}: stored CRC {stored:#010x}, computed {computed:#010x}"
             ),
             DtbError::BadVarint { offset } => write!(f, "bad varint at byte {offset}"),
             DtbError::UnknownFrame { frame, offset } => {
@@ -166,7 +173,14 @@ impl std::fmt::Display for DtbError {
     }
 }
 
-impl std::error::Error for DtbError {}
+impl std::error::Error for DtbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DtbError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for DtbError {
     fn from(e: std::io::Error) -> Self {
@@ -226,7 +240,7 @@ pub fn crc32(data: &[u8]) -> u32 {
 }
 
 /// Running CRC update over `data` (pre-inversion state in, state out).
-fn crc32_update(mut c: u32, data: &[u8]) -> u32 {
+pub(crate) fn crc32_update(mut c: u32, data: &[u8]) -> u32 {
     for &b in data {
         c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
@@ -235,15 +249,16 @@ fn crc32_update(mut c: u32, data: &[u8]) -> u32 {
 
 /// The checksum of one frame: CRC-32 over the type byte then the body
 /// (the scope §1.2 of `docs/FORMAT.md` defines). Writer and reader both
-/// go through here so the scope cannot silently diverge.
-fn crc32_frame(frame: u8, body: &[u8]) -> u32 {
+/// go through here so the scope cannot silently diverge. The pile segment
+/// log ([`crate::pile`]) reuses the same scope.
+pub(crate) fn crc32_frame(frame: u8, body: &[u8]) -> u32 {
     !crc32_update(crc32_update(0xFFFF_FFFF, &[frame]), body)
 }
 
 // ---------------------------------------------------------------------
 // LEB128 varints + zigzag.
 
-fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -258,7 +273,7 @@ fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
 /// Decode one LEB128 varint from `data` starting at `*pos`, advancing
 /// `*pos` past it. `base` is the absolute offset of `data[0]`, used only
 /// for error reporting.
-fn get_varint(data: &[u8], pos: &mut usize, base: usize) -> Result<u64, DtbError> {
+pub(crate) fn get_varint(data: &[u8], pos: &mut usize, base: usize) -> Result<u64, DtbError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     let start = *pos;
@@ -285,11 +300,11 @@ fn get_varint(data: &[u8], pos: &mut usize, base: usize) -> Result<u64, DtbError
     }
 }
 
-fn zigzag(v: i64) -> u64 {
+pub(crate) fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
 
-fn unzigzag(v: u64) -> i64 {
+pub(crate) fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
@@ -553,7 +568,7 @@ impl<W: Write> DtbWriter<W> {
     }
 }
 
-fn write_frame<W: Write>(
+pub(crate) fn write_frame<W: Write>(
     w: &mut W,
     frame: u8,
     body: &[u8],
@@ -1263,6 +1278,50 @@ mod tests {
         // CRC-32/IEEE of "123456789" is 0xCBF43926.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    /// Every `DtbError` variant renders a lowercase, period-free message
+    /// and wires `std::error::Error::source` on its wrapper variant.
+    #[test]
+    fn every_dtb_error_variant_renders() {
+        let variants = vec![
+            DtbError::Io(std::io::Error::other("boom")),
+            DtbError::BadMagic,
+            DtbError::UnsupportedVersion(7),
+            DtbError::Truncated { offset: 12 },
+            DtbError::BadCrc {
+                offset: 6,
+                stored: 1,
+                computed: 2,
+            },
+            DtbError::BadVarint { offset: 9 },
+            DtbError::UnknownFrame {
+                frame: 0x7F,
+                offset: 6,
+            },
+            DtbError::Malformed {
+                what: "trailing bytes in event block",
+                offset: 6,
+            },
+            DtbError::UndeclaredStream { stream: 3 },
+            DtbError::KindMismatch { stream: 3 },
+            DtbError::NoSuchStream,
+        ];
+        for v in variants {
+            let msg = v.to_string();
+            assert!(!msg.is_empty(), "{v:?} renders empty");
+            assert!(
+                msg.chars().next().unwrap().is_lowercase(),
+                "{v:?} message must start lowercase: {msg:?}"
+            );
+            assert!(!msg.ends_with('.'), "{v:?} message ends with a period");
+            let err: &dyn std::error::Error = &v;
+            if matches!(v, DtbError::Io(_)) {
+                assert!(err.source().is_some());
+            } else {
+                assert!(err.source().is_none());
+            }
+        }
     }
 
     #[test]

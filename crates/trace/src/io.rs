@@ -37,6 +37,13 @@ use crate::sampled::SampledTrace;
 use std::io::{BufRead, BufReader, Read, Write};
 
 /// Errors raised while reading a trace file.
+///
+/// `#[non_exhaustive]`: downstream matches must carry a wildcard arm so
+/// new diagnostics can be added without a breaking change — the same
+/// policy as `dpd_core`'s `DpdError`/`BuildError`. Every variant renders
+/// a lowercase, period-free [`Display`](std::fmt::Display) message
+/// (asserted by a unit test).
+#[non_exhaustive]
 #[derive(Debug)]
 pub enum TraceIoError {
     /// Underlying I/O failure.
@@ -77,7 +84,15 @@ impl std::fmt::Display for TraceIoError {
     }
 }
 
-impl std::error::Error for TraceIoError {}
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Dtb(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for TraceIoError {
     fn from(e: std::io::Error) -> Self {
@@ -382,6 +397,40 @@ mod tests {
             read_events_auto(&bin[..]),
             Err(TraceIoError::Dtb(_))
         ));
+    }
+
+    /// Every `TraceIoError` variant renders a lowercase, period-free
+    /// message and wires `std::error::Error::source` on wrapper variants.
+    #[test]
+    fn every_trace_io_error_variant_renders() {
+        let variants = vec![
+            TraceIoError::Io(std::io::Error::other("boom")),
+            TraceIoError::BadHeader("nope".into()),
+            TraceIoError::Dtb(dtb::DtbError::BadMagic),
+            TraceIoError::BadValue {
+                line: 3,
+                text: "nope".into(),
+            },
+            TraceIoError::WrongKind {
+                found: "sampled".into(),
+                expected: "event".into(),
+            },
+        ];
+        for v in variants {
+            let msg = v.to_string();
+            assert!(!msg.is_empty(), "{v:?} renders empty");
+            assert!(
+                msg.chars().next().unwrap().is_lowercase(),
+                "{v:?} message must start lowercase: {msg:?}"
+            );
+            assert!(!msg.ends_with('.'), "{v:?} message ends with a period");
+            let err: &dyn std::error::Error = &v;
+            if matches!(v, TraceIoError::Io(_) | TraceIoError::Dtb(_)) {
+                assert!(err.source().is_some());
+            } else {
+                assert!(err.source().is_none());
+            }
+        }
     }
 
     #[test]

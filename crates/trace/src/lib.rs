@@ -17,6 +17,10 @@
 //! * [`dtb`] — the DTB binary container: multi-stream, delta-of-delta +
 //!   varint encoded, CRC-protected, built for wire-speed replay (see
 //!   `docs/FORMAT.md` for the normative spec).
+//! * [`pile`] — the append-only, crash-safe segment log (event frames,
+//!   checkpoint frames, epoch markers) with torn-tail recovery; the
+//!   durability substrate of the multi-stream service (see
+//!   `docs/FORMAT.md` §9).
 //! * [`stats`] — summary statistics used when reporting experiments.
 
 #![warn(missing_docs)]
@@ -27,6 +31,7 @@ pub mod dtb;
 pub mod event;
 pub mod gen;
 pub mod io;
+pub mod pile;
 pub mod quantize;
 pub mod sampled;
 pub mod stats;

@@ -29,7 +29,7 @@ mod exists {
         pub use dpd::core::{
             autotune, baseline, capi, confidence, detector, hierarchy, incremental, intervals,
             metric, minima, naive, nested, periodogram, pipeline, predict, prediction,
-            segmentation, shard, spectrum, streaming, window,
+            segmentation, shard, snapshot, spectrum, streaming, window,
         };
     }
     mod core_top_level {
@@ -37,8 +37,8 @@ mod exists {
             BuildError, Detector, Dpd, DpdBuilder, DpdError, DpdEvent, EventMetric, EventSink,
             Forecast, ForecastStats, ForecastingDpd, FrameDetector, L1Metric, Metric,
             MultiScaleDpd, MultiStreamEvent, PeriodicPredictor, PeriodicityReport, PredictConfig,
-            Predictor, Result, SegmentEvent, Spectrum, StreamId, StreamTable, StreamingConfig,
-            StreamingDpd, TableConfig,
+            Predictor, Restore, Result, SegmentEvent, Snapshot, SnapshotError, Spectrum, StreamId,
+            StreamTable, StreamingConfig, StreamingDpd, TableConfig,
         };
     }
     mod pipeline_items {
@@ -55,6 +55,11 @@ mod exists {
             shard_of, MultiStreamEvent, StreamId, StreamTable, TableConfig, TableStats,
         };
     }
+    mod snapshot_items {
+        pub use dpd::core::snapshot::{
+            Restore, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
+        };
+    }
     mod streaming_items {
         pub use dpd::core::streaming::{
             MultiScaleDpd, MultiScaleEvent, SegmentEvent, StreamStats, StreamingConfig,
@@ -68,7 +73,7 @@ mod exists {
     }
     mod service_items {
         pub use dpd::runtime::service::{
-            MultiStreamDpd, ServiceConfig, ServiceSnapshot, ShardStats,
+            CheckpointError, MultiStreamDpd, ServiceConfig, ServiceSnapshot, ShardStats,
         };
     }
     mod analyzer_items {
@@ -109,8 +114,11 @@ const SURFACE: &[&str] = &[
     "dpd::core::PeriodicityReport",
     "dpd::core::PredictConfig",
     "dpd::core::Predictor",
+    "dpd::core::Restore",
     "dpd::core::Result",
     "dpd::core::SegmentEvent",
+    "dpd::core::Snapshot",
+    "dpd::core::SnapshotError",
     "dpd::core::Spectrum",
     "dpd::core::StreamId",
     "dpd::core::StreamTable",
@@ -150,6 +158,12 @@ const SURFACE: &[&str] = &[
     "dpd::core::shard",
     "dpd::core::shard::TableStats",
     "dpd::core::shard::shard_of",
+    "dpd::core::snapshot",
+    "dpd::core::snapshot::Restore",
+    "dpd::core::snapshot::Snapshot",
+    "dpd::core::snapshot::SnapshotError",
+    "dpd::core::snapshot::SnapshotReader",
+    "dpd::core::snapshot::SnapshotWriter",
     "dpd::core::spectrum",
     "dpd::core::streaming",
     "dpd::core::streaming::MultiScaleEvent",
@@ -157,6 +171,7 @@ const SURFACE: &[&str] = &[
     "dpd::core::window",
     "dpd::interpose",
     "dpd::runtime",
+    "dpd::runtime::service::CheckpointError",
     "dpd::runtime::service::MultiStreamDpd",
     "dpd::runtime::service::ServiceConfig",
     "dpd::runtime::service::ServiceSnapshot",

@@ -220,6 +220,71 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// 3b. Format sniffing: `detect_format` must be total and honest on any
+// byte prefix — truncated documents, garbage, empty input — and the
+// `read_*_auto` dispatchers it feeds must fail typed, never panic and
+// never misdetect one format as the other.
+
+proptest! {
+    #[test]
+    fn detect_format_is_total_and_magic_exact(bytes in collection::vec(any::<u8>(), 0..64)) {
+        use dpd::trace::io::TraceFormat;
+        // Total: any bytes produce an answer without panicking, and the
+        // answer is exactly the magic-prefix relation — garbage that
+        // does not carry a magic must never detect as anything.
+        let got = io::detect_format(&bytes);
+        let expect = if bytes.starts_with(&dtb::MAGIC) {
+            Some(TraceFormat::Dtb)
+        } else if bytes.starts_with(b"# dpd-trace v1") {
+            Some(TraceFormat::Text)
+        } else {
+            None
+        };
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn detect_format_on_truncated_docs_never_misdetects(
+        values in collection::vec(-1000i64..1000, 0..50),
+        cut_word in any::<u64>(),
+        as_dtb in any::<bool>(),
+    ) {
+        use dpd::trace::io::TraceFormat;
+        let trace = EventTrace::from_values("t", values);
+        let mut doc = Vec::new();
+        if as_dtb {
+            dtb::write_events(&trace, &mut doc).unwrap();
+        } else {
+            io::write_events(&trace, &mut doc).unwrap();
+        }
+        let cut = (cut_word % (doc.len() as u64 + 1)) as usize;
+        let head = &doc[..cut];
+
+        // A truncated valid document either detects as its own format
+        // (the magic survived the cut) or as nothing — never the other.
+        let own = if as_dtb { TraceFormat::Dtb } else { TraceFormat::Text };
+        match io::detect_format(head) {
+            None => {}
+            Some(f) => prop_assert_eq!(f, own, "prefix misdetected"),
+        }
+
+        // And the auto reader on the truncated bytes is total: a typed
+        // error or a successful parse (text tails can stay well-formed),
+        // never a panic.
+        let _ = io::read_events_auto(head);
+    }
+
+    #[test]
+    fn read_auto_on_garbage_fails_typed(bytes in collection::vec(any::<u8>(), 0..300)) {
+        // Whatever the sniffer decides, both auto readers must return
+        // `Result` on arbitrary bytes — the property is the absence of
+        // panics across the dispatch and both parse paths.
+        let _ = io::read_events_auto(&bytes[..]);
+        let _ = io::read_sampled_auto(&bytes[..]);
+    }
+}
+
+// ---------------------------------------------------------------------
 // 4. Replay equivalence: DTB corpus == text corpus through the service.
 
 /// Replay a set of event traces through a fresh service in round-robin

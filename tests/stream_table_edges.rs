@@ -1,10 +1,13 @@
 //! Eviction-edge coverage for [`StreamTable`]: watermark ties,
-//! close-after-evict interactions, and re-opening an evicted stream in the
+//! close-after-evict interactions, re-opening an evicted stream in the
 //! middle of a forecast — forecast state must reset and every counter must
-//! stay consistent.
+//! stay consistent — and the interaction of snapshots with eviction:
+//! snapshot-then-evict must equal evict-then-snapshot, and restoring a
+//! table whose stream closed mid-forecast must keep rollups monotonic.
 
 use dpd::core::pipeline::DpdBuilder;
 use dpd::core::shard::{MultiStreamEvent, StreamId};
+use dpd::core::snapshot::{Restore, Snapshot};
 
 fn periodic(period: u64, start: u64, len: usize) -> Vec<i64> {
     (0..len as u64)
@@ -206,4 +209,101 @@ fn event_counters_stay_consistent_across_evict_close_reopen() {
     assert_eq!(stats.created, 3);
     assert_eq!(stats.samples, 120);
     assert_eq!(stats.streams, 0);
+}
+
+// ---------------------------------------------------------------------
+// Snapshot / eviction interactions. A checkpoint can land on either side
+// of a sweep; both orders must converge on the same durable state.
+
+/// Driving identical input into two tables and comparing events, stats
+/// and final snapshot bytes — the differential harness for the tests
+/// below.
+fn drive_and_compare(a: &mut dpd::core::StreamTable, b: &mut dpd::core::StreamTable) {
+    let mut ea = Vec::new();
+    let mut eb = Vec::new();
+    for round in 0u64..6 {
+        for s in [0u64, 1, 7] {
+            let chunk = periodic(3 + s, round * 11, 11);
+            a.ingest(200 + round * 33, StreamId(s), &chunk, &mut ea);
+            b.ingest(200 + round * 33, StreamId(s), &chunk, &mut eb);
+        }
+    }
+    a.close_all(500, &mut ea);
+    b.close_all(500, &mut eb);
+    assert_eq!(ea, eb, "continued runs emit identical events");
+    assert_eq!(a.stats(), b.stats());
+    assert_eq!(a.snapshot(), b.snapshot(), "final states are bit-identical");
+}
+
+/// Snapshot-then-evict equals evict-then-snapshot: whether the idle
+/// sweep runs before the checkpoint or after the restore, the surviving
+/// state — streams, rollups, forecast statistics, and every future
+/// event — is identical. (The rollup counters themselves live in the
+/// snapshot, so the evicted count agrees too: the sweep happens exactly
+/// once on each path, just on different sides of the serialization.)
+#[test]
+fn snapshot_then_evict_equals_evict_then_snapshot() {
+    let builder = DpdBuilder::new().window(8).evict_after(30).forecast(2);
+    let seed = |out: &mut Vec<MultiStreamEvent>| {
+        let mut t = builder.build_table().unwrap();
+        t.ingest(0, StreamId(0), &periodic(3, 0, 40), out); // will idle out
+        t.ingest(40, StreamId(1), &periodic(5, 0, 40), out); // stays live
+        t
+    };
+    let mut out = Vec::new();
+
+    // Path A: checkpoint first, sweep after the restore.
+    let table_a = seed(&mut out);
+    let mut restored_a = dpd::core::StreamTable::restore(&table_a.snapshot()).unwrap();
+    assert_eq!(restored_a.sweep(100), 1, "stream 0 idles out after restore");
+
+    // Path B: sweep first, checkpoint the post-sweep state.
+    let mut table_b = seed(&mut out);
+    assert_eq!(table_b.sweep(100), 1, "stream 0 idles out before snapshot");
+    let mut restored_b = dpd::core::StreamTable::restore(&table_b.snapshot()).unwrap();
+
+    assert_eq!(restored_a.stats(), restored_b.stats());
+    assert_eq!(restored_a.len(), restored_b.len());
+    assert_eq!(
+        restored_a.locked_period(StreamId(1)),
+        restored_b.locked_period(StreamId(1))
+    );
+    drive_and_compare(&mut restored_a, &mut restored_b);
+}
+
+/// Restoring a table whose stream closed in the middle of an active
+/// forecast: the close already scored what it could and flushed the
+/// stream, so the restored table must carry the full rollups forward —
+/// monotonic across the restore — and behave exactly like the original
+/// table that never went through serialization.
+#[test]
+fn restore_after_close_mid_forecast_keeps_rollups_monotonic() {
+    let builder = DpdBuilder::new().window(8).evict_after(200).forecast(4);
+    let mut table = builder.build_table().unwrap();
+    let mut out = Vec::new();
+
+    // Lock and forecast, then close with predictions still in flight.
+    table.ingest(0, StreamId(0), &periodic(3, 0, 40), &mut out);
+    let live = table.forecast_stats(StreamId(0)).unwrap();
+    assert!(live.issued > live.checked, "predictions in flight at close");
+    assert!(table.close(40, StreamId(0), &mut out));
+    let closed_stats = table.stats();
+    assert!(closed_stats.forecast_checked > 0);
+    assert_eq!(closed_stats.closed, 1);
+
+    // The restore is lossless: same rollups, bit-identical re-snapshot.
+    let mut restored = dpd::core::StreamTable::restore(&table.snapshot()).unwrap();
+    assert_eq!(
+        restored.stats(),
+        closed_stats,
+        "rollups survive the restore"
+    );
+    assert_eq!(restored.snapshot(), table.snapshot());
+
+    // New traffic only ever grows the monotonic rollups, on both tables
+    // identically — the closed stream's dropped in-flight predictions
+    // are gone on both sides, never re-scored.
+    drive_and_compare(&mut table, &mut restored);
+    assert!(restored.stats().forecast_checked >= closed_stats.forecast_checked);
+    assert!(restored.stats().closed >= closed_stats.closed);
 }
