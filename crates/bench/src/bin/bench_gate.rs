@@ -1,14 +1,18 @@
 //! CI bench-regression gate.
 //!
 //! Runs the criterion bench groups named by `DPD_GATE_BENCHES` (default
-//! `streaming,trace_io,predict,durability`) in fast mode, then compares
+//! `streaming,trace_io,predict,durability,table_scale`) in fast mode, then compares
 //! each bench's ns/iter against the latest `BENCH_*.json` record at the
 //! workspace root and fails when any bench regressed by more than the
 //! tolerance — so a hot-path win recorded in one PR cannot silently rot
-//! in a later one. The gated groups are the wins PRs have recorded so
+//! in a later one. Targets that regress on the first pass are
+//! re-measured once (best-of-two per bench): shared CI hosts have noisy
+//! stretches that can nearly double a microbench, and only a regression
+//! that reproduces across both passes should fail the gate. The gated groups are the wins PRs have recorded so
 //! far: the vectorized streaming kernel (PR 1), DTB decode throughput
-//! (PR 3), the forecasting subsystem's overhead bounds (PR 4), and the
-//! checkpoint/recovery costs of the durability subsystem (PR 6).
+//! (PR 3), the forecasting subsystem's overhead bounds (PR 4), the
+//! checkpoint/recovery costs of the durability subsystem (PR 6), and the
+//! million-stream slab table's populate/push/resolve costs (PR 7).
 //!
 //! ```text
 //! cargo run -p dpd-bench --bin bench_gate
@@ -19,13 +23,14 @@
 //!   `1.5`; CI machines differ from the recording machine, so this guards
 //!   against large rots, not percent-level noise).
 //! * `DPD_GATE_BENCHES`   — comma-separated bench targets (default
-//!   `streaming,trace_io,predict,durability`).
+//!   `streaming,trace_io,predict,durability,table_scale`).
 //! * `DPD_GATE_BASELINE`  — explicit baseline file (default: the
 //!   highest-numbered `BENCH_*.json` at the workspace root).
 //! * `DPD_GATE_FULL=1`    — measure at full sample counts instead of the
 //!   CI fast mode.
 
 use dpd_bench::gate::{compare, extract_baselines, latest_bench_record, Verdict};
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 fn workspace_root() -> std::path::PathBuf {
@@ -34,6 +39,37 @@ fn workspace_root() -> std::path::PathBuf {
         .join("../..")
         .canonicalize()
         .expect("workspace root exists")
+}
+
+/// Run the given bench targets with the shim's JSON output into a temp
+/// file and return the measured `bench id -> ns/iter` map.
+fn run_benches(root: &std::path::Path, targets: &[&str]) -> Result<BTreeMap<String, f64>, String> {
+    let json_path = std::env::temp_dir().join(format!("bench_gate_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&json_path);
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    for bench in targets {
+        let mut cmd = std::process::Command::new(&cargo);
+        cmd.current_dir(root)
+            .args(["bench", "-p", "dpd-bench", "--bench", bench])
+            .env("CRITERION_JSON", &json_path);
+        if std::env::var("DPD_GATE_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
+            cmd.env_remove("DPD_BENCH_FAST");
+        } else {
+            cmd.env("DPD_BENCH_FAST", "1");
+        }
+        match cmd.status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => return Err(format!("`cargo bench --bench {bench}` failed: {status}")),
+            Err(e) => return Err(format!("failed to spawn cargo: {e}")),
+        }
+    }
+    let current_text = std::fs::read_to_string(&json_path)
+        .map_err(|e| format!("no measurements at {}: {e}", json_path.display()))?;
+    let _ = std::fs::remove_file(&json_path);
+    Ok(extract_baselines(&current_text))
 }
 
 fn main() -> ExitCode {
@@ -83,47 +119,19 @@ fn main() -> ExitCode {
 
     // Run the bench targets with the shim's JSON output into a temp file.
     let benches = std::env::var("DPD_GATE_BENCHES")
-        .unwrap_or_else(|_| "streaming,trace_io,predict,durability".into());
-    let json_path = std::env::temp_dir().join(format!("bench_gate_{}.jsonl", std::process::id()));
-    let _ = std::fs::remove_file(&json_path);
-    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
-    for bench in benches.split(',').map(str::trim).filter(|b| !b.is_empty()) {
-        let mut cmd = std::process::Command::new(&cargo);
-        cmd.current_dir(&root)
-            .args(["bench", "-p", "dpd-bench", "--bench", bench])
-            .env("CRITERION_JSON", &json_path);
-        if std::env::var("DPD_GATE_FULL")
-            .map(|v| v == "1")
-            .unwrap_or(false)
-        {
-            cmd.env_remove("DPD_BENCH_FAST");
-        } else {
-            cmd.env("DPD_BENCH_FAST", "1");
-        }
-        match cmd.status() {
-            Ok(status) if status.success() => {}
-            Ok(status) => {
-                eprintln!("bench_gate: `cargo bench --bench {bench}` failed: {status}");
-                return ExitCode::FAILURE;
-            }
-            Err(e) => {
-                eprintln!("bench_gate: failed to spawn cargo: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    let current_text = match std::fs::read_to_string(&json_path) {
-        Ok(t) => t,
+        .unwrap_or_else(|_| "streaming,trace_io,predict,durability,table_scale".into());
+    let targets: Vec<&str> = benches
+        .split(',')
+        .map(str::trim)
+        .filter(|b| !b.is_empty())
+        .collect();
+    let mut current = match run_benches(&root, &targets) {
+        Ok(m) => m,
         Err(e) => {
-            eprintln!(
-                "bench_gate: no measurements at {}: {e}",
-                json_path.display()
-            );
+            eprintln!("bench_gate: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let _ = std::fs::remove_file(&json_path);
-    let current = extract_baselines(&current_text);
 
     // Compare and report.
     println!(
@@ -131,7 +139,42 @@ fn main() -> ExitCode {
         current.len(),
         baseline_path.display()
     );
-    let rows = compare(&current, &baselines, tolerance);
+    let mut rows = compare(&current, &baselines, tolerance);
+
+    // Shared CI hosts have noisy stretches that can nearly double a
+    // microbench; re-measure just the regressed targets once and keep the
+    // better of the two figures per bench, so only a regression that
+    // reproduces across both passes fails the gate.
+    let retry: Vec<&str> = targets
+        .iter()
+        .copied()
+        .filter(|t| {
+            rows.iter().any(|(id, _, v)| {
+                matches!(v, Verdict::Regressed(_)) && id.split('/').next() == Some(t)
+            })
+        })
+        .collect();
+    if !retry.is_empty() {
+        println!(
+            "bench_gate: first pass regressed in [{}]; re-measuring those targets once",
+            retry.join(", ")
+        );
+        match run_benches(&root, &retry) {
+            Ok(second) => {
+                for (id, ns) in second {
+                    current
+                        .entry(id)
+                        .and_modify(|prev| *prev = prev.min(ns))
+                        .or_insert(ns);
+                }
+            }
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        rows = compare(&current, &baselines, tolerance);
+    }
     let mut regressions = 0usize;
     for (id, now, verdict) in &rows {
         match verdict {

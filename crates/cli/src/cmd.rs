@@ -23,9 +23,11 @@ pub const USAGE: &str = "usage:
   dpd spectrum FILE [--window 128]
   dpd segment FILE [--window 64]
   dpd multistream DIR [--shards 4] [--window 64] [--chunk 256] [--timing show|none]
+                  [--evict-after N] [--memory-budget BYTES] [--cold-retain N]
   dpd predict FILE [--window 64] [--horizon 1]
   dpd checkpoint DIR --pile FILE [--snap FILE] [--window 64] [--shards 0] [--chunk 256]
                  [--every 8] [--forecast H] [--throttle-ms T]
+                 [--evict-after N] [--memory-budget BYTES] [--cold-retain N]
   dpd resume DIR --pile FILE [--snap FILE] [same flags as checkpoint]
 
 Trace files are text or DTB binary containers; every reader auto-detects
@@ -432,6 +434,12 @@ fn multistream(flags: &Flags) -> Result<String, String> {
     let shards = flags.get_usize("shards", 4)?;
     let window = flags.get_usize("window", 64)?;
     let chunk = flags.get_usize("chunk", 256)?.max(1);
+    // Table-scale options (defaults off, keeping golden output stable):
+    // a per-shard accounted-byte budget and a cold-summary retention
+    // window (global samples past the eviction watermark).
+    let memory_budget = flags.get_usize("memory-budget", 0)? as u64;
+    let cold_retain = flags.get_usize("cold-retain", 0)? as u64;
+    let evict_after = flags.get_usize("evict-after", 0)? as u64;
     // `--timing none` suppresses the wall-clock figures so the output is
     // byte-stable (golden-file tests, diffable logs).
     let timing = match flags.get("timing").unwrap_or("show") {
@@ -444,7 +452,17 @@ fn multistream(flags: &Flags) -> Result<String, String> {
 
     // Replay all traces concurrently: round-robin chunks until exhausted,
     // the arrival pattern of many applications tracing at once.
-    let mut svc = MultiStreamDpd::from_builder(&DpdBuilder::new().window(window).shards(shards))
+    let mut builder = DpdBuilder::new().window(window).shards(shards);
+    if evict_after > 0 {
+        builder = builder.evict_after(evict_after);
+    }
+    if memory_budget > 0 {
+        builder = builder.memory_budget(memory_budget);
+    }
+    if cold_retain > 0 {
+        builder = builder.cold_summary(cold_retain);
+    }
+    let mut svc = MultiStreamDpd::from_builder(&builder)
         .map_err(|e| format!("invalid multistream configuration: {e}"))?;
     let total: usize = traces.iter().map(|t| t.len()).sum();
     let start = std::time::Instant::now();
@@ -529,6 +547,16 @@ fn multistream(flags: &Flags) -> Result<String, String> {
         t.closed
     )
     .unwrap();
+    // Tier traffic only exists (and is only printed) when the new
+    // table-scale options are in play, so default output stays stable.
+    if memory_budget > 0 || cold_retain > 0 {
+        writeln!(
+            out,
+            "tiers: cold {} | demoted {} | promoted {}",
+            t.cold, t.demoted, t.promoted
+        )
+        .unwrap();
+    }
     Ok(out)
 }
 
@@ -643,6 +671,9 @@ struct DurableOpts {
     chunk: usize,
     every: usize,
     horizon: usize,
+    memory_budget: u64,
+    cold_retain: u64,
+    evict_after: u64,
     throttle_ms: u64,
 }
 
@@ -670,16 +701,30 @@ impl DurableOpts {
             chunk: flags.get_usize("chunk", 256)?.max(1),
             every: flags.get_usize("every", 8)?.max(1),
             horizon: flags.get_usize("forecast", 0)?,
+            memory_budget: flags.get_usize("memory-budget", 0)? as u64,
+            cold_retain: flags.get_usize("cold-retain", 0)? as u64,
+            evict_after: flags.get_usize("evict-after", 0)? as u64,
             throttle_ms: flags.get_usize("throttle-ms", 0)? as u64,
         })
     }
 
     /// The service builder both commands construct — `resume` validates
-    /// the snap file against exactly this configuration.
+    /// the snap file against exactly this configuration (including the
+    /// table-scale budget/tier options, which are part of the v2 snapshot
+    /// body).
     fn builder(&self) -> DpdBuilder {
         let mut b = DpdBuilder::new().window(self.window).shards(self.shards);
         if self.horizon > 0 {
             b = b.forecast(self.horizon);
+        }
+        if self.evict_after > 0 {
+            b = b.evict_after(self.evict_after);
+        }
+        if self.memory_budget > 0 {
+            b = b.memory_budget(self.memory_budget);
+        }
+        if self.cold_retain > 0 {
+            b = b.cold_summary(self.cold_retain);
         }
         b
     }

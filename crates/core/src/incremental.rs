@@ -355,6 +355,19 @@ impl<T: Copy, M: Metric<T>> IncrementalEngine<T, M> {
         self.pairs.iter_mut().for_each(|p| *p = 0);
     }
 
+    /// Return to the exact as-constructed state — including the lifetime
+    /// push counters, which [`IncrementalEngine::reset`] deliberately
+    /// keeps — while retaining every buffer allocation. An engine after
+    /// `reset_fresh` is observably (and serialization-byte) identical to
+    /// `IncrementalEngine::new` with the same metric and config; the
+    /// stream-table hot-state pool relies on that to recycle detectors
+    /// without reallocating.
+    pub(crate) fn reset_fresh(&mut self) {
+        self.reset();
+        self.history.set_pushed(0);
+        self.pushed = 0;
+    }
+
     /// Access the retained history, oldest first (test/diagnostic helper).
     pub fn history_vec(&self) -> Vec<T> {
         self.history.to_vec()

@@ -102,7 +102,9 @@ pub use metric::{EventMetric, L1Metric, Metric};
 pub use pipeline::{BuildError, Detector, DpdBuilder, DpdEvent, EventSink};
 pub use predict::{Forecast, ForecastStats, ForecastingDpd, PredictConfig, Predictor};
 pub use prediction::PeriodicPredictor;
-pub use shard::{MultiStreamEvent, StreamId, StreamTable, TableConfig};
+pub use shard::{
+    MultiStreamEvent, StreamHandle, StreamId, StreamSummary, StreamTable, StreamTier, TableConfig,
+};
 pub use snapshot::{Restore, Snapshot, SnapshotError};
 pub use spectrum::Spectrum;
 pub use streaming::{MultiScaleDpd, SegmentEvent, StreamingConfig, StreamingDpd};

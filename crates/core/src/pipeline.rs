@@ -137,6 +137,14 @@ pub enum BuildError {
     /// [`DpdBuilder::sweep_every`] paces idle-stream sweeps of a keyed
     /// table or service; it has no meaning on a single-stream stack.
     SweepWithoutKeyed,
+    /// [`DpdBuilder::memory_budget`] is smaller than the accounted cost of
+    /// a single hot stream under the configured detector options; such a
+    /// table could never admit any stream.
+    MemoryBudgetTooSmall,
+    /// [`DpdBuilder::cold_summary`] retains demoted streams, but nothing
+    /// ever demotes them: cold retention needs [`DpdBuilder::evict_after`]
+    /// or [`DpdBuilder::memory_budget`].
+    ColdSummaryWithoutEviction,
     /// A `restore_*` finisher could not reconstruct the stack from the
     /// snapshot bytes (truncated/corrupt image, wrong type tag, or a
     /// configuration mismatch against the builder's options).
@@ -206,6 +214,15 @@ impl core::fmt::Display for BuildError {
             }
             BuildError::SweepWithoutKeyed => {
                 write!(f, "sweep_every(..) only paces keyed tables and services")
+            }
+            BuildError::MemoryBudgetTooSmall => {
+                write!(f, "memory_budget(..) cannot hold even one hot stream")
+            }
+            BuildError::ColdSummaryWithoutEviction => {
+                write!(
+                    f,
+                    "cold_summary(..) needs evict_after(..) or memory_budget(..) to demote"
+                )
             }
             // Transparent like Detector: the snapshot error is the message.
             BuildError::Snapshot(e) => write!(f, "{e}"),
@@ -401,6 +418,8 @@ pub struct DpdBuilder {
     horizon: Option<usize>,
     keyed: bool,
     evict_after: u64,
+    memory_budget: u64,
+    cold_retain: u64,
     shards: Option<usize>,
     sweep_every: Option<u64>,
     stream: StreamId,
@@ -429,6 +448,8 @@ impl DpdBuilder {
             horizon: None,
             keyed: false,
             evict_after: 0,
+            memory_budget: 0,
+            cold_retain: 0,
             shards: None,
             sweep_every: None,
             stream: StreamId(0),
@@ -520,6 +541,35 @@ impl DpdBuilder {
         self
     }
 
+    /// Bound the table's accounted per-stream memory to this many bytes
+    /// (implies [`DpdBuilder::keyed`]; `0` disables the budget). When
+    /// admission or re-promotion would exceed the budget the table demotes
+    /// least-recently-active hot streams to compact cold summaries (when
+    /// [`DpdBuilder::cold_summary`] is on) or evicts them outright. The
+    /// budget must cover at least one hot stream
+    /// ([`BuildError::MemoryBudgetTooSmall`]); see
+    /// [`TableConfig::hot_stream_bytes`] for the accounting model.
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = bytes;
+        self.keyed = true;
+        self
+    }
+
+    /// Retain demoted streams as compact cold summaries (~64 bytes: frozen
+    /// period, confidence and lifetime rollups) for this many further
+    /// global samples past the eviction watermark before they are gone
+    /// (implies [`DpdBuilder::keyed`]; `0` disables the cold tier —
+    /// demotion then means eviction, the pre-budget binary behavior). A
+    /// stream returning within the retention window is re-promoted with
+    /// its lifetime counters restored exactly. Requires
+    /// [`DpdBuilder::evict_after`] or [`DpdBuilder::memory_budget`]
+    /// ([`BuildError::ColdSummaryWithoutEviction`]).
+    pub fn cold_summary(mut self, samples: u64) -> Self {
+        self.cold_retain = samples;
+        self.keyed = true;
+        self
+    }
+
     /// Shard the keyed table over this many worker threads (`0` =
     /// deterministic inline mode). Only the sharded service consumes this
     /// option — finish with `MultiStreamDpd::from_builder` in
@@ -563,7 +613,7 @@ impl DpdBuilder {
 
     /// `true` when any keyed-table option is set.
     fn is_keyed(&self) -> bool {
-        self.keyed || self.evict_after > 0
+        self.keyed || self.evict_after > 0 || self.memory_budget > 0 || self.cold_retain > 0
     }
 
     /// Checks shared by every finisher.
@@ -770,11 +820,20 @@ impl DpdBuilder {
         if self.magnitudes {
             return Err(BuildError::MagnitudesWithKeyed);
         }
-        Ok(TableConfig {
+        if self.cold_retain > 0 && self.evict_after == 0 && self.memory_budget == 0 {
+            return Err(BuildError::ColdSummaryWithoutEviction);
+        }
+        let config = TableConfig {
             detector: self.assemble_detector(),
             evict_after: self.evict_after,
             forecast_horizon: self.horizon.unwrap_or(0),
-        })
+            memory_budget: self.memory_budget,
+            cold_retain: self.cold_retain,
+        };
+        if config.memory_budget > 0 && config.memory_budget < config.hot_stream_bytes() {
+            return Err(BuildError::MemoryBudgetTooSmall);
+        }
+        Ok(config)
     }
 
     /// The validated keyed-table configuration. Implies
@@ -1499,6 +1558,26 @@ mod tests {
                 b().sweep_every(128).build_detector().err(),
                 E::SweepWithoutKeyed,
             ),
+            (
+                "memory budget on a single-stream finisher",
+                b().memory_budget(1 << 20).build_detector().err(),
+                E::KeyedOnSingleStream,
+            ),
+            (
+                "cold summaries on a single-stream finisher",
+                b().cold_summary(64).build(()).err(),
+                E::KeyedOnSingleStream,
+            ),
+            (
+                "memory budget below one hot stream",
+                b().window(8).memory_budget(1).build_table().err(),
+                E::MemoryBudgetTooSmall,
+            ),
+            (
+                "cold summaries with nothing demoting",
+                b().window(8).cold_summary(64).build_table().err(),
+                E::ColdSummaryWithoutEviction,
+            ),
         ];
         for (case, got, expected) in cases {
             assert_eq!(got, Some(expected), "case: {case}");
@@ -1528,6 +1607,8 @@ mod tests {
             BuildError::ShardsOnTable,
             BuildError::ShardsRequired,
             BuildError::SweepWithoutKeyed,
+            BuildError::MemoryBudgetTooSmall,
+            BuildError::ColdSummaryWithoutEviction,
             BuildError::Snapshot(SnapshotError::Truncated),
         ];
         for v in variants {

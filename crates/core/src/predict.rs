@@ -256,6 +256,20 @@ impl Predictor {
         self.config
     }
 
+    /// Return to the exact as-constructed state, retaining the history,
+    /// pending, and scratch allocations: observably and
+    /// serialization-byte identical to `Predictor::new` with the same
+    /// config. Used by the stream-table hot-state pool.
+    pub(crate) fn reset_fresh(&mut self) {
+        self.history.clear();
+        self.history.set_pushed(0);
+        self.lock = None;
+        self.pos = 0;
+        self.pending.clear();
+        self.scratch.iter_mut().for_each(|v| *v = 0);
+        self.stats = ForecastStats::default();
+    }
+
     /// Forecast-accuracy statistics so far.
     pub fn stats(&self) -> ForecastStats {
         self.stats

@@ -73,12 +73,19 @@ pub const TAG_FORECASTING: u8 = 4;
 pub const TAG_CAPI: u8 = 5;
 /// Envelope tag: a standalone [`Predictor`].
 pub const TAG_PREDICTOR: u8 = 6;
-/// Envelope tag: a keyed [`StreamTable`].
+/// Envelope tag: a keyed [`StreamTable`], legacy v1 body (pre-slab flat
+/// layout, no memory budget or cold tier). Still read for old checkpoints;
+/// never written.
 pub const TAG_TABLE: u8 = 7;
 /// Envelope tag: a whole multi-stream service (written by `par-runtime`'s
-/// `MultiStreamDpd::checkpoint`; the body nests [`TAG_TABLE`] envelopes per
-/// shard).
+/// `MultiStreamDpd::checkpoint`; the body nests [`TAG_TABLE`] /
+/// [`TAG_TABLE_V2`] envelopes per shard).
 pub const TAG_SERVICE: u8 = 8;
+/// Envelope tag: a keyed [`StreamTable`], v2 body (slab store: budget and
+/// cold-retention config, lifetime rollup strips, hot + cold tier
+/// sections). The only table body this build writes; [`Restore`] for
+/// `StreamTable` negotiates both tags.
+pub const TAG_TABLE_V2: u8 = 9;
 
 /// Why a snapshot could not be restored.
 ///
@@ -493,7 +500,7 @@ impl Restore for crate::capi::Dpd {
 
 impl Snapshot for StreamTable {
     fn snapshot(&self) -> Vec<u8> {
-        let mut w = SnapshotWriter::envelope(TAG_TABLE);
+        let mut w = SnapshotWriter::envelope(TAG_TABLE_V2);
         self.snapshot_state(&mut w);
         w.into_bytes()
     }
@@ -501,9 +508,22 @@ impl Snapshot for StreamTable {
 
 impl Restore for StreamTable {
     fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
-        let mut r = SnapshotReader::envelope(bytes, TAG_TABLE)?;
-        let table = StreamTable::restore_state(&mut r)?;
-        r.finish()?;
+        // Version negotiation: the envelope tag selects the body layout.
+        // Pre-slab checkpoints (TAG_TABLE) restore into an unbudgeted
+        // hot-only table; anything else must be the v2 body. A wrong tag
+        // surfaces as the usual typed `TagMismatch` (expecting v2) — never
+        // a panic.
+        let table = if bytes.len() >= 2 && bytes[0] == VERSION && bytes[1] == TAG_TABLE {
+            let mut r = SnapshotReader::envelope(bytes, TAG_TABLE)?;
+            let table = StreamTable::restore_state_v1(&mut r)?;
+            r.finish()?;
+            table
+        } else {
+            let mut r = SnapshotReader::envelope(bytes, TAG_TABLE_V2)?;
+            let table = StreamTable::restore_state(&mut r)?;
+            r.finish()?;
+            table
+        };
         Ok(table)
     }
 }
@@ -738,7 +758,11 @@ mod tests {
         }
         let mut restored = builder.restore_table(&table.snapshot()).unwrap();
         assert_eq!(restored.stats(), table.stats());
-        assert_eq!(restored.stream_ids(), table.stream_ids());
+        let mut ids_a: Vec<_> = restored.stream_ids().collect();
+        let mut ids_b: Vec<_> = table.stream_ids().collect();
+        ids_a.sort_unstable_by_key(|s| s.0);
+        ids_b.sort_unstable_by_key(|s| s.0);
+        assert_eq!(ids_a, ids_b);
         // Continue both and compare per-stream event sequences.
         let mut out_a = Vec::new();
         let mut out_b = Vec::new();

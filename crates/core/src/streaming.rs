@@ -249,6 +249,19 @@ impl<T: Copy + PartialEq, M: Metric<T>> StreamingDpd<T, M> {
         self.config.window
     }
 
+    /// Return to the exact as-constructed state, retaining buffer
+    /// allocations: observably and serialization-byte identical to
+    /// `StreamingDpd::new` with the same metric and config. Used by the
+    /// stream-table hot-state pool to recycle detectors.
+    pub(crate) fn reset_fresh(&mut self) {
+        self.engine.reset_fresh();
+        self.state = State::Searching {
+            candidate: None,
+            agree: 0,
+        };
+        self.stats = StreamStats::default();
+    }
+
     /// Running statistics (Table 2 bookkeeping).
     pub fn stats(&self) -> &StreamStats {
         &self.stats

@@ -38,7 +38,7 @@
 
 use crossbeam::channel::{unbounded, Sender};
 use dpd_core::pipeline::{BuildError, DpdBuilder, DpdEvent, EventSink};
-use dpd_core::shard::{shard_of, MultiStreamEvent, StreamId, StreamTable, TableConfig};
+use dpd_core::shard::{shard_of, MultiStreamEvent, StreamId, StreamTable, TableConfig, TableStats};
 use dpd_core::snapshot::{
     Restore, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, TAG_SERVICE,
 };
@@ -128,8 +128,10 @@ fn table_defaults(n: usize, evict_after: u64, forecast_horizon: usize) -> TableC
 /// Point-in-time rollup of one shard (or of the inline table).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShardStats {
-    /// Live streams held by the shard.
+    /// Live streams held by the shard (hot + cold tiers).
     pub streams: u64,
+    /// The cold-summary subset of `streams`.
+    pub cold: u64,
     /// Samples ingested by the shard.
     pub samples: u64,
     /// Segmentation events emitted (including close flushes).
@@ -138,6 +140,10 @@ pub struct ShardStats {
     pub evicted: u64,
     /// Streams explicitly closed.
     pub closed: u64,
+    /// Hot slots demoted to cold summaries (watermark or memory budget).
+    pub demoted: u64,
+    /// Cold summaries re-promoted to hot on returning samples.
+    pub promoted: u64,
     /// Record batches routed to the shard and not yet processed.
     pub queue_depth: u64,
     /// Record batches fully processed.
@@ -152,14 +158,40 @@ pub struct ShardStats {
 impl ShardStats {
     fn add(&mut self, other: &ShardStats) {
         self.streams += other.streams;
+        self.cold += other.cold;
         self.samples += other.samples;
         self.events += other.events;
         self.evicted += other.evicted;
         self.closed += other.closed;
+        self.demoted += other.demoted;
+        self.promoted += other.promoted;
         self.queue_depth += other.queue_depth;
         self.batches += other.batches;
         self.forecast_checked += other.forecast_checked;
         self.forecast_hits += other.forecast_hits;
+    }
+
+    /// The single table→shard accumulation point. Both rollup paths — the
+    /// inline `snapshot()` arm and the worker-side `publish` refresh — map
+    /// a [`TableStats`] through here, so the two can never drift
+    /// field-by-field (asserted in `tests/proptest_multistream.rs`).
+    /// Queue depth and batch counts are shard-frontend concerns and start
+    /// at zero.
+    pub fn from_table(t: &TableStats) -> Self {
+        ShardStats {
+            streams: t.streams,
+            cold: t.cold,
+            samples: t.samples,
+            events: t.events,
+            evicted: t.evicted,
+            closed: t.closed,
+            demoted: t.demoted,
+            promoted: t.promoted,
+            queue_depth: 0,
+            batches: 0,
+            forecast_checked: t.forecast_checked,
+            forecast_hits: t.forecast_hits,
+        }
     }
 
     /// Exact-match rate of scored forecasts; `None` before any check.
@@ -274,10 +306,13 @@ impl From<BuildError> for CheckpointError {
 #[derive(Debug, Default)]
 struct ShardShared {
     streams: AtomicU64,
+    cold: AtomicU64,
     samples: AtomicU64,
     events: AtomicU64,
     evicted: AtomicU64,
     closed: AtomicU64,
+    demoted: AtomicU64,
+    promoted: AtomicU64,
     queue_depth: AtomicU64,
     batches: AtomicU64,
     forecast_checked: AtomicU64,
@@ -288,10 +323,13 @@ impl ShardShared {
     fn snapshot(&self) -> ShardStats {
         ShardStats {
             streams: self.streams.load(Ordering::Relaxed),
+            cold: self.cold.load(Ordering::Relaxed),
             samples: self.samples.load(Ordering::Relaxed),
             events: self.events.load(Ordering::Relaxed),
             evicted: self.evicted.load(Ordering::Relaxed),
             closed: self.closed.load(Ordering::Relaxed),
+            demoted: self.demoted.load(Ordering::Relaxed),
+            promoted: self.promoted.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             forecast_checked: self.forecast_checked.load(Ordering::Relaxed),
@@ -329,7 +367,10 @@ struct Sharded {
 
 enum Mode {
     Inline {
-        table: StreamTable,
+        // Boxed: a StreamTable is hundreds of bytes of inline headers
+        // and would otherwise dominate the enum's size even in sharded
+        // mode (clippy::large_enum_variant).
+        table: Box<StreamTable>,
         events: Vec<MultiStreamEvent>,
     },
     Sharded(Sharded),
@@ -410,7 +451,7 @@ impl MultiStreamDpd {
     pub fn new(config: ServiceConfig) -> Self {
         let mode = if config.shards == 0 {
             Mode::Inline {
-                table: StreamTable::new(config.table),
+                table: Box::new(StreamTable::new(config.table)),
                 events: Vec::new(),
             }
         } else {
@@ -552,22 +593,9 @@ impl MultiStreamDpd {
     /// reports itself as a single shard with queue depth 0).
     pub fn snapshot(&self) -> ServiceSnapshot {
         match &self.mode {
-            Mode::Inline { table, .. } => {
-                let t = table.stats();
-                ServiceSnapshot {
-                    shards: vec![ShardStats {
-                        streams: t.streams,
-                        samples: t.samples,
-                        events: t.events,
-                        evicted: t.evicted,
-                        closed: t.closed,
-                        queue_depth: 0,
-                        batches: 0,
-                        forecast_checked: t.forecast_checked,
-                        forecast_hits: t.forecast_hits,
-                    }],
-                }
-            }
+            Mode::Inline { table, .. } => ServiceSnapshot {
+                shards: vec![ShardStats::from_table(&table.stats())],
+            },
             Mode::Sharded(sh) => ServiceSnapshot {
                 shards: sh.stats.iter().map(ShardShared::snapshot).collect(),
             },
@@ -727,7 +755,7 @@ impl MultiStreamDpd {
             let (table, _clock, since_sweep) = entries.pop().expect("count checked above");
             (
                 Mode::Inline {
-                    table,
+                    table: Box::new(table),
                     events: Vec::new(),
                 },
                 since_sweep,
@@ -896,12 +924,19 @@ fn publish(
         // (teardown); events are discarded then, matching inline `drop`.
         let _ = sink.send(std::mem::take(out));
     }
-    let t = table.stats();
+    // Same accumulation point as the inline snapshot arm: map the table's
+    // stats through `ShardStats::from_table`, then publish field-by-field
+    // into the lock-free mirror (queue depth and batches are owned by the
+    // shard frontend and left untouched here).
+    let t = ShardStats::from_table(&table.stats());
     shared.streams.store(t.streams, Ordering::Relaxed);
+    shared.cold.store(t.cold, Ordering::Relaxed);
     shared.samples.store(t.samples, Ordering::Relaxed);
     shared.events.store(t.events, Ordering::Relaxed);
     shared.evicted.store(t.evicted, Ordering::Relaxed);
     shared.closed.store(t.closed, Ordering::Relaxed);
+    shared.demoted.store(t.demoted, Ordering::Relaxed);
+    shared.promoted.store(t.promoted, Ordering::Relaxed);
     shared
         .forecast_checked
         .store(t.forecast_checked, Ordering::Relaxed);

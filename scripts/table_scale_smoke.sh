@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Million-stream StreamTable smoke under a hard memory ceiling.
+#
+# Runs the `table_smoke` binary (residency-within-budget, peak-RSS, and
+# per-push-flatness checks — see crates/bench/src/bin/table_smoke.rs)
+# inside a `ulimit -v` address-space cap, so a budget-accounting
+# regression that makes the table allocate past its configured budget
+# aborts the process instead of quietly swapping the CI runner. The
+# binary's own `VmHWM` check (DPD_SMOKE_RSS_MB, default 2048 MiB) is the
+# precise assertion; the ulimit is the blunt backstop above it.
+#
+# Usage: scripts/table_scale_smoke.sh [ulimit_mib]
+#   ulimit_mib — virtual address-space cap in MiB (default 6144; well
+#                above the ~2 GiB RSS ceiling because address space also
+#                counts binary mappings and allocator arenas).
+#
+# Environment passthrough: DPD_SMOKE_RSS_MB, DPD_SMOKE_RATIO.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ULIMIT_MIB="${1:-6144}"
+
+# Build outside the rlimit so rustc/linker memory use isn't capped.
+cargo build --release -p dpd-bench --bin table_smoke
+
+ulimit -v $((ULIMIT_MIB * 1024))
+echo "table_scale_smoke: ulimit -v ${ULIMIT_MIB} MiB"
+exec ./target/release/table_smoke

@@ -37,8 +37,9 @@ mod exists {
             BuildError, Detector, Dpd, DpdBuilder, DpdError, DpdEvent, EventMetric, EventSink,
             Forecast, ForecastStats, ForecastingDpd, FrameDetector, L1Metric, Metric,
             MultiScaleDpd, MultiStreamEvent, PeriodicPredictor, PeriodicityReport, PredictConfig,
-            Predictor, Restore, Result, SegmentEvent, Snapshot, SnapshotError, Spectrum, StreamId,
-            StreamTable, StreamingConfig, StreamingDpd, TableConfig,
+            Predictor, Restore, Result, SegmentEvent, Snapshot, SnapshotError, Spectrum,
+            StreamHandle, StreamId, StreamSummary, StreamTable, StreamTier, StreamingConfig,
+            StreamingDpd, TableConfig,
         };
     }
     mod pipeline_items {
@@ -52,7 +53,8 @@ mod exists {
     }
     mod shard_items {
         pub use dpd::core::shard::{
-            shard_of, MultiStreamEvent, StreamId, StreamTable, TableConfig, TableStats,
+            shard_of, MultiStreamEvent, StreamHandle, StreamId, StreamSummary, StreamTable,
+            StreamTier, TableConfig, TableStats, MAX_RESIDENT_STREAMS,
         };
     }
     mod snapshot_items {
@@ -120,8 +122,11 @@ const SURFACE: &[&str] = &[
     "dpd::core::Snapshot",
     "dpd::core::SnapshotError",
     "dpd::core::Spectrum",
+    "dpd::core::StreamHandle",
     "dpd::core::StreamId",
+    "dpd::core::StreamSummary",
     "dpd::core::StreamTable",
+    "dpd::core::StreamTier",
     "dpd::core::StreamingConfig",
     "dpd::core::StreamingDpd",
     "dpd::core::TableConfig",
@@ -156,6 +161,7 @@ const SURFACE: &[&str] = &[
     "dpd::core::prediction",
     "dpd::core::segmentation",
     "dpd::core::shard",
+    "dpd::core::shard::MAX_RESIDENT_STREAMS",
     "dpd::core::shard::TableStats",
     "dpd::core::shard::shard_of",
     "dpd::core::snapshot",

@@ -12,7 +12,7 @@
 
 use dpd::core::pipeline::DpdBuilder;
 use dpd::core::shard::{MultiStreamEvent, StreamId};
-use dpd::runtime::service::MultiStreamDpd;
+use dpd::runtime::service::{MultiStreamDpd, ShardStats};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -58,7 +58,7 @@ fn run(
     shards: usize,
     window: usize,
     evict_after: u64,
-) -> (Vec<MultiStreamEvent>, u64, u64, u64, u64) {
+) -> (Vec<MultiStreamEvent>, ShardStats) {
     let mut builder = DpdBuilder::new().window(window).keyed().shards(shards);
     if evict_after > 0 {
         builder = builder.evict_after(evict_after);
@@ -95,8 +95,13 @@ fn run(
     }
     let (tail, snapshot) = svc.finish();
     events.extend(tail);
-    let t = snapshot.total();
-    (events, t.samples, t.events, t.evicted, t.closed)
+    // Queue depth and batch counts are shard-frontend bookkeeping (zero in
+    // inline mode, per-worker in sharded mode); zero them so totals are
+    // comparable across shard counts and against a raw table.
+    let mut t = snapshot.total();
+    t.queue_depth = 0;
+    t.batches = 0;
+    (events, t)
 }
 
 fn by_stream(events: &[MultiStreamEvent]) -> BTreeMap<u64, Vec<MultiStreamEvent>> {
@@ -151,16 +156,12 @@ proptest! {
         streams in 1u64..12,
     ) {
         let ops: Vec<Op> = words.iter().map(|&w| decode(w, streams)).collect();
-        let (ref_events, ref_samples, ref_evs, ref_evicted, ref_closed) =
-            run(&ops, 0, 8, 0);
+        let (ref_events, ref_stats) = run(&ops, 0, 8, 0);
         let reference = by_stream(&ref_events);
         for shards in [1usize, 2, 4, 7] {
-            let (events, samples, evs, evicted, closed) = run(&ops, shards, 8, 0);
+            let (events, stats) = run(&ops, shards, 8, 0);
             prop_assert_eq!(by_stream(&events), reference.clone(), "shards={}", shards);
-            prop_assert_eq!(samples, ref_samples);
-            prop_assert_eq!(evs, ref_evs);
-            prop_assert_eq!(evicted, ref_evicted);
-            prop_assert_eq!(closed, ref_closed);
+            prop_assert_eq!(stats, ref_stats, "shards={}", shards);
         }
     }
 
@@ -173,19 +174,69 @@ proptest! {
         evict in 10u64..120,
     ) {
         let ops: Vec<Op> = words.iter().map(|&w| decode(w, streams)).collect();
-        let (ref_events, ref_samples, ref_evs, ref_evicted, ref_closed) =
-            run(&ops, 0, 8, evict);
+        let (ref_events, ref_stats) = run(&ops, 0, 8, evict);
         let reference = by_stream(&ref_events);
         for shards in [1usize, 2, 4, 7] {
-            let (events, samples, evs, evicted, closed) = run(&ops, shards, 8, evict);
+            let (events, stats) = run(&ops, shards, 8, evict);
             prop_assert_eq!(
                 by_stream(&events), reference.clone(),
                 "shards={} evict={}", shards, evict
             );
-            prop_assert_eq!(samples, ref_samples);
-            prop_assert_eq!(evs, ref_evs);
-            prop_assert_eq!(evicted, ref_evicted);
-            prop_assert_eq!(closed, ref_closed);
+            prop_assert_eq!(stats, ref_stats, "shards={} evict={}", shards, evict);
+        }
+    }
+
+    /// Satellite of the slab rewrite: both service rollup paths (the
+    /// inline snapshot arm and the worker-side publish refresh) map table
+    /// stats through the single `ShardStats::from_table` helper. A raw
+    /// `StreamTable` fed the service's exact schedule must therefore
+    /// produce — through that same helper — the service's published
+    /// totals, field by field, tier counters included.
+    #[test]
+    fn service_rollups_equal_raw_table_through_one_helper(
+        words in collection::vec(any::<u64>(), 5..40),
+        streams in 1u64..8,
+        evict in 10u64..120,
+    ) {
+        let ops: Vec<Op> = words.iter().map(|&w| decode(w, streams)).collect();
+        // Raw reference table, driven with the service's clock semantics
+        // (the global clock advances by each batch's length; finish is a
+        // final-clock sweep plus close_all).
+        let mut table = DpdBuilder::new()
+            .window(8)
+            .evict_after(evict)
+            .build_table()
+            .unwrap();
+        let mut fresh = 0x7F00_0000i64;
+        let mut seq = 0u64;
+        let mut sink = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Ingest { stream, period, start, len, aperiodic } => {
+                    let samples: Vec<i64> = (0..*len as u64)
+                        .map(|k| {
+                            if *aperiodic {
+                                fresh += 1;
+                                fresh
+                            } else {
+                                0x1000 + (*stream as i64) * 0x100 + ((start + k) % period) as i64
+                            }
+                        })
+                        .collect();
+                    table.ingest(seq, StreamId(*stream), &samples, &mut sink);
+                    seq += *len as u64;
+                }
+                Op::Close { stream } => {
+                    table.close(seq, StreamId(*stream), &mut sink);
+                }
+            }
+        }
+        table.sweep(seq);
+        table.close_all(seq, &mut sink);
+        let expected = ShardStats::from_table(&table.stats());
+        for shards in [0usize, 3] {
+            let (_, stats) = run(&ops, shards, 8, evict);
+            prop_assert_eq!(stats, expected, "shards={} evict={}", shards, evict);
         }
     }
 }

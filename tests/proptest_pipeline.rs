@@ -246,6 +246,83 @@ fn check_keyed(schedule: &Schedule, window: usize, evict_after: u64, horizon: us
     }
 }
 
+/// New table-scale options (memory budget, cold summaries): the raw
+/// `build_table` loop, the `build_keyed` pipeline and the deprecated
+/// `forecasting()` reconstruction shim all agree — identical unified
+/// events, rollups (including tier counters) and per-stream forecast
+/// accumulators.
+fn check_keyed_tiered(
+    schedule: &Schedule,
+    window: usize,
+    evict_after: u64,
+    cold_retain: u64,
+    budget_streams: u64,
+    horizon: usize,
+) {
+    let mut builder = DpdBuilder::new().window(window).keyed();
+    if evict_after > 0 {
+        builder = builder.evict_after(evict_after);
+    }
+    if horizon > 0 {
+        builder = builder.forecast(horizon);
+    }
+    if budget_streams > 0 {
+        let probe = builder.table_config().unwrap();
+        builder = builder.memory_budget(
+            probe.hot_stream_bytes() * budget_streams + probe.cold_stream_bytes() * 64,
+        );
+    }
+    if cold_retain > 0 {
+        builder = builder.cold_summary(cold_retain);
+    }
+    let ctx = format!(
+        "tiered window={window} evict={evict_after} cold={cold_retain} \
+         budget_streams={budget_streams} horizon={horizon}"
+    );
+
+    // The deprecated `forecasting()` shim must reconstruct the full config,
+    // budget and cold retention included.
+    let config = builder.table_config().unwrap();
+    if horizon > 0 {
+        let base = {
+            let mut b = DpdBuilder::new().window(window).keyed();
+            if evict_after > 0 {
+                b = b.evict_after(evict_after);
+            }
+            b = b.memory_budget(config.memory_budget);
+            if cold_retain > 0 {
+                b = b.cold_summary(cold_retain);
+            }
+            b.table_config().unwrap()
+        };
+        assert_eq!(base.forecasting(horizon), config, "{ctx}: forecasting shim");
+    }
+
+    let mut raw_table = StreamTable::new(config);
+    let mut raw_events = Vec::new();
+    let mut seq = 0u64;
+    for (stream, samples) in schedule {
+        raw_table.ingest(seq, StreamId(*stream), samples, &mut raw_events);
+        seq += samples.len() as u64;
+    }
+    raw_table.close_all(seq, &mut raw_events);
+    let raw_unified: Vec<(StreamId, DpdEvent)> =
+        raw_events.iter().map(DpdEvent::from_multi_stream).collect();
+
+    let mut keyed = builder.sweep_every(0).build_keyed(Vec::new()).unwrap();
+    for (stream, samples) in schedule {
+        keyed.ingest(StreamId(*stream), samples);
+    }
+    keyed.close_all();
+    assert_eq!(keyed.sink(), &raw_unified, "{ctx}");
+    assert_eq!(keyed.table().stats(), raw_table.stats(), "{ctx}: rollups");
+    let st = raw_table.stats();
+    assert!(
+        st.promoted <= st.demoted,
+        "{ctx}: promotions without demotions ({st:?})"
+    );
+}
+
 fn by_stream(events: &[MultiStreamEvent]) -> BTreeMap<u64, Vec<MultiStreamEvent>> {
     let mut m: BTreeMap<u64, Vec<MultiStreamEvent>> = BTreeMap::new();
     for &e in events {
@@ -427,6 +504,28 @@ proptest! {
         let evict = if evict_sel == 0 { 0 } else { evict_raw };
         let schedule = schedule_from_words(&words, 5);
         check_keyed(&schedule, window, evict, horizon);
+    }
+
+    /// Table-scale options: memory budget and cold summaries behave
+    /// identically through the raw table, the keyed pipeline and the
+    /// deprecated `forecasting()` reconstruction shim.
+    #[test]
+    fn tiered_table_paths_bit_identical(
+        words in collection::vec(any::<u64>(), 1..16),
+        window in 2usize..24,
+        evict_sel in 0u64..2,
+        evict_raw in 20u64..200,
+        cold_sel in 0u64..2,
+        cold_raw in 10u64..300,
+        budget_streams in 0u64..6,
+        horizon in 0usize..3,
+    ) {
+        let evict = if evict_sel == 0 { 0 } else { evict_raw };
+        let cold = if cold_sel == 0 { 0 } else { cold_raw };
+        // Cold retention needs a demotion source; budget alone suffices.
+        let budget_streams = if cold > 0 && evict == 0 { budget_streams.max(2) } else { budget_streams };
+        let schedule = schedule_from_words(&words, 5);
+        check_keyed_tiered(&schedule, window, evict, cold, budget_streams, horizon);
     }
 
     /// Sharded service: deprecated ServiceConfig constructors vs

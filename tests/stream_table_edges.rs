@@ -307,3 +307,200 @@ fn restore_after_close_mid_forecast_keeps_rollups_monotonic() {
     assert!(restored.stats().forecast_checked >= closed_stats.forecast_checked);
     assert!(restored.stats().closed >= closed_stats.closed);
 }
+
+// ---------------------------------------------------------------------
+// Tier-transition properties (hot → cold → gone) for the slab store:
+// random traffic with idle gaps under eviction + cold retention.
+
+use dpd::core::{StreamTable, StreamTier};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// `(stream, idle-gap-before-batch, len)` triples from random words. Gaps
+/// range over [0, 120): across the hot band, the cold band and beyond.
+fn gapped_schedule(words: &[u64], streams: u64) -> Vec<(u64, u64, usize)> {
+    words
+        .iter()
+        .map(|&w| {
+            let stream = w % streams;
+            let gap = (w >> 8) % 120;
+            let len = ((w >> 24) % 30 + 1) as usize;
+            (stream, gap, len)
+        })
+        .collect()
+}
+
+proptest! {
+    /// Hot→cold→gone transitions keep every rollup monotonic and the tier
+    /// invariants intact after every batch.
+    #[test]
+    fn tier_transitions_preserve_rollup_monotonicity(
+        words in collection::vec(any::<u64>(), 1..40),
+        horizon in 0usize..3,
+        cold_retain in 1u64..80,
+    ) {
+        let mut b = DpdBuilder::new()
+            .window(8)
+            .evict_after(24)
+            .cold_summary(cold_retain);
+        if horizon > 0 {
+            b = b.forecast(horizon);
+        }
+        let mut table = b.build_table().unwrap();
+        let mut out = Vec::new();
+        let mut seq = 0u64;
+        let mut prev = table.stats();
+        for (stream, gap, len) in gapped_schedule(&words, 4) {
+            seq += gap;
+            table.ingest(seq, StreamId(stream), &periodic(3 + stream, 0, len), &mut out);
+            seq += len as u64;
+            let st = table.stats();
+            for (name, was, now) in [
+                ("created", prev.created, st.created),
+                ("samples", prev.samples, st.samples),
+                ("events", prev.events, st.events),
+                ("evicted", prev.evicted, st.evicted),
+                ("closed", prev.closed, st.closed),
+                ("demoted", prev.demoted, st.demoted),
+                ("promoted", prev.promoted, st.promoted),
+                ("forecast_checked", prev.forecast_checked, st.forecast_checked),
+                ("forecast_hits", prev.forecast_hits, st.forecast_hits),
+            ] {
+                prop_assert!(now >= was, "{} went backwards: {} -> {}", name, was, now);
+            }
+            prop_assert!(st.cold <= st.streams);
+            prop_assert!(st.promoted <= st.demoted, "promotions need demotions");
+            prop_assert!(
+                st.demoted <= st.cold + st.promoted + st.evicted + st.closed,
+                "every demotion is cold, promoted, evicted or closed: {:?}", st
+            );
+            prop_assert_eq!(st.streams, table.len() as u64);
+            prev = st;
+        }
+    }
+
+    /// A cold stream re-promoted on new samples restores its
+    /// summary-derived lifetime counters exactly — across the freeze and
+    /// across the revival.
+    #[test]
+    fn cold_repromotion_restores_summary_counters_exactly(
+        period in 2u64..7,
+        len in 12usize..60,
+        cold_gap in 1u64..100,
+        horizon in 0usize..3,
+    ) {
+        let mut b = DpdBuilder::new().window(8).evict_after(24).cold_summary(100);
+        if horizon > 0 {
+            b = b.forecast(horizon);
+        }
+        let mut table = b.build_table().unwrap();
+        let mut out = Vec::new();
+        table.ingest(0, StreamId(0), &periodic(period, 0, len), &mut out);
+        let before = table.summary(StreamId(0)).unwrap();
+        let last = len as u64 - 1;
+        // Sweep inside the cold band: 24 < gap <= 124.
+        let clock = last + 25 + cold_gap;
+        table.sweep(clock);
+        let h = table.resolve(StreamId(0)).unwrap();
+        prop_assert_eq!(table.tier_of(h), Some(StreamTier::Cold));
+        let frozen = table.summary_of(h).unwrap();
+        prop_assert_eq!(frozen.samples, before.samples);
+        prop_assert_eq!(frozen.boundaries, before.boundaries);
+        prop_assert_eq!(frozen.forecast_checked, before.forecast_checked);
+        prop_assert_eq!(frozen.forecast_hits, before.forecast_hits);
+        prop_assert_eq!(frozen.period, before.period);
+        // Return with one sample, still inside the cold band.
+        table.ingest(clock, StreamId(0), &[0], &mut out);
+        prop_assert_eq!(
+            table.tier_of(table.resolve(StreamId(0)).unwrap()),
+            Some(StreamTier::Hot)
+        );
+        let after = table.summary(StreamId(0)).unwrap();
+        prop_assert_eq!(after.samples, before.samples + 1);
+        prop_assert_eq!(after.boundaries, before.boundaries);
+        prop_assert_eq!(after.forecast_checked, before.forecast_checked);
+        prop_assert_eq!(after.forecast_hits, before.forecast_hits);
+        let st = table.stats();
+        prop_assert_eq!(
+            (st.demoted, st.promoted, st.evicted, st.created),
+            (1, 1, 0, 1)
+        );
+    }
+
+    /// Interleaving eager sweeps anywhere in a cold-tier schedule never
+    /// changes the event stream, the rollups, or the durable snapshot.
+    #[test]
+    fn sweep_schedule_is_unobservable_with_cold_tier(
+        words in collection::vec(any::<u64>(), 1..30),
+        sweep_mask in any::<u32>(),
+    ) {
+        let builder = DpdBuilder::new()
+            .window(8)
+            .evict_after(24)
+            .cold_summary(60)
+            .forecast(1);
+        let mut lazy = builder.build_table().unwrap();
+        let mut eager = builder.build_table().unwrap();
+        let (mut el, mut ee) = (Vec::new(), Vec::new());
+        let mut seq = 0u64;
+        for (i, (stream, gap, len)) in gapped_schedule(&words, 4).into_iter().enumerate() {
+            seq += gap;
+            let chunk = periodic(3 + stream, 0, len);
+            lazy.ingest(seq, StreamId(stream), &chunk, &mut el);
+            eager.ingest(seq, StreamId(stream), &chunk, &mut ee);
+            seq += len as u64;
+            if sweep_mask & (1 << (i % 32)) != 0 {
+                eager.sweep(seq);
+            }
+        }
+        // One final sweep on both sides so the resident tiers agree before
+        // the byte-level comparison.
+        lazy.sweep(seq);
+        eager.sweep(seq);
+        lazy.close_all(seq, &mut el);
+        eager.close_all(seq, &mut ee);
+        prop_assert_eq!(el, ee, "sweeps changed the event stream");
+        prop_assert_eq!(lazy.stats(), eager.stats());
+        prop_assert_eq!(lazy.snapshot(), eager.snapshot());
+    }
+}
+
+/// A table holding all three tiers at once — a hot stream, a cold
+/// summary, and a closed (gone) id — snapshot/restores losslessly: same
+/// rollups, same tier membership, bit-identical re-snapshot, and
+/// truncated images error instead of panicking.
+#[test]
+fn snapshot_roundtrips_a_three_tier_table() {
+    let builder = DpdBuilder::new()
+        .window(8)
+        .evict_after(16)
+        .cold_summary(200)
+        .forecast(2);
+    let mut table = builder.build_table().unwrap();
+    let mut out = Vec::new();
+    table.ingest(0, StreamId(0), &periodic(3, 0, 24), &mut out); // → cold
+    table.ingest(24, StreamId(1), &periodic(4, 0, 24), &mut out); // → closed
+    table.close(48, StreamId(1), &mut out);
+    table.ingest(48, StreamId(2), &periodic(5, 0, 24), &mut out); // stays hot
+    table.sweep(72); // stream 0: gap 49 past the watermark, inside cold band
+    let st = table.stats();
+    assert_eq!((st.streams, st.cold, st.closed), (2, 1, 1));
+
+    let bytes = table.snapshot();
+    let mut restored = StreamTable::restore(&bytes).unwrap();
+    assert_eq!(restored.stats(), table.stats());
+    assert_eq!(restored.snapshot(), bytes, "re-snapshot is bit-identical");
+    let h = restored.resolve(StreamId(0)).unwrap();
+    assert_eq!(restored.tier_of(h), Some(StreamTier::Cold));
+    assert_eq!(restored.summary_of(h).unwrap().period, Some(3));
+    let h2 = restored.resolve(StreamId(2)).unwrap();
+    assert_eq!(restored.tier_of(h2), Some(StreamTier::Hot));
+
+    for cut in 0..bytes.len() {
+        assert!(
+            StreamTable::restore(&bytes[..cut]).is_err(),
+            "prefix of {cut} bytes restored successfully"
+        );
+    }
+    drive_and_compare(&mut table, &mut restored);
+}
