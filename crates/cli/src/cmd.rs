@@ -16,7 +16,7 @@ use std::fmt::Write as _;
 
 /// Usage text shown on errors.
 pub const USAGE: &str = "usage:
-  dpd generate --kind periodic|nested|aperiodic|phases [--period P] [--len N] [--format text|dtb] --out FILE
+  dpd generate --kind periodic|nested|aperiodic|phases [--period P] [--len N] [--format text|dtb] [--streams N] --out FILE
   dpd apps --app tomcatv|swim|apsi|hydro2d|turb3d [--format text|dtb] --out FILE
   dpd convert FILE --out FILE [--to text|dtb]
   dpd analyze FILE [--scales 8,64,512]
@@ -29,6 +29,9 @@ pub const USAGE: &str = "usage:
                  [--every 8] [--forecast H] [--throttle-ms T]
                  [--evict-after N] [--memory-budget BYTES] [--cold-retain N]
   dpd resume DIR --pile FILE [--snap FILE] [same flags as checkpoint]
+  dpd serve [--listen ADDR] [--port-file FILE] [--accept N] (see serve --help)
+  dpd loadgen CORPUS (--connect ADDR | --port-file FILE) [--conns N]
+              [--fragment whole|bytes:N|random] (see loadgen --help)
 
 Trace files are text or DTB binary containers; every reader auto-detects
 the format by magic, and a multistream DIR may mix both (a single .dtb
@@ -51,6 +54,10 @@ pub struct Flags {
     pub options: Vec<(String, String)>,
 }
 
+/// Flags that take no value (`--help`, `--resume`): presence is the
+/// signal, tested with [`Flags::has`].
+const BOOL_FLAGS: &[&str] = &["help", "resume"];
+
 impl Flags {
     /// Parse a raw argument list.
     pub fn parse(args: &[String]) -> Result<Flags, String> {
@@ -58,6 +65,10 @@ impl Flags {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
+                if BOOL_FLAGS.contains(&key) {
+                    flags.options.push((key.to_string(), String::new()));
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| format!("missing value for --{key}"))?;
@@ -67,6 +78,11 @@ impl Flags {
             }
         }
         Ok(flags)
+    }
+
+    /// Whether `--key` was given at all (valueless boolean flags).
+    pub fn has(&self, key: &str) -> bool {
+        self.options.iter().any(|(k, _)| k == key)
     }
 
     /// Last value of `--key`, if present.
@@ -104,6 +120,8 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         "predict" => predict(&flags),
         "checkpoint" => checkpoint_cmd(&flags),
         "resume" => resume_cmd(&flags),
+        "serve" => crate::netcmd::serve(&flags),
+        "loadgen" => crate::netcmd::loadgen(&flags),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -141,6 +159,37 @@ fn generate(flags: &Flags) -> Result<String, String> {
     let len = flags.get_usize("len", 5000)?;
     let period = flags.get_usize("period", 6)?;
     let out = flags.get("out").ok_or("generate requires --out FILE")?;
+    let streams = flags.get_usize("streams", 1)?;
+    if streams > 1 {
+        // Multi-stream corpus: one DTB container holding `streams`
+        // interleaved periodic event streams (periods vary per stream, see
+        // `gen::interleaved_stream_period`). This is the corpus shape
+        // `dpd loadgen` partitions across connections, so CI smoke scripts
+        // can build a many-connection workload with the CLI alone.
+        if parse_format(flags.get("format").unwrap_or("dtb"))? != TraceFormat::Dtb {
+            return Err(
+                "--streams N > 1 requires --format dtb (one container, many streams)".into(),
+            );
+        }
+        let chunk = 64usize.min(len.max(1));
+        let schedule = gen::interleaved_streams(streams as u64, chunk, len.div_ceil(chunk).max(1));
+        let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+        let mut w =
+            dtb::DtbWriter::new(std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
+        for s in 0..streams as u64 {
+            w.declare_events(s, &format!("s{s}"))
+                .map_err(|e| e.to_string())?;
+        }
+        let mut total = 0usize;
+        for (id, rec) in &schedule {
+            w.push_events(*id, rec).map_err(|e| e.to_string())?;
+            total += rec.len();
+        }
+        w.finish().map_err(|e| e.to_string())?;
+        return Ok(format!(
+            "wrote {streams} event streams ({total} samples) to {out}\n"
+        ));
+    }
     let values = match kind {
         "periodic" => {
             if period == 0 {
@@ -194,7 +243,7 @@ type DtbStreams = (Vec<(u64, EventTrace)>, Vec<(u64, SampledTrace)>);
 
 /// Decode every stream of a DTB container, keeping original stream ids
 /// (declaration order preserved).
-fn read_dtb_streams(bytes: &[u8]) -> Result<DtbStreams, dtb::DtbError> {
+pub(crate) fn read_dtb_streams(bytes: &[u8]) -> Result<DtbStreams, dtb::DtbError> {
     let mut reader = dtb::DtbReader::new(bytes)?;
     let mut events: Vec<(u64, EventTrace)> = Vec::new();
     let mut sampled: Vec<(u64, SampledTrace)> = Vec::new();

@@ -9,3 +9,4 @@
 #![deny(unsafe_code)]
 
 pub mod cmd;
+pub mod netcmd;

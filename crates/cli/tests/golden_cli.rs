@@ -66,11 +66,16 @@ fn write_trace_fixtures(traces: &Path) {
 
 /// Run one command and compare (or bless) its stdout against a golden.
 fn check_golden(name: &str, cmd: &str) {
-    let golden = fixtures_dir().join("golden").join(name);
     let out = dispatch(&argv(cmd)).unwrap_or_else(|e| panic!("{cmd}: {e}"));
+    check_golden_text(name, &out);
+}
+
+/// Compare (or bless) already-captured stdout against a golden.
+fn check_golden_text(name: &str, out: &str) {
+    let golden = fixtures_dir().join("golden").join(name);
     if bless() {
         std::fs::create_dir_all(golden.parent().unwrap()).unwrap();
-        std::fs::write(&golden, &out).unwrap();
+        std::fs::write(&golden, out).unwrap();
         return;
     }
     let expect = std::fs::read_to_string(&golden).unwrap_or_else(|e| {
@@ -81,7 +86,7 @@ fn check_golden(name: &str, cmd: &str) {
     });
     assert_eq!(
         out, expect,
-        "stdout of `dpd {cmd}` changed; if intentional, re-bless and commit"
+        "stdout behind golden {name} changed; if intentional, re-bless and commit"
     );
 }
 
@@ -153,6 +158,40 @@ fn golden_cli_outputs_are_stable() {
         let original = std::fs::read(&dtb).unwrap();
         assert_eq!(copy, original, "DTB -> DTB transcode is not canonical");
     }
+}
+
+/// The wire path is golden-tested too: `serve --help`, plus a loopback
+/// serve + loadgen smoke over the committed DTB fixture. Both sides run
+/// with `--timing none`, the loadgen partitions streams deterministically
+/// and the server sorts its event lines by stream id, so both stdouts
+/// are byte-stable for any connection interleaving.
+#[test]
+fn golden_serve_outputs_are_stable() {
+    check_golden("serve_help.txt", "serve --help");
+
+    let dtb = fixtures_dir().join("traces").join("streams.dtb");
+    assert!(
+        dtb.is_file(),
+        "trace fixtures missing (run DPD_BLESS=1 cargo test -p dpd-cli --test golden_cli)"
+    );
+    let scratch = PathBuf::from("../../target/golden-scratch");
+    std::fs::create_dir_all(&scratch).unwrap();
+    let port_file = scratch.join("serve_smoke.port");
+    std::fs::remove_file(&port_file).ok();
+
+    let (serve_out, loadgen_out) = dpd_cli::netcmd::loopback_smoke(
+        &argv(&format!(
+            "serve --accept 2 --window 16 --port-file {} --timing none",
+            port_file.display()
+        )),
+        &argv(&format!(
+            "loadgen {} --conns 2 --chunk 64 --fragment bytes:997 --port-file {} --timing none",
+            dtb.display(),
+            port_file.display()
+        )),
+    );
+    check_golden_text("serve_smoke_serve.txt", &serve_out);
+    check_golden_text("serve_smoke_loadgen.txt", &loadgen_out);
 }
 
 /// The convert stdout golden embeds absolute scratch paths only under

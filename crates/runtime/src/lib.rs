@@ -23,7 +23,11 @@
 //!   ingestion of thousands of concurrent streams over per-shard worker
 //!   threads, with a deterministic single-threaded fallback, plus durable
 //!   crash-safe state via [`service::MultiStreamDpd::checkpoint`] /
-//!   [`service::MultiStreamDpd::resume`].
+//!   [`service::MultiStreamDpd::resume`];
+//! * [`net`] — the DTB-over-TCP ingestion front-end: a hand-rolled
+//!   thread-per-connection server ([`net::DpdServer`]) with incremental
+//!   frame reassembly, bounded per-connection buffers, slow-client
+//!   shedding and checkpoint-on-exit durability.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -33,6 +37,7 @@ pub mod cpustat;
 pub mod loops;
 pub mod machine;
 pub mod msg;
+pub mod net;
 pub mod pool;
 pub mod region;
 pub mod sampler;

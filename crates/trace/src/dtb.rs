@@ -20,6 +20,12 @@
 //! samples arrive as interleaved data blocks, so a multi-stream corpus is a
 //! single file rather than a directory of one file per stream.
 //!
+//! Two decoders share one frame implementation: [`DtbReader`] walks a
+//! fully resident slice (file replay), and [`DtbDecoder`] accepts
+//! arbitrarily fragmented input (the `dpd serve` wire path, where frames
+//! split across `read()` boundaries). Both yield the same [`Block`]
+//! sequence for the same bytes.
+//!
 //! The normative byte-level specification lives in `docs/FORMAT.md`; this
 //! module is the reference implementation.
 //!
@@ -107,6 +113,18 @@ pub enum DtbError {
         /// Byte offset of the offending varint.
         offset: usize,
     },
+    /// A frame declares a body longer than the decoder's configured
+    /// budget ([`DtbDecoder::with_max_frame`]). Raised only on the
+    /// incremental path — a hostile length varint must not be allowed to
+    /// grow a per-connection buffer without bound.
+    FrameTooLarge {
+        /// The declared body length.
+        len: u64,
+        /// The decoder's body-length budget.
+        limit: usize,
+        /// Byte offset of the frame's type byte.
+        offset: usize,
+    },
     /// A frame type byte this implementation does not know.
     UnknownFrame {
         /// The unknown type byte.
@@ -156,6 +174,10 @@ impl std::fmt::Display for DtbError {
                 "corrupt DTB frame at byte {offset}: stored CRC {stored:#010x}, computed {computed:#010x}"
             ),
             DtbError::BadVarint { offset } => write!(f, "bad varint at byte {offset}"),
+            DtbError::FrameTooLarge { len, limit, offset } => write!(
+                f,
+                "frame at byte {offset} declares a {len}-byte body exceeding the {limit}-byte budget"
+            ),
             DtbError::UnknownFrame { frame, offset } => {
                 write!(f, "unknown DTB frame type {frame:#04x} at byte {offset}")
             }
@@ -619,151 +641,114 @@ fn encode_sample_block(body: &mut Vec<u8>, stream: u64, values: &[f64]) {
 }
 
 // ---------------------------------------------------------------------
-// Reader.
+// Shared frame machinery — ONE implementation of framing + body decode.
+//
+// `DtbReader` (whole-slice file replay) and `DtbDecoder` (incremental
+// wire ingest) both go through `split_frame` and `FrameDecoder`, so the
+// CRC scope, varint handling, delta-of-delta and XOR-of-bits logic
+// cannot fork between the file path and the network path.
 
-/// One decoded frame yielded by [`DtbReader::next_block`].
-///
-/// `Events` / `Samples` slices borrow the reader's internal decode buffer
-/// and stay valid until the next `next_block` call — consume (or copy)
-/// them before advancing.
-#[derive(Debug, PartialEq)]
-pub enum Block<'r> {
-    /// A stream declaration (first sight of the stream, or an idempotent
-    /// re-declaration after file concatenation).
-    Decl {
-        /// The declared stream id.
-        stream: u64,
-        /// The declared metadata.
-        meta: &'r StreamMeta,
-    },
-    /// A batch of event values for one declared event stream.
-    Events {
-        /// Owning stream id.
-        stream: u64,
-        /// Decoded values, in stream order.
-        values: &'r [i64],
-    },
-    /// A batch of `f64` samples for one declared sampled stream.
-    Samples {
-        /// Owning stream id.
-        stream: u64,
-        /// Decoded samples, in stream order.
-        values: &'r [f64],
+/// Outcome of attempting to split one frame out of a byte buffer.
+#[derive(Debug)]
+enum FrameStep {
+    /// The buffer ends before the frame does. `at` is the absolute byte
+    /// offset at which more input was required (the slice reader maps
+    /// this to [`DtbError::Truncated`]; the incremental decoder waits
+    /// for more bytes).
+    NeedMore { at: usize },
+    /// A complete, CRC-verified frame.
+    Frame {
+        frame: u8,
+        body_start: usize,
+        body_end: usize,
+        next: usize,
     },
 }
 
-/// Allocation-free streaming reader over an in-memory DTB container.
+/// Split the frame starting at `pos` out of `data` and verify its CRC.
 ///
-/// Construction validates the header; [`DtbReader::next_block`] then walks
-/// the frame sequence, checking each frame's CRC before decoding. Decoded
-/// values land in two reusable internal buffers, so steady-state reading
-/// performs no per-block allocation; the input slice itself is never
-/// copied (varints are decoded in place).
-#[derive(Debug)]
-pub struct DtbReader<'a> {
-    data: &'a [u8],
+/// `base` is the absolute offset of `data[0]` (error reporting only);
+/// `max_body` bounds the declared body length — `usize::MAX` for the
+/// slice reader (the slice itself is the bound), the per-connection
+/// budget for the incremental decoder.
+fn split_frame(
+    data: &[u8],
     pos: usize,
+    base: usize,
+    max_body: usize,
+) -> Result<FrameStep, DtbError> {
+    let frame = data[pos];
+    let mut cursor = pos + 1;
+    let body_len = match get_varint(data, &mut cursor, base) {
+        Ok(v) => v,
+        // The length varint itself ran off the end of the buffer.
+        Err(DtbError::Truncated { offset }) => return Ok(FrameStep::NeedMore { at: offset }),
+        Err(e) => return Err(e),
+    };
+    if body_len > max_body as u64 {
+        return Err(DtbError::FrameTooLarge {
+            len: body_len,
+            limit: max_body,
+            offset: base + pos,
+        });
+    }
+    let body_start = cursor;
+    // Both adds are checked: a hostile length varint near u64::MAX must
+    // report truncation, not overflow (docs/FORMAT.md §8).
+    let frame_end = match body_start
+        .checked_add(body_len as usize)
+        .and_then(|e| e.checked_add(4))
+    {
+        Some(end) => end,
+        None => return Ok(FrameStep::NeedMore { at: base + pos }),
+    };
+    if frame_end > data.len() {
+        return Ok(FrameStep::NeedMore { at: base + pos });
+    }
+    let body_end = frame_end - 4;
+    let body = &data[body_start..body_end];
+    let stored = u32::from_le_bytes(
+        data[body_end..frame_end]
+            .try_into()
+            .expect("4 bytes sliced"),
+    );
+    let computed = crc32_frame(frame, body);
+    if stored != computed {
+        return Err(DtbError::BadCrc {
+            offset: base + pos,
+            stored,
+            computed,
+        });
+    }
+    Ok(FrameStep::Frame {
+        frame,
+        body_start,
+        body_end,
+        next: frame_end,
+    })
+}
+
+/// Shared frame-body decoder: declared stream metadata plus the reusable
+/// value buffers. Holds every piece of cross-frame state a DTB byte
+/// sequence carries, so a container can be decoded from a resident slice
+/// and from arbitrarily fragmented wire reads by the same code.
+#[derive(Debug, Default)]
+struct FrameDecoder {
     metas: HashMap<u64, StreamMeta>,
     ibuf: Vec<i64>,
     fbuf: Vec<f64>,
 }
 
-impl<'a> DtbReader<'a> {
-    /// Open a container held in `data`, validating magic and version.
-    pub fn new(data: &'a [u8]) -> Result<Self, DtbError> {
-        if data.len() < HEADER_LEN {
-            if data.len() >= 4 && data[..4] != MAGIC {
-                return Err(DtbError::BadMagic);
-            }
-            return Err(DtbError::Truncated { offset: data.len() });
-        }
-        if data[..4] != MAGIC {
-            return Err(DtbError::BadMagic);
-        }
-        if data[4] != VERSION {
-            return Err(DtbError::UnsupportedVersion(data[4]));
-        }
-        Ok(DtbReader {
-            data,
-            pos: HEADER_LEN,
-            metas: HashMap::new(),
-            ibuf: Vec::new(),
-            fbuf: Vec::new(),
-        })
-    }
-
-    /// Byte offset of the next frame (diagnostics / progress reporting).
-    pub fn position(&self) -> usize {
-        self.pos
-    }
-
-    /// Metadata of a stream declared so far.
-    pub fn meta(&self, stream: u64) -> Option<&StreamMeta> {
-        self.metas.get(&stream)
-    }
-
-    /// Ids of every stream declared so far, ascending.
-    pub fn stream_ids(&self) -> Vec<u64> {
-        let mut ids: Vec<u64> = self.metas.keys().copied().collect();
-        ids.sort_unstable();
-        ids
-    }
-
-    /// Decode the next frame, or `None` at a clean end of input.
-    ///
-    /// Errors are sticky in practice: after a decode error the reader's
-    /// position is unspecified and further calls may keep failing — stop
-    /// on the first `Err` unless you are scanning for salvage.
-    pub fn next_block(&mut self) -> Option<Result<Block<'_>, DtbError>> {
-        // Interior headers appear where DTB files were concatenated; skip.
-        while self.data.len() - self.pos >= HEADER_LEN && self.data[self.pos..self.pos + 4] == MAGIC
-        {
-            if self.data[self.pos + 4] != VERSION {
-                return Some(Err(DtbError::UnsupportedVersion(self.data[self.pos + 4])));
-            }
-            self.pos += HEADER_LEN;
-        }
-        if self.pos >= self.data.len() {
-            return None;
-        }
-        Some(self.decode_frame())
-    }
-
-    fn decode_frame(&mut self) -> Result<Block<'_>, DtbError> {
-        let frame_start = self.pos;
-        let frame = self.data[self.pos];
-        let mut cursor = self.pos + 1;
-        let body_len = get_varint(self.data, &mut cursor, 0)? as usize;
-        let body_start = cursor;
-        // Both adds are checked: a hostile length varint near u64::MAX
-        // must report truncation, not overflow (docs/FORMAT.md §8).
-        let frame_end = body_start
-            .checked_add(body_len)
-            .and_then(|e| e.checked_add(4))
-            .ok_or(DtbError::Truncated {
-                offset: frame_start,
-            })?;
-        if frame_end > self.data.len() {
-            return Err(DtbError::Truncated {
-                offset: frame_start,
-            });
-        }
-        let body_end = frame_end - 4;
-        let body = &self.data[body_start..body_end];
-        let stored = u32::from_le_bytes(
-            self.data[body_end..frame_end]
-                .try_into()
-                .expect("4 bytes sliced"),
-        );
-        let computed = crc32_frame(frame, body);
-        if stored != computed {
-            return Err(DtbError::BadCrc {
-                offset: frame_start,
-                stored,
-                computed,
-            });
-        }
-        self.pos = frame_end;
+impl FrameDecoder {
+    /// Decode one CRC-verified frame body. `body_start` / `frame_start`
+    /// are absolute offsets for error reporting.
+    fn decode(
+        &mut self,
+        frame: u8,
+        body: &[u8],
+        body_start: usize,
+        frame_start: usize,
+    ) -> Result<Block<'_>, DtbError> {
         match frame {
             FRAME_DECL => self.decode_decl(body, body_start),
             FRAME_EVENTS => self.decode_events(body, body_start),
@@ -925,6 +910,333 @@ impl<'a> DtbReader<'a> {
             stream,
             values: &self.fbuf,
         })
+    }
+
+    fn meta(&self, stream: u64) -> Option<&StreamMeta> {
+        self.metas.get(&stream)
+    }
+
+    fn stream_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.metas.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader.
+
+/// One decoded frame yielded by [`DtbReader::next_block`] or
+/// [`DtbDecoder::next_block`].
+///
+/// `Events` / `Samples` slices borrow the decoder's internal decode buffer
+/// and stay valid until the next `next_block` call — consume (or copy)
+/// them before advancing.
+#[derive(Debug, PartialEq)]
+pub enum Block<'r> {
+    /// A stream declaration (first sight of the stream, or an idempotent
+    /// re-declaration after file concatenation).
+    Decl {
+        /// The declared stream id.
+        stream: u64,
+        /// The declared metadata.
+        meta: &'r StreamMeta,
+    },
+    /// A batch of event values for one declared event stream.
+    Events {
+        /// Owning stream id.
+        stream: u64,
+        /// Decoded values, in stream order.
+        values: &'r [i64],
+    },
+    /// A batch of `f64` samples for one declared sampled stream.
+    Samples {
+        /// Owning stream id.
+        stream: u64,
+        /// Decoded samples, in stream order.
+        values: &'r [f64],
+    },
+}
+
+/// Allocation-free streaming reader over an in-memory DTB container.
+///
+/// Construction validates the header; [`DtbReader::next_block`] then walks
+/// the frame sequence, checking each frame's CRC before decoding. Decoded
+/// values land in two reusable internal buffers, so steady-state reading
+/// performs no per-block allocation; the input slice itself is never
+/// copied (varints are decoded in place).
+#[derive(Debug)]
+pub struct DtbReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    dec: FrameDecoder,
+}
+
+impl<'a> DtbReader<'a> {
+    /// Open a container held in `data`, validating magic and version.
+    pub fn new(data: &'a [u8]) -> Result<Self, DtbError> {
+        if data.len() < HEADER_LEN {
+            if data.len() >= 4 && data[..4] != MAGIC {
+                return Err(DtbError::BadMagic);
+            }
+            return Err(DtbError::Truncated { offset: data.len() });
+        }
+        if data[..4] != MAGIC {
+            return Err(DtbError::BadMagic);
+        }
+        if data[4] != VERSION {
+            return Err(DtbError::UnsupportedVersion(data[4]));
+        }
+        Ok(DtbReader {
+            data,
+            pos: HEADER_LEN,
+            dec: FrameDecoder::default(),
+        })
+    }
+
+    /// Byte offset of the next frame (diagnostics / progress reporting).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Metadata of a stream declared so far.
+    pub fn meta(&self, stream: u64) -> Option<&StreamMeta> {
+        self.dec.meta(stream)
+    }
+
+    /// Ids of every stream declared so far, ascending.
+    pub fn stream_ids(&self) -> Vec<u64> {
+        self.dec.stream_ids()
+    }
+
+    /// Decode the next frame, or `None` at a clean end of input.
+    ///
+    /// Errors are sticky in practice: after a decode error the reader's
+    /// position is unspecified and further calls may keep failing — stop
+    /// on the first `Err` unless you are scanning for salvage.
+    pub fn next_block(&mut self) -> Option<Result<Block<'_>, DtbError>> {
+        // Interior headers appear where DTB files were concatenated; skip.
+        while self.data.len() - self.pos >= HEADER_LEN && self.data[self.pos..self.pos + 4] == MAGIC
+        {
+            if self.data[self.pos + 4] != VERSION {
+                return Some(Err(DtbError::UnsupportedVersion(self.data[self.pos + 4])));
+            }
+            self.pos += HEADER_LEN;
+        }
+        if self.pos >= self.data.len() {
+            return None;
+        }
+        Some(self.decode_frame())
+    }
+
+    fn decode_frame(&mut self) -> Result<Block<'_>, DtbError> {
+        let frame_start = self.pos;
+        match split_frame(self.data, self.pos, 0, usize::MAX)? {
+            // A complete file ending mid-frame is truncated.
+            FrameStep::NeedMore { at } => Err(DtbError::Truncated { offset: at }),
+            FrameStep::Frame {
+                frame,
+                body_start,
+                body_end,
+                next,
+            } => {
+                self.pos = next;
+                self.dec.decode(
+                    frame,
+                    &self.data[body_start..body_end],
+                    body_start,
+                    frame_start,
+                )
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Incremental decoder (the wire path).
+
+/// Default per-frame body budget of [`DtbDecoder`]: 1 MiB, comfortably
+/// above any block the writer emits (a [`DEFAULT_BLOCK_LEN`] event block
+/// is at most ~40 KiB even with every varint at its 10-byte maximum).
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Incremental DTB decoder over arbitrarily fragmented input.
+///
+/// Where [`DtbReader`] requires the whole container resident in one
+/// slice, `DtbDecoder` accepts bytes as they arrive — e.g. from `read()`
+/// calls on a socket that split frames at arbitrary boundaries — and
+/// yields exactly the same [`Block`] sequence:
+///
+/// * [`DtbDecoder::feed`] appends a chunk of input;
+/// * [`DtbDecoder::next_block`] yields the next complete frame, or
+///   `Ok(None)` when the buffered bytes end mid-frame (feed more and
+///   retry — this is *not* an error);
+/// * [`DtbDecoder::finish`] distinguishes a clean end of input from a
+///   connection dropped mid-frame.
+///
+/// Both decoders share one frame implementation (`split_frame` +
+/// `FrameDecoder` internally), so the file replay path and the network
+/// path cannot diverge on CRC scope, varint handling, or block decoding.
+/// Unlike the reader, the decoder bounds the declared body length
+/// ([`DtbDecoder::with_max_frame`]) so a hostile length varint cannot
+/// grow the buffer without bound; consumed bytes are compacted away on
+/// every `feed`, keeping the buffer at one partial frame plus one read.
+#[derive(Debug)]
+pub struct DtbDecoder {
+    buf: Vec<u8>,
+    /// Next undecoded byte within `buf`.
+    pos: usize,
+    /// Absolute input offset of `buf[0]` (error reporting / progress).
+    base: usize,
+    header_seen: bool,
+    max_frame: usize,
+    dec: FrameDecoder,
+}
+
+impl Default for DtbDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DtbDecoder {
+    /// New decoder with the [`DEFAULT_MAX_FRAME`] body budget.
+    pub fn new() -> Self {
+        Self::with_max_frame(DEFAULT_MAX_FRAME)
+    }
+
+    /// New decoder rejecting frames whose declared body exceeds
+    /// `max_frame` bytes (with [`DtbError::FrameTooLarge`]).
+    ///
+    /// # Panics
+    /// Panics when `max_frame` is zero.
+    pub fn with_max_frame(max_frame: usize) -> Self {
+        assert!(max_frame > 0, "max_frame must be positive");
+        DtbDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            base: 0,
+            header_seen: false,
+            max_frame,
+            dec: FrameDecoder::default(),
+        }
+    }
+
+    /// Append a chunk of input. Consumed bytes are compacted out first,
+    /// so the buffer holds at most one partial frame plus this chunk.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.pos > 0 {
+            let len = self.buf.len();
+            self.buf.copy_within(self.pos..len, 0);
+            self.buf.truncate(len - self.pos);
+            self.base += self.pos;
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Decode the next complete frame, or `Ok(None)` when the buffered
+    /// input ends mid-frame (feed more bytes and call again).
+    ///
+    /// Errors are protocol-fatal: the input up to the previous block is a
+    /// valid prefix, but the decoder's position within the damaged frame
+    /// is unspecified — stop feeding after the first `Err`.
+    pub fn next_block(&mut self) -> Result<Option<Block<'_>>, DtbError> {
+        // File header first, then interior headers wherever containers
+        // were concatenated — same skip rule as the slice reader.
+        loop {
+            let avail = self.buf.len() - self.pos;
+            if !self.header_seen {
+                if avail >= 4 && self.buf[self.pos..self.pos + 4] != MAGIC {
+                    return Err(DtbError::BadMagic);
+                }
+                if avail < HEADER_LEN {
+                    return Ok(None);
+                }
+                if self.buf[self.pos + 4] != VERSION {
+                    return Err(DtbError::UnsupportedVersion(self.buf[self.pos + 4]));
+                }
+                self.header_seen = true;
+                self.pos += HEADER_LEN;
+                continue;
+            }
+            if avail == 0 {
+                return Ok(None);
+            }
+            if self.buf[self.pos] == MAGIC[0] {
+                // Possibly an interior header: no frame type shares the
+                // magic's first byte, but wait for enough bytes to tell
+                // an interior header from a corrupt frame.
+                if avail < HEADER_LEN {
+                    return Ok(None);
+                }
+                if self.buf[self.pos..self.pos + 4] == MAGIC {
+                    if self.buf[self.pos + 4] != VERSION {
+                        return Err(DtbError::UnsupportedVersion(self.buf[self.pos + 4]));
+                    }
+                    self.pos += HEADER_LEN;
+                    continue;
+                }
+            }
+            break;
+        }
+        let frame_start = self.pos;
+        match split_frame(&self.buf, self.pos, self.base, self.max_frame)? {
+            FrameStep::NeedMore { .. } => Ok(None),
+            FrameStep::Frame {
+                frame,
+                body_start,
+                body_end,
+                next,
+            } => {
+                self.pos = next;
+                self.dec
+                    .decode(
+                        frame,
+                        &self.buf[body_start..body_end],
+                        self.base + body_start,
+                        self.base + frame_start,
+                    )
+                    .map(Some)
+            }
+        }
+    }
+
+    /// Total bytes fully consumed so far (absolute input offset).
+    pub fn position(&self) -> usize {
+        self.base + self.pos
+    }
+
+    /// Bytes buffered but not yet decoded (a partial frame awaiting the
+    /// rest of its input) — the quantity per-connection buffer budgets
+    /// account against.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Check that the input ended cleanly: at a frame boundary after a
+    /// valid header, or — for a connection that never sent anything —
+    /// completely empty. An input ending mid-header or mid-frame is
+    /// [`DtbError::Truncated`].
+    pub fn finish(&self) -> Result<(), DtbError> {
+        let never_fed = self.base == 0 && self.buf.is_empty() && !self.header_seen;
+        if self.buffered() == 0 && (self.header_seen || never_fed) {
+            Ok(())
+        } else {
+            Err(DtbError::Truncated {
+                offset: self.base + self.buf.len(),
+            })
+        }
+    }
+
+    /// Metadata of a stream declared so far.
+    pub fn meta(&self, stream: u64) -> Option<&StreamMeta> {
+        self.dec.meta(stream)
+    }
+
+    /// Ids of every stream declared so far, ascending.
+    pub fn stream_ids(&self) -> Vec<u64> {
+        self.dec.stream_ids()
     }
 }
 
@@ -1295,6 +1607,11 @@ mod tests {
                 computed: 2,
             },
             DtbError::BadVarint { offset: 9 },
+            DtbError::FrameTooLarge {
+                len: 1 << 30,
+                limit: 1 << 20,
+                offset: 6,
+            },
             DtbError::UnknownFrame {
                 frame: 0x7F,
                 offset: 6,
@@ -1322,6 +1639,127 @@ mod tests {
                 assert!(err.source().is_none());
             }
         }
+    }
+
+    /// Collect every block from a `DtbDecoder` fed in `chunk`-byte pieces.
+    fn incremental_decode(bytes: &[u8], chunk: usize) -> Vec<(u64, Vec<i64>)> {
+        let mut dec = DtbDecoder::new();
+        let mut out = Vec::new();
+        for piece in bytes.chunks(chunk.max(1)) {
+            dec.feed(piece);
+            loop {
+                match dec.next_block().expect("valid input") {
+                    Some(Block::Events { stream, values }) => out.push((stream, values.to_vec())),
+                    Some(_) => {}
+                    None => break,
+                }
+            }
+        }
+        dec.finish().expect("clean end of input");
+        assert_eq!(dec.position(), bytes.len());
+        out
+    }
+
+    #[test]
+    fn incremental_decoder_matches_reader_under_any_fragmentation() {
+        let a: Vec<i64> = (0..500).map(|i| 0x1000 + (i % 7)).collect();
+        let b: Vec<i64> = (0..333).map(|i| 0x2000 - i * 17).collect();
+        let bytes = event_container(&[(5, "a", a), (9, "b", b)], 64);
+        let mut r = DtbReader::new(&bytes).unwrap();
+        let mut reference = Vec::new();
+        while let Some(block) = r.next_block() {
+            if let Block::Events { stream, values } = block.unwrap() {
+                reference.push((stream, values.to_vec()));
+            }
+        }
+        for chunk in [1usize, 2, 3, 7, 64, 1000, bytes.len()] {
+            assert_eq!(
+                incremental_decode(&bytes, chunk),
+                reference,
+                "chunk={chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_decoder_handles_concatenation_and_sampled_streams() {
+        let mut first = event_container(&[(0, "x", (0..40).collect())], 16);
+        let mut w = DtbWriter::new(Vec::new()).unwrap();
+        w.declare_sampled(1, "s", 1000).unwrap();
+        w.push_samples(1, &[1.0, -0.0, f64::NAN]).unwrap();
+        first.extend_from_slice(&w.finish().unwrap());
+        let mut dec = DtbDecoder::new();
+        let mut events = 0usize;
+        let mut samples: Vec<u64> = Vec::new();
+        for piece in first.chunks(5) {
+            dec.feed(piece);
+            while let Some(block) = dec.next_block().unwrap() {
+                match block {
+                    Block::Events { values, .. } => events += values.len(),
+                    Block::Samples { values, .. } => {
+                        samples.extend(values.iter().map(|v| v.to_bits()))
+                    }
+                    Block::Decl { .. } => {}
+                }
+            }
+        }
+        dec.finish().unwrap();
+        assert_eq!(events, 40);
+        let expected: Vec<u64> = [1.0f64, -0.0, f64::NAN]
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(samples, expected, "sampled values bit-exact");
+    }
+
+    #[test]
+    fn incremental_decoder_flags_truncation_and_bounds_frames() {
+        let bytes = event_container(&[(0, "x", (0..200).collect())], 64);
+        // Mid-frame end of input: finish() must reject it.
+        let mut dec = DtbDecoder::new();
+        dec.feed(&bytes[..bytes.len() - 3]);
+        while dec.next_block().unwrap().is_some() {}
+        assert!(matches!(dec.finish(), Err(DtbError::Truncated { .. })));
+        // A connection that never sent anything is a clean close.
+        assert!(DtbDecoder::new().finish().is_ok());
+        // A declared body larger than the budget is rejected before any
+        // buffering happens, even though the body never arrives.
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(&MAGIC);
+        hostile.extend_from_slice(&[VERSION, 0]);
+        hostile.push(FRAME_EVENTS);
+        put_varint(&mut hostile, 1 << 30);
+        let mut dec = DtbDecoder::with_max_frame(1 << 20);
+        dec.feed(&hostile);
+        assert!(matches!(
+            dec.next_block(),
+            Err(DtbError::FrameTooLarge { .. })
+        ));
+        // The slice reader still reports hostile huge lengths as
+        // truncation (the slice itself is its bound).
+        let mut r = DtbReader::new(&hostile).unwrap();
+        assert!(matches!(
+            r.next_block(),
+            Some(Err(DtbError::Truncated { .. }))
+        ));
+    }
+
+    #[test]
+    fn incremental_decoder_compacts_consumed_input() {
+        let bytes = event_container(&[(0, "x", (0..50_000).map(|i| i % 11).collect())], 512);
+        let mut dec = DtbDecoder::new();
+        let mut high_water = 0usize;
+        for piece in bytes.chunks(4096) {
+            dec.feed(piece);
+            while dec.next_block().unwrap().is_some() {}
+            high_water = high_water.max(dec.buffered());
+        }
+        dec.finish().unwrap();
+        // Buffered bytes never exceed one partial frame + one chunk.
+        assert!(
+            high_water < 4096 + DEFAULT_MAX_FRAME.min(8192),
+            "decoder buffered {high_water} bytes"
+        );
     }
 
     #[test]

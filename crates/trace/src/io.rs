@@ -135,9 +135,12 @@ pub fn detect_format(head: &[u8]) -> Option<TraceFormat> {
 
 /// Read an event trace from either format, dispatching on the magic.
 ///
-/// The whole input is buffered in memory first (the DTB decoder is
-/// slice-based); for the multi-gigabyte case stream the DTB container
-/// through [`dtb::DtbReader`] directly instead.
+/// The whole input is deliberately buffered in memory first — the text
+/// parser and [`dtb::DtbReader`] are both slice-based, and files are the
+/// only callers. Inputs that cannot be made resident (sockets, where
+/// frames split across arbitrary `read()` boundaries) go through the
+/// incremental [`dtb::DtbDecoder`] instead; both DTB decoders share one
+/// frame implementation, so the choice cannot change the decoded blocks.
 pub fn read_events_auto<R: Read>(mut r: R) -> Result<EventTrace, TraceIoError> {
     let mut bytes = Vec::new();
     r.read_to_end(&mut bytes)?;

@@ -16,7 +16,9 @@
 //!   plus auto-detection between it and the DTB binary container.
 //! * [`dtb`] — the DTB binary container: multi-stream, delta-of-delta +
 //!   varint encoded, CRC-protected, built for wire-speed replay (see
-//!   `docs/FORMAT.md` for the normative spec).
+//!   `docs/FORMAT.md` for the normative spec). Decodable from a resident
+//!   slice ([`dtb::DtbReader`]) or incrementally from fragmented wire
+//!   input ([`dtb::DtbDecoder`]).
 //! * [`pile`] — the append-only, crash-safe segment log (event frames,
 //!   checkpoint frames, epoch markers) with torn-tail recovery; the
 //!   durability substrate of the multi-stream service (see

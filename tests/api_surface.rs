@@ -78,6 +78,12 @@ mod exists {
             CheckpointError, MultiStreamDpd, ServiceConfig, ServiceSnapshot, ShardStats,
         };
     }
+    mod net_items {
+        pub use dpd::runtime::net::{
+            DpdServer, DurableNet, NetConfig, NetError, NetStats, ServeReport, HANDSHAKE_MAGIC,
+            PROTOCOL_VERSION,
+        };
+    }
     mod analyzer_items {
         pub use dpd::analyzer::{
             multistream::MultiStreamAnalyzer, ExecutionEstimator, RegionInfo, SelfAnalyzer,
@@ -177,6 +183,14 @@ const SURFACE: &[&str] = &[
     "dpd::core::window",
     "dpd::interpose",
     "dpd::runtime",
+    "dpd::runtime::net::DpdServer",
+    "dpd::runtime::net::DurableNet",
+    "dpd::runtime::net::HANDSHAKE_MAGIC",
+    "dpd::runtime::net::NetConfig",
+    "dpd::runtime::net::NetError",
+    "dpd::runtime::net::NetStats",
+    "dpd::runtime::net::PROTOCOL_VERSION",
+    "dpd::runtime::net::ServeReport",
     "dpd::runtime::service::CheckpointError",
     "dpd::runtime::service::MultiStreamDpd",
     "dpd::runtime::service::ServiceConfig",
