@@ -25,6 +25,8 @@ pub const USAGE: &str = "usage:
   dpd multistream DIR [--shards 4] [--window 64] [--chunk 256] [--timing show|none]
                   [--evict-after N] [--memory-budget BYTES] [--cold-retain N]
   dpd predict FILE [--window 64] [--horizon 1]
+  dpd query FILE --spec FILE [--window 64] [--chunk 256] [--horizon 0]
+            [--evict-after N]
   dpd checkpoint DIR --pile FILE [--snap FILE] [--window 64] [--shards 0] [--chunk 256]
                  [--every 8] [--forecast H] [--throttle-ms T]
                  [--evict-after N] [--memory-budget BYTES] [--cold-retain N]
@@ -118,6 +120,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         "segment" => segment(&flags),
         "multistream" => multistream(&flags),
         "predict" => predict(&flags),
+        "query" => query_cmd(&flags),
         "checkpoint" => checkpoint_cmd(&flags),
         "resume" => resume_cmd(&flags),
         "serve" => crate::netcmd::serve(&flags),
@@ -702,6 +705,152 @@ fn predict(flags: &Flags) -> Result<String, String> {
         out,
         "total: checked {checked_total}  hit-rate {}",
         fmt_pct(total_rate)
+    )
+    .unwrap();
+    Ok(out)
+}
+
+/// `dpd query FILE --spec FILE`: replay every event stream of the trace
+/// through the deterministic inline service with the spec file's standing
+/// queries attached, and print the full delta log. One query per spec
+/// line — `period-in LO HI`, `lock-lost-within N`, `confidence-at-least
+/// T`, `period-join TOL` — with `#` comments (see docs/QUERIES.md).
+/// Output is deliberately deterministic (inline mode, stable stream
+/// order, no wall-clock figures) so it can be golden-file tested.
+fn query_cmd(flags: &Flags) -> Result<String, String> {
+    let path = flags
+        .positional
+        .first()
+        .ok_or("query expects a trace file argument")?;
+    let spec_path = flags.get("spec").ok_or("query requires --spec FILE")?;
+    let window = flags.get_usize("window", 64)?;
+    let chunk = flags.get_usize("chunk", 256)?.max(1);
+    let horizon = flags.get_usize("horizon", 0)?;
+    let evict_after = flags.get_usize("evict-after", 0)? as u64;
+
+    let spec_text =
+        std::fs::read_to_string(spec_path).map_err(|e| format!("read {spec_path}: {e}"))?;
+    let specs =
+        dpd_core::query::parse_specs(&spec_text).map_err(|e| format!("{spec_path}: {e}"))?;
+    if specs.is_empty() {
+        return Err(format!("{spec_path}: spec file declares no queries"));
+    }
+
+    // Same corpus policy as `predict`: every event stream of a DTB
+    // container in declaration order, or the single stream of a text
+    // trace; sampled streams are reported, not silently dropped.
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut skipped_sampled = 0usize;
+    let streams: Vec<EventTrace> = match io::detect_format(&bytes) {
+        Some(TraceFormat::Dtb) => {
+            let (events, sampled) = read_dtb_streams(&bytes).map_err(|e| format!("{path}: {e}"))?;
+            if events.is_empty() {
+                return Err(format!("{path}: container holds no event stream"));
+            }
+            skipped_sampled = sampled.len();
+            events.into_iter().map(|(_, t)| t).collect()
+        }
+        _ => vec![io::read_events(&bytes[..]).map_err(|e| format!("{path}: {e}"))?],
+    };
+
+    let mut builder = DpdBuilder::new()
+        .window(window)
+        .standing_queries(&specs)
+        .shards(0);
+    if horizon > 0 {
+        builder = builder.forecast(horizon);
+    }
+    if evict_after > 0 {
+        builder = builder.evict_after(evict_after);
+    }
+    let mut svc = MultiStreamDpd::from_builder(&builder)
+        .map_err(|e| format!("invalid query configuration: {e}"))?;
+
+    let mut out = String::new();
+    let total: usize = streams.iter().map(|t| t.len()).sum();
+    writeln!(
+        out,
+        "standing queries: {} quer{} over {} stream(s) ({} samples), window {window}",
+        specs.len(),
+        if specs.len() == 1 { "y" } else { "ies" },
+        streams.len(),
+        total,
+    )
+    .unwrap();
+    if skipped_sampled > 0 {
+        writeln!(
+            out,
+            "note: skipped {skipped_sampled} sampled stream(s) \
+             (query replays event streams only)"
+        )
+        .unwrap();
+    }
+    for (i, spec) in specs.iter().enumerate() {
+        writeln!(out, "  query#{i} {spec}").unwrap();
+    }
+    for (s, t) in streams.iter().enumerate() {
+        writeln!(out, "  stream#{s} = {} ({} samples)", t.name, t.len()).unwrap();
+    }
+
+    // Round-robin replay, `chunk` samples per stream per wave — the same
+    // arrival pattern as `multistream`.
+    let mut offset = 0;
+    loop {
+        let mut records: Vec<(StreamId, &[i64])> = Vec::new();
+        for (s, t) in streams.iter().enumerate() {
+            if offset < t.values.len() {
+                let end = (offset + chunk).min(t.values.len());
+                records.push((StreamId(s as u64), &t.values[offset..end]));
+            }
+        }
+        if records.is_empty() {
+            break;
+        }
+        svc.ingest(&records);
+        offset += chunk;
+    }
+
+    // Replay deltas first: memberships at end-of-replay fold out of them
+    // (Enter/Exit strictly alternate per (query, stream) pair), then the
+    // close wave exits whatever is still resident.
+    let replay = svc.drain_query_deltas();
+    let mut members: Vec<Vec<u64>> = vec![Vec::new(); specs.len()];
+    for d in &replay {
+        let m = &mut members[d.query.0 as usize];
+        match d.change {
+            dpd_core::query::QueryChange::Enter => m.push(d.stream.0),
+            dpd_core::query::QueryChange::Exit => m.retain(|&s| s != d.stream.0),
+        }
+    }
+    writeln!(out, "delta log:").unwrap();
+    for d in &replay {
+        writeln!(out, "{d}").unwrap();
+    }
+    writeln!(out, "members at end of replay:").unwrap();
+    for (i, m) in members.iter_mut().enumerate() {
+        m.sort_unstable();
+        let list = if m.is_empty() {
+            "(none)".to_string()
+        } else {
+            m.iter()
+                .map(|s| format!("stream#{s}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        writeln!(out, "  query#{i}: {list}").unwrap();
+    }
+    let (_events, tail, snapshot) = svc.finish_with_deltas();
+    writeln!(out, "close wave:").unwrap();
+    for d in &tail {
+        writeln!(out, "{d}").unwrap();
+    }
+    let t = snapshot.total();
+    writeln!(
+        out,
+        "deltas: {} | enters {} | exits {}",
+        t.query_enters + t.query_exits,
+        t.query_enters,
+        t.query_exits
     )
     .unwrap();
     Ok(out)

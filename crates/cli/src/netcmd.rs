@@ -40,6 +40,9 @@ the server acknowledges ingested samples with 8-byte cumulative counts.
   --window W           detector window (default 64)
   --shards S           worker shards; 0 = inline deterministic (default 0)
   --evict-after N      close streams idle for N global samples (default off)
+  --query FILE         attach standing queries from a spec file, one per
+                       line (docs/QUERIES.md); the summary then reports
+                       enter/exit delta counts
   --max-conns N        shed connections beyond N open (default 4096)
   --max-frame BYTES    reject frames larger than BYTES (default 1048576)
   --stall-ms T         shed a connection stalled mid-frame for T ms
@@ -103,6 +106,17 @@ pub fn serve(flags: &Flags) -> Result<String, String> {
     if evict_after > 0 {
         builder = builder.evict_after(evict_after);
     }
+    let queries = match flags.get("query") {
+        Some(spec_path) => {
+            let text =
+                std::fs::read_to_string(spec_path).map_err(|e| format!("read {spec_path}: {e}"))?;
+            let specs =
+                dpd_core::query::parse_specs(&text).map_err(|e| format!("{spec_path}: {e}"))?;
+            builder = builder.standing_queries(&specs);
+            specs.len()
+        }
+        None => 0,
+    };
     let mut cfg = NetConfig {
         max_conns: flags.get_usize("max-conns", 4096)?,
         max_frame: flags.get_usize("max-frame", dtb::DEFAULT_MAX_FRAME)?,
@@ -206,6 +220,16 @@ pub fn serve(flags: &Flags) -> Result<String, String> {
         t.closed
     )
     .unwrap();
+    // Only when queries are registered, so query-less summaries stay
+    // byte-identical to earlier releases.
+    if queries > 0 {
+        writeln!(
+            out,
+            "queries: {queries} | enters {} | exits {}",
+            t.query_enters, t.query_exits
+        )
+        .unwrap();
+    }
     Ok(out)
 }
 

@@ -62,6 +62,20 @@ fn write_trace_fixtures(traces: &Path) {
         w.push_events(id as u64, &values).unwrap();
     }
     w.finish().unwrap();
+    // Standing-query spec fixture: one of each spec kind, exercising the
+    // full text grammar including comments and blank lines. Lives beside
+    // the traces dir, not inside it — `multistream DIR` replays every
+    // file under DIR as a trace.
+    std::fs::write(
+        traces.parent().unwrap().join("queries.spec"),
+        "# committed standing-query fixture (docs/QUERIES.md grammar)\n\
+         period-in 3 5\n\
+         lock-lost-within 64\n\
+         \n\
+         confidence-at-least 0.5\n\
+         period-join 2\n",
+    )
+    .unwrap();
 }
 
 /// Run one command and compare (or bless) its stdout against a golden.
@@ -149,6 +163,32 @@ fn golden_cli_outputs_are_stable() {
     check_golden(
         "predict_dtb_h1.txt",
         &format!("predict {} --window 16 --horizon 1", dtb.display()),
+    );
+
+    // query: the standing-query delta log over both fixture shapes. The
+    // replay is inline and single-threaded, so the delta log — every
+    // Enter/Exit with its sequence stamp — is deterministic and
+    // golden-able byte-for-byte.
+    let spec = fixtures_dir().join("queries.spec");
+    assert!(
+        spec.is_file(),
+        "queries.spec fixture missing (run DPD_BLESS=1 cargo test -p dpd-cli --test golden_cli)"
+    );
+    check_golden(
+        "query_dtb.txt",
+        &format!(
+            "query {} --spec {} --window 16 --chunk 64 --horizon 1",
+            dtb.display(),
+            spec.display()
+        ),
+    );
+    check_golden(
+        "query_single_evict.txt",
+        &format!(
+            "query {} --spec {} --window 16 --horizon 1 --evict-after 200",
+            single.display(),
+            spec.display()
+        ),
     );
 
     // The transcodes themselves must be byte-stable too: converting the

@@ -33,6 +33,10 @@
 //!   forecasting subsystem: allocation-free per-stream forecasts with
 //!   confidence scoring and phase-change invalidation (see
 //!   `docs/PREDICTION.md`),
+//! * [`query::QueryEngine`] — delta-evaluated standing queries
+//!   (period-in-range, lock-lost-within, confidence thresholds, period
+//!   joins) answered incrementally from event deltas (see
+//!   `docs/QUERIES.md`),
 //! * [`autotune::WindowTuner`] — dynamic adjustment of the window size once a
 //!   satisfying periodicity has been found (paper §3.1/§4),
 //! * [`snapshot::Snapshot`] / [`snapshot::Restore`] — versioned,
@@ -83,6 +87,7 @@ pub mod periodogram;
 pub mod pipeline;
 pub mod predict;
 pub mod prediction;
+pub mod query;
 pub mod segmentation;
 pub mod shard;
 pub mod snapshot;
@@ -102,6 +107,7 @@ pub use metric::{EventMetric, L1Metric, Metric};
 pub use pipeline::{BuildError, Detector, DpdBuilder, DpdEvent, EventSink};
 pub use predict::{Forecast, ForecastStats, ForecastingDpd, PredictConfig, Predictor};
 pub use prediction::PeriodicPredictor;
+pub use query::{QueryChange, QueryDelta, QueryEngine, QueryId, QuerySpec};
 pub use shard::{
     MultiStreamEvent, StreamHandle, StreamId, StreamSummary, StreamTable, StreamTier, TableConfig,
 };

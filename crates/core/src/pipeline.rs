@@ -59,6 +59,7 @@ use crate::capi::Dpd;
 use crate::metric::{EventMetric, L1Metric};
 use crate::minima::MinimaPolicy;
 use crate::predict::{Forecast, ForecastingDpd, PredictConfig, Predictor};
+use crate::query::QuerySpec;
 use crate::shard::{MultiStreamEvent, StreamId, StreamTable, TableConfig};
 use crate::snapshot::{Restore, SnapshotError};
 use crate::streaming::{MultiScaleDpd, SegmentEvent, StreamingConfig, StreamingDpd};
@@ -76,7 +77,7 @@ pub const DEFAULT_SCALES: &[usize] = &[8, 64, 512];
 ///
 /// [`Display`]: core::fmt::Display
 #[non_exhaustive]
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum BuildError {
     /// The underlying detector configuration is invalid (window, maximum
     /// delay or forecast horizon out of range).
@@ -145,6 +146,17 @@ pub enum BuildError {
     /// ever demotes them: cold retention needs [`DpdBuilder::evict_after`]
     /// or [`DpdBuilder::memory_budget`].
     ColdSummaryWithoutEviction,
+    /// A [`DpdBuilder::standing_query`] spec has unusable parameters
+    /// (empty or oversized period range, zero loss window, non-finite or
+    /// out-of-range confidence threshold; see
+    /// [`QuerySpec::is_valid`](crate::query::QuerySpec::is_valid)).
+    InvalidQuerySpec(QuerySpec),
+    /// A `confidence-at-least` standing query scores forecast confidence,
+    /// which only exists with [`DpdBuilder::forecast`] configured.
+    ConfidenceQueryWithoutForecast,
+    /// [`DpdBuilder::standing_query`] subscribes to a keyed table's event
+    /// stream; it has no meaning on a single-stream stack.
+    QueriesOnSingleStream,
     /// A `restore_*` finisher could not reconstruct the stack from the
     /// snapshot bytes (truncated/corrupt image, wrong type tag, or a
     /// configuration mismatch against the builder's options).
@@ -222,6 +234,18 @@ impl core::fmt::Display for BuildError {
                 write!(
                     f,
                     "cold_summary(..) needs evict_after(..) or memory_budget(..) to demote"
+                )
+            }
+            BuildError::InvalidQuerySpec(spec) => {
+                write!(f, "invalid standing-query parameters: {spec}")
+            }
+            BuildError::ConfidenceQueryWithoutForecast => {
+                write!(f, "confidence-at-least queries need forecast(..) to score")
+            }
+            BuildError::QueriesOnSingleStream => {
+                write!(
+                    f,
+                    "standing_query(..) subscribes to a keyed table or service"
                 )
             }
             // Transparent like Detector: the snapshot error is the message.
@@ -372,8 +396,9 @@ impl DpdEvent {
 
 /// Everything `par-runtime` needs to assemble the sharded service from a
 /// builder: the validated per-stream table configuration (the factory each
-/// shard clones), the shard count, and the sweep cadence.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// shard clones), the shard count, the sweep cadence, and the registered
+/// standing queries (evaluated per shard over that shard's streams).
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceSpec {
     /// Per-stream table configuration, cloned into every shard.
     pub table: TableConfig,
@@ -382,6 +407,9 @@ pub struct ServiceSpec {
     /// Samples of shard-local traffic between idle-stream sweeps
     /// (`0` = sweep only at service finish).
     pub sweep_every: u64,
+    /// Standing queries attached to every shard's table, in registration
+    /// order (see [`crate::query`]).
+    pub queries: Vec<QuerySpec>,
 }
 
 /// One typed, validated construction path for every detector stack.
@@ -423,6 +451,7 @@ pub struct DpdBuilder {
     shards: Option<usize>,
     sweep_every: Option<u64>,
     stream: StreamId,
+    queries: Vec<QuerySpec>,
 }
 
 impl Default for DpdBuilder {
@@ -453,6 +482,7 @@ impl DpdBuilder {
             shards: None,
             sweep_every: None,
             stream: StreamId(0),
+            queries: Vec::new(),
         }
     }
 
@@ -595,6 +625,33 @@ impl DpdBuilder {
         self
     }
 
+    /// Register a standing query (implies [`DpdBuilder::keyed`]): the
+    /// table or service evaluates `spec` incrementally against its event
+    /// stream and emits [`QueryDelta`](crate::query::QueryDelta)
+    /// membership transitions (see [`crate::query`] and `docs/QUERIES.md`).
+    /// Call repeatedly to register several queries; registration order
+    /// assigns the [`QueryId`](crate::query::QueryId)s. Validated by the
+    /// keyed finishers: bad parameters are
+    /// [`BuildError::InvalidQuerySpec`], confidence queries without
+    /// [`DpdBuilder::forecast`] are
+    /// [`BuildError::ConfidenceQueryWithoutForecast`], and single-stream
+    /// finishers reject queries outright
+    /// ([`BuildError::QueriesOnSingleStream`]).
+    pub fn standing_query(mut self, spec: QuerySpec) -> Self {
+        self.queries.push(spec);
+        self.keyed = true;
+        self
+    }
+
+    /// Register every query parsed from the text spec grammar
+    /// ([`crate::query::parse_specs`]) — the bulk twin of
+    /// [`DpdBuilder::standing_query`].
+    pub fn standing_queries(mut self, specs: &[QuerySpec]) -> Self {
+        self.queries.extend_from_slice(specs);
+        self.keyed |= !specs.is_empty();
+        self
+    }
+
     /// Adopt every detector-level option from an existing
     /// [`StreamingConfig`] (window, maximum delay, policy, confirmation,
     /// loss tolerance, resync interval).
@@ -670,6 +727,11 @@ impl DpdBuilder {
     fn validate_single_stream(&self) -> Result<(), BuildError> {
         if self.shards.is_some() {
             return Err(BuildError::ShardsOnSingleStream);
+        }
+        // Before the generic keyed check: standing_query implies keyed,
+        // and the precise diagnosis is the query registration.
+        if !self.queries.is_empty() {
+            return Err(BuildError::QueriesOnSingleStream);
         }
         if self.is_keyed() {
             return Err(BuildError::KeyedOnSingleStream);
@@ -823,6 +885,14 @@ impl DpdBuilder {
         if self.cold_retain > 0 && self.evict_after == 0 && self.memory_budget == 0 {
             return Err(BuildError::ColdSummaryWithoutEviction);
         }
+        for spec in &self.queries {
+            if !spec.is_valid() {
+                return Err(BuildError::InvalidQuerySpec(*spec));
+            }
+            if matches!(spec, QuerySpec::ConfidenceAtLeast { .. }) && self.horizon.is_none() {
+                return Err(BuildError::ConfidenceQueryWithoutForecast);
+            }
+        }
         let config = TableConfig {
             detector: self.assemble_detector(),
             evict_after: self.evict_after,
@@ -845,9 +915,13 @@ impl DpdBuilder {
         self.keyed_table_config()
     }
 
-    /// A raw keyed stream table. Implies [`DpdBuilder::keyed`].
+    /// A raw keyed stream table. Implies [`DpdBuilder::keyed`]. Registered
+    /// standing queries ([`DpdBuilder::standing_query`]) are attached
+    /// before the table sees its first sample.
     pub fn build_table(&self) -> Result<StreamTable, BuildError> {
-        Ok(StreamTable::new(self.table_config()?))
+        let mut table = StreamTable::new(self.table_config()?);
+        table.attach_queries(self.queries.clone());
+        Ok(table)
     }
 
     /// A keyed multi-stream pipeline over `sink`. Implies
@@ -883,6 +957,7 @@ impl DpdBuilder {
             table: self.keyed_table_config()?,
             shards,
             sweep_every: self.resolved_sweep_every(),
+            queries: self.queries.clone(),
         })
     }
 
@@ -981,6 +1056,11 @@ impl DpdBuilder {
         if *restored.config() != expected {
             return Err(BuildError::Snapshot(SnapshotError::ConfigMismatch {
                 what: "table configuration",
+            }));
+        }
+        if restored.query_specs() != self.queries.as_slice() {
+            return Err(BuildError::Snapshot(SnapshotError::ConfigMismatch {
+                what: "standing queries",
             }));
         }
         Ok(restored)
@@ -1255,6 +1335,12 @@ impl<S: EventSink> KeyedDpd<S> {
     /// counters).
     pub fn table(&self) -> &StreamTable {
         &self.table
+    }
+
+    /// Move every pending standing-query delta into `out` (see
+    /// [`StreamTable::drain_query_deltas`]).
+    pub fn drain_query_deltas(&mut self, out: &mut Vec<crate::query::QueryDelta>) {
+        self.table.drain_query_deltas(out);
     }
 
     /// The event sink.
@@ -1578,6 +1664,47 @@ mod tests {
                 b().window(8).cold_summary(64).build_table().err(),
                 E::ColdSummaryWithoutEviction,
             ),
+            (
+                "standing query with an empty period range",
+                b().window(8)
+                    .standing_query(QuerySpec::PeriodInRange { lo: 9, hi: 3 })
+                    .build_table()
+                    .err(),
+                E::InvalidQuerySpec(QuerySpec::PeriodInRange { lo: 9, hi: 3 }),
+            ),
+            (
+                "standing query with a zero loss window",
+                b().window(8)
+                    .standing_query(QuerySpec::LockLostWithin { window: 0 })
+                    .build_table()
+                    .err(),
+                E::InvalidQuerySpec(QuerySpec::LockLostWithin { window: 0 }),
+            ),
+            (
+                "standing query with an out-of-range threshold",
+                b().window(8)
+                    .forecast(2)
+                    .standing_query(QuerySpec::ConfidenceAtLeast { threshold: 1.5 })
+                    .build_table()
+                    .err(),
+                E::InvalidQuerySpec(QuerySpec::ConfidenceAtLeast { threshold: 1.5 }),
+            ),
+            (
+                "confidence query without forecasting",
+                b().window(8)
+                    .standing_query(QuerySpec::ConfidenceAtLeast { threshold: 0.5 })
+                    .build_table()
+                    .err(),
+                E::ConfidenceQueryWithoutForecast,
+            ),
+            (
+                "standing query on a single-stream finisher",
+                b().window(8)
+                    .standing_query(QuerySpec::PeriodJoin { tolerance: 0 })
+                    .build_detector()
+                    .err(),
+                E::QueriesOnSingleStream,
+            ),
         ];
         for (case, got, expected) in cases {
             assert_eq!(got, Some(expected), "case: {case}");
@@ -1609,6 +1736,9 @@ mod tests {
             BuildError::SweepWithoutKeyed,
             BuildError::MemoryBudgetTooSmall,
             BuildError::ColdSummaryWithoutEviction,
+            BuildError::InvalidQuerySpec(QuerySpec::PeriodInRange { lo: 9, hi: 3 }),
+            BuildError::ConfidenceQueryWithoutForecast,
+            BuildError::QueriesOnSingleStream,
             BuildError::Snapshot(SnapshotError::Truncated),
         ];
         for v in variants {

@@ -65,6 +65,7 @@
 //! the table.
 
 use crate::predict::{Forecast, ForecastStats, PredictConfig, Predictor};
+use crate::query::{QueryDelta, QueryEngine, QuerySpec};
 use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::streaming::{SegmentEvent, StreamStats, StreamingConfig, StreamingDpd};
 use crate::EventMetric;
@@ -306,6 +307,11 @@ pub struct TableStats {
     /// Forecast invalidations across all streams (phase changes; see
     /// [`crate::predict`]).
     pub forecast_invalidations: u64,
+    /// Standing-query `Enter` transitions emitted (see [`crate::query`]).
+    /// `0` unless queries are attached.
+    pub query_enters: u64,
+    /// Standing-query `Exit` transitions emitted.
+    pub query_exits: u64,
 }
 
 impl TableStats {
@@ -681,6 +687,11 @@ pub struct StreamTable {
     /// Cached `hot_stream_bytes - cold_stream_bytes`.
     hot_extra: u64,
     stats: TableStats,
+    /// Delta-evaluated standing queries over this table's event stream,
+    /// when attached (see [`crate::query`] and
+    /// [`StreamTable::attach_queries`]). Boxed: query-less tables pay one
+    /// pointer.
+    queries: Option<Box<QueryEngine>>,
 }
 
 impl StreamTable {
@@ -702,6 +713,46 @@ impl StreamTable {
             slot_bytes,
             hot_extra,
             stats: TableStats::default(),
+            queries: None,
+        }
+    }
+
+    /// Attach a standing-query engine evaluating `specs` against this
+    /// table's event stream (see [`crate::query`]). Membership deltas
+    /// accumulate in the table and are collected with
+    /// [`StreamTable::drain_query_deltas`]. Specs must be valid
+    /// ([`QuerySpec::is_valid`]) — the validating registration surface is
+    /// `DpdBuilder::standing_query`. An empty `specs` detaches.
+    ///
+    /// # Panics
+    /// Panics when the table already holds resident streams: queries
+    /// observe every state transition from the start, so they must be
+    /// attached before the first ingest.
+    pub fn attach_queries(&mut self, specs: Vec<QuerySpec>) {
+        assert!(
+            self.is_empty() && self.stats.created == 0,
+            "standing queries must be attached before the first ingest"
+        );
+        self.queries = (!specs.is_empty()).then(|| Box::new(QueryEngine::new(specs)));
+    }
+
+    /// The attached standing-query specs, in registration order (empty
+    /// when no engine is attached).
+    pub fn query_specs(&self) -> &[QuerySpec] {
+        self.queries.as_ref().map_or(&[], |q| q.specs())
+    }
+
+    /// The attached standing-query engine, for result-set inspection
+    /// ([`QueryEngine::members`], [`QueryEngine::tracked`]).
+    pub fn query_engine(&self) -> Option<&QueryEngine> {
+        self.queries.as_deref()
+    }
+
+    /// Move every pending standing-query delta into `out`, preserving
+    /// emission order. No-op without an attached engine.
+    pub fn drain_query_deltas(&mut self, out: &mut Vec<QueryDelta>) {
+        if let Some(q) = self.queries.as_deref_mut() {
+            q.drain_deltas(out);
         }
     }
 
@@ -725,6 +776,8 @@ impl StreamTable {
         TableStats {
             streams: self.len() as u64,
             cold: self.cold_count as u64,
+            query_enters: self.queries.as_ref().map_or(0, |q| q.enters()),
+            query_exits: self.queries.as_ref().map_or(0, |q| q.exits()),
             ..self.stats
         }
     }
@@ -1037,8 +1090,14 @@ impl StreamTable {
     }
 
     /// Re-promote a cold slot: fresh detector/predictor, lifetime rollup
-    /// columns carried forward.
-    fn promote_slot(&mut self, slot: usize) {
+    /// columns carried forward. `seq` is the global clock of the samples
+    /// that triggered the promotion — the standing-query engine clears
+    /// the lock- and confidence-derived facts there (the fresh detector
+    /// starts unlocked; a silent reset is not a loss).
+    fn promote_slot(&mut self, slot: usize, seq: u64) {
+        if let Some(q) = self.queries.as_deref_mut() {
+            q.reset_lock(StreamId(self.strips.id[slot]), seq);
+        }
         self.cold_count -= 1;
         self.enforce_budget(slot);
         self.make_hot(slot);
@@ -1048,6 +1107,13 @@ impl StreamTable {
     /// Remove a resident slot entirely: un-intern, free state, bump the
     /// generation (stale handles die here), push on the free list.
     fn release_slot(&mut self, slot: usize) {
+        if let Some(q) = self.queries.as_deref_mut() {
+            // Exit every membership at the engine's clock (callers with a
+            // batch clock advance the engine first; budget evictions have
+            // no clock of their own).
+            let at = q.clock();
+            q.retire(StreamId(self.strips.id[slot]), at);
+        }
         match self.strips.tier[slot] {
             TIER_HOT => {
                 self.hot_count -= 1;
@@ -1162,6 +1228,13 @@ impl StreamTable {
         samples: &[i64],
         out: &mut Vec<MultiStreamEvent>,
     ) {
+        if let Some(q) = self.queries.as_deref_mut() {
+            // Fire lock-lost deadlines the arriving batch's clock passed
+            // *before* any watermark eviction below retires the slot —
+            // a retirement bumps the epoch, which would orphan a still
+            // parked deadline exit that logically preceded it.
+            q.advance(seq);
+        }
         let watermark = self.config.evict_after;
         let gap = seq.saturating_sub(self.strips.last_seq[slot]);
         match self.strips.tier[slot] {
@@ -1173,7 +1246,7 @@ impl StreamTable {
                         // re-promote for the arriving samples. Lifetime
                         // rollups survive; detector state does not.
                         self.demote_slot(slot);
-                        self.promote_slot(slot);
+                        self.promote_slot(slot, seq);
                     } else {
                         // Idle past everything: a fresh incarnation. A
                         // sweep schedule would have demoted then evicted;
@@ -1181,7 +1254,7 @@ impl StreamTable {
                         if self.cold_enabled() {
                             self.stats.demoted += 1;
                         }
-                        self.reset_hot_slot(slot);
+                        self.reset_hot_slot(slot, seq);
                     }
                 }
             }
@@ -1189,6 +1262,9 @@ impl StreamTable {
                 if watermark > 0 && gap > self.gone_after() {
                     // The summary was logically gone before the samples
                     // arrived: evict it and start a fresh incarnation.
+                    if let Some(q) = self.queries.as_deref_mut() {
+                        q.retire(stream, seq);
+                    }
                     self.stats.evicted += 1;
                     self.stats.created += 1;
                     self.cold_count -= 1;
@@ -1197,7 +1273,7 @@ impl StreamTable {
                     self.enforce_budget(slot);
                     self.make_hot(slot);
                 } else {
-                    self.promote_slot(slot);
+                    self.promote_slot(slot, seq);
                 }
             }
             _ => unreachable!("interned stream in a free slot"),
@@ -1211,8 +1287,12 @@ impl StreamTable {
     /// re-creation would have produced. Forecast state is part of the
     /// discarded state: the fresh predictor starts unlocked with empty
     /// statistics. The generation bumps — handles into the old
-    /// incarnation must not alias the new one.
-    fn reset_hot_slot(&mut self, slot: usize) {
+    /// incarnation must not alias the new one. The standing-query engine
+    /// retires the old incarnation at `seq` (every membership exits).
+    fn reset_hot_slot(&mut self, slot: usize, seq: u64) {
+        if let Some(q) = self.queries.as_deref_mut() {
+            q.retire(StreamId(self.strips.id[slot]), seq);
+        }
         self.stats.evicted += 1;
         self.stats.created += 1;
         self.strips.generation[slot] = self.strips.generation[slot].wrapping_add(1);
@@ -1234,6 +1314,7 @@ impl StreamTable {
         samples: &[i64],
         out: &mut Vec<MultiStreamEvent>,
     ) {
+        let mut queries = self.queries.as_deref_mut();
         let SlotState::Hot(hot) = &mut self.slots[slot] else {
             unreachable!("push into a non-hot slot");
         };
@@ -1242,7 +1323,15 @@ impl StreamTable {
         let mut checked = 0u64;
         let mut hits = 0u64;
         let mut invalidations = 0u64;
-        for &s in samples {
+        for (i, &s) in samples.iter().enumerate() {
+            // Advance the query clock to this sample *before* its events:
+            // a lock-lost deadline elapsing here must exit (at its true
+            // `loss + window` seq) ahead of any membership change this
+            // sample causes, keeping the delta log emission-ordered by
+            // seq. O(1) when no deadline is due (a heap peek).
+            if let Some(q) = queries.as_deref_mut() {
+                q.advance(seq + i as u64);
+            }
             let e = hot.dpd.push(s);
             if e != SegmentEvent::None {
                 if matches!(e, SegmentEvent::PeriodStart { .. }) {
@@ -1250,12 +1339,18 @@ impl StreamTable {
                 }
                 out.push(MultiStreamEvent::Segment { stream, event: e });
                 events += 1;
+                if let Some(q) = queries.as_deref_mut() {
+                    q.on_segment(stream, e, seq + i as u64);
+                }
             }
             if let Some(pred) = hot.predictor.as_mut() {
                 let ob = pred.observe(s, e);
                 if let Some(scored) = ob.scored {
                     checked += 1;
                     hits += scored.hit as u64;
+                    if let Some(q) = queries.as_deref_mut() {
+                        q.on_scored(stream, scored.hit, seq + i as u64);
+                    }
                 }
                 invalidations += ob.invalidated as u64;
             }
@@ -1286,6 +1381,11 @@ impl StreamTable {
         let Some(slot) = self.index.get(stream.0).map(|s| s as usize) else {
             return false;
         };
+        if let Some(q) = self.queries.as_deref_mut() {
+            // Fire lock-lost deadlines the close clock passed, so the
+            // retirement below exits at `seq`, after them.
+            q.advance(seq);
+        }
         let watermark = self.config.evict_after;
         let gap = seq.saturating_sub(self.strips.last_seq[slot]);
         if watermark > 0 && gap > watermark {
@@ -1339,6 +1439,11 @@ impl StreamTable {
     /// [`StreamTable::ingest`], so sweeps may run on any schedule without
     /// affecting determinism.
     pub fn sweep(&mut self, seq: u64) -> usize {
+        if let Some(q) = self.queries.as_deref_mut() {
+            // A sweep is a clock observation: parked lock-lost exits the
+            // clock passed fire here, eviction retirements exit at `seq`.
+            q.advance(seq);
+        }
         let watermark = self.config.evict_after;
         if watermark == 0 {
             return 0;
@@ -1442,6 +1547,33 @@ impl StreamTable {
         }
     }
 
+    /// V3 body: the v2 body followed by the standing-query engine section
+    /// (specs, clock, counters, per-stream facts, pending deltas — see
+    /// `crate::query` and docs/FORMAT.md §12). Only engine-attached
+    /// tables write this; query-less tables keep emitting the v2 tag so
+    /// their checkpoints stay readable by older builds.
+    pub(crate) fn snapshot_state_v3(&self, w: &mut SnapshotWriter) {
+        self.snapshot_state(w);
+        self.queries
+            .as_ref()
+            .expect("v3 table snapshot requires an attached query engine")
+            .snapshot_state(w);
+    }
+
+    /// Rebuild a table plus its standing-query engine from a v3 body.
+    pub(crate) fn restore_state_v3(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let mut table = StreamTable::restore_state(r)?;
+        let engine = QueryEngine::restore_state(r)?;
+        table.queries = Some(Box::new(engine));
+        Ok(table)
+    }
+
+    /// `true` when a standing-query engine is attached (selects the
+    /// snapshot tag).
+    pub(crate) fn has_queries(&self) -> bool {
+        self.queries.is_some()
+    }
+
     fn write_strip_columns(&self, w: &mut SnapshotWriter, slot: usize) {
         w.u64(self.strips.last_seq[slot]);
         w.u64(self.strips.samples[slot]);
@@ -1483,6 +1615,8 @@ impl StreamTable {
             forecast_checked: r.u64()?,
             forecast_hits: r.u64()?,
             forecast_invalidations: r.u64()?,
+            query_enters: 0,
+            query_exits: 0,
         };
         let hot = r.count(MAX_RESIDENT_STREAMS, "implausible hot-stream count")?;
         let mut prev: Option<u64> = None;
@@ -1607,6 +1741,8 @@ impl StreamTable {
             forecast_checked: r.u64()?,
             forecast_hits: r.u64()?,
             forecast_invalidations: r.u64()?,
+            query_enters: 0,
+            query_exits: 0,
         };
         let n = r.count(MAX_RESIDENT_STREAMS, "implausible live-stream count")?;
         let mut prev: Option<u64> = None;

@@ -83,9 +83,16 @@ pub const TAG_TABLE: u8 = 7;
 pub const TAG_SERVICE: u8 = 8;
 /// Envelope tag: a keyed [`StreamTable`], v2 body (slab store: budget and
 /// cold-retention config, lifetime rollup strips, hot + cold tier
-/// sections). The only table body this build writes; [`Restore`] for
-/// `StreamTable` negotiates both tags.
+/// sections). The table body written when no standing-query engine is
+/// attached; [`Restore`] for `StreamTable` negotiates all three table
+/// tags.
 pub const TAG_TABLE_V2: u8 = 9;
+/// Envelope tag: a keyed [`StreamTable`] with an attached standing-query
+/// engine — the v2 body followed by the query section (specs, clock,
+/// counters, per-stream facts, pending deltas; see [`crate::query`] and
+/// docs/FORMAT.md §12). Written only when queries are attached, so
+/// query-less checkpoints stay readable by older builds.
+pub const TAG_TABLE_V3: u8 = 10;
 
 /// Why a snapshot could not be restored.
 ///
@@ -500,9 +507,15 @@ impl Restore for crate::capi::Dpd {
 
 impl Snapshot for StreamTable {
     fn snapshot(&self) -> Vec<u8> {
-        let mut w = SnapshotWriter::envelope(TAG_TABLE_V2);
-        self.snapshot_state(&mut w);
-        w.into_bytes()
+        if self.has_queries() {
+            let mut w = SnapshotWriter::envelope(TAG_TABLE_V3);
+            self.snapshot_state_v3(&mut w);
+            w.into_bytes()
+        } else {
+            let mut w = SnapshotWriter::envelope(TAG_TABLE_V2);
+            self.snapshot_state(&mut w);
+            w.into_bytes()
+        }
     }
 }
 
@@ -510,12 +523,19 @@ impl Restore for StreamTable {
     fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
         // Version negotiation: the envelope tag selects the body layout.
         // Pre-slab checkpoints (TAG_TABLE) restore into an unbudgeted
-        // hot-only table; anything else must be the v2 body. A wrong tag
-        // surfaces as the usual typed `TagMismatch` (expecting v2) — never
-        // a panic.
-        let table = if bytes.len() >= 2 && bytes[0] == VERSION && bytes[1] == TAG_TABLE {
+        // hot-only table; TAG_TABLE_V3 carries a standing-query engine
+        // after the v2 body; anything else must be the v2 body. A wrong
+        // tag surfaces as the usual typed `TagMismatch` (expecting v2) —
+        // never a panic.
+        let tag = (bytes.len() >= 2 && bytes[0] == VERSION).then(|| bytes[1]);
+        let table = if tag == Some(TAG_TABLE) {
             let mut r = SnapshotReader::envelope(bytes, TAG_TABLE)?;
             let table = StreamTable::restore_state_v1(&mut r)?;
+            r.finish()?;
+            table
+        } else if tag == Some(TAG_TABLE_V3) {
+            let mut r = SnapshotReader::envelope(bytes, TAG_TABLE_V3)?;
+            let table = StreamTable::restore_state_v3(&mut r)?;
             r.finish()?;
             table
         } else {

@@ -24,6 +24,14 @@
 //!   decision depends only on the stream's own samples and the global
 //!   sample clock carried with each batch.
 //!
+//! * **Standing queries.** Queries registered on the builder attach to
+//!   every shard's table; deltas merge through the same sink and drain
+//!   with [`MultiStreamDpd::drain_query_deltas`]. Per-stream queries are
+//!   shard-invariant. Join queries are **partition-local** — a pair can
+//!   only match inside one shard, exactly like co-partitioned joins in
+//!   keyed stream processors — so global joins run inline (`shards(0)`)
+//!   or on a single partition (`shards(1)`).
+//!
 //! Stream lifecycle: streams are created lazily on first sample, evicted
 //! after sitting idle past a sample-count watermark, and closed explicitly
 //! (or by [`MultiStreamDpd::finish`]) with a final segmentation flush event.
@@ -38,6 +46,7 @@
 
 use crossbeam::channel::{unbounded, Sender};
 use dpd_core::pipeline::{BuildError, DpdBuilder, DpdEvent, EventSink};
+use dpd_core::query::{QueryDelta, QuerySpec};
 use dpd_core::shard::{shard_of, MultiStreamEvent, StreamId, StreamTable, TableConfig, TableStats};
 use dpd_core::snapshot::{
     Restore, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, TAG_SERVICE,
@@ -50,7 +59,7 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
 /// Configuration of a [`MultiStreamDpd`] service.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceConfig {
     /// Worker shards. `0` = deterministic inline mode (no threads): every
     /// record is processed synchronously on the calling thread.
@@ -61,6 +70,9 @@ pub struct ServiceConfig {
     /// (`0` = sweep only at [`MultiStreamDpd::finish`]). Sweeps reclaim
     /// memory early but never change emitted events.
     pub sweep_every: u64,
+    /// Standing queries attached to every shard's table, in registration
+    /// order (empty = no query engine; see `dpd_core::query`).
+    pub queries: Vec<QuerySpec>,
 }
 
 impl ServiceConfig {
@@ -73,6 +85,7 @@ impl ServiceConfig {
             shards: spec.shards,
             table: spec.table,
             sweep_every: spec.sweep_every,
+            queries: spec.queries,
         })
     }
 
@@ -84,6 +97,7 @@ impl ServiceConfig {
             shards,
             table: table_defaults(n, 0, 0),
             sweep_every: 0,
+            queries: Vec::new(),
         }
     }
 
@@ -95,6 +109,7 @@ impl ServiceConfig {
             shards,
             table: table_defaults(n, evict_after, 0),
             sweep_every: if evict_after == 0 { 0 } else { evict_after * 4 },
+            queries: Vec::new(),
         }
     }
 
@@ -108,6 +123,7 @@ impl ServiceConfig {
             shards,
             table: table_defaults(n, 0, h),
             sweep_every: 0,
+            queries: Vec::new(),
         }
     }
 }
@@ -153,6 +169,11 @@ pub struct ShardStats {
     pub forecast_checked: u64,
     /// Scored forecasts that matched exactly.
     pub forecast_hits: u64,
+    /// Standing-query `Enter` deltas emitted (`0` unless queries are
+    /// registered).
+    pub query_enters: u64,
+    /// Standing-query `Exit` deltas emitted.
+    pub query_exits: u64,
 }
 
 impl ShardStats {
@@ -169,6 +190,8 @@ impl ShardStats {
         self.batches += other.batches;
         self.forecast_checked += other.forecast_checked;
         self.forecast_hits += other.forecast_hits;
+        self.query_enters += other.query_enters;
+        self.query_exits += other.query_exits;
     }
 
     /// The single table→shard accumulation point. Both rollup paths — the
@@ -191,6 +214,8 @@ impl ShardStats {
             batches: 0,
             forecast_checked: t.forecast_checked,
             forecast_hits: t.forecast_hits,
+            query_enters: t.query_enters,
+            query_exits: t.query_exits,
         }
     }
 
@@ -317,6 +342,8 @@ struct ShardShared {
     batches: AtomicU64,
     forecast_checked: AtomicU64,
     forecast_hits: AtomicU64,
+    query_enters: AtomicU64,
+    query_exits: AtomicU64,
 }
 
 impl ShardShared {
@@ -334,6 +361,8 @@ impl ShardShared {
             batches: self.batches.load(Ordering::Relaxed),
             forecast_checked: self.forecast_checked.load(Ordering::Relaxed),
             forecast_hits: self.forecast_hits.load(Ordering::Relaxed),
+            query_enters: self.query_enters.load(Ordering::Relaxed),
+            query_exits: self.query_exits.load(Ordering::Relaxed),
         }
     }
 }
@@ -348,21 +377,46 @@ enum Cmd {
     /// Explicit close of one stream at the given global clock (final
     /// flush event unless the stream is already idle past the watermark).
     Close(u64, StreamId),
+    /// Watermark sweep at the given global clock. Broadcast by the
+    /// frontend to every shard on the same global cadence the inline
+    /// mode sweeps on, so eviction retirements (and the query `Exit`
+    /// deltas they emit) land at identical clocks in both modes.
+    Sweep(u64),
     /// Quiesce barrier: ack once every earlier command is processed.
     Flush(mpsc::Sender<()>),
     /// Checkpoint barrier: reply with the shard's full serialized table
-    /// state plus its local clock and sweep phase. Read-only; the shard
-    /// keeps running on the same table afterwards.
-    Snapshot(mpsc::Sender<(Vec<u8>, u64, u64)>),
+    /// state plus its local clock. Read-only; the shard keeps running on
+    /// the same table afterwards.
+    Snapshot(mpsc::Sender<(Vec<u8>, u64)>),
     /// Final sweep at the given global clock + close of every live stream.
     Finish(u64, mpsc::Sender<()>),
 }
 
+/// One publication from a shard worker: pending segmentation events plus
+/// the standing-query deltas drained from the shard's table in the same
+/// processing round (either side may be empty, never both).
+type ShardPublication = (Vec<MultiStreamEvent>, Vec<QueryDelta>);
+
 struct Sharded {
     txs: Vec<Sender<Cmd>>,
     workers: Vec<JoinHandle<()>>,
-    sink: mpsc::Receiver<Vec<MultiStreamEvent>>,
+    sink: mpsc::Receiver<ShardPublication>,
     stats: Arc<Vec<ShardShared>>,
+    /// Events received while pumping the sink for query deltas.
+    pending_events: Vec<MultiStreamEvent>,
+    /// Query deltas received while pumping the sink for events.
+    pending_deltas: Vec<QueryDelta>,
+}
+
+impl Sharded {
+    /// Drain everything the workers have published so far into the two
+    /// pending buffers (non-blocking).
+    fn pump(&mut self) {
+        for (events, deltas) in self.sink.try_iter() {
+            self.pending_events.extend(events);
+            self.pending_deltas.extend(deltas);
+        }
+    }
 }
 
 enum Mode {
@@ -433,7 +487,8 @@ pub struct MultiStreamDpd {
     config: ServiceConfig,
     /// Global sample clock: samples accepted across all streams.
     ingested: u64,
-    /// Inline mode: samples since the last sweep.
+    /// Samples since the last sweep (both modes: sweeps are scheduled by
+    /// the frontend on the global sample clock).
     since_sweep: u64,
 }
 
@@ -450,8 +505,10 @@ impl MultiStreamDpd {
     /// otherwise one worker thread per shard is spawned.
     pub fn new(config: ServiceConfig) -> Self {
         let mode = if config.shards == 0 {
+            let mut table = StreamTable::new(config.table);
+            table.attach_queries(config.queries.clone());
             Mode::Inline {
-                table: Box::new(StreamTable::new(config.table)),
+                table: Box::new(table),
                 events: Vec::new(),
             }
         } else {
@@ -501,6 +558,7 @@ impl MultiStreamDpd {
             }
             Mode::Sharded(sh) => {
                 let shards = self.config.shards;
+                let swept_at = self.ingested - self.since_sweep;
                 let mut routed: Vec<Vec<Record>> = vec![Vec::new(); shards];
                 for (stream, samples) in records {
                     if samples.is_empty() {
@@ -521,6 +579,18 @@ impl MultiStreamDpd {
                     sh.txs[shard]
                         .send(Cmd::Batches(batch))
                         .expect("shard worker exited early");
+                }
+                self.since_sweep = self.ingested - swept_at;
+                if self.config.sweep_every > 0 && self.since_sweep >= self.config.sweep_every {
+                    // Sweeps are frontend-scheduled in both modes: every
+                    // shard observes the watermark at the same global
+                    // clock, keeping eviction-driven query deltas
+                    // identical across shard counts.
+                    for tx in &sh.txs {
+                        tx.send(Cmd::Sweep(self.ingested))
+                            .expect("shard worker exited early");
+                    }
+                    self.since_sweep = 0;
                 }
             }
         }
@@ -572,7 +642,36 @@ impl MultiStreamDpd {
     pub fn drain(&mut self) -> Vec<MultiStreamEvent> {
         match &mut self.mode {
             Mode::Inline { events, .. } => std::mem::take(events),
-            Mode::Sharded(sh) => sh.sink.try_iter().flatten().collect(),
+            Mode::Sharded(sh) => {
+                sh.pump();
+                std::mem::take(&mut sh.pending_events)
+            }
+        }
+    }
+
+    /// Standing queries registered on the service (empty unless the
+    /// builder carried `standing_query(..)` calls).
+    pub fn query_specs(&self) -> &[QuerySpec] {
+        &self.config.queries
+    }
+
+    /// Drain every standing-query delta published so far. Per-stream
+    /// delta order is preserved (a stream is owned by one shard); deltas
+    /// of different shards interleave arbitrarily, so order-sensitive
+    /// consumers should sort by `(seq, query, stream)`. Non-blocking; in
+    /// sharded mode quiesce with [`MultiStreamDpd::flush`] first to
+    /// observe everything already routed.
+    pub fn drain_query_deltas(&mut self) -> Vec<QueryDelta> {
+        match &mut self.mode {
+            Mode::Inline { table, .. } => {
+                let mut out = Vec::new();
+                table.drain_query_deltas(&mut out);
+                out
+            }
+            Mode::Sharded(sh) => {
+                sh.pump();
+                std::mem::take(&mut sh.pending_deltas)
+            }
         }
     }
 
@@ -605,7 +704,17 @@ impl MultiStreamDpd {
     /// Finish the service: sweep idle streams at the final clock, close
     /// every live stream (final flush events), quiesce, and return all
     /// undrained events plus the final snapshot. Worker threads are joined.
-    pub fn finish(mut self) -> (Vec<MultiStreamEvent>, ServiceSnapshot) {
+    pub fn finish(self) -> (Vec<MultiStreamEvent>, ServiceSnapshot) {
+        let (events, _deltas, snapshot) = self.finish_with_deltas();
+        (events, snapshot)
+    }
+
+    /// [`MultiStreamDpd::finish`], additionally returning the undrained
+    /// standing-query deltas — the final close wave exits every live
+    /// membership, and those `Exit` deltas are only observable here.
+    pub fn finish_with_deltas(
+        mut self,
+    ) -> (Vec<MultiStreamEvent>, Vec<QueryDelta>, ServiceSnapshot) {
         let final_seq = self.ingested;
         match &mut self.mode {
             Mode::Inline { table, events } => {
@@ -626,7 +735,8 @@ impl MultiStreamDpd {
         }
         let snapshot = self.snapshot();
         let events = self.drain();
-        (events, snapshot)
+        let deltas = self.drain_query_deltas();
+        (events, deltas, snapshot)
         // Drop joins the workers.
     }
 
@@ -651,9 +761,9 @@ impl MultiStreamDpd {
         marker: EpochMarker,
     ) -> Result<Vec<MultiStreamEvent>, CheckpointError> {
         self.flush();
-        let entries: Vec<(Vec<u8>, u64, u64)> = match &mut self.mode {
+        let entries: Vec<(Vec<u8>, u64)> = match &mut self.mode {
             Mode::Inline { table, .. } => {
-                vec![(table.snapshot(), self.ingested, self.since_sweep)]
+                vec![(table.snapshot(), self.ingested)]
             }
             Mode::Sharded(sh) => {
                 let mut acks = Vec::with_capacity(sh.txs.len());
@@ -674,10 +784,12 @@ impl MultiStreamDpd {
         w.u64(self.config.sweep_every);
         w.u64(self.ingested);
         w.u64(entries.len() as u64);
-        for (bytes, clock, since_sweep) in &entries {
+        for (bytes, clock) in &entries {
             w.bytes(bytes);
             w.u64(*clock);
-            w.u64(*since_sweep);
+            // The sweep phase is frontend state, identical for every
+            // shard; stored per entry for format stability.
+            w.u64(self.since_sweep);
         }
         write_checkpoint_file(path.as_ref(), &w.into_bytes(), marker)?;
         Ok(events)
@@ -736,7 +848,7 @@ impl MultiStreamDpd {
                 what: "shard-state count disagrees with the shard count",
             }));
         }
-        let mut entries: Vec<ShardInit> = Vec::with_capacity(n);
+        let mut entries: Vec<(StreamTable, u64, u64)> = Vec::with_capacity(n);
         for _ in 0..n {
             let bytes = r.bytes()?.to_vec();
             let clock = r.u64()?;
@@ -745,6 +857,11 @@ impl MultiStreamDpd {
             if *table.config() != config.table {
                 return Err(CheckpointError::ConfigMismatch {
                     what: "table configuration",
+                });
+            }
+            if table.query_specs() != config.queries.as_slice() {
+                return Err(CheckpointError::ConfigMismatch {
+                    what: "standing queries",
                 });
             }
             entries.push((table, clock, since_sweep));
@@ -761,8 +878,15 @@ impl MultiStreamDpd {
                 since_sweep,
             )
         } else {
-            let inits = entries.into_iter().map(Some).collect();
-            (Mode::Sharded(spawn_sharded(&config, inits)), 0)
+            // Every entry stores the frontend's sweep phase; take the max
+            // so checkpoints from older per-shard-scheduled builds resume
+            // on a valid (if phase-shifted) cadence.
+            let since_sweep = entries.iter().map(|(_, _, s)| *s).max().unwrap_or(0);
+            let inits = entries
+                .into_iter()
+                .map(|(table, clock, _)| Some((table, clock)))
+                .collect();
+            (Mode::Sharded(spawn_sharded(&config, inits)), since_sweep)
         };
         Ok((
             MultiStreamDpd {
@@ -815,7 +939,7 @@ impl Drop for MultiStreamDpd {
 
 /// Restored state one shard worker starts from: its table, the highest
 /// global sample clock it had seen, and its sweep phase.
-type ShardInit = (StreamTable, u64, u64);
+type ShardInit = (StreamTable, u64);
 
 /// Spawn the worker threads of a sharded service. `inits[shard]` seeds the
 /// worker with checkpointed state ([`MultiStreamDpd::resume`]); `None`
@@ -832,13 +956,11 @@ fn spawn_sharded(config: &ServiceConfig, inits: Vec<Option<ShardInit>>) -> Shard
         let sink = sink_tx.clone();
         let stats = Arc::clone(&stats);
         let table_config = config.table;
-        let sweep_every = config.sweep_every;
+        let queries = config.queries.clone();
         workers.push(
             std::thread::Builder::new()
                 .name(format!("dpd-shard-{shard}"))
-                .spawn(move || {
-                    shard_worker(rx, sink, &stats[shard], table_config, sweep_every, init)
-                })
+                .spawn(move || shard_worker(rx, sink, &stats[shard], table_config, queries, init))
                 .expect("failed to spawn shard worker"),
         );
         txs.push(tx);
@@ -848,39 +970,45 @@ fn spawn_sharded(config: &ServiceConfig, inits: Vec<Option<ShardInit>>) -> Shard
         workers,
         sink: sink_rx,
         stats,
+        pending_events: Vec::new(),
+        pending_deltas: Vec::new(),
     }
 }
 
 fn shard_worker(
     rx: crossbeam::channel::Receiver<Cmd>,
-    sink: mpsc::Sender<Vec<MultiStreamEvent>>,
+    sink: mpsc::Sender<ShardPublication>,
     shared: &ShardShared,
     table_config: TableConfig,
-    sweep_every: u64,
+    queries: Vec<QuerySpec>,
     init: Option<ShardInit>,
 ) {
-    let (mut table, mut clock, mut since_sweep) = match init {
-        Some((table, clock, since_sweep)) => (table, clock, since_sweep),
-        None => (StreamTable::new(table_config), 0u64, 0u64),
+    let (mut table, mut clock) = match init {
+        // A restored table carries its query engine inside the snapshot.
+        Some((table, clock)) => (table, clock),
+        None => {
+            let mut table = StreamTable::new(table_config);
+            table.attach_queries(queries);
+            (table, 0u64)
+        }
     };
     let mut out: Vec<MultiStreamEvent> = Vec::new();
     // Publish the starting rollups so a resumed service's `snapshot`
     // reflects the restored streams before the first routed record.
-    publish(&table, shared, &mut out, &sink);
+    publish(&mut table, shared, &mut out, &sink);
     while let Ok(cmd) = rx.recv() {
         match cmd {
             Cmd::Batches(records) => {
                 for (seq, stream, samples) in records {
                     clock = clock.max(seq + samples.len() as u64);
-                    since_sweep += samples.len() as u64;
                     table.ingest(seq, stream, &samples, &mut out);
-                }
-                if sweep_every > 0 && since_sweep >= sweep_every {
-                    table.sweep(clock);
-                    since_sweep = 0;
                 }
                 shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 shared.batches.fetch_add(1, Ordering::Relaxed);
+            }
+            Cmd::Sweep(seq) => {
+                clock = clock.max(seq);
+                table.sweep(seq);
             }
             Cmd::Close(seq, stream) => {
                 table.close(seq, stream, &mut out);
@@ -890,39 +1018,42 @@ fn shard_worker(
                 // FIFO queue: everything routed before this barrier has
                 // been processed and published below on the previous
                 // iterations; ack after publishing this round too.
-                publish(&table, shared, &mut out, &sink);
+                publish(&mut table, shared, &mut out, &sink);
                 let _ = ack.send(());
                 continue;
             }
             Cmd::Snapshot(ack) => {
-                publish(&table, shared, &mut out, &sink);
-                let _ = ack.send((table.snapshot(), clock, since_sweep));
+                publish(&mut table, shared, &mut out, &sink);
+                let _ = ack.send((table.snapshot(), clock));
                 continue;
             }
             Cmd::Finish(seq, ack) => {
                 table.sweep(seq);
                 table.close_all(seq, &mut out);
-                publish(&table, shared, &mut out, &sink);
+                publish(&mut table, shared, &mut out, &sink);
                 let _ = ack.send(());
                 continue;
             }
         }
-        publish(&table, shared, &mut out, &sink);
+        publish(&mut table, shared, &mut out, &sink);
     }
 }
 
-/// Push pending events into the sink and refresh the shard's rollups.
+/// Push pending events and query deltas into the sink and refresh the
+/// shard's rollups.
 fn publish(
-    table: &StreamTable,
+    table: &mut StreamTable,
     shared: &ShardShared,
     out: &mut Vec<MultiStreamEvent>,
-    sink: &mpsc::Sender<Vec<MultiStreamEvent>>,
+    sink: &mpsc::Sender<ShardPublication>,
 ) {
-    if !out.is_empty() {
+    let mut deltas = Vec::new();
+    table.drain_query_deltas(&mut deltas);
+    if !out.is_empty() || !deltas.is_empty() {
         // One lock-free send per processed command, not per event. A send
         // fails only when the service side dropped the receiver
         // (teardown); events are discarded then, matching inline `drop`.
-        let _ = sink.send(std::mem::take(out));
+        let _ = sink.send((std::mem::take(out), deltas));
     }
     // Same accumulation point as the inline snapshot arm: map the table's
     // stats through `ShardStats::from_table`, then publish field-by-field
@@ -943,6 +1074,8 @@ fn publish(
     shared
         .forecast_hits
         .store(t.forecast_hits, Ordering::Relaxed);
+    shared.query_enters.store(t.query_enters, Ordering::Relaxed);
+    shared.query_exits.store(t.query_exits, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -1344,6 +1477,156 @@ mod tests {
         assert!(matches!(
             MultiStreamDpd::resume(&builder, &path),
             Err(CheckpointError::NoCheckpoint)
+        ));
+    }
+
+    /// A delta key that is stable across shard interleavings: per-stream
+    /// order is preserved by shard ownership, so sorting by
+    /// `(seq, query, stream, change)` canonicalizes the merged log.
+    fn delta_key(d: &QueryDelta) -> (u64, u32, u64, bool) {
+        (
+            d.seq,
+            d.query.0,
+            d.stream.0,
+            d.change == dpd_core::query::QueryChange::Exit,
+        )
+    }
+
+    /// Per-stream standing queries evaluate per shard and the merged
+    /// delta log is permutation-identical to the inline reference; the
+    /// final close wave exits every membership.
+    #[test]
+    fn sharded_query_deltas_match_inline_reference() {
+        let build = |shards: usize| {
+            MultiStreamDpd::from_builder(
+                &DpdBuilder::new()
+                    .window(8)
+                    .standing_query(QuerySpec::PeriodInRange { lo: 2, hi: 4 })
+                    .standing_query(QuerySpec::LockLostWithin { window: 50 })
+                    .shards(shards),
+            )
+            .unwrap()
+        };
+        let mut reference = build(0);
+        drive(&mut reference, 10, 6, 12);
+        let (_, mut ref_deltas, ref_snap) = reference.finish_with_deltas();
+        ref_deltas.sort_by_key(delta_key);
+        assert!(!ref_deltas.is_empty());
+        let enters = ref_deltas
+            .iter()
+            .filter(|d| d.change == dpd_core::query::QueryChange::Enter)
+            .count();
+        let exits = ref_deltas.len() - enters;
+        assert_eq!(ref_snap.total().query_enters, enters as u64);
+        assert_eq!(ref_snap.total().query_exits, exits as u64);
+        // Every membership exits by the end of the close wave.
+        assert_eq!(enters, exits);
+
+        for shards in [1usize, 2, 4] {
+            let mut svc = build(shards);
+            assert_eq!(svc.query_specs().len(), 2);
+            drive(&mut svc, 10, 6, 12);
+            let (_, mut deltas, snap) = svc.finish_with_deltas();
+            deltas.sort_by_key(delta_key);
+            assert_eq!(deltas, ref_deltas, "shards={shards}");
+            assert_eq!(snap.total().query_enters, ref_snap.total().query_enters);
+            assert_eq!(snap.total().query_exits, ref_snap.total().query_exits);
+        }
+    }
+
+    /// Join queries are partition-local: a single partition (`shards(1)`)
+    /// matches the inline reference exactly, and the join does fire on
+    /// the equal-period stream pairs of the workload.
+    #[test]
+    fn join_queries_are_partition_local() {
+        let build = |shards: usize| {
+            MultiStreamDpd::from_builder(
+                &DpdBuilder::new()
+                    .window(8)
+                    .standing_query(QuerySpec::PeriodJoin { tolerance: 0 })
+                    .shards(shards),
+            )
+            .unwrap()
+        };
+        let mut reference = build(0);
+        drive(&mut reference, 10, 6, 12);
+        let (_, mut ref_deltas, _) = reference.finish_with_deltas();
+        ref_deltas.sort_by_key(delta_key);
+        // Streams s and s+7 share period s%7+2: the join must fire.
+        assert!(ref_deltas
+            .iter()
+            .any(|d| d.change == dpd_core::query::QueryChange::Enter));
+
+        let mut svc = build(1);
+        drive(&mut svc, 10, 6, 12);
+        let (_, mut deltas, _) = svc.finish_with_deltas();
+        deltas.sort_by_key(delta_key);
+        assert_eq!(deltas, ref_deltas);
+    }
+
+    /// `drain_query_deltas` mid-run drains incrementally (no duplicates,
+    /// no losses) and a checkpoint/resume continues the delta stream.
+    #[test]
+    fn query_deltas_survive_checkpoint_resume() {
+        let builder = DpdBuilder::new()
+            .window(8)
+            .standing_query(QuerySpec::PeriodInRange { lo: 2, hi: 8 })
+            .shards(2);
+
+        let mut oracle = MultiStreamDpd::from_builder(&builder).unwrap();
+        drive(&mut oracle, 8, 6, 20);
+        let (_, mut oracle_deltas, _) = oracle.finish_with_deltas();
+        oracle_deltas.sort_by_key(delta_key);
+
+        let path = ckpt_path("query-resume");
+        let mut first = MultiStreamDpd::from_builder(&builder).unwrap();
+        drive(&mut first, 8, 6, 9);
+        first
+            .checkpoint(&path, marker(9, first.samples_ingested(), 1))
+            .unwrap();
+        let mut deltas = first.drain_query_deltas();
+        drop(first);
+
+        let (mut resumed, _) = MultiStreamDpd::resume(&builder, &path).unwrap();
+        // Replay the suffix the oracle saw after wave 9.
+        for r in 9..20u64 {
+            let owned: Vec<(StreamId, Vec<i64>)> = (0..8u64)
+                .map(|s| (StreamId(s), periodic(s % 7 + 2, r * 6, 6)))
+                .collect();
+            let records: Vec<(StreamId, &[i64])> =
+                owned.iter().map(|(s, v)| (*s, v.as_slice())).collect();
+            resumed.ingest(&records);
+        }
+        let (_, tail, _) = resumed.finish_with_deltas();
+        deltas.extend(tail);
+        deltas.sort_by_key(delta_key);
+        assert_eq!(deltas, oracle_deltas);
+    }
+
+    /// Resuming under a builder whose standing queries differ from the
+    /// checkpoint is a typed configuration mismatch.
+    #[test]
+    fn resume_rejects_mismatched_queries() {
+        let path = ckpt_path("query-mismatch");
+        let builder = DpdBuilder::new()
+            .window(8)
+            .standing_query(QuerySpec::PeriodInRange { lo: 2, hi: 4 })
+            .shards(2);
+        let mut svc = MultiStreamDpd::from_builder(&builder).unwrap();
+        drive(&mut svc, 4, 6, 5);
+        svc.checkpoint(&path, marker(5, svc.samples_ingested(), 1))
+            .unwrap();
+        drop(svc);
+
+        let wrong = DpdBuilder::new()
+            .window(8)
+            .standing_query(QuerySpec::PeriodInRange { lo: 2, hi: 5 })
+            .shards(2);
+        assert!(matches!(
+            MultiStreamDpd::resume(&wrong, &path),
+            Err(CheckpointError::ConfigMismatch {
+                what: "standing queries"
+            })
         ));
     }
 

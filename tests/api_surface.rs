@@ -28,7 +28,7 @@ mod exists {
     mod core_modules {
         pub use dpd::core::{
             autotune, baseline, capi, confidence, detector, hierarchy, incremental, intervals,
-            metric, minima, naive, nested, periodogram, pipeline, predict, prediction,
+            metric, minima, naive, nested, periodogram, pipeline, predict, prediction, query,
             segmentation, shard, snapshot, spectrum, streaming, window,
         };
     }
@@ -72,6 +72,15 @@ mod exists {
         pub use dpd::core::predict::{
             Forecast, ForecastStats, ForecastingDpd, Observation, PredictConfig, Predictor, Scored,
         };
+    }
+    mod query_items {
+        pub use dpd::core::query::{
+            parse_specs, ParseSpecError, QueryChange, QueryDelta, QueryEngine, QueryId, QuerySpec,
+            TrackedStream, CONFIDENCE_ALPHA, MAX_QUERY_PERIOD,
+        };
+    }
+    mod query_reexports {
+        pub use dpd::core::{QueryChange, QueryDelta, QueryEngine, QueryId, QuerySpec};
     }
     mod service_items {
         pub use dpd::runtime::service::{
@@ -122,6 +131,11 @@ const SURFACE: &[&str] = &[
     "dpd::core::PeriodicityReport",
     "dpd::core::PredictConfig",
     "dpd::core::Predictor",
+    "dpd::core::QueryChange",
+    "dpd::core::QueryDelta",
+    "dpd::core::QueryEngine",
+    "dpd::core::QueryId",
+    "dpd::core::QuerySpec",
     "dpd::core::Restore",
     "dpd::core::Result",
     "dpd::core::SegmentEvent",
@@ -165,6 +179,17 @@ const SURFACE: &[&str] = &[
     "dpd::core::predict::Observation",
     "dpd::core::predict::Scored",
     "dpd::core::prediction",
+    "dpd::core::query",
+    "dpd::core::query::CONFIDENCE_ALPHA",
+    "dpd::core::query::MAX_QUERY_PERIOD",
+    "dpd::core::query::ParseSpecError",
+    "dpd::core::query::QueryChange",
+    "dpd::core::query::QueryDelta",
+    "dpd::core::query::QueryEngine",
+    "dpd::core::query::QueryId",
+    "dpd::core::query::QuerySpec",
+    "dpd::core::query::TrackedStream",
+    "dpd::core::query::parse_specs",
     "dpd::core::segmentation",
     "dpd::core::shard",
     "dpd::core::shard::MAX_RESIDENT_STREAMS",

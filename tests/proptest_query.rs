@@ -1,0 +1,310 @@
+//! Property tests: the delta-evaluated standing-query engine equals a
+//! naive full-rescan oracle.
+//!
+//! The engine's central claim is *semi-naive evaluation*: it consumes
+//! only the per-sample deltas (`PeriodStart`/`PeriodLost`, scored
+//! forecasts, retirements) and maintains memberships incrementally,
+//! never rescanning the fact base. The oracle here does the opposite —
+//! after every wave it re-evaluates every query from scratch over
+//! [`QueryEngine::tracked`] (the engine's fact base, which is plain
+//! state, not derived membership) — and the two must agree exactly:
+//!
+//! * **Differential membership.** After every ingest/close wave, for
+//!   every query, `members(q)` == the set of tracked streams the spec
+//!   matches when re-evaluated naively (period ranges, loss recency,
+//!   confidence thresholds, cross-stream period joins).
+//! * **Delta soundness.** Folding the emitted `Enter`/`Exit` deltas
+//!   reproduces the membership sets, and per `(query, stream)` pair the
+//!   deltas strictly alternate starting with `Enter`, with
+//!   non-decreasing sequence numbers.
+//! * **Shard invariance.** For per-stream queries the merged delta log
+//!   of the sharded service — any shard count — is a permutation of the
+//!   inline reference's (joins are partition-local by design and are
+//!   exercised in the inline property).
+//!
+//! Waves include eviction watermarks, explicit closes, and re-opens of
+//! closed/evicted streams (a fresh incarnation must re-enter from
+//! scratch).
+
+use dpd::core::pipeline::DpdBuilder;
+use dpd::core::query::{QueryChange, QueryDelta, QueryId, QuerySpec, TrackedStream};
+use dpd::core::shard::StreamId;
+use dpd::runtime::service::MultiStreamDpd;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// One decoded frontend operation (same shape as `proptest_multistream`).
+#[derive(Debug, Clone)]
+enum Op {
+    Ingest {
+        stream: u64,
+        period: u64,
+        start: u64,
+        len: usize,
+        aperiodic: bool,
+    },
+    Close {
+        stream: u64,
+    },
+}
+
+fn decode(word: u64, streams: u64) -> Op {
+    let stream = word % streams;
+    let kind = (word >> 8) % 8;
+    if kind == 0 {
+        Op::Close { stream }
+    } else {
+        Op::Ingest {
+            stream,
+            period: (word >> 16) % 9 + 1,
+            start: (word >> 24) % 64,
+            len: ((word >> 32) % 40) as usize,
+            aperiodic: (word >> 44) & 0b11 == 0,
+        }
+    }
+}
+
+/// Decode a random query set (1..=4 specs) from one word. Every decoded
+/// spec is valid by construction.
+fn decode_specs(word: u64) -> Vec<QuerySpec> {
+    let count = (word % 4 + 1) as usize;
+    let mut specs = Vec::with_capacity(count);
+    let mut w = word;
+    for _ in 0..count {
+        w = w.rotate_left(13).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let lo = (w >> 3) % 6 + 1;
+        specs.push(match (w >> 1) % 4 {
+            0 => QuerySpec::PeriodInRange {
+                lo: lo as usize,
+                hi: (lo + (w >> 7) % 6) as usize,
+            },
+            1 => QuerySpec::LockLostWithin {
+                window: (w >> 5) % 60 + 1,
+            },
+            2 => QuerySpec::ConfidenceAtLeast {
+                threshold: ((w >> 9) % 9 + 1) as f64 / 10.0,
+            },
+            _ => QuerySpec::PeriodJoin {
+                tolerance: ((w >> 11) % 3) as usize,
+            },
+        });
+    }
+    specs
+}
+
+/// The full-rescan oracle: does `spec` match tracked stream `t` given
+/// the complete fact base `all` at global clock `clock`? This is the
+/// definition the engine's incremental evaluation must reproduce.
+fn oracle_matches(spec: &QuerySpec, t: &TrackedStream, all: &[TrackedStream], clock: u64) -> bool {
+    match *spec {
+        QuerySpec::PeriodInRange { lo, hi } => t.period.is_some_and(|p| p >= lo && p <= hi),
+        QuerySpec::LockLostWithin { window } => {
+            // Enter at the loss, exit fires once `loss + window <= clock`.
+            t.last_loss
+                .is_some_and(|l| l.saturating_add(window) > clock)
+        }
+        QuerySpec::ConfidenceAtLeast { threshold } => t.confidence >= threshold,
+        QuerySpec::PeriodJoin { tolerance } => t.period.is_some_and(|p| {
+            all.iter().any(|o| {
+                o.stream != t.stream && o.period.is_some_and(|q| p.abs_diff(q) <= tolerance)
+            })
+        }),
+    }
+}
+
+/// Fold a delta log into per-query membership sets, asserting the
+/// alternation invariant along the way.
+fn fold_deltas(deltas: &[QueryDelta], membership: &mut BTreeMap<(u32, u64), bool>) {
+    let mut last_seq = 0u64;
+    for d in deltas {
+        prop_assert!(d.seq >= last_seq, "delta seq went backwards: {d:?}");
+        last_seq = d.seq;
+        let key = (d.query.0, d.stream.0);
+        let inside = membership.get(&key).copied().unwrap_or(false);
+        match d.change {
+            QueryChange::Enter => {
+                prop_assert!(!inside, "double Enter for {d:?}");
+                membership.insert(key, true);
+            }
+            QueryChange::Exit => {
+                prop_assert!(inside, "Exit without Enter for {d:?}");
+                membership.insert(key, false);
+            }
+        }
+    }
+}
+
+/// Generate the samples of one ingest op.
+fn samples_of(op: &Op, fresh: &mut i64) -> Vec<i64> {
+    match op {
+        Op::Ingest {
+            stream,
+            period,
+            start,
+            len,
+            aperiodic,
+        } => (0..*len as u64)
+            .map(|k| {
+                if *aperiodic {
+                    *fresh += 1;
+                    *fresh
+                } else {
+                    0x1000 + (*stream as i64) * 0x100 + ((start + k) % period) as i64
+                }
+            })
+            .collect(),
+        Op::Close { .. } => Vec::new(),
+    }
+}
+
+proptest! {
+    /// The tentpole differential property: incremental membership equals
+    /// the full-rescan oracle after every wave, deltas fold back to the
+    /// same sets, and Enter/Exit strictly alternate — under random
+    /// traces, random query sets, eviction watermarks and closes.
+    #[test]
+    fn incremental_equals_full_rescan_oracle(
+        words in proptest::collection::vec(any::<u64>(), 5..50),
+        spec_word in any::<u64>(),
+        streams in 1u64..8,
+        evict in 0u64..120,
+    ) {
+        // evict < 10 means "no watermark" (the shim has no Option strategy).
+        let specs = decode_specs(spec_word);
+        let mut builder = DpdBuilder::new()
+            .window(8)
+            .forecast(1)
+            .standing_queries(&specs);
+        if evict >= 10 {
+            builder = builder.evict_after(evict);
+        }
+        let mut table = builder.build_table().unwrap();
+        let mut fresh = 0x7F00_0000i64;
+        let mut seq = 0u64;
+        let mut sink = Vec::new();
+        let mut deltas = Vec::new();
+        let mut membership: BTreeMap<(u32, u64), bool> = BTreeMap::new();
+
+        for op in words.iter().map(|&w| decode(w, streams)) {
+            match &op {
+                Op::Ingest { stream, .. } => {
+                    let samples = samples_of(&op, &mut fresh);
+                    table.ingest(seq, StreamId(*stream), &samples, &mut sink);
+                    seq += samples.len() as u64;
+                }
+                Op::Close { stream } => {
+                    table.close(seq, StreamId(*stream), &mut sink);
+                }
+            }
+            let round = {
+                let mut v = Vec::new();
+                table.drain_query_deltas(&mut v);
+                v
+            };
+            fold_deltas(&round, &mut membership);
+            deltas.extend(round);
+
+            // Full rescan after the wave: re-evaluate every spec over the
+            // engine's fact base and compare with the incremental sets.
+            let engine = table.query_engine().expect("queries attached");
+            let tracked = engine.tracked();
+            let clock = engine.clock();
+            for (i, spec) in specs.iter().enumerate() {
+                let expect: Vec<StreamId> = tracked
+                    .iter()
+                    .filter(|t| oracle_matches(spec, t, &tracked, clock))
+                    .map(|t| t.stream)
+                    .collect();
+                let got = engine.members(QueryId(i as u32)).expect("registered id");
+                prop_assert_eq!(
+                    got, expect,
+                    "query#{} {:?} diverged from the oracle at clock {}",
+                    i, spec, clock
+                );
+                // The folded delta log agrees with the incremental sets.
+                for t in &tracked {
+                    let folded = membership
+                        .get(&(i as u32, t.stream.0))
+                        .copied()
+                        .unwrap_or(false);
+                    prop_assert_eq!(
+                        folded,
+                        engine.is_member(QueryId(i as u32), t.stream),
+                        "folded deltas disagree for query#{} {:?}",
+                        i, t.stream
+                    );
+                }
+            }
+        }
+
+        // Closing everything exits every remaining membership: the fold
+        // of the complete log ends empty.
+        table.close_all(seq, &mut sink);
+        let mut tail = Vec::new();
+        table.drain_query_deltas(&mut tail);
+        fold_deltas(&tail, &mut membership);
+        deltas.extend(tail);
+        prop_assert!(
+            membership.values().all(|&inside| !inside),
+            "memberships survive close_all"
+        );
+        let enters = deltas.iter().filter(|d| d.change == QueryChange::Enter).count();
+        prop_assert_eq!(enters * 2, deltas.len(), "unbalanced Enter/Exit log");
+        let stats = table.stats();
+        prop_assert_eq!(stats.query_enters as usize, enters);
+        prop_assert_eq!(stats.query_exits as usize, enters);
+    }
+
+    /// Shard invariance: for per-stream queries the sharded service's
+    /// merged delta log is a permutation of the inline reference's, for
+    /// every shard count (streams are owned by exactly one shard, so
+    /// per-stream delta order is preserved; cross-shard interleaving is
+    /// canonicalized by sorting).
+    #[test]
+    fn sharded_delta_log_is_permutation_of_inline(
+        words in proptest::collection::vec(any::<u64>(), 5..40),
+        streams in 1u64..8,
+        evict in 0u64..120,
+    ) {
+        let specs = [
+            QuerySpec::PeriodInRange { lo: 2, hi: 5 },
+            QuerySpec::LockLostWithin { window: 30 },
+            QuerySpec::ConfidenceAtLeast { threshold: 0.5 },
+        ];
+        let run = |shards: usize| {
+            let mut builder = DpdBuilder::new()
+                .window(8)
+                .forecast(1)
+                .standing_queries(&specs)
+                .shards(shards);
+            if evict >= 20 {
+                builder = builder.evict_after(evict);
+            }
+            let mut svc = MultiStreamDpd::from_builder(&builder).unwrap();
+            let mut fresh = 0x7F00_0000i64;
+            let mut deltas = Vec::new();
+            for (i, op) in words.iter().map(|&w| decode(w, streams)).enumerate() {
+                match &op {
+                    Op::Ingest { stream, .. } => {
+                        let samples = samples_of(&op, &mut fresh);
+                        svc.ingest(&[(StreamId(*stream), &samples)]);
+                    }
+                    Op::Close { stream } => svc.close(StreamId(*stream)),
+                }
+                if i % 5 == 0 {
+                    // Mid-run draining must never lose or duplicate.
+                    deltas.extend(svc.drain_query_deltas());
+                }
+            }
+            let (_, tail, _) = svc.finish_with_deltas();
+            deltas.extend(tail);
+            deltas.sort_by_key(|d| (d.seq, d.query.0, d.stream.0, d.change == QueryChange::Exit));
+            deltas
+        };
+        let reference = run(0);
+        for shards in [1usize, 2, 4] {
+            let got = run(shards);
+            prop_assert_eq!(&got, &reference, "shards={} diverged", shards);
+        }
+    }
+}

@@ -465,6 +465,178 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Standing-query edges: evictions must exit memberships, stale handles
+// must stay inert, and checkpoints taken mid-membership must restore the
+// engine bit-identically.
+
+use dpd::core::query::{QueryChange, QueryDelta, QueryId, QuerySpec};
+
+fn drain_deltas(table: &mut StreamTable) -> Vec<QueryDelta> {
+    let mut v = Vec::new();
+    table.drain_query_deltas(&mut v);
+    v
+}
+
+/// An eviction — lazy (gap observed on return) or eager (sweep) — exits
+/// every membership the evicted incarnation held.
+#[test]
+fn eviction_exits_standing_query_memberships() {
+    let specs = [QuerySpec::PeriodInRange { lo: 2, hi: 5 }];
+    let mut table = DpdBuilder::new()
+        .window(8)
+        .evict_after(30)
+        .standing_queries(&specs)
+        .build_table()
+        .unwrap();
+    let mut out = Vec::new();
+    table.ingest(0, StreamId(7), &periodic(3, 0, 24), &mut out);
+    let deltas = drain_deltas(&mut table);
+    assert_eq!(deltas.len(), 1);
+    assert_eq!(
+        (deltas[0].query, deltas[0].stream, deltas[0].change),
+        (QueryId(0), StreamId(7), QueryChange::Enter)
+    );
+    // Eager path: the sweep that evicts stamps the exit at its own clock.
+    assert_eq!(table.sweep(100), 1);
+    let deltas = drain_deltas(&mut table);
+    assert_eq!(deltas.len(), 1);
+    assert_eq!(
+        (deltas[0].seq, deltas[0].change),
+        (100, QueryChange::Exit),
+        "eviction must exit the membership at the sweep clock"
+    );
+    assert!(table
+        .query_engine()
+        .unwrap()
+        .members(QueryId(0))
+        .unwrap()
+        .is_empty());
+
+    // Lazy path: the stream returns past the watermark; the stale
+    // incarnation exits before the fresh one re-enters.
+    let mut table = DpdBuilder::new()
+        .window(8)
+        .evict_after(30)
+        .standing_queries(&specs)
+        .build_table()
+        .unwrap();
+    table.ingest(0, StreamId(7), &periodic(3, 0, 24), &mut out);
+    drain_deltas(&mut table);
+    table.ingest(200, StreamId(7), &periodic(3, 0, 24), &mut out);
+    let deltas = drain_deltas(&mut table);
+    assert_eq!(deltas[0].change, QueryChange::Exit, "stale incarnation");
+    assert_eq!(deltas[0].seq, 200, "exit at the observing batch's clock");
+    assert_eq!(deltas[1].change, QueryChange::Enter, "fresh incarnation");
+    assert!(deltas[1].seq > 200, "re-lock happens after the return");
+    let st = table.stats();
+    assert_eq!((st.query_enters, st.query_exits), (2, 1));
+}
+
+/// A handle into an evicted incarnation is rejected without touching the
+/// query engine: no deltas, no membership changes, no clock movement.
+#[test]
+fn stale_handle_ingest_is_inert_for_queries() {
+    let specs = [QuerySpec::PeriodInRange { lo: 2, hi: 5 }];
+    let mut table = DpdBuilder::new()
+        .window(8)
+        .evict_after(20)
+        .standing_queries(&specs)
+        .build_table()
+        .unwrap();
+    let mut out = Vec::new();
+    table.ingest(0, StreamId(1), &periodic(3, 0, 24), &mut out);
+    let stale = table.resolve(StreamId(1)).unwrap();
+    assert_eq!(table.sweep(100), 1, "incarnation dies under the handle");
+    drain_deltas(&mut table);
+    let clock = table.query_engine().unwrap().clock();
+
+    assert!(
+        !table.ingest_handle(100, stale, &periodic(3, 0, 12), &mut out),
+        "stale handle must be rejected"
+    );
+    assert!(
+        drain_deltas(&mut table).is_empty(),
+        "no deltas from a reject"
+    );
+    assert_eq!(table.query_engine().unwrap().clock(), clock);
+
+    // Same rejection once the id is re-created: the handle's generation
+    // is stale even though the id is live again.
+    table.ingest(100, StreamId(1), &periodic(3, 0, 24), &mut out);
+    let enters = drain_deltas(&mut table);
+    assert_eq!(enters.len(), 1, "fresh incarnation re-enters from scratch");
+    assert!(!table.ingest_handle(124, stale, &periodic(3, 24, 6), &mut out));
+    assert!(drain_deltas(&mut table).is_empty());
+    assert!(table
+        .query_engine()
+        .unwrap()
+        .is_member(QueryId(0), StreamId(1)));
+}
+
+/// A checkpoint taken mid-membership — active memberships and a parked
+/// lock-lost deadline in flight — restores bit-identically: re-snapshot
+/// equals the original bytes, and the restored table's future delta
+/// stream matches the uninterrupted run exactly.
+#[test]
+fn checkpoint_mid_membership_restores_bit_identically() {
+    let specs = [
+        QuerySpec::PeriodInRange { lo: 2, hi: 5 },
+        QuerySpec::LockLostWithin { window: 40 },
+    ];
+    let builder = DpdBuilder::new()
+        .window(8)
+        .evict_after(120)
+        .standing_queries(&specs);
+    let mut table = builder.build_table().unwrap();
+    let mut out = Vec::new();
+    // Stream 0 locks (period member), then goes aperiodic: loss at some
+    // seq L arms a lock-lost deadline at L + 40 that is still parked when
+    // the checkpoint lands.
+    table.ingest(0, StreamId(0), &periodic(3, 0, 24), &mut out);
+    let noise: Vec<i64> = (0..10).map(|i| 1000 + i * 17).collect();
+    table.ingest(24, StreamId(0), &noise, &mut out);
+    table.ingest(34, StreamId(1), &periodic(4, 0, 20), &mut out);
+    let prefix = drain_deltas(&mut table);
+    assert!(
+        prefix
+            .iter()
+            .any(|d| d.query == QueryId(1) && d.change == QueryChange::Enter),
+        "lock-lost membership active at the checkpoint"
+    );
+
+    let bytes = table.snapshot();
+    let mut restored = StreamTable::restore(&bytes).unwrap();
+    assert_eq!(restored.snapshot(), bytes, "re-snapshot is bit-identical");
+    assert_eq!(
+        restored.query_engine().unwrap().members(QueryId(1)),
+        table.query_engine().unwrap().members(QueryId(1))
+    );
+
+    // The suffix drives the parked deadline past expiry on both tables;
+    // deltas, events and final states must be indistinguishable.
+    let (mut eo, mut er) = (Vec::new(), Vec::new());
+    for round in 0u64..6 {
+        for s in [0u64, 1] {
+            let chunk = periodic(3 + s, round * 7, 7);
+            table.ingest(54 + round * 14, StreamId(s), &chunk, &mut eo);
+            restored.ingest(54 + round * 14, StreamId(s), &chunk, &mut er);
+        }
+    }
+    table.close_all(200, &mut eo);
+    restored.close_all(200, &mut er);
+    assert_eq!(eo, er, "suffix events diverged after restore");
+    let (do_, dr) = (drain_deltas(&mut table), drain_deltas(&mut restored));
+    assert_eq!(do_, dr, "suffix deltas diverged after restore");
+    assert!(
+        do_.iter()
+            .any(|d| d.query == QueryId(1) && d.change == QueryChange::Exit),
+        "the parked deadline fired in the suffix"
+    );
+    assert_eq!(table.stats(), restored.stats());
+    assert_eq!(table.snapshot(), restored.snapshot());
+}
+
 /// A table holding all three tiers at once — a hot stream, a cold
 /// summary, and a closed (gone) id — snapshot/restores losslessly: same
 /// rollups, same tier membership, bit-identical re-snapshot, and
