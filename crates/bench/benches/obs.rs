@@ -1,0 +1,136 @@
+//! Observability hot-path cost: the "allocation-free, ~nanoseconds"
+//! contract of the metrics registry.
+//!
+//! The registry's promise is that instrumenting the ingest loop is
+//! effectively free: a counter bump or histogram record is one relaxed
+//! atomic RMW (plus a leading-zeros bucket index for histograms), with
+//! no locks, no allocation, no branching on registry state. These
+//! benches pin that contract:
+//!
+//! * `obs/counter/inc` and `obs/gauge/set` — the per-sample primitives
+//!   used on every network frame and ingest batch; single-digit
+//!   nanoseconds per op.
+//! * `obs/histogram/record` — the per-batch timing record (log2
+//!   bucketing); same order as the counter bump.
+//! * `obs/selftrace/record_ns` — the per-batch self-trace append (one
+//!   mutex-guarded Vec push at this level of contention); tens of
+//!   nanoseconds, amortized over a whole ingest batch.
+//! * `obs/render/full` — one exposition-page render of a realistically
+//!   sized registry (4 shards of service rollups + net counters, ~90
+//!   series). Scrape-path cost, not hot-path: milliseconds would be
+//!   fine, microseconds are expected.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dpd_obs::{Registry, SelfTracer};
+use std::hint::black_box;
+
+/// A registry shaped like a live 4-shard server's: per-shard rollup
+/// counters/gauges/histograms plus the unlabeled net counters.
+fn realistic_registry() -> Registry {
+    let reg = Registry::new();
+    for shard in 0..4 {
+        for name in [
+            "dpd_shard_samples_total",
+            "dpd_shard_events_total",
+            "dpd_shard_evicted_total",
+            "dpd_shard_closed_total",
+            "dpd_shard_batches_total",
+        ] {
+            reg.counter(&format!("{name}{{shard=\"{shard}\"}}"), "rollup counter")
+                .add(shard * 1000 + 7);
+        }
+        reg.gauge(
+            &format!("dpd_shard_streams{{shard=\"{shard}\"}}"),
+            "streams",
+        )
+        .set(1000);
+        let h = reg.histogram(
+            &format!("dpd_ingest_loop_nanoseconds{{shard=\"{shard}\"}}"),
+            "ingest timings",
+        );
+        for i in 0..64u64 {
+            h.record(i * 997);
+        }
+    }
+    for name in [
+        "dpd_net_connections_accepted_total",
+        "dpd_net_frames_total",
+        "dpd_net_samples_total",
+        "dpd_net_bytes_total",
+    ] {
+        reg.counter(name, "net counter").add(123_456);
+    }
+    reg
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let reg = Registry::new();
+    let counter = reg.counter("bench_total", "bench counter");
+    let gauge = reg.gauge("bench_level", "bench gauge");
+    let histogram = reg.histogram("bench_ns", "bench histogram");
+
+    let mut g = c.benchmark_group("obs/counter");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("inc", |b| {
+        b.iter(|| {
+            counter.inc();
+            black_box(&counter);
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("obs/gauge");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("set", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(3);
+            gauge.set(black_box(v));
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("obs/histogram");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("record", |b| {
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            histogram.record(black_box(v >> 40));
+        })
+    });
+    g.finish();
+}
+
+fn bench_selftrace(c: &mut Criterion) {
+    let tracer = SelfTracer::new(4);
+    let mut g = c.benchmark_group("obs/selftrace");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("record_ns", |b| {
+        let mut scratch = Vec::new();
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            tracer.record_ns(0, black_box(n * 737));
+            // Keep the ring from hitting capacity (which would measure
+            // the drop path, not the record path).
+            if n.is_multiple_of(4096) {
+                tracer.drain(0, &mut scratch);
+                scratch.clear();
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_render(c: &mut Criterion) {
+    let reg = realistic_registry();
+    let series = reg.samples().len() as u64;
+    let mut g = c.benchmark_group("obs/render");
+    g.throughput(Throughput::Elements(series));
+    g.bench_function("full", |b| b.iter(|| black_box(reg.render()).len()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_selftrace, bench_render);
+criterion_main!(benches);

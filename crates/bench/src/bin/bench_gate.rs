@@ -1,7 +1,7 @@
 //! CI bench-regression gate.
 //!
 //! Runs the criterion bench groups named by `DPD_GATE_BENCHES` (default
-//! `streaming,trace_io,predict,durability,table_scale,net_ingest,query`) in fast mode, then compares
+//! `streaming,trace_io,predict,durability,table_scale,net_ingest,query,obs`) in fast mode, then compares
 //! each bench's ns/iter against the latest `BENCH_*.json` record at the
 //! workspace root and fails when any bench regressed by more than the
 //! tolerance — so a hot-path win recorded in one PR cannot silently rot
@@ -24,7 +24,7 @@
 //!   `1.5`; CI machines differ from the recording machine, so this guards
 //!   against large rots, not percent-level noise).
 //! * `DPD_GATE_BENCHES`   — comma-separated bench targets (default
-//!   `streaming,trace_io,predict,durability,table_scale,net_ingest,query`).
+//!   `streaming,trace_io,predict,durability,table_scale,net_ingest,query,obs`).
 //! * `DPD_GATE_BASELINE`  — explicit baseline file (default: the
 //!   highest-numbered `BENCH_*.json` at the workspace root).
 //! * `DPD_GATE_FULL=1`    — measure at full sample counts instead of the
@@ -120,7 +120,7 @@ fn main() -> ExitCode {
 
     // Run the bench targets with the shim's JSON output into a temp file.
     let benches = std::env::var("DPD_GATE_BENCHES").unwrap_or_else(|_| {
-        "streaming,trace_io,predict,durability,table_scale,net_ingest,query".into()
+        "streaming,trace_io,predict,durability,table_scale,net_ingest,query,obs".into()
     });
     let targets: Vec<&str> = benches
         .split(',')

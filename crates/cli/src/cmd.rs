@@ -31,9 +31,12 @@ pub const USAGE: &str = "usage:
                  [--every 8] [--forecast H] [--throttle-ms T]
                  [--evict-after N] [--memory-budget BYTES] [--cold-retain N]
   dpd resume DIR --pile FILE [--snap FILE] [same flags as checkpoint]
-  dpd serve [--listen ADDR] [--port-file FILE] [--accept N] (see serve --help)
+  dpd serve [--listen ADDR] [--port-file FILE] [--accept N] [--metrics ADDR]
+            [--self-trace FILE] (see serve --help)
   dpd loadgen CORPUS (--connect ADDR | --port-file FILE) [--conns N]
               [--fragment whole|bytes:N|random] (see loadgen --help)
+  dpd stats [ADDR] [--port-file FILE] [--filter PREFIX] [--watch SEC]
+            (see stats --help)
 
 Trace files are text or DTB binary containers; every reader auto-detects
 the format by magic, and a multistream DIR may mix both (a single .dtb
@@ -56,9 +59,9 @@ pub struct Flags {
     pub options: Vec<(String, String)>,
 }
 
-/// Flags that take no value (`--help`, `--resume`): presence is the
-/// signal, tested with [`Flags::has`].
-const BOOL_FLAGS: &[&str] = &["help", "resume"];
+/// Flags that take no value (`--help`, `--resume`, `--raw`): presence
+/// is the signal, tested with [`Flags::has`].
+const BOOL_FLAGS: &[&str] = &["help", "resume", "raw"];
 
 impl Flags {
     /// Parse a raw argument list.
@@ -125,6 +128,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         "resume" => resume_cmd(&flags),
         "serve" => crate::netcmd::serve(&flags),
         "loadgen" => crate::netcmd::loadgen(&flags),
+        "stats" => crate::netcmd::stats(&flags),
         other => Err(format!("unknown command {other:?}")),
     }
 }

@@ -16,9 +16,11 @@
 
 use crate::cmd::Flags;
 use dpd_core::pipeline::DpdBuilder;
+use dpd_obs::{MetricsServer, Registry, SelfTracer};
 use dpd_trace::dtb::{self, Block, DtbDecoder, DtbWriter};
 use dpd_trace::EventTrace;
 use par_runtime::net::{DpdServer, DurableNet, NetConfig, HANDSHAKE_MAGIC, PROTOCOL_VERSION};
+use par_runtime::service::ServiceObs;
 use std::fmt::Write as _;
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpStream};
@@ -51,6 +53,16 @@ the server acknowledges ingested samples with 8-byte cumulative counts.
   --checkpoint-every N durable mode: checkpoint every N samples
                        (default 0: only at clean closes and on exit)
   --resume             resume from --checkpoint FILE when it exists
+  --metrics ADDR       expose live metrics: serve `GET /metrics`
+                       (Prometheus text format) on ADDR; scrape it with
+                       `dpd stats` (docs/OBSERVABILITY.md)
+  --metrics-port-file FILE  write the bound metrics address to FILE
+                       once listening (requires --metrics)
+  --self-trace FILE    record per-shard ingest-loop timings to FILE as
+                       a DTB event trace while serving; point
+                       `dpd analyze FILE` at the server's own pulse
+  --self-trace-every-ms N  self-trace sampler drain interval
+                       (default 100)
   --timing show|none   wall-clock figures in the summary (default show)
 ";
 
@@ -75,6 +87,25 @@ united replay covers every stream exactly once.
   --timing show|none   throughput/latency figures (default show)
 ";
 
+/// `dpd stats --help` text (golden-file tested).
+pub const STATS_USAGE: &str = "usage: dpd stats [ADDR] [flags]
+
+Scrape a `dpd serve --metrics` endpoint once and print every series as
+a sorted `name value` line — a deterministic, diff-friendly rendering
+of the Prometheus text page (docs/OBSERVABILITY.md). ADDR is the
+`--metrics` address; omit it and pass --port-file to read the address
+a server published with --metrics-port-file.
+
+  --port-file FILE     read ADDR from FILE (poll until it appears)
+  --filter PREFIX      only print series whose name starts with PREFIX
+  --raw                print the exposition page verbatim instead
+                       (HELP/TYPE comments and all)
+  --watch SEC          keep scraping every SEC seconds; scrapes are
+                       separated by `---` lines
+  --count N            stop after N scrapes (default 1; with --watch
+                       the default is 5)
+";
+
 /// Parse `--timing show|none`.
 fn parse_timing(flags: &Flags) -> Result<bool, String> {
     match flags.get("timing").unwrap_or("show") {
@@ -82,6 +113,14 @@ fn parse_timing(flags: &Flags) -> Result<bool, String> {
         "none" => Ok(false),
         other => Err(format!("unknown --timing {other:?} (show|none)")),
     }
+}
+
+/// Atomically publish a bound address to a port file: pollers (loadgen,
+/// `dpd stats --port-file`) must never read a half-written address.
+fn publish_port_file(pf: &str, addr: &std::net::SocketAddr) -> Result<(), String> {
+    let tmp = format!("{pf}.tmp");
+    std::fs::write(&tmp, format!("{addr}\n")).map_err(|e| format!("write {tmp}: {e}"))?;
+    std::fs::rename(&tmp, pf).map_err(|e| format!("publish {pf}: {e}"))
 }
 
 // ---------------------------------------------------------------------------
@@ -134,16 +173,49 @@ pub fn serve(flags: &Flags) -> Result<String, String> {
         return Err("--resume requires --checkpoint FILE".into());
     }
     let durable = cfg.durable.is_some();
+    let metrics_addr = flags.get("metrics");
+    if flags.get("metrics-port-file").is_some() && metrics_addr.is_none() {
+        return Err("--metrics-port-file requires --metrics ADDR".into());
+    }
+    let self_trace = flags.get("self-trace");
+    let self_trace_every = flags.get_usize("self-trace-every-ms", 100)?.max(1) as u64;
 
-    let server =
-        DpdServer::start(&builder, cfg, listen).map_err(|e| format!("serve {listen}: {e}"))?;
+    // Observability wiring: the service's per-shard rollups and the
+    // server's dpd_net_* counters register into one registry, which the
+    // optional --metrics endpoint serves live; the optional self-tracer
+    // records every ingest-loop timing for the sampler thread to write
+    // out as a DTB trace the detector itself can analyze.
+    let registry = Registry::new();
+    let tracer = self_trace.map(|_| SelfTracer::new(shards.max(1)));
+    let obs = ServiceObs {
+        registry: registry.clone(),
+        self_tracer: tracer.clone(),
+    };
+
+    let server = DpdServer::start_observed(&builder, cfg, listen, obs)
+        .map_err(|e| format!("serve {listen}: {e}"))?;
     let addr = server.local_addr();
     if let Some(pf) = flags.get("port-file") {
-        // Atomic publish: pollers must never read a half-written address.
-        let tmp = format!("{pf}.tmp");
-        std::fs::write(&tmp, format!("{addr}\n")).map_err(|e| format!("write {tmp}: {e}"))?;
-        std::fs::rename(&tmp, pf).map_err(|e| format!("publish {pf}: {e}"))?;
+        publish_port_file(pf, &addr)?;
     }
+    let metrics = match metrics_addr {
+        Some(maddr) => {
+            let m = MetricsServer::start(registry.clone(), maddr)
+                .map_err(|e| format!("metrics {maddr}: {e}"))?;
+            if let Some(pf) = flags.get("metrics-port-file") {
+                publish_port_file(pf, &m.local_addr())?;
+            }
+            Some(m)
+        }
+        None => None,
+    };
+    let trace_writer = match (&tracer, self_trace) {
+        (Some(t), Some(path)) => Some(
+            t.start_writer(path, Duration::from_millis(self_trace_every))
+                .map_err(|e| format!("self-trace {path}: {e}"))?,
+        ),
+        _ => None,
+    };
 
     let start = Instant::now();
     // Self-terminating with an accept limit; otherwise serve until the
@@ -202,6 +274,18 @@ pub fn serve(flags: &Flags) -> Result<String, String> {
     if durable {
         writeln!(out, "checkpoints {}", s.checkpoints).unwrap();
     }
+    // Observability epilogue: these lines appear only when the flags
+    // were given, so flag-less summaries stay byte-identical.
+    if let Some(m) = metrics {
+        writeln!(out, "metrics: served {} scrape(s)", m.scrapes()).unwrap();
+        m.shutdown();
+    }
+    if let Some(w) = trace_writer {
+        let path = w.path().display().to_string();
+        // Final drain + DTB finalize before we report the file.
+        w.finish();
+        writeln!(out, "self-trace: wrote {path}").unwrap();
+    }
     // Event lines sorted by stream id: the sort is stable, so the
     // per-stream order the service guarantees is preserved and the
     // output is deterministic for any connection interleaving.
@@ -229,6 +313,70 @@ pub fn serve(flags: &Flags) -> Result<String, String> {
             t.query_enters, t.query_exits
         )
         .unwrap();
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// dpd stats
+
+/// Poll `path` until it holds a non-empty line (a serve-side port
+/// file's atomic publish), returning that line.
+fn poll_port_file(path: &str) -> Result<String, String> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            let addr = text.trim();
+            if !addr.is_empty() {
+                return Ok(addr.to_string());
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("port file {path} did not appear"));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// `dpd stats [ADDR]`: scrape a `serve --metrics` endpoint and print
+/// its series as sorted `name value` lines (see [`STATS_USAGE`]).
+pub fn stats(flags: &Flags) -> Result<String, String> {
+    if flags.has("help") {
+        return Ok(STATS_USAGE.to_string());
+    }
+    let addr = match flags.positional.first() {
+        Some(a) => a.clone(),
+        None => match flags.get("port-file") {
+            Some(pf) => poll_port_file(pf)?,
+            None => return Err("stats expects ADDR or --port-file FILE".into()),
+        },
+    };
+    let watch_secs = flags.get_usize("watch", 0)? as u64;
+    let count = flags
+        .get_usize("count", if watch_secs > 0 { 5 } else { 1 })?
+        .max(1);
+    let raw = flags.has("raw");
+    let filter = flags.get("filter").unwrap_or("");
+
+    let mut out = String::new();
+    for i in 0..count {
+        if i > 0 {
+            std::thread::sleep(Duration::from_secs(watch_secs));
+            writeln!(out, "---").unwrap();
+        }
+        let page = dpd_obs::scrape(&addr).map_err(|e| format!("scrape {addr}: {e}"))?;
+        if raw {
+            out.push_str(&page);
+            continue;
+        }
+        let scrape = dpd_obs::parse_exposition(&page).map_err(|e| format!("{addr}: {e}"))?;
+        // BTreeMap iteration: already sorted, so the rendering is
+        // deterministic for a fixed registry state.
+        for (series, value) in &scrape.values {
+            if series.starts_with(filter) {
+                writeln!(out, "{series} {value}").unwrap();
+            }
+        }
     }
     Ok(out)
 }
@@ -277,19 +425,7 @@ fn resolve_addr(flags: &Flags) -> Result<String, String> {
     let pf = flags
         .get("port-file")
         .ok_or("loadgen requires --connect ADDR or --port-file FILE")?;
-    let deadline = Instant::now() + Duration::from_secs(10);
-    loop {
-        if let Ok(text) = std::fs::read_to_string(pf) {
-            let addr = text.trim();
-            if !addr.is_empty() {
-                return Ok(addr.to_string());
-            }
-        }
-        if Instant::now() >= deadline {
-            return Err(format!("port file {pf} did not appear"));
-        }
-        std::thread::sleep(Duration::from_millis(10));
-    }
+    poll_port_file(pf)
 }
 
 /// One connection's replay payload: the DTB bytes, the frame boundaries
@@ -680,11 +816,134 @@ mod tests {
         assert!(out.starts_with("usage: dpd serve"), "{out}");
         let out = dispatch(&argv("loadgen --help")).unwrap();
         assert!(out.starts_with("usage: dpd loadgen"), "{out}");
+        let out = dispatch(&argv("stats --help")).unwrap();
+        assert!(out.starts_with("usage: dpd stats"), "{out}");
     }
 
     #[test]
     fn serve_rejects_resume_without_checkpoint() {
         assert!(dispatch(&argv("serve --resume")).is_err());
+    }
+
+    #[test]
+    fn serve_rejects_metrics_port_file_without_metrics() {
+        assert!(dispatch(&argv("serve --metrics-port-file /tmp/x")).is_err());
+    }
+
+    #[test]
+    fn stats_requires_an_address() {
+        assert!(dispatch(&argv("stats")).is_err());
+    }
+
+    /// End-to-end observability loopback: serve with a live metrics
+    /// endpoint and a self-trace, scrape mid-run with `dpd stats` while
+    /// a holder connection keeps the server from draining, then point
+    /// `dpd analyze` at the server's own ingest-loop trace.
+    #[test]
+    fn loopback_metrics_scrape_and_self_trace() {
+        let dir = scratch("obs");
+        let corpus = dir.join("corpus.dtb");
+        write_corpus(&corpus);
+        let pf = dir.join("port");
+        let mpf = dir.join("metrics-port");
+        let st = dir.join("self.dtb");
+        let serve_args = argv(&format!(
+            "serve --accept 3 --window 16 --port-file {} --metrics 127.0.0.1:0 \
+             --metrics-port-file {} --self-trace {} --self-trace-every-ms 10 --timing none",
+            pf.display(),
+            mpf.display(),
+            st.display()
+        ));
+        let server = std::thread::spawn(move || dispatch(&serve_args));
+
+        // Holder: an accepted connection that stays open (and idle) so
+        // the server is still live after loadgen's two conns finish.
+        let addr = poll_port_file(pf.to_str().unwrap()).unwrap();
+        let mut holder = connect_with_retry(&addr).unwrap();
+        let mut hello = [0u8; 6];
+        holder.read_exact(&mut hello).unwrap();
+
+        let gen_out = dispatch(&argv(&format!(
+            "loadgen {} --conns 2 --port-file {} --timing none",
+            corpus.display(),
+            pf.display()
+        )))
+        .unwrap();
+        assert!(
+            gen_out.contains("sent 1800 samples, acked 1800"),
+            "{gen_out}"
+        );
+
+        // Scrape mid-run until both loadgen connections show as closed.
+        let maddr = poll_port_file(mpf.to_str().unwrap()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let scraped = loop {
+            let out = dispatch(&argv(&format!("stats {maddr}"))).unwrap();
+            if out.contains("dpd_net_clean_closes_total 2")
+                && out.contains("dpd_net_connections_open 1")
+            {
+                break out;
+            }
+            assert!(Instant::now() < deadline, "server never settled:\n{out}");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        assert!(scraped.contains("dpd_net_samples_total 1800"), "{scraped}");
+        assert!(
+            scraped.contains("dpd_shard_samples_total{shard=\"0\"} 1800"),
+            "{scraped}"
+        );
+        // --filter narrows, --raw returns the exposition page itself.
+        let net_only = dispatch(&argv(&format!("stats {maddr} --filter dpd_net_"))).unwrap();
+        assert!(
+            net_only.lines().all(|l| l.starts_with("dpd_net_")),
+            "{net_only}"
+        );
+        let raw = dispatch(&argv(&format!("stats {maddr} --raw"))).unwrap();
+        assert!(
+            raw.contains("# TYPE dpd_net_samples_total counter"),
+            "{raw}"
+        );
+
+        drop(holder);
+        let serve_out = server.join().unwrap().unwrap();
+        assert!(
+            serve_out.contains("served 3 connection(s): 3 clean"),
+            "{serve_out}"
+        );
+        assert!(serve_out.contains("metrics: served"), "{serve_out}");
+        assert!(
+            serve_out.contains(&format!("self-trace: wrote {}", st.display())),
+            "{serve_out}"
+        );
+
+        // The self-trace is a well-formed DTB capture of the server's
+        // own ingest loops, readable by the ordinary analyze pipeline.
+        let analyzed = dispatch(&argv(&format!("analyze {}", st.display()))).unwrap();
+        assert!(analyzed.contains("ingest-loop/shard-0"), "{analyzed}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Differential acceptance check: a self-trace carrying a periodic
+    /// ingest pattern is detected by `dpd analyze` at the right period —
+    /// the detector pointed at its own pulse.
+    #[test]
+    fn self_trace_capture_detects_injected_period() {
+        let dir = scratch("selftrace");
+        let file = dir.join("self.dtb");
+        let tracer = SelfTracer::new(1);
+        let writer = tracer
+            .start_writer(&file, Duration::from_millis(5))
+            .unwrap();
+        // A period-5 duty cycle in log2-bucket space, e.g. four cheap
+        // batches then one expensive flush, repeated.
+        let pattern = [10i64, 10, 14, 10, 18];
+        for i in 0..600 {
+            tracer.record_value(0, pattern[i % pattern.len()]);
+        }
+        writer.finish();
+        let out = dispatch(&argv(&format!("analyze {}", file.display()))).unwrap();
+        assert!(out.contains("detected periodicities: [5]"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// Loopback smoke across every fragmentation mode: the serve-side

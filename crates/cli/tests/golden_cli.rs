@@ -234,6 +234,102 @@ fn golden_serve_outputs_are_stable() {
     check_golden_text("serve_smoke_loadgen.txt", &loadgen_out);
 }
 
+/// The observability plane is golden-tested end to end: `stats --help`,
+/// plus a live `dpd stats` scrape of a serving `--metrics` endpoint.
+/// Every `dpd_net_*` and `dpd_shard_*` series is deterministic once the
+/// server settles (replay totals, frame shapes and detection counts
+/// depend only on the committed fixture), so the scrape rendering is
+/// byte-stable; only the ingest-timing histogram is wall-clock-shaped
+/// and is excluded by the family filters.
+#[test]
+fn golden_stats_scrape_is_stable() {
+    check_golden("stats_help.txt", "stats --help");
+
+    let dtb = fixtures_dir().join("traces").join("streams.dtb");
+    assert!(
+        dtb.is_file(),
+        "trace fixtures missing (run DPD_BLESS=1 cargo test -p dpd-cli --test golden_cli)"
+    );
+    let scratch = PathBuf::from("../../target/golden-scratch");
+    std::fs::create_dir_all(&scratch).unwrap();
+    let port_file = scratch.join("stats_smoke.port");
+    let metrics_port_file = scratch.join("stats_smoke.metrics-port");
+    std::fs::remove_file(&port_file).ok();
+    std::fs::remove_file(&metrics_port_file).ok();
+
+    let serve_args = argv(&format!(
+        "serve --accept 3 --window 16 --port-file {} --metrics 127.0.0.1:0 \
+         --metrics-port-file {} --timing none",
+        port_file.display(),
+        metrics_port_file.display()
+    ));
+    let server = std::thread::spawn(move || dispatch(&serve_args));
+
+    // A holder connection keeps the server from draining while we
+    // scrape; it is accepted first so the settled counters are fixed.
+    let addr = {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                let addr = text.trim().to_string();
+                if !addr.is_empty() {
+                    break addr;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "serve port file never appeared"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+    };
+    let holder = std::net::TcpStream::connect(&addr).unwrap();
+    {
+        use std::io::Read as _;
+        let mut hello = [0u8; 6];
+        (&holder).read_exact(&mut hello).unwrap();
+    }
+    let loadgen_out = dispatch(&argv(&format!(
+        "loadgen {} --conns 2 --chunk 64 --port-file {} --timing none",
+        dtb.display(),
+        port_file.display()
+    )))
+    .unwrap();
+    assert!(loadgen_out.contains("acked 1200"), "{loadgen_out}");
+
+    // Wait for the server to settle (both loadgen closes fully counted),
+    // then take the goldens through the real `dpd stats` scraper.
+    let maddr = std::fs::read_to_string(&metrics_port_file)
+        .unwrap()
+        .trim()
+        .to_string();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let out = dispatch(&argv(&format!("stats {maddr}"))).unwrap();
+        if out.contains("dpd_net_clean_closes_total 2")
+            && out.contains("dpd_net_connections_open 1")
+        {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never settled:\n{out}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let net = dispatch(&argv(&format!("stats {maddr} --filter dpd_net_"))).unwrap();
+    check_golden_text("stats_scrape_net.txt", &net);
+    let shard = dispatch(&argv(&format!("stats {maddr} --filter dpd_shard_"))).unwrap();
+    check_golden_text("stats_scrape_shard.txt", &shard);
+
+    drop(holder);
+    let serve_out = server.join().unwrap().unwrap();
+    assert!(
+        serve_out.contains("served 3 connection(s): 3 clean"),
+        "{serve_out}"
+    );
+}
+
 /// The convert stdout golden embeds absolute scratch paths only under
 /// `target/`; make sure the goldens themselves never leak a temp dir.
 #[test]

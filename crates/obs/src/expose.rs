@@ -1,0 +1,138 @@
+//! Parsing the exposition text page back into samples.
+//!
+//! [`Registry::render`](crate::Registry::render) is the write side;
+//! this module is the read side, used by `dpd stats`, the serve-smoke
+//! CI assertion, and the round-trip property test. The grammar is the
+//! Prometheus text format restricted to what the registry emits:
+//!
+//! ```text
+//! page    = *(comment | sample)
+//! comment = "#" .* "\n"
+//! sample  = series SP value "\n"
+//! series  = family [ "{" labels "}" ]
+//! value   = f64 (Rust `Display` syntax)
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed exposition page: every data line, keyed by full series
+/// name (labels included, exactly as rendered).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Scrape {
+    /// `series name (with labels) → value`, in page order (BTreeMap —
+    /// the page is itself sorted, so iteration order matches).
+    pub values: BTreeMap<String, f64>,
+}
+
+impl Scrape {
+    /// Value of one exact series, if present.
+    pub fn get(&self, series: &str) -> Option<f64> {
+        self.values.get(series).copied()
+    }
+
+    /// Sum of all series in one family (name up to any `{`).
+    ///
+    /// `sum_family("dpd_shard_samples_total")` adds every
+    /// `dpd_shard_samples_total{shard="..."}` series; an unlabeled
+    /// series matches itself. Histogram expansion series
+    /// (`_bucket`/`_sum`/`_count`) are distinct families and are not
+    /// folded in.
+    pub fn sum_family(&self, family: &str) -> f64 {
+        self.values
+            .iter()
+            .filter(|(name, _)| {
+                let fam = name.split('{').next().unwrap_or(name);
+                fam == family
+            })
+            .map(|(_, v)| v)
+            .sum()
+    }
+}
+
+/// A malformed exposition line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "exposition line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse an exposition page into a [`Scrape`].
+///
+/// Comment lines (`#`) and blank lines are skipped. Data lines must be
+/// `series SP value`; a series may contain spaces only inside a quoted
+/// label value, so the value is everything after the *last* space.
+pub fn parse_exposition(text: &str) -> Result<Scrape, ParseError> {
+    let mut scrape = Scrape::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |reason: &str| ParseError {
+            line: idx + 1,
+            reason: reason.to_string(),
+        };
+        let split = line.rfind(' ').ok_or_else(|| err("missing value"))?;
+        let (series, value) = line.split_at(split);
+        let series = series.trim_end();
+        if series.is_empty() {
+            return Err(err("empty series name"));
+        }
+        let value: f64 = value.trim().parse().map_err(|_| err("unparseable value"))?;
+        if scrape.values.insert(series.to_string(), value).is_some() {
+            return Err(err("duplicate series"));
+        }
+    }
+    Ok(scrape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn round_trip_matches_samples() {
+        let reg = Registry::new();
+        reg.counter("a_total", "help a").add(41);
+        reg.gauge("b_level{shard=\"0\"}", "help b").set(7);
+        let h = reg.histogram("c_ns{shard=\"1\"}", "help c");
+        h.record(0);
+        h.record(1000);
+        let scrape = parse_exposition(&reg.render()).unwrap();
+        let expect: BTreeMap<String, f64> = reg.samples().into_iter().collect();
+        assert_eq!(scrape.values, expect);
+    }
+
+    #[test]
+    fn sum_family_folds_labeled_series() {
+        let reg = Registry::new();
+        reg.counter("x_total{shard=\"0\"}", "x").add(3);
+        reg.counter("x_total{shard=\"1\"}", "x").add(4);
+        let scrape = parse_exposition(&reg.render()).unwrap();
+        assert_eq!(scrape.sum_family("x_total"), 7.0);
+        assert_eq!(scrape.get("x_total{shard=\"1\"}"), Some(4.0));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_exposition("novalue\n").is_err());
+        assert!(parse_exposition("a 1\na 2\n").is_err());
+        assert!(parse_exposition("a notanumber\n").is_err());
+        assert_eq!(
+            parse_exposition("# just comments\n\n").unwrap(),
+            Scrape::default()
+        );
+    }
+}

@@ -40,9 +40,10 @@
 //! decode (varints, CRC) happens outside it, only the final
 //! `ingest` of each decoded batch happens inside.
 
-use crate::service::{CheckpointError, MultiStreamDpd, ServiceSnapshot};
+use crate::service::{CheckpointError, MultiStreamDpd, ServiceObs, ServiceSnapshot};
 use dpd_core::pipeline::{BuildError, DpdBuilder};
 use dpd_core::shard::{MultiStreamEvent, StreamId};
+use dpd_obs::{Counter, Gauge, Histogram, Registry};
 use dpd_trace::dtb::{self, Block, DtbDecoder, DtbError};
 use dpd_trace::pile::EpochMarker;
 use parking_lot::Mutex;
@@ -206,21 +207,99 @@ pub struct NetStats {
     pub checkpoints: u64,
 }
 
-#[derive(Default)]
-struct Counters {
-    accepted: AtomicU64,
-    open: AtomicU64,
-    shed_capacity: AtomicU64,
-    shed_stalled: AtomicU64,
-    shed_slow: AtomicU64,
-    disconnected: AtomicU64,
-    protocol_errors: AtomicU64,
-    clean_closes: AtomicU64,
-    frames: AtomicU64,
-    samples: AtomicU64,
-    samples_skipped: AtomicU64,
-    bytes: AtomicU64,
-    checkpoints: AtomicU64,
+/// Server counters as registry handles (`dpd_net_*` series — the
+/// metric-name contract is in `docs/OBSERVABILITY.md`). [`NetStats`]
+/// snapshots are read back from these same cells, so a live `/metrics`
+/// scrape and the drain-time report can never disagree.
+struct NetMetrics {
+    accepted: Counter,
+    open: Gauge,
+    shed_capacity: Counter,
+    shed_stalled: Counter,
+    shed_slow: Counter,
+    disconnected: Counter,
+    protocol_errors: Counter,
+    clean_closes: Counter,
+    frames: Counter,
+    samples: Counter,
+    samples_skipped: Counter,
+    bytes: Counter,
+    checkpoints: Counter,
+    /// Events per decoded DTB events frame (log2 buckets) — the wire
+    /// batching profile, deterministic for a deterministic corpus.
+    frame_samples: Histogram,
+}
+
+impl NetMetrics {
+    fn register(reg: &Registry) -> Self {
+        NetMetrics {
+            accepted: reg.counter(
+                "dpd_net_connections_accepted_total",
+                "connections accepted (including ones later shed)",
+            ),
+            open: reg.gauge("dpd_net_connections_open", "connections currently open"),
+            shed_capacity: reg.counter(
+                "dpd_net_shed_capacity_total",
+                "connections shed at accept time (capacity limit)",
+            ),
+            shed_stalled: reg.counter(
+                "dpd_net_shed_stalled_total",
+                "connections shed for stalling mid-frame",
+            ),
+            shed_slow: reg.counter(
+                "dpd_net_shed_slow_total",
+                "connections shed for not draining acknowledgements",
+            ),
+            disconnected: reg.counter(
+                "dpd_net_disconnected_total",
+                "connections that disconnected abruptly",
+            ),
+            protocol_errors: reg.counter(
+                "dpd_net_protocol_errors_total",
+                "connections closed over a malformed frame",
+            ),
+            clean_closes: reg.counter(
+                "dpd_net_clean_closes_total",
+                "connections that completed cleanly at a frame boundary",
+            ),
+            frames: reg.counter(
+                "dpd_net_frames_total",
+                "DTB frames decoded across all connections",
+            ),
+            samples: reg.counter(
+                "dpd_net_samples_total",
+                "event samples ingested into the detector service",
+            ),
+            samples_skipped: reg.counter(
+                "dpd_net_samples_skipped_total",
+                "sampled-kind values decoded and discarded",
+            ),
+            bytes: reg.counter("dpd_net_bytes_total", "payload bytes read off sockets"),
+            checkpoints: reg.counter("dpd_net_checkpoints_total", "durable checkpoints taken"),
+            frame_samples: reg.histogram(
+                "dpd_net_frame_samples",
+                "event samples per decoded DTB events frame (log2 buckets)",
+            ),
+        }
+    }
+
+    fn stats(&self) -> NetStats {
+        NetStats {
+            accepted: self.accepted.get(),
+            open: self.open.get(),
+            shed_capacity: self.shed_capacity.get(),
+            shed_stalled: self.shed_stalled.get(),
+            shed_slow: self.shed_slow.get(),
+            disconnected: self.disconnected.get(),
+            protocol_errors: self.protocol_errors.get(),
+            clean_closes: self.clean_closes.get(),
+            frames: self.frames.get(),
+            samples: self.samples.get(),
+            samples_skipped: self.samples_skipped.get(),
+            bytes: self.bytes.get(),
+            checkpoints: self.checkpoints.get(),
+        }
+    }
 }
 
 /// Why a connection worker exited (internal; surfaced as counters).
@@ -263,28 +342,13 @@ struct Shared {
     core: Mutex<Core>,
     conns: Mutex<Vec<Arc<ConnState>>>,
     stop: AtomicBool,
-    ctr: Counters,
+    ctr: NetMetrics,
+    registry: Registry,
 }
 
 impl Shared {
     fn stats(&self) -> NetStats {
-        let c = &self.ctr;
-        let ld = |a: &AtomicU64| a.load(Ordering::Acquire);
-        NetStats {
-            accepted: ld(&c.accepted),
-            open: ld(&c.open),
-            shed_capacity: ld(&c.shed_capacity),
-            shed_stalled: ld(&c.shed_stalled),
-            shed_slow: ld(&c.shed_slow),
-            disconnected: ld(&c.disconnected),
-            protocol_errors: ld(&c.protocol_errors),
-            clean_closes: ld(&c.clean_closes),
-            frames: ld(&c.frames),
-            samples: ld(&c.samples),
-            samples_skipped: ld(&c.samples_skipped),
-            bytes: ld(&c.bytes),
-            checkpoints: ld(&c.checkpoints),
-        }
+        self.ctr.stats()
     }
 
     /// Take a checkpoint now, under the already-held core lock, and
@@ -302,7 +366,7 @@ impl Shared {
             Ok(events) => {
                 core.events.extend(events);
                 core.since_ckpt = 0;
-                self.ctr.checkpoints.fetch_add(1, Ordering::Release);
+                self.ctr.checkpoints.inc();
                 for conn in self.conns.lock().iter() {
                     conn.durable
                         .store(conn.decoded.load(Ordering::Acquire), Ordering::Release);
@@ -344,6 +408,7 @@ fn drain_decoder(
         match dec.next_block()? {
             Some(Block::Events { stream, values }) => {
                 frames += 1;
+                shared.ctr.frame_samples.record(values.len() as u64);
                 batch.push((StreamId(stream), values.to_vec()));
             }
             Some(Block::Samples { values, .. }) => {
@@ -357,12 +422,9 @@ fn drain_decoder(
     if frames == 0 {
         return Ok(false);
     }
-    shared.ctr.frames.fetch_add(frames, Ordering::Release);
+    shared.ctr.frames.add(frames);
     if skipped > 0 {
-        shared
-            .ctr
-            .samples_skipped
-            .fetch_add(skipped, Ordering::Release);
+        shared.ctr.samples_skipped.add(skipped);
     }
     let new_samples: u64 = batch.iter().map(|(_, v)| v.len() as u64).sum();
     if new_samples > 0 {
@@ -373,7 +435,7 @@ fn drain_decoder(
             svc.ingest(&records);
         }
         state.decoded.fetch_add(new_samples, Ordering::Release);
-        shared.ctr.samples.fetch_add(new_samples, Ordering::Release);
+        shared.ctr.samples.add(new_samples);
         core.since_ckpt += new_samples;
         let cadence = shared
             .cfg
@@ -449,7 +511,7 @@ fn serve_conn(sock: &mut TcpStream, shared: &Shared, state: &ConnState) -> Close
                 };
             }
             Ok(n) => {
-                shared.ctr.bytes.fetch_add(n as u64, Ordering::Release);
+                shared.ctr.bytes.add(n as u64);
                 dec.feed(&buf[..n]);
                 match drain_decoder(&mut dec, shared, state) {
                     Ok(true) => last_progress = Instant::now(),
@@ -481,7 +543,7 @@ impl Drop for ConnGuard {
         let mut conns = self.shared.conns.lock();
         conns.retain(|c| !Arc::ptr_eq(c, &self.state));
         drop(conns);
-        self.shared.ctr.open.fetch_sub(1, Ordering::Release);
+        self.shared.ctr.open.sub(1);
     }
 }
 
@@ -493,12 +555,12 @@ fn conn_worker(mut sock: TcpStream, shared: Arc<Shared>, state: Arc<ConnState>) 
     let reason = serve_conn(&mut sock, &shared, &guard.state);
     let ctr = &shared.ctr;
     match reason {
-        CloseReason::Clean => ctr.clean_closes.fetch_add(1, Ordering::Release),
-        CloseReason::Protocol(_) => ctr.protocol_errors.fetch_add(1, Ordering::Release),
-        CloseReason::Stalled => ctr.shed_stalled.fetch_add(1, Ordering::Release),
-        CloseReason::SlowReader => ctr.shed_slow.fetch_add(1, Ordering::Release),
-        CloseReason::Disconnected => ctr.disconnected.fetch_add(1, Ordering::Release),
-        CloseReason::ServerShutdown => 0,
+        CloseReason::Clean => ctr.clean_closes.inc(),
+        CloseReason::Protocol(_) => ctr.protocol_errors.inc(),
+        CloseReason::Stalled => ctr.shed_stalled.inc(),
+        CloseReason::SlowReader => ctr.shed_slow.inc(),
+        CloseReason::Disconnected => ctr.disconnected.inc(),
+        CloseReason::ServerShutdown => {}
     };
     let _ = sock.shutdown(Shutdown::Both);
     drop(guard);
@@ -523,13 +585,13 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             return;
         }
         accepted += 1;
-        shared.ctr.accepted.fetch_add(1, Ordering::Release);
-        if shared.ctr.open.load(Ordering::Acquire) >= shared.cfg.max_conns as u64 {
-            shared.ctr.shed_capacity.fetch_add(1, Ordering::Release);
+        shared.ctr.accepted.inc();
+        if shared.ctr.open.get() >= shared.cfg.max_conns as u64 {
+            shared.ctr.shed_capacity.inc();
             let _ = sock.shutdown(Shutdown::Both);
             continue;
         }
-        shared.ctr.open.fetch_add(1, Ordering::Release);
+        shared.ctr.open.add(1);
         let state = Arc::new(ConnState::default());
         shared.conns.lock().push(state.clone());
         let sh = shared.clone();
@@ -543,8 +605,8 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             let mut conns = shared.conns.lock();
             conns.retain(|c| !Arc::ptr_eq(c, &state));
             drop(conns);
-            shared.ctr.open.fetch_sub(1, Ordering::Release);
-            shared.ctr.shed_capacity.fetch_add(1, Ordering::Release);
+            shared.ctr.open.sub(1);
+            shared.ctr.shed_capacity.inc();
         }
     }
 }
@@ -585,14 +647,29 @@ impl DpdServer {
     /// serving a detector service built from `builder` — or resumed from
     /// the checkpoint in `cfg.durable` when configured and present.
     pub fn start(builder: &DpdBuilder, cfg: NetConfig, addr: &str) -> Result<Self, NetError> {
+        DpdServer::start_observed(builder, cfg, addr, ServiceObs::default())
+    }
+
+    /// [`DpdServer::start`] with explicit observability wiring: both the
+    /// detector service's per-shard rollups and the server's `dpd_net_*`
+    /// counters register into `obs.registry` (the page a `--metrics`
+    /// endpoint serves), and ingest-loop timings feed `obs.self_tracer`
+    /// when present.
+    pub fn start_observed(
+        builder: &DpdBuilder,
+        cfg: NetConfig,
+        addr: &str,
+        obs: ServiceObs,
+    ) -> Result<Self, NetError> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let registry = obs.registry.clone();
         let (svc, resumed_from) = match &cfg.durable {
             Some(d) if d.resume && d.path.exists() => {
-                let (svc, marker) = MultiStreamDpd::resume(builder, &d.path)?;
+                let (svc, marker) = MultiStreamDpd::resume_observed(builder, &d.path, obs)?;
                 (svc, Some(marker))
             }
-            _ => (MultiStreamDpd::from_builder(builder)?, None),
+            _ => (MultiStreamDpd::from_builder_observed(builder, obs)?, None),
         };
         let shared = Arc::new(Shared {
             cfg,
@@ -605,7 +682,8 @@ impl DpdServer {
             }),
             conns: Mutex::new(Vec::new()),
             stop: AtomicBool::new(false),
-            ctr: Counters::default(),
+            ctr: NetMetrics::register(&registry),
+            registry,
         });
         let sh = shared.clone();
         let accept = thread::Builder::new()
@@ -630,6 +708,13 @@ impl DpdServer {
         self.shared.stats()
     }
 
+    /// The registry all of this server's metrics live in (`dpd_net_*`
+    /// plus the detector service's `dpd_shard_*` rollups) — hand it to
+    /// a `dpd_obs::MetricsServer` to expose them live.
+    pub fn registry(&self) -> &Registry {
+        &self.shared.registry
+    }
+
     /// `true` once the accept limit was reached *and* every accepted
     /// connection has finished — the self-termination condition for
     /// smoke runs (`accept_limit > 0`).
@@ -638,7 +723,7 @@ impl DpdServer {
             .as_ref()
             .map(|h| h.is_finished())
             .unwrap_or(true)
-            && self.shared.ctr.open.load(Ordering::Acquire) == 0
+            && self.shared.ctr.open.get() == 0
     }
 
     /// Stop accepting, let in-flight connections observe the stop flag,
@@ -652,7 +737,7 @@ impl DpdServer {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        while self.shared.ctr.open.load(Ordering::Acquire) > 0 {
+        while self.shared.ctr.open.get() > 0 {
             thread::sleep(Duration::from_millis(2));
         }
         let mut core = self.shared.core.lock();

@@ -12,8 +12,11 @@
 //!   (Rust ≥ 1.67): producers never take a lock, and the service side
 //!   drains with the non-blocking [`MultiStreamDpd::drain`].
 //! * **Rollups.** Per-shard [`ShardStats`] (streams, samples, events, queue
-//!   depth, ...) are published through plain atomics and read without
-//!   synchronizing with the workers via [`MultiStreamDpd::snapshot`].
+//!   depth, ...) are published into a `dpd_obs` metrics [`Registry`] and
+//!   read back without synchronizing with the workers via
+//!   [`MultiStreamDpd::snapshot`] — the same cells a live `/metrics`
+//!   scrape renders, so drain summaries and scrapes cannot drift (metric
+//!   names in `docs/OBSERVABILITY.md`).
 //! * **Determinism.** `shards: 0` selects an inline single-threaded mode
 //!   that processes every record synchronously on the calling thread. It is
 //!   the reference implementation: for any shard count and any interleaving
@@ -51,12 +54,13 @@ use dpd_core::shard::{shard_of, MultiStreamEvent, StreamId, StreamTable, TableCo
 use dpd_core::snapshot::{
     Restore, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, TAG_SERVICE,
 };
+use dpd_obs::{Counter, Gauge, Histogram, Registry, SelfTracer};
 use dpd_trace::pile::{recover, EpochMarker, PileError, PileFrame, PileWriter};
 use std::fs::{self, File};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Configuration of a [`MultiStreamDpd`] service.
 #[derive(Debug, Clone, PartialEq)]
@@ -327,42 +331,144 @@ impl From<BuildError> for CheckpointError {
     }
 }
 
-/// Lock-free per-shard counters published by workers, read by `snapshot`.
-#[derive(Debug, Default)]
-struct ShardShared {
-    streams: AtomicU64,
-    cold: AtomicU64,
-    samples: AtomicU64,
-    events: AtomicU64,
-    evicted: AtomicU64,
-    closed: AtomicU64,
-    demoted: AtomicU64,
-    promoted: AtomicU64,
-    queue_depth: AtomicU64,
-    batches: AtomicU64,
-    forecast_checked: AtomicU64,
-    forecast_hits: AtomicU64,
-    query_enters: AtomicU64,
-    query_exits: AtomicU64,
+/// Observability wiring of a service: the registry its rollups are
+/// exported through, plus an optional DTB self-tracer fed by the
+/// ingest loops (`dpd serve --self-trace`).
+///
+/// [`ServiceObs::default`] gives every service its own private
+/// [`Registry`] and no tracer, so plain constructors stay zero-config;
+/// pass a shared registry (e.g. the one a `--metrics` endpoint
+/// renders) through the `*_observed` constructors to surface the
+/// rollups live.
+#[derive(Clone, Default)]
+pub struct ServiceObs {
+    /// Registry the per-shard rollups register into (see
+    /// `docs/OBSERVABILITY.md` for the metric-name contract).
+    pub registry: Registry,
+    /// When set, every ingest-loop iteration's wall time is reported
+    /// here (log2-quantized) for the DTB self-trace.
+    pub self_tracer: Option<SelfTracer>,
 }
 
-impl ShardShared {
+/// Per-shard rollups as registry handles — the lock-free mirror the
+/// workers publish into and both `snapshot()` arms read back from.
+/// Series carry a `shard` label: `dpd_shard_samples_total{shard="0"}`.
+struct ShardMetrics {
+    streams: Gauge,
+    cold: Gauge,
+    queue_depth: Gauge,
+    samples: Counter,
+    events: Counter,
+    evicted: Counter,
+    closed: Counter,
+    demoted: Counter,
+    promoted: Counter,
+    batches: Counter,
+    forecast_checked: Counter,
+    forecast_hits: Counter,
+    query_enters: Counter,
+    query_exits: Counter,
+    /// Ingest-loop iteration wall time; same log2 bucketing as the
+    /// self-trace, so the scraped histogram and the DTB capture agree.
+    ingest_ns: Histogram,
+}
+
+impl ShardMetrics {
+    fn register(reg: &Registry, shard: usize) -> Self {
+        let c = |name: &str, help: &str| reg.counter(&format!("{name}{{shard=\"{shard}\"}}"), help);
+        let g = |name: &str, help: &str| reg.gauge(&format!("{name}{{shard=\"{shard}\"}}"), help);
+        ShardMetrics {
+            streams: g(
+                "dpd_shard_streams",
+                "live streams held by the shard (hot + cold)",
+            ),
+            cold: g(
+                "dpd_shard_streams_cold",
+                "cold-summary subset of the shard's streams",
+            ),
+            queue_depth: g(
+                "dpd_shard_queue_depth",
+                "record batches routed to the shard and not yet processed",
+            ),
+            samples: c("dpd_shard_samples_total", "samples ingested by the shard"),
+            events: c(
+                "dpd_shard_events_total",
+                "segmentation events emitted (including close flushes)",
+            ),
+            evicted: c(
+                "dpd_shard_evicted_total",
+                "streams evicted by the idle watermark",
+            ),
+            closed: c("dpd_shard_closed_total", "streams explicitly closed"),
+            demoted: c(
+                "dpd_shard_demoted_total",
+                "hot slots demoted to cold summaries",
+            ),
+            promoted: c(
+                "dpd_shard_promoted_total",
+                "cold summaries re-promoted to hot",
+            ),
+            batches: c("dpd_shard_batches_total", "record batches fully processed"),
+            forecast_checked: c(
+                "dpd_shard_forecast_checked_total",
+                "forecasts scored against an arrived sample",
+            ),
+            forecast_hits: c(
+                "dpd_shard_forecast_hits_total",
+                "scored forecasts that matched exactly",
+            ),
+            query_enters: c(
+                "dpd_shard_query_enters_total",
+                "standing-query enter deltas emitted",
+            ),
+            query_exits: c(
+                "dpd_shard_query_exits_total",
+                "standing-query exit deltas emitted",
+            ),
+            ingest_ns: reg.histogram(
+                &format!("dpd_ingest_loop_nanoseconds{{shard=\"{shard}\"}}"),
+                "ingest-loop iteration wall time in nanoseconds (log2 buckets)",
+            ),
+        }
+    }
+
+    /// The single table→registry publication point: map a [`TableStats`]
+    /// through [`ShardStats::from_table`] and store each field into its
+    /// registry cell. Queue depth and batch counts are owned by the
+    /// shard frontend/worker and left untouched.
+    fn publish_table(&self, t: &TableStats) {
+        let t = ShardStats::from_table(t);
+        self.streams.set(t.streams);
+        self.cold.set(t.cold);
+        self.samples.publish(t.samples);
+        self.events.publish(t.events);
+        self.evicted.publish(t.evicted);
+        self.closed.publish(t.closed);
+        self.demoted.publish(t.demoted);
+        self.promoted.publish(t.promoted);
+        self.forecast_checked.publish(t.forecast_checked);
+        self.forecast_hits.publish(t.forecast_hits);
+        self.query_enters.publish(t.query_enters);
+        self.query_exits.publish(t.query_exits);
+    }
+
+    /// Read the rollups back out of the registry cells.
     fn snapshot(&self) -> ShardStats {
         ShardStats {
-            streams: self.streams.load(Ordering::Relaxed),
-            cold: self.cold.load(Ordering::Relaxed),
-            samples: self.samples.load(Ordering::Relaxed),
-            events: self.events.load(Ordering::Relaxed),
-            evicted: self.evicted.load(Ordering::Relaxed),
-            closed: self.closed.load(Ordering::Relaxed),
-            demoted: self.demoted.load(Ordering::Relaxed),
-            promoted: self.promoted.load(Ordering::Relaxed),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            forecast_checked: self.forecast_checked.load(Ordering::Relaxed),
-            forecast_hits: self.forecast_hits.load(Ordering::Relaxed),
-            query_enters: self.query_enters.load(Ordering::Relaxed),
-            query_exits: self.query_exits.load(Ordering::Relaxed),
+            streams: self.streams.get(),
+            cold: self.cold.get(),
+            samples: self.samples.get(),
+            events: self.events.get(),
+            evicted: self.evicted.get(),
+            closed: self.closed.get(),
+            demoted: self.demoted.get(),
+            promoted: self.promoted.get(),
+            queue_depth: self.queue_depth.get(),
+            batches: self.batches.get(),
+            forecast_checked: self.forecast_checked.get(),
+            forecast_hits: self.forecast_hits.get(),
+            query_enters: self.query_enters.get(),
+            query_exits: self.query_exits.get(),
         }
     }
 }
@@ -401,7 +507,7 @@ struct Sharded {
     txs: Vec<Sender<Cmd>>,
     workers: Vec<JoinHandle<()>>,
     sink: mpsc::Receiver<ShardPublication>,
-    stats: Arc<Vec<ShardShared>>,
+    stats: Arc<Vec<ShardMetrics>>,
     /// Events received while pumping the sink for query deltas.
     pending_events: Vec<MultiStreamEvent>,
     /// Query deltas received while pumping the sink for events.
@@ -426,6 +532,7 @@ enum Mode {
         // mode (clippy::large_enum_variant).
         table: Box<StreamTable>,
         events: Vec<MultiStreamEvent>,
+        metrics: Box<ShardMetrics>,
     },
     Sharded(Sharded),
 }
@@ -490,6 +597,10 @@ pub struct MultiStreamDpd {
     /// Samples since the last sweep (both modes: sweeps are scheduled by
     /// the frontend on the global sample clock).
     since_sweep: u64,
+    /// Registry the rollups are exported through (shared with workers).
+    registry: Registry,
+    /// Inline-mode self-tracer (worker shards hold their own clones).
+    tracer: Option<SelfTracer>,
 }
 
 impl MultiStreamDpd {
@@ -498,23 +609,43 @@ impl MultiStreamDpd {
     /// Requires [`DpdBuilder::shards`]; `shards(0)` selects the
     /// deterministic inline mode.
     pub fn from_builder(builder: &DpdBuilder) -> Result<Self, BuildError> {
-        Ok(MultiStreamDpd::new(ServiceConfig::from_builder(builder)?))
+        MultiStreamDpd::from_builder_observed(builder, ServiceObs::default())
+    }
+
+    /// [`MultiStreamDpd::from_builder`] with explicit observability
+    /// wiring: rollups register into `obs.registry`, ingest-loop
+    /// timings feed `obs.self_tracer` when present.
+    pub fn from_builder_observed(
+        builder: &DpdBuilder,
+        obs: ServiceObs,
+    ) -> Result<Self, BuildError> {
+        Ok(MultiStreamDpd::new_observed(
+            ServiceConfig::from_builder(builder)?,
+            obs,
+        ))
     }
 
     /// Start a service. `config.shards == 0` runs inline (no threads);
     /// otherwise one worker thread per shard is spawned.
     pub fn new(config: ServiceConfig) -> Self {
+        MultiStreamDpd::new_observed(config, ServiceObs::default())
+    }
+
+    /// [`MultiStreamDpd::new`] with explicit observability wiring.
+    pub fn new_observed(config: ServiceConfig, obs: ServiceObs) -> Self {
         let mode = if config.shards == 0 {
             let mut table = StreamTable::new(config.table);
             table.attach_queries(config.queries.clone());
             Mode::Inline {
                 table: Box::new(table),
                 events: Vec::new(),
+                metrics: Box::new(ShardMetrics::register(&obs.registry, 0)),
             }
         } else {
             Mode::Sharded(spawn_sharded(
                 &config,
                 (0..config.shards).map(|_| None).collect(),
+                &obs,
             ))
         };
         MultiStreamDpd {
@@ -522,7 +653,14 @@ impl MultiStreamDpd {
             config,
             ingested: 0,
             since_sweep: 0,
+            registry: obs.registry,
+            tracer: obs.self_tracer,
         }
+    }
+
+    /// The registry this service's rollups are exported through.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Number of shards (`0` = inline mode).
@@ -545,7 +683,12 @@ impl MultiStreamDpd {
     /// ignored.
     pub fn ingest(&mut self, records: &[(StreamId, &[i64])]) {
         match &mut self.mode {
-            Mode::Inline { table, events } => {
+            Mode::Inline {
+                table,
+                events,
+                metrics,
+            } => {
+                let t0 = Instant::now();
                 for (stream, samples) in records {
                     table.ingest(self.ingested, *stream, samples, events);
                     self.ingested += samples.len() as u64;
@@ -555,6 +698,15 @@ impl MultiStreamDpd {
                     table.sweep(self.ingested);
                     self.since_sweep = 0;
                 }
+                // One timing + one rollup publication per ingest call
+                // (not per sample): live scrapes stay fresh at batch
+                // granularity for nanoseconds of overhead.
+                let ns = t0.elapsed().as_nanos() as u64;
+                metrics.ingest_ns.record(ns);
+                if let Some(tracer) = &self.tracer {
+                    tracer.record_ns(0, ns);
+                }
+                metrics.publish_table(&table.stats());
             }
             Mode::Sharded(sh) => {
                 let shards = self.config.shards;
@@ -575,7 +727,7 @@ impl MultiStreamDpd {
                     if batch.is_empty() {
                         continue;
                     }
-                    sh.stats[shard].queue_depth.fetch_add(1, Ordering::Relaxed);
+                    sh.stats[shard].queue_depth.add(1);
                     sh.txs[shard]
                         .send(Cmd::Batches(batch))
                         .expect("shard worker exited early");
@@ -606,12 +758,12 @@ impl MultiStreamDpd {
     /// both modes.
     pub fn close(&mut self, stream: StreamId) {
         match &mut self.mode {
-            Mode::Inline { table, events } => {
+            Mode::Inline { table, events, .. } => {
                 table.close(self.ingested, stream, events);
             }
             Mode::Sharded(sh) => {
                 let shard = shard_of(stream, self.config.shards);
-                sh.stats[shard].queue_depth.fetch_add(1, Ordering::Relaxed);
+                sh.stats[shard].queue_depth.add(1);
                 sh.txs[shard]
                     .send(Cmd::Close(self.ingested, stream))
                     .expect("shard worker exited early");
@@ -690,13 +842,21 @@ impl MultiStreamDpd {
 
     /// Point-in-time per-shard rollups (lock-free reads; inline mode
     /// reports itself as a single shard with queue depth 0).
+    ///
+    /// Both arms read *through the registry*: the inline arm publishes
+    /// the table's stats into its [`ShardMetrics`] and reads them back,
+    /// the sharded arm reads what the workers last published — so a
+    /// live `/metrics` scrape and this snapshot can never disagree.
     pub fn snapshot(&self) -> ServiceSnapshot {
         match &self.mode {
-            Mode::Inline { table, .. } => ServiceSnapshot {
-                shards: vec![ShardStats::from_table(&table.stats())],
-            },
+            Mode::Inline { table, metrics, .. } => {
+                metrics.publish_table(&table.stats());
+                ServiceSnapshot {
+                    shards: vec![metrics.snapshot()],
+                }
+            }
             Mode::Sharded(sh) => ServiceSnapshot {
-                shards: sh.stats.iter().map(ShardShared::snapshot).collect(),
+                shards: sh.stats.iter().map(ShardMetrics::snapshot).collect(),
             },
         }
     }
@@ -717,7 +877,7 @@ impl MultiStreamDpd {
     ) -> (Vec<MultiStreamEvent>, Vec<QueryDelta>, ServiceSnapshot) {
         let final_seq = self.ingested;
         match &mut self.mode {
-            Mode::Inline { table, events } => {
+            Mode::Inline { table, events, .. } => {
                 table.sweep(final_seq);
                 table.close_all(final_seq, events);
             }
@@ -813,6 +973,18 @@ impl MultiStreamDpd {
         builder: &DpdBuilder,
         path: impl AsRef<Path>,
     ) -> Result<(Self, EpochMarker), CheckpointError> {
+        MultiStreamDpd::resume_observed(builder, path, ServiceObs::default())
+    }
+
+    /// [`MultiStreamDpd::resume`] with explicit observability wiring.
+    /// The restored rollups are published immediately (inline mode at
+    /// construction, worker shards at spawn), so a scrape right after
+    /// resume already reflects the checkpointed streams.
+    pub fn resume_observed(
+        builder: &DpdBuilder,
+        path: impl AsRef<Path>,
+        obs: ServiceObs,
+    ) -> Result<(Self, EpochMarker), CheckpointError> {
         let config = ServiceConfig::from_builder(builder)?;
         let data = fs::read(path)?;
         let rec = recover(&data);
@@ -870,10 +1042,13 @@ impl MultiStreamDpd {
 
         let (mode, since_sweep) = if config.shards == 0 {
             let (table, _clock, since_sweep) = entries.pop().expect("count checked above");
+            let metrics = Box::new(ShardMetrics::register(&obs.registry, 0));
+            metrics.publish_table(&table.stats());
             (
                 Mode::Inline {
                     table: Box::new(table),
                     events: Vec::new(),
+                    metrics,
                 },
                 since_sweep,
             )
@@ -886,7 +1061,10 @@ impl MultiStreamDpd {
                 .into_iter()
                 .map(|(table, clock, _)| Some((table, clock)))
                 .collect();
-            (Mode::Sharded(spawn_sharded(&config, inits)), since_sweep)
+            (
+                Mode::Sharded(spawn_sharded(&config, inits, &obs)),
+                since_sweep,
+            )
         };
         Ok((
             MultiStreamDpd {
@@ -894,6 +1072,8 @@ impl MultiStreamDpd {
                 config,
                 ingested,
                 since_sweep,
+                registry: obs.registry,
+                tracer: obs.self_tracer,
             },
             marker,
         ))
@@ -944,11 +1124,18 @@ type ShardInit = (StreamTable, u64);
 /// Spawn the worker threads of a sharded service. `inits[shard]` seeds the
 /// worker with checkpointed state ([`MultiStreamDpd::resume`]); `None`
 /// starts it on a fresh table.
-fn spawn_sharded(config: &ServiceConfig, inits: Vec<Option<ShardInit>>) -> Sharded {
+fn spawn_sharded(
+    config: &ServiceConfig,
+    inits: Vec<Option<ShardInit>>,
+    obs: &ServiceObs,
+) -> Sharded {
     debug_assert_eq!(inits.len(), config.shards);
     let (sink_tx, sink_rx) = mpsc::channel();
-    let stats: Arc<Vec<ShardShared>> =
-        Arc::new((0..config.shards).map(|_| ShardShared::default()).collect());
+    let stats: Arc<Vec<ShardMetrics>> = Arc::new(
+        (0..config.shards)
+            .map(|shard| ShardMetrics::register(&obs.registry, shard))
+            .collect(),
+    );
     let mut txs = Vec::with_capacity(config.shards);
     let mut workers = Vec::with_capacity(config.shards);
     for (shard, init) in inits.into_iter().enumerate() {
@@ -957,10 +1144,22 @@ fn spawn_sharded(config: &ServiceConfig, inits: Vec<Option<ShardInit>>) -> Shard
         let stats = Arc::clone(&stats);
         let table_config = config.table;
         let queries = config.queries.clone();
+        let tracer = obs.self_tracer.clone();
         workers.push(
             std::thread::Builder::new()
                 .name(format!("dpd-shard-{shard}"))
-                .spawn(move || shard_worker(rx, sink, &stats[shard], table_config, queries, init))
+                .spawn(move || {
+                    shard_worker(
+                        rx,
+                        sink,
+                        shard,
+                        &stats[shard],
+                        table_config,
+                        queries,
+                        init,
+                        tracer,
+                    )
+                })
                 .expect("failed to spawn shard worker"),
         );
         txs.push(tx);
@@ -975,13 +1174,16 @@ fn spawn_sharded(config: &ServiceConfig, inits: Vec<Option<ShardInit>>) -> Shard
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn shard_worker(
     rx: crossbeam::channel::Receiver<Cmd>,
     sink: mpsc::Sender<ShardPublication>,
-    shared: &ShardShared,
+    shard: usize,
+    shared: &ShardMetrics,
     table_config: TableConfig,
     queries: Vec<QuerySpec>,
     init: Option<ShardInit>,
+    tracer: Option<SelfTracer>,
 ) {
     let (mut table, mut clock) = match init {
         // A restored table carries its query engine inside the snapshot.
@@ -999,12 +1201,22 @@ fn shard_worker(
     while let Ok(cmd) = rx.recv() {
         match cmd {
             Cmd::Batches(records) => {
+                // One ingest-loop iteration = one routed batch. The
+                // timing feeds the per-shard histogram and, when a
+                // self-trace is attached, the DTB capture `dpd analyze`
+                // can point the detector back at.
+                let t0 = Instant::now();
                 for (seq, stream, samples) in records {
                     clock = clock.max(seq + samples.len() as u64);
                     table.ingest(seq, stream, &samples, &mut out);
                 }
-                shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                shared.batches.fetch_add(1, Ordering::Relaxed);
+                let ns = t0.elapsed().as_nanos() as u64;
+                shared.ingest_ns.record(ns);
+                if let Some(tracer) = &tracer {
+                    tracer.record_ns(shard, ns);
+                }
+                shared.queue_depth.sub(1);
+                shared.batches.inc();
             }
             Cmd::Sweep(seq) => {
                 clock = clock.max(seq);
@@ -1012,7 +1224,7 @@ fn shard_worker(
             }
             Cmd::Close(seq, stream) => {
                 table.close(seq, stream, &mut out);
-                shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                shared.queue_depth.sub(1);
             }
             Cmd::Flush(ack) => {
                 // FIFO queue: everything routed before this barrier has
@@ -1043,7 +1255,7 @@ fn shard_worker(
 /// shard's rollups.
 fn publish(
     table: &mut StreamTable,
-    shared: &ShardShared,
+    shared: &ShardMetrics,
     out: &mut Vec<MultiStreamEvent>,
     sink: &mpsc::Sender<ShardPublication>,
 ) {
@@ -1056,26 +1268,10 @@ fn publish(
         let _ = sink.send((std::mem::take(out), deltas));
     }
     // Same accumulation point as the inline snapshot arm: map the table's
-    // stats through `ShardStats::from_table`, then publish field-by-field
-    // into the lock-free mirror (queue depth and batches are owned by the
-    // shard frontend and left untouched here).
-    let t = ShardStats::from_table(&table.stats());
-    shared.streams.store(t.streams, Ordering::Relaxed);
-    shared.cold.store(t.cold, Ordering::Relaxed);
-    shared.samples.store(t.samples, Ordering::Relaxed);
-    shared.events.store(t.events, Ordering::Relaxed);
-    shared.evicted.store(t.evicted, Ordering::Relaxed);
-    shared.closed.store(t.closed, Ordering::Relaxed);
-    shared.demoted.store(t.demoted, Ordering::Relaxed);
-    shared.promoted.store(t.promoted, Ordering::Relaxed);
-    shared
-        .forecast_checked
-        .store(t.forecast_checked, Ordering::Relaxed);
-    shared
-        .forecast_hits
-        .store(t.forecast_hits, Ordering::Relaxed);
-    shared.query_enters.store(t.query_enters, Ordering::Relaxed);
-    shared.query_exits.store(t.query_exits, Ordering::Relaxed);
+    // stats through `ShardStats::from_table`, then publish into the
+    // registry cells (queue depth and batches are owned by the shard
+    // frontend/worker and left untouched here).
+    shared.publish_table(&table.stats());
 }
 
 #[cfg(test)]

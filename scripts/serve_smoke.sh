@@ -15,7 +15,15 @@
 #     connections on a 1-CPU container the rate is connection-setup
 #     bound at ~0.7 Msamples/s (the same host sustains ~8 Msamples/s at
 #     100 connections), so the floor catches the path collapsing —
-#     a stalled drain, quadratic reassembly — not host noise.
+#     a stalled drain, quadratic reassembly — not host noise;
+#   * the live `/metrics` endpoint disagrees with the loadgen total:
+#     after the replay, `dpd stats` must scrape an acked-sample counter
+#     (dpd_net_samples_total) exactly equal to the corpus total. A
+#     holder connection keeps the server alive past the replay so the
+#     scrape observes the settled counters mid-run, not a dead socket.
+#
+# The server also runs with --self-trace: after shutdown, its own
+# ingest-loop DTB capture must be readable by `dpd analyze`.
 #
 # Usage: scripts/serve_smoke.sh [conns] [streams] [len]
 #   conns   — concurrent loadgen connections (default 1000)
@@ -37,39 +45,75 @@ rm -rf "$SCRATCH"
 mkdir -p "$SCRATCH"
 CORPUS="$SCRATCH/corpus.dtb"
 PORT_FILE="$SCRATCH/serve.port"
+METRICS_PORT_FILE="$SCRATCH/metrics.port"
+SELF_TRACE="$SCRATCH/self.dtb"
 SERVE_OUT="$SCRATCH/serve.out"
 
 ./target/release/dpd generate --streams "$STREAMS" --len "$LEN" --out "$CORPUS"
 
-# The server accepts exactly CONNS connections, drains them, prints its
-# summary and exits; loadgen discovers the ephemeral port via the port
-# file. `--timing show` makes both ends print throughput.
-./target/release/dpd serve --accept "$CONNS" --window 16 \
-  --port-file "$PORT_FILE" --timing show >"$SERVE_OUT" 2>&1 &
+# The server accepts CONNS loadgen connections plus one holder, drains
+# them, prints its summary and exits; loadgen discovers the ephemeral
+# port via the port file. `--timing show` makes both ends print
+# throughput. The metrics endpoint and self-trace ride along.
+ACCEPT=$((CONNS + 1))
+./target/release/dpd serve --accept "$ACCEPT" --window 16 \
+  --port-file "$PORT_FILE" --metrics 127.0.0.1:0 \
+  --metrics-port-file "$METRICS_PORT_FILE" \
+  --self-trace "$SELF_TRACE" --self-trace-every-ms 50 \
+  --timing show >"$SERVE_OUT" 2>&1 &
 SERVE_PID=$!
 trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+# Holder connection: accepted first, kept open (and idle) so the server
+# is still live — and scrapeable — after the replay finishes.
+for _ in $(seq 100); do [ -s "$PORT_FILE" ] && break; sleep 0.1; done
+[ -s "$PORT_FILE" ] || { echo "serve_smoke: no port file" >&2; exit 1; }
+HOST="$(cut -d: -f1 "$PORT_FILE")"
+PORT="$(cut -d: -f2 "$PORT_FILE")"
+exec 3<>"/dev/tcp/$HOST/$PORT"
+# Consume the 6-byte handshake: unread data at close time would turn the
+# holder's FIN into an RST and the server would count a disconnect.
+head -c 6 <&3 >/dev/null
 
 LOADGEN_OUT="$SCRATCH/loadgen.out"
 ./target/release/dpd loadgen "$CORPUS" --port-file "$PORT_FILE" \
   --conns "$CONNS" --fragment bytes:4096 --timing show | tee "$LOADGEN_OUT"
 
+# Observability assertion: the live endpoint's acked-sample counter must
+# equal the corpus total *exactly* — every sample loadgen saw acked was
+# counted, and nothing else was. (Acks are sent only after the counter
+# moves, so no settling poll is needed.)
+TOTAL=$((STREAMS * LEN))
+SCRAPED=$(./target/release/dpd stats --port-file "$METRICS_PORT_FILE" \
+  --filter dpd_net_samples_total | awk '$1 == "dpd_net_samples_total" { print $2 }')
+[ "$SCRAPED" = "$TOTAL" ] || {
+  echo "serve_smoke: /metrics reports dpd_net_samples_total=$SCRAPED, want $TOTAL" >&2
+  exit 1
+}
+
+# Release the holder; the server can now drain and exit.
+exec 3<&- 3>&-
+
 wait "$SERVE_PID"
 trap - EXIT
 sed -n '1,3p' "$SERVE_OUT"
 
-# Server side: every connection must close clean.
-grep -q "served $CONNS connection(s): $CONNS clean, 0 protocol error(s), 0 shed, 0 disconnected" "$SERVE_OUT" || {
+# Server side: every connection (the replay's plus the holder) clean.
+grep -q "served $ACCEPT connection(s): $ACCEPT clean, 0 protocol error(s), 0 shed, 0 disconnected" "$SERVE_OUT" || {
   echo "serve_smoke: server reported unclean connections" >&2
   sed -n '1,5p' "$SERVE_OUT" >&2
   exit 1
 }
 
 # Client side: no errors, no aborts, every sample acked.
-TOTAL=$((STREAMS * LEN))
 grep -q "sent $TOTAL samples, acked $TOTAL; 0 aborted, 0 error(s)" "$LOADGEN_OUT" || {
   echo "serve_smoke: loadgen did not ack all $TOTAL samples cleanly" >&2
   exit 1
 }
+
+# The server's self-trace is a well-formed DTB capture of its own
+# ingest loop, readable by the ordinary analyze pipeline.
+./target/release/dpd analyze "$SELF_TRACE" | sed -n '1,2p'
 
 # Throughput floor on the client-observed sustained rate.
 MSPS=$(sed -n 's/^sustained \([0-9.]*\) Msamples\/s.*/\1/p' "$LOADGEN_OUT")
@@ -79,4 +123,4 @@ awk -v got="$MSPS" -v floor="$FLOOR_MSPS" 'BEGIN { exit !(got >= floor) }' || {
   exit 1
 }
 
-echo "serve_smoke: $CONNS connections clean, $TOTAL samples acked, sustained $MSPS Msamples/s (floor $FLOOR_MSPS)"
+echo "serve_smoke: $ACCEPT connections clean, $TOTAL samples acked (/metrics agrees), sustained $MSPS Msamples/s (floor $FLOOR_MSPS)"

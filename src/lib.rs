@@ -10,6 +10,9 @@
 //! * [`runtime`] — the parallel runtime substrate: thread pool, parallel
 //!   loops, CPU-usage accounting, the virtual-time multiprocessor, and the
 //!   sharded multi-stream DPD service.
+//! * [`obs`] — the observability plane: lock-free metrics registry,
+//!   Prometheus-style exposition endpoint, and DTB self-tracing (the
+//!   detector pointed at the server's own ingest loops).
 //! * [`interpose`] — DITools-style call interposition.
 //! * [`analyzer`] — the SelfAnalyzer: run-time speedup computation.
 //! * [`apps`] — the paper's evaluation workloads (SPECfp95 + NAS FT shapes).
@@ -70,6 +73,7 @@
 
 pub use ditools as interpose;
 pub use dpd_core as core;
+pub use dpd_obs as obs;
 pub use dpd_trace as trace;
 pub use par_runtime as runtime;
 pub use selfanalyzer as analyzer;

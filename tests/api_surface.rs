@@ -23,7 +23,7 @@ mod exists {
     // Deprecated compat shims are still part of the public surface until
     // they are dropped in a major bump.
     mod facade_modules {
-        pub use dpd::{analyzer, apps, core, interpose, runtime, trace};
+        pub use dpd::{analyzer, apps, core, interpose, obs, runtime, trace};
     }
     mod core_modules {
         pub use dpd::core::{
@@ -84,7 +84,14 @@ mod exists {
     }
     mod service_items {
         pub use dpd::runtime::service::{
-            CheckpointError, MultiStreamDpd, ServiceConfig, ServiceSnapshot, ShardStats,
+            CheckpointError, MultiStreamDpd, ServiceConfig, ServiceObs, ServiceSnapshot, ShardStats,
+        };
+    }
+    mod obs_items {
+        pub use dpd::obs::{
+            bucket_of, bucket_upper_bound, log2_bucket, parse_exposition, scrape, Counter, Gauge,
+            Histogram, MetricKind, MetricsServer, ParseError, Registry, Scrape, SelfTraceWriter,
+            SelfTracer, HISTOGRAM_BUCKETS,
         };
     }
     mod net_items {
@@ -207,6 +214,23 @@ const SURFACE: &[&str] = &[
     "dpd::core::streaming::StreamStats",
     "dpd::core::window",
     "dpd::interpose",
+    "dpd::obs",
+    "dpd::obs::Counter",
+    "dpd::obs::Gauge",
+    "dpd::obs::HISTOGRAM_BUCKETS",
+    "dpd::obs::Histogram",
+    "dpd::obs::MetricKind",
+    "dpd::obs::MetricsServer",
+    "dpd::obs::ParseError",
+    "dpd::obs::Registry",
+    "dpd::obs::Scrape",
+    "dpd::obs::SelfTraceWriter",
+    "dpd::obs::SelfTracer",
+    "dpd::obs::bucket_of",
+    "dpd::obs::bucket_upper_bound",
+    "dpd::obs::log2_bucket",
+    "dpd::obs::parse_exposition",
+    "dpd::obs::scrape",
     "dpd::runtime",
     "dpd::runtime::net::DpdServer",
     "dpd::runtime::net::DurableNet",
@@ -219,6 +243,7 @@ const SURFACE: &[&str] = &[
     "dpd::runtime::service::CheckpointError",
     "dpd::runtime::service::MultiStreamDpd",
     "dpd::runtime::service::ServiceConfig",
+    "dpd::runtime::service::ServiceObs",
     "dpd::runtime::service::ServiceSnapshot",
     "dpd::runtime::service::ShardStats",
     "dpd::trace",
